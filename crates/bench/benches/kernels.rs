@@ -1,0 +1,54 @@
+//! Compute-kernel microbenchmarks: the per-minibatch work the cost model
+//! abstracts, measured for real on this host (matmul sequential vs Rayon,
+//! conv2d forward/backward on a Table-I-shaped layer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sasgd_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use sasgd_tensor::{linalg, SeedRng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10);
+    let mut rng = SeedRng::new(1);
+    for &n in &[64usize, 192] {
+        let a = rng.normal_tensor(&[n, n], 1.0);
+        let b = rng.normal_tensor(&[n, n], 1.0);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |bch, _| {
+            bch.iter(|| linalg::matmul(&a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &n, |bch, _| {
+            bch.iter(|| linalg::matmul_par(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    g.sample_size(10);
+    // The first Table I layer at reduced batch: conv(3→64, 5×5, pad 2).
+    let spec = Conv2dSpec {
+        ci: 3,
+        co: 64,
+        kh: 5,
+        kw: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let mut rng = SeedRng::new(2);
+    let input = rng.normal_tensor(&[4, 3, 32, 32], 1.0);
+    let weight = rng.normal_tensor(&[64, spec.patch_len()], 0.1);
+    let bias = vec![0.0f32; 64];
+    g.bench_function("forward_b4_32x32", |b| {
+        b.iter(|| conv2d_forward(&input, &weight, &bias, &spec))
+    });
+    let out = conv2d_forward(&input, &weight, &bias, &spec);
+    let grad = Tensor::full(out.dims(), 1.0);
+    g.bench_function("backward_b4_32x32", |b| {
+        b.iter(|| conv2d_backward(&input, &weight, &grad, &spec))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv);
+criterion_main!(benches);

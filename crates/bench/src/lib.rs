@@ -1,0 +1,17 @@
+//! # sasgd-bench
+//!
+//! The reproduction harness: one driver per table/figure of the paper
+//! (consumed by the `repro` binary and the Criterion benches).
+//!
+//! Timing figures (1, 4, 5, 6) are regenerated analytically from the
+//! calibrated cost model applied to the *full-size* paper workloads;
+//! convergence figures (2, 3, 7, 8, 9, 10) run real training on scaled
+//! synthetic workloads (see [`scale`]), since the full CIFAR-scale runs
+//! are GPU-months on CPU. EXPERIMENTS.md records paper-vs-measured for
+//! every artifact.
+
+pub mod extensions;
+pub mod figures;
+pub mod scale;
+
+pub use scale::Scale;

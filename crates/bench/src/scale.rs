@@ -1,0 +1,171 @@
+//! Scaled experiment workloads for the convergence figures.
+//!
+//! The paper trains a 0.5 M-parameter CNN for 100 epochs × 50 000 images
+//! and a 1.7 M-parameter text CNN for 200 epochs — GPU-scale work. The
+//! convergence *phenomena* (async staleness degrading accuracy with `p`,
+//! sample complexity growing with `T`, learning-rate regimes) are
+//! optimization effects that reproduce at smaller scale, so the harness
+//! runs geometry-preserving miniatures and records the deltas in
+//! EXPERIMENTS.md.
+
+use sasgd_data::cifar_like::{self, CifarLikeConfig};
+use sasgd_data::nlc_like::{self, NlcLikeConfig};
+use sasgd_data::Dataset;
+use sasgd_nn::{models, Model};
+use sasgd_tensor::SeedRng;
+
+/// Experiment scale selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale CPU runs (default for `repro all`): tiny CNN on 8×8
+    /// images / small text CNN, hundreds of samples, tens of epochs.
+    Tiny,
+    /// The width-scaled Table I network on full 32×32 geometry and a
+    /// mid-size NLC network; tens of minutes.
+    Small,
+    /// Closer to the paper (full Table I / Table II architectures,
+    /// thousands of samples); hours on CPU.
+    Large,
+}
+
+impl Scale {
+    /// Parse `0|1|2` or `tiny|small|large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "0" | "tiny" => Some(Scale::Tiny),
+            "1" | "small" => Some(Scale::Small),
+            "2" | "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+}
+
+/// A ready-to-train workload: datasets plus a replica factory.
+pub struct ConvergenceWorkload {
+    /// Display name ("CIFAR-like" / "NLC-like").
+    pub name: &'static str,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+    /// Builds identically initialized model replicas.
+    pub factory: Box<dyn Fn() -> Model + Sync>,
+    /// Minibatch size the paper uses for this workload (scaled).
+    pub batch: usize,
+    /// The "practical" learning rate (the paper's γ = 0.1 analogue).
+    pub gamma_hi: f32,
+    /// Collective epochs to train in the figure runs.
+    pub epochs: usize,
+}
+
+/// The CIFAR-10-like convergence workload at `scale`.
+pub fn cifar_workload(scale: Scale, epochs_override: Option<usize>) -> ConvergenceWorkload {
+    let (cfg, batch, gamma_hi, epochs) = match scale {
+        Scale::Tiny => (
+            CifarLikeConfig {
+                noise: 1.0,
+                max_shift: 2,
+                ..CifarLikeConfig::tiny(512, 256, 10)
+            },
+            8,
+            0.05,
+            30,
+        ),
+        Scale::Small => (
+            CifarLikeConfig {
+                train: 2_048,
+                test: 512,
+                noise: 0.6,
+                ..CifarLikeConfig::default()
+            },
+            16,
+            0.1,
+            30,
+        ),
+        Scale::Large => (CifarLikeConfig::scaled(10_000, 2_000), 64, 0.1, 60),
+    };
+    let (train, test) = cifar_like::generate(&cfg);
+    let factory: Box<dyn Fn() -> Model + Sync> = match scale {
+        Scale::Tiny => Box::new(|| models::tiny_cnn(10, &mut SeedRng::new(0xC1F))),
+        Scale::Small => Box::new(|| models::cifar_cnn_scaled(8, &mut SeedRng::new(0xC1F))),
+        Scale::Large => Box::new(|| models::cifar_cnn_scaled(2, &mut SeedRng::new(0xC1F))),
+    };
+    ConvergenceWorkload {
+        name: "CIFAR-like",
+        train,
+        test,
+        factory,
+        batch,
+        gamma_hi,
+        epochs: epochs_override.unwrap_or(epochs),
+    }
+}
+
+/// The NLC-F-like convergence workload at `scale`.
+pub fn nlc_workload(scale: Scale, epochs_override: Option<usize>) -> ConvergenceWorkload {
+    let (cfg, batch, gamma_hi, epochs) = match scale {
+        Scale::Tiny => (
+            NlcLikeConfig {
+                train: 800,
+                test: 200,
+                ..NlcLikeConfig::tiny(800, 200, 20)
+            },
+            1,
+            0.05,
+            40,
+        ),
+        Scale::Small => (NlcLikeConfig::scaled(1_000, 300, 60), 4, 0.08, 40),
+        Scale::Large => (NlcLikeConfig::default(), 1, 0.05, 80),
+    };
+    let (train, test) = nlc_like::generate(&cfg);
+    let factory: Box<dyn Fn() -> Model + Sync> = match scale {
+        Scale::Tiny => Box::new(move || {
+            models::nlc_net_custom(8, 12, 24, 64, 64, 20, &mut SeedRng::new(0x41c))
+        }),
+        Scale::Small => Box::new(move || {
+            models::nlc_net_custom(20, 100, 60, 200, 200, 60, &mut SeedRng::new(0x41c))
+        }),
+        Scale::Large => Box::new(move || models::nlc_net(20, &mut SeedRng::new(0x41c))),
+    };
+    ConvergenceWorkload {
+        name: "NLC-like",
+        train,
+        test,
+        factory,
+        batch,
+        gamma_hi,
+        epochs: epochs_override.unwrap_or(epochs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("0"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("2"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn tiny_workloads_are_consistent() {
+        let c = cifar_workload(Scale::Tiny, Some(3));
+        assert_eq!(c.epochs, 3);
+        assert_eq!(c.train.sample_dims(), (c.factory)().input_dims());
+        assert_eq!(c.train.classes(), 10);
+        let n = nlc_workload(Scale::Tiny, None);
+        assert_eq!(n.train.sample_dims(), (n.factory)().input_dims());
+        assert_eq!(n.train.classes(), 20);
+    }
+
+    #[test]
+    fn factories_are_deterministic() {
+        let c = cifar_workload(Scale::Tiny, None);
+        let m1 = (c.factory)();
+        let m2 = (c.factory)();
+        assert_eq!(m1.param_vector(), m2.param_vector());
+    }
+}

@@ -1,0 +1,407 @@
+//! Collective operations over a [`Communicator`].
+//!
+//! The reproduction's SASGD uses [`allreduce_tree`] — the `O(m log p)`
+//! binomial pattern the paper's communication analysis assumes. The
+//! bandwidth-optimal [`allreduce_ring`] (reduce-scatter + allgather,
+//! `2·m·(p−1)/p` elements per rank) is implemented for the tree-vs-ring
+//! ablation bench.
+//!
+//! Reduction order is fixed (children merge into parents in rank order), so
+//! results are bitwise deterministic across runs and thread schedules.
+
+use crate::world::Communicator;
+
+/// Tag space: collectives encode `(op_counter << 4) | phase` so concurrent
+/// phases of one collective never collide.
+fn tag(op: u64, phase: u64) -> u64 {
+    (op << 4) | phase
+}
+
+/// Binomial-tree broadcast from `root`.
+pub fn broadcast(comm: &mut Communicator, root: usize, buf: &mut Vec<f32>) {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    // Work in root-relative rank space so any root works.
+    let vrank = (comm.rank() + p - root) % p;
+    // Receive from the parent (vrank with its highest set bit cleared),
+    // then forward to children.
+    if vrank != 0 {
+        let hb = usize::BITS - 1 - vrank.leading_zeros();
+        let parent_v = vrank & !(1 << hb);
+        let parent = (parent_v + root) % p;
+        *buf = comm.recv(parent, tag(op, 0));
+    }
+    // Children are vrank | bit for bits above vrank's highest set bit.
+    let start_bit = if vrank == 0 {
+        1usize
+    } else {
+        1usize << (usize::BITS - vrank.leading_zeros())
+    };
+    let mut bit = start_bit;
+    while bit < p {
+        let child_v = vrank | bit;
+        if child_v < p && child_v != vrank {
+            let child = (child_v + root) % p;
+            comm.send(child, tag(op, 0), buf.clone());
+        }
+        bit <<= 1;
+    }
+}
+
+/// Binomial-tree sum-reduce to `root`; on non-root ranks `buf` is left as
+/// the partial sum this rank forwarded.
+pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    let vrank = (comm.rank() + p - root) % p;
+    let mut bit = 1usize;
+    while bit < p {
+        if vrank & bit != 0 {
+            // Send partial to parent and stop.
+            let parent_v = vrank & !bit;
+            let parent = (parent_v + root) % p;
+            comm.send(parent, tag(op, 1), buf.to_vec());
+            return;
+        }
+        let child_v = vrank | bit;
+        if child_v < p {
+            let child = (child_v + root) % p;
+            let part = comm.recv(child, tag(op, 1));
+            for (a, b) in buf.iter_mut().zip(&part) {
+                *a += b;
+            }
+        }
+        bit <<= 1;
+    }
+}
+
+/// Allreduce (sum) via reduce-to-0 plus broadcast: `2·m·log₂(p)` elements
+/// through the root's subtree links — the paper's `O(m log p)` collective.
+pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) {
+    reduce_tree(comm, 0, buf);
+    broadcast(comm, 0, buf);
+}
+
+/// Ring allreduce (reduce-scatter + allgather).
+///
+/// Each rank sends `2·m·(p−1)/p` elements regardless of `p` — the
+/// bandwidth-optimal collective modern NCCL uses; contrast with
+/// [`allreduce_tree`] in the ablation bench.
+pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    let r = comm.rank();
+    let m = buf.len();
+    // Chunk boundaries (first m % p chunks get one extra element).
+    let bounds: Vec<(usize, usize)> = {
+        let base = m / p;
+        let extra = m % p;
+        let mut v = Vec::with_capacity(p);
+        let mut start = 0usize;
+        for k in 0..p {
+            let len = base + usize::from(k < extra);
+            v.push((start, start + len));
+            start += len;
+        }
+        v
+    };
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    // Reduce-scatter: after p-1 steps, rank r owns the full sum of chunk
+    // (r+1) mod p.
+    for step in 0..p - 1 {
+        let send_chunk = (r + p - step) % p;
+        let recv_chunk = (r + p - step - 1) % p;
+        let (slo, shi) = bounds[send_chunk];
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        let (rlo, rhi) = bounds[recv_chunk];
+        for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
+            *a += b;
+        }
+    }
+    // Allgather: circulate the completed chunks.
+    for step in 0..p - 1 {
+        let send_chunk = (r + 1 + p - step) % p;
+        let recv_chunk = (r + p - step) % p;
+        let (slo, shi) = bounds[send_chunk];
+        comm.send(
+            next,
+            tag(op, 2 + (p - 1 + step) as u64),
+            buf[slo..shi].to_vec(),
+        );
+        let incoming = comm.recv(prev, tag(op, 2 + (p - 1 + step) as u64));
+        let (rlo, rhi) = bounds[recv_chunk];
+        buf[rlo..rhi].copy_from_slice(&incoming);
+    }
+}
+
+/// Barrier: zero-length allreduce.
+pub fn barrier(comm: &mut Communicator) {
+    let mut empty: Vec<f32> = Vec::new();
+    allreduce_tree(comm, &mut empty);
+}
+
+/// Near-equal chunk boundaries of an `m`-element buffer over `p` ranks
+/// (the first `m % p` chunks get one extra element).
+pub fn chunk_bounds(m: usize, p: usize) -> Vec<(usize, usize)> {
+    let base = m / p;
+    let extra = m % p;
+    let mut v = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for k in 0..p {
+        let len = base + usize::from(k < extra);
+        v.push((start, start + len));
+        start += len;
+    }
+    v
+}
+
+/// Ring reduce-scatter: on return, this rank's chunk of `buf` (per
+/// [`chunk_bounds`]) holds the global sum; other chunks hold partials.
+/// Returns the `(lo, hi)` bounds of the completed chunk.
+pub fn reduce_scatter(comm: &mut Communicator, buf: &mut [f32]) -> (usize, usize) {
+    let p = comm.size();
+    let r = comm.rank();
+    let bounds = chunk_bounds(buf.len(), p);
+    if p == 1 {
+        comm.next_op();
+        return bounds[0];
+    }
+    let op = comm.next_op();
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    for step in 0..p - 1 {
+        let send_chunk = (r + p - step) % p;
+        let recv_chunk = (r + p - step - 1) % p;
+        let (slo, shi) = bounds[send_chunk];
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        let (rlo, rhi) = bounds[recv_chunk];
+        for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
+            *a += b;
+        }
+    }
+    bounds[(r + 1) % p]
+}
+
+/// Ring allgather: every rank contributes the chunk it owns (chunk index
+/// `(rank+1) % p`, matching [`reduce_scatter`]'s output) and receives all
+/// others, leaving `buf` identical on every rank.
+pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) {
+    let p = comm.size();
+    let r = comm.rank();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    let bounds = chunk_bounds(buf.len(), p);
+    let next = (r + 1) % p;
+    let prev = (r + p - 1) % p;
+    for step in 0..p - 1 {
+        let send_chunk = (r + 1 + p - step) % p;
+        let recv_chunk = (r + p - step) % p;
+        let (slo, shi) = bounds[send_chunk];
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        let (rlo, rhi) = bounds[recv_chunk];
+        buf[rlo..rhi].copy_from_slice(&incoming);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::CommWorld;
+    use std::thread;
+
+    /// Run `f` on `p` ranks and collect per-rank results in rank order.
+    fn run_world<T: Send>(p: usize, f: impl Fn(&mut Communicator) -> T + Sync) -> Vec<T> {
+        let mut world = CommWorld::new(p);
+        let comms = world.communicators();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut c| {
+                    let f = &f;
+                    s.spawn(move || f(&mut c))
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank thread"));
+            }
+        });
+        out.into_iter().map(|o| o.expect("result")).collect()
+    }
+
+    #[test]
+    fn broadcast_all_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            let res = run_world(p, |c| {
+                let mut v = if c.rank() == 0 {
+                    vec![3.25, -1.0]
+                } else {
+                    vec![0.0; 2]
+                };
+                broadcast(c, 0, &mut v);
+                v
+            });
+            for v in res {
+                assert_eq!(v, vec![3.25, -1.0], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_nonzero_root() {
+        let res = run_world(5, |c| {
+            let mut v = if c.rank() == 3 { vec![7.0] } else { vec![0.0] };
+            broadcast(c, 3, &mut v);
+            v
+        });
+        for v in res {
+            assert_eq!(v, vec![7.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_tree_sums() {
+        for p in [1usize, 2, 3, 4, 7, 8, 16] {
+            let res = run_world(p, |c| {
+                let mut v = vec![c.rank() as f32 + 1.0; 4];
+                allreduce_tree(c, &mut v);
+                v
+            });
+            let expect = (p * (p + 1) / 2) as f32;
+            for v in res {
+                assert_eq!(v, vec![expect; 4], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ring_sums() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            // Buffer length not divisible by p on purpose.
+            let res = run_world(p, |c| {
+                let mut v: Vec<f32> = (0..11).map(|j| (c.rank() * 11 + j) as f32).collect();
+                allreduce_ring(c, &mut v);
+                v
+            });
+            let expect: Vec<f32> = (0..11)
+                .map(|j| (0..p).map(|r| (r * 11 + j) as f32).sum())
+                .collect();
+            for v in res {
+                assert_eq!(v, expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_ring_agree() {
+        let p = 6;
+        let tree = run_world(p, |c| {
+            let mut v: Vec<f32> = (0..9).map(|j| ((c.rank() + 1) * (j + 1)) as f32).collect();
+            allreduce_tree(c, &mut v);
+            v
+        });
+        let ring = run_world(p, |c| {
+            let mut v: Vec<f32> = (0..9).map(|j| ((c.rank() + 1) * (j + 1)) as f32).collect();
+            allreduce_ring(c, &mut v);
+            v
+        });
+        for (a, b) in tree.iter().zip(&ring) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross() {
+        let res = run_world(4, |c| {
+            let mut a = vec![1.0f32];
+            allreduce_tree(c, &mut a);
+            let mut b = vec![10.0f32];
+            allreduce_tree(c, &mut b);
+            barrier(c);
+            (a[0], b[0])
+        });
+        for (a, b) in res {
+            assert_eq!(a, 4.0);
+            assert_eq!(b, 40.0);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_equals_allreduce() {
+        for p in [1usize, 2, 3, 4, 6, 8] {
+            let res = run_world(p, |c| {
+                let mut v: Vec<f32> = (0..13).map(|j| ((c.rank() + 2) * (j + 1)) as f32).collect();
+                let (lo, hi) = reduce_scatter(c, &mut v);
+                // The owned chunk holds the exact global sum already.
+                let expect: Vec<f32> = (0..13)
+                    .map(|j| (0..c.size()).map(|r| ((r + 2) * (j + 1)) as f32).sum())
+                    .collect();
+                assert_eq!(&v[lo..hi], &expect[lo..hi], "owned chunk p={}", c.size());
+                allgather(c, &mut v);
+                v
+            });
+            let expect: Vec<f32> = (0..13)
+                .map(|j| (0..p).map(|r| ((r + 2) * (j + 1)) as f32).sum())
+                .collect();
+            for v in res {
+                assert_eq!(v, expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_everything() {
+        for (m, p) in [(10usize, 3usize), (7, 7), (5, 8), (0, 2)] {
+            let b = chunk_bounds(m, p);
+            assert_eq!(b.len(), p);
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b[p - 1].1, m);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_traffic_scales_logarithmically_per_rank() {
+        // Total tree-allreduce traffic = 2*(p-1)*m elements (each non-root
+        // link carries m up and m down) vs PS traffic 2*p*m: same order,
+        // but the *root bottleneck* differs — measured in the simnet crate.
+        let m = 64usize;
+        for p in [2usize, 4, 8] {
+            let mut world = CommWorld::new(p);
+            let traffic = world.traffic();
+            let comms = world.communicators();
+            thread::scope(|s| {
+                for mut c in comms {
+                    s.spawn(move || {
+                        let mut v = vec![1.0f32; m];
+                        allreduce_tree(&mut c, &mut v);
+                    });
+                }
+            });
+            assert_eq!(traffic.elements_sent(), (2 * (p - 1) * m) as u64, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # sasgd-comm
+//!
+//! Real-thread communication substrate — the stand-in for the paper's
+//! CUDA-aware OpenMPI stack (`mpiT`).
+//!
+//! * [`world`] — a process-group abstraction: `p` ranks exchanging typed
+//!   messages over crossbeam channels, with global traffic accounting;
+//! * [`collectives`] — broadcast, binomial-tree reduce/allreduce
+//!   (the `O(m log p)` pattern the paper's cost analysis assumes), a
+//!   bandwidth-optimal ring allreduce for the ablation bench, and a
+//!   barrier;
+//! * [`ps`] — a (sharded) parameter server with asynchronous `push` and
+//!   round-trip `pull`, as used by Downpour and EAMSGD.
+//!
+//! Everything is deterministic given a deterministic caller: collectives
+//! use fixed reduction orders, so "SASGD over threads" equals "SASGD
+//! simulated" bit for bit (an integration test in the workspace root checks
+//! this).
+//!
+//! ## Example: 4-rank allreduce
+//!
+//! ```
+//! use sasgd_comm::world::CommWorld;
+//! use sasgd_comm::collectives::allreduce_tree;
+//! use std::thread;
+//!
+//! let mut world = CommWorld::new(4);
+//! let mut comms = world.communicators();
+//! thread::scope(|s| {
+//!     for (r, mut comm) in comms.drain(..).enumerate() {
+//!         s.spawn(move || {
+//!             let mut v = vec![r as f32 + 1.0; 3];
+//!             allreduce_tree(&mut comm, &mut v);
+//!             assert_eq!(v, vec![10.0; 3]); // 1+2+3+4
+//!         });
+//!     }
+//! });
+//! ```
+
+pub mod collectives;
+pub mod hierarchy;
+pub mod ps;
+pub mod world;
+
+pub use hierarchy::{grouped, hierarchical_allreduce, GroupedComm};
+pub use ps::{PsClient, PsConfig, PsServer};
+pub use world::{CommWorld, Communicator};

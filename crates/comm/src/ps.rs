@@ -1,0 +1,316 @@
+//! A (sharded) parameter server over threads.
+//!
+//! Downpour and EAMSGD aggregate through a central server: learners *push*
+//! deltas asynchronously and *pull* fresh parameters. The paper's testbed
+//! runs the sharded server on host CPUs while learners live on GPUs; here
+//! each shard is a thread owning a contiguous slice of the parameter
+//! vector.
+//!
+//! The server exposes exactly two operations:
+//!
+//! * `add(delta)` — `x ← x + delta` (fire-and-forget). Downpour pushes
+//!   `−γ·g`; EAMSGD pushes the elastic difference `α(xᵢ − x̃)`.
+//! * `pull()` — round-trip fetch of the current parameters.
+//!
+//! With more than one shard, a pull can observe some shards mid-update —
+//! the *inconsistency of sharded servers* the paper calls out in §I/§III;
+//! `test_sharded_pull_can_interleave` demonstrates it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PsConfig {
+    /// Number of shard threads (the paper uses a sharded server for speed).
+    pub shards: usize,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        PsConfig { shards: 1 }
+    }
+}
+
+enum PsMsg {
+    /// `x[segment] += delta`.
+    Add(Vec<f32>),
+    /// Reply with a copy of the segment.
+    Pull(Sender<Vec<f32>>),
+    /// Stop the shard thread.
+    Shutdown,
+}
+
+/// Handle owning the shard threads; create clients with [`PsServer::client`].
+pub struct PsServer {
+    shard_txs: Vec<Sender<PsMsg>>,
+    bounds: Vec<(usize, usize)>,
+    handles: Vec<JoinHandle<Vec<f32>>>,
+    traffic: Arc<PsTraffic>,
+}
+
+/// Elements moved through the server (both directions).
+#[derive(Default)]
+pub struct PsTraffic {
+    /// Elements pushed by learners.
+    pub pushed: AtomicU64,
+    /// Elements pulled by learners.
+    pub pulled: AtomicU64,
+}
+
+impl PsServer {
+    /// Spawn shard threads seeded with `initial` parameters.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards == 0` or exceeds the parameter count.
+    pub fn spawn(initial: Vec<f32>, cfg: PsConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(
+            cfg.shards <= initial.len().max(1),
+            "more shards than parameters"
+        );
+        let m = initial.len();
+        let base = m / cfg.shards;
+        let extra = m % cfg.shards;
+        let mut bounds = Vec::with_capacity(cfg.shards);
+        let mut start = 0usize;
+        for k in 0..cfg.shards {
+            let len = base + usize::from(k < extra);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        let mut shard_txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for &(lo, hi) in &bounds {
+            let mut segment = initial[lo..hi].to_vec();
+            let (tx, rx) = unbounded::<PsMsg>();
+            shard_txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        PsMsg::Add(delta) => {
+                            for (x, d) in segment.iter_mut().zip(&delta) {
+                                *x += d;
+                            }
+                        }
+                        PsMsg::Pull(reply) => {
+                            // A dead client is fine; drop the reply.
+                            let _ = reply.send(segment.clone());
+                        }
+                        PsMsg::Shutdown => break,
+                    }
+                }
+                segment
+            }));
+        }
+        PsServer {
+            shard_txs,
+            bounds,
+            handles,
+            traffic: Arc::new(PsTraffic::default()),
+        }
+    }
+
+    /// A client endpoint for one learner.
+    pub fn client(&self) -> PsClient {
+        PsClient {
+            shard_txs: self.shard_txs.clone(),
+            bounds: self.bounds.clone(),
+            traffic: Arc::clone(&self.traffic),
+        }
+    }
+
+    /// Shared traffic counters.
+    pub fn traffic(&self) -> Arc<PsTraffic> {
+        Arc::clone(&self.traffic)
+    }
+
+    /// Stop all shards and return the final parameter vector.
+    pub fn shutdown(mut self) -> Vec<f32> {
+        for tx in &self.shard_txs {
+            let _ = tx.send(PsMsg::Shutdown);
+        }
+        let mut out = Vec::new();
+        for h in self.handles.drain(..) {
+            out.extend(h.join().expect("shard thread"));
+        }
+        out
+    }
+}
+
+/// A learner's endpoint to the server. Cheap to clone per thread.
+#[derive(Clone)]
+pub struct PsClient {
+    shard_txs: Vec<Sender<PsMsg>>,
+    bounds: Vec<(usize, usize)>,
+    traffic: Arc<PsTraffic>,
+}
+
+impl PsClient {
+    /// Asynchronous `x ← x + delta` across all shards.
+    ///
+    /// # Panics
+    /// Panics if `delta` length differs from the parameter count.
+    pub fn add(&self, delta: &[f32]) {
+        let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
+        assert_eq!(delta.len(), m, "delta length mismatch");
+        self.traffic
+            .pushed
+            .fetch_add(delta.len() as u64, Ordering::Relaxed);
+        for (tx, &(lo, hi)) in self.shard_txs.iter().zip(&self.bounds) {
+            tx.send(PsMsg::Add(delta[lo..hi].to_vec()))
+                .expect("shard hung up");
+        }
+    }
+
+    /// Downpour-style gradient push: `x ← x − γ·g` applied server-side.
+    pub fn push_gradient(&self, gamma: f32, grad: &[f32]) {
+        let delta: Vec<f32> = grad.iter().map(|g| -gamma * g).collect();
+        self.add(&delta);
+    }
+
+    /// Round-trip fetch of the full parameter vector.
+    ///
+    /// Shards answer independently: under concurrent `add`s the assembled
+    /// vector may mix old and new shard states (sharded-server
+    /// inconsistency).
+    pub fn pull(&self) -> Vec<f32> {
+        let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
+        let mut out = vec![0.0f32; m];
+        let mut pending = Vec::with_capacity(self.shard_txs.len());
+        for (tx, &(lo, hi)) in self.shard_txs.iter().zip(&self.bounds) {
+            let (rtx, rrx) = bounded(1);
+            tx.send(PsMsg::Pull(rtx)).expect("shard hung up");
+            pending.push((rrx, lo, hi));
+        }
+        for (rrx, lo, hi) in pending {
+            let seg = rrx.recv().expect("shard reply");
+            out[lo..hi].copy_from_slice(&seg);
+        }
+        self.traffic.pulled.fetch_add(m as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Parameter count served.
+    pub fn param_len(&self) -> usize {
+        self.bounds.last().map_or(0, |&(_, hi)| hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn push_pull_single_shard() {
+        let ps = PsServer::spawn(vec![1.0, 2.0, 3.0], PsConfig { shards: 1 });
+        let c = ps.client();
+        c.push_gradient(0.5, &[2.0, 0.0, -2.0]);
+        let x = c.pull();
+        assert_eq!(x, vec![0.0, 2.0, 4.0]);
+        assert_eq!(ps.shutdown(), vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_for_serial_ops() {
+        let init: Vec<f32> = (0..10).map(|x| x as f32).collect();
+        let delta: Vec<f32> = (0..10).map(|x| (x as f32) * 0.1).collect();
+        let a = {
+            let ps = PsServer::spawn(init.clone(), PsConfig { shards: 1 });
+            let c = ps.client();
+            c.add(&delta);
+            let out = c.pull();
+            ps.shutdown();
+            out
+        };
+        let b = {
+            let ps = PsServer::spawn(init, PsConfig { shards: 3 });
+            let c = ps.client();
+            c.add(&delta);
+            let out = c.pull();
+            ps.shutdown();
+            out
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_apply() {
+        // Addition commutes, so any interleaving yields the same sum.
+        let m = 100usize;
+        let ps = PsServer::spawn(vec![0.0; m], PsConfig { shards: 4 });
+        let p = 8;
+        thread::scope(|s| {
+            for _ in 0..p {
+                let c = ps.client();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        c.add(&vec![1.0; m]);
+                    }
+                });
+            }
+        });
+        let c = ps.client();
+        let x = c.pull();
+        assert!(x.iter().all(|&v| v == (p * 10) as f32));
+        ps.shutdown();
+    }
+
+    #[test]
+    fn pull_while_pushing_is_live() {
+        let m = 32usize;
+        let ps = PsServer::spawn(vec![0.0; m], PsConfig { shards: 2 });
+        let pusher = ps.client();
+        let puller = ps.client();
+        thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..100 {
+                    pusher.add(&vec![0.25; m]);
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..20 {
+                    let x = puller.pull();
+                    // Values always multiples of 0.25 within [0, 25].
+                    for v in x {
+                        assert!((0.0..=25.0).contains(&v));
+                    }
+                }
+            });
+        });
+        ps.shutdown();
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let ps = PsServer::spawn(vec![0.0; 10], PsConfig { shards: 2 });
+        let t = ps.traffic();
+        let c = ps.client();
+        c.add(&[1.0; 10]);
+        let _ = c.pull();
+        assert_eq!(t.pushed.load(Ordering::Relaxed), 10);
+        assert_eq!(t.pulled.load(Ordering::Relaxed), 10);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn empty_parameter_vector_is_ok() {
+        let ps = PsServer::spawn(Vec::new(), PsConfig { shards: 1 });
+        let c = ps.client();
+        assert_eq!(c.pull(), Vec::<f32>::new());
+        assert_eq!(c.param_len(), 0);
+        ps.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "delta length mismatch")]
+    fn bad_delta_length_panics() {
+        let ps = PsServer::spawn(vec![0.0; 4], PsConfig::default());
+        let c = ps.client();
+        c.add(&[1.0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Rank-to-rank message passing over crossbeam channels.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A point-to-point message: payload plus matching metadata.
+struct Message {
+    from: usize,
+    tag: u64,
+    payload: Vec<f32>,
+}
+
+/// Aggregate traffic counters for a world, shared by all ranks.
+#[derive(Default)]
+pub struct Traffic {
+    /// Total `f32` elements sent point-to-point.
+    pub elements: AtomicU64,
+    /// Total messages sent.
+    pub messages: AtomicU64,
+}
+
+impl Traffic {
+    /// Elements sent so far.
+    pub fn elements_sent(&self) -> u64 {
+        self.elements.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+/// A communication group of `size` ranks (MPI_COMM_WORLD analogue).
+pub struct CommWorld {
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Option<Receiver<Message>>>,
+    traffic: Arc<Traffic>,
+}
+
+impl CommWorld {
+    /// Create a world with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        CommWorld {
+            senders,
+            receivers,
+            traffic: Arc::new(Traffic::default()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Shared traffic counters.
+    pub fn traffic(&self) -> Arc<Traffic> {
+        Arc::clone(&self.traffic)
+    }
+
+    /// Take the per-rank endpoints (callable once; each goes to one thread).
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn communicators(&mut self) -> Vec<Communicator> {
+        let size = self.size();
+        (0..size)
+            .map(|rank| Communicator {
+                rank,
+                size,
+                senders: self.senders.clone(),
+                receiver: self.receivers[rank]
+                    .take()
+                    .expect("communicators() may only be called once"),
+                pending: HashMap::new(),
+                op_counter: 0,
+                traffic: Arc::clone(&self.traffic),
+            })
+            .collect()
+    }
+}
+
+/// One rank's endpoint: send to any rank, receive matched by (from, tag).
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order arrivals parked until a matching `recv`.
+    pending: HashMap<(usize, u64), VecDeque<Vec<f32>>>,
+    /// Collective sequence number; all ranks call collectives in the same
+    /// order, so equal counters identify the same operation.
+    op_counter: u64,
+    traffic: Arc<Traffic>,
+}
+
+impl Communicator {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to `dst` with a `tag` (non-blocking; channels are
+    /// unbounded).
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<f32>) {
+        self.traffic
+            .elements
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.traffic.messages.fetch_add(1, Ordering::Relaxed);
+        self.senders[dst]
+            .send(Message {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive matched on `(src, tag)`; unrelated messages are
+    /// parked for later matching (MPI-style tag matching).
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+        if let Some(q) = self.pending.get_mut(&(src, tag)) {
+            if let Some(m) = q.pop_front() {
+                return m;
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("world dropped while receiving");
+            if msg.from == src && msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
+    }
+
+    /// Next collective sequence number (advances the counter).
+    pub fn next_op(&mut self) -> u64 {
+        let op = self.op_counter;
+        self.op_counter += 1;
+        op
+    }
+
+    /// Shared traffic counters.
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        let t = thread::spawn(move || {
+            let mut c1 = c1;
+            let v = c1.recv(0, 7);
+            c1.send(0, 8, v.iter().map(|x| x * 2.0).collect());
+        });
+        c0.send(1, 7, vec![1.0, 2.0]);
+        let back = c0.recv(1, 8);
+        assert_eq!(back, vec![2.0, 4.0]);
+        t.join().expect("peer thread");
+    }
+
+    #[test]
+    fn out_of_order_matching() {
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        let t = thread::spawn(move || {
+            let c1 = c1;
+            // Send tag 2 first, then tag 1.
+            c1.send(0, 2, vec![2.0]);
+            c1.send(0, 1, vec![1.0]);
+        });
+        t.join().expect("peer thread");
+        // Receive in the opposite order.
+        assert_eq!(c0.recv(1, 1), vec![1.0]);
+        assert_eq!(c0.recv(1, 2), vec![2.0]);
+    }
+
+    #[test]
+    fn fifo_within_same_tag() {
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        c1.send(0, 5, vec![1.0]);
+        c1.send(0, 5, vec![2.0]);
+        // Force both into the pending map by receiving another tag after.
+        c1.send(0, 9, vec![9.0]);
+        assert_eq!(c0.recv(1, 9), vec![9.0]);
+        assert_eq!(c0.recv(1, 5), vec![1.0]);
+        assert_eq!(c0.recv(1, 5), vec![2.0]);
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let mut world = CommWorld::new(2);
+        let traffic = world.traffic();
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        c1.send(0, 1, vec![0.0; 10]);
+        let _ = c0.recv(1, 1);
+        assert_eq!(traffic.elements_sent(), 10);
+        assert_eq!(traffic.messages_sent(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only be called once")]
+    fn communicators_single_use() {
+        let mut world = CommWorld::new(1);
+        let _a = world.communicators();
+        let _b = world.communicators();
+    }
+}

@@ -1,0 +1,107 @@
+//! One-shot model averaging (Zinkevich et al., NIPS 2010).
+//!
+//! `p` learners train *independently* on disjoint shards; parameters are
+//! averaged only at the end (we also evaluate the running average each
+//! epoch so its trajectory can be plotted). Section III of the paper
+//! reports this heuristic "results in very poor training and test
+//! accuracies" relative to SASGD's per-interval aggregation — an ablation
+//! this module lets the benches reproduce.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+
+use crate::history::History;
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Run independent learners with end-of-training averaging.
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+) -> History {
+    assert!(p >= 1);
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let x0 = learners[0].model.param_vector();
+    for l in &mut learners {
+        l.model.write_params(&x0);
+    }
+    // A spare replica used only to evaluate the averaged parameters.
+    let mut avg_model = factory();
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let shards = train_set.shards(p);
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let mut history = History::new(format!("ModelAvg(p={p})"), p, 1);
+    let mut samples = 0u64;
+
+    for epoch in 1..=cfg.epochs {
+        let gamma_now = cfg.gamma_at((epoch - 1) as f64);
+        for (l, shard) in learners.iter_mut().zip(&shards) {
+            let batches: Vec<Vec<usize>> = shard.epoch_iter(cfg.batch_size, &mut l.rng).collect();
+            for idx in batches {
+                samples += idx.len() as u64;
+                let j = l.draw_jitter(&cfg.jitter);
+                l.local_step(train_set, &idx, gamma_now, step_s, j);
+                l.gs.iter_mut().for_each(|g| *g = 0.0);
+            }
+            l.clock += cfg.cost.epoch_overhead;
+        }
+        // Evaluate the average of all replicas (communication-free during
+        // training; the single final reduction is charged on the last
+        // epoch).
+        let mut avg = vec![0.0f32; m];
+        for l in &learners {
+            let v = l.model.param_vector();
+            for (a, &b) in avg.iter_mut().zip(&v) {
+                *a += b / p as f32;
+            }
+        }
+        avg_model.write_params(&avg);
+        if epoch == cfg.epochs {
+            let ar = cfg.cost.allreduce_tree(m, p);
+            for l in &mut learners {
+                l.charge_comm(ar.seconds);
+            }
+        }
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut avg_model, epoch as f64, comp, comm, samples);
+        history.records.push(rec);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn p1_averaging_is_just_sgd() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(80, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run(&mut factory, &train, &test, &cfg, 1);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+    }
+
+    #[test]
+    fn communication_happens_once() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(64, 16, 2));
+        let mut cfg = TrainConfig::new(3, 8, 0.02, 1);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let h = run(&mut factory, &train, &test, &cfg, 4);
+        let comm_mid = h.records[1].comm_seconds;
+        let comm_end = h.records.last().expect("r").comm_seconds;
+        assert_eq!(comm_mid, 0.0, "no traffic during training");
+        assert!(comm_end > 0.0, "one final reduction");
+    }
+}

@@ -1,0 +1,246 @@
+//! Downpour ASGD (Dean et al., NIPS 2012) — the paper's main baseline.
+//!
+//! Asynchronous learners, each iterating the *full* dataset in its own
+//! order (hence the paper's observation that Downpour "report[s] accuracy
+//! numbers after every p epochs" of collective progress). Every `T`
+//! minibatches a learner pushes its accumulated gradient to the parameter
+//! server — which applies `x ← x − γ·gs` immediately — and pulls the
+//! current parameters back. Between a learner's pull and its next push,
+//! other learners keep mutating the server, so the pushed gradient is
+//! *stale*; the event-driven execution below realizes exactly that
+//! interleaving in virtual-time order, with staleness driven by the jitter
+//! model's speed variation.
+
+use std::collections::VecDeque;
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+use sasgd_simnet::{EventQueue, VirtualTime};
+
+use crate::history::{History, StalenessStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// A per-learner infinite minibatch stream over the full dataset
+/// (reshuffled every pass).
+pub(crate) struct BatchStream {
+    pending: VecDeque<Vec<usize>>,
+    n: usize,
+    batch: usize,
+    /// Completed full passes.
+    pub(crate) passes: u64,
+}
+
+impl BatchStream {
+    pub(crate) fn new(n: usize, batch: usize) -> Self {
+        BatchStream {
+            pending: VecDeque::new(),
+            n,
+            batch,
+            passes: 0,
+        }
+    }
+
+    /// Next minibatch of indices, reshuffling when a pass completes.
+    pub(crate) fn next(&mut self, rng: &mut sasgd_tensor::SeedRng) -> Vec<usize> {
+        if self.pending.is_empty() {
+            let mut order: Vec<usize> = (0..self.n).collect();
+            rng.shuffle(&mut order);
+            self.pending = order.chunks(self.batch).map(<[usize]>::to_vec).collect();
+            self.passes += 1;
+        }
+        self.pending.pop_front().expect("refilled stream")
+    }
+
+    /// Passes completed (a pass counts once its last batch is consumed).
+    pub(crate) fn completed_passes(&self) -> u64 {
+        if self.pending.is_empty() {
+            self.passes
+        } else {
+            self.passes.saturating_sub(1)
+        }
+    }
+}
+
+struct Block {
+    learner: usize,
+    start: f64,
+}
+
+/// Run Downpour.
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let mut ps: Vec<f32> = learners[0].model.param_vector();
+    for l in &mut learners {
+        l.model.write_params(&ps);
+    }
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let n = train_set.len();
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
+    let target_samples = (cfg.epochs as u64) * (n as u64);
+
+    let mut streams: Vec<BatchStream> = (0..p)
+        .map(|_| BatchStream::new(n, cfg.batch_size))
+        .collect();
+    let mut queue: EventQueue<Block> = EventQueue::new();
+    for (id, l) in learners.iter_mut().enumerate() {
+        let dur = block_duration(l, t, step_s, cfg);
+        queue.push(
+            VirtualTime(dur),
+            Block {
+                learner: id,
+                start: 0.0,
+            },
+        );
+    }
+
+    let mut history = History::new(format!("Downpour(p={p},T={t})"), p, t);
+    let mut samples = 0u64;
+    let mut recorded_passes = 0u64;
+    // Staleness bookkeeping: how many server updates landed between a
+    // learner's pull and its next push.
+    let mut server_version = 0u64;
+    let mut pulled_version = vec![0u64; p];
+    let mut staleness_obs: Vec<u64> = Vec::new();
+
+    while let Some((tv, block)) = queue.pop() {
+        let id = block.learner;
+        // Execute the block's math: T minibatches of local SGD against the
+        // parameters pulled at the previous sync.
+        let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
+        for _ in 0..t {
+            let idx = {
+                let l = &mut learners[id];
+                streams[id].next(&mut l.rng)
+            };
+            samples += idx.len() as u64;
+            learners[id].local_step(train_set, &idx, gamma_now, 0.0, 1.0);
+        }
+        {
+            let l = &mut learners[id];
+            l.compute_s += tv.seconds() - block.start;
+            l.clock = tv.seconds();
+            // Push: the server applies the accumulated gradient at once.
+            staleness_obs.push(server_version - pulled_version[id]);
+            for (x, &g) in ps.iter_mut().zip(&l.gs) {
+                *x -= gamma_now * g;
+            }
+            server_version += 1;
+            l.gs.iter_mut().for_each(|g| *g = 0.0);
+            // Pull: fresh (possibly already-stale-tomorrow) parameters.
+            l.charge_comm(comm_round);
+            l.model.write_params(&ps);
+            pulled_version[id] = server_version;
+        }
+        // The paper records accuracy when one learner finishes a pass.
+        if id == 0 && streams[0].completed_passes() > recorded_passes {
+            recorded_passes = streams[0].completed_passes();
+            let epoch = samples as f64 / n as f64;
+            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+            let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+            history.records.push(rec);
+        }
+        if samples < target_samples {
+            let start = learners[id].clock;
+            let dur = block_duration(&mut learners[id], t, step_s, cfg);
+            queue.push(VirtualTime(start + dur), Block { learner: id, start });
+        }
+    }
+    // Guarantee a final record even if learner 0 did not end on a pass
+    // boundary.
+    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
+        let epoch = samples as f64 / n as f64;
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+        history.records.push(rec);
+    }
+    history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history
+}
+
+/// Duration of the next `t`-minibatch compute block (jitter drawn now so
+/// completion order is known to the event queue up front).
+pub(crate) fn block_duration(l: &mut Learner, t: usize, step_s: f64, cfg: &TrainConfig) -> f64 {
+    let mut dur = 0.0;
+    for _ in 0..t {
+        dur += step_s * l.speed * l.draw_jitter(&cfg.jitter);
+    }
+    dur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn batch_stream_passes_count_on_consumption() {
+        let mut rng = SeedRng::new(1);
+        let mut s = BatchStream::new(10, 4);
+        assert_eq!(s.completed_passes(), 0);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.extend(s.next(&mut rng)); // 4 + 4 + 2 consumes one pass
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.completed_passes(), 1);
+        let _ = s.next(&mut rng);
+        assert_eq!(s.completed_passes(), 1, "mid-pass");
+    }
+
+    #[test]
+    fn single_learner_downpour_learns() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(80, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run(&mut factory, &train, &test, &cfg, 1, 1);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+        assert!(
+            h.records.last().expect("r").comm_seconds > 0.0,
+            "PS traffic even at p=1"
+        );
+    }
+
+    #[test]
+    fn records_are_p_epochs_apart() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(64, 16, 2));
+        let mut cfg = TrainConfig::new(8, 8, 0.02, 42);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let h = run(&mut factory, &train, &test, &cfg, 4, 2);
+        assert!(h.records.len() >= 2);
+        let gap = h.records[1].epoch - h.records[0].epoch;
+        assert!(
+            (gap - 4.0).abs() < 0.5,
+            "records ~p epochs apart, gap {gap}"
+        );
+    }
+
+    #[test]
+    fn total_samples_respect_epoch_budget() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(40, 10, 2));
+        let mut cfg = TrainConfig::new(3, 8, 0.02, 1);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let h = run(&mut factory, &train, &test, &cfg, 2, 1);
+        let total = h.records.last().expect("r").samples;
+        // Budget 3 × 40 = 120, with at most one block (8 samples × 2
+        // learners) of overshoot.
+        assert!((120..=120 + 32).contains(&total), "samples {total}");
+    }
+}

@@ -1,0 +1,182 @@
+//! EAMSGD — elastic-averaging asynchronous SGD (Zhang, Choromanska, LeCun,
+//! NIPS 2015), the paper's stronger baseline.
+//!
+//! Each learner runs *momentum* SGD on its own replica; every `τ` (= `T`)
+//! minibatches it exchanges an elastic force with a center variable `x̃`
+//! kept on the parameter server:
+//!
+//! ```text
+//! diff = α (xᵢ − x̃);   xᵢ ← xᵢ − diff;   x̃ ← x̃ + diff
+//! ```
+//!
+//! The default moving rate is `α = β/p` with `β = 0.9`, as recommended in
+//! the EAMSGD paper. Communication cost per round equals a parameter-server
+//! round trip (pull `x̃`, push `diff`). Asynchrony is realized the same way
+//! as in [`super::downpour`]: completion events ordered by virtual time.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+use sasgd_simnet::{EventQueue, VirtualTime};
+
+use crate::algorithms::downpour::{block_duration, BatchStream};
+use crate::history::{History, StalenessStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+struct Block {
+    learner: usize,
+    start: f64,
+}
+
+/// Run EAMSGD.
+#[allow(clippy::too_many_arguments)] // mirrors the Eamsgd variant's fields
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    moving_rate: Option<f32>,
+    momentum: f32,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+    let alpha = moving_rate.unwrap_or(0.9 / p as f32);
+    assert!(alpha > 0.0 && alpha <= 1.0, "moving rate out of range");
+
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let mut center: Vec<f32> = learners[0].model.param_vector();
+    for l in &mut learners {
+        l.model.write_params(&center);
+    }
+    let mut velocities: Vec<Vec<f32>> = vec![vec![0.0; m]; p];
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let n = train_set.len();
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
+    let target_samples = (cfg.epochs as u64) * (n as u64);
+
+    let mut streams: Vec<BatchStream> = (0..p)
+        .map(|_| BatchStream::new(n, cfg.batch_size))
+        .collect();
+    let mut queue: EventQueue<Block> = EventQueue::new();
+    for (id, l) in learners.iter_mut().enumerate() {
+        let dur = block_duration(l, t, step_s, cfg);
+        queue.push(
+            VirtualTime(dur),
+            Block {
+                learner: id,
+                start: 0.0,
+            },
+        );
+    }
+
+    let mut history = History::new(format!("EAMSGD(p={p},T={t})"), p, t);
+    let mut samples = 0u64;
+    let mut recorded_passes = 0u64;
+    let mut center_version = 0u64;
+    let mut pulled_version = vec![0u64; p];
+    let mut staleness_obs: Vec<u64> = Vec::new();
+
+    while let Some((tv, block)) = queue.pop() {
+        let id = block.learner;
+        // τ momentum-SGD steps on the local replica.
+        let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
+        for _ in 0..t {
+            let idx = {
+                let l = &mut learners[id];
+                streams[id].next(&mut l.rng)
+            };
+            samples += idx.len() as u64;
+            let (g, _) = learners[id].compute_gradient(train_set, &idx);
+            let mut params = learners[id].model.param_vector();
+            let v = &mut velocities[id];
+            for ((vi, pi), &gi) in v.iter_mut().zip(params.iter_mut()).zip(&g) {
+                *vi = momentum * *vi - gamma_now * gi;
+                *pi += *vi;
+            }
+            learners[id].model.write_params(&params);
+        }
+        {
+            let l = &mut learners[id];
+            l.compute_s += tv.seconds() - block.start;
+            l.clock = tv.seconds();
+            // Elastic exchange with the center.
+            staleness_obs.push(center_version - pulled_version[id]);
+            center_version += 1;
+            pulled_version[id] = center_version;
+            let mut params = l.model.param_vector();
+            for (pi, ci) in params.iter_mut().zip(center.iter_mut()) {
+                let diff = alpha * (*pi - *ci);
+                *pi -= diff;
+                *ci += diff;
+            }
+            l.model.write_params(&params);
+            l.charge_comm(comm_round);
+        }
+        if id == 0 && streams[0].completed_passes() > recorded_passes {
+            recorded_passes = streams[0].completed_passes();
+            let epoch = samples as f64 / n as f64;
+            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+            let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+            history.records.push(rec);
+        }
+        if samples < target_samples {
+            let start = learners[id].clock;
+            let dur = block_duration(&mut learners[id], t, step_s, cfg);
+            queue.push(VirtualTime(start + dur), Block { learner: id, start });
+        }
+    }
+    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
+        let epoch = samples as f64 / n as f64;
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+        history.records.push(rec);
+    }
+    history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn learns_tiny_cifar_with_two_learners() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(80, 40, 3));
+        let mut cfg = TrainConfig::new(8, 8, 0.02, 42);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run(&mut factory, &train, &test, &cfg, 2, 2, None, 0.9);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+    }
+
+    #[test]
+    fn center_tracks_learners() {
+        // With α = 1 and p = 1 the center equals the learner after every
+        // exchange, so EAMSGD degenerates to momentum SGD — and should
+        // still learn.
+        let (train, test) = generate(&CifarLikeConfig::tiny(60, 20, 2));
+        let mut cfg = TrainConfig::new(6, 8, 0.02, 3);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(9));
+        let h = run(&mut factory, &train, &test, &cfg, 1, 1, Some(1.0), 0.9);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be")]
+    fn bad_momentum_rejected() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(16, 8, 2));
+        let cfg = TrainConfig::new(1, 8, 0.02, 3);
+        let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(9));
+        run(&mut factory, &train, &test, &cfg, 1, 1, None, 1.5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Hierarchical SASGD — a two-level extension of Algorithm 1.
+//!
+//! The paper's 16-learner runs place two learners per GPU; its conclusion
+//! expects GPU counts to keep growing. At that point one flat allreduce
+//! over all learners wastes the locality: learners sharing a device (or a
+//! PCIe switch) can aggregate almost for free. This module implements the
+//! natural two-level scheme:
+//!
+//! * **level 1** — every `t_local` minibatches, each *group* of
+//!   `per_group` learners aggregates its gradient sums over the fast local
+//!   fabric and applies the global step to a group-local parameter copy
+//!   (exactly Algorithm 1 run per group);
+//! * **level 2** — every `t_global` level-1 rounds, the group parameter
+//!   copies are averaged across groups over the slower global fabric
+//!   (periodic model averaging, which §III shows is what Algorithm 1
+//!   simulates).
+//!
+//! With `groups = 1` this reduces to flat SASGD with `T = t_local`
+//! (verified by a test); with `t_global = 1` it is flat SASGD at twice the
+//! granularity. The interesting regime is `t_global > 1`: global traffic
+//! drops by `t_global×` while staleness across groups stays explicitly
+//! bounded by `t_local · t_global`.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+
+use crate::algorithms::GammaP;
+use crate::history::{History, StalenessStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Speed advantage of the intra-group fabric over the global GPU fabric
+/// (learners in a group share a device or PCIe switch).
+const LOCAL_FABRIC_SPEEDUP: f64 = 8.0;
+
+/// Run hierarchical SASGD with `groups × per_group` learners.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    groups: usize,
+    per_group: usize,
+    t_local: usize,
+    t_global: usize,
+    gamma_p: GammaP,
+) -> History {
+    assert!(groups >= 1 && per_group >= 1, "need at least one learner");
+    assert!(t_local >= 1 && t_global >= 1, "intervals must be positive");
+    let p = groups * per_group;
+
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let x0 = learners[0].model.param_vector();
+    let bcast = cfg.cost.broadcast(m, p);
+    for l in &mut learners {
+        l.model.write_params(&x0);
+        l.charge_comm(bcast);
+    }
+    // One parameter copy per group (level-1 state).
+    let mut group_x: Vec<Vec<f32>> = (0..groups).map(|_| x0.clone()).collect();
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let shards = train_set.shards(p);
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(steps_per_epoch > 0, "shards too small for batch size");
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let local_ar = cfg.cost.allreduce_tree(m, per_group).seconds / LOCAL_FABRIC_SPEEDUP;
+    let global_ar = cfg.cost.allreduce_tree(m, groups).seconds;
+
+    let mut history = History::new(
+        format!("H-SASGD(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
+        p,
+        t_local * t_global,
+    );
+    let mut samples = 0u64;
+    let mut since_local = 0usize;
+    let mut local_rounds = 0usize;
+    let mut aggregations = 0u64;
+
+    for epoch in 1..=cfg.epochs {
+        let mut iters: Vec<Vec<Vec<usize>>> = learners
+            .iter_mut()
+            .zip(&shards)
+            .map(|(l, s)| {
+                s.epoch_iter(cfg.batch_size, &mut l.rng)
+                    .take(steps_per_epoch)
+                    .collect()
+            })
+            .collect();
+        for step in 0..steps_per_epoch {
+            let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            for (l, batches) in learners.iter_mut().zip(&mut iters) {
+                let idx = &batches[step];
+                samples += idx.len() as u64;
+                let j = l.draw_jitter(&cfg.jitter);
+                l.local_step(train_set, idx, gamma_now, step_s, j);
+            }
+            since_local += 1;
+            if since_local == t_local {
+                let gp = gamma_p.resolve(gamma_now, per_group);
+                level1(&mut learners, &mut group_x, groups, per_group, gp, local_ar);
+                since_local = 0;
+                local_rounds += 1;
+                aggregations += 1;
+                if local_rounds == t_global {
+                    level2(&mut learners, &mut group_x, per_group, global_ar);
+                    local_rounds = 0;
+                }
+            }
+        }
+        for l in &mut learners {
+            l.clock += cfg.cost.epoch_overhead;
+        }
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut learners[0].model, epoch as f64, comp, comm, samples);
+        history.records.push(rec);
+    }
+    let bound = (t_local * t_global) as f64;
+    history.staleness = Some(StalenessStats {
+        mean: bound,
+        max: bound as u64,
+        pushes: aggregations,
+    });
+    history
+}
+
+/// Level-1: per-group barrier + allreduce of `gs`, group step, resync.
+fn level1(
+    learners: &mut [Learner],
+    group_x: &mut [Vec<f32>],
+    groups: usize,
+    per_group: usize,
+    gamma_p: f32,
+    local_ar_seconds: f64,
+) {
+    for g in 0..groups {
+        let members = &mut learners[g * per_group..(g + 1) * per_group];
+        let t_max = members.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
+        // Binomial-tree-order sum of the members' gs.
+        let pg = members.len();
+        let mut bufs: Vec<Vec<f32>> = members.iter().map(|l| l.gs.clone()).collect();
+        let mut gap = 1usize;
+        while gap < pg {
+            let mut i = 0;
+            while i + gap < pg {
+                let (lo, hi) = bufs.split_at_mut(i + gap);
+                for (a, &b) in lo[i].iter_mut().zip(hi[0].iter()) {
+                    *a += b;
+                }
+                i += 2 * gap;
+            }
+            gap *= 2;
+        }
+        let total = bufs.swap_remove(0);
+        for (xi, &gv) in group_x[g].iter_mut().zip(&total) {
+            *xi -= gamma_p * gv;
+        }
+        for l in members.iter_mut() {
+            let wait = t_max - l.clock;
+            l.charge_comm(wait + local_ar_seconds);
+            l.model.write_params(&group_x[g]);
+            l.gs.iter_mut().for_each(|gv| *gv = 0.0);
+        }
+    }
+}
+
+/// Level-2: global barrier + model averaging across the group copies.
+fn level2(
+    learners: &mut [Learner],
+    group_x: &mut [Vec<f32>],
+    per_group: usize,
+    global_ar_seconds: f64,
+) {
+    let groups = group_x.len();
+    let t_max = learners.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
+    let m = group_x[0].len();
+    let mut avg = vec![0.0f32; m];
+    for gx in group_x.iter() {
+        for (a, &b) in avg.iter_mut().zip(gx) {
+            *a += b / groups as f32;
+        }
+    }
+    for gx in group_x.iter_mut() {
+        gx.copy_from_slice(&avg);
+    }
+    for (id, l) in learners.iter_mut().enumerate() {
+        let wait = t_max - l.clock;
+        l.charge_comm(wait + global_ar_seconds);
+        l.model.write_params(&group_x[id / per_group]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    fn quiet_cfg(epochs: usize, gamma: f32) -> TrainConfig {
+        let mut cfg = TrainConfig::new(epochs, 8, gamma, 42);
+        cfg.jitter = JitterModel::none();
+        cfg
+    }
+
+    #[test]
+    fn single_group_equals_flat_sasgd() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(128, 32, 3));
+        let cfg = quiet_cfg(3, 0.05);
+        let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let flat =
+            crate::algorithms::sasgd::run(&mut f1, &train, &test, &cfg, 4, 2, GammaP::OverP, None);
+        let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let hier = run(&mut f2, &train, &test, &cfg, 1, 4, 2, 3, GammaP::OverP);
+        for (a, b) in flat.records.iter().zip(&hier.records) {
+            assert_eq!(
+                a.train_loss, b.train_loss,
+                "one group must equal flat SASGD"
+            );
+            assert_eq!(a.test_acc, b.test_acc);
+        }
+    }
+
+    #[test]
+    fn hierarchical_learns_and_spends_less_on_global_comm() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(160, 60, 3));
+        let cfg = quiet_cfg(8, 0.05);
+        // Flat SASGD at T=2 vs hierarchy: local sync every 2 steps, global
+        // every 4 local rounds.
+        let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let flat =
+            crate::algorithms::sasgd::run(&mut f1, &train, &test, &cfg, 4, 2, GammaP::OverP, None);
+        let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let hier = run(&mut f2, &train, &test, &cfg, 2, 2, 2, 4, GammaP::OverP);
+        assert!(
+            hier.final_test_acc() > 0.5,
+            "acc {:.2}",
+            hier.final_test_acc()
+        );
+        // Accuracy should be in the same league as flat SASGD...
+        assert!(
+            hier.final_test_acc() > flat.final_test_acc() - 0.2,
+            "hier {:.2} vs flat {:.2}",
+            hier.final_test_acc(),
+            flat.final_test_acc()
+        );
+        // ...while the observed learner communicates less (cheap local
+        // rounds replace most global ones).
+        let flat_comm = flat.records.last().expect("r").comm_seconds;
+        let hier_comm = hier.records.last().expect("r").comm_seconds;
+        assert!(
+            hier_comm < flat_comm,
+            "hier comm {hier_comm} vs flat {flat_comm}"
+        );
+    }
+
+    #[test]
+    fn staleness_bound_is_product_of_intervals() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(96, 24, 2));
+        let cfg = quiet_cfg(2, 0.02);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+        let h = run(&mut f, &train, &test, &cfg, 2, 2, 3, 2, GammaP::OverP);
+        let st = h.staleness.expect("hierarchical records staleness");
+        assert_eq!(st.max, 6, "bound = t_local × t_global");
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals must be positive")]
+    fn zero_interval_rejected() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(32, 8, 2));
+        let cfg = quiet_cfg(1, 0.02);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+        run(&mut f, &train, &test, &cfg, 2, 2, 0, 1, GammaP::OverP);
+    }
+}

@@ -1,0 +1,218 @@
+//! The distributed SGD algorithms the paper implements and compares.
+
+use crate::compress::Compression;
+
+pub(crate) mod averaging;
+pub(crate) mod downpour;
+pub(crate) mod eamsgd;
+pub(crate) mod hierarchical;
+pub(crate) mod sasgd;
+pub(crate) mod sequential;
+
+/// How SASGD's global learning rate `γp` is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GammaP {
+    /// `γp = γ` — the setting of the paper's theory (Theorem 2/4,
+    /// Corollary 3). Sums `p·T` minibatch gradients at full rate; only
+    /// stable for small `γ·p·T`.
+    SameAsGamma,
+    /// `γp = γ/p` — averages the learners' contributions; equivalent to
+    /// per-interval model averaging of the locally updated replicas
+    /// (§III: "Alg. 1 simulates model averaging"). The practical default.
+    OverP,
+    /// An explicit value.
+    Fixed(f32),
+}
+
+impl GammaP {
+    /// Resolve to a concrete rate.
+    pub fn resolve(self, gamma: f32, p: usize) -> f32 {
+        match self {
+            GammaP::SameAsGamma => gamma,
+            GammaP::OverP => gamma / p as f32,
+            GammaP::Fixed(v) => v,
+        }
+    }
+}
+
+/// A distributed training algorithm plus its parallelism parameters.
+#[derive(Clone, Copy, Debug)]
+pub enum Algorithm {
+    /// Plain sequential SGD — the paper's baseline ("SGD", also the p=1
+    /// rows of every figure).
+    Sequential,
+    /// Sparse-aggregation SGD (Algorithm 1): `p` learners over data
+    /// shards, `T` local steps between allreduce aggregations.
+    Sasgd {
+        /// Learners.
+        p: usize,
+        /// Aggregation interval (T=1 is classic synchronous SGD).
+        t: usize,
+        /// Global learning-rate policy.
+        gamma_p: GammaP,
+    },
+    /// SASGD with gradient compression (error feedback) applied to each
+    /// learner's accumulated gradient before aggregation — the natural
+    /// extension of the paper's sparse-aggregation direction.
+    SasgdCompressed {
+        /// Learners.
+        p: usize,
+        /// Aggregation interval.
+        t: usize,
+        /// Global learning-rate policy.
+        gamma_p: GammaP,
+        /// Compression scheme.
+        compression: Compression,
+    },
+    /// Two-level SASGD: groups of learners aggregate over a fast local
+    /// fabric every `t_local` steps and average across groups every
+    /// `t_global` local rounds — locality-aware scaling for nodes running
+    /// several learners per device (the paper's p=16 setup).
+    HierarchicalSasgd {
+        /// Number of groups.
+        groups: usize,
+        /// Learners per group (`p = groups × per_group`).
+        per_group: usize,
+        /// Local aggregation interval (minibatches).
+        t_local: usize,
+        /// Global averaging interval (local rounds).
+        t_global: usize,
+        /// Global learning-rate policy for the level-1 step.
+        gamma_p: GammaP,
+    },
+    /// Downpour ASGD: asynchronous learners over the full dataset pushing
+    /// accumulated gradients to a parameter server every `t` minibatches.
+    Downpour {
+        /// Learners.
+        p: usize,
+        /// Minibatches between push/pull rounds.
+        t: usize,
+    },
+    /// Elastic-averaging ASGD (EAMSGD): momentum learners linked to a
+    /// center variable by an elastic force, synchronizing every `t` steps.
+    Eamsgd {
+        /// Learners.
+        p: usize,
+        /// Communication period τ.
+        t: usize,
+        /// Elastic moving rate α (defaults to `0.9/p` as in the EAMSGD
+        /// paper when `None`).
+        moving_rate: Option<f32>,
+        /// Momentum δ for the local SGD updates.
+        momentum: f32,
+    },
+    /// One-shot model averaging (Zinkevich et al.): independent learners,
+    /// parameters averaged only for evaluation/at the end — the heuristic
+    /// §III reports as giving "very poor training and test accuracies".
+    ModelAverageOnce {
+        /// Learners.
+        p: usize,
+    },
+}
+
+impl Algorithm {
+    /// Number of learners.
+    pub fn learners(&self) -> usize {
+        match *self {
+            Algorithm::Sequential => 1,
+            Algorithm::Sasgd { p, .. }
+            | Algorithm::SasgdCompressed { p, .. }
+            | Algorithm::Downpour { p, .. }
+            | Algorithm::Eamsgd { p, .. }
+            | Algorithm::ModelAverageOnce { p } => p,
+            Algorithm::HierarchicalSasgd {
+                groups, per_group, ..
+            } => groups * per_group,
+        }
+    }
+
+    /// Aggregation interval (1 where not applicable).
+    pub fn interval(&self) -> usize {
+        match *self {
+            Algorithm::Sasgd { t, .. }
+            | Algorithm::SasgdCompressed { t, .. }
+            | Algorithm::Downpour { t, .. }
+            | Algorithm::Eamsgd { t, .. } => t,
+            Algorithm::HierarchicalSasgd {
+                t_local, t_global, ..
+            } => t_local * t_global,
+            _ => 1,
+        }
+    }
+
+    /// Display label matching the paper's plot legends.
+    pub fn label(&self) -> String {
+        match *self {
+            Algorithm::Sequential => "SGD".into(),
+            Algorithm::Sasgd { p, t, .. } => format!("SASGD(p={p},T={t})"),
+            Algorithm::SasgdCompressed {
+                p, t, compression, ..
+            } => match compression {
+                Compression::TopK { ratio } => {
+                    format!("SASGD-top{:.0}%(p={p},T={t})", ratio * 100.0)
+                }
+                Compression::Uniform8Bit => format!("SASGD-8bit(p={p},T={t})"),
+            },
+            Algorithm::HierarchicalSasgd {
+                groups,
+                per_group,
+                t_local,
+                t_global,
+                ..
+            } => {
+                format!("H-SASGD(g={groups}x{per_group},Tl={t_local},Tg={t_global})")
+            }
+            Algorithm::Downpour { p, t } => format!("Downpour(p={p},T={t})"),
+            Algorithm::Eamsgd { p, t, .. } => format!("EAMSGD(p={p},T={t})"),
+            Algorithm::ModelAverageOnce { p } => format!("ModelAvg(p={p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_p_policies() {
+        assert_eq!(GammaP::SameAsGamma.resolve(0.1, 8), 0.1);
+        assert_eq!(GammaP::OverP.resolve(0.1, 8), 0.0125);
+        assert_eq!(GammaP::Fixed(0.5).resolve(0.1, 8), 0.5);
+    }
+
+    #[test]
+    fn labels_and_accessors() {
+        let a = Algorithm::Sasgd {
+            p: 8,
+            t: 50,
+            gamma_p: GammaP::OverP,
+        };
+        assert_eq!(a.label(), "SASGD(p=8,T=50)");
+        assert_eq!(a.learners(), 8);
+        assert_eq!(a.interval(), 50);
+        assert_eq!(Algorithm::Sequential.learners(), 1);
+        assert_eq!(Algorithm::Sequential.interval(), 1);
+        assert!(Algorithm::Downpour { p: 2, t: 1 }
+            .label()
+            .contains("Downpour"));
+        let comp = Algorithm::SasgdCompressed {
+            p: 4,
+            t: 8,
+            gamma_p: GammaP::OverP,
+            compression: Compression::TopK { ratio: 0.1 },
+        };
+        assert_eq!(comp.label(), "SASGD-top10%(p=4,T=8)");
+        assert_eq!(comp.learners(), 4);
+        assert_eq!(comp.interval(), 8);
+        let h = Algorithm::HierarchicalSasgd {
+            groups: 2,
+            per_group: 4,
+            t_local: 5,
+            t_global: 3,
+            gamma_p: GammaP::OverP,
+        };
+        assert_eq!(h.learners(), 8);
+        assert_eq!(h.interval(), 15);
+        assert!(h.label().starts_with("H-SASGD"));
+    }
+}

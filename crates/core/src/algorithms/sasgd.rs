@@ -1,0 +1,291 @@
+//! SASGD — Algorithm 1 of the paper.
+//!
+//! `p` learners over disjoint data shards. Each learner runs `T` local
+//! minibatch steps at rate `γ`, accumulating raw gradients into `gs`; a
+//! global allreduce then sums the `gs` of all learners and every learner
+//! applies `x ← x − γp·Σgs` to the *pre-interval* parameters before
+//! continuing from the common `x`. The interval `T` amortizes the
+//! communication; the allreduce replaces the parameter server.
+//!
+//! Bulk-synchrony means each aggregation waits for the slowest learner —
+//! the straggler penalty is charged to every learner's virtual clock as
+//! communication (wait) time, matching how the paper measures "time spent
+//! in communication" from a learner's perspective.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+
+use crate::algorithms::GammaP;
+use crate::compress::Compression;
+use crate::history::{History, StalenessStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Run SASGD. `T = 1` is classic bulk-synchronous SGD; `p = 1` degrades to
+/// sequential SGD (with the global step folded in). With `compression`,
+/// each learner's accumulated gradient is compressed (with error feedback)
+/// before the allreduce — the `SasgdCompressed` extension.
+#[allow(clippy::too_many_arguments)] // mirrors the Algorithm variants' fields
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    compression: Option<Compression>,
+) -> History {
+    assert!(p >= 1, "need at least one learner");
+    assert!(t >= 1, "aggregation interval must be positive");
+
+    // Build p identically initialized replicas; broadcast learner 0's
+    // parameters to the rest (Algorithm 1's broadcast step).
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let mut x: Vec<f32> = learners[0].model.param_vector();
+    let bcast = cfg.cost.broadcast(m, p);
+    for l in &mut learners {
+        l.model.write_params(&x);
+        l.charge_comm(bcast);
+    }
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let shards = train_set.shards(p);
+    // Bulk-synchrony needs aligned step counts: truncate every learner's
+    // epoch to the smallest shard's whole-minibatch count.
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(
+        steps_per_epoch > 0,
+        "shards too small: {} samples over {p} learners at batch {}",
+        train_set.len(),
+        cfg.batch_size
+    );
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let ar_seconds = match compression {
+        Some(c) => {
+            cfg.cost
+                .allreduce_tree_elements(c.wire_elements(m), p)
+                .seconds
+        }
+        None => cfg.cost.allreduce_tree(m, p).seconds,
+    };
+    // Error-feedback residuals, one per learner, carried across intervals.
+    let mut residuals: Vec<Vec<f32>> = match compression {
+        Some(_) => (0..p).map(|_| vec![0.0f32; m]).collect(),
+        None => Vec::new(),
+    };
+
+    let label = match compression {
+        Some(_) => format!("SASGD-compressed(p={p},T={t})"),
+        None => format!("SASGD(p={p},T={t})"),
+    };
+    let mut history = History::new(label, p, t);
+    let mut samples = 0u64;
+    let mut since_agg = 0usize;
+    let mut aggregations = 0u64;
+
+    for epoch in 1..=cfg.epochs {
+        let mut iters: Vec<Vec<Vec<usize>>> = learners
+            .iter_mut()
+            .zip(&shards)
+            .map(|(l, s)| {
+                s.epoch_iter(cfg.batch_size, &mut l.rng)
+                    .take(steps_per_epoch)
+                    .collect()
+            })
+            .collect();
+        for step in 0..steps_per_epoch {
+            let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            for (l, batches) in learners.iter_mut().zip(&mut iters) {
+                let idx = &batches[step];
+                samples += idx.len() as u64;
+                let j = l.draw_jitter(&cfg.jitter);
+                l.local_step(train_set, idx, gamma_now, step_s, j);
+            }
+            since_agg += 1;
+            if since_agg == t {
+                let gp = gamma_p.resolve(gamma_now, p);
+                aggregate(
+                    &mut learners,
+                    &mut x,
+                    gp,
+                    ar_seconds,
+                    compression,
+                    &mut residuals,
+                );
+                aggregations += 1;
+                since_agg = 0;
+            }
+        }
+        for l in &mut learners {
+            l.clock += cfg.cost.epoch_overhead;
+        }
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut learners[0].model, epoch as f64, comp, comm, samples);
+        history.records.push(rec);
+    }
+    // SASGD's staleness is T by construction — record it so staleness
+    // reports can compare against the measured async distributions.
+    history.staleness = Some(StalenessStats {
+        mean: t as f64,
+        max: t as u64,
+        pushes: aggregations,
+    });
+    history
+}
+
+/// One global aggregation: barrier (wait for the slowest learner),
+/// allreduce of the (optionally compressed) accumulated gradients, global
+/// step, redistribution.
+fn aggregate(
+    learners: &mut [Learner],
+    x: &mut [f32],
+    gamma_p: f32,
+    allreduce_seconds: f64,
+    compression: Option<Compression>,
+    residuals: &mut [Vec<f32>],
+) {
+    let t_max = learners.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
+    // Sum gs across learners in binomial-tree order — the exact reduction
+    // order of sasgd-comm's allreduce, so the threaded backend reproduces
+    // these parameters bit for bit.
+    let p = learners.len();
+    let mut bufs: Vec<Vec<f32>> = match compression {
+        None => learners.iter().map(|l| l.gs.clone()).collect(),
+        Some(comp) => learners
+            .iter()
+            .zip(residuals.iter_mut())
+            .map(|(l, res)| {
+                let input: Vec<f32> = l.gs.iter().zip(res.iter()).map(|(a, b)| a + b).collect();
+                let c = comp.compress(&input);
+                *res = c.residual;
+                c.dense
+            })
+            .collect(),
+    };
+    let mut gap = 1usize;
+    while gap < p {
+        let mut i = 0;
+        while i + gap < p {
+            let (lo, hi) = bufs.split_at_mut(i + gap);
+            for (a, &b) in lo[i].iter_mut().zip(hi[0].iter()) {
+                *a += b;
+            }
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+    let total = bufs.swap_remove(0);
+    for (xi, &g) in x.iter_mut().zip(&total) {
+        *xi -= gamma_p * g;
+    }
+    for l in learners.iter_mut() {
+        let wait = t_max - l.clock;
+        l.charge_comm(wait + allreduce_seconds);
+        l.model.write_params(x);
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    fn quiet_cfg(epochs: usize, gamma: f32) -> TrainConfig {
+        let mut cfg = TrainConfig::new(epochs, 8, gamma, 42);
+        cfg.jitter = JitterModel::none();
+        cfg
+    }
+
+    #[test]
+    fn learns_with_four_learners() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(160, 60, 3));
+        let cfg = quiet_cfg(8, 0.05);
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run(&mut factory, &train, &test, &cfg, 4, 2, GammaP::OverP, None);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+        assert!(
+            h.records.last().expect("r").comm_seconds > 0.0,
+            "p>1 must communicate"
+        );
+    }
+
+    #[test]
+    fn all_learners_hold_identical_params_after_sync() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(64, 16, 2));
+        let cfg = quiet_cfg(1, 0.05);
+        // Run manually to inspect: easiest is T=1 where every step syncs,
+        // so learner 0's history must equal a rerun's.
+        let mut f1 = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let h1 = run(&mut f1, &train, &test, &cfg, 2, 1, GammaP::OverP, None);
+        let mut f2 = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let h2 = run(&mut f2, &train, &test, &cfg, 2, 1, GammaP::OverP, None);
+        assert_eq!(
+            h1.records.last().expect("r").train_loss,
+            h2.records.last().expect("r").train_loss
+        );
+    }
+
+    #[test]
+    fn p1_t1_matches_sequential_trajectory() {
+        // Algorithm 1 applies local steps to a scratch copy x' and the
+        // global step to the pre-interval x. With p=1, T=1, local γ=0 and
+        // γp=γ, every aggregation performs exactly x ← x − γ·g — i.e.
+        // sequential SGD. The trajectories must coincide bitwise.
+        let (train, test) = generate(&CifarLikeConfig::tiny(48, 16, 2));
+        let sasgd_cfg = quiet_cfg(3, 0.0);
+        let mut f1 = || models::tiny_cnn(2, &mut SeedRng::new(9));
+        let h_sasgd = run(
+            &mut f1,
+            &train,
+            &test,
+            &sasgd_cfg,
+            1,
+            1,
+            GammaP::Fixed(0.05),
+            None,
+        );
+        let seq_cfg = quiet_cfg(3, 0.05);
+        let mut f2 = || models::tiny_cnn(2, &mut SeedRng::new(9));
+        let h_seq = crate::algorithms::sequential::run(&mut f2, &train, &test, &seq_cfg);
+        for (a, b) in h_sasgd.records.iter().zip(&h_seq.records) {
+            assert_eq!(a.train_loss, b.train_loss, "trajectories must coincide");
+            assert_eq!(a.test_acc, b.test_acc);
+        }
+    }
+
+    #[test]
+    fn larger_t_means_less_comm_time() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(160, 20, 2));
+        let cfg = quiet_cfg(2, 0.02);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+        let h1 = run(&mut f, &train, &test, &cfg, 4, 1, GammaP::OverP, None);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+        let h5 = run(&mut f, &train, &test, &cfg, 4, 5, GammaP::OverP, None);
+        let c1 = h1.records.last().expect("r").comm_seconds;
+        let c5 = h5.records.last().expect("r").comm_seconds;
+        assert!(
+            c5 < c1 / 2.0,
+            "T=5 comm {c5} should be well under T=1 comm {c1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shards too small")]
+    fn rejects_empty_per_learner_epochs() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(8, 4, 2));
+        let cfg = quiet_cfg(1, 0.05);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+        run(&mut f, &train, &test, &cfg, 8, 1, GammaP::OverP, None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Sequential SGD — the single-learner baseline every figure compares to.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+
+use crate::history::History;
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Plain minibatch SGD on one learner.
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    let model = factory();
+    let macs = model.macs_per_sample();
+    let mut learner = Learner::new(0, model, cfg);
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let shard = &train_set.shards(1)[0];
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, 1);
+    let mut history = History::new("SGD", 1, 1);
+    let mut samples = 0u64;
+    for epoch in 1..=cfg.epochs {
+        let batches: Vec<Vec<usize>> = shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
+        let steps = batches.len().max(1);
+        for (step, idx) in batches.iter().enumerate() {
+            let epoch_f = (epoch - 1) as f64 + step as f64 / steps as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            samples += idx.len() as u64;
+            let j = learner.draw_jitter(&cfg.jitter);
+            learner.local_step(train_set, idx, gamma_now, step_s, j);
+            // Sequential SGD keeps no separate accumulator.
+            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+        }
+        learner.clock += cfg.cost.epoch_overhead;
+        let rec = evals.record(
+            &mut learner.model,
+            epoch as f64,
+            learner.compute_s,
+            learner.comm_s,
+            samples,
+        );
+        history.records.push(rec);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn learns_tiny_cifar() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(120, 60, 3));
+        let mut cfg = TrainConfig::new(8, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run(&mut factory, &train, &test, &cfg);
+        assert_eq!(h.records.len(), 8);
+        let first = h.records[0].train_loss;
+        let last = h.records.last().expect("records").train_loss;
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+        // No communication for one learner.
+        assert_eq!(h.records.last().expect("records").comm_seconds, 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(40, 20, 3));
+        let cfg = TrainConfig::new(2, 8, 0.05, 11);
+        let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let h1 = run(&mut f1, &train, &test, &cfg);
+        let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let h2 = run(&mut f2, &train, &test, &cfg);
+        assert_eq!(
+            h1.records.last().expect("r").train_loss,
+            h2.records.last().expect("r").train_loss
+        );
+    }
+}

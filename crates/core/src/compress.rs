@@ -1,0 +1,229 @@
+//! Gradient compression for sparse aggregation — the natural extension of
+//! the paper's "sparse gradient aggregation" direction (and of its future
+//! work on cutting communication further).
+//!
+//! Two classic schemes, both with **error feedback** (the part of the
+//! gradient a round drops is carried into the next round's accumulator, so
+//! nothing is permanently lost):
+//!
+//! * [`Compression::TopK`] — keep the `k = ratio·m` largest-magnitude
+//!   coordinates;
+//! * [`Compression::Uniform8Bit`] — linear quantization of every value to
+//!   8 bits with a per-vector scale.
+//!
+//! [`Compression::wire_elements`] feeds the cost model so the epoch-time
+//! harness can price compressed aggregation.
+
+/// A gradient compression scheme.
+///
+/// ```
+/// use sasgd_core::Compression;
+/// let g = [0.1f32, -5.0, 0.2, 3.0];
+/// let c = Compression::TopK { ratio: 0.5 }.compress(&g);
+/// // The two largest-magnitude coordinates survive; the rest feed the
+/// // error-feedback residual.
+/// assert_eq!(c.dense, vec![0.0, -5.0, 0.0, 3.0]);
+/// assert_eq!(c.residual, vec![0.1, 0.0, 0.2, 0.0]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Compression {
+    /// Keep the largest `ratio·m` coordinates (0 < ratio ≤ 1); the rest
+    /// stay in the sender's residual.
+    TopK {
+        /// Fraction of coordinates kept.
+        ratio: f64,
+    },
+    /// 8-bit linear quantization of every coordinate.
+    Uniform8Bit,
+}
+
+/// Outcome of compressing one gradient vector.
+pub struct Compressed {
+    /// The reconstructed (lossy) dense vector that will be aggregated.
+    pub dense: Vec<f32>,
+    /// The residual to fold into the next accumulation (error feedback).
+    pub residual: Vec<f32>,
+}
+
+impl Compression {
+    /// Compress `g`, returning the lossy dense reconstruction plus the
+    /// residual.
+    ///
+    /// # Panics
+    /// Panics if a `TopK` ratio is outside `(0, 1]`.
+    pub fn compress(&self, g: &[f32]) -> Compressed {
+        match *self {
+            Compression::TopK { ratio } => {
+                assert!(ratio > 0.0 && ratio <= 1.0, "top-k ratio must be in (0,1]");
+                let m = g.len();
+                let k = ((m as f64 * ratio).ceil() as usize).clamp(1.min(m), m);
+                // Threshold = k-th largest |g|; select_nth on a copy.
+                let mut mags: Vec<f32> = g.iter().map(|v| v.abs()).collect();
+                let dense;
+                let mut residual = vec![0.0f32; m];
+                if k == m {
+                    dense = g.to_vec();
+                } else {
+                    let idx = m - k;
+                    mags.select_nth_unstable_by(idx, |a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let thresh = mags[idx];
+                    let mut kept = 0usize;
+                    let mut d = vec![0.0f32; m];
+                    // First pass: strictly above threshold.
+                    for (i, &v) in g.iter().enumerate() {
+                        if v.abs() > thresh {
+                            d[i] = v;
+                            kept += 1;
+                        }
+                    }
+                    // Second pass: fill up with values equal to the
+                    // threshold (ties) until exactly k are kept.
+                    for (i, &v) in g.iter().enumerate() {
+                        if kept == k {
+                            break;
+                        }
+                        if d[i] == 0.0 && v.abs() == thresh && v != 0.0 {
+                            d[i] = v;
+                            kept += 1;
+                        }
+                    }
+                    for i in 0..m {
+                        if d[i] == 0.0 {
+                            residual[i] = g[i];
+                        }
+                    }
+                    dense = d;
+                }
+                Compressed { dense, residual }
+            }
+            Compression::Uniform8Bit => {
+                let maxabs = g.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                if maxabs == 0.0 {
+                    return Compressed {
+                        dense: g.to_vec(),
+                        residual: vec![0.0; g.len()],
+                    };
+                }
+                let scale = maxabs / 127.0;
+                let mut dense = Vec::with_capacity(g.len());
+                let mut residual = Vec::with_capacity(g.len());
+                for &v in g {
+                    let q = (v / scale).round().clamp(-127.0, 127.0);
+                    let rec = q * scale;
+                    dense.push(rec);
+                    residual.push(v - rec);
+                }
+                Compressed { dense, residual }
+            }
+        }
+    }
+
+    /// Equivalent `f32` elements on the wire per `m`-parameter gradient
+    /// (for the α–β cost model): top-k sends `k` index+value pairs
+    /// (≈ `2k` elements); 8-bit sends `m/4` plus a scale.
+    pub fn wire_elements(&self, m: usize) -> f64 {
+        match *self {
+            Compression::TopK { ratio } => 2.0 * (m as f64 * ratio).ceil(),
+            Compression::Uniform8Bit => m as f64 / 4.0 + 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn topk_keeps_exactly_k_and_preserves_total() {
+        let g = vec![0.1, -5.0, 0.2, 3.0, -0.05, 0.0, 1.0, -0.3];
+        let c = Compression::TopK { ratio: 0.25 }.compress(&g);
+        let kept = c.dense.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(kept, 2);
+        assert_eq!(c.dense[1], -5.0);
+        assert_eq!(c.dense[3], 3.0);
+        // dense + residual == original, coordinate-wise.
+        for ((&d, &r), &o) in c.dense.iter().zip(&c.residual).zip(&g) {
+            assert_eq!(d + r, o);
+        }
+    }
+
+    #[test]
+    fn topk_full_ratio_is_lossless() {
+        let g = vec![1.0, -2.0, 3.0];
+        let c = Compression::TopK { ratio: 1.0 }.compress(&g);
+        assert_eq!(c.dense, g);
+        assert!(c.residual.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn topk_handles_ties_without_over_keeping() {
+        let g = vec![2.0, -2.0, 2.0, 2.0];
+        let c = Compression::TopK { ratio: 0.5 }.compress(&g);
+        let kept = c.dense.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(kept, 2, "exactly k survive even with ties");
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let mut rng = SeedRng::new(1);
+        let g: Vec<f32> = (0..1000).map(|_| rng.normal() * 3.0).collect();
+        let c = Compression::Uniform8Bit.compress(&g);
+        let maxabs = g.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let step = maxabs / 127.0;
+        for (&r, &o) in c.residual.iter().zip(&g) {
+            assert!(r.abs() <= step / 2.0 + 1e-6, "residual {r} vs step {step}");
+            let _ = o;
+        }
+    }
+
+    #[test]
+    fn quantization_of_zero_vector_is_identity() {
+        let g = vec![0.0f32; 8];
+        let c = Compression::Uniform8Bit.compress(&g);
+        assert_eq!(c.dense, g);
+    }
+
+    #[test]
+    fn wire_elements_shrink() {
+        let m = 506_378;
+        assert!(Compression::TopK { ratio: 0.01 }.wire_elements(m) < m as f64 * 0.03);
+        assert!((Compression::Uniform8Bit.wire_elements(m) - (m as f64 / 4.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_feedback_recovers_dropped_mass() {
+        // Repeatedly compressing (gradient + residual) must transmit every
+        // coordinate's mass eventually: after many rounds of a constant
+        // gradient, the cumulative transmitted vector approaches
+        // rounds × gradient.
+        let g = vec![1.0f32, 0.2, 0.05, -0.6];
+        let comp = Compression::TopK { ratio: 0.25 };
+        let mut residual = vec![0.0f32; 4];
+        let mut transmitted = [0.0f32; 4];
+        let rounds = 40;
+        for _ in 0..rounds {
+            let input: Vec<f32> = g.iter().zip(&residual).map(|(a, b)| a + b).collect();
+            let c = comp.compress(&input);
+            for (t, &d) in transmitted.iter_mut().zip(&c.dense) {
+                *t += d;
+            }
+            residual = c.residual;
+        }
+        for (i, (&t, &gi)) in transmitted.iter().zip(&g).enumerate() {
+            let expect = gi * rounds as f32;
+            assert!(
+                (t - expect).abs() <= gi.abs().max(1.0) * 2.0,
+                "coord {i}: transmitted {t} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k ratio")]
+    fn bad_ratio_rejected() {
+        Compression::TopK { ratio: 0.0 }.compress(&[1.0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # sasgd-core
+//!
+//! The paper's contribution and its baselines:
+//!
+//! * [`algorithms`] — **SASGD** (Algorithm 1 of the paper: local steps with
+//!   rate `γ`, gradient accumulation `gs`, allreduce every `T` minibatches,
+//!   global step with rate `γp`), plus the comparison algorithms it is
+//!   evaluated against: sequential SGD, synchronous SGD (`T = 1`),
+//!   **Downpour** (asynchronous sharded parameter server) and **EAMSGD**
+//!   (elastic averaging), and the model-averaging heuristics discussed in
+//!   §III;
+//! * [`trainer`] — the event-driven distributed trainer: real gradient
+//!   math on model replicas, virtual-time accounting from the
+//!   `sasgd-simnet` cost model, per-epoch accuracy histories;
+//! * [`threaded`] — SASGD over real OS threads using `sasgd-comm`
+//!   collectives (bitwise-equal to the simulated run; used for wall-clock
+//!   benches);
+//! * [`epoch_time`] — the analytic epoch-time model behind Figs 1/4/5/6;
+//! * [`theory`] — Section II/III mathematics: the Lian et al. ASGD bound
+//!   (Eq. 1–2), Theorem 1's optimal-learning-rate cubic and guarantee gap,
+//!   Theorem 2 / Corollary 3 / Theorem 4 for SASGD, and estimators for the
+//!   Lipschitz constant `L` and gradient-variance bound `σ²`;
+//! * [`history`] / [`report`] — experiment records, CSV output and ASCII
+//!   plots.
+
+pub mod algorithms;
+pub mod compress;
+pub mod epoch_time;
+pub mod history;
+pub mod report;
+pub mod schedule;
+pub mod sweep;
+pub mod theory;
+pub mod threaded;
+pub mod trainer;
+
+pub use algorithms::{Algorithm, GammaP};
+pub use compress::Compression;
+pub use history::{EpochRecord, History, StalenessStats};
+pub use schedule::LrSchedule;
+pub use sweep::{run_sweep, SweepGrid, SweepResult};
+pub use threaded::{run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd};
+pub use trainer::{train, TrainConfig};

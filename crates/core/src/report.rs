@@ -1,0 +1,165 @@
+//! ASCII tables/plots and CSV output for the reproduction harness.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render a fixed-width ASCII table.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render line series as an ASCII plot (one glyph per series).
+///
+/// Good enough to eyeball the accuracy-vs-epoch curves the paper plots;
+/// the CSV files carry the exact numbers.
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut out = format!("{title}\n");
+    let pts: Vec<&(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter()).collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &&(x, y) in &pts {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let g = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s {
+            let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = g;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:8.2} |")
+        } else if i == height - 1 {
+            format!("{ymin:8.2} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("          {}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "          {xmin:<10.1}{:>w$.1}\n",
+        xmax,
+        w = width.saturating_sub(10)
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {name}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out
+}
+
+/// Write `content` to `path`, creating parent directories.
+pub fn write_file(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = ascii_table(
+            &["p", "time (s)"],
+            &[
+                vec!["1".into(), "10.5".into()],
+                vec!["16".into(), "1.25".into()],
+            ],
+        );
+        assert!(t.contains("| p  | time (s) |"));
+        assert!(t.contains("| 16 | 1.25     |"));
+        assert_eq!(t.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        ascii_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn plot_contains_series_and_legend() {
+        let s1 = vec![(0.0, 0.0), (1.0, 1.0)];
+        let s2 = vec![(0.0, 1.0), (1.0, 0.0)];
+        let p = ascii_plot("demo", &[("up", s1), ("down", s2)], 20, 5);
+        assert!(p.contains('*') && p.contains('o'));
+        assert!(p.contains("up") && p.contains("down"));
+        assert!(p.starts_with("demo\n"));
+    }
+
+    #[test]
+    fn plot_handles_empty_and_constant() {
+        assert!(ascii_plot("t", &[("e", vec![])], 10, 3).contains("no data"));
+        let c = ascii_plot("t", &[("c", vec![(1.0, 5.0), (2.0, 5.0)])], 10, 3);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn write_file_creates_dirs() {
+        let dir = std::env::temp_dir().join("sasgd_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("a/b/out.csv");
+        write_file(&path, "x\n").expect("write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "x\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,127 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at constant γ and notes (§II-B) that with a constant
+//! rate "there is a limit on how close the algorithm can reach to the
+//! optimum without lowering the learning rate". These schedules let the
+//! experiments probe exactly that: decay recovers the lost accuracy floor,
+//! warmup stabilizes large effective batches (large `p·T`).
+
+/// How the local learning rate evolves over collective epochs.
+///
+/// ```
+/// use sasgd_core::LrSchedule;
+/// let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+/// assert_eq!(s.at(0.1, 0.0), 0.1);
+/// assert!((s.at(0.1, 10.0) - 0.05).abs() < 1e-8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// The paper's setting: γ fixed for the whole run.
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        every: usize,
+        /// Multiplier applied at each decay (0 < factor < 1).
+        factor: f32,
+    },
+    /// `γ / (1 + rate·epoch)` — the classic Robbins–Monro-style decay the
+    /// asymptotic theory assumes.
+    InvEpoch {
+        /// Decay speed.
+        rate: f32,
+    },
+    /// Linear ramp from `γ·start_frac` to γ over `epochs` epochs, constant
+    /// afterwards.
+    Warmup {
+        /// Ramp length in epochs.
+        epochs: usize,
+        /// Starting fraction of γ (0 ≤ start_frac ≤ 1).
+        start_frac: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at (fractional) `epoch`, given the base rate.
+    pub fn at(&self, base: f32, epoch: f64) -> f32 {
+        let epoch = epoch.max(0.0);
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "decay interval must be positive");
+                let steps = (epoch / every as f64).floor() as i32;
+                base * factor.powi(steps)
+            }
+            LrSchedule::InvEpoch { rate } => base / (1.0 + rate * epoch as f32),
+            LrSchedule::Warmup { epochs, start_frac } => {
+                if epochs == 0 || epoch >= epochs as f64 {
+                    base
+                } else {
+                    let frac =
+                        start_frac as f64 + (1.0 - start_frac as f64) * epoch / epochs as f64;
+                    base * frac as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.at(0.1, 0.0), 0.1);
+        assert_eq!(s.at(0.1, 99.0), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.at(0.1, 0.0), 0.1);
+        assert_eq!(s.at(0.1, 9.9), 0.1);
+        assert!((s.at(0.1, 10.0) - 0.05).abs() < 1e-8);
+        assert!((s.at(0.1, 25.0) - 0.025).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inv_epoch_decays_hyperbolically() {
+        let s = LrSchedule::InvEpoch { rate: 1.0 };
+        assert_eq!(s.at(0.2, 0.0), 0.2);
+        assert!((s.at(0.2, 1.0) - 0.1).abs() < 1e-8);
+        assert!((s.at(0.2, 3.0) - 0.05).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup {
+            epochs: 4,
+            start_frac: 0.25,
+        };
+        assert!((s.at(0.1, 0.0) - 0.025).abs() < 1e-8);
+        let mid = s.at(0.1, 2.0);
+        assert!(mid > 0.025 && mid < 0.1);
+        assert_eq!(s.at(0.1, 4.0), 0.1);
+        assert_eq!(s.at(0.1, 50.0), 0.1);
+    }
+
+    #[test]
+    fn zero_length_warmup_is_constant() {
+        let s = LrSchedule::Warmup {
+            epochs: 0,
+            start_frac: 0.5,
+        };
+        assert_eq!(s.at(0.1, 0.0), 0.1);
+    }
+
+    #[test]
+    fn negative_epoch_clamped() {
+        let s = LrSchedule::InvEpoch { rate: 1.0 };
+        assert_eq!(s.at(0.1, -5.0), 0.1);
+    }
+}

@@ -1,0 +1,443 @@
+//! The paper's convergence mathematics (§II-B, §III-A/B).
+//!
+//! Notation follows Table III of the paper: `Df = f(x₁) − f(x*)`, `L` the
+//! Lipschitz constant of the gradient, `σ²` the gradient-variance bound,
+//! `M` the minibatch size, `p` learners, `T` the aggregation interval,
+//! `γ` / `γp` the local/global learning rates, `K` update counts, and
+//! `S = M·T·K·p` total samples.
+
+use sasgd_data::Dataset;
+use sasgd_nn::{Ctx, Model};
+use sasgd_tensor::SeedRng;
+
+/// Physical problem constants used by every bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ProblemConstants {
+    /// Initial optimality gap `f(x₁) − f(x*)` (the paper bounds it by
+    /// `f(x₁)`).
+    pub df: f64,
+    /// Lipschitz constant of the gradient.
+    pub l: f64,
+    /// Upper bound on per-sample gradient variance.
+    pub sigma2: f64,
+}
+
+// ---------------------------------------------------------------------------
+// ASGD (Lian et al.) — Equations 1 and 2, Theorem 1.
+// ---------------------------------------------------------------------------
+
+/// Right-hand side of Equation 1: the ASGD average-gradient-norm guarantee
+/// after `K` updates of minibatch size `m` with `p` learners at constant
+/// learning rate `gamma`. Returns `None` when the step-size condition of
+/// Equation 2 fails.
+pub fn asgd_bound(c: &ProblemConstants, m: usize, k: usize, p: usize, gamma: f64) -> Option<f64> {
+    let (mf, kf, pf) = (m as f64, k as f64, p as f64);
+    let constraint = c.l * mf * gamma + 2.0 * c.l * c.l * mf * mf * pf * pf * gamma * gamma;
+    if constraint > 1.0 + 1e-12 {
+        return None;
+    }
+    Some(
+        2.0 * c.df / (mf * kf * gamma)
+            + c.sigma2 * c.l * gamma
+            + 2.0 * c.sigma2 * c.l * c.l * mf * pf * gamma * gamma,
+    )
+}
+
+/// The `α` of Theorem 1: `α = √(K σ² / (M L Df))` — the normalized update
+/// count at which the learning-rate regime changes.
+pub fn alpha(c: &ProblemConstants, m: usize, k: usize) -> f64 {
+    (k as f64 * c.sigma2 / (m as f64 * c.l * c.df)).sqrt()
+}
+
+/// The upper end of the admissible `c` range in Theorem 1's optimization
+/// (Equation 6): `α/(4p²)·(−1 + √(1+8p²))`.
+pub fn c_max(p: usize, alpha: f64) -> f64 {
+    let pf = p as f64;
+    alpha / (4.0 * pf * pf) * ((1.0 + 8.0 * pf * pf).sqrt() - 1.0)
+}
+
+/// The normalized guarantee `g(c) = 2/c + c + 2pc²/α` (Equation 5's
+/// objective).
+pub fn guarantee_objective(p: usize, alpha: f64, c: f64) -> f64 {
+    2.0 / c + c + 2.0 * p as f64 * c * c / alpha
+}
+
+/// Solve Theorem 1's optimality condition `4pc³ + αc² − 2α = 0`
+/// (Equation 7) for its unique positive root.
+pub fn solve_cubic(p: usize, alpha: f64) -> f64 {
+    // g is strictly convex on (0, ∞) (g'' = 4/c³ + 4p/α > 0), so g' has a
+    // single sign change; bisect it.
+    let pf = p as f64;
+    let f = |c: f64| 4.0 * pf * c * c * c + alpha * c * c - 2.0 * alpha;
+    let mut lo = 1e-12;
+    let mut hi = 2.0f64; // f(√2) = 4p·2√2 > 0 always; f(0) = −2α < 0.
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Optimal `c` for Theorem 1's constrained problem (Equations 5–6):
+/// the cubic root clamped to the admissible range.
+pub fn optimal_c(p: usize, alpha: f64) -> f64 {
+    solve_cubic(p, alpha).min(c_max(p, alpha))
+}
+
+/// The optimal normalized ASGD guarantee for `p` learners (the value whose
+/// ratio Theorem 1 bounds). Multiply by `σ²/(α·M)` for physical units.
+pub fn optimal_guarantee(p: usize, alpha: f64) -> f64 {
+    guarantee_objective(p, alpha, optimal_c(p, alpha))
+}
+
+/// Theorem 1's gap: the ratio of the optimal guarantee at `p` learners to
+/// the guarantee at one learner — approximately `p/α` for `16 ≤ α ≤ p`.
+///
+/// ```
+/// // The paper's worked example: p = 32, α ≈ 16 ⇒ gap ≈ 2.
+/// let gap = sasgd_core::theory::theorem1_gap(32, 16.0);
+/// assert!((1.5..3.0).contains(&gap));
+/// ```
+pub fn theorem1_gap(p: usize, alpha: f64) -> f64 {
+    optimal_guarantee(p, alpha) / optimal_guarantee(1, alpha)
+}
+
+/// The learning rate `√(Df/(M K L σ²))` from Lian et al.'s analysis — the
+/// rate that makes ASGD provably linear-speedup but is far too small in
+/// practice (the γ = 0.005 of Fig 3 vs the practical γ = 0.1 of Fig 2).
+pub fn lian_learning_rate(c: &ProblemConstants, m: usize, k: usize) -> f64 {
+    (c.df / (m as f64 * k as f64 * c.l * c.sigma2)).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// SASGD — Theorem 2, Corollary 3, Theorem 4.
+// ---------------------------------------------------------------------------
+
+/// Theorem 2: SASGD's average-gradient-norm bound after `K` global
+/// allreduce updates with interval `T`, `p` learners, minibatch `m`.
+/// Returns `None` when the admissibility condition
+/// `γp·L·M·T·p + 2L²M²T²γpγ ≤ 1` fails.
+pub fn sasgd_bound(
+    c: &ProblemConstants,
+    m: usize,
+    t: usize,
+    p: usize,
+    k: usize,
+    gamma: f64,
+    gamma_p: f64,
+) -> Option<f64> {
+    let (mf, tf, pf, kf) = (m as f64, t as f64, p as f64, k as f64);
+    let constraint =
+        gamma_p * c.l * mf * tf * pf + 2.0 * c.l * c.l * mf * mf * tf * tf * gamma_p * gamma;
+    if constraint > 1.0 + 1e-12 {
+        return None;
+    }
+    let s = mf * tf * kf * pf;
+    Some(
+        2.0 * c.df / (s * gamma_p)
+            + 2.0 * c.l * c.l * c.sigma2 * gamma_p * gamma * mf * tf
+            + c.l * c.sigma2 * gamma_p,
+    )
+}
+
+/// Corollary 3's learning rate `γ = γp = √(2Df/(S σ²))`.
+pub fn corollary3_rate(c: &ProblemConstants, s: f64) -> f64 {
+    (2.0 * c.df / (s * c.sigma2)).sqrt()
+}
+
+/// Corollary 3's minimum global-update count
+/// `K ≥ (4 M L Df/σ²) · (max{p,T}+1)²/(pT)` for the asymptotic rate to
+/// apply. Grows with `T` once `T > p` — the paper's warning.
+pub fn corollary3_k_min(c: &ProblemConstants, m: usize, t: usize, p: usize) -> f64 {
+    let mx = p.max(t) as f64 + 1.0;
+    4.0 * m as f64 * c.l * c.df / c.sigma2 * mx * mx / (p as f64 * t as f64)
+}
+
+/// Corollary 3's asymptotic guarantee `4·√(Df L σ²/S)`.
+pub fn corollary3_guarantee(c: &ProblemConstants, s: f64) -> f64 {
+    4.0 * (c.df * c.l * c.sigma2 / s).sqrt()
+}
+
+/// The best Theorem 2 bound achievable at fixed sample budget `S` with
+/// `γp = γ`, minimizing over the admissible `γ` (golden-section search on a
+/// convex objective). This is the quantity Theorem 4 proves monotone
+/// increasing in `T`.
+pub fn sasgd_best_bound_fixed_s(c: &ProblemConstants, m: usize, t: usize, p: usize, s: f64) -> f64 {
+    let (mf, tf, pf) = (m as f64, t as f64, p as f64);
+    // Admissible γ: γLMTp + 2L²M²T²γ² ≤ 1. Solve the quadratic for γmax.
+    let a = 2.0 * c.l * c.l * mf * mf * tf * tf;
+    let b = c.l * mf * tf * pf;
+    let gamma_max = (-b + (b * b + 4.0 * a).sqrt()) / (2.0 * a);
+    let bound = |gamma: f64| {
+        2.0 * c.df / (s * gamma)
+            + 2.0 * c.l * c.l * c.sigma2 * gamma * gamma * mf * tf
+            + c.l * c.sigma2 * gamma
+    };
+    // Golden-section over (0, γmax].
+    let (mut lo, mut hi) = (gamma_max * 1e-9, gamma_max);
+    let phi = 0.618_033_988_749_894_8_f64;
+    for _ in 0..200 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if bound(m1) < bound(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    bound(0.5 * (lo + hi))
+}
+
+// ---------------------------------------------------------------------------
+// Constant estimation from a model + dataset (used for Fig 3's γ).
+// ---------------------------------------------------------------------------
+
+/// Estimate `L`, `σ²` and `Df ≈ f(x₁)` for a model/dataset pair by probing
+/// minibatch gradients, as the paper does for CIFAR-10 ("We estimate the
+/// Lipschitz constant L and an upper bound on gradient variance σ²").
+///
+/// * `Df` — initial loss (cross-entropy is bounded below by 0).
+/// * `σ²` — empirical variance of per-minibatch gradients around their
+///   mean, scaled by `M` to approximate the per-sample bound.
+/// * `L` — maximum observed `‖∇f(x) − ∇f(y)‖ / ‖x − y‖` over random
+///   parameter perturbations.
+pub fn estimate_constants(
+    model: &mut Model,
+    data: &Dataset,
+    batch: usize,
+    probes: usize,
+    seed: u64,
+) -> ProblemConstants {
+    assert!(probes >= 2, "need at least two probes");
+    let mut rng = SeedRng::new(seed);
+    let shard = &data.shards(1)[0];
+    let m_len = model.param_len();
+    let x0 = model.param_vector();
+
+    let grad_at = |model: &mut Model, params: &[f32], idx: &[usize], rng: &mut SeedRng| {
+        model.write_params(params);
+        model.zero_grads();
+        let (x, y) = data.batch(idx);
+        let mut ctx = Ctx::train(rng.split(0xD0));
+        let out = model.forward_loss(&x, &y, &mut ctx);
+        model.backward();
+        (model.grad_vector(), out.loss)
+    };
+
+    // Df and minibatch-gradient variance at x₁.
+    let mut grads: Vec<Vec<f32>> = Vec::with_capacity(probes);
+    let mut df = 0.0f64;
+    for i in 0..probes {
+        let idx = shard.random_batch(batch, &mut rng);
+        let (g, loss) = grad_at(model, &x0, &idx, &mut rng);
+        if i == 0 {
+            df = f64::from(loss);
+        }
+        grads.push(g);
+    }
+    let mut mean = vec![0.0f64; m_len];
+    for g in &grads {
+        for (a, &b) in mean.iter_mut().zip(g) {
+            *a += f64::from(b) / probes as f64;
+        }
+    }
+    let mut var = 0.0f64;
+    for g in &grads {
+        var += g
+            .iter()
+            .zip(&mean)
+            .map(|(&a, &b)| (f64::from(a) - b).powi(2))
+            .sum::<f64>();
+    }
+    var /= probes as f64;
+    // E‖G − ∇f‖² over minibatches of size M equals σ²/M for i.i.d.
+    // samples, so the per-sample bound is M times the minibatch variance.
+    let sigma2 = var * batch as f64;
+
+    // Lipschitz probe: gradient change under small random perturbations,
+    // same minibatch on both sides so only the parameter move matters.
+    let mut l = 0.0f64;
+    for _ in 0..probes {
+        let idx = shard.random_batch(batch, &mut rng);
+        let (g0, _) = grad_at(model, &x0, &idx, &mut rng);
+        let step = 1e-2f32;
+        let dir: Vec<f32> = (0..m_len).map(|_| rng.normal()).collect();
+        let dn = dir
+            .iter()
+            .map(|v| f64::from(*v) * f64::from(*v))
+            .sum::<f64>()
+            .sqrt() as f32;
+        let x1: Vec<f32> = x0
+            .iter()
+            .zip(&dir)
+            .map(|(a, d)| a + step * d / dn)
+            .collect();
+        let (g1, _) = grad_at(model, &x1, &idx, &mut rng);
+        let dg = g0
+            .iter()
+            .zip(&g1)
+            .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        l = l.max(dg / f64::from(step));
+    }
+    model.write_params(&x0);
+    ProblemConstants {
+        df,
+        l: l.max(1e-9),
+        sigma2: sigma2.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts() -> ProblemConstants {
+        ProblemConstants {
+            df: 2.3,
+            l: 10.0,
+            sigma2: 1.0,
+        }
+    }
+
+    #[test]
+    fn asgd_bound_rejects_large_gamma() {
+        let c = consts();
+        assert!(asgd_bound(&c, 64, 1000, 4, 10.0).is_none());
+        assert!(asgd_bound(&c, 64, 1000, 4, 1e-6).is_some());
+    }
+
+    #[test]
+    fn asgd_bound_has_learning_rate_sweet_spot() {
+        // Too small → first term blows up; near the constraint → noise
+        // terms dominate. A middle γ beats both.
+        let c = consts();
+        let b_small = asgd_bound(&c, 64, 10_000, 2, 1e-8).expect("valid");
+        let b_mid = asgd_bound(&c, 64, 10_000, 2, 5e-5).expect("valid");
+        assert!(b_mid < b_small);
+    }
+
+    #[test]
+    fn cubic_root_satisfies_equation() {
+        for &(p, a) in &[(1usize, 16.0f64), (8, 20.0), (32, 16.0), (16, 100.0)] {
+            let cstar = solve_cubic(p, a);
+            let r = 4.0 * p as f64 * cstar.powi(3) + a * cstar * cstar - 2.0 * a;
+            assert!(r.abs() < 1e-6, "residual {r} at p={p}, α={a}");
+            assert!(cstar > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_learner_optimal_c_near_sqrt2() {
+        // For p=1 and large α, the cubic root approaches √2 (§II-B).
+        let c = optimal_c(1, 1000.0);
+        assert!((c - 2.0f64.sqrt()).abs() < 0.01, "c = {c}");
+    }
+
+    #[test]
+    fn large_p_hits_constraint_bound() {
+        // For 16 ≤ α ≤ p the admissible range clamps: c* = c_max ≈ α/(√2 p).
+        let (p, a) = (64usize, 16.0f64);
+        let c = optimal_c(p, a);
+        assert!((c - c_max(p, a)).abs() < 1e-12);
+        let approx = a / (2.0f64.sqrt() * p as f64);
+        assert!((c - approx).abs() / approx < 0.02, "c={c} approx={approx}");
+    }
+
+    #[test]
+    fn theorem1_gap_is_about_p_over_alpha() {
+        // The paper's worked example: p = 32, α ≈ 16 → gap ≈ 2.
+        let gap = theorem1_gap(32, 16.0);
+        assert!((1.5..3.0).contains(&gap), "gap {gap}");
+        // And the general trend for 16 ≤ α ≤ p.
+        for &(p, a) in &[(64usize, 16.0f64), (128, 32.0)] {
+            let g = theorem1_gap(p, a);
+            let predict = p as f64 / a;
+            assert!(
+                (g / predict - 1.0).abs() < 0.5,
+                "p={p} α={a}: gap {g} vs p/α {predict}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_p() {
+        let a = 16.0;
+        let g8 = theorem1_gap(8, a);
+        let g32 = theorem1_gap(32, a);
+        let g128 = theorem1_gap(128, a);
+        assert!(g8 < g32 && g32 < g128);
+    }
+
+    #[test]
+    fn lian_rate_is_small_for_long_runs() {
+        // Fig 3's derivation: the theory-backed γ is tiny next to the
+        // practical 0.1 once K is large.
+        let c = ProblemConstants {
+            df: 2.3,
+            l: 50.0,
+            sigma2: 4.0,
+        };
+        let k = 500_000 / 64; // M·K = 500,000 as §II-B uses.
+        let g = lian_learning_rate(&c, 64, k);
+        assert!(g < 0.05, "γ = {g}");
+    }
+
+    #[test]
+    fn sasgd_bound_constraint_and_value() {
+        let c = consts();
+        assert!(sasgd_bound(&c, 16, 50, 8, 100, 1.0, 1.0).is_none());
+        let b = sasgd_bound(&c, 16, 50, 8, 100, 1e-6, 1e-6).expect("admissible");
+        assert!(b.is_finite() && b > 0.0);
+    }
+
+    #[test]
+    fn theorem4_bound_increases_with_t() {
+        // Same S, same p: the best achievable bound worsens as T grows.
+        let c = consts();
+        let s = 1.0e7;
+        let b1 = sasgd_best_bound_fixed_s(&c, 16, 1, 8, s);
+        let b5 = sasgd_best_bound_fixed_s(&c, 16, 5, 8, s);
+        let b50 = sasgd_best_bound_fixed_s(&c, 16, 50, 8, s);
+        assert!(b1 <= b5 + 1e-12, "{b1} vs {b5}");
+        assert!(b5 <= b50 + 1e-12, "{b5} vs {b50}");
+        assert!(b50 > b1, "strictly worse over a 50× interval change");
+    }
+
+    #[test]
+    fn corollary3_kmin_grows_with_t_beyond_p() {
+        let c = consts();
+        let k50 = corollary3_k_min(&c, 16, 50, 8);
+        let k100 = corollary3_k_min(&c, 16, 100, 8);
+        assert!(k100 > k50);
+        // Asymptotic guarantee only depends on S.
+        let g = corollary3_guarantee(&c, 1e8);
+        assert!(g > 0.0 && g < corollary3_guarantee(&c, 1e6));
+    }
+
+    #[test]
+    fn corollary3_rate_shrinks_with_s() {
+        let c = consts();
+        assert!(corollary3_rate(&c, 1e8) < corollary3_rate(&c, 1e4));
+    }
+
+    #[test]
+    fn estimate_constants_on_tiny_model() {
+        use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+        use sasgd_nn::models;
+        let (train, _) = generate(&CifarLikeConfig::tiny(64, 8, 4));
+        let mut model = models::tiny_cnn(4, &mut SeedRng::new(1));
+        let c = estimate_constants(&mut model, &train, 8, 4, 42);
+        assert!(c.df > 0.5, "initial CE loss near ln(4): {}", c.df);
+        assert!(c.l > 0.0 && c.l.is_finite());
+        assert!(c.sigma2 > 0.0 && c.sigma2.is_finite());
+    }
+}

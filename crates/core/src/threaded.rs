@@ -1,0 +1,433 @@
+//! SASGD over real OS threads — Algorithm 1 on the `sasgd-comm`
+//! collectives, measuring wall-clock time instead of virtual time.
+//!
+//! The batch orders, dropout streams and aggregation arithmetic mirror the
+//! simulated `algorithms::sasgd` implementation (the simulated
+//! aggregation sums in the same binomial-tree order the collective uses),
+//! so the two backends produce *identical parameters*; an integration test
+//! in the workspace root asserts it. This is the backend the Criterion
+//! benches drive for real-parallelism measurements.
+
+use std::time::Instant;
+
+use sasgd_comm::collectives::{allreduce_tree, broadcast};
+use sasgd_comm::ps::{PsConfig, PsServer};
+use sasgd_comm::world::CommWorld;
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+
+use crate::algorithms::downpour::BatchStream;
+use crate::algorithms::GammaP;
+use crate::history::History;
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Run SASGD with one OS thread per learner. `factory` is called once per
+/// thread and must produce identically initialized models.
+pub fn run_threaded_sasgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    let shards = train_set.shards(p);
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(steps_per_epoch > 0, "shards too small for batch size");
+
+    let mut world = CommWorld::new(p);
+    let comms = world.communicators();
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                let mut learner = Learner::new(rank, factory(), cfg);
+                let mut x = learner.model.param_vector();
+                // Broadcast learner 0's parameters (Algorithm 1).
+                broadcast(&mut comm, 0, &mut x);
+                learner.model.write_params(&x);
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(format!("SASGD-threaded(p={p},T={t})"), p, t);
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut samples = 0u64;
+                let mut since_agg = 0usize;
+                for epoch in 1..=cfg.epochs {
+                    let batches: Vec<Vec<usize>> = shard
+                        .epoch_iter(cfg.batch_size, &mut learner.rng)
+                        .take(steps_per_epoch)
+                        .collect();
+                    for (step, idx) in batches.iter().enumerate() {
+                        // Same per-step schedule formula as the simulated
+                        // backend, so trajectories stay bitwise equal.
+                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+                        let gamma_now = cfg.gamma_at(epoch_f);
+                        samples += idx.len() as u64;
+                        let t0 = Instant::now();
+                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                        compute_s += t0.elapsed().as_secs_f64();
+                        since_agg += 1;
+                        if since_agg == t {
+                            let gp = gamma_p.resolve(gamma_now, p);
+                            let t1 = Instant::now();
+                            allreduce_tree(&mut comm, &mut learner.gs);
+                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                                *xi -= gp * g;
+                            }
+                            learner.model.write_params(&x);
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                            comm_s += t1.elapsed().as_secs_f64();
+                            since_agg = 0;
+                        }
+                    }
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            epoch as f64,
+                            compute_s,
+                            comm_s,
+                            samples * p as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    rank0_history.expect("rank 0 history")
+}
+
+/// Run Downpour with one OS thread per learner against a real sharded
+/// [`PsServer`]. Unlike the simulated backend, the interleaving here is
+/// decided by the OS scheduler — runs are *not* reproducible across
+/// executions (that is the point: it demonstrates genuine asynchrony on
+/// the same substrate Downpour was defined for). Returns learner 0's
+/// history.
+pub fn run_threaded_downpour(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    shards: usize,
+) -> History {
+    assert!(p >= 1 && t >= 1 && shards >= 1);
+    let probe = factory();
+    let ps = PsServer::spawn(probe.param_vector(), PsConfig { shards });
+    let n = train_set.len();
+    let target_per_learner = (cfg.epochs * n).div_ceil(p);
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 0..p {
+            let client = ps.client();
+            let handle = scope.spawn(move || {
+                let mut learner = Learner::new(rank, factory(), cfg);
+                learner.model.write_params(&client.pull());
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(format!("Downpour-threaded(p={p},T={t})"), p, t);
+                let mut stream = BatchStream::new(n, cfg.batch_size);
+                let mut samples = 0usize;
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut recorded = 0u64;
+                while samples < target_per_learner {
+                    // Schedule γ by estimated collective progress.
+                    let gamma_now = cfg.gamma_at(samples as f64 * p as f64 / n as f64);
+                    let t0 = Instant::now();
+                    for _ in 0..t {
+                        let idx = stream.next(&mut learner.rng);
+                        samples += idx.len();
+                        learner.local_step(train_set, &idx, gamma_now, 0.0, 1.0);
+                    }
+                    compute_s += t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    // Push the accumulated gradient; the server applies it
+                    // whenever it lands relative to the other learners.
+                    client.push_gradient(gamma_now, &learner.gs);
+                    learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                    learner.model.write_params(&client.pull());
+                    comm_s += t1.elapsed().as_secs_f64();
+                    if rank == 0 && stream.completed_passes() > recorded {
+                        recorded = stream.completed_passes();
+                        if let Some(ev) = &evals {
+                            let rec = ev.record(
+                                &mut learner.model,
+                                recorded as f64 * p as f64,
+                                compute_s,
+                                comm_s,
+                                (samples * p) as u64,
+                            );
+                            history.records.push(rec);
+                        }
+                    }
+                }
+                if rank == 0 && history.records.is_empty() {
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            samples as f64 * p as f64 / n as f64,
+                            compute_s,
+                            comm_s,
+                            (samples * p) as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    ps.shutdown();
+    rank0_history.expect("rank 0 history")
+}
+
+/// Run hierarchical SASGD over real OS threads using the grouped
+/// communicators of `sasgd-comm`: every `t_local` minibatches each group
+/// aggregates through [`hierarchical_allreduce`]-style local collectives
+/// and applies the group step; every `t_global` local rounds the group
+/// parameter copies are averaged through the leader communicator. The
+/// real-substrate counterpart of `Algorithm::HierarchicalSasgd`.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub fn run_threaded_hierarchical_sasgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    groups: usize,
+    per_group: usize,
+    t_local: usize,
+    t_global: usize,
+    gamma_p: GammaP,
+) -> History {
+    assert!(groups >= 1 && per_group >= 1 && t_local >= 1 && t_global >= 1);
+    let p = groups * per_group;
+    let shards = train_set.shards(p);
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(steps_per_epoch > 0, "shards too small for batch size");
+
+    let bundles = sasgd_comm::hierarchy::grouped(groups, per_group);
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut bundle, shard) in bundles.into_iter().zip(shards.iter().cloned()) {
+            let handle = scope.spawn(move || {
+                let rank = bundle.global.rank();
+                let mut learner = Learner::new(rank, factory(), cfg);
+                let mut x = learner.model.param_vector();
+                broadcast(&mut bundle.global, 0, &mut x);
+                learner.model.write_params(&x);
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(
+                    format!("H-SASGD-threaded(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
+                    p,
+                    t_local * t_global,
+                );
+                let mut samples = 0u64;
+                let mut since_local = 0usize;
+                let mut local_rounds = 0usize;
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                for epoch in 1..=cfg.epochs {
+                    let batches: Vec<Vec<usize>> = shard
+                        .epoch_iter(cfg.batch_size, &mut learner.rng)
+                        .take(steps_per_epoch)
+                        .collect();
+                    for (step, idx) in batches.iter().enumerate() {
+                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+                        let gamma_now = cfg.gamma_at(epoch_f);
+                        samples += idx.len() as u64;
+                        let t0 = Instant::now();
+                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                        compute_s += t0.elapsed().as_secs_f64();
+                        since_local += 1;
+                        if since_local == t_local {
+                            // Level 1: group-local allreduce of gs, group step.
+                            let t1 = Instant::now();
+                            let gp = gamma_p.resolve(gamma_now, per_group);
+                            allreduce_tree(&mut bundle.local, &mut learner.gs);
+                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                                *xi -= gp * g;
+                            }
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                            since_local = 0;
+                            local_rounds += 1;
+                            if local_rounds == t_global {
+                                // Level 2: average the group copies through
+                                // the leader communicator, broadcast down.
+                                if let Some(leaders) = bundle.leaders.as_mut() {
+                                    allreduce_tree(leaders, &mut x);
+                                    let inv = 1.0 / groups as f32;
+                                    x.iter_mut().for_each(|v| *v *= inv);
+                                }
+                                broadcast(&mut bundle.local, 0, &mut x);
+                                local_rounds = 0;
+                            }
+                            learner.model.write_params(&x);
+                            comm_s += t1.elapsed().as_secs_f64();
+                        }
+                    }
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            epoch as f64,
+                            compute_s,
+                            comm_s,
+                            samples * p as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    rank0_history.expect("rank 0 history")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn threaded_sasgd_learns() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(120, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run_threaded_sasgd(&factory, &train, &test, &cfg, 4, 2, GammaP::OverP);
+        assert_eq!(h.records.len(), 6);
+        assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
+    }
+
+    #[test]
+    fn threaded_downpour_learns_through_a_real_server() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(120, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.04, 42);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run_threaded_downpour(&factory, &train, &test, &cfg, 2, 2, 2);
+        assert!(!h.records.is_empty());
+        assert!(
+            h.final_test_acc() > 0.45,
+            "async threads + real PS should still learn at p=2: {:.2}",
+            h.final_test_acc()
+        );
+    }
+
+    #[test]
+    fn threaded_hierarchical_learns() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(160, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run_threaded_hierarchical_sasgd(
+            &factory,
+            &train,
+            &test,
+            &cfg,
+            2,
+            2,
+            2,
+            2,
+            GammaP::OverP,
+        );
+        assert!(h.final_test_acc() > 0.5, "acc {:.2}", h.final_test_acc());
+    }
+
+    #[test]
+    fn threaded_hierarchical_single_group_equals_flat() {
+        // With one group the leader exchange is a no-op, so the run must
+        // equal flat threaded SASGD at T = t_local bitwise.
+        let (train, test) = generate(&CifarLikeConfig::tiny(96, 24, 2));
+        let mut cfg = TrainConfig::new(3, 8, 0.05, 11);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(2, &mut SeedRng::new(5));
+        let hier = run_threaded_hierarchical_sasgd(
+            &factory,
+            &train,
+            &test,
+            &cfg,
+            1,
+            3,
+            2,
+            4,
+            GammaP::OverP,
+        );
+        let flat = run_threaded_sasgd(&factory, &train, &test, &cfg, 3, 2, GammaP::OverP);
+        for (a, b) in hier.records.iter().zip(&flat.records) {
+            assert_eq!(a.train_loss, b.train_loss);
+            assert_eq!(a.test_acc, b.test_acc);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_simulated_bitwise() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(48, 16, 2));
+        let mut cfg = TrainConfig::new(3, 8, 0.05, 11);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(2, &mut SeedRng::new(5));
+        let th = run_threaded_sasgd(&factory, &train, &test, &cfg, 1, 1, GammaP::OverP);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(5));
+        let sim =
+            crate::algorithms::sasgd::run(&mut f, &train, &test, &cfg, 1, 1, GammaP::OverP, None);
+        for (a, b) in th.records.iter().zip(&sim.records) {
+            assert_eq!(a.train_loss, b.train_loss);
+            assert_eq!(a.test_acc, b.test_acc);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The distributed trainer: shared machinery plus the public [`train`]
+//! entry point.
+//!
+//! All algorithms run *real* gradient math on model replicas; what is
+//! simulated is the platform — per-minibatch compute times, aggregation
+//! costs and learner jitter come from the `sasgd-simnet` cost model and
+//! advance deterministic virtual clocks. Asynchronous algorithms are
+//! executed event-driven in virtual-time order, so gradient staleness
+//! emerges from the same speed variations a real cluster has, while runs
+//! stay bit-reproducible under a seed.
+
+use sasgd_data::Dataset;
+use sasgd_nn::{Ctx, Model};
+use sasgd_simnet::{CostModel, JitterModel};
+use sasgd_tensor::{SeedRng, Tensor};
+
+use crate::algorithms::{self, Algorithm};
+use crate::history::{EpochRecord, History};
+use crate::schedule::LrSchedule;
+
+/// Everything a training run needs besides the data and the algorithm.
+#[derive(Clone)]
+pub struct TrainConfig {
+    /// Collective epochs: total samples processed = `epochs × |train|`.
+    pub epochs: usize,
+    /// Minibatch size `M`.
+    pub batch_size: usize,
+    /// Base local learning rate `γ`.
+    pub gamma: f32,
+    /// How γ evolves over epochs (the paper uses [`LrSchedule::Constant`]).
+    pub schedule: LrSchedule,
+    /// Master seed (learner streams are split from it).
+    pub seed: u64,
+    /// Platform model for virtual-time accounting.
+    pub cost: CostModel,
+    /// Learner speed noise (drives staleness and stragglers).
+    pub jitter: JitterModel,
+    /// Cap on evaluation-set sizes (0 = evaluate on everything).
+    pub eval_cap: usize,
+}
+
+impl TrainConfig {
+    /// γ at a (fractional) collective epoch, per the schedule.
+    pub fn gamma_at(&self, epoch: f64) -> f32 {
+        self.schedule.at(self.gamma, epoch)
+    }
+
+    /// A convenient configuration for experiments: paper-testbed cost
+    /// model, default jitter, evaluation capped at 2 000 samples.
+    pub fn new(epochs: usize, batch_size: usize, gamma: f32, seed: u64) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size,
+            gamma,
+            schedule: LrSchedule::Constant,
+            seed,
+            cost: CostModel::paper_testbed(),
+            jitter: JitterModel::default(),
+            eval_cap: 2_000,
+        }
+    }
+}
+
+/// Run `algo` on `(train_set, test_set)`, building learner replicas with
+/// `factory` (which must return identically initialized models — close
+/// over a fixed seed).
+///
+/// Returns the per-epoch [`History`] recorded from learner 0's
+/// perspective, as the paper does ("we collect accuracy numbers from one
+/// learner after it has made a complete pass of the input data").
+pub fn train(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &Algorithm,
+    cfg: &TrainConfig,
+) -> History {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    assert!(cfg.batch_size > 0, "need a positive minibatch size");
+    assert!(!train_set.is_empty(), "empty training set");
+    match *algo {
+        Algorithm::Sequential => algorithms::sequential::run(factory, train_set, test_set, cfg),
+        Algorithm::Sasgd { p, t, gamma_p } => {
+            algorithms::sasgd::run(factory, train_set, test_set, cfg, p, t, gamma_p, None)
+        }
+        Algorithm::SasgdCompressed {
+            p,
+            t,
+            gamma_p,
+            compression,
+        } => algorithms::sasgd::run(
+            factory,
+            train_set,
+            test_set,
+            cfg,
+            p,
+            t,
+            gamma_p,
+            Some(compression),
+        ),
+        Algorithm::HierarchicalSasgd {
+            groups,
+            per_group,
+            t_local,
+            t_global,
+            gamma_p,
+        } => algorithms::hierarchical::run(
+            factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
+        ),
+        Algorithm::Downpour { p, t } => {
+            algorithms::downpour::run(factory, train_set, test_set, cfg, p, t)
+        }
+        Algorithm::Eamsgd {
+            p,
+            t,
+            moving_rate,
+            momentum,
+        } => algorithms::eamsgd::run(
+            factory,
+            train_set,
+            test_set,
+            cfg,
+            p,
+            t,
+            moving_rate,
+            momentum,
+        ),
+        Algorithm::ModelAverageOnce { p } => {
+            algorithms::averaging::run(factory, train_set, test_set, cfg, p)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared internals used by the algorithm implementations.
+// ---------------------------------------------------------------------------
+
+/// Pre-batched evaluation sets (optionally capped).
+pub(crate) struct EvalSets {
+    train_x: Vec<Tensor>,
+    train_y: Vec<Vec<usize>>,
+    test_x: Vec<Tensor>,
+    test_y: Vec<Vec<usize>>,
+}
+
+impl EvalSets {
+    pub(crate) fn prepare(train: &Dataset, test: &Dataset, cap: usize) -> Self {
+        let take = |d: &Dataset| -> (Vec<Tensor>, Vec<Vec<usize>>) {
+            let n = if cap == 0 { d.len() } else { d.len().min(cap) };
+            if n == 0 {
+                return (Vec::new(), Vec::new());
+            }
+            let idx: Vec<usize> = (0..n).collect();
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for chunk in idx.chunks(64) {
+                let (x, y) = d.batch(chunk);
+                xs.push(x);
+                ys.push(y);
+            }
+            (xs, ys)
+        };
+        let (train_x, train_y) = take(train);
+        let (test_x, test_y) = take(test);
+        EvalSets {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+        }
+    }
+
+    /// Evaluate `model` and assemble a record, including a large-batch
+    /// gradient-norm estimate (the empirical counterpart of the theory's
+    /// average gradient norm; measured on up to two evaluation batches
+    /// with a fixed dropout stream for determinism).
+    pub(crate) fn record(
+        &self,
+        model: &mut Model,
+        epoch: f64,
+        compute_seconds: f64,
+        comm_seconds: f64,
+        samples: u64,
+    ) -> EpochRecord {
+        let (train_loss, train_acc) = model.evaluate(&self.train_x, &self.train_y);
+        let (test_loss, test_acc) = model.evaluate(&self.test_x, &self.test_y);
+        let grad_norm = self.grad_norm_estimate(model);
+        EpochRecord {
+            epoch,
+            train_loss,
+            train_acc,
+            test_loss,
+            test_acc,
+            compute_seconds,
+            comm_seconds,
+            samples,
+            grad_norm,
+        }
+    }
+
+    fn grad_norm_estimate(&self, model: &mut Model) -> f32 {
+        let mut grad = vec![0.0f32; model.param_len()];
+        let mut batches = 0usize;
+        for (x, y) in self.train_x.iter().zip(&self.train_y).take(2) {
+            model.zero_grads();
+            let mut ctx = Ctx::train(SeedRng::new(0x6E0));
+            model.forward_loss(x, y, &mut ctx);
+            model.backward();
+            let g = model.grad_vector();
+            for (a, &b) in grad.iter_mut().zip(&g) {
+                *a += b;
+            }
+            batches += 1;
+        }
+        model.zero_grads();
+        if batches == 0 {
+            return 0.0;
+        }
+        let inv = 1.0 / batches as f32;
+        grad.iter()
+            .map(|v| (v * inv) * (v * inv))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// One learner replica with its deterministic streams and virtual clocks.
+pub(crate) struct Learner {
+    pub(crate) model: Model,
+    /// Batch-order and dropout stream.
+    pub(crate) rng: SeedRng,
+    /// Jitter stream (separate so changing jitter never changes the math).
+    pub(crate) jrng: SeedRng,
+    /// Persistent speed factor.
+    pub(crate) speed: f64,
+    /// Virtual clock (seconds).
+    pub(crate) clock: f64,
+    /// Accumulated compute seconds.
+    pub(crate) compute_s: f64,
+    /// Accumulated communication (incl. barrier wait) seconds.
+    pub(crate) comm_s: f64,
+    /// Gradient accumulator `gs` of Algorithm 1.
+    pub(crate) gs: Vec<f32>,
+}
+
+impl Learner {
+    pub(crate) fn new(id: usize, model: Model, cfg: &TrainConfig) -> Self {
+        let m = model.param_len();
+        let root = SeedRng::new(cfg.seed);
+        Learner {
+            model,
+            rng: root.split(0x100 + id as u64),
+            jrng: root.split(0x200 + id as u64),
+            speed: cfg.jitter.learner_factor(id, cfg.seed),
+            clock: 0.0,
+            compute_s: 0.0,
+            comm_s: 0.0,
+            gs: vec![0.0; m],
+        }
+    }
+
+    /// Draw this learner's next per-minibatch jitter factor.
+    pub(crate) fn draw_jitter(&mut self, jm: &JitterModel) -> f64 {
+        jm.minibatch_factor(&mut self.jrng)
+    }
+
+    /// Forward + backward on one minibatch; returns `(gradient, loss)`
+    /// without touching parameters, `gs`, or the clock.
+    pub(crate) fn compute_gradient(&mut self, data: &Dataset, idx: &[usize]) -> (Vec<f32>, f32) {
+        let (x, y) = data.batch(idx);
+        let mut ctx = Ctx::train(self.rng.split(0xD5)); // fresh dropout stream per call
+                                                        // Advance the dropout base stream so successive batches differ.
+        let _ = self.rng.uniform();
+        self.model.zero_grads();
+        let out = self.model.forward_loss(&x, &y, &mut ctx);
+        self.model.backward();
+        (self.model.grad_vector(), out.loss)
+    }
+
+    /// Process one minibatch: forward, backward, accumulate into `gs`,
+    /// apply the local step `x ← x − γ·g`, and advance the clock by
+    /// `step_seconds × speed × jitter`. Returns the minibatch loss.
+    pub(crate) fn local_step(
+        &mut self,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+        step_seconds: f64,
+        jitter: f64,
+    ) -> f32 {
+        let (g, loss) = self.compute_gradient(data, idx);
+        for (a, &b) in self.gs.iter_mut().zip(&g) {
+            *a += b;
+        }
+        if gamma != 0.0 {
+            let mut params = self.model.param_vector();
+            for (p, &gv) in params.iter_mut().zip(&g) {
+                *p -= gamma * gv;
+            }
+            self.model.write_params(&params);
+        }
+        let dt = step_seconds * self.speed * jitter;
+        self.clock += dt;
+        self.compute_s += dt;
+        loss
+    }
+
+    /// Advance the clock through a communication phase.
+    pub(crate) fn charge_comm(&mut self, seconds: f64) {
+        self.clock += seconds;
+        self.comm_s += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+
+    #[test]
+    fn eval_sets_cap_applies() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(50, 30, 3));
+        let ev = EvalSets::prepare(&train, &test, 10);
+        assert_eq!(ev.train_y.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(ev.test_y.iter().map(Vec::len).sum::<usize>(), 10);
+        let ev_all = EvalSets::prepare(&train, &test, 0);
+        assert_eq!(ev_all.train_y.iter().map(Vec::len).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn record_reports_consistent_fields() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(20, 10, 3));
+        let ev = EvalSets::prepare(&train, &test, 0);
+        let mut model = models::tiny_cnn(3, &mut SeedRng::new(0));
+        let r = ev.record(&mut model, 2.0, 1.5, 0.5, 40);
+        assert_eq!(r.epoch, 2.0);
+        assert!(r.train_acc >= 0.0 && r.train_acc <= 1.0);
+        assert!(r.test_loss > 0.0);
+        assert_eq!(r.samples, 40);
+    }
+}

@@ -1,0 +1,274 @@
+//! In-memory dataset container, minibatch iteration, and learner shards.
+
+use sasgd_tensor::{SeedRng, Tensor};
+
+/// A labelled dataset held as one contiguous buffer.
+///
+/// Samples share `sample_dims` (e.g. `[3, 32, 32]`); sample `i` occupies
+/// `[i*stride, (i+1)*stride)` of the flat buffer. Batching therefore copies
+/// contiguous slices — the same access pattern a real input pipeline has.
+#[derive(Clone)]
+pub struct Dataset {
+    x: Vec<f32>,
+    labels: Vec<usize>,
+    sample_dims: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Construct from a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not `labels.len() * prod(sample_dims)`
+    /// or a label is out of range.
+    pub fn new(x: Vec<f32>, labels: Vec<usize>, sample_dims: &[usize], classes: usize) -> Self {
+        let stride: usize = sample_dims.iter().product();
+        assert_eq!(x.len(), labels.len() * stride, "buffer/label mismatch");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Dataset {
+            x,
+            labels,
+            sample_dims: sample_dims.to_vec(),
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample dimensions (no batch axis).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.sample_dims
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Elements per sample.
+    pub fn stride(&self) -> usize {
+        self.sample_dims.iter().product()
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Gather the samples at `indices` into a batch tensor plus labels.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let stride = self.stride();
+        let mut buf = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            buf.extend_from_slice(&self.x[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.sample_dims);
+        (Tensor::from_vec(buf, &dims), labels)
+    }
+
+    /// The whole dataset as batches of at most `chunk` samples — for
+    /// evaluation passes.
+    pub fn eval_batches(&self, chunk: usize) -> (Vec<Tensor>, Vec<Vec<usize>>) {
+        assert!(chunk > 0);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut i = 0;
+        while i < self.len() {
+            let hi = (i + chunk).min(self.len());
+            let idx: Vec<usize> = (i..hi).collect();
+            let (x, y) = self.batch(&idx);
+            xs.push(x);
+            ys.push(y);
+            i = hi;
+        }
+        (xs, ys)
+    }
+
+    /// Split into `p` near-equal contiguous shards — the per-learner data
+    /// partition used by all the distributed algorithms.
+    ///
+    /// Sample counts differ by at most one; every sample lands in exactly
+    /// one shard.
+    pub fn shards(&self, p: usize) -> Vec<Shard> {
+        assert!(p > 0, "need at least one learner");
+        let n = self.len();
+        let base = n / p;
+        let extra = n % p;
+        let mut out = Vec::with_capacity(p);
+        let mut start = 0usize;
+        for k in 0..p {
+            let size = base + usize::from(k < extra);
+            out.push(Shard {
+                indices: (start..start + size).collect(),
+            });
+            start += size;
+        }
+        out
+    }
+}
+
+/// The index set a single learner trains on.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    indices: Vec<usize>,
+}
+
+impl Shard {
+    /// Shard over explicit indices.
+    pub fn from_indices(indices: Vec<usize>) -> Self {
+        Shard { indices }
+    }
+
+    /// Number of samples in the shard.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the shard is empty (can happen when `p > n`).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The underlying dataset indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Minibatches of size `m` over a fresh shuffle of this shard.
+    pub fn epoch_iter(&self, m: usize, rng: &mut SeedRng) -> MinibatchIter {
+        let mut order = self.indices.clone();
+        rng.shuffle(&mut order);
+        MinibatchIter { order, m, pos: 0 }
+    }
+
+    /// One uniformly random minibatch of size `m` (with replacement across
+    /// calls, without within a batch when possible).
+    pub fn random_batch(&self, m: usize, rng: &mut SeedRng) -> Vec<usize> {
+        assert!(!self.indices.is_empty(), "random_batch from empty shard");
+        (0..m)
+            .map(|_| self.indices[rng.below(self.indices.len())])
+            .collect()
+    }
+}
+
+/// Iterator over one epoch's minibatches (last partial batch included).
+pub struct MinibatchIter {
+    order: Vec<usize>,
+    m: usize,
+    pos: usize,
+}
+
+impl Iterator for MinibatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let hi = (self.pos + self.m).min(self.order.len());
+        let batch = self.order[self.pos..hi].to_vec();
+        self.pos = hi;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x: Vec<f32> = (0..n * 2).map(|v| v as f32).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(x, labels, &[2], 3)
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = toy(5);
+        let (x, y) = d.batch(&[0, 3]);
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(x.as_slice(), &[0., 1., 6., 7.]);
+        assert_eq!(y, vec![0, 0]);
+    }
+
+    #[test]
+    fn shards_partition_everything() {
+        let d = toy(10);
+        let shards = d.shards(3);
+        assert_eq!(
+            shards.iter().map(Shard::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        let mut all: Vec<usize> = shards.iter().flat_map(|s| s.indices().to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_learners_than_samples_gives_empty_shards() {
+        let d = toy(2);
+        let shards = d.shards(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().filter(|s| s.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn epoch_iter_covers_shard_once() {
+        let d = toy(7);
+        let shard = &d.shards(1)[0];
+        let mut rng = SeedRng::new(1);
+        let batches: Vec<Vec<usize>> = shard.epoch_iter(3, &mut rng).collect();
+        assert_eq!(batches.len(), 3); // 3 + 3 + 1
+        assert_eq!(batches[2].len(), 1);
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epoch_iter_shuffles_between_epochs() {
+        let d = toy(32);
+        let shard = &d.shards(1)[0];
+        let mut rng = SeedRng::new(2);
+        let e1: Vec<usize> = shard.epoch_iter(32, &mut rng).flatten().collect();
+        let e2: Vec<usize> = shard.epoch_iter(32, &mut rng).flatten().collect();
+        assert_ne!(e1, e2, "epochs should reshuffle");
+    }
+
+    #[test]
+    fn eval_batches_cover_all() {
+        let d = toy(7);
+        let (xs, ys) = d.eval_batches(4);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(ys.iter().map(Vec::len).sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn random_batch_draws_from_shard() {
+        let d = toy(9);
+        let shard = &d.shards(3)[1]; // indices 3..6
+        let mut rng = SeedRng::new(3);
+        for _ in 0..20 {
+            for i in shard.random_batch(4, &mut rng) {
+                assert!((3..6).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_rejected() {
+        Dataset::new(vec![0.0; 4], vec![0, 5], &[2], 3);
+    }
+}

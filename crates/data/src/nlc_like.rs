@@ -1,0 +1,246 @@
+//! Synthetic NLC-F stand-in.
+//!
+//! The paper's second workload is an unreleased finance NLP corpus:
+//! 2 500 sentences, 311 output labels, inputs pre-embedded with word2vec
+//! (100-d). We reproduce the regime, not the text: a vocabulary of random
+//! embedding vectors, per-class *keyword* embeddings, and sentences built
+//! by planting a few (noisy) keywords of the target class among shared
+//! noise words. Key properties preserved:
+//!
+//! * tiny dataset with a huge label space (many classes, few examples
+//!   per class) — the setting where Downpour/EAMSGD collapse at p ≥ 8
+//!   (Fig 10) while SASGD stays near the sequential accuracy;
+//! * inputs are fixed-length sequences of dense embeddings feeding the
+//!   Table II temporal-convolution network;
+//! * minibatch size 1 is meaningful (the paper found it best for NLC-F).
+
+use sasgd_tensor::SeedRng;
+
+use crate::dataset::Dataset;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct NlcLikeConfig {
+    /// Training sentences (paper: 2 500).
+    pub train: usize,
+    /// Test sentences (the paper does not state the split; we default to
+    /// a 20 % holdout of the same generator).
+    pub test: usize,
+    /// Output labels (paper: 311).
+    pub classes: usize,
+    /// Sentence length in tokens.
+    pub seq_len: usize,
+    /// Embedding dimension (paper: 100, from word2vec).
+    pub embed: usize,
+    /// Keywords planted per sentence.
+    pub keywords: usize,
+    /// Additive embedding noise; larger is harder.
+    pub noise: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for NlcLikeConfig {
+    fn default() -> Self {
+        NlcLikeConfig {
+            train: 2_500,
+            test: 500,
+            classes: 311,
+            seq_len: 20,
+            embed: 100,
+            keywords: 3,
+            noise: 0.35,
+            seed: 0x1cf,
+        }
+    }
+}
+
+impl NlcLikeConfig {
+    /// CPU-scale configuration with fewer classes/sentences but the same
+    /// geometry.
+    pub fn scaled(train: usize, test: usize, classes: usize) -> Self {
+        NlcLikeConfig {
+            train,
+            test,
+            classes,
+            ..Default::default()
+        }
+    }
+
+    /// Tiny configuration for unit/integration tests.
+    pub fn tiny(train: usize, test: usize, classes: usize) -> Self {
+        NlcLikeConfig {
+            train,
+            test,
+            classes,
+            seq_len: 8,
+            embed: 12,
+            keywords: 2,
+            noise: 0.2,
+            seed: 99,
+        }
+    }
+}
+
+struct Vocab {
+    /// `[classes][keywords][embed]` class-identifying embeddings.
+    keywords: Vec<Vec<Vec<f32>>>,
+    /// `[n_noise][embed]` shared filler embeddings.
+    noise_words: Vec<Vec<f32>>,
+}
+
+fn make_vocab(cfg: &NlcLikeConfig, rng: &mut SeedRng) -> Vocab {
+    let unit = |rng: &mut SeedRng| -> Vec<f32> {
+        let v: Vec<f32> = (0..cfg.embed).map(|_| rng.normal()).collect();
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        v.into_iter().map(|x| x / n).collect()
+    };
+    let keywords = (0..cfg.classes)
+        .map(|_| (0..cfg.keywords.max(1)).map(|_| unit(rng)).collect())
+        .collect();
+    let n_noise = (cfg.classes * 2).max(50);
+    let noise_words = (0..n_noise).map(|_| unit(rng)).collect();
+    Vocab {
+        keywords,
+        noise_words,
+    }
+}
+
+fn generate_split(cfg: &NlcLikeConfig, vocab: &Vocab, n: usize, rng: &mut SeedRng) -> Dataset {
+    let stride = cfg.seq_len * cfg.embed;
+    let mut x = Vec::with_capacity(n * stride);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % cfg.classes;
+        // Choose keyword positions.
+        let mut positions: Vec<usize> = (0..cfg.seq_len).collect();
+        rng.shuffle(&mut positions);
+        let kw_positions = &positions[..cfg.keywords.min(cfg.seq_len)];
+        for t in 0..cfg.seq_len {
+            let word: &[f32] = if let Some(k) = kw_positions.iter().position(|&p| p == t) {
+                &vocab.keywords[class][k % vocab.keywords[class].len()]
+            } else {
+                &vocab.noise_words[rng.below(vocab.noise_words.len())]
+            };
+            for &w in word {
+                x.push(w + cfg.noise * rng.normal());
+            }
+        }
+        labels.push(class);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut xs = Vec::with_capacity(x.len());
+    let mut ls = Vec::with_capacity(n);
+    for &i in &order {
+        xs.extend_from_slice(&x[i * stride..(i + 1) * stride]);
+        ls.push(labels[i]);
+    }
+    Dataset::new(xs, ls, &[cfg.seq_len, cfg.embed], cfg.classes)
+}
+
+/// Generate the (train, test) pair, sharing a vocabulary.
+pub fn generate(cfg: &NlcLikeConfig) -> (Dataset, Dataset) {
+    assert!(cfg.classes >= 2, "need at least two classes");
+    assert!(cfg.keywords >= 1, "need at least one keyword per class");
+    assert!(
+        cfg.seq_len >= cfg.keywords,
+        "sentence shorter than keyword count"
+    );
+    let mut vrng = SeedRng::new(cfg.seed).split(0xABC);
+    let vocab = make_vocab(cfg, &mut vrng);
+    let mut train_rng = SeedRng::new(cfg.seed).split(1);
+    let mut test_rng = SeedRng::new(cfg.seed).split(2);
+    (
+        generate_split(cfg, &vocab, cfg.train, &mut train_rng),
+        generate_split(cfg, &vocab, cfg.test, &mut test_rng),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_geometry() {
+        let cfg = NlcLikeConfig {
+            train: 311,
+            test: 311,
+            ..Default::default()
+        };
+        let (train, test) = generate(&cfg);
+        assert_eq!(train.sample_dims(), &[20, 100]);
+        assert_eq!(train.classes(), 311);
+        assert_eq!(train.len(), 311);
+        assert_eq!(test.len(), 311);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = NlcLikeConfig::tiny(10, 4, 5);
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        let (xa, ya) = a.batch(&[0, 5]);
+        let (xb, yb) = b.batch(&[0, 5]);
+        assert_eq!(xa.as_slice(), xb.as_slice());
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn keyword_signal_is_recoverable() {
+        // A max-over-words dot product with each class's first keyword
+        // should identify the class far above chance.
+        let cfg = NlcLikeConfig {
+            noise: 0.1,
+            ..NlcLikeConfig::tiny(40, 0, 4)
+        };
+        let (train, _) = generate(&cfg);
+        let mut vrng = SeedRng::new(cfg.seed).split(0xABC);
+        let vocab = make_vocab(&cfg, &mut vrng);
+        let mut correct = 0usize;
+        for i in 0..train.len() {
+            let (x, y) = train.batch(&[i]);
+            let xs = x.as_slice();
+            let mut best = (f32::NEG_INFINITY, 0usize);
+            for (cls, kws) in vocab.keywords.iter().enumerate() {
+                let mut score = f32::NEG_INFINITY;
+                for t in 0..cfg.seq_len {
+                    let tok = &xs[t * cfg.embed..(t + 1) * cfg.embed];
+                    for kw in kws {
+                        let d: f32 = tok.iter().zip(kw).map(|(a, b)| a * b).sum();
+                        score = score.max(d);
+                    }
+                }
+                if score > best.0 {
+                    best = (score, cls);
+                }
+            }
+            if best.1 == y[0] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / train.len() as f32;
+        assert!(acc > 0.7, "keyword matching accuracy only {acc}");
+    }
+
+    #[test]
+    fn balanced_labels() {
+        let cfg = NlcLikeConfig::tiny(20, 0, 4);
+        let (train, _) = generate(&cfg);
+        let mut counts = vec![0usize; 4];
+        for i in 0..train.len() {
+            counts[train.label(i)] += 1;
+        }
+        assert_eq!(counts, vec![5; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentence shorter")]
+    fn rejects_too_many_keywords() {
+        let cfg = NlcLikeConfig {
+            keywords: 9,
+            ..NlcLikeConfig::tiny(4, 0, 2)
+        };
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,106 @@
+//! The [`Layer`] trait: forward/backward, flat parameter access, FLOP model.
+
+use sasgd_tensor::{SeedRng, Tensor};
+
+/// Per-pass context threaded through the forward pass.
+///
+/// Carries the training/eval flag (dropout behaves differently) and the RNG
+/// stream that makes dropout masks reproducible per learner.
+pub struct Ctx {
+    /// `true` during training (dropout active), `false` at evaluation.
+    pub training: bool,
+    /// Deterministic RNG for stochastic layers.
+    pub rng: SeedRng,
+}
+
+impl Ctx {
+    /// Training-mode context.
+    pub fn train(rng: SeedRng) -> Self {
+        Ctx {
+            training: true,
+            rng,
+        }
+    }
+
+    /// Evaluation-mode context (dropout disabled; RNG unused).
+    pub fn eval() -> Self {
+        Ctx {
+            training: false,
+            rng: SeedRng::new(0),
+        }
+    }
+}
+
+/// One differentiable layer.
+///
+/// Layers own their parameters, their parameter gradients (accumulated
+/// across `backward` calls until [`Layer::zero_grads`]), and whatever
+/// activations they must cache between `forward` and `backward`.
+///
+/// Shapes use *per-sample* dimensions (the batch axis is implicit and
+/// dynamic): a conv layer maps `[ci, h, w] -> [co, oh, ow]`, a linear layer
+/// maps `[..., in] -> [..., out]`.
+pub trait Layer: Send {
+    /// Human-readable layer name for model summaries.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass over a batch. Consumes the input (layers that need it
+    /// for backward cache it internally).
+    fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor;
+
+    /// Backward pass: receives `dL/d(output)`, returns `dL/d(input)`, and
+    /// *accumulates* parameter gradients internally.
+    fn backward(&mut self, grad_out: Tensor) -> Tensor;
+
+    /// Number of learnable scalars.
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    /// Copy parameters into `out` (length exactly [`Layer::param_len`]).
+    fn read_params(&self, _out: &mut [f32]) {}
+
+    /// Overwrite parameters from `src` (length exactly [`Layer::param_len`]).
+    fn write_params(&mut self, _src: &[f32]) {}
+
+    /// Copy accumulated gradients into `out`.
+    fn read_grads(&self, _out: &mut [f32]) {}
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Per-sample output dimensions given per-sample input dimensions.
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize>;
+
+    /// Forward multiply–accumulates for one sample with the given
+    /// per-sample input dimensions. Element-wise layers report their element
+    /// count; parameter-free reshapes report zero.
+    fn macs(&self, in_dims: &[usize]) -> u64;
+}
+
+/// Batch a per-sample shape into full tensor dims.
+pub fn with_batch(n: usize, per_sample: &[usize]) -> Vec<usize> {
+    let mut d = Vec::with_capacity(per_sample.len() + 1);
+    d.push(n);
+    d.extend_from_slice(per_sample);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_modes() {
+        let t = Ctx::train(SeedRng::new(1));
+        assert!(t.training);
+        let e = Ctx::eval();
+        assert!(!e.training);
+    }
+
+    #[test]
+    fn with_batch_prepends() {
+        assert_eq!(with_batch(4, &[3, 32, 32]), vec![4, 3, 32, 32]);
+        assert_eq!(with_batch(1, &[]), vec![1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Element-wise non-linearities: ReLU (CIFAR net) and Tanh (NLC net).
+
+use sasgd_tensor::Tensor;
+
+use crate::layer::{Ctx, Layer};
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
+        if ctx.training {
+            let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+            self.mask = Some(mask);
+        }
+        input.as_mut_slice().iter_mut().for_each(|x| {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        });
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        let mask = self.mask.take().expect("backward without forward");
+        for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad_out
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        in_dims.to_vec()
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        in_dims.iter().product::<usize>() as u64
+    }
+}
+
+/// Hyperbolic tangent.
+#[derive(Default)]
+pub struct Tanh {
+    cached_out: Option<Tensor>,
+}
+
+impl Tanh {
+    /// New Tanh.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+
+    fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
+        input.as_mut_slice().iter_mut().for_each(|x| *x = x.tanh());
+        if ctx.training {
+            self.cached_out = Some(input.clone());
+        }
+        input
+    }
+
+    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
+        let y = self.cached_out.take().expect("backward without forward");
+        for (g, &yv) in grad_out.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *g *= 1.0 - yv * yv;
+        }
+        grad_out
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        in_dims.to_vec()
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        in_dims.iter().product::<usize>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn relu_clamps_and_gates() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let mut ctx = Ctx::train(SeedRng::new(0));
+        let y = r.forward(x, &mut ctx);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_matches_derivative() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![0.3, -0.7], &[2]);
+        let mut ctx = Ctx::train(SeedRng::new(0));
+        let y = t.forward(x.clone(), &mut ctx);
+        assert!((y.as_slice()[0] - 0.3f32.tanh()).abs() < 1e-6);
+        let dx = t.backward(Tensor::full(&[2], 1.0));
+        for (i, &xv) in x.as_slice().iter().enumerate() {
+            let expect = 1.0 - xv.tanh().powi(2);
+            assert!((dx.as_slice()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn activations_preserve_shape_and_have_no_params() {
+        let r = Relu::new();
+        assert_eq!(r.out_shape(&[64, 16, 16]), vec![64, 16, 16]);
+        assert_eq!(r.param_len(), 0);
+        let t = Tanh::new();
+        assert_eq!(t.out_shape(&[10]), vec![10]);
+        assert_eq!(t.param_len(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Concrete layers: everything the Table I and Table II networks need.
+
+mod activation;
+mod conv2d;
+mod dropout;
+mod linear;
+mod pool2d;
+mod pool_avg;
+mod reshape;
+mod temporal;
+
+pub use activation::{Relu, Tanh};
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use pool2d::MaxPool2d;
+pub use pool_avg::{AvgPool2d, LocalResponseNorm};
+pub use reshape::Flatten;
+pub use temporal::{GlobalMaxOverTime, TemporalConv1d, TemporalMaxPool};

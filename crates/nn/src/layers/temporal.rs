@@ -1,0 +1,400 @@
+//! Temporal (1-D) convolution and pooling for the NLC-F network (Table II).
+//!
+//! Inputs are `[n, len, dim]` sequences of word embeddings. The temporal
+//! convolution with window `k` concatenates `k` consecutive timesteps and
+//! applies a linear map — the Torch `nn.TemporalConvolution` the paper's
+//! NLC-F model uses.
+
+use sasgd_tensor::{linalg, SeedRng, Tensor};
+
+use crate::init;
+use crate::layer::{Ctx, Layer};
+
+/// 1-D convolution over the time axis: `[len, din] -> [len-k+1, nkern]`.
+pub struct TemporalConv1d {
+    din: usize,
+    nkern: usize,
+    window: usize,
+    /// `[window*din, nkern]`
+    weight: Tensor,
+    bias: Vec<f32>,
+    dweight: Tensor,
+    dbias: Vec<f32>,
+    /// Unfolded input `[n*(len-k+1), window*din]` cached for backward.
+    cached_unfold: Option<Tensor>,
+    cached_in_dims: Vec<usize>,
+}
+
+impl TemporalConv1d {
+    /// New temporal convolution (`nkern` kernels of width `window` over
+    /// `din`-dimensional timesteps).
+    pub fn new(din: usize, nkern: usize, window: usize, rng: &mut SeedRng) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        let fan_in = window * din;
+        TemporalConv1d {
+            din,
+            nkern,
+            window,
+            weight: init::torch_uniform(rng, &[fan_in, nkern], fan_in),
+            bias: init::torch_uniform_bias(rng, nkern, fan_in),
+            dweight: Tensor::zeros(&[fan_in, nkern]),
+            dbias: vec![0.0; nkern],
+            cached_unfold: None,
+            cached_in_dims: Vec::new(),
+        }
+    }
+
+    fn unfold(&self, input: &Tensor) -> Tensor {
+        let [n, len, din] = [input.dims()[0], input.dims()[1], input.dims()[2]];
+        let olen = len + 1 - self.window;
+        let fan_in = self.window * din;
+        let mut out = Tensor::zeros(&[n * olen, fan_in]);
+        let id = input.as_slice();
+        let od = out.as_mut_slice();
+        for s in 0..n {
+            for t in 0..olen {
+                let src = (s * len + t) * din;
+                let dst = (s * olen + t) * fan_in;
+                od[dst..dst + fan_in].copy_from_slice(&id[src..src + fan_in]);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for TemporalConv1d {
+    fn name(&self) -> &'static str {
+        "TemporalConv1d"
+    }
+
+    fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
+        let [n, len, din] = [input.dims()[0], input.dims()[1], input.dims()[2]];
+        assert_eq!(din, self.din, "timestep width mismatch");
+        assert!(len >= self.window, "sequence shorter than window");
+        let olen = len + 1 - self.window;
+        let unfolded = self.unfold(&input);
+        let mut out = linalg::matmul_auto(&unfolded, &self.weight);
+        linalg::add_bias_rows(&mut out, &self.bias);
+        if ctx.training {
+            self.cached_unfold = Some(unfolded);
+            self.cached_in_dims = input.dims().to_vec();
+        }
+        out.reshape(&[n, olen, self.nkern])
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let unfolded = self.cached_unfold.take().expect("backward without forward");
+        let [n, len, din] = [
+            self.cached_in_dims[0],
+            self.cached_in_dims[1],
+            self.cached_in_dims[2],
+        ];
+        let olen = len + 1 - self.window;
+        let rows = n * olen;
+        let g = grad_out.reshape(&[rows, self.nkern]);
+        self.dweight.add_assign(&linalg::matmul_tn(&unfolded, &g));
+        linalg::col_sums_into(&g, &mut self.dbias);
+        // d(unfolded) = G W^T, then fold overlapping windows back.
+        let dunf = linalg::matmul_nt(&g, &self.weight);
+        let mut din_t = Tensor::zeros(&[n, len, din]);
+        let dd = din_t.as_mut_slice();
+        let ud = dunf.as_slice();
+        let fan_in = self.window * din;
+        for s in 0..n {
+            for t in 0..olen {
+                let src = (s * olen + t) * fan_in;
+                let dst = (s * len + t) * din;
+                for k in 0..fan_in {
+                    dd[dst + k] += ud[src + k];
+                }
+            }
+        }
+        din_t
+    }
+
+    fn param_len(&self) -> usize {
+        self.weight.numel() + self.bias.len()
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        let w = self.weight.numel();
+        out[..w].copy_from_slice(self.weight.as_slice());
+        out[w..].copy_from_slice(&self.bias);
+    }
+
+    fn write_params(&mut self, src: &[f32]) {
+        let w = self.weight.numel();
+        self.weight.as_mut_slice().copy_from_slice(&src[..w]);
+        self.bias.copy_from_slice(&src[w..]);
+    }
+
+    fn read_grads(&self, out: &mut [f32]) {
+        let w = self.dweight.numel();
+        out[..w].copy_from_slice(self.dweight.as_slice());
+        out[w..].copy_from_slice(&self.dbias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dweight.zero_();
+        self.dbias.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        assert_eq!(in_dims.len(), 2, "TemporalConv1d expects [len, dim]");
+        assert_eq!(in_dims[1], self.din);
+        vec![in_dims[0] + 1 - self.window, self.nkern]
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        let olen = in_dims[0] + 1 - self.window;
+        (olen * self.window * self.din * self.nkern) as u64
+    }
+}
+
+/// Max-pool over the time axis: `[len, dim] -> [len/stride-ish, dim]`
+/// (window `w`, stride `w`; the paper's `(2, 1)` pooling).
+pub struct TemporalMaxPool {
+    window: usize,
+    cached_argmax: Option<Vec<u32>>,
+    cached_in_dims: Vec<usize>,
+}
+
+impl TemporalMaxPool {
+    /// New pool with window = stride = `window`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        TemporalMaxPool {
+            window,
+            cached_argmax: None,
+            cached_in_dims: Vec::new(),
+        }
+    }
+}
+
+impl Layer for TemporalMaxPool {
+    fn name(&self) -> &'static str {
+        "TemporalMaxPool"
+    }
+
+    fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
+        let [n, len, dim] = [input.dims()[0], input.dims()[1], input.dims()[2]];
+        let olen = len / self.window;
+        assert!(olen >= 1, "sequence shorter than pool window");
+        let mut out = Tensor::zeros(&[n, olen, dim]);
+        let mut argmax = vec![0u32; n * olen * dim];
+        let id = input.as_slice();
+        let od = out.as_mut_slice();
+        for s in 0..n {
+            for t in 0..olen {
+                for d in 0..dim {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut bidx = 0usize;
+                    for k in 0..self.window {
+                        let idx = (s * len + t * self.window + k) * dim + d;
+                        if id[idx] > best {
+                            best = id[idx];
+                            bidx = idx;
+                        }
+                    }
+                    let o = (s * olen + t) * dim + d;
+                    od[o] = best;
+                    argmax[o] = bidx as u32;
+                }
+            }
+        }
+        if ctx.training {
+            self.cached_argmax = Some(argmax);
+            self.cached_in_dims = input.dims().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let argmax = self.cached_argmax.take().expect("backward without forward");
+        let numel: usize = self.cached_in_dims.iter().product();
+        let mut din = vec![0.0f32; numel];
+        for (g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
+            din[idx as usize] += g;
+        }
+        Tensor::from_vec(din, &self.cached_in_dims)
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        vec![in_dims[0] / self.window, in_dims[1]]
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        in_dims.iter().product::<usize>() as u64
+    }
+}
+
+/// Reduce the whole time axis to its per-feature maximum:
+/// `[len, dim] -> [dim]`. Bridges the pooled sequence to the fixed-width
+/// fully connected stack of Table II (max-over-time, Collobert-style).
+#[derive(Default)]
+pub struct GlobalMaxOverTime {
+    cached_argmax: Option<Vec<u32>>,
+    cached_in_dims: Vec<usize>,
+}
+
+impl GlobalMaxOverTime {
+    /// New layer.
+    pub fn new() -> Self {
+        GlobalMaxOverTime::default()
+    }
+}
+
+impl Layer for GlobalMaxOverTime {
+    fn name(&self) -> &'static str {
+        "GlobalMaxOverTime"
+    }
+
+    fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
+        let [n, len, dim] = [input.dims()[0], input.dims()[1], input.dims()[2]];
+        let mut out = Tensor::zeros(&[n, dim]);
+        let mut argmax = vec![0u32; n * dim];
+        let id = input.as_slice();
+        let od = out.as_mut_slice();
+        for s in 0..n {
+            for d in 0..dim {
+                let mut best = f32::NEG_INFINITY;
+                let mut bidx = 0usize;
+                for t in 0..len {
+                    let idx = (s * len + t) * dim + d;
+                    if id[idx] > best {
+                        best = id[idx];
+                        bidx = idx;
+                    }
+                }
+                od[s * dim + d] = best;
+                argmax[s * dim + d] = bidx as u32;
+            }
+        }
+        if ctx.training {
+            self.cached_argmax = Some(argmax);
+            self.cached_in_dims = input.dims().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let argmax = self.cached_argmax.take().expect("backward without forward");
+        let numel: usize = self.cached_in_dims.iter().product();
+        let mut din = vec![0.0f32; numel];
+        for (g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
+            din[idx as usize] += g;
+        }
+        Tensor::from_vec(din, &self.cached_in_dims)
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        vec![in_dims[1]]
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        in_dims.iter().product::<usize>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes_match_table2() {
+        let mut rng = SeedRng::new(1);
+        let c = TemporalConv1d::new(200, 1000, 2, &mut rng);
+        assert_eq!(c.param_len(), 200 * 2 * 1000 + 1000); // 401,000
+        assert_eq!(c.out_shape(&[20, 200]), vec![19, 1000]);
+    }
+
+    #[test]
+    fn conv_window1_equals_linear_map() {
+        // With window 1 the temporal conv is a per-timestep linear layer.
+        let mut rng = SeedRng::new(2);
+        let mut c = TemporalConv1d::new(3, 2, 1, &mut rng);
+        let x = rng.normal_tensor(&[1, 4, 3], 1.0);
+        let mut ctx = Ctx::eval();
+        let y = c.forward(x.clone(), &mut ctx);
+        assert_eq!(y.dims(), &[1, 4, 2]);
+        // Manual check of one timestep.
+        let mut params = vec![0.0; c.param_len()];
+        c.read_params(&mut params);
+        let (w, b) = params.split_at(6);
+        let t0 = &x.as_slice()[0..3];
+        for j in 0..2 {
+            let expect = t0[0] * w[j] + t0[1] * w[2 + j] + t0[2] * w[4 + j] + b[j];
+            assert!((y.as_slice()[j] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_fd() {
+        let mut rng = SeedRng::new(3);
+        let mut c = TemporalConv1d::new(3, 2, 2, &mut rng);
+        let x = rng.normal_tensor(&[2, 5, 3], 1.0);
+        let mut ctx = Ctx::train(SeedRng::new(0));
+        let y = c.forward(x.clone(), &mut ctx);
+        let dx = c.backward(Tensor::full(y.dims(), 1.0));
+        let mut grads = vec![0.0; c.param_len()];
+        c.read_grads(&mut grads);
+        let mut params = vec![0.0; c.param_len()];
+        c.read_params(&mut params);
+        let eps = 1e-2f32;
+        let base = c.forward(x.clone(), &mut Ctx::eval()).sum();
+        for &k in &[0usize, 5, 11, 12, 13] {
+            let mut p = params.clone();
+            p[k] += eps;
+            c.write_params(&p);
+            let up = c.forward(x.clone(), &mut Ctx::eval()).sum();
+            c.write_params(&params);
+            let fd = (up - base) / eps;
+            assert!(
+                (fd - grads[k]).abs() < 0.05 * (1.0 + grads[k].abs()),
+                "p[{k}] {fd} vs {}",
+                grads[k]
+            );
+        }
+        // Input gradient via fd on a couple of coordinates.
+        for &k in &[0usize, 7, 20] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[k] += eps;
+            let up = c.forward(xp, &mut Ctx::eval()).sum();
+            let fd = (up - base) / eps;
+            assert!((fd - dx.as_slice()[k]).abs() < 0.05 * (1.0 + fd.abs()));
+        }
+    }
+
+    #[test]
+    fn temporal_pool_and_global_max() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 10.0, // t0
+                2.0, 9.0, // t1
+                5.0, 0.0, // t2
+                4.0, 8.0, // t3
+            ],
+            &[1, 4, 2],
+        );
+        let mut p = TemporalMaxPool::new(2);
+        let mut ctx = Ctx::train(SeedRng::new(0));
+        let y = p.forward(x.clone(), &mut ctx);
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[2.0, 10.0, 5.0, 8.0]);
+        let dx = p.backward(Tensor::full(&[1, 2, 2], 1.0));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+
+        let mut g = GlobalMaxOverTime::new();
+        let z = g.forward(x, &mut ctx);
+        assert_eq!(z.dims(), &[1, 2]);
+        assert_eq!(z.as_slice(), &[5.0, 10.0]);
+        let dz = g.backward(Tensor::full(&[1, 2], 2.0));
+        assert_eq!(dz.as_slice(), &[0.0, 2.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_length_pool_truncates() {
+        let p = TemporalMaxPool::new(2);
+        assert_eq!(p.out_shape(&[5, 7]), vec![2, 7]);
+    }
+}

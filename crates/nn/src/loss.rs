@@ -1,0 +1,125 @@
+//! Softmax cross-entropy — the error measure of both paper networks.
+
+use sasgd_tensor::Tensor;
+
+/// Loss value plus everything needed to continue backprop.
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// `dL/d(logits)`, already divided by the batch size.
+    pub dlogits: Tensor,
+    /// Number of correct argmax predictions.
+    pub correct: usize,
+}
+
+/// Numerically stable softmax cross-entropy with mean reduction.
+///
+/// `logits`: `[n, classes]`; `labels`: `n` class indices.
+///
+/// # Panics
+/// Panics if shapes disagree or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(n, labels.len(), "batch size mismatch");
+    let mut dlogits = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    let ld = logits.as_slice();
+    let dd = dlogits.as_mut_slice();
+    let inv_n = 1.0 / n as f32;
+    for i in 0..n {
+        let row = &ld[i * c..(i + 1) * c];
+        let label = labels[i];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - maxv).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - maxv));
+        let drow = &mut dd[i * c..(i + 1) * c];
+        for (j, &v) in row.iter().enumerate() {
+            let p = (v - maxv).exp() / denom;
+            drow[j] = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    LossOutput {
+        loss: (loss / n as f64) as f32,
+        dlogits,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - 10f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.as_mut_slice()[1] = 10.0;
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = SeedRng::new(1);
+        let logits = rng.normal_tensor(&[5, 7], 2.0);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            let s: f32 = out.dlogits.row(i).iter().sum();
+            assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = SeedRng::new(2);
+        let logits = rng.normal_tensor(&[3, 4], 1.0);
+        let labels = [2usize, 0, 3];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-2f32;
+        for k in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[k] += eps;
+            let up = softmax_cross_entropy(&lp, &labels).loss;
+            let fd = (up - out.loss) / eps;
+            let an = out.dlogits.as_slice()[k];
+            assert!((fd - an).abs() < 2e-2, "k={k} fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn stability_under_huge_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.dlogits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,333 @@
+//! A sequential model with the flat parameter/gradient view that every
+//! distributed algorithm in the paper operates on.
+
+use sasgd_tensor::Tensor;
+
+use crate::layer::{Ctx, Layer};
+use crate::loss::softmax_cross_entropy;
+
+/// Result of one forward (+loss) pass.
+pub struct ForwardOutput {
+    /// Mean cross-entropy over the minibatch.
+    pub loss: f32,
+    /// Correct argmax predictions in the minibatch.
+    pub correct: usize,
+    /// Batch size.
+    pub total: usize,
+}
+
+/// A stack of layers ending in softmax cross-entropy.
+///
+/// `Model` is the unit a *learner* replicates: SASGD broadcasts one model to
+/// `p` learners, each computes gradients locally, and the flat
+/// [`Model::read_params`] / [`Model::write_params`] / [`Model::read_grads`]
+/// views are what travels through allreduce or the parameter server.
+pub struct Model {
+    layers: Vec<Box<dyn Layer>>,
+    /// Per-sample input dimensions (e.g. `[3, 32, 32]`).
+    input_dims: Vec<usize>,
+    /// Cached gradient of the loss w.r.t. the logits from the last
+    /// `forward_loss`, consumed by `backward`.
+    pending_dlogits: Option<Tensor>,
+    param_len: usize,
+    offsets: Vec<usize>,
+}
+
+impl Model {
+    /// Build from layers; `input_dims` are per-sample (no batch axis).
+    pub fn new(layers: Vec<Box<dyn Layer>>, input_dims: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(layers.len() + 1);
+        let mut acc = 0usize;
+        for l in &layers {
+            offsets.push(acc);
+            acc += l.param_len();
+        }
+        offsets.push(acc);
+        Model {
+            layers,
+            input_dims: input_dims.to_vec(),
+            pending_dlogits: None,
+            param_len: acc,
+            offsets,
+        }
+    }
+
+    /// Per-sample input dimensions.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Total learnable scalars — the model size `m` of the paper's
+    /// communication analysis.
+    pub fn param_len(&self) -> usize {
+        self.param_len
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward through all layers (no loss); returns logits.
+    pub fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
+        let mut x = input;
+        for l in &mut self.layers {
+            x = l.forward(x, ctx);
+        }
+        x
+    }
+
+    /// Forward plus loss/accuracy; caches `dL/d(logits)` for [`Model::backward`].
+    pub fn forward_loss(
+        &mut self,
+        input: &Tensor,
+        labels: &[usize],
+        ctx: &mut Ctx,
+    ) -> ForwardOutput {
+        let n = labels.len();
+        let logits = self.forward(input.clone(), ctx);
+        let out = softmax_cross_entropy(&logits, labels);
+        if ctx.training {
+            self.pending_dlogits = Some(out.dlogits);
+        }
+        ForwardOutput {
+            loss: out.loss,
+            correct: out.correct,
+            total: n,
+        }
+    }
+
+    /// Backpropagate the cached loss gradient, accumulating parameter
+    /// gradients in every layer.
+    ///
+    /// # Panics
+    /// Panics if called without a preceding training-mode `forward_loss`.
+    pub fn backward(&mut self) {
+        let mut g = self
+            .pending_dlogits
+            .take()
+            .expect("backward() requires a training-mode forward_loss first");
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(g);
+        }
+    }
+
+    /// Copy all parameters into a fresh flat vector.
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut v = vec![0.0; self.param_len];
+        self.read_params(&mut v);
+        v
+    }
+
+    /// Copy all parameters into `out`.
+    pub fn read_params(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.param_len, "param buffer length");
+        for (i, l) in self.layers.iter().enumerate() {
+            l.read_params(&mut out[self.offsets[i]..self.offsets[i + 1]]);
+        }
+    }
+
+    /// Overwrite all parameters from `src`.
+    pub fn write_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.param_len, "param buffer length");
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            l.write_params(&src[self.offsets[i]..self.offsets[i + 1]]);
+        }
+    }
+
+    /// Copy accumulated gradients into `out`.
+    pub fn read_grads(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.param_len, "grad buffer length");
+        for (i, l) in self.layers.iter().enumerate() {
+            l.read_grads(&mut out[self.offsets[i]..self.offsets[i + 1]]);
+        }
+    }
+
+    /// Copy accumulated gradients into a fresh vector.
+    pub fn grad_vector(&self) -> Vec<f32> {
+        let mut v = vec![0.0; self.param_len];
+        self.read_grads(&mut v);
+        v
+    }
+
+    /// Zero every layer's gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// In-place SGD step `x ← x − γ·g` over the flat views.
+    pub fn sgd_step(&mut self, gamma: f32) {
+        let mut params = self.param_vector();
+        let grads = self.grad_vector();
+        for (p, g) in params.iter_mut().zip(&grads) {
+            *p -= gamma * g;
+        }
+        self.write_params(&params);
+    }
+
+    /// Forward multiply–accumulates for one sample.
+    pub fn macs_per_sample(&self) -> u64 {
+        let mut dims = self.input_dims.clone();
+        let mut total = 0u64;
+        for l in &self.layers {
+            total += l.macs(&dims);
+            dims = l.out_shape(&dims);
+        }
+        total
+    }
+
+    /// One-line-per-layer summary with shapes and parameter counts.
+    pub fn summary(&self) -> String {
+        let mut dims = self.input_dims.clone();
+        let mut s = String::new();
+        s.push_str(&format!("input: {dims:?}\n"));
+        for l in &self.layers {
+            let out = l.out_shape(&dims);
+            s.push_str(&format!(
+                "{:<18} {:?} -> {:?}  params={}\n",
+                l.name(),
+                dims,
+                out,
+                l.param_len()
+            ));
+            dims = out;
+        }
+        s.push_str(&format!("total params: {}\n", self.param_len));
+        s
+    }
+
+    /// Evaluate mean loss and accuracy over a whole dataset (in chunks).
+    pub fn evaluate(&mut self, inputs: &[Tensor], labels: &[Vec<usize>]) -> (f32, f32) {
+        assert_eq!(inputs.len(), labels.len());
+        let mut ctx = Ctx::eval();
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (x, y) in inputs.iter().zip(labels) {
+            let out = self.forward_loss(x, y, &mut ctx);
+            loss_sum += f64::from(out.loss) * y.len() as f64;
+            correct += out.correct;
+            total += y.len();
+        }
+        if total == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            (loss_sum / total as f64) as f32,
+            correct as f32 / total as f32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use sasgd_tensor::SeedRng;
+
+    fn mlp(seed: u64) -> Model {
+        let mut rng = SeedRng::new(seed);
+        Model::new(
+            vec![
+                Box::new(Linear::new(4, 8, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Linear::new(8, 3, &mut rng)),
+            ],
+            &[4],
+        )
+    }
+
+    #[test]
+    fn param_roundtrip_through_flat_vector() {
+        let m = mlp(1);
+        assert_eq!(m.param_len(), 4 * 8 + 8 + 8 * 3 + 3);
+        let v = m.param_vector();
+        let mut m2 = mlp(999);
+        assert_ne!(m2.param_vector(), v);
+        m2.write_params(&v);
+        assert_eq!(m2.param_vector(), v);
+    }
+
+    /// Separable toy data: class is encoded in which coordinate is largest.
+    fn separable(n: usize, rng: &mut SeedRng) -> (Tensor, Vec<usize>) {
+        let mut x = rng.normal_tensor(&[n, 4], 0.3);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        for (i, &l) in labels.iter().enumerate() {
+            x.as_mut_slice()[i * 4 + l] += 2.0;
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = mlp(2);
+        let mut rng = SeedRng::new(3);
+        let (x, labels) = separable(16, &mut rng);
+        let mut ctx = Ctx::train(SeedRng::new(4));
+        let first = m.forward_loss(&x, &labels, &mut ctx);
+        m.backward();
+        let mut last = first.loss;
+        for _ in 0..100 {
+            m.sgd_step(0.2);
+            m.zero_grads();
+            let o = m.forward_loss(&x, &labels, &mut ctx);
+            m.backward();
+            last = o.loss;
+        }
+        assert!(last < first.loss * 0.5, "loss {} -> {last}", first.loss);
+    }
+
+    #[test]
+    fn grad_vector_zeroing() {
+        let mut m = mlp(5);
+        let mut rng = SeedRng::new(6);
+        let x = rng.normal_tensor(&[4, 4], 1.0);
+        let mut ctx = Ctx::train(SeedRng::new(7));
+        m.forward_loss(&x, &[0, 1, 2, 0], &mut ctx);
+        m.backward();
+        assert!(m.grad_vector().iter().any(|&g| g != 0.0));
+        m.zero_grads();
+        assert!(m.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn macs_per_sample_counts_linear_layers() {
+        let m = mlp(8);
+        // 4*8 + 8 (relu elements) + 8*3
+        assert_eq!(m.macs_per_sample(), 32 + 8 + 24);
+    }
+
+    #[test]
+    fn evaluate_on_perfectly_learned_data() {
+        let mut m = mlp(9);
+        let mut rng = SeedRng::new(10);
+        let (x, labels) = separable(30, &mut rng);
+        let mut ctx = Ctx::train(SeedRng::new(11));
+        for _ in 0..300 {
+            m.forward_loss(&x, &labels, &mut ctx);
+            m.backward();
+            m.sgd_step(0.2);
+            m.zero_grads();
+        }
+        let (loss, acc) = m.evaluate(&[x], &[labels]);
+        assert!(acc > 0.9, "separable data should be learned, acc={acc}");
+        assert!(loss < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a training-mode forward_loss")]
+    fn backward_without_forward_panics() {
+        mlp(12).backward();
+    }
+
+    #[test]
+    fn summary_mentions_layers_and_total() {
+        let m = mlp(13);
+        let s = m.summary();
+        assert!(s.contains("Linear"));
+        assert!(s.contains("ReLU"));
+        assert!(s.contains("total params: 67"), "summary:\n{s}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Learner speed jitter.
+//!
+//! Real learners never run in lockstep: OS noise, clock throttling and
+//! input-pipeline hiccups make per-minibatch times vary. This variation is
+//! what creates the *staleness spread* in asynchronous algorithms (the
+//! paper: staleness "is influenced by the relative processing speeds of
+//! learners") and the *straggler penalty* at each bulk-synchronous barrier.
+//!
+//! The model is multiplicative log-normal noise with unit mean, plus an
+//! optional persistent per-learner speed factor.
+
+use sasgd_tensor::SeedRng;
+
+/// Per-minibatch time multiplier generator.
+#[derive(Clone, Debug)]
+pub struct JitterModel {
+    /// Coefficient of variation of per-minibatch noise (0 disables).
+    pub cv: f64,
+    /// Spread of persistent per-learner speed (0 = identical learners).
+    pub learner_spread: f64,
+}
+
+impl Default for JitterModel {
+    fn default() -> Self {
+        JitterModel {
+            cv: 0.06,
+            learner_spread: 0.02,
+        }
+    }
+}
+
+impl JitterModel {
+    /// No noise at all — for determinism tests and analytic comparisons.
+    pub fn none() -> Self {
+        JitterModel {
+            cv: 0.0,
+            learner_spread: 0.0,
+        }
+    }
+
+    /// The persistent speed factor of learner `id` (mean 1 across draws).
+    pub fn learner_factor(&self, id: usize, seed: u64) -> f64 {
+        if self.learner_spread == 0.0 {
+            return 1.0;
+        }
+        let mut rng = SeedRng::new(seed).split(0x1ea0 + id as u64);
+        lognormal(&mut rng, self.learner_spread)
+    }
+
+    /// One per-minibatch multiplier from the learner's RNG stream.
+    pub fn minibatch_factor(&self, rng: &mut SeedRng) -> f64 {
+        if self.cv == 0.0 {
+            return 1.0;
+        }
+        lognormal(rng, self.cv)
+    }
+}
+
+/// Unit-mean log-normal with coefficient of variation ≈ `cv`.
+fn lognormal(rng: &mut SeedRng, cv: f64) -> f64 {
+    let sigma2 = (1.0 + cv * cv).ln();
+    let sigma = sigma2.sqrt();
+    (f64::from(rng.normal()) * sigma - sigma2 / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_exactly_one() {
+        let j = JitterModel::none();
+        let mut rng = SeedRng::new(1);
+        assert_eq!(j.minibatch_factor(&mut rng), 1.0);
+        assert_eq!(j.learner_factor(3, 42), 1.0);
+    }
+
+    #[test]
+    fn unit_mean_and_requested_spread() {
+        let j = JitterModel {
+            cv: 0.2,
+            learner_spread: 0.0,
+        };
+        let mut rng = SeedRng::new(2);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| j.minibatch_factor(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!(
+            (var.sqrt() / mean - 0.2).abs() < 0.03,
+            "cv {}",
+            var.sqrt() / mean
+        );
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn learner_factor_is_stable_per_id() {
+        let j = JitterModel::default();
+        assert_eq!(j.learner_factor(2, 7), j.learner_factor(2, 7));
+        assert_ne!(j.learner_factor(2, 7), j.learner_factor(3, 7));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let j = JitterModel::default();
+        let mut a = SeedRng::new(5);
+        let mut b = SeedRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(j.minibatch_factor(&mut a), j.minibatch_factor(&mut b));
+        }
+    }
+}

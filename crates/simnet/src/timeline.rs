@@ -1,0 +1,281 @@
+//! Execution timelines: what each learner is doing, second by second.
+//!
+//! Generates per-learner phase traces (compute / barrier wait / transfer)
+//! for the bulk-synchronous and parameter-server execution patterns from
+//! the same cost and jitter models the trainer uses, and renders them as
+//! ASCII Gantt charts. This makes the paper's §II claim — "communication
+//! includes sending ... waiting for the server ... receiving" — visible:
+//! SASGD's idle time is the barrier (stragglers), ASGD's is the server
+//! round trip.
+
+use sasgd_tensor::SeedRng;
+
+use crate::cost::CostModel;
+use crate::jitter::JitterModel;
+
+/// What a learner is doing during one segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Minibatch computation.
+    Compute,
+    /// Waiting at a synchronous barrier for slower learners.
+    Wait,
+    /// Moving bytes (allreduce rounds or a server round trip).
+    Transfer,
+}
+
+impl Phase {
+    fn glyph(self) -> char {
+        match self {
+            Phase::Compute => '#',
+            Phase::Wait => '.',
+            Phase::Transfer => '~',
+        }
+    }
+}
+
+/// One learner's trace: contiguous `(phase, start, end)` segments.
+#[derive(Clone, Debug, Default)]
+pub struct LearnerTrace {
+    /// Segments in time order.
+    pub segments: Vec<(Phase, f64, f64)>,
+}
+
+impl LearnerTrace {
+    fn push(&mut self, phase: Phase, start: f64, end: f64) {
+        if end > start {
+            self.segments.push((phase, start, end));
+        }
+    }
+
+    /// Total seconds spent in `phase`.
+    pub fn total(&self, phase: Phase) -> f64 {
+        self.segments
+            .iter()
+            .filter(|(p, _, _)| *p == phase)
+            .map(|(_, s, e)| e - s)
+            .sum()
+    }
+
+    /// End time of the trace.
+    pub fn end(&self) -> f64 {
+        self.segments.last().map_or(0.0, |&(_, _, e)| e)
+    }
+}
+
+/// Parameters of a timeline simulation.
+#[derive(Clone, Debug)]
+pub struct TimelineSpec {
+    /// Learners.
+    pub p: usize,
+    /// Aggregation interval (minibatches).
+    pub t: usize,
+    /// Aggregation rounds to trace.
+    pub rounds: usize,
+    /// Model parameters.
+    pub m: usize,
+    /// Forward MACs per sample.
+    pub macs_per_sample: u64,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+/// Trace SASGD: per round, each learner computes `t` jittered minibatches,
+/// waits at the barrier, then pays the allreduce.
+pub fn trace_sasgd(
+    spec: &TimelineSpec,
+    cost: &CostModel,
+    jitter: &JitterModel,
+) -> Vec<LearnerTrace> {
+    let step = cost.minibatch_compute(spec.macs_per_sample, spec.batch, spec.p);
+    let ar = cost.allreduce_tree(spec.m, spec.p).seconds;
+    let mut rngs: Vec<SeedRng> = (0..spec.p)
+        .map(|id| SeedRng::new(spec.seed).split(0x71 + id as u64))
+        .collect();
+    let speeds: Vec<f64> = (0..spec.p)
+        .map(|id| jitter.learner_factor(id, spec.seed))
+        .collect();
+    let mut traces = vec![LearnerTrace::default(); spec.p];
+    let mut clocks = vec![0.0f64; spec.p];
+    for _ in 0..spec.rounds {
+        for (i, trace) in traces.iter_mut().enumerate() {
+            let mut t0 = clocks[i];
+            for _ in 0..spec.t {
+                let dur = step * speeds[i] * jitter.minibatch_factor(&mut rngs[i]);
+                trace.push(Phase::Compute, t0, t0 + dur);
+                t0 += dur;
+            }
+            clocks[i] = t0;
+        }
+        let barrier = clocks.iter().copied().fold(0.0_f64, f64::max);
+        for (i, trace) in traces.iter_mut().enumerate() {
+            trace.push(Phase::Wait, clocks[i], barrier);
+            trace.push(Phase::Transfer, barrier, barrier + ar);
+            clocks[i] = barrier + ar;
+        }
+    }
+    traces
+}
+
+/// Trace Downpour: each learner independently alternates compute blocks
+/// and server round trips — no barrier, but every round pays the (shared,
+/// contended) host channel.
+pub fn trace_downpour(
+    spec: &TimelineSpec,
+    cost: &CostModel,
+    jitter: &JitterModel,
+) -> Vec<LearnerTrace> {
+    let step = cost.minibatch_compute(spec.macs_per_sample, spec.batch, spec.p);
+    let ps = cost.ps_roundtrip(spec.m, spec.p).seconds;
+    let mut rngs: Vec<SeedRng> = (0..spec.p)
+        .map(|id| SeedRng::new(spec.seed).split(0xD0 + id as u64))
+        .collect();
+    let speeds: Vec<f64> = (0..spec.p)
+        .map(|id| jitter.learner_factor(id, spec.seed))
+        .collect();
+    let mut traces = vec![LearnerTrace::default(); spec.p];
+    for (i, trace) in traces.iter_mut().enumerate() {
+        let mut t0 = 0.0f64;
+        for _ in 0..spec.rounds {
+            for _ in 0..spec.t {
+                let dur = step * speeds[i] * jitter.minibatch_factor(&mut rngs[i]);
+                trace.push(Phase::Compute, t0, t0 + dur);
+                t0 += dur;
+            }
+            trace.push(Phase::Transfer, t0, t0 + ps);
+            t0 += ps;
+        }
+    }
+    traces
+}
+
+/// Render traces as an ASCII Gantt chart (`#` compute, `.` wait,
+/// `~` transfer), one row per learner.
+///
+/// ```
+/// use sasgd_simnet::{render_gantt, trace_sasgd, CostModel, JitterModel, TimelineSpec};
+/// let spec = TimelineSpec {
+///     p: 2, t: 2, rounds: 1, m: 1000, macs_per_sample: 100_000, batch: 8, seed: 1,
+/// };
+/// let traces = trace_sasgd(&spec, &CostModel::paper_testbed(), &JitterModel::default());
+/// let chart = render_gantt("demo", &traces, 40);
+/// assert!(chart.contains('#'));
+/// ```
+pub fn render_gantt(title: &str, traces: &[LearnerTrace], width: usize) -> String {
+    let end = traces.iter().map(LearnerTrace::end).fold(0.0_f64, f64::max);
+    let mut out = format!(
+        "{title}  (span {:.3}s; # compute, . wait, ~ transfer)\n",
+        end
+    );
+    if end <= 0.0 {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    for (i, tr) in traces.iter().enumerate() {
+        let mut row = vec![' '; width];
+        for &(phase, s, e) in &tr.segments {
+            let c0 = ((s / end) * width as f64) as usize;
+            let c1 = (((e / end) * width as f64).ceil() as usize).min(width);
+            for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
+                *cell = phase.glyph();
+            }
+        }
+        out.push_str(&format!("L{i:<2}|"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(p: usize) -> TimelineSpec {
+        TimelineSpec {
+            p,
+            t: 3,
+            rounds: 2,
+            m: 10_000,
+            macs_per_sample: 1_000_000,
+            batch: 8,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn sasgd_trace_is_barrier_aligned() {
+        let cost = CostModel::paper_testbed();
+        let jit = JitterModel {
+            cv: 0.2,
+            learner_spread: 0.1,
+        };
+        let traces = trace_sasgd(&spec(4), &cost, &jit);
+        assert_eq!(traces.len(), 4);
+        // All learners end at the same instant (bulk synchrony).
+        let ends: Vec<f64> = traces.iter().map(LearnerTrace::end).collect();
+        for e in &ends {
+            assert!((e - ends[0]).abs() < 1e-12, "ends {ends:?}");
+        }
+        // Someone waited (jitter ⇒ stragglers) and everyone transferred.
+        let total_wait: f64 = traces.iter().map(|t| t.total(Phase::Wait)).sum();
+        assert!(total_wait > 0.0);
+        for t in &traces {
+            assert!(t.total(Phase::Transfer) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sasgd_no_jitter_no_wait() {
+        let cost = CostModel::paper_testbed();
+        let traces = trace_sasgd(&spec(4), &cost, &JitterModel::none());
+        for t in &traces {
+            assert!(t.total(Phase::Wait) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downpour_trace_has_no_waits_but_pays_transfers() {
+        let cost = CostModel::paper_testbed();
+        let jit = JitterModel {
+            cv: 0.2,
+            learner_spread: 0.3,
+        };
+        let traces = trace_downpour(&spec(4), &cost, &jit);
+        for t in &traces {
+            assert_eq!(t.total(Phase::Wait), 0.0, "async never waits at barriers");
+            assert!(t.total(Phase::Transfer) > 0.0);
+        }
+        // Learners desynchronize: end times differ.
+        let ends: Vec<f64> = traces.iter().map(LearnerTrace::end).collect();
+        let spread = ends.iter().copied().fold(0.0_f64, f64::max)
+            - ends.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0, "speed spread must desynchronize learners");
+    }
+
+    #[test]
+    fn gantt_renders_every_learner() {
+        let cost = CostModel::paper_testbed();
+        let traces = trace_sasgd(&spec(3), &cost, &JitterModel::default());
+        let g = render_gantt("demo", &traces, 60);
+        assert_eq!(g.lines().count(), 4, "title + 3 rows");
+        assert!(g.contains('#'));
+        assert!(g.contains('~'));
+        assert!(g.contains("L0 |"));
+    }
+
+    #[test]
+    fn phase_accounting_sums_to_span() {
+        let cost = CostModel::paper_testbed();
+        let traces = trace_sasgd(&spec(2), &cost, &JitterModel::default());
+        for t in &traces {
+            let parts = t.total(Phase::Compute) + t.total(Phase::Wait) + t.total(Phase::Transfer);
+            assert!(
+                (parts - t.end()).abs() < 1e-9,
+                "segments must tile the span"
+            );
+        }
+    }
+}

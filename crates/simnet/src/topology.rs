@@ -1,0 +1,150 @@
+//! Platform descriptions.
+//!
+//! The paper's testbed: one IBM Power8 host, an OSS compute accelerator
+//! holding 8 NVIDIA K80 GPUs connected by PCIe switches *forming a binary
+//! tree*, learners on GPUs, the (sharded) parameter server on host CPUs.
+//! Allreduce traffic stays on the wide GPU↔GPU fabric (GPUDirect);
+//! parameter-server traffic crosses the narrow, software-mediated
+//! GPU↔host channel — the asymmetry the paper's whole argument rests on.
+
+/// A communication substrate for a set of learners.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// GPUs under PCIe switches in a binary tree, plus a host channel.
+    ///
+    /// Bandwidths are *effective* end-to-end rates (they absorb protocol
+    /// and software-copy overheads), not wire rates.
+    PcieTree {
+        /// Latency of one GPU↔GPU hop (seconds).
+        gpu_latency: f64,
+        /// Effective GPU↔GPU bandwidth (bytes/second) via GPUDirect.
+        gpu_bandwidth: f64,
+        /// Latency of one GPU↔host transfer (seconds) — includes the
+        /// staging copies through the software layers the paper mentions.
+        host_latency: f64,
+        /// Effective GPU↔host bandwidth (bytes/second) for the parameter
+        /// server path.
+        host_bandwidth: f64,
+        /// Fraction of a second learner's traffic that collides on the
+        /// shared host channel (0 = perfect overlap, 1 = full
+        /// serialization). Sharded servers and async pushes overlap most
+        /// transfers, so this is well below 1.
+        host_contention: f64,
+    },
+    /// Idealized uniform fabric (for what-if studies): one latency, one
+    /// bandwidth, no host asymmetry.
+    Uniform {
+        /// Link latency (seconds).
+        latency: f64,
+        /// Link bandwidth (bytes/second).
+        bandwidth: f64,
+    },
+}
+
+impl Topology {
+    /// The paper's platform with constants calibrated against Fig 1
+    /// (Downpour comm share: CIFAR ≈20 % at p=1 rising to ≈30 % at p=8;
+    /// NLC-F >60 %) — see `sasgd-bench`'s `repro fig1`.
+    pub fn paper_testbed() -> Self {
+        Topology::PcieTree {
+            gpu_latency: 200e-6,
+            gpu_bandwidth: 2e9,
+            host_latency: 500e-6,
+            host_bandwidth: 1e9,
+            host_contention: 0.25,
+        }
+    }
+
+    /// A modern accelerator node: NVLink-class GPU fabric and a PCIe-4
+    /// host channel. Used by the what-if example to show how the paper's
+    /// conclusions shift when the fabric gets 25× faster but the host
+    /// channel only 10×.
+    pub fn modern_nvlink() -> Self {
+        Topology::PcieTree {
+            gpu_latency: 10e-6,
+            gpu_bandwidth: 50e9,
+            host_latency: 50e-6,
+            host_bandwidth: 10e9,
+            host_contention: 0.25,
+        }
+    }
+
+    /// Time to move `bytes` across one GPU↔GPU hop.
+    pub fn gpu_link_time(&self, bytes: f64) -> f64 {
+        match *self {
+            Topology::PcieTree {
+                gpu_latency,
+                gpu_bandwidth,
+                ..
+            } => gpu_latency + bytes / gpu_bandwidth,
+            Topology::Uniform { latency, bandwidth } => latency + bytes / bandwidth,
+        }
+    }
+
+    /// Time for one learner to move `bytes` to/from the host while `p`
+    /// learners share the channel.
+    pub fn host_link_time(&self, bytes: f64, p: usize) -> f64 {
+        match *self {
+            Topology::PcieTree {
+                host_latency,
+                host_bandwidth,
+                host_contention,
+                ..
+            } => {
+                let contention = 1.0 + host_contention * (p.saturating_sub(1)) as f64;
+                host_latency + bytes * contention / host_bandwidth
+            }
+            Topology::Uniform { latency, bandwidth } => latency + bytes / bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_link_is_affine_in_bytes() {
+        let t = Topology::paper_testbed();
+        let t0 = t.gpu_link_time(0.0);
+        let t1 = t.gpu_link_time(2e9);
+        assert!(t0 > 0.0, "latency floor");
+        assert!((t1 - t0 - 1.0).abs() < 1e-9, "2 GB at 2 GB/s is one second");
+    }
+
+    #[test]
+    fn host_contention_grows_with_p() {
+        let t = Topology::paper_testbed();
+        let one = t.host_link_time(1e6, 1);
+        let eight = t.host_link_time(1e6, 8);
+        assert!(eight > one);
+        // But far below full serialization (×8).
+        assert!(eight < 8.0 * one);
+    }
+
+    #[test]
+    fn host_channel_is_narrower_than_gpu_fabric() {
+        // The asymmetry the paper's argument needs.
+        let t = Topology::paper_testbed();
+        assert!(t.host_link_time(4e6, 1) > t.gpu_link_time(4e6));
+    }
+
+    #[test]
+    fn modern_node_is_faster_everywhere_but_keeps_the_asymmetry() {
+        let old = Topology::paper_testbed();
+        let new = Topology::modern_nvlink();
+        assert!(new.gpu_link_time(4e6) < old.gpu_link_time(4e6));
+        assert!(new.host_link_time(4e6, 8) < old.host_link_time(4e6, 8));
+        // GPU fabric still beats the host channel.
+        assert!(new.host_link_time(4e6, 1) > new.gpu_link_time(4e6));
+    }
+
+    #[test]
+    fn uniform_has_no_contention() {
+        let t = Topology::Uniform {
+            latency: 1e-6,
+            bandwidth: 1e9,
+        };
+        assert_eq!(t.host_link_time(1e6, 1), t.host_link_time(1e6, 16));
+    }
+}

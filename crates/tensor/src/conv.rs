@@ -1,0 +1,431 @@
+//! 2-D convolution kernels (im2col formulation).
+//!
+//! A convolution with kernel `[co, ci, kh, kw]` over an NCHW input is
+//! lowered to one matrix multiply per image: the patch matrix
+//! (`im2col`, shape `[oh*ow, ci*kh*kw]`) times the transposed weight matrix.
+//! The backward pass reuses the same lowering: the weight gradient is a
+//! `patchᵀ · grad_out` product and the input gradient scatters back through
+//! `col2im`. This mirrors how the paper's Torch backend executes
+//! convolutions, so the FLOP model in `sasgd-nn` can count the same
+//! multiply–accumulate operations a GPU would perform.
+
+use rayon::prelude::*;
+
+use crate::shape::conv_out;
+use crate::tensor::Tensor;
+
+/// Geometry of one convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub ci: usize,
+    /// Output channels (number of kernels).
+    pub co: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same both axes).
+    pub stride: usize,
+    /// Zero padding (same both axes).
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h`-by-`w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out(h, self.kh, self.stride, self.pad),
+            conv_out(w, self.kw, self.stride, self.pad),
+        )
+    }
+
+    /// Elements in one lowered patch row.
+    pub fn patch_len(&self) -> usize {
+        self.ci * self.kh * self.kw
+    }
+
+    /// Multiply–accumulates in the forward pass for one `h`-by-`w` image.
+    pub fn forward_macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        (oh * ow * self.co * self.patch_len()) as u64
+    }
+}
+
+/// Lower one image `[ci, h, w]` (flat slice) into a patch matrix
+/// `[oh*ow, ci*kh*kw]`.
+pub fn im2col(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    debug_assert_eq!(img.len(), ci * h * w);
+    let (oh, ow) = spec.out_hw(h, w);
+    let plen = spec.patch_len();
+    let mut out = Tensor::zeros(&[oh * ow, plen]);
+    let od = out.as_mut_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * plen;
+            let mut k = row;
+            for c in 0..ci {
+                let base = c * h * w;
+                for ky in 0..spec.kh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    for kx in 0..spec.kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        od[k] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            img[base + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatter a patch-matrix gradient `[oh*ow, ci*kh*kw]` back onto an image
+/// gradient `[ci, h, w]` (accumulating; inverse of [`im2col`]).
+pub fn col2im(
+    cols: &Tensor,
+    ci: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    img_grad: &mut [f32],
+) {
+    debug_assert_eq!(img_grad.len(), ci * h * w);
+    let (oh, ow) = spec.out_hw(h, w);
+    let plen = spec.patch_len();
+    let cd = cols.as_slice();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * plen;
+            let mut k = row;
+            for c in 0..ci {
+                let base = c * h * w;
+                for ky in 0..spec.kh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    for kx in 0..spec.kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            img_grad[base + iy as usize * w + ix as usize] += cd[k];
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution over a batch.
+///
+/// `input`: `[n, ci, h, w]`; `weight`: `[co, ci*kh*kw]` (pre-flattened);
+/// `bias`: `[co]`. Returns `[n, co, oh, ow]`. Images are processed in
+/// parallel across the Rayon pool.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) -> Tensor {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    assert_eq!(ci, spec.ci, "input channels mismatch");
+    assert_eq!(
+        weight.dims(),
+        &[spec.co, spec.patch_len()],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.len(), spec.co, "bias length mismatch");
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, spec.co, oh, ow]);
+    let in_stride = ci * h * w;
+    let out_stride = spec.co * oh * ow;
+    let id = input.as_slice();
+    let wd = weight.as_slice();
+    let plen = spec.patch_len();
+    out.as_mut_slice()
+        .par_chunks_mut(out_stride)
+        .enumerate()
+        .for_each(|(img, oimg)| {
+            let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+            let cd = cols.as_slice();
+            // oimg[co][oy*ow+ox] = dot(weight[co], cols[pix]) + bias[co]
+            for pix in 0..oh * ow {
+                let patch = &cd[pix * plen..(pix + 1) * plen];
+                for co in 0..spec.co {
+                    let wrow = &wd[co * plen..(co + 1) * plen];
+                    oimg[co * oh * ow + pix] = crate::linalg::dot(wrow, patch) + bias[co];
+                }
+            }
+        });
+    out
+}
+
+/// Gradients of one convolution.
+pub struct Conv2dGrads {
+    /// `[n, ci, h, w]` gradient w.r.t. the input.
+    pub dinput: Tensor,
+    /// `[co, ci*kh*kw]` gradient w.r.t. the flattened weights.
+    pub dweight: Tensor,
+    /// `[co]` gradient w.r.t. the bias.
+    pub dbias: Vec<f32>,
+}
+
+/// Backward convolution over a batch.
+///
+/// `grad_out`: `[n, co, oh, ow]`. Recomputes `im2col` per image (trading
+/// FLOPs for memory, as cuDNN's low-workspace algorithms do).
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Conv2dGrads {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(
+        grad_out.dims(),
+        &[n, spec.co, oh, ow],
+        "grad_out shape mismatch"
+    );
+    let plen = spec.patch_len();
+    let in_stride = ci * h * w;
+    let out_stride = spec.co * oh * ow;
+    let id = input.as_slice();
+    let gd = grad_out.as_slice();
+    let wd = weight.as_slice();
+
+    // Per-image partials reduced at the end: parallel map over images.
+    let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|img| {
+            let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+            let cd = cols.as_slice();
+            let gimg = &gd[img * out_stride..(img + 1) * out_stride];
+            let mut dw = vec![0.0f32; spec.co * plen];
+            let mut db = vec![0.0f32; spec.co];
+            let mut dcols = Tensor::zeros(&[oh * ow, plen]);
+            {
+                let dc = dcols.as_mut_slice();
+                for pix in 0..oh * ow {
+                    let patch = &cd[pix * plen..(pix + 1) * plen];
+                    let dpatch = &mut dc[pix * plen..(pix + 1) * plen];
+                    for co in 0..spec.co {
+                        let g = gimg[co * oh * ow + pix];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[co] += g;
+                        let wrow = &wd[co * plen..(co + 1) * plen];
+                        let dwrow = &mut dw[co * plen..(co + 1) * plen];
+                        for k in 0..plen {
+                            dwrow[k] += g * patch[k];
+                            dpatch[k] += g * wrow[k];
+                        }
+                    }
+                }
+            }
+            let mut dimg = vec![0.0f32; in_stride];
+            col2im(&dcols, ci, h, w, spec, &mut dimg);
+            (dimg, dw, db)
+        })
+        .collect();
+
+    let mut dinput = Tensor::zeros(&[n, ci, h, w]);
+    let mut dweight = Tensor::zeros(&[spec.co, plen]);
+    let mut dbias = vec![0.0f32; spec.co];
+    for (img, (dimg, dw, db)) in partials.into_iter().enumerate() {
+        dinput.as_mut_slice()[img * in_stride..(img + 1) * in_stride].copy_from_slice(&dimg);
+        for (a, b) in dweight.as_mut_slice().iter_mut().zip(&dw) {
+            *a += b;
+        }
+        for (a, b) in dbias.iter_mut().zip(&db) {
+            *a += b;
+        }
+    }
+    Conv2dGrads {
+        dinput,
+        dweight,
+        dbias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) -> Tensor {
+        let [n, ci, h, w] = [
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        ];
+        let (oh, ow) = spec.out_hw(h, w);
+        let mut out = Tensor::zeros(&[n, spec.co, oh, ow]);
+        for img in 0..n {
+            for (co, &bias_v) in bias.iter().enumerate().take(spec.co) {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = bias_v;
+                        for c in 0..ci {
+                            for ky in 0..spec.kh {
+                                for kx in 0..spec.kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let wv = weight.as_slice()
+                                        [co * spec.patch_len() + (c * spec.kh + ky) * spec.kw + kx];
+                                    s += wv * input.at4(img, c, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        let idx = out.idx4(img, co, oy, ox);
+                        out.as_mut_slice()[idx] = s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_padded() {
+        let spec = Conv2dSpec {
+            ci: 3,
+            co: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(1);
+        let input = r.normal_tensor(&[2, 3, 6, 6], 1.0);
+        let weight = r.normal_tensor(&[4, spec.patch_len()], 0.3);
+        let bias = vec![0.1, -0.2, 0.3, 0.0];
+        let fast = conv2d_forward(&input, &weight, &bias, &spec);
+        let slow = naive_conv(&input, &weight, &bias, &spec);
+        assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn forward_matches_naive_strided_unpadded() {
+        let spec = Conv2dSpec {
+            ci: 2,
+            co: 3,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let mut r = SeedRng::new(2);
+        let input = r.normal_tensor(&[1, 2, 5, 5], 1.0);
+        let weight = r.normal_tensor(&[3, spec.patch_len()], 0.3);
+        let bias = vec![0.0; 3];
+        assert!(conv2d_forward(&input, &weight, &bias, &spec)
+            .allclose(&naive_conv(&input, &weight, &bias, &spec), 1e-4));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the two lowerings are adjoint,
+        // which is exactly what backprop relies on.
+        let spec = Conv2dSpec {
+            ci: 2,
+            co: 1,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(3);
+        let x = r.normal_tensor(&[1, 2, 4, 4], 1.0);
+        let cols = im2col(x.as_slice(), 2, 4, 4, &spec);
+        let y = r.normal_tensor(&[cols.dims()[0], cols.dims()[1]], 1.0);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let mut back = vec![0.0f32; 2 * 4 * 4];
+        col2im(&y, 2, 4, 4, &spec, &mut back);
+        let rhs: f32 = x.as_slice().iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = Conv2dSpec {
+            ci: 2,
+            co: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(4);
+        let input = r.normal_tensor(&[1, 2, 4, 4], 1.0);
+        let weight = r.normal_tensor(&[2, spec.patch_len()], 0.3);
+        let bias = vec![0.05, -0.05];
+        // Loss = sum of outputs; grad_out = ones.
+        let (oh, ow) = spec.out_hw(4, 4);
+        let grad_out = Tensor::full(&[1, 2, oh, ow], 1.0);
+        let grads = conv2d_backward(&input, &weight, &grad_out, &spec);
+
+        let eps = 1e-2f32;
+        let base = conv2d_forward(&input, &weight, &bias, &spec).sum();
+        // Check a scattering of weight coordinates.
+        for &k in &[0usize, 5, 17, 20, 35] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[k] += eps;
+            let up = conv2d_forward(&input, &wp, &bias, &spec).sum();
+            let fd = (up - base) / eps;
+            let an = grads.dweight.as_slice()[k];
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "w[{k}]: fd {fd} vs {an}"
+            );
+        }
+        // And input coordinates.
+        for &k in &[0usize, 7, 15, 31] {
+            let mut xp = input.clone();
+            xp.as_mut_slice()[k] += eps;
+            let up = conv2d_forward(&xp, &weight, &bias, &spec).sum();
+            let fd = (up - base) / eps;
+            let an = grads.dinput.as_slice()[k];
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "x[{k}]: fd {fd} vs {an}"
+            );
+        }
+        // Bias gradient of a sum-loss is the number of output pixels.
+        for b in &grads.dbias {
+            assert!((b - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn macs_counting() {
+        let spec = Conv2dSpec {
+            ci: 3,
+            co: 64,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
+        // 32x32 output, 64 kernels, 75-long patches.
+        assert_eq!(spec.forward_macs(32, 32), (32 * 32 * 64 * 75) as u64);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sasgd-tensor
+//!
+//! Dense `f32` tensor math underpinning the SASGD reproduction.
+//!
+//! The paper trains its models with Torch on K80 GPUs; this crate is the
+//! from-scratch replacement: row-major dense tensors, the linear-algebra and
+//! convolution kernels needed by the networks of Table I / Table II, and
+//! seeded random initialization so every experiment is reproducible.
+//!
+//! Heavy kernels ([`linalg::matmul`], [`conv`]) have Rayon-parallel paths —
+//! the "GPU" inside one simulated learner — selected per call via the
+//! `*_par` entry points.
+//!
+//! ## Example
+//!
+//! ```
+//! use sasgd_tensor::{Tensor, linalg};
+//! let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = linalg::matmul(&a, &b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+pub mod conv;
+pub mod linalg;
+pub mod pool;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use rng::SeedRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

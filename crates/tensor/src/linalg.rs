@@ -1,0 +1,248 @@
+//! Matrix kernels: the workhorses behind the fully connected and
+//! (via im2col) convolutional layers.
+//!
+//! Each kernel has a sequential path and a Rayon-parallel path
+//! (`matmul_par`, …) that splits work over output rows; the parallel path is
+//! what stands in for the SIMD parallelism of one GPU learner in the paper's
+//! testbed. Both paths produce identical results (same per-row reduction
+//! order), which the tests check.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// Rows at or above this count use the parallel path in the `_auto` kernels.
+const PAR_THRESHOLD: usize = 64;
+
+fn mm_row(out_row: &mut [f32], a_row: &[f32], b: &Tensor, k: usize, n: usize) {
+    let bd = b.as_slice();
+    out_row.iter_mut().for_each(|x| *x = 0.0);
+    for (l, &av) in a_row.iter().enumerate().take(k) {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &bd[l * n..(l + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`, sequential.
+///
+/// # Panics
+/// Panics if inner dimensions disagree or inputs are not matrices.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.as_slice();
+    for i in 0..m {
+        let (lo, hi) = (i * n, (i + 1) * n);
+        mm_row(
+            &mut out.as_mut_slice()[lo..hi],
+            &ad[i * k..(i + 1) * k],
+            b,
+            k,
+            n,
+        );
+    }
+    out
+}
+
+/// `C = A · B`, rows of `A` distributed over the Rayon pool.
+pub fn matmul_par(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.as_slice();
+    out.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| mm_row(row, &ad[i * k..(i + 1) * k], b, k, n));
+    out
+}
+
+/// `C = A · B` choosing the parallel path for large outputs.
+pub fn matmul_auto(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.dims()[0] >= PAR_THRESHOLD {
+        matmul_par(a, b)
+    } else {
+        matmul(a, b)
+    }
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` without materializing `Aᵀ`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let od = out.as_mut_slice();
+    for l in 0..k {
+        let arow = &ad[l * m..(l + 1) * m];
+        let brow = &bd[l * n..(l + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` without materializing `Bᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            *o = dot(arow, brow);
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y[j] += sum_i m[i][j]` — column sums accumulated into `y` (bias grads).
+pub fn col_sums_into(m: &Tensor, y: &mut [f32]) {
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    assert_eq!(y.len(), cols, "col_sums_into width mismatch");
+    let md = m.as_slice();
+    for r in 0..rows {
+        for (yj, &v) in y.iter_mut().zip(&md[r * cols..(r + 1) * cols]) {
+            *yj += v;
+        }
+    }
+}
+
+/// Add a bias row vector to every row of a matrix in place.
+pub fn add_bias_rows(m: &mut Tensor, bias: &[f32]) {
+    let cols = m.dims()[1];
+    assert_eq!(bias.len(), cols, "bias width mismatch");
+    for row in m.as_mut_slice().chunks_mut(cols) {
+        for (x, &b) in row.iter_mut().zip(bias) {
+            *x += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a.as_slice()[i * k + l] * b.as_slice()[l * n + j];
+                }
+                c.as_mut_slice()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut r = SeedRng::new(1);
+        let a = r.normal_tensor(&[7, 5], 1.0);
+        let b = r.normal_tensor(&[5, 9], 1.0);
+        assert!(matmul(&a, &b).allclose(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bitwise() {
+        let mut r = SeedRng::new(2);
+        let a = r.normal_tensor(&[130, 33], 1.0);
+        let b = r.normal_tensor(&[33, 21], 1.0);
+        let s = matmul(&a, &b);
+        let p = matmul_par(&a, &b);
+        assert_eq!(
+            s.as_slice(),
+            p.as_slice(),
+            "parallel path must be bit-identical"
+        );
+        assert_eq!(matmul_auto(&a, &b).as_slice(), s.as_slice());
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let mut r = SeedRng::new(3);
+        let a = r.normal_tensor(&[6, 4], 1.0);
+        let b = r.normal_tensor(&[6, 5], 1.0);
+        // A^T B where A:[6,4] -> At:[4,6]
+        let mut at = Tensor::zeros(&[4, 6]);
+        for i in 0..6 {
+            for j in 0..4 {
+                at.as_mut_slice()[j * 6 + i] = a.as_slice()[i * 4 + j];
+            }
+        }
+        assert!(matmul_tn(&a, &b).allclose(&naive(&at, &b), 1e-4));
+
+        let c = r.normal_tensor(&[3, 4], 1.0);
+        let d = r.normal_tensor(&[7, 4], 1.0);
+        let mut dt = Tensor::zeros(&[4, 7]);
+        for i in 0..7 {
+            for j in 0..4 {
+                dt.as_mut_slice()[j * 7 + i] = d.as_slice()[i * 4 + j];
+            }
+        }
+        assert!(matmul_nt(&c, &d).allclose(&naive(&c, &dt), 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut r = SeedRng::new(4);
+        let a = r.normal_tensor(&[5, 5], 1.0);
+        assert!(matmul(&a, &Tensor::eye(5)).allclose(&a, 1e-6));
+        assert!(matmul(&Tensor::eye(5), &a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn dimension_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn bias_and_col_sums() {
+        let mut m = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        add_bias_rows(&mut m, &[10., 20.]);
+        assert_eq!(m.as_slice(), &[11., 22., 13., 24.]);
+        let mut sums = vec![0.0; 2];
+        col_sums_into(&m, &mut sums);
+        assert_eq!(sums, vec![24., 46.]);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Shape arithmetic shared by tensors, layers and the FLOP model.
+
+/// A tensor shape: the extent of each dimension, row-major (last dimension
+/// contiguous).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Construct from a slice of extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+/// Output spatial extent of a convolution along one axis.
+///
+/// `input` with `pad` zeros on each side, a window of `kernel`, and step
+/// `stride`; standard floor formula.
+///
+/// # Panics
+/// Panics if the padded input is smaller than the kernel.
+pub fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "conv window {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Output spatial extent of a pooling window (no padding, stride = window by
+/// default in the paper's networks; a general `stride` is supported).
+pub fn pool_out(input: usize, window: usize, stride: usize) -> usize {
+    assert!(
+        input >= window,
+        "pool window {window} larger than input {input}"
+    );
+    (input - window) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_ndim() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn empty_shape_is_scalar() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.ndim(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[5]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn conv_out_matches_table1_pipeline() {
+        // Table I geometry: 32x32 input, conv5x5 pad2 -> 32, pool2 -> 16,
+        // conv3x3 pad1 -> 16, pool2 -> 8, conv3x3 pad1 -> 8, pool2 -> 4,
+        // conv2x2 pad0 -> 3, pool2 -> 1.
+        assert_eq!(conv_out(32, 5, 1, 2), 32);
+        assert_eq!(pool_out(32, 2, 2), 16);
+        assert_eq!(conv_out(16, 3, 1, 1), 16);
+        assert_eq!(pool_out(16, 2, 2), 8);
+        assert_eq!(conv_out(8, 3, 1, 1), 8);
+        assert_eq!(pool_out(8, 2, 2), 4);
+        assert_eq!(conv_out(4, 2, 1, 0), 3);
+        assert_eq!(pool_out(3, 2, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn conv_out_rejects_oversized_kernel() {
+        conv_out(2, 5, 1, 0);
+    }
+}

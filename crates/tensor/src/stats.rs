@@ -1,0 +1,78 @@
+//! Small statistics helpers used by the theory estimators and reports.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / xs.len() as f32
+}
+
+/// Maximum; `None` for an empty slice (NaNs compare as smallest).
+pub fn max(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(a) => Some(if x > a { x } else { a }),
+    })
+}
+
+/// Simple linear interpolation of `y` at `x` over sorted `(xs, ys)` pairs,
+/// clamping outside the range. Used to align accuracy curves measured at
+/// different epoch granularities (Downpour reports every `p` epochs).
+pub fn interp(xs: &[f32], ys: &[f32], x: f32) -> f32 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty(), "interp over empty series");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let i = xs.partition_point(|&v| v < x);
+    let (x0, x1) = (xs[i - 1], xs[i]);
+    let (y0, y1) = (ys[i - 1], ys[i]);
+    if x1 == x0 {
+        y0
+    } else {
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_handles_empty_and_negative() {
+        assert_eq!(max(&[]), None);
+        assert_eq!(max(&[-3.0, -1.0, -2.0]), Some(-1.0));
+    }
+
+    #[test]
+    fn interp_clamps_and_interpolates() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [10.0, 20.0, 40.0];
+        assert_eq!(interp(&xs, &ys, 0.5), 10.0);
+        assert_eq!(interp(&xs, &ys, 5.0), 40.0);
+        assert_eq!(interp(&xs, &ys, 3.0), 30.0);
+        assert_eq!(interp(&xs, &ys, 2.0), 20.0);
+    }
+}

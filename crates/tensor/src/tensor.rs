@@ -1,0 +1,286 @@
+//! The dense tensor type and its element-wise operations.
+
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor.
+///
+/// All model parameters, activations and gradients in the reproduction are
+/// `Tensor`s. The representation is deliberately simple — an owned `Vec<f32>`
+/// plus a [`Shape`] — because the distributed algorithms of the paper operate
+/// on *flat* parameter/gradient vectors, and every layer exposes its state
+/// through flat slices anyway.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            dims
+        );
+        Tensor { shape, data }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Borrow the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.shape.0
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat read-only view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Self {
+        let new = Shape::new(dims);
+        assert_eq!(new.numel(), self.numel(), "reshape changes element count");
+        self.shape = new;
+        self
+    }
+
+    /// Set all elements to zero, keeping the allocation.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self += other` element-wise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (BLAS axpy) over the flat buffers.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.numel(), other.numel(), "axpy length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Element-wise product into a new tensor.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of the flat vector.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element (first on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Row `i` of a 2-D tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.ndim(), 2, "row() requires a matrix");
+        let cols = self.shape.dim(1);
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Flat offset of `[n, c, h, w]` in an NCHW tensor.
+    #[inline]
+    pub fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let d = &self.shape.0;
+        debug_assert_eq!(d.len(), 4);
+        ((n * d[1] + c) * d[2] + h) * d[3] + w
+    }
+
+    /// Element at `[n, c, h, w]`.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx4(n, c, h, w)]
+    }
+
+    /// True when every pair of elements differs by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_full_eye() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.as_slice().iter().all(|&x| x == 2.5));
+        let e = Tensor::eye(3);
+        assert_eq!(e.sum(), 3.0);
+        assert_eq!(e.at_mat(1, 1), 1.0);
+        assert_eq!(e.at_mat(0, 1), 0.0);
+    }
+
+    impl Tensor {
+        fn at_mat(&self, r: usize, c: usize) -> f32 {
+            self.row(r)[c]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]).reshape(&[3, 2]);
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.row(2), &[5., 6.]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Tensor::from_vec(vec![1., 2.], &[2]);
+        let b = Tensor::from_vec(vec![3., 4.], &[2]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[4., 6.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[5.5, 8.]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[11., 16.]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.as_slice(), &[33., 64.]);
+        a.zero_();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn norm_and_argmax() {
+        let t = Tensor::from_vec(vec![3., 4.], &[2]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(t.argmax(), Some(1));
+        let ties = Tensor::from_vec(vec![7., 7.], &[2]);
+        assert_eq!(ties.argmax(), Some(0), "first index wins ties");
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn idx4_is_nchw_row_major() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.idx4(0, 0, 0, 0), 0);
+        assert_eq!(t.idx4(0, 0, 0, 1), 1);
+        assert_eq!(t.idx4(0, 0, 1, 0), 5);
+        assert_eq!(t.idx4(0, 1, 0, 0), 20);
+        assert_eq!(t.idx4(1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0005, 2.0], &[2]);
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-5));
+        let c = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        assert!(!a.allclose(&c, 1.0), "shape mismatch is never close");
+    }
+}

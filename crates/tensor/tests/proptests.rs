@@ -1,0 +1,188 @@
+//! Property-based tests for the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use sasgd_tensor::conv::{conv2d_forward, im2col, Conv2dSpec};
+use sasgd_tensor::pool::{maxpool2d_forward, Pool2dSpec};
+use sasgd_tensor::shape::{conv_out, pool_out};
+use sasgd_tensor::{linalg, SeedRng, Tensor};
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    SeedRng::new(seed).normal_tensor(dims, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_parallel_is_bitwise_equal(
+        m in 1usize..80, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed + 1);
+        let s = linalg::matmul(&a, &b);
+        let p = linalg::matmul_par(&a, &b);
+        prop_assert_eq!(s.as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b1 = rand_tensor(&[k, n], seed + 1);
+        let mut b2 = rand_tensor(&[k, n], seed + 2);
+        // A(B1+B2) == AB1 + AB2 (within fp tolerance).
+        let mut sum_b = b1.clone();
+        sum_b.add_assign(&b2);
+        let lhs = linalg::matmul(&a, &sum_b);
+        let mut rhs = linalg::matmul(&a, &b1);
+        rhs.add_assign(&linalg::matmul(&a, &b2));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        b2.zero_();
+        prop_assert_eq!(b2.sum(), 0.0);
+    }
+
+    #[test]
+    fn matmul_identity_neutral(m in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        let a = rand_tensor(&[m, n], seed);
+        prop_assert!(linalg::matmul(&a, &Tensor::eye(n)).allclose(&a, 1e-5));
+        prop_assert!(linalg::matmul(&Tensor::eye(m), &a).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn transpose_kernels_agree(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        // (A^T)^T B  via matmul_tn on A^T equals plain A·B.
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[k, n], seed + 1);
+        let mut at = Tensor::zeros(&[k, m]);
+        for i in 0..m {
+            for j in 0..k {
+                at.as_mut_slice()[j * m + i] = a.as_slice()[i * k + j];
+            }
+        }
+        let via_tn = linalg::matmul_tn(&at, &b);
+        let plain = linalg::matmul(&a, &b);
+        prop_assert!(via_tn.allclose(&plain, 1e-4));
+        // A·B^T via matmul_nt on B^T equals plain.
+        let mut bt = Tensor::zeros(&[n, k]);
+        for i in 0..k {
+            for j in 0..n {
+                bt.as_mut_slice()[j * k + i] = b.as_slice()[i * n + j];
+            }
+        }
+        let via_nt = linalg::matmul_nt(&a, &bt);
+        prop_assert!(via_nt.allclose(&plain, 1e-4));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        h in 4usize..9, w in 4usize..9, pad in 0usize..2, seed in 0u64..500
+    ) {
+        let spec = Conv2dSpec { ci: 2, co: 3, kh: 3, kw: 3, stride: 1, pad };
+        if h + 2 * pad < 3 || w + 2 * pad < 3 {
+            return Ok(());
+        }
+        let x1 = rand_tensor(&[1, 2, h, w], seed);
+        let x2 = rand_tensor(&[1, 2, h, w], seed + 1);
+        let weight = rand_tensor(&[3, spec.patch_len()], seed + 2);
+        let zeros = vec![0.0f32; 3];
+        let mut sum_x = x1.clone();
+        sum_x.add_assign(&x2);
+        let lhs = conv2d_forward(&sum_x, &weight, &zeros, &spec);
+        let mut rhs = conv2d_forward(&x1, &weight, &zeros, &spec);
+        rhs.add_assign(&conv2d_forward(&x2, &weight, &zeros, &spec));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mixing(h in 2usize..6, w in 2usize..6, seed in 0u64..500) {
+        // A 1×1 conv is a per-pixel linear map over channels.
+        let spec = Conv2dSpec { ci: 2, co: 2, kh: 1, kw: 1, stride: 1, pad: 0 };
+        let x = rand_tensor(&[1, 2, h, w], seed);
+        let weight = rand_tensor(&[2, 2], seed + 1);
+        let bias = vec![0.1f32, -0.2];
+        let out = conv2d_forward(&x, &weight, &bias, &spec);
+        for y in 0..h {
+            for xx in 0..w {
+                for (co, &b) in bias.iter().enumerate() {
+                    let expect = weight.as_slice()[co * 2] * x.at4(0, 0, y, xx)
+                        + weight.as_slice()[co * 2 + 1] * x.at4(0, 1, y, xx)
+                        + b;
+                    prop_assert!((out.at4(0, co, y, xx) - expect).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_rows_are_real_patches(h in 3usize..7, w in 3usize..7, seed in 0u64..500) {
+        let spec = Conv2dSpec { ci: 1, co: 1, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let x = rand_tensor(&[1, 1, h, w], seed);
+        let cols = im2col(x.as_slice(), 1, h, w, &spec);
+        let (oh, ow) = spec.out_hw(h, w);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &cols.as_slice()[(oy * ow + ox) * 4..(oy * ow + ox) * 4 + 4];
+                prop_assert_eq!(row[0], x.at4(0, 0, oy, ox));
+                prop_assert_eq!(row[3], x.at4(0, 0, oy + 1, ox + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_dominates_every_window_element(
+        h in 2usize..8, w in 2usize..8, seed in 0u64..500
+    ) {
+        let x = rand_tensor(&[1, 1, h, w], seed);
+        let f = maxpool2d_forward(&x, &Pool2dSpec::square(2));
+        let (oh, ow) = Pool2dSpec::square(2).out_hw(h, w);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let m = f.output.at4(0, 0, oy, ox);
+                for ky in 0..2 {
+                    for kx in 0..2 {
+                        prop_assert!(m >= x.at4(0, 0, 2 * oy + ky, 2 * ox + kx));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_formulas_are_consistent(input in 1usize..64, k in 1usize..6, s in 1usize..4) {
+        // Padding with k-1 always admits the kernel; output is positive and
+        // non-increasing in stride.
+        let pad = k - 1;
+        let o1 = conv_out(input, k, 1, pad);
+        prop_assert!(o1 >= input, "full padding never shrinks below input");
+        let os = conv_out(input, k, s, pad);
+        prop_assert!(os >= 1 && os <= o1);
+        if input >= k {
+            let p1 = pool_out(input, k, s);
+            prop_assert!(p1 >= 1);
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_algebra(n in 1usize..50, alpha in -2.0f32..2.0, seed in 0u64..500) {
+        let a = rand_tensor(&[n], seed);
+        let b = rand_tensor(&[n], seed + 1);
+        // a + α·b computed two ways.
+        let mut lhs = a.clone();
+        lhs.axpy(alpha, &b);
+        let mut scaled = b.clone();
+        scaled.scale(alpha);
+        let mut rhs = a.clone();
+        rhs.add_assign(&scaled);
+        prop_assert!(lhs.allclose(&rhs, 1e-5));
+    }
+
+    #[test]
+    fn argmax_is_maximal(n in 1usize..60, seed in 0u64..500) {
+        let t = rand_tensor(&[n], seed);
+        let i = t.argmax().expect("nonempty");
+        let max = t.as_slice().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert_eq!(t.as_slice()[i], max);
+    }
+}

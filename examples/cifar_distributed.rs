@@ -1,0 +1,82 @@
+//! The paper's first workload in miniature: compare sequential SGD,
+//! SASGD, Downpour and EAMSGD on a CIFAR-like image task, reporting both
+//! accuracy and simulated epoch time (the two axes of the paper's
+//! evaluation).
+//!
+//! ```text
+//! cargo run --release --example cifar_distributed
+//! ```
+
+use sasgd::core::algorithms::GammaP;
+use sasgd::core::report::ascii_table;
+use sasgd::core::{train, Algorithm, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::nn::models;
+use sasgd::tensor::SeedRng;
+
+fn main() {
+    let cfg_data = CifarLikeConfig {
+        noise: 1.0,
+        max_shift: 2,
+        ..CifarLikeConfig::tiny(512, 256, 10)
+    };
+    let (train_set, test_set) = generate(&cfg_data);
+    let epochs = 25;
+    let gamma = 0.05;
+    let p = 8;
+    let t = 10;
+
+    let runs: Vec<(&str, Algorithm)> = vec![
+        ("SGD (sequential)", Algorithm::Sequential),
+        (
+            "SASGD",
+            Algorithm::Sasgd {
+                p,
+                t,
+                gamma_p: GammaP::OverP,
+            },
+        ),
+        ("Downpour", Algorithm::Downpour { p, t }),
+        (
+            "EAMSGD",
+            Algorithm::Eamsgd {
+                p,
+                t,
+                moving_rate: None,
+                momentum: 0.0,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, algo) in runs {
+        let cfg = TrainConfig::new(epochs, 8, gamma, 42);
+        let mut factory = || models::tiny_cnn(10, &mut SeedRng::new(7));
+        let h = train(&mut factory, &train_set, &test_set, &algo, &cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", h.final_train_acc() * 100.0),
+            format!("{:.1}", h.final_test_acc() * 100.0),
+            format!("{:.3}", h.epoch_seconds()),
+            format!("{:.0}", h.comm_fraction() * 100.0),
+        ]);
+    }
+    println!(
+        "CIFAR-like, p = {p}, T = {t}, γ = {gamma}, {epochs} collective epochs\n\n{}",
+        ascii_table(
+            &[
+                "algorithm",
+                "train acc %",
+                "test acc %",
+                "epoch (s, simulated)",
+                "comm %"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "The paper's Fig 9 pattern: SASGD trains stably at p = {p} while the\n\
+         asynchronous baselines lose accuracy to stale gradients; its allreduce\n\
+         also spends less time communicating than the parameter-server paths."
+    );
+}

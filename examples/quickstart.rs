@@ -1,0 +1,75 @@
+//! Quickstart: train a small CNN with SASGD on a synthetic image dataset.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sasgd::core::algorithms::GammaP;
+use sasgd::core::report::ascii_table;
+use sasgd::core::{train, Algorithm, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::nn::models;
+use sasgd::tensor::SeedRng;
+
+fn main() {
+    // 1. A dataset: 512 synthetic 8×8 RGB images in 10 classes.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(512, 128, 10));
+    println!(
+        "dataset: {} train / {} test samples, dims {:?}",
+        train_set.len(),
+        test_set.len(),
+        train_set.sample_dims()
+    );
+
+    // 2. A model factory: every learner replica starts from the same
+    //    parameters (same seed).
+    let mut factory = || models::tiny_cnn(10, &mut SeedRng::new(7));
+    println!("\nmodel:\n{}", factory().summary());
+
+    // 3. SASGD (Algorithm 1 of the paper): 4 learners, allreduce every
+    //    T = 8 minibatches, global rate γp = γ/4.
+    let algo = Algorithm::Sasgd {
+        p: 4,
+        t: 8,
+        gamma_p: GammaP::OverP,
+    };
+    let cfg = TrainConfig::new(15, 8, 0.05, 42);
+    let history = train(&mut factory, &train_set, &test_set, &algo, &cfg);
+
+    // 4. Inspect the run.
+    let rows: Vec<Vec<String>> = history
+        .records
+        .iter()
+        .step_by(3)
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.epoch),
+                format!("{:.3}", r.train_loss),
+                format!("{:.1}", r.train_acc * 100.0),
+                format!("{:.1}", r.test_acc * 100.0),
+                format!("{:.2}", r.compute_seconds),
+                format!("{:.2}", r.comm_seconds),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "epoch",
+                "train loss",
+                "train acc %",
+                "test acc %",
+                "compute (s)",
+                "comm (s)"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "final test accuracy: {:.1} % | simulated epoch time {:.2} s ({:.0} % comm)",
+        history.final_test_acc() * 100.0,
+        history.epoch_seconds(),
+        history.comm_fraction() * 100.0
+    );
+}

@@ -1,0 +1,155 @@
+//! Cross-crate equivalence tests: the simulated trainer, the threaded
+//! backend and the sequential baseline must agree where the algorithms
+//! coincide mathematically.
+
+use sasgd::core::algorithms::GammaP;
+use sasgd::core::{run_threaded_sasgd, train, Algorithm, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::nn::models;
+use sasgd::simnet::JitterModel;
+use sasgd::tensor::SeedRng;
+
+fn quiet_cfg(epochs: usize, gamma: f32, seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::new(epochs, 8, gamma, seed);
+    cfg.jitter = JitterModel::none();
+    cfg
+}
+
+#[test]
+fn threaded_equals_simulated_sasgd_bitwise() {
+    // Same seeds, same batch orders, same binomial-tree reduction order:
+    // the two backends must produce identical accuracy trajectories.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(128, 32, 3));
+    for (p, t) in [(2usize, 1usize), (4, 2), (3, 5)] {
+        let cfg = quiet_cfg(3, 0.05, 21);
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let h_thread =
+            run_threaded_sasgd(&factory, &train_set, &test_set, &cfg, p, t, GammaP::OverP);
+        let mut f = || models::tiny_cnn(3, &mut SeedRng::new(5));
+        let algo = Algorithm::Sasgd {
+            p,
+            t,
+            gamma_p: GammaP::OverP,
+        };
+        let h_sim = train(&mut f, &train_set, &test_set, &algo, &cfg);
+        assert_eq!(h_thread.records.len(), h_sim.records.len());
+        for (a, b) in h_thread.records.iter().zip(&h_sim.records) {
+            assert_eq!(
+                a.train_loss, b.train_loss,
+                "p={p} T={t}: train loss diverged"
+            );
+            assert_eq!(
+                a.test_acc, b.test_acc,
+                "p={p} T={t}: test accuracy diverged"
+            );
+            assert_eq!(
+                a.train_acc, b.train_acc,
+                "p={p} T={t}: train accuracy diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_sgd_is_sasgd_with_t1() {
+    // T=1 SASGD is classic synchronous SGD; doubling T=1's γp via the
+    // Fixed policy must equal OverP at 2γ — a consistency check of the
+    // γp plumbing.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+    let cfg = quiet_cfg(2, 0.05, 9);
+    let p = 4;
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+    let a = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p,
+            t: 1,
+            gamma_p: GammaP::Fixed(0.05 / p as f32),
+        },
+        &cfg,
+    );
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+    let b = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p,
+            t: 1,
+            gamma_p: GammaP::OverP,
+        },
+        &cfg,
+    );
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.train_loss, y.train_loss);
+    }
+}
+
+#[test]
+fn downpour_p1_t1_tracks_sequential_closely() {
+    // One asynchronous learner has no one to be stale against: Downpour
+    // p=1 T=1 is sequential SGD up to the local-then-server double
+    // application of γ·g per step (local step + server step ⇒ effective
+    // 2γ). Compare against sequential SGD at 2γ.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 48, 3));
+    let cfg_dp = quiet_cfg(4, 0.02, 13);
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(3));
+    let dp = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Downpour { p: 1, t: 1 },
+        &cfg_dp,
+    );
+    let cfg_seq = quiet_cfg(4, 0.04, 13);
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(3));
+    let seq = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::Sequential,
+        &cfg_seq,
+    );
+    let d = dp.final_test_acc();
+    let s = seq.final_test_acc();
+    assert!(
+        (d - s).abs() < 0.15,
+        "Downpour p=1 ({d}) should track sequential at 2γ ({s})"
+    );
+}
+
+#[test]
+fn gamma_p_policies_change_trajectories() {
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+    let cfg = quiet_cfg(2, 0.05, 1);
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(1));
+    let over_p = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 4,
+            t: 2,
+            gamma_p: GammaP::OverP,
+        },
+        &cfg,
+    );
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(1));
+    let same = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 4,
+            t: 2,
+            gamma_p: GammaP::SameAsGamma,
+        },
+        &cfg,
+    );
+    assert_ne!(
+        over_p.records[0].train_loss, same.records[0].train_loss,
+        "γp = γ vs γ/p must differ with 4 learners"
+    );
+}

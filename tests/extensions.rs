@@ -1,0 +1,246 @@
+//! Tests for the extension features layered on the paper's core:
+//! gradient compression, learning-rate schedules, staleness
+//! instrumentation, and the empirical gradient-norm series.
+
+use sasgd::core::algorithms::GammaP;
+use sasgd::core::{train, Algorithm, Compression, LrSchedule, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::nn::models;
+use sasgd::simnet::JitterModel;
+use sasgd::tensor::SeedRng;
+
+fn cifar() -> (sasgd::data::Dataset, sasgd::data::Dataset) {
+    generate(&CifarLikeConfig::tiny(160, 64, 3))
+}
+
+fn cfg(epochs: usize, gamma: f32) -> TrainConfig {
+    let mut c = TrainConfig::new(epochs, 8, gamma, 42);
+    c.jitter = JitterModel::none();
+    c
+}
+
+#[test]
+fn compressed_sasgd_learns_and_saves_traffic_time() {
+    let (train_set, test_set) = cifar();
+    let c = cfg(8, 0.05);
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+    let plain = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 4,
+            t: 2,
+            gamma_p: GammaP::OverP,
+        },
+        &c,
+    );
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(7));
+    let topk = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::SasgdCompressed {
+            p: 4,
+            t: 2,
+            gamma_p: GammaP::OverP,
+            compression: Compression::TopK { ratio: 0.1 },
+        },
+        &c,
+    );
+    assert!(
+        topk.final_test_acc() > 0.5,
+        "top-k acc {:.2}",
+        topk.final_test_acc()
+    );
+    // Within a few points of uncompressed accuracy (error feedback works).
+    assert!(
+        topk.final_test_acc() > plain.final_test_acc() - 0.15,
+        "top-k {:.2} vs plain {:.2}",
+        topk.final_test_acc(),
+        plain.final_test_acc()
+    );
+    // And the virtual communication time shrinks. For this tiny test
+    // model the allreduce is latency-bound so the saving is small but
+    // strictly positive; the paper-scale factor is asserted analytically
+    // in `compressed_comm_cost_reflects_wire_elements`.
+    let plain_comm = plain.records.last().expect("r").comm_seconds;
+    let topk_comm = topk.records.last().expect("r").comm_seconds;
+    assert!(
+        topk_comm < plain_comm,
+        "compressed comm {topk_comm} vs plain {plain_comm}"
+    );
+}
+
+#[test]
+fn quantized_sasgd_tracks_plain_closely() {
+    let (train_set, test_set) = cifar();
+    let c = cfg(6, 0.05);
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(3));
+    let plain = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 2,
+            t: 2,
+            gamma_p: GammaP::OverP,
+        },
+        &c,
+    );
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(3));
+    let q8 = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::SasgdCompressed {
+            p: 2,
+            t: 2,
+            gamma_p: GammaP::OverP,
+            compression: Compression::Uniform8Bit,
+        },
+        &c,
+    );
+    assert!(
+        (q8.final_test_acc() - plain.final_test_acc()).abs() < 0.1,
+        "8-bit {:.2} vs plain {:.2}",
+        q8.final_test_acc(),
+        plain.final_test_acc()
+    );
+}
+
+#[test]
+fn step_decay_schedule_changes_late_trajectory_only() {
+    let (train_set, test_set) = cifar();
+    let mut constant = cfg(6, 0.05);
+    constant.schedule = LrSchedule::Constant;
+    let mut decayed = cfg(6, 0.05);
+    decayed.schedule = LrSchedule::StepDecay {
+        every: 3,
+        factor: 0.1,
+    };
+    let algo = Algorithm::Sasgd {
+        p: 2,
+        t: 1,
+        gamma_p: GammaP::OverP,
+    };
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(9));
+    let a = train(&mut f1, &train_set, &test_set, &algo, &constant);
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(9));
+    let b = train(&mut f2, &train_set, &test_set, &algo, &decayed);
+    // Identical until the first decay boundary (epochs 1-3), different after.
+    for e in 0..3 {
+        assert_eq!(
+            a.records[e].train_loss, b.records[e].train_loss,
+            "epoch {e} should match"
+        );
+    }
+    assert_ne!(
+        a.records[5].train_loss, b.records[5].train_loss,
+        "decay must alter the post-boundary trajectory"
+    );
+}
+
+#[test]
+fn warmup_schedule_trains_successfully() {
+    let (train_set, test_set) = cifar();
+    let mut c = cfg(8, 0.08);
+    c.schedule = LrSchedule::Warmup {
+        epochs: 3,
+        start_frac: 0.1,
+    };
+    let mut f = || models::tiny_cnn(3, &mut SeedRng::new(4));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 4,
+            t: 2,
+            gamma_p: GammaP::OverP,
+        },
+        &c,
+    );
+    assert!(
+        h.final_test_acc() > 0.5,
+        "warmup acc {:.2}",
+        h.final_test_acc()
+    );
+}
+
+#[test]
+fn staleness_is_t_for_sasgd_and_spreads_for_downpour() {
+    let (train_set, test_set) = cifar();
+    let mut c = cfg(4, 0.02);
+    // Give learners real speed differences so async staleness varies.
+    c.jitter = JitterModel {
+        cv: 0.3,
+        learner_spread: 0.3,
+    };
+    let t = 2;
+    let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+    let sasgd = train(
+        &mut f1,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 4,
+            t,
+            gamma_p: GammaP::OverP,
+        },
+        &c,
+    );
+    let st = sasgd.staleness.expect("SASGD records staleness");
+    assert_eq!(st.mean, t as f64, "SASGD staleness is exactly T");
+    assert_eq!(st.max, t as u64);
+
+    let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(5));
+    let downpour = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::Downpour { p: 4, t },
+        &c,
+    );
+    let sd = downpour.staleness.expect("Downpour records staleness");
+    assert!(sd.pushes > 0);
+    // With 4 async learners, typical staleness ≈ p−1 pushes and the max
+    // exceeds the mean (speed spread ⇒ uneven staleness) — the paper's
+    // "staleness is influenced by the relative processing speeds".
+    assert!(sd.mean > 0.5, "mean staleness {}", sd.mean);
+    assert!(
+        (sd.max as f64) > sd.mean,
+        "staleness spread: max {} vs mean {}",
+        sd.max,
+        sd.mean
+    );
+}
+
+#[test]
+fn gradient_norm_series_decreases_during_training() {
+    let (train_set, test_set) = cifar();
+    let c = cfg(10, 0.05);
+    let mut f = || models::tiny_cnn(3, &mut SeedRng::new(8));
+    let h = train(&mut f, &train_set, &test_set, &Algorithm::Sequential, &c);
+    let first = h.records.first().expect("r").grad_norm;
+    let last = h.records.last().expect("r").grad_norm;
+    assert!(first > 0.0, "gradient norm must be measured");
+    assert!(
+        last < first,
+        "average gradient norm should fall as training converges: {first} -> {last}"
+    );
+}
+
+#[test]
+fn compressed_comm_cost_reflects_wire_elements() {
+    // The analytic side: top-10 % wire volume prices 5× cheaper than dense
+    // in the tree-allreduce cost model.
+    use sasgd::simnet::CostModel;
+    let cost = CostModel::paper_testbed();
+    let m = 506_378;
+    let dense = cost.allreduce_tree(m, 8).seconds;
+    let sparse = cost
+        .allreduce_tree_elements(Compression::TopK { ratio: 0.1 }.wire_elements(m), 8)
+        .seconds;
+    assert!(sparse < dense * 0.4, "sparse {sparse} vs dense {dense}");
+}

@@ -1,0 +1,160 @@
+//! Failure-injection and robustness tests: extreme jitter, degenerate
+//! datasets, hammered parameter servers.
+
+use sasgd::comm::ps::{PsConfig, PsServer};
+use sasgd::core::algorithms::GammaP;
+use sasgd::core::{train, Algorithm, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::data::Dataset;
+use sasgd::nn::models;
+use sasgd::simnet::JitterModel;
+use sasgd::tensor::SeedRng;
+use std::thread;
+
+#[test]
+fn extreme_jitter_changes_time_not_math() {
+    // Jitter drives clocks (and async interleaving) but must never change
+    // the gradients of the synchronous algorithms: SASGD's trajectory is
+    // identical under any jitter level.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+    let algo = Algorithm::Sasgd {
+        p: 4,
+        t: 2,
+        gamma_p: GammaP::OverP,
+    };
+    let mut histories = Vec::new();
+    for cv in [0.0f64, 1.5] {
+        let mut cfg = TrainConfig::new(3, 8, 0.05, 7);
+        cfg.jitter = JitterModel {
+            cv,
+            learner_spread: cv / 2.0,
+        };
+        let mut f = || models::tiny_cnn(3, &mut SeedRng::new(2));
+        histories.push(train(&mut f, &train_set, &test_set, &algo, &cfg));
+    }
+    let (calm, wild) = (&histories[0], &histories[1]);
+    for (a, b) in calm.records.iter().zip(&wild.records) {
+        assert_eq!(
+            a.train_loss, b.train_loss,
+            "jitter must not perturb SASGD math"
+        );
+    }
+    // But the straggler wait must show up as extra communication time.
+    let calm_comm = calm.records.last().expect("records").comm_seconds;
+    let wild_comm = wild.records.last().expect("records").comm_seconds;
+    assert!(
+        wild_comm > calm_comm,
+        "wild jitter should cost barrier time"
+    );
+}
+
+#[test]
+fn slow_straggler_learner_still_converges_async() {
+    // One learner 10× slower than the rest: Downpour keeps running (its
+    // pushes just get staler) and still learns at p=2 with a gentle rate.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 48, 3));
+    let mut cfg = TrainConfig::new(8, 8, 0.02, 3);
+    cfg.jitter = JitterModel {
+        cv: 0.05,
+        learner_spread: 2.0,
+    };
+    let mut f = || models::tiny_cnn(3, &mut SeedRng::new(4));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Downpour { p: 2, t: 1 },
+        &cfg,
+    );
+    assert!(h.final_test_acc() > 0.45, "acc {:.2}", h.final_test_acc());
+}
+
+#[test]
+fn single_class_dataset_trains_to_perfection() {
+    let n = 32;
+    let x = vec![0.5f32; n * 3 * 8 * 8];
+    let labels = vec![0usize; n];
+    let train_set = Dataset::new(x.clone(), labels.clone(), &[3, 8, 8], 2);
+    let test_set = Dataset::new(x, labels, &[3, 8, 8], 2);
+    let cfg = TrainConfig::new(3, 8, 0.05, 1);
+    let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 2,
+            t: 1,
+            gamma_p: GammaP::OverP,
+        },
+        &cfg,
+    );
+    assert_eq!(h.final_test_acc(), 1.0);
+}
+
+#[test]
+fn ps_survives_hammering_and_preserves_sums() {
+    // 16 clients × 50 pushes of +1 on every coordinate: additions commute,
+    // so the final state is exact regardless of interleaving or sharding.
+    for shards in [1usize, 3, 8] {
+        let m = 257; // deliberately not divisible by the shard counts
+        let ps = PsServer::spawn(vec![0.0f32; m], PsConfig { shards });
+        thread::scope(|s| {
+            for _ in 0..16 {
+                let c = ps.client();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        c.add(&vec![1.0; m]);
+                    }
+                });
+            }
+        });
+        let end = ps.shutdown();
+        assert!(end.iter().all(|&v| v == 800.0), "shards={shards}");
+    }
+}
+
+#[test]
+fn minibatch_larger_than_shard_still_runs() {
+    // p=2 over 20 samples with batch 16: shards of 10 get truncated to a
+    // single smaller batch per epoch; training must proceed.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(20, 8, 2));
+    let cfg = TrainConfig::new(2, 8, 0.05, 1);
+    let mut f = || models::tiny_cnn(2, &mut SeedRng::new(1));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 2,
+            t: 1,
+            gamma_p: GammaP::OverP,
+        },
+        &cfg,
+    );
+    assert_eq!(h.records.len(), 2);
+}
+
+#[test]
+fn zero_learning_rate_is_a_fixed_point() {
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(32, 16, 2));
+    let cfg = TrainConfig::new(2, 8, 0.0, 1);
+    let mut f = || models::tiny_cnn(2, &mut SeedRng::new(6));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p: 2,
+            t: 1,
+            gamma_p: GammaP::Fixed(0.0),
+        },
+        &cfg,
+    );
+    let first = h.records.first().expect("records");
+    let last = h.records.last().expect("records");
+    assert_eq!(
+        first.test_acc, last.test_acc,
+        "γ=0 must not move parameters"
+    );
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) on the core invariants: collectives
+//! compute exact sums, shards partition, flat parameter views round-trip,
+//! the theory module's solutions satisfy their defining equations, and the
+//! cost model is monotone.
+
+use proptest::prelude::*;
+use sasgd::comm::collectives::{allreduce_ring, allreduce_tree, broadcast};
+use sasgd::comm::world::CommWorld;
+use sasgd::core::epoch_time::{epoch_time, Aggregation, Workload};
+use sasgd::core::theory;
+use sasgd::data::Dataset;
+use sasgd::nn::models;
+use sasgd::simnet::{CostModel, EventQueue, JitterModel, VirtualTime};
+use sasgd::tensor::SeedRng;
+use std::thread;
+
+fn run_ranks<T: Send>(p: usize, f: impl Fn(&mut sasgd::comm::Communicator) -> T + Sync) -> Vec<T> {
+    let mut world = CommWorld::new(p);
+    let comms = world.communicators();
+    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| {
+                let f = &f;
+                s.spawn(move || f(&mut c))
+            })
+            .collect();
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("rank"));
+        }
+    });
+    out.into_iter().map(|o| o.expect("value")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_tree_is_exact_sum_order(
+        p in 1usize..9,
+        m in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeedRng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|_| (0..m).map(|_| (rng.below(200) as f32) - 100.0).collect())
+            .collect();
+        let inputs2 = inputs.clone();
+        let results = run_ranks(p, move |c| {
+            let mut v = inputs2[c.rank()].clone();
+            allreduce_tree(c, &mut v);
+            v
+        });
+        // Integer-valued floats sum exactly, so compare against the plain sum.
+        let expect: Vec<f32> = (0..m)
+            .map(|j| inputs.iter().map(|v| v[j]).sum())
+            .collect();
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn ring_matches_tree(p in 1usize..7, m in 1usize..30, seed in 0u64..1000) {
+        let mut rng = SeedRng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|_| (0..m).map(|_| (rng.below(64) as f32) - 32.0).collect())
+            .collect();
+        let i1 = inputs.clone();
+        let tree = run_ranks(p, move |c| {
+            let mut v = i1[c.rank()].clone();
+            allreduce_tree(c, &mut v);
+            v
+        });
+        let ring = run_ranks(p, move |c| {
+            let mut v = inputs[c.rank()].clone();
+            allreduce_ring(c, &mut v);
+            v
+        });
+        prop_assert_eq!(tree, ring);
+    }
+
+    #[test]
+    fn broadcast_from_any_root(p in 1usize..9, root_pick in 0usize..8, m in 1usize..20) {
+        let root = root_pick % p;
+        let payload: Vec<f32> = (0..m).map(|i| i as f32 * 1.5).collect();
+        let expect = payload.clone();
+        let results = run_ranks(p, move |c| {
+            let mut v = if c.rank() == root { payload.clone() } else { vec![0.0; m] };
+            broadcast(c, root, &mut v);
+            v
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn shards_partition_exactly(n in 1usize..200, p in 1usize..17) {
+        let data = Dataset::new(vec![0.0; n], vec![0; n], &[1], 1);
+        let shards = data.shards(p);
+        prop_assert_eq!(shards.len(), p);
+        let mut all: Vec<usize> = shards.iter().flat_map(|s| s.indices().to_vec()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let (mn, mx) = (sizes.iter().min().expect("p>0"), sizes.iter().max().expect("p>0"));
+        prop_assert!(mx - mn <= 1, "near-equal shards");
+    }
+
+    #[test]
+    fn flat_param_roundtrip(seed in 0u64..500) {
+        let m1 = models::tiny_mlp(6, 5, 4, &mut SeedRng::new(seed));
+        let v = m1.param_vector();
+        let mut m2 = models::tiny_mlp(6, 5, 4, &mut SeedRng::new(seed.wrapping_add(1)));
+        m2.write_params(&v);
+        prop_assert_eq!(m2.param_vector(), v);
+    }
+
+    #[test]
+    fn cubic_root_is_positive_root(p in 1usize..200, alpha in 1.0f64..500.0) {
+        let c = theory::solve_cubic(p, alpha);
+        prop_assert!(c > 0.0);
+        let r = 4.0 * p as f64 * c.powi(3) + alpha * c * c - 2.0 * alpha;
+        prop_assert!(r.abs() < 1e-5 * (1.0 + alpha), "residual {}", r);
+        // And the clamped optimum respects the admissible range.
+        let copt = theory::optimal_c(p, alpha);
+        prop_assert!(copt <= theory::c_max(p, alpha) + 1e-12);
+    }
+
+    #[test]
+    fn guarantee_gap_never_improves_with_p(alpha in 8.0f64..64.0) {
+        let mut prev = theory::optimal_guarantee(1, alpha);
+        for p in [2usize, 4, 8, 16, 32] {
+            let g = theory::optimal_guarantee(p, alpha);
+            prop_assert!(g >= prev - 1e-9, "guarantee improved from {prev} to {g} at p={p}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn epoch_time_monotone_in_t(p in 2usize..9, t in 1usize..100) {
+        let cost = CostModel::paper_testbed();
+        let jit = JitterModel::none();
+        let w = Workload::cifar10();
+        let a = epoch_time(&cost, &w, Aggregation::AllreduceTree, p, t, &jit, 1).total();
+        let b = epoch_time(&cost, &w, Aggregation::AllreduceTree, p, t + 1, &jit, 1).total();
+        prop_assert!(b <= a + 1e-12, "larger T must not cost more time");
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..60)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(VirtualTime(t), i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.seconds() >= prev);
+            prev = t.seconds();
+        }
+    }
+
+    #[test]
+    fn sasgd_bound_worsens_with_t_at_fixed_s(
+        t in 1usize..100,
+        p in 1usize..17,
+    ) {
+        let c = theory::ProblemConstants { df: 2.0, l: 8.0, sigma2: 1.5 };
+        let s = 5.0e6;
+        let b1 = theory::sasgd_best_bound_fixed_s(&c, 8, t, p, s);
+        let b2 = theory::sasgd_best_bound_fixed_s(&c, 8, t * 2, p, s);
+        prop_assert!(b2 >= b1 - 1e-9, "Theorem 4 violated: T={t} {b1} vs 2T {b2}");
+    }
+}
