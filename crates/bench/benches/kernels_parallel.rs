@@ -1,0 +1,82 @@
+//! Serial-vs-parallel kernel comparison at the paper's layer shapes:
+//! Table I's first conv layer at batch 32 and the Table II NLC-F GEMMs.
+//! Run with `--features parallel` on a multi-core host to see the rayon
+//! speedup; without the feature both sides execute the serial kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sasgd_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use sasgd_tensor::{linalg, parallel, SeedRng, Tensor};
+
+fn bench_conv_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_parallel/table1_conv1_b32");
+    g.sample_size(10);
+    // Table I, layer 1: conv 3→64, 5×5, pad 2 on 32×32 images, batch 32.
+    let spec = Conv2dSpec {
+        ci: 3,
+        co: 64,
+        kh: 5,
+        kw: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let mut rng = SeedRng::new(1);
+    let input = rng.normal_tensor(&[32, 3, 32, 32], 1.0);
+    let weight = rng.normal_tensor(&[64, spec.patch_len()], 0.1);
+    let bias = vec![0.01f32; 64];
+    g.bench_function("forward/serial", |b| {
+        parallel::configure_threads(1);
+        b.iter(|| conv2d_forward(&input, &weight, &bias, &spec))
+    });
+    g.bench_function("forward/parallel", |b| {
+        parallel::configure_threads(0);
+        b.iter(|| conv2d_forward(&input, &weight, &bias, &spec))
+    });
+    let out = {
+        parallel::configure_threads(0);
+        conv2d_forward(&input, &weight, &bias, &spec)
+    };
+    let grad = Tensor::full(out.dims(), 1.0);
+    g.bench_function("backward/serial", |b| {
+        parallel::configure_threads(1);
+        b.iter(|| conv2d_backward(&input, &weight, &grad, &spec))
+    });
+    g.bench_function("backward/parallel", |b| {
+        parallel::configure_threads(0);
+        b.iter(|| conv2d_backward(&input, &weight, &grad, &spec))
+    });
+    parallel::configure_threads(0);
+    g.finish();
+}
+
+fn bench_nlc_gemms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_parallel/table2_nlc");
+    g.sample_size(10);
+    let mut rng = SeedRng::new(2);
+    // Per-timestep fc 100→200 over batch 32 × 50 timesteps.
+    let fc1_x = rng.normal_tensor(&[32 * 50, 100], 1.0);
+    let fc1_w = rng.normal_tensor(&[100, 200], 0.1);
+    g.bench_function("fc1/serial", |b| b.iter(|| linalg::matmul(&fc1_x, &fc1_w)));
+    g.bench_function("fc1/parallel", |b| {
+        b.iter(|| linalg::matmul_par(&fc1_x, &fc1_w))
+    });
+    // Temporal conv: 1000 kernels over window-2 patches of 200 channels.
+    let tc_x = rng.normal_tensor(&[32 * 50, 400], 1.0);
+    let tc_w = rng.normal_tensor(&[1000, 400], 0.05);
+    g.bench_function("tconv/serial", |b| {
+        b.iter(|| linalg::matmul_nt(&tc_x, &tc_w))
+    });
+    g.bench_function("tconv/parallel", |b| {
+        b.iter(|| linalg::matmul_nt_par(&tc_x, &tc_w))
+    });
+    // fc 1000×1000 at batch 32.
+    let fc2_x = rng.normal_tensor(&[32, 1000], 1.0);
+    let fc2_w = rng.normal_tensor(&[1000, 1000], 0.03);
+    g.bench_function("fc2/serial", |b| b.iter(|| linalg::matmul(&fc2_x, &fc2_w)));
+    g.bench_function("fc2/parallel", |b| {
+        b.iter(|| linalg::matmul_par(&fc2_x, &fc2_w))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_table1, bench_nlc_gemms);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ use std::process::ExitCode;
 
 use sasgd_bench::extensions;
 use sasgd_bench::figures::{self, Artifact};
+use sasgd_bench::kernels;
 use sasgd_bench::Scale;
 use sasgd_core::report::write_file;
 
@@ -30,6 +31,7 @@ const ALL: &[&str] = &[
 
 /// Extension artifacts beyond the paper (run via `ext` or by name).
 const EXTENSIONS: &[&str] = &[
+    "kernels",
     "staleness",
     "compression",
     "noniid",
@@ -103,6 +105,7 @@ fn build(target: &str, o: &Options) -> Artifact {
         "fig8" => figures::fig8(o.scale, o.epochs),
         "fig9" => figures::fig9(o.scale, o.epochs),
         "fig10" => figures::fig10(o.scale, o.epochs),
+        "kernels" => kernels::kernels(),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),
         "noniid" => extensions::noniid(o.scale, o.epochs),

@@ -12,6 +12,7 @@
 
 pub mod extensions;
 pub mod figures;
+pub mod kernels;
 pub mod scale;
 
 pub use scale::Scale;

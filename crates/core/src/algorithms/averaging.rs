@@ -7,7 +7,7 @@
 //! accuracies" relative to SASGD's per-interval aggregation — an ablation
 //! this module lets the benches reproduce.
 
-use sasgd_data::Dataset;
+use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
 use crate::history::History;
@@ -33,7 +33,7 @@ pub(crate) fn run(
     let mut avg_model = factory();
 
     let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shards = train_set.shards(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
     let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
     let mut history = History::new(format!("ModelAvg(p={p})"), p, 1);
     let mut samples = 0u64;

@@ -11,10 +11,13 @@
 //!
 //! The default moving rate is `α = β/p` with `β = 0.9`, as recommended in
 //! the EAMSGD paper. Communication cost per round equals a parameter-server
-//! round trip (pull `x̃`, push `diff`). Asynchrony is realized the same way
-//! as in [`super::downpour`]: completion events ordered by virtual time.
+//! round trip (pull `x̃`, push `diff`). As in the EASGD/EAMSGD setting (and
+//! [`super::downpour`]), the training data is partitioned across learners:
+//! each replica streams minibatches from its own shard. Asynchrony is
+//! realized the same way as in [`super::downpour`]: completion events
+//! ordered by virtual time.
 
-use sasgd_data::Dataset;
+use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 use sasgd_simnet::{EventQueue, VirtualTime};
 
@@ -59,8 +62,9 @@ pub(crate) fn run(
     let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
     let target_samples = (cfg.epochs as u64) * (n as u64);
 
-    let mut streams: Vec<BatchStream> = (0..p)
-        .map(|_| BatchStream::new(n, cfg.batch_size))
+    let mut streams: Vec<BatchStream> = make_shards(train_set, p, cfg.shard_strategy)
+        .into_iter()
+        .map(|s| BatchStream::new(s.indices().to_vec(), cfg.batch_size))
         .collect();
     let mut queue: EventQueue<Block> = EventQueue::new();
     for (id, l) in learners.iter_mut().enumerate() {

@@ -21,7 +21,7 @@
 //! drops by `t_global×` while staleness across groups stays explicitly
 //! bounded by `t_local · t_global`.
 
-use sasgd_data::Dataset;
+use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
 use crate::algorithms::GammaP;
@@ -62,7 +62,7 @@ pub(crate) fn run(
     let mut group_x: Vec<Vec<f32>> = (0..groups).map(|_| x0.clone()).collect();
 
     let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shards = train_set.shards(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
     let steps_per_epoch = shards
         .iter()
         .map(|s| s.len() / cfg.batch_size)

@@ -80,8 +80,9 @@ pub enum Algorithm {
         /// Global learning-rate policy for the level-1 step.
         gamma_p: GammaP,
     },
-    /// Downpour ASGD: asynchronous learners over the full dataset pushing
-    /// accumulated gradients to a parameter server every `t` minibatches.
+    /// Downpour ASGD: asynchronous learners over disjoint data shards
+    /// pushing accumulated gradients to a parameter server every `t`
+    /// minibatches.
     Downpour {
         /// Learners.
         p: usize,

@@ -1,13 +1,11 @@
 //! Experiment records: what every figure in the paper plots.
 
-use serde::{Deserialize, Serialize};
-
 /// One accuracy/timing sample, taken when a learner completes a pass.
 ///
 /// For synchronous algorithms records land on every collective epoch; for
 /// asynchronous ones (Downpour, EAMSGD) a record lands every `p` collective
 /// epochs — exactly the `1/p` plotting density the paper describes in §IV-C.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EpochRecord {
     /// Collective epochs completed (total samples processed / dataset size).
     pub epoch: f64,
@@ -27,12 +25,11 @@ pub struct EpochRecord {
     pub samples: u64,
     /// Norm of a large-batch gradient estimate at this point — the
     /// empirical counterpart of the theory's average gradient norm.
-    #[serde(default)]
     pub grad_norm: f32,
 }
 
 /// A full training trajectory plus run metadata.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct History {
     /// Human-readable algorithm tag (e.g. `"SASGD(p=8,T=50)"`).
     pub label: String,
@@ -44,8 +41,12 @@ pub struct History {
     pub t_interval: usize,
     /// Observed gradient staleness (asynchronous algorithms record the
     /// measured distribution; SASGD's staleness is `T` by construction).
-    #[serde(default)]
     pub staleness: Option<StalenessStats>,
+    /// Final flat parameter vector of the evaluated learner, where the
+    /// backend can provide it (the SASGD backends do). Lets equivalence
+    /// tests compare backends parameter-for-parameter, not just by
+    /// accuracy trajectories.
+    pub final_params: Option<Vec<f32>>,
 }
 
 /// Summary of observed gradient staleness: how many global updates landed
@@ -53,7 +54,7 @@ pub struct History {
 /// argument is that SASGD bounds this *explicitly by T* while ASGD's
 /// depends on relative learner speeds — these statistics make that
 /// measurable.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StalenessStats {
     /// Mean staleness over all pushes.
     pub mean: f64,
@@ -87,6 +88,7 @@ impl History {
             p,
             t_interval,
             staleness: None,
+            final_params: None,
         }
     }
 

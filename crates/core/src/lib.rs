@@ -37,6 +37,10 @@ pub mod trainer;
 pub use algorithms::{Algorithm, GammaP};
 pub use compress::Compression;
 pub use history::{EpochRecord, History, StalenessStats};
+pub use sasgd_data::ShardStrategy;
+/// Intra-op thread-pool control for the compute kernels (re-exported from
+/// `sasgd-tensor` so embedders size the pool without a direct tensor dep).
+pub use sasgd_tensor::parallel;
 pub use schedule::LrSchedule;
 pub use sweep::{run_sweep, SweepGrid, SweepResult};
 pub use threaded::{run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd};

@@ -13,7 +13,7 @@ use std::time::Instant;
 use sasgd_comm::collectives::{allreduce_tree, broadcast};
 use sasgd_comm::ps::{PsConfig, PsServer};
 use sasgd_comm::world::CommWorld;
-use sasgd_data::Dataset;
+use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
 use crate::algorithms::downpour::BatchStream;
@@ -33,7 +33,10 @@ pub fn run_threaded_sasgd(
     gamma_p: GammaP,
 ) -> History {
     assert!(p >= 1 && t >= 1);
-    let shards = train_set.shards(p);
+    // Split intra-op workers across the p learner threads (no-op unless
+    // the `parallel` feature is on and nothing was configured explicitly).
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
     let steps_per_epoch = shards
         .iter()
         .map(|s| s.len() / cfg.batch_size)
@@ -104,6 +107,7 @@ pub fn run_threaded_sasgd(
                         history.records.push(rec);
                     }
                 }
+                history.final_params = Some(learner.model.param_vector());
                 (rank, history)
             });
             handles.push(handle);
@@ -134,15 +138,17 @@ pub fn run_threaded_downpour(
     shards: usize,
 ) -> History {
     assert!(p >= 1 && t >= 1 && shards >= 1);
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
     let probe = factory();
     let ps = PsServer::spawn(probe.param_vector(), PsConfig { shards });
     let n = train_set.len();
     let target_per_learner = (cfg.epochs * n).div_ceil(p);
+    let data_shards = make_shards(train_set, p, cfg.shard_strategy);
     let mut rank0_history: Option<History> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for rank in 0..p {
+        for (rank, data_shard) in data_shards.iter().enumerate() {
             let client = ps.client();
             let handle = scope.spawn(move || {
                 let mut learner = Learner::new(rank, factory(), cfg);
@@ -153,7 +159,7 @@ pub fn run_threaded_downpour(
                     None
                 };
                 let mut history = History::new(format!("Downpour-threaded(p={p},T={t})"), p, t);
-                let mut stream = BatchStream::new(n, cfg.batch_size);
+                let mut stream = BatchStream::new(data_shard.indices().to_vec(), cfg.batch_size);
                 let mut samples = 0usize;
                 let mut compute_s = 0.0f64;
                 let mut comm_s = 0.0f64;
@@ -178,9 +184,11 @@ pub fn run_threaded_downpour(
                     if rank == 0 && stream.completed_passes() > recorded {
                         recorded = stream.completed_passes();
                         if let Some(ev) = &evals {
+                            // One pass over rank 0's shard ≈ one epoch of
+                            // collective progress.
                             let rec = ev.record(
                                 &mut learner.model,
-                                recorded as f64 * p as f64,
+                                recorded as f64,
                                 compute_s,
                                 comm_s,
                                 (samples * p) as u64,
@@ -236,7 +244,8 @@ pub fn run_threaded_hierarchical_sasgd(
 ) -> History {
     assert!(groups >= 1 && per_group >= 1 && t_local >= 1 && t_global >= 1);
     let p = groups * per_group;
-    let shards = train_set.shards(p);
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
     let steps_per_epoch = shards
         .iter()
         .map(|s| s.len() / cfg.batch_size)

@@ -9,7 +9,7 @@
 //! emerges from the same speed variations a real cluster has, while runs
 //! stay bit-reproducible under a seed.
 
-use sasgd_data::Dataset;
+use sasgd_data::{Dataset, ShardStrategy};
 use sasgd_nn::{Ctx, Model};
 use sasgd_simnet::{CostModel, JitterModel};
 use sasgd_tensor::{SeedRng, Tensor};
@@ -37,6 +37,11 @@ pub struct TrainConfig {
     pub jitter: JitterModel,
     /// Cap on evaluation-set sizes (0 = evaluate on everything).
     pub eval_cap: usize,
+    /// How training data is partitioned across learners. The default,
+    /// [`ShardStrategy::Contiguous`], is IID for the shuffled synthetic
+    /// datasets; [`ShardStrategy::ByClass`] builds the pathological
+    /// non-IID partition where one-shot averaging collapses.
+    pub shard_strategy: ShardStrategy,
 }
 
 impl TrainConfig {
@@ -57,6 +62,7 @@ impl TrainConfig {
             cost: CostModel::paper_testbed(),
             jitter: JitterModel::default(),
             eval_cap: 2_000,
+            shard_strategy: ShardStrategy::Contiguous,
         }
     }
 }
@@ -173,7 +179,7 @@ impl EvalSets {
     /// Evaluate `model` and assemble a record, including a large-batch
     /// gradient-norm estimate (the empirical counterpart of the theory's
     /// average gradient norm; measured on up to two evaluation batches
-    /// with a fixed dropout stream for determinism).
+    /// in deterministic measurement mode — dropout disabled).
     pub(crate) fn record(
         &self,
         model: &mut Model,
@@ -203,7 +209,11 @@ impl EvalSets {
         let mut batches = 0usize;
         for (x, y) in self.train_x.iter().zip(&self.train_y).take(2) {
             model.zero_grads();
-            let mut ctx = Ctx::train(SeedRng::new(0x6E0));
+            // Measurement mode: activations are cached so backward works,
+            // but dropout stays off — this estimates the norm of the full
+            // network's gradient, not of one sampled thinned network, and
+            // repeated calls on the same parameters agree exactly.
+            let mut ctx = Ctx::measure();
             model.forward_loss(x, y, &mut ctx);
             model.backward();
             let g = model.grad_vector();
@@ -338,5 +348,35 @@ mod tests {
         assert!(r.train_acc >= 0.0 && r.train_acc <= 1.0);
         assert!(r.test_loss > 0.0);
         assert_eq!(r.samples, 40);
+    }
+
+    #[test]
+    fn grad_norm_estimate_is_invariant_across_calls() {
+        // The estimate must be a pure function of the parameters: it runs
+        // in measurement mode (dropout off), so repeating it on the same
+        // model — even one whose stack contains Dropout layers — yields
+        // bitwise-identical norms and leaves no gradient state behind.
+        use sasgd_nn::layers::{Dropout, Flatten, Linear, Relu};
+        let (train, test) = generate(&CifarLikeConfig::tiny(16, 8, 3));
+        let ev = EvalSets::prepare(&train, &test, 0);
+        let mut rng = SeedRng::new(11);
+        let mut model = Model::new(
+            vec![
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(3 * 8 * 8, 16, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Dropout::new(0.5)),
+                Box::new(Linear::new(16, 3, &mut rng)),
+            ],
+            &[3, 8, 8],
+        );
+        let first = ev.grad_norm_estimate(&mut model);
+        let second = ev.grad_norm_estimate(&mut model);
+        assert!(first > 0.0, "fresh model must have a nonzero gradient");
+        assert_eq!(first, second, "estimate must not sample dropout noise");
+        let r1 = ev.record(&mut model, 0.0, 0.0, 0.0, 0);
+        let r2 = ev.record(&mut model, 0.0, 0.0, 0.0, 0);
+        assert_eq!(r1.grad_norm, r2.grad_norm);
+        assert_eq!(r1.grad_norm, first);
     }
 }

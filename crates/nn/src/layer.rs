@@ -4,28 +4,47 @@ use sasgd_tensor::{SeedRng, Tensor};
 
 /// Per-pass context threaded through the forward pass.
 ///
-/// Carries the training/eval flag (dropout behaves differently) and the RNG
+/// Carries two orthogonal flags — whether layers should cache activations
+/// for a following `backward` (`training`) and whether stochastic
+/// regularizers like dropout are active (`stochastic`) — plus the RNG
 /// stream that makes dropout masks reproducible per learner.
 pub struct Ctx {
-    /// `true` during training (dropout active), `false` at evaluation.
+    /// `true` when layers must cache activations for `backward`.
     pub training: bool,
+    /// `true` when stochastic regularizers (dropout) are active. Always
+    /// `false` outside [`Ctx::train`]: measurements stay deterministic.
+    pub stochastic: bool,
     /// Deterministic RNG for stochastic layers.
     pub rng: SeedRng,
 }
 
 impl Ctx {
-    /// Training-mode context.
+    /// Training-mode context: caches for backward, dropout active.
     pub fn train(rng: SeedRng) -> Self {
         Ctx {
             training: true,
+            stochastic: true,
             rng,
         }
     }
 
-    /// Evaluation-mode context (dropout disabled; RNG unused).
+    /// Evaluation-mode context (no caching, dropout disabled; RNG unused).
     pub fn eval() -> Self {
         Ctx {
             training: false,
+            stochastic: false,
+            rng: SeedRng::new(0),
+        }
+    }
+
+    /// Measurement-mode context: caches activations so gradients can be
+    /// taken, but with dropout disabled — for deterministic gradient
+    /// probes (e.g. per-epoch gradient-norm estimates) that must not
+    /// sample regularization noise. RNG unused.
+    pub fn measure() -> Self {
+        Ctx {
+            training: true,
+            stochastic: false,
             rng: SeedRng::new(0),
         }
     }
@@ -93,9 +112,11 @@ mod tests {
     #[test]
     fn ctx_modes() {
         let t = Ctx::train(SeedRng::new(1));
-        assert!(t.training);
+        assert!(t.training && t.stochastic);
         let e = Ctx::eval();
-        assert!(!e.training);
+        assert!(!e.training && !e.stochastic);
+        let m = Ctx::measure();
+        assert!(m.training && !m.stochastic, "measure: grads yes, noise no");
     }
 
     #[test]

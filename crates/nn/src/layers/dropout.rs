@@ -36,7 +36,8 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
-        if !ctx.training || self.p == 0.0 {
+        if !ctx.stochastic || self.p == 0.0 {
+            self.mask = None; // identity pass: backward must not reuse a stale mask
             return input;
         }
         let keep = 1.0 - self.p;
@@ -54,9 +55,12 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let mask = self.mask.take().expect("backward without training forward");
-        for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&mask) {
-            *g *= m;
+        // No mask means the forward pass was an identity (deterministic
+        // mode or p = 0): gradients pass through unchanged.
+        if let Some(mask) = self.mask.take() {
+            for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&mask) {
+                *g *= m;
+            }
         }
         grad_out
     }
@@ -127,5 +131,17 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn p_one_rejected() {
         Dropout::new(1.0);
+    }
+
+    #[test]
+    fn measure_mode_is_identity_with_passthrough_grads() {
+        let mut d = Dropout::new(0.5);
+        // A training forward first, so a stale mask exists to be cleared.
+        let _ = d.forward(Tensor::full(&[2], 1.0), &mut Ctx::train(SeedRng::new(1)));
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let y = d.forward(x.clone(), &mut Ctx::measure());
+        assert_eq!(y.as_slice(), x.as_slice(), "measure forward is identity");
+        let dx = d.backward(Tensor::full(&[2], 3.0));
+        assert_eq!(dx.as_slice(), &[3.0, 3.0], "gradients pass through");
     }
 }

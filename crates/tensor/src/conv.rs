@@ -9,8 +9,7 @@
 //! convolutions, so the FLOP model in `sasgd-nn` can count the same
 //! multiply–accumulate operations a GPU would perform.
 
-use rayon::prelude::*;
-
+use crate::parallel;
 use crate::shape::conv_out;
 use crate::tensor::Tensor;
 
@@ -122,8 +121,10 @@ pub fn col2im(
 /// Forward convolution over a batch.
 ///
 /// `input`: `[n, ci, h, w]`; `weight`: `[co, ci*kh*kw]` (pre-flattened);
-/// `bias`: `[co]`. Returns `[n, co, oh, ow]`. Images are processed in
-/// parallel across the Rayon pool.
+/// `bias`: `[co]`. Returns `[n, co, oh, ow]`. Images are independent, so
+/// the batch is split across the thread pool; per image the output is one
+/// `weight · colsᵀ` GEMM (the same `[co, oh*ow]` layout the lowering
+/// produces), which keeps results bitwise identical to the serial path.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) -> Tensor {
     let [n, ci, h, w] = [
         input.dims()[0],
@@ -145,21 +146,15 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv
     let id = input.as_slice();
     let wd = weight.as_slice();
     let plen = spec.patch_len();
-    out.as_mut_slice()
-        .par_chunks_mut(out_stride)
-        .enumerate()
-        .for_each(|(img, oimg)| {
-            let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
-            let cd = cols.as_slice();
-            // oimg[co][oy*ow+ox] = dot(weight[co], cols[pix]) + bias[co]
-            for pix in 0..oh * ow {
-                let patch = &cd[pix * plen..(pix + 1) * plen];
-                for co in 0..spec.co {
-                    let wrow = &wd[co * plen..(co + 1) * plen];
-                    oimg[co * oh * ow + pix] = crate::linalg::dot(wrow, patch) + bias[co];
-                }
-            }
-        });
+    parallel::for_each_chunk_mut(out.as_mut_slice(), out_stride, |img, oimg| {
+        let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+        // oimg = weight · colsᵀ, i.e. oimg[co][pix] = dot(weight[co], cols[pix]).
+        crate::linalg::nt_rows(oimg, wd, cols.as_slice(), spec.co, plen, oh * ow);
+        for (co, orow) in oimg.chunks_mut(oh * ow).enumerate() {
+            let b = bias[co];
+            orow.iter_mut().for_each(|o| *o += b);
+        }
+    });
     out
 }
 
@@ -202,41 +197,39 @@ pub fn conv2d_backward(
     let gd = grad_out.as_slice();
     let wd = weight.as_slice();
 
-    // Per-image partials reduced at the end: parallel map over images.
-    let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..n)
-        .into_par_iter()
-        .map(|img| {
-            let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
-            let cd = cols.as_slice();
-            let gimg = &gd[img * out_stride..(img + 1) * out_stride];
-            let mut dw = vec![0.0f32; spec.co * plen];
-            let mut db = vec![0.0f32; spec.co];
-            let mut dcols = Tensor::zeros(&[oh * ow, plen]);
-            {
-                let dc = dcols.as_mut_slice();
-                for pix in 0..oh * ow {
-                    let patch = &cd[pix * plen..(pix + 1) * plen];
-                    let dpatch = &mut dc[pix * plen..(pix + 1) * plen];
-                    for co in 0..spec.co {
-                        let g = gimg[co * oh * ow + pix];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        db[co] += g;
-                        let wrow = &wd[co * plen..(co + 1) * plen];
-                        let dwrow = &mut dw[co * plen..(co + 1) * plen];
-                        for k in 0..plen {
-                            dwrow[k] += g * patch[k];
-                            dpatch[k] += g * wrow[k];
-                        }
+    // Per-image partials, reduced serially in image order afterwards so
+    // the dweight/dbias sums accumulate identically at any thread count.
+    let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = parallel::map_collect(n, |img| {
+        let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+        let cd = cols.as_slice();
+        let gimg = &gd[img * out_stride..(img + 1) * out_stride];
+        let mut dw = vec![0.0f32; spec.co * plen];
+        let mut db = vec![0.0f32; spec.co];
+        let mut dcols = Tensor::zeros(&[oh * ow, plen]);
+        {
+            let dc = dcols.as_mut_slice();
+            for pix in 0..oh * ow {
+                let patch = &cd[pix * plen..(pix + 1) * plen];
+                let dpatch = &mut dc[pix * plen..(pix + 1) * plen];
+                for co in 0..spec.co {
+                    let g = gimg[co * oh * ow + pix];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db[co] += g;
+                    let wrow = &wd[co * plen..(co + 1) * plen];
+                    let dwrow = &mut dw[co * plen..(co + 1) * plen];
+                    for k in 0..plen {
+                        dwrow[k] += g * patch[k];
+                        dpatch[k] += g * wrow[k];
                     }
                 }
             }
-            let mut dimg = vec![0.0f32; in_stride];
-            col2im(&dcols, ci, h, w, spec, &mut dimg);
-            (dimg, dw, db)
-        })
-        .collect();
+        }
+        let mut dimg = vec![0.0f32; in_stride];
+        col2im(&dcols, ci, h, w, spec, &mut dimg);
+        (dimg, dw, db)
+    });
 
     let mut dinput = Tensor::zeros(&[n, ci, h, w]);
     let mut dweight = Tensor::zeros(&[spec.co, plen]);

@@ -7,9 +7,13 @@
 //! convolution kernels needed by the networks of Table I / Table II, and
 //! seeded random initialization so every experiment is reproducible.
 //!
-//! Heavy kernels ([`linalg::matmul`], [`conv`]) have Rayon-parallel paths —
-//! the "GPU" inside one simulated learner — selected per call via the
-//! `*_par` entry points.
+//! Heavy kernels ([`linalg::matmul`], [`conv`], [`pool`]) have parallel
+//! paths — the "GPU" inside one simulated learner — selected per call via
+//! the `*_par` / `*_auto` entry points and enabled by the `parallel`
+//! feature (they fall back to the serial kernels without it). Parallel
+//! kernels split only across independent outputs, so they are **bitwise
+//! identical** to the serial kernels at any thread count; size the pool
+//! with [`parallel::configure_threads`].
 //!
 //! ## Example
 //!
@@ -23,6 +27,7 @@
 
 pub mod conv;
 pub mod linalg;
+pub mod parallel;
 pub mod pool;
 pub mod rng;
 pub mod shape;

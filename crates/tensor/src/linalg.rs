@@ -1,34 +1,72 @@
 //! Matrix kernels: the workhorses behind the fully connected and
 //! (via im2col) convolutional layers.
 //!
-//! Each kernel has a sequential path and a Rayon-parallel path
-//! (`matmul_par`, …) that splits work over output rows; the parallel path is
-//! what stands in for the SIMD parallelism of one GPU learner in the paper's
-//! testbed. Both paths produce identical results (same per-row reduction
-//! order), which the tests check.
+//! Each GEMM has a sequential path and a parallel path (`*_par`) that
+//! splits work over blocks of **independent output rows**; `*_auto` picks
+//! between them by output size. Within one output element the reduction
+//! always runs in ascending inner-index order with the same zero-skip, so
+//! the serial, blocked-serial, and parallel kernels produce bitwise
+//! identical results — the property the SASGD determinism contract needs,
+//! and what the proptests in `tests/proptests.rs` check.
+//!
+//! The sequential GEMM is cache-blocked: `MR` rows of `A` share each
+//! streamed row of `B`, and columns are walked in `NC`-wide panels so the
+//! active slice of `B` stays cache-resident. Blocking changes only the
+//! *visit* order of (row, column-panel) pairs, never the per-element
+//! accumulation order.
 
-use rayon::prelude::*;
-
+use crate::parallel;
 use crate::tensor::Tensor;
 
-/// Rows at or above this count use the parallel path in the `_auto` kernels.
+/// Output rows at or above this count use the parallel path in `_auto`
+/// kernels (when a pool with more than one thread is active).
 const PAR_THRESHOLD: usize = 64;
 
-fn mm_row(out_row: &mut [f32], a_row: &[f32], b: &Tensor, k: usize, n: usize) {
-    let bd = b.as_slice();
-    out_row.iter_mut().for_each(|x| *x = 0.0);
-    for (l, &av) in a_row.iter().enumerate().take(k) {
-        if av == 0.0 {
-            continue;
+/// Register-block height: rows of `A` processed together, sharing each
+/// streamed row of `B`.
+const MR: usize = 4;
+
+/// Column-panel width: output columns per pass, sized so one panel of
+/// `C` plus a row of `B` stay in L1 (256 f32 = 1 KiB each).
+const NC: usize = 256;
+
+/// Blocked `out = A · B` on raw row-major slices for a band of rows:
+/// `out: [rows, n]`, `a: [rows, k]`, `b: [k, n]`.
+///
+/// Per element, terms accumulate in ascending `l` with `a[i,l] == 0`
+/// skipped — the same order and skip rule as the naive row kernel, so
+/// results are bitwise independent of `MR`/`NC`.
+fn mm_rows_blocked(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+    out.iter_mut().for_each(|x| *x = 0.0);
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut i0 = 0;
+        while i0 < rows {
+            let mr = MR.min(rows - i0);
+            for l in 0..k {
+                let brow = &b[l * n + jc..l * n + jc + nc];
+                for i in i0..i0 + mr {
+                    let av = a[i * k + l];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * n + jc..i * n + jc + nc];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            i0 += mr;
         }
-        let brow = &bd[l * n..(l + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(brow) {
-            *o += av * bv;
-        }
+        jc += nc;
     }
 }
 
-/// `C = A · B` for `A: [m,k]`, `B: [k,n]`, sequential.
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`, sequential (cache-blocked).
 ///
 /// # Panics
 /// Panics if inner dimensions disagree or inputs are not matrices.
@@ -37,40 +75,51 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    let ad = a.as_slice();
-    for i in 0..m {
-        let (lo, hi) = (i * n, (i + 1) * n);
-        mm_row(
-            &mut out.as_mut_slice()[lo..hi],
-            &ad[i * k..(i + 1) * k],
-            b,
-            k,
-            n,
-        );
-    }
+    mm_rows_blocked(out.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n);
     out
 }
 
-/// `C = A · B`, rows of `A` distributed over the Rayon pool.
+/// `C = A · B`, bands of output rows distributed over the thread pool.
+/// Bitwise identical to [`matmul`] at any thread count.
 pub fn matmul_par(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
+    let rows_per_band = band_rows(m);
     let ad = a.as_slice();
-    out.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, row)| mm_row(row, &ad[i * k..(i + 1) * k], b, k, n));
+    let bd = b.as_slice();
+    parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_band * n, |band, oband| {
+        let r0 = band * rows_per_band;
+        let rows = oband.len() / n;
+        mm_rows_blocked(oband, &ad[r0 * k..(r0 + rows) * k], bd, rows, k, n);
+    });
     out
 }
 
 /// `C = A · B` choosing the parallel path for large outputs.
 pub fn matmul_auto(a: &Tensor, b: &Tensor) -> Tensor {
-    if a.dims()[0] >= PAR_THRESHOLD {
+    if use_par(a.dims()[0]) {
         matmul_par(a, b)
     } else {
         matmul(a, b)
+    }
+}
+
+/// Row of `C = Aᵀ · B`: `out_row = Σ_l a[l,i] · b[l, ·]` in ascending `l`
+/// with `a[l,i] == 0` skipped — the same per-element order as the
+/// `l`-outer sequential kernel.
+fn tn_row(out_row: &mut [f32], a: &[f32], b: &[f32], i: usize, m: usize, k: usize, n: usize) {
+    out_row.iter_mut().for_each(|x| *x = 0.0);
+    for l in 0..k {
+        let av = a[l * m + i];
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[l * n..(l + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
     }
 }
 
@@ -82,6 +131,8 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.as_slice(), b.as_slice());
     let od = out.as_mut_slice();
+    // l-outer: stream both A and B rows once; accumulation per element is
+    // ascending l, matching tn_row.
     for l in 0..k {
         let arow = &ad[l * m..(l + 1) * m];
         let brow = &bd[l * n..(l + 1) * n];
@@ -98,23 +149,91 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
+/// `C = Aᵀ · B`, output rows distributed over the thread pool. Bitwise
+/// identical to [`matmul_tn`].
+pub fn matmul_tn_par(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    parallel::for_each_chunk_mut(out.as_mut_slice(), n, |i, row| {
+        tn_row(row, ad, bd, i, m, k, n);
+    });
+    out
+}
+
+/// `C = Aᵀ · B` choosing the parallel path for large outputs.
+pub fn matmul_tn_auto(a: &Tensor, b: &Tensor) -> Tensor {
+    if use_par(a.dims()[1]) {
+        matmul_tn_par(a, b)
+    } else {
+        matmul_tn(a, b)
+    }
+}
+
+/// Band of rows of `C = A · Bᵀ`: each element is a dot product in
+/// ascending `l` (no zero-skip, matching [`dot`]).
+pub(crate) fn nt_rows(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(b.len(), n * k);
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
 /// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` without materializing `Bᵀ`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    let od = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            *o = dot(arow, brow);
-        }
-    }
+    nt_rows(out.as_mut_slice(), a.as_slice(), b.as_slice(), m, k, n);
     out
+}
+
+/// `C = A · Bᵀ`, bands of output rows distributed over the thread pool.
+/// Bitwise identical to [`matmul_nt`].
+pub fn matmul_nt_par(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let rows_per_band = band_rows(m);
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    parallel::for_each_chunk_mut(out.as_mut_slice(), rows_per_band * n, |band, oband| {
+        let r0 = band * rows_per_band;
+        let rows = oband.len() / n;
+        nt_rows(oband, &ad[r0 * k..(r0 + rows) * k], bd, rows, k, n);
+    });
+    out
+}
+
+/// `C = A · Bᵀ` choosing the parallel path for large outputs.
+pub fn matmul_nt_auto(a: &Tensor, b: &Tensor) -> Tensor {
+    if use_par(a.dims()[0]) {
+        matmul_nt_par(a, b)
+    } else {
+        matmul_nt(a, b)
+    }
+}
+
+/// Rows per parallel band: enough bands to feed the pool (~4 per thread
+/// for load balance), at least `MR` so the blocked kernel keeps its
+/// register blocking. Band size never affects results.
+fn band_rows(m: usize) -> usize {
+    let target_bands = parallel::threads() * 4;
+    m.div_ceil(target_bands.max(1)).max(MR)
+}
+
+fn use_par(rows: usize) -> bool {
+    rows >= PAR_THRESHOLD && parallel::threads() > 1
 }
 
 /// Dot product of two equal-length slices.
@@ -177,6 +296,25 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernel_handles_panel_boundaries() {
+        // Shapes straddling the MR and NC block edges.
+        let mut r = SeedRng::new(7);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 255),
+            (9, 2, 257),
+            (4, 4, 512),
+        ] {
+            let a = r.normal_tensor(&[m, k], 1.0);
+            let b = r.normal_tensor(&[k, n], 1.0);
+            assert!(
+                matmul(&a, &b).allclose(&naive(&a, &b), 1e-3),
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_equals_sequential_bitwise() {
         let mut r = SeedRng::new(2);
         let a = r.normal_tensor(&[130, 33], 1.0);
@@ -189,6 +327,31 @@ mod tests {
             "parallel path must be bit-identical"
         );
         assert_eq!(matmul_auto(&a, &b).as_slice(), s.as_slice());
+    }
+
+    #[test]
+    fn tn_and_nt_parallel_bitwise() {
+        let mut r = SeedRng::new(6);
+        let a = r.normal_tensor(&[33, 130], 1.0);
+        let b = r.normal_tensor(&[33, 17], 1.0);
+        assert_eq!(
+            matmul_tn(&a, &b).as_slice(),
+            matmul_tn_par(&a, &b).as_slice()
+        );
+        assert_eq!(
+            matmul_tn_auto(&a, &b).as_slice(),
+            matmul_tn(&a, &b).as_slice()
+        );
+        let c = r.normal_tensor(&[130, 12], 1.0);
+        let d = r.normal_tensor(&[29, 12], 1.0);
+        assert_eq!(
+            matmul_nt(&c, &d).as_slice(),
+            matmul_nt_par(&c, &d).as_slice()
+        );
+        assert_eq!(
+            matmul_nt_auto(&c, &d).as_slice(),
+            matmul_nt(&c, &d).as_slice()
+        );
     }
 
     #[test]

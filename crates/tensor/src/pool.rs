@@ -1,5 +1,10 @@
 //! Max-pooling kernels with argmax bookkeeping for the backward pass.
+//!
+//! Both passes parallelize across the `n·c` independent planes of the
+//! batch; within a plane the window scan order is fixed, so results are
+//! bitwise identical to the serial path at any thread count.
 
+use crate::parallel;
 use crate::shape::pool_out;
 use crate::tensor::Tensor;
 
@@ -55,11 +60,17 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> PoolForward {
     let mut output = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0u32; n * c * oh * ow];
     let id = input.as_slice();
-    let od = output.as_mut_slice();
-    let mut o = 0usize;
-    for img in 0..n {
-        for ch in 0..c {
-            let plane = (img * c + ch) * h * w;
+    let out_plane = oh * ow;
+    let spec = *spec;
+    parallel::for_each_zip_chunks_mut(
+        output.as_mut_slice(),
+        out_plane,
+        &mut argmax,
+        out_plane,
+        |p, oplane, aplane| {
+            // p enumerates (img, channel) planes in row-major order.
+            let plane = p * h * w;
+            let mut o = 0usize;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut best = f32::NEG_INFINITY;
@@ -75,22 +86,50 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> PoolForward {
                             }
                         }
                     }
-                    od[o] = best;
-                    argmax[o] = best_idx as u32;
+                    oplane[o] = best;
+                    aplane[o] = best_idx as u32;
                     o += 1;
                 }
             }
-        }
-    }
+        },
+    );
     PoolForward { output, argmax }
 }
 
 /// Route output gradients back to the winning input positions.
+///
+/// When `grad_out` is NCHW the scatter runs plane-parallel: each `(img,
+/// channel)` plane's argmax targets stay inside that plane's slice of the
+/// input, so planes write disjoint regions and the in-plane scatter keeps
+/// the serial output order (overlapping windows hit the same winner in the
+/// same sequence).
 pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_numel: usize) -> Tensor {
     assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
     let mut din = vec![0.0f32; input_numel];
-    for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
-        din[idx as usize] += g;
+    let dims = grad_out.dims();
+    let planes = if dims.len() == 4 {
+        dims[0] * dims[1]
+    } else {
+        1
+    };
+    let gd = grad_out.as_slice();
+    if planes > 1 && input_numel.is_multiple_of(planes) && gd.len().is_multiple_of(planes) {
+        let in_plane = input_numel / planes;
+        let out_plane = gd.len() / planes;
+        parallel::for_each_chunk_mut(&mut din, in_plane, |p, dplane| {
+            let base = p * in_plane;
+            let lo = p * out_plane;
+            for (g, &idx) in gd[lo..lo + out_plane]
+                .iter()
+                .zip(&argmax[lo..lo + out_plane])
+            {
+                dplane[idx as usize - base] += g;
+            }
+        });
+    } else {
+        for (g, &idx) in gd.iter().zip(argmax) {
+            din[idx as usize] += g;
+        }
     }
     Tensor::from_vec(din, &[input_numel])
 }

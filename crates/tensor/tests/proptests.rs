@@ -2,10 +2,10 @@
 //! must hold for arbitrary shapes and data.
 
 use proptest::prelude::*;
-use sasgd_tensor::conv::{conv2d_forward, im2col, Conv2dSpec};
-use sasgd_tensor::pool::{maxpool2d_forward, Pool2dSpec};
+use sasgd_tensor::conv::{conv2d_backward, conv2d_forward, im2col, Conv2dSpec};
+use sasgd_tensor::pool::{maxpool2d_backward, maxpool2d_forward, Pool2dSpec};
 use sasgd_tensor::shape::{conv_out, pool_out};
-use sasgd_tensor::{linalg, SeedRng, Tensor};
+use sasgd_tensor::{linalg, parallel, SeedRng, Tensor};
 
 fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
     SeedRng::new(seed).normal_tensor(dims, 1.0)
@@ -16,13 +16,77 @@ proptest! {
 
     #[test]
     fn matmul_parallel_is_bitwise_equal(
-        m in 1usize..80, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+        m in 1usize..200, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
     ) {
         let a = rand_tensor(&[m, k], seed);
         let b = rand_tensor(&[k, n], seed + 1);
         let s = linalg::matmul(&a, &b);
         let p = linalg::matmul_par(&a, &b);
+        let auto = linalg::matmul_auto(&a, &b);
         prop_assert_eq!(s.as_slice(), p.as_slice());
+        prop_assert_eq!(s.as_slice(), auto.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_parallel_is_bitwise_equal(
+        k in 1usize..20, m in 1usize..200, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let a = rand_tensor(&[k, m], seed);
+        let b = rand_tensor(&[k, n], seed + 1);
+        let s = linalg::matmul_tn(&a, &b);
+        let p = linalg::matmul_tn_par(&a, &b);
+        let auto = linalg::matmul_tn_auto(&a, &b);
+        prop_assert_eq!(s.as_slice(), p.as_slice());
+        prop_assert_eq!(s.as_slice(), auto.as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_parallel_is_bitwise_equal(
+        m in 1usize..200, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        let a = rand_tensor(&[m, k], seed);
+        let b = rand_tensor(&[n, k], seed + 1);
+        let s = linalg::matmul_nt(&a, &b);
+        let p = linalg::matmul_nt_par(&a, &b);
+        let auto = linalg::matmul_nt_auto(&a, &b);
+        prop_assert_eq!(s.as_slice(), p.as_slice());
+        prop_assert_eq!(s.as_slice(), auto.as_slice());
+    }
+
+    #[test]
+    fn conv_forward_is_bitwise_serial_reference(
+        n in 1usize..5, ci in 1usize..4, co in 1usize..8,
+        kside in 1usize..4, side in 4usize..10, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // The batch-parallel conv must match a straight-line serial
+        // reference with the kernel's exact accumulation order: per image,
+        // out[co][pix] = dot(weight[co], cols[pix]) then + bias[co].
+        let spec = Conv2dSpec { ci, co, kh: kside, kw: kside, stride: 1, pad };
+        let input = rand_tensor(&[n, ci, side, side], seed);
+        let weight = rand_tensor(&[co, spec.patch_len()], seed + 1);
+        let bias: Vec<f32> = (0..co).map(|c| c as f32 * 0.1 - 0.2).collect();
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
+
+        let (oh, ow) = spec.out_hw(side, side);
+        let plen = spec.patch_len();
+        let in_stride = ci * side * side;
+        let mut expect = Vec::with_capacity(n * co * oh * ow);
+        for img in 0..n {
+            let cols = im2col(
+                &input.as_slice()[img * in_stride..(img + 1) * in_stride],
+                ci, side, side, &spec,
+            );
+            for (wrow, &b) in weight.as_slice().chunks(plen).zip(&bias) {
+                for pix in 0..oh * ow {
+                    let patch = &cols.as_slice()[pix * plen..(pix + 1) * plen];
+                    let mut v = linalg::dot(wrow, patch);
+                    v += b;
+                    expect.push(v);
+                }
+            }
+        }
+        prop_assert_eq!(out.as_slice(), &expect[..]);
     }
 
     #[test]
@@ -185,4 +249,45 @@ proptest! {
         let max = t.as_slice().iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         prop_assert_eq!(t.as_slice()[i], max);
     }
+}
+
+/// Thread-count invariance for the batch-parallel kernels: reconfigure the
+/// global pool between runs and demand bitwise-equal outputs. A single
+/// plain test (not a proptest case) so the global pool mutation does not
+/// race other cases in this binary.
+#[test]
+fn kernels_are_bitwise_invariant_to_thread_count() {
+    let spec = Conv2dSpec {
+        ci: 3,
+        co: 6,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let input = rand_tensor(&[5, 3, 9, 9], 99);
+    let weight = rand_tensor(&[6, spec.patch_len()], 100);
+    let bias = vec![0.1f32; 6];
+    let pool = Pool2dSpec::square(2);
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        parallel::configure_threads(threads);
+        let fwd = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad = Tensor::full(fwd.dims(), 0.5);
+        let back = conv2d_backward(&input, &weight, &grad, &spec);
+        let pf = maxpool2d_forward(&fwd, &pool);
+        let pb = maxpool2d_backward(&pf.output, &pf.argmax, fwd.numel());
+        runs.push((
+            fwd.as_slice().to_vec(),
+            back.dinput.as_slice().to_vec(),
+            back.dweight.as_slice().to_vec(),
+            back.dbias,
+            pf.output.as_slice().to_vec(),
+            pf.argmax,
+            pb.as_slice().to_vec(),
+        ));
+    }
+    parallel::configure_threads(0);
+    assert_eq!(runs[0], runs[1], "kernel outputs changed with thread count");
 }

@@ -53,10 +53,17 @@ fn every_algorithm_learns_at_small_p() {
 #[test]
 fn sasgd_tolerates_more_learners_than_downpour() {
     // The Fig 9/10 claim at miniature scale: at p=8 and a coarse interval,
-    // SASGD's explicit staleness bound keeps it learning while Downpour's
-    // asynchronous updates destroy accuracy.
-    let (train_set, test_set) = cifar();
-    let c = cfg(8, 0.06);
+    // SASGD's synchronized aggregation keeps it learning while Downpour's
+    // stale single-shard pushes destroy accuracy. Two scale requirements
+    // make the effect visible: the shards must be non-IID (ByClass — each
+    // learner sees ~one class, so async pushes thrash the server between
+    // class solutions while SASGD's allreduce always averages all of
+    // them), and each learner needs at least T minibatches per epoch so
+    // SASGD actually aggregates every epoch rather than once per run
+    // (640/8 samples at batch 8 = 10 steps/epoch = exactly T).
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(640, 128, 3));
+    let mut c = cfg(8, 0.06);
+    c.shard_strategy = sasgd::data::ShardStrategy::ByClass;
     let p = 8;
     let t = 10;
     let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(5));
@@ -174,10 +181,14 @@ fn nlc_workload_trains_with_sasgd() {
 fn one_shot_averaging_underperforms_sasgd() {
     // §III: averaging once at the end "results in very poor training and
     // test accuracies" relative to per-interval aggregation. The effect
-    // needs shard-local solutions that disagree, so use a many-class
-    // dataset whose 8 shards each see only a couple of samples per class.
+    // needs shard-local solutions that disagree, so shard a many-class
+    // dataset by label (ByClass): each of the 8 learners converges to a
+    // one-or-two-class specialist, and averaging the specialists once at
+    // the end yields mush, while SASGD's per-interval aggregation keeps
+    // one consensus model that learns every class.
     let (train_set, test_set) = generate(&CifarLikeConfig::tiny(200, 80, 10));
-    let c = cfg(8, 0.05);
+    let mut c = cfg(16, 0.05);
+    c.shard_strategy = sasgd::data::ShardStrategy::ByClass;
     let p = 8;
     let mut f1 = || models::tiny_cnn(10, &mut SeedRng::new(4));
     let avg = train(

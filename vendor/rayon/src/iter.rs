@@ -1,0 +1,75 @@
+//! Parallel iteration over index ranges (`into_par_iter`).
+
+use crate::{map_collect_range, run_indexed};
+use std::ops::Range;
+
+/// Conversion into a parallel iterator (implemented for `Range<usize>`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type produced.
+    type Iter;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Apply `op(i)` for each index, in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, op: F) {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        run_indexed(n, move |i| op(start + i));
+    }
+
+    /// Map each index through `f`; collect with `.collect::<Vec<_>>()`.
+    pub fn map<T, F>(self, f: F) -> ParMap<T, F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParMap {
+            range: self.range,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// `into_par_iter().map(f)` — eager on `collect`/`for_each`.
+pub struct ParMap<T: Send, F: Fn(usize) -> T + Sync> {
+    range: Range<usize>,
+    f: F,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> ParMap<T, F> {
+    /// Run the map in parallel, collecting results in index order.
+    /// (Only `Vec<T>` collection is supported by this mini-rayon.)
+    pub fn collect<C: FromIndexedResults<T>>(self) -> C {
+        C::from_vec(map_collect_range(self.range, self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromIndexedResults<T> {
+    /// Build from results already in index order.
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromIndexedResults<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline vendored mini-rayon.
+//!
+//! A small, deterministic re-implementation of the slice/range parallel
+//! iterator surface this workspace uses, built on `std::thread::scope`.
+//! Work is split into **contiguous index blocks** — item `i` is always
+//! processed as item `i`, whichever worker runs it — so any computation
+//! whose items are independent produces bitwise-identical results at every
+//! thread count. That property is exactly the determinism contract the
+//! SASGD kernels rely on (see `sasgd-tensor::parallel`).
+//!
+//! Differences from crates.io rayon:
+//! * no work stealing — static contiguous partitioning only;
+//! * combinators are eager and monomorphic (`par_chunks_mut`,
+//!   `into_par_iter().map(..).collect()`, `for_each`, `enumerate`, `zip`);
+//! * `ThreadPoolBuilder::build_global` just sets a global thread count;
+//!   worker threads are scoped per call (no persistent pool).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Configured global thread count; 0 = unset (use available parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Global thread-count configuration, mirroring rayon's builder API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike rayon, repeat calls are
+    /// allowed and simply overwrite the previous count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run `op(i)` for every `i` in `0..n`, splitting `0..n` into at most
+/// [`current_num_threads`] contiguous blocks. The item→index mapping is
+/// independent of the split, so independent items are deterministic.
+pub(crate) fn run_indexed<F: Fn(usize) + Sync>(n: usize, op: F) {
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            op(i);
+        }
+        return;
+    }
+    let base = n / threads;
+    let extra = n % threads;
+    let op = &op;
+    std::thread::scope(|scope| {
+        let mut start = 0usize;
+        for w in 0..threads {
+            let len = base + usize::from(w < extra);
+            let range = start..start + len;
+            start += len;
+            scope.spawn(move || {
+                for i in range {
+                    op(i);
+                }
+            });
+        }
+    });
+}
+
+/// A `*mut T` that may cross thread boundaries. Safety rests on callers
+/// touching disjoint index ranges only.
+pub(crate) struct SharedPtr<T>(pub *mut T);
+
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> Clone for SharedPtr<T> {
+    fn clone(&self) -> Self {
+        SharedPtr(self.0)
+    }
+}
+
+impl<T> Copy for SharedPtr<T> {}
+
+/// Parallel map over `range` collecting results in index order.
+pub(crate) fn map_collect_range<T: Send, F: Fn(usize) -> T + Sync>(
+    range: Range<usize>,
+    f: F,
+) -> Vec<T> {
+    let n = range.end.saturating_sub(range.start);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let ptr = SharedPtr(out.as_mut_ptr());
+    // Capture the SharedPtr wrapper (Sync), not its raw-pointer field —
+    // 2021 disjoint capture would otherwise grab the non-Sync `*mut`.
+    let ptr = &ptr;
+    let start = range.start;
+    run_indexed(n, move |i| {
+        let v = f(start + i);
+        // SAFETY: each i writes exactly its own slot; slots are disjoint
+        // and the Vec outlives the scoped threads inside run_indexed.
+        unsafe { *ptr.0.add(i) = Some(v) };
+    });
+    out.into_iter()
+        .map(|v| v.expect("slot filled by parallel map"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .expect("build");
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 10 + j) as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..103).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .expect("build");
+        let out: Vec<usize> = (0..57usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (0..57).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_walks_paired_chunks() {
+        let mut a = vec![0f32; 12];
+        let mut b = vec![0u32; 6];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca.iter_mut().for_each(|x| *x = i as f32);
+                cb.iter_mut().for_each(|x| *x = i as u32);
+            });
+        assert_eq!(a, vec![0., 0., 0., 0., 1., 1., 1., 1., 2., 2., 2., 2.]);
+        assert_eq!(b, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn single_thread_falls_back_inline() {
+        ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .expect("build");
+        let mut data = vec![1u32; 8];
+        data.par_chunks_mut(3)
+            .for_each(|c| c.iter_mut().for_each(|x| *x += 1));
+        assert!(data.iter().all(|&x| x == 2));
+        // Restore automatic sizing for other tests.
+        ThreadPoolBuilder::new().build_global().expect("build");
+    }
+}

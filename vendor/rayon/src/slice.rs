@@ -1,0 +1,141 @@
+//! Parallel mutable-slice chunking (`par_chunks_mut`).
+
+use crate::{run_indexed, SharedPtr};
+
+/// Extension trait adding `par_chunks_mut` to mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into non-overlapping chunks of `chunk_size` elements (last may
+    /// be shorter), processed in parallel. Chunk `i` always covers elements
+    /// `i*chunk_size .. min((i+1)*chunk_size, len)` regardless of the number
+    /// of worker threads.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            geo: ChunkGeo {
+                ptr: SharedPtr(self.as_mut_ptr()),
+                len: self.len(),
+                chunk: chunk_size,
+            },
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Raw geometry of a chunked slice; `Copy` + `Sync` so worker closures can
+/// capture it without dragging `&mut [T]` lifetimes along.
+struct ChunkGeo<T> {
+    ptr: SharedPtr<T>,
+    len: usize,
+    chunk: usize,
+}
+
+impl<T> Clone for ChunkGeo<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for ChunkGeo<T> {}
+
+impl<T> ChunkGeo<T> {
+    fn num_chunks(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    /// Chunk `i` as a mutable slice.
+    ///
+    /// # Safety
+    /// Each `i` must be consumed by exactly one worker, and the original
+    /// slice must outlive the use (guaranteed by `ParChunksMut`'s
+    /// lifetime).
+    unsafe fn chunk_at<'a>(self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let len = self.chunk.min(self.len - start);
+        std::slice::from_raw_parts_mut(self.ptr.0.add(start), len)
+    }
+}
+
+/// Lazy parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T: Send> {
+    geo: ChunkGeo<T>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair chunk indices with chunks.
+    pub fn enumerate(self) -> EnumerateChunks<'a, T> {
+        EnumerateChunks { inner: self }
+    }
+
+    /// Walk both chunk streams in lock-step (chunk `i` of each side).
+    pub fn zip<U: Send>(self, other: ParChunksMut<'a, U>) -> ZipChunks<'a, T, U> {
+        ZipChunks { a: self, b: other }
+    }
+
+    /// Apply `op` to every chunk, in parallel.
+    pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, op: F) {
+        let geo = self.geo;
+        run_indexed(geo.num_chunks(), move |i| {
+            // SAFETY: run_indexed hands each index to exactly one worker.
+            op(unsafe { geo.chunk_at(i) });
+        });
+    }
+}
+
+/// `par_chunks_mut(..).enumerate()`.
+pub struct EnumerateChunks<'a, T: Send> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> EnumerateChunks<'a, T> {
+    /// Apply `op(i, chunk_i)` to every chunk, in parallel.
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, op: F) {
+        let geo = self.inner.geo;
+        run_indexed(geo.num_chunks(), move |i| {
+            // SAFETY: each index is consumed by exactly one worker.
+            op((i, unsafe { geo.chunk_at(i) }));
+        });
+    }
+}
+
+/// `par_chunks_mut(..).zip(par_chunks_mut(..))`.
+pub struct ZipChunks<'a, T: Send, U: Send> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunksMut<'a, U>,
+}
+
+impl<'a, T: Send, U: Send> ZipChunks<'a, T, U> {
+    /// Pair chunk indices with chunk pairs.
+    pub fn enumerate(self) -> EnumerateZipChunks<'a, T, U> {
+        EnumerateZipChunks { inner: self }
+    }
+
+    /// Apply `op((chunk_a_i, chunk_b_i))` for every `i`, in parallel.
+    pub fn for_each<F: Fn((&'a mut [T], &'a mut [U])) + Sync>(self, op: F) {
+        let (ga, gb) = (self.a.geo, self.b.geo);
+        run_indexed(ga.num_chunks().min(gb.num_chunks()), move |i| {
+            // SAFETY: each index is consumed by exactly one worker.
+            op(unsafe { (ga.chunk_at(i), gb.chunk_at(i)) });
+        });
+    }
+}
+
+/// `par_chunks_mut(..).zip(..).enumerate()`.
+pub struct EnumerateZipChunks<'a, T: Send, U: Send> {
+    inner: ZipChunks<'a, T, U>,
+}
+
+impl<'a, T: Send, U: Send> EnumerateZipChunks<'a, T, U> {
+    /// Apply `op((i, (chunk_a_i, chunk_b_i)))` for every `i`, in parallel.
+    pub fn for_each<F: Fn((usize, (&'a mut [T], &'a mut [U]))) + Sync>(self, op: F) {
+        let (ga, gb) = (self.inner.a.geo, self.inner.b.geo);
+        run_indexed(ga.num_chunks().min(gb.num_chunks()), move |i| {
+            // SAFETY: each index is consumed by exactly one worker.
+            op((i, unsafe { (ga.chunk_at(i), gb.chunk_at(i)) }));
+        });
+    }
+}
