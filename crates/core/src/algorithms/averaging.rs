@@ -71,6 +71,7 @@ pub(crate) fn run(
         let rec = evals.record(&mut avg_model, epoch as f64, comp, comm, samples);
         history.records.push(rec);
     }
+    history.final_params = Some(avg_model.param_vector());
     history
 }
 

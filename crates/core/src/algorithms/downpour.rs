@@ -169,6 +169,7 @@ pub(crate) fn run(
         history.records.push(rec);
     }
     history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history.final_params = Some(learners[0].model.param_vector());
     history
 }
 

@@ -128,6 +128,7 @@ pub(crate) fn run(
         max: bound as u64,
         pushes: aggregations,
     });
+    history.final_params = Some(learners[0].model.param_vector());
     history
 }
 

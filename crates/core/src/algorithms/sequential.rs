@@ -43,6 +43,7 @@ pub(crate) fn run(
         );
         history.records.push(rec);
     }
+    history.final_params = Some(learner.model.param_vector());
     history
 }
 

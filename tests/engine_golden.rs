@@ -1,0 +1,153 @@
+//! Golden-parameter regression tests for the execution engine.
+//!
+//! These checksums were generated from the pre-engine algorithm
+//! implementations (PR 1 numerics). The unified execution engine must
+//! reproduce every algorithm's `History::final_params` element-for-element,
+//! so each case pins an FNV-1a hash over the exact bit patterns of the
+//! final parameter vector, plus the first few raw bit patterns for
+//! debuggability when a mismatch happens.
+//!
+//! To regenerate after an *intentional* numerics change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test -q --test engine_golden -- --nocapture
+//! ```
+
+use sasgd::core::{train, Algorithm, Compression, GammaP, TrainConfig};
+use sasgd::data::cifar_like::{generate, CifarLikeConfig};
+use sasgd::nn::models;
+use sasgd::tensor::SeedRng;
+
+/// FNV-1a over the little-endian bit patterns of the parameter vector.
+fn checksum(params: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in params {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Golden {
+    name: &'static str,
+    algo: Algorithm,
+    /// FNV-1a checksum of `final_params` bit patterns.
+    hash: u64,
+    /// Bit patterns of the first four parameters.
+    head: [u32; 4],
+}
+
+fn run_case(algo: &Algorithm) -> Vec<f32> {
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+    let cfg = TrainConfig::new(2, 8, 0.05, 42);
+    let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+    let h = train(&mut factory, &train_set, &test_set, algo, &cfg);
+    h.final_params
+        .unwrap_or_else(|| panic!("{} must report final_params", algo.label()))
+}
+
+fn goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "sequential",
+            algo: Algorithm::Sequential,
+            hash: 0x30de_bab9_e597_608f,
+            head: [0xbd5869a1, 0xbca6c58f, 0x3d722864, 0x3dea8c67],
+        },
+        Golden {
+            name: "sasgd_p4_t2",
+            algo: Algorithm::Sasgd {
+                p: 4,
+                t: 2,
+                gamma_p: GammaP::OverP,
+            },
+            hash: 0xae37_8f2c_1b9a_b357,
+            head: [0xbd89768f, 0xbd090af7, 0x3d45c332, 0x3ddd0f3a],
+        },
+        Golden {
+            name: "sasgd_p2_t2_topk25",
+            algo: Algorithm::SasgdCompressed {
+                p: 2,
+                t: 2,
+                gamma_p: GammaP::OverP,
+                compression: Compression::TopK { ratio: 0.25 },
+            },
+            hash: 0x7b15_802e_c791_7c13,
+            head: [0xbd80551d, 0xbcea33ec, 0x3d54e1f0, 0x3de00d6f],
+        },
+        Golden {
+            name: "sasgd_p2_t2_8bit",
+            algo: Algorithm::SasgdCompressed {
+                p: 2,
+                t: 2,
+                gamma_p: GammaP::OverP,
+                compression: Compression::Uniform8Bit,
+            },
+            hash: 0x2488_0a77_8fed_7fd9,
+            head: [0xbd801e8a, 0xbce70075, 0x3d5aae27, 0x3de30b8a],
+        },
+        Golden {
+            name: "hier_2x2_tl2_tg2",
+            algo: Algorithm::HierarchicalSasgd {
+                groups: 2,
+                per_group: 2,
+                t_local: 2,
+                t_global: 2,
+                gamma_p: GammaP::OverP,
+            },
+            hash: 0x4e38_60ea_2b69_3f9b,
+            head: [0xbd8748b5, 0xbcff1477, 0x3d4b8d82, 0x3ddc02e6],
+        },
+        Golden {
+            name: "downpour_p3_t2",
+            algo: Algorithm::Downpour { p: 3, t: 2 },
+            hash: 0x03ee_1a78_95a1_be2d,
+            head: [0xbd510305, 0xbc3b6204, 0x3d890491, 0x3dee1c64],
+        },
+        Golden {
+            name: "eamsgd_p2_t2",
+            algo: Algorithm::Eamsgd {
+                p: 2,
+                t: 2,
+                moving_rate: None,
+                momentum: 0.9,
+            },
+            hash: 0x3020_912e_d9ce_57a5,
+            head: [0xbd29a092, 0x3c21a180, 0x3da3bc90, 0x3df81ef9],
+        },
+        Golden {
+            name: "modelavg_p3",
+            algo: Algorithm::ModelAverageOnce { p: 3 },
+            hash: 0x0429_6e54_b807_3187,
+            head: [0xbd863c75, 0xbd01cb0d, 0x3d4ae1d3, 0x3de05948],
+        },
+    ]
+}
+
+#[test]
+fn final_params_match_pre_engine_goldens() {
+    let print = std::env::var("GOLDEN_PRINT").is_ok();
+    for g in goldens() {
+        let params = run_case(&g.algo);
+        let hash = checksum(&params);
+        let head: Vec<u32> = params.iter().take(4).map(|v| v.to_bits()).collect();
+        if print {
+            println!(
+                "GOLDEN {} hash: 0x{hash:016x}, head: [0x{:08x}, 0x{:08x}, 0x{:08x}, 0x{:08x}],",
+                g.name, head[0], head[1], head[2], head[3]
+            );
+            continue;
+        }
+        assert_eq!(
+            hash, g.hash,
+            "{}: final_params checksum drifted (head bits {head:08x?}, \
+             expected {:08x?})",
+            g.name, g.head
+        );
+        for (i, (&got, &want)) in head.iter().zip(&g.head).enumerate() {
+            assert_eq!(got, want, "{}: param[{i}] bits drifted", g.name);
+        }
+    }
+}
