@@ -11,6 +11,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use sasgd_bench::engine;
 use sasgd_bench::extensions;
 use sasgd_bench::figures::{self, Artifact};
 use sasgd_bench::kernels;
@@ -32,6 +33,7 @@ const ALL: &[&str] = &[
 /// Extension artifacts beyond the paper (run via `ext` or by name).
 const EXTENSIONS: &[&str] = &[
     "kernels",
+    "engine",
     "staleness",
     "compression",
     "noniid",
@@ -106,6 +108,7 @@ fn build(target: &str, o: &Options) -> Artifact {
         "fig9" => figures::fig9(o.scale, o.epochs),
         "fig10" => figures::fig10(o.scale, o.epochs),
         "kernels" => kernels::kernels(),
+        "engine" => engine::engine(o.scale, o.epochs),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),
         "noniid" => extensions::noniid(o.scale, o.epochs),

@@ -33,6 +33,7 @@ pub fn staleness(scale: Scale, epochs: Option<usize>) -> Artifact {
                         p,
                         t,
                         gamma_p: GammaP::OverP,
+                        compression: None,
                     },
                 ),
                 ("Downpour", Algorithm::Downpour { p, t }),
@@ -116,12 +117,13 @@ pub fn compression(scale: Scale, epochs: Option<usize>) -> Artifact {
                 p,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
-            Some(c) => Algorithm::SasgdCompressed {
+            Some(c) => Algorithm::Sasgd {
                 p,
                 t,
                 gamma_p: GammaP::OverP,
-                compression: c,
+                compression: Some(c),
             },
         };
         let cfg = TrainConfig::new(w.epochs, w.batch, w.gamma_hi, 0xC0);
@@ -194,6 +196,7 @@ pub fn noniid(scale: Scale, epochs: Option<usize>) -> Artifact {
                     p,
                     t: 5,
                     gamma_p: GammaP::OverP,
+                    compression: None,
                 },
             ),
             ("ModelAvgOnce", Algorithm::ModelAverageOnce { p }),
@@ -302,6 +305,7 @@ pub fn gradnorm(scale: Scale, epochs: Option<usize>) -> Artifact {
             p,
             t,
             gamma_p: GammaP::OverP,
+            compression: None,
         };
         let h = train(&mut f, &w.train, &w.test, &algo, &cfg);
         for r in &h.records {
@@ -359,6 +363,7 @@ pub fn hierarchy(scale: Scale, epochs: Option<usize>) -> Artifact {
                 p: 8,
                 t: 2,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
         ),
         (
@@ -367,6 +372,7 @@ pub fn hierarchy(scale: Scale, epochs: Option<usize>) -> Artifact {
                 p: 8,
                 t: 8,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
         ),
         (

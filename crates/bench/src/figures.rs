@@ -415,6 +415,7 @@ fn interval_accuracy_fig(name: &str, w: &ConvergenceWorkload, seed: u64) -> Arti
                 p,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             };
             let h = run_algo(w, &algo, w.gamma_hi, w.epochs, seed + (p * 100 + t) as u64);
             for r in &h.records {
@@ -487,6 +488,7 @@ fn algo_comparison_fig(name: &str, w: &ConvergenceWorkload, t: usize, seed: u64)
                     p,
                     t,
                     gamma_p: GammaP::OverP,
+                    compression: None,
                 },
                 w.gamma_hi,
             ),

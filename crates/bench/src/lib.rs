@@ -10,6 +10,7 @@
 //! are GPU-months on CPU. EXPERIMENTS.md records paper-vs-measured for
 //! every artifact.
 
+pub mod engine;
 pub mod extensions;
 pub mod figures;
 pub mod kernels;

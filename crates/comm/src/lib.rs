@@ -40,8 +40,10 @@
 pub mod collectives;
 pub mod hierarchy;
 pub mod ps;
+pub mod sparse;
 pub mod world;
 
 pub use hierarchy::{grouped, hierarchical_allreduce, GroupedComm};
 pub use ps::{PsClient, PsConfig, PsServer};
+pub use sparse::{sparse_allreduce_tree, sparse_reduce_tree, SparseVec};
 pub use world::{CommWorld, Communicator};

@@ -1,0 +1,322 @@
+//! Sparse wire format and sparse tree collectives.
+//!
+//! Top-k gradient compression only pays off if the *wire* carries the
+//! sparse form. This module gives the comm substrate an index/value
+//! encoding and a binomial-tree allreduce over it, so compressed SASGD on
+//! the threaded backend moves `O(k)` elements per hop instead of `O(m)` —
+//! and the traffic counters record the real (compressed) sizes.
+//!
+//! The reduction mirrors [`crate::collectives::reduce_tree`]'s combine order
+//! exactly (accumulated self `+=` incoming child, children in ascending
+//! bit order), so a sparse allreduce of vectors produces the same sums, bit
+//! for bit, as the dense tree allreduce of their densified forms — with one
+//! IEEE corner: a coordinate whose every contribution is `-0.0` densifies
+//! to `+0.0` here (`-0.0` entries are structurally absent) while a dense
+//! reduction keeps `-0.0`. Gradient payloads never hit it; tests exclude
+//! `-0.0` explicitly.
+//!
+//! Wire encoding inside the existing `Vec<f32>` message type:
+//! `[len, nnz, idx..., val...]` with `len`/`nnz`/indices bit-cast from
+//! `u32` via [`f32::from_bits`] (exact round-trip; an index would need to
+//! exceed 2³¹ before its bit pattern could collide with a NaN).
+
+use crate::collectives::broadcast;
+use crate::world::Communicator;
+
+/// A sparse view of an `m`-element `f32` vector: sorted indices plus
+/// values. Zero values may appear (sums that cancel stay represented so
+/// repeated merges keep the dense addition structure); `-0.0` never enters
+/// through [`SparseVec::from_dense`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec {
+    /// Dense length.
+    pub len: u32,
+    /// Strictly increasing coordinate indices.
+    pub idx: Vec<u32>,
+    /// Values, parallel to `idx`.
+    pub val: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Extract the nonzero coordinates of `dense` (`±0.0` excluded).
+    pub fn from_dense(dense: &[f32]) -> Self {
+        assert!(dense.len() <= u32::MAX as usize, "vector too long for wire");
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                idx.push(i as u32);
+                val.push(v);
+            }
+        }
+        SparseVec {
+            len: dense.len() as u32,
+            idx,
+            val,
+        }
+    }
+
+    /// Stored entries (including exact-zero sums).
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len as usize];
+        for (&i, &v) in self.idx.iter().zip(&self.val) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Merge-add `other` into `self` (`self[i] += other[i]` on shared
+    /// coordinates, union elsewhere) — the sparse mirror of the dense
+    /// reduce's `a += b`.
+    pub fn add_assign(&mut self, other: &SparseVec) {
+        assert_eq!(self.len, other.len, "length mismatch in sparse add");
+        let (n_a, n_b) = (self.idx.len(), other.idx.len());
+        let mut idx = Vec::with_capacity(n_a + n_b);
+        let mut val = Vec::with_capacity(n_a + n_b);
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < n_a && b < n_b {
+            match self.idx[a].cmp(&other.idx[b]) {
+                std::cmp::Ordering::Less => {
+                    idx.push(self.idx[a]);
+                    val.push(self.val[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    idx.push(other.idx[b]);
+                    val.push(other.val[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    idx.push(self.idx[a]);
+                    val.push(self.val[a] + other.val[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        idx.extend_from_slice(&self.idx[a..]);
+        val.extend_from_slice(&self.val[a..]);
+        idx.extend_from_slice(&other.idx[b..]);
+        val.extend_from_slice(&other.val[b..]);
+        self.idx = idx;
+        self.val = val;
+    }
+
+    /// Encode as a `Vec<f32>` message: `[len, nnz, idx..., val...]`,
+    /// integers bit-cast.
+    pub fn encode(&self) -> Vec<f32> {
+        let nnz = self.idx.len();
+        let mut out = Vec::with_capacity(2 + 2 * nnz);
+        out.push(f32::from_bits(self.len));
+        out.push(f32::from_bits(nnz as u32));
+        out.extend(self.idx.iter().map(|&i| f32::from_bits(i)));
+        out.extend_from_slice(&self.val);
+        out
+    }
+
+    /// Decode an [`encode`](SparseVec::encode)d message.
+    ///
+    /// # Panics
+    /// Panics if the buffer is malformed.
+    pub fn decode(buf: &[f32]) -> Self {
+        assert!(buf.len() >= 2, "sparse message too short");
+        let len = buf[0].to_bits();
+        let nnz = buf[1].to_bits() as usize;
+        assert_eq!(buf.len(), 2 + 2 * nnz, "sparse message length mismatch");
+        let idx: Vec<u32> = buf[2..2 + nnz].iter().map(|v| v.to_bits()).collect();
+        let val = buf[2 + nnz..].to_vec();
+        SparseVec { len, idx, val }
+    }
+}
+
+/// Tag space mirroring `collectives::tag` (kept private there).
+fn tag(op: u64, phase: u64) -> u64 {
+    (op << 4) | phase
+}
+
+/// Binomial-tree sum-reduce of sparse vectors to `root`, in the exact
+/// combine order of [`crate::collectives::reduce_tree`]. On non-root ranks `sv`
+/// is left as the partial this rank forwarded.
+pub fn sparse_reduce_tree(comm: &mut Communicator, root: usize, sv: &mut SparseVec) {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    let vrank = (comm.rank() + p - root) % p;
+    let mut bit = 1usize;
+    while bit < p {
+        if vrank & bit != 0 {
+            let parent_v = vrank & !bit;
+            let parent = (parent_v + root) % p;
+            comm.send(parent, tag(op, 1), sv.encode());
+            return;
+        }
+        let child_v = vrank | bit;
+        if child_v < p {
+            let child = (child_v + root) % p;
+            let part = SparseVec::decode(&comm.recv(child, tag(op, 1)));
+            sv.add_assign(&part);
+        }
+        bit <<= 1;
+    }
+}
+
+/// Sparse allreduce (sum): sparse reduce to rank 0 plus broadcast of the
+/// encoded result. Every rank returns with the full sparse sum; wire
+/// traffic is `O(nnz)` per hop.
+pub fn sparse_allreduce_tree(comm: &mut Communicator, sv: &mut SparseVec) {
+    sparse_reduce_tree(comm, 0, sv);
+    let mut enc = sv.encode();
+    broadcast(comm, 0, &mut enc);
+    *sv = SparseVec::decode(&enc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::allreduce_tree;
+    use crate::world::CommWorld;
+    use std::thread;
+
+    fn run_world<T: Send>(p: usize, f: impl Fn(&mut Communicator) -> T + Sync) -> Vec<T> {
+        let mut world = CommWorld::new(p);
+        let comms = world.communicators();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut c| {
+                    let f = &f;
+                    s.spawn(move || f(&mut c))
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank thread"));
+            }
+        });
+        out.into_iter().map(|o| o.expect("result")).collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = vec![0.0f32, -1.5, 0.0, 3.25, 0.0, 1e-30];
+        let sv = SparseVec::from_dense(&v);
+        assert_eq!(sv.nnz(), 3);
+        let back = SparseVec::decode(&sv.encode());
+        assert_eq!(back, sv);
+        assert_eq!(back.to_dense(), v);
+    }
+
+    #[test]
+    fn merge_matches_dense_addition() {
+        let a = vec![1.0f32, 0.0, 2.0, 0.0];
+        let b = vec![0.5f32, -1.0, 0.0, 0.0];
+        let mut sa = SparseVec::from_dense(&a);
+        sa.add_assign(&SparseVec::from_dense(&b));
+        let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(sa.to_dense(), want);
+    }
+
+    #[test]
+    fn cancelling_sum_keeps_entry() {
+        let mut a = SparseVec::from_dense(&[2.0f32, 0.0]);
+        a.add_assign(&SparseVec::from_dense(&[-2.0f32, 0.0]));
+        assert_eq!(a.nnz(), 1, "exact-zero sums stay represented");
+        assert_eq!(a.to_dense(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_allreduce_equals_dense_allreduce_bitwise() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let m = 17;
+            // Rank r contributes a sparse vector touching every third
+            // coordinate offset by r.
+            let input = |r: usize| -> Vec<f32> {
+                (0..m)
+                    .map(|j| {
+                        if (j + r).is_multiple_of(3) {
+                            (r as f32 + 1.0) * 0.1 + j as f32
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            };
+            let dense = run_world(p, |c| {
+                let mut v = input(c.rank());
+                allreduce_tree(c, &mut v);
+                v
+            });
+            let sparse = run_world(p, |c| {
+                let mut sv = SparseVec::from_dense(&input(c.rank()));
+                sparse_allreduce_tree(c, &mut sv);
+                sv.to_dense()
+            });
+            for (d, s) in dense.iter().zip(&sparse) {
+                for (a, b) in d.iter().zip(s) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_wire_traffic_shrinks() {
+        let p = 4;
+        let m = 1000usize;
+        // 10 nonzeros per rank → sparse messages ≪ dense m.
+        let dense_elems = {
+            let mut world = CommWorld::new(p);
+            let traffic = world.traffic();
+            let comms = world.communicators();
+            thread::scope(|s| {
+                for mut c in comms {
+                    s.spawn(move || {
+                        let mut v = vec![0.0f32; m];
+                        for j in 0..10 {
+                            v[j * 97 % m] = c.rank() as f32 + 1.0;
+                        }
+                        allreduce_tree(&mut c, &mut v);
+                    });
+                }
+            });
+            traffic.elements_sent()
+        };
+        let sparse_elems = {
+            let mut world = CommWorld::new(p);
+            let traffic = world.traffic();
+            let comms = world.communicators();
+            thread::scope(|s| {
+                for mut c in comms {
+                    s.spawn(move || {
+                        let mut v = vec![0.0f32; m];
+                        for j in 0..10 {
+                            v[j * 97 % m] = c.rank() as f32 + 1.0;
+                        }
+                        let mut sv = SparseVec::from_dense(&v);
+                        sparse_allreduce_tree(&mut c, &mut sv);
+                    });
+                }
+            });
+            traffic.elements_sent()
+        };
+        assert!(
+            sparse_elems * 10 < dense_elems,
+            "sparse {sparse_elems} vs dense {dense_elems}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let mut a = SparseVec::from_dense(&[1.0f32]);
+        a.add_assign(&SparseVec::from_dense(&[1.0f32, 2.0]));
+    }
+}

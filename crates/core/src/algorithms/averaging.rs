@@ -7,11 +7,105 @@
 //! accuracies" relative to SASGD's per-interval aggregation — an ablation
 //! this module lets the benches reproduce.
 
-use sasgd_data::{make_shards, Dataset};
+use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
+use crate::engine::{simulated, AggregationStrategy};
 use crate::history::History;
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::trainer::{Learner, TrainConfig};
+
+/// Independent learners with end-of-training averaging: never syncs, uses
+/// the epoch-start γ, evaluates a spare replica holding the rank-ordered
+/// average of all learner parameters.
+pub(crate) struct AveragingStrategy {
+    p: usize,
+    /// Spare replica used only to evaluate the averaged parameters.
+    avg_model: Option<Model>,
+}
+
+impl AveragingStrategy {
+    pub(crate) fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        AveragingStrategy { p, avg_model: None }
+    }
+}
+
+impl AggregationStrategy for AveragingStrategy {
+    fn label(&self) -> String {
+        format!("ModelAvg(p={})", self.p)
+    }
+
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn lockstep_truncates(&self) -> bool {
+        false
+    }
+
+    fn setup(
+        &mut self,
+        factory: &mut dyn FnMut() -> Model,
+        _x0: &[f32],
+        _cfg: &TrainConfig,
+    ) -> f64 {
+        self.avg_model = Some(factory());
+        0.0
+    }
+
+    fn gamma_epoch(&self, epoch: usize, _step: usize, _steps: usize) -> f64 {
+        // Independent learners use the epoch-start rate for the whole
+        // epoch.
+        (epoch - 1) as f64
+    }
+
+    fn local_step(
+        &mut self,
+        l: &mut Learner,
+        _id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+        step_s: f64,
+        jitter: f64,
+    ) {
+        l.local_step(data, idx, gamma, step_s, jitter);
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn epoch_end(&mut self, learners: &mut [Learner], epoch: usize, cfg: &TrainConfig) {
+        // Evaluate the average of all replicas, accumulated in rank order
+        // (communication-free during training; the single final reduction
+        // is charged on the last epoch).
+        let m = learners[0].model.param_len();
+        let p = self.p;
+        let mut avg = vec![0.0f32; m];
+        for l in learners.iter() {
+            let v = l.model.param_vector();
+            for (a, &b) in avg.iter_mut().zip(&v) {
+                *a += b / p as f32;
+            }
+        }
+        self.avg_model
+            .as_mut()
+            .expect("setup ran")
+            .write_params(&avg);
+        if epoch == cfg.epochs {
+            let ar = cfg.cost.allreduce_tree(m, p);
+            for l in learners.iter_mut() {
+                l.charge_comm(ar.seconds);
+            }
+        }
+    }
+
+    fn eval_model<'a>(&'a mut self, _learners: &'a mut [Learner]) -> &'a mut Model {
+        self.avg_model.as_mut().expect("setup ran")
+    }
+
+    fn final_params(&mut self, _learners: &[Learner]) -> Vec<f32> {
+        self.avg_model.as_ref().expect("setup ran").param_vector()
+    }
+}
 
 /// Run independent learners with end-of-training averaging.
 pub(crate) fn run(
@@ -21,58 +115,8 @@ pub(crate) fn run(
     cfg: &TrainConfig,
     p: usize,
 ) -> History {
-    assert!(p >= 1);
-    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
-    let m = learners[0].model.param_len();
-    let macs = learners[0].model.macs_per_sample();
-    let x0 = learners[0].model.param_vector();
-    for l in &mut learners {
-        l.model.write_params(&x0);
-    }
-    // A spare replica used only to evaluate the averaged parameters.
-    let mut avg_model = factory();
-
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shards = make_shards(train_set, p, cfg.shard_strategy);
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let mut history = History::new(format!("ModelAvg(p={p})"), p, 1);
-    let mut samples = 0u64;
-
-    for epoch in 1..=cfg.epochs {
-        let gamma_now = cfg.gamma_at((epoch - 1) as f64);
-        for (l, shard) in learners.iter_mut().zip(&shards) {
-            let batches: Vec<Vec<usize>> = shard.epoch_iter(cfg.batch_size, &mut l.rng).collect();
-            for idx in batches {
-                samples += idx.len() as u64;
-                let j = l.draw_jitter(&cfg.jitter);
-                l.local_step(train_set, &idx, gamma_now, step_s, j);
-                l.gs.iter_mut().for_each(|g| *g = 0.0);
-            }
-            l.clock += cfg.cost.epoch_overhead;
-        }
-        // Evaluate the average of all replicas (communication-free during
-        // training; the single final reduction is charged on the last
-        // epoch).
-        let mut avg = vec![0.0f32; m];
-        for l in &learners {
-            let v = l.model.param_vector();
-            for (a, &b) in avg.iter_mut().zip(&v) {
-                *a += b / p as f32;
-            }
-        }
-        avg_model.write_params(&avg);
-        if epoch == cfg.epochs {
-            let ar = cfg.cost.allreduce_tree(m, p);
-            for l in &mut learners {
-                l.charge_comm(ar.seconds);
-            }
-        }
-        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-        let rec = evals.record(&mut avg_model, epoch as f64, comp, comm, samples);
-        history.records.push(rec);
-    }
-    history.final_params = Some(avg_model.param_vector());
-    history
+    let mut s = AveragingStrategy::new(p);
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

@@ -7,66 +7,87 @@
 //! pushes its accumulated gradient to the parameter server — which applies
 //! `x ← x − γ·gs` immediately — and pulls the current parameters back.
 //! Between a learner's pull and its next push, other learners keep
-//! mutating the server, so the pushed gradient is *stale*; the
-//! event-driven execution below realizes exactly that interleaving in
-//! virtual-time order, with staleness driven by the jitter model's speed
-//! variation. Accuracy is recorded each time learner 0 completes a shard
-//! pass — roughly once per collective epoch.
+//! mutating the server, so the pushed gradient is *stale*; the engine's
+//! event-driven loop realizes exactly that interleaving in virtual-time
+//! order, with staleness driven by the jitter model's speed variation.
 
-use std::collections::VecDeque;
-
-use sasgd_data::{make_shards, Dataset};
+use sasgd_data::Dataset;
 use sasgd_nn::Model;
-use sasgd_simnet::{EventQueue, VirtualTime};
 
-use crate::history::{History, StalenessStats};
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::engine::{simulated, AggregationStrategy, Cadence};
+use crate::history::History;
+use crate::trainer::{Learner, TrainConfig};
 
-/// A per-learner infinite minibatch stream over that learner's data shard
-/// (reshuffled every pass).
-pub(crate) struct BatchStream {
-    pending: VecDeque<Vec<usize>>,
-    indices: Vec<usize>,
-    batch: usize,
-    /// Completed shard passes.
-    pub(crate) passes: u64,
+/// Asynchronous learners around a simulated parameter server: every `T`
+/// minibatches a learner pushes `gs` (applied immediately) and pulls the
+/// current parameters.
+pub(crate) struct DownpourStrategy {
+    p: usize,
+    t: usize,
+    /// The parameter-server state.
+    ps: Vec<f32>,
 }
 
-impl BatchStream {
-    pub(crate) fn new(indices: Vec<usize>, batch: usize) -> Self {
-        assert!(!indices.is_empty(), "learner shard is empty (p > n?)");
-        BatchStream {
-            pending: VecDeque::new(),
-            indices,
-            batch,
-            passes: 0,
-        }
-    }
-
-    /// Next minibatch of indices, reshuffling when a pass completes.
-    pub(crate) fn next(&mut self, rng: &mut sasgd_tensor::SeedRng) -> Vec<usize> {
-        if self.pending.is_empty() {
-            let mut order = self.indices.clone();
-            rng.shuffle(&mut order);
-            self.pending = order.chunks(self.batch).map(<[usize]>::to_vec).collect();
-            self.passes += 1;
-        }
-        self.pending.pop_front().expect("refilled stream")
-    }
-
-    /// Passes completed (a pass counts once its last batch is consumed).
-    pub(crate) fn completed_passes(&self) -> u64 {
-        if self.pending.is_empty() {
-            self.passes
-        } else {
-            self.passes.saturating_sub(1)
+impl DownpourStrategy {
+    pub(crate) fn new(p: usize, t: usize) -> Self {
+        assert!(p >= 1 && t >= 1);
+        DownpourStrategy {
+            p,
+            t,
+            ps: Vec::new(),
         }
     }
 }
 
-struct Block {
-    learner: usize,
-    start: f64,
+impl AggregationStrategy for DownpourStrategy {
+    fn label(&self) -> String {
+        format!("Downpour(p={},T={})", self.p, self.t)
+    }
+
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn cadence(&self) -> Cadence {
+        Cadence::EventDriven
+    }
+
+    fn sync_interval(&self) -> usize {
+        self.t
+    }
+
+    fn setup(
+        &mut self,
+        _factory: &mut dyn FnMut() -> Model,
+        x0: &[f32],
+        _cfg: &TrainConfig,
+    ) -> f64 {
+        self.ps = x0.to_vec();
+        0.0
+    }
+
+    fn event_step(
+        &mut self,
+        l: &mut Learner,
+        _id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+    ) {
+        // Local SGD step against the parameters pulled at the previous
+        // sync; wall-clock time is accounted by the block event itself.
+        l.local_step(data, idx, gamma, 0.0, 1.0);
+    }
+
+    fn event_sync(&mut self, l: &mut Learner, _id: usize, gamma: f32) {
+        // Push: the server applies the accumulated gradient at once.
+        for (x, &g) in self.ps.iter_mut().zip(&l.gs) {
+            *x -= gamma * g;
+        }
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+        // Pull: fresh (possibly already-stale-tomorrow) parameters.
+        l.model.write_params(&self.ps);
+    }
 }
 
 /// Run Downpour.
@@ -78,109 +99,8 @@ pub(crate) fn run(
     p: usize,
     t: usize,
 ) -> History {
-    assert!(p >= 1 && t >= 1);
-    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
-    let m = learners[0].model.param_len();
-    let macs = learners[0].model.macs_per_sample();
-    let mut ps: Vec<f32> = learners[0].model.param_vector();
-    for l in &mut learners {
-        l.model.write_params(&ps);
-    }
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let n = train_set.len();
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
-    let target_samples = (cfg.epochs as u64) * (n as u64);
-
-    let mut streams: Vec<BatchStream> = make_shards(train_set, p, cfg.shard_strategy)
-        .into_iter()
-        .map(|s| BatchStream::new(s.indices().to_vec(), cfg.batch_size))
-        .collect();
-    let mut queue: EventQueue<Block> = EventQueue::new();
-    for (id, l) in learners.iter_mut().enumerate() {
-        let dur = block_duration(l, t, step_s, cfg);
-        queue.push(
-            VirtualTime(dur),
-            Block {
-                learner: id,
-                start: 0.0,
-            },
-        );
-    }
-
-    let mut history = History::new(format!("Downpour(p={p},T={t})"), p, t);
-    let mut samples = 0u64;
-    let mut recorded_passes = 0u64;
-    // Staleness bookkeeping: how many server updates landed between a
-    // learner's pull and its next push.
-    let mut server_version = 0u64;
-    let mut pulled_version = vec![0u64; p];
-    let mut staleness_obs: Vec<u64> = Vec::new();
-
-    while let Some((tv, block)) = queue.pop() {
-        let id = block.learner;
-        // Execute the block's math: T minibatches of local SGD against the
-        // parameters pulled at the previous sync.
-        let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
-        for _ in 0..t {
-            let idx = {
-                let l = &mut learners[id];
-                streams[id].next(&mut l.rng)
-            };
-            samples += idx.len() as u64;
-            learners[id].local_step(train_set, &idx, gamma_now, 0.0, 1.0);
-        }
-        {
-            let l = &mut learners[id];
-            l.compute_s += tv.seconds() - block.start;
-            l.clock = tv.seconds();
-            // Push: the server applies the accumulated gradient at once.
-            staleness_obs.push(server_version - pulled_version[id]);
-            for (x, &g) in ps.iter_mut().zip(&l.gs) {
-                *x -= gamma_now * g;
-            }
-            server_version += 1;
-            l.gs.iter_mut().for_each(|g| *g = 0.0);
-            // Pull: fresh (possibly already-stale-tomorrow) parameters.
-            l.charge_comm(comm_round);
-            l.model.write_params(&ps);
-            pulled_version[id] = server_version;
-        }
-        // Record accuracy when learner 0 finishes a pass over its shard.
-        if id == 0 && streams[0].completed_passes() > recorded_passes {
-            recorded_passes = streams[0].completed_passes();
-            let epoch = samples as f64 / n as f64;
-            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-            let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
-            history.records.push(rec);
-        }
-        if samples < target_samples {
-            let start = learners[id].clock;
-            let dur = block_duration(&mut learners[id], t, step_s, cfg);
-            queue.push(VirtualTime(start + dur), Block { learner: id, start });
-        }
-    }
-    // Guarantee a final record even if learner 0 did not end on a pass
-    // boundary.
-    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
-        let epoch = samples as f64 / n as f64;
-        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-        let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
-        history.records.push(rec);
-    }
-    history.staleness = StalenessStats::from_observations(&staleness_obs);
-    history.final_params = Some(learners[0].model.param_vector());
-    history
-}
-
-/// Duration of the next `t`-minibatch compute block (jitter drawn now so
-/// completion order is known to the event queue up front).
-pub(crate) fn block_duration(l: &mut Learner, t: usize, step_s: f64, cfg: &TrainConfig) -> f64 {
-    let mut dur = 0.0;
-    for _ in 0..t {
-        dur += step_s * l.speed * l.draw_jitter(&cfg.jitter);
-    }
-    dur
+    let mut s = DownpourStrategy::new(p, t);
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]
@@ -190,22 +110,6 @@ mod tests {
     use sasgd_nn::models;
     use sasgd_simnet::JitterModel;
     use sasgd_tensor::SeedRng;
-
-    #[test]
-    fn batch_stream_passes_count_on_consumption() {
-        let mut rng = SeedRng::new(1);
-        let mut s = BatchStream::new((0..10).collect(), 4);
-        assert_eq!(s.completed_passes(), 0);
-        let mut seen = Vec::new();
-        for _ in 0..3 {
-            seen.extend(s.next(&mut rng)); // 4 + 4 + 2 consumes one pass
-        }
-        seen.sort_unstable();
-        assert_eq!(seen, (0..10).collect::<Vec<_>>());
-        assert_eq!(s.completed_passes(), 1);
-        let _ = s.next(&mut rng);
-        assert_eq!(s.completed_passes(), 1, "mid-pass");
-    }
 
     #[test]
     fn single_learner_downpour_learns() {

@@ -14,20 +14,103 @@
 //! round trip (pull `x̃`, push `diff`). As in the EASGD/EAMSGD setting (and
 //! [`super::downpour`]), the training data is partitioned across learners:
 //! each replica streams minibatches from its own shard. Asynchrony is
-//! realized the same way as in [`super::downpour`]: completion events
-//! ordered by virtual time.
+//! realized by the engine's event-driven loop: completion events ordered
+//! by virtual time.
 
-use sasgd_data::{make_shards, Dataset};
+use sasgd_data::Dataset;
 use sasgd_nn::Model;
-use sasgd_simnet::{EventQueue, VirtualTime};
 
-use crate::algorithms::downpour::{block_duration, BatchStream};
-use crate::history::{History, StalenessStats};
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::engine::{simulated, AggregationStrategy, Cadence};
+use crate::history::History;
+use crate::trainer::{Learner, TrainConfig};
 
-struct Block {
-    learner: usize,
-    start: f64,
+/// Asynchronous momentum-SGD replicas elastically coupled to a center
+/// variable.
+pub(crate) struct EamsgdStrategy {
+    p: usize,
+    t: usize,
+    alpha: f32,
+    momentum: f32,
+    /// The center variable `x̃` on the parameter server.
+    center: Vec<f32>,
+    /// Per-learner momentum buffers.
+    velocities: Vec<Vec<f32>>,
+}
+
+impl EamsgdStrategy {
+    pub(crate) fn new(p: usize, t: usize, moving_rate: Option<f32>, momentum: f32) -> Self {
+        assert!(p >= 1 && t >= 1);
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        let alpha = moving_rate.unwrap_or(0.9 / p as f32);
+        assert!(alpha > 0.0 && alpha <= 1.0, "moving rate out of range");
+        EamsgdStrategy {
+            p,
+            t,
+            alpha,
+            momentum,
+            center: Vec::new(),
+            velocities: Vec::new(),
+        }
+    }
+}
+
+impl AggregationStrategy for EamsgdStrategy {
+    fn label(&self) -> String {
+        format!("EAMSGD(p={},T={})", self.p, self.t)
+    }
+
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn cadence(&self) -> Cadence {
+        Cadence::EventDriven
+    }
+
+    fn sync_interval(&self) -> usize {
+        self.t
+    }
+
+    fn setup(
+        &mut self,
+        _factory: &mut dyn FnMut() -> Model,
+        x0: &[f32],
+        _cfg: &TrainConfig,
+    ) -> f64 {
+        self.center = x0.to_vec();
+        self.velocities = vec![vec![0.0; x0.len()]; self.p];
+        0.0
+    }
+
+    fn event_step(
+        &mut self,
+        l: &mut Learner,
+        id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+    ) {
+        // One momentum-SGD step on the local replica.
+        let (g, _) = l.compute_gradient(data, idx);
+        let mut params = l.model.param_vector();
+        let v = &mut self.velocities[id];
+        for ((vi, pi), &gi) in v.iter_mut().zip(params.iter_mut()).zip(&g) {
+            *vi = self.momentum * *vi - gamma * gi;
+            *pi += *vi;
+        }
+        l.model.write_params(&params);
+    }
+
+    fn event_sync(&mut self, l: &mut Learner, _id: usize, _gamma: f32) {
+        // Elastic exchange with the center.
+        let mut params = l.model.param_vector();
+        for (pi, ci) in params.iter_mut().zip(self.center.iter_mut()) {
+            let diff = self.alpha * (*pi - *ci);
+            *pi -= diff;
+            *ci += diff;
+        }
+        l.model.write_params(&params);
+    }
 }
 
 /// Run EAMSGD.
@@ -42,107 +125,8 @@ pub(crate) fn run(
     moving_rate: Option<f32>,
     momentum: f32,
 ) -> History {
-    assert!(p >= 1 && t >= 1);
-    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
-    let alpha = moving_rate.unwrap_or(0.9 / p as f32);
-    assert!(alpha > 0.0 && alpha <= 1.0, "moving rate out of range");
-
-    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
-    let m = learners[0].model.param_len();
-    let macs = learners[0].model.macs_per_sample();
-    let mut center: Vec<f32> = learners[0].model.param_vector();
-    for l in &mut learners {
-        l.model.write_params(&center);
-    }
-    let mut velocities: Vec<Vec<f32>> = vec![vec![0.0; m]; p];
-
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let n = train_set.len();
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
-    let target_samples = (cfg.epochs as u64) * (n as u64);
-
-    let mut streams: Vec<BatchStream> = make_shards(train_set, p, cfg.shard_strategy)
-        .into_iter()
-        .map(|s| BatchStream::new(s.indices().to_vec(), cfg.batch_size))
-        .collect();
-    let mut queue: EventQueue<Block> = EventQueue::new();
-    for (id, l) in learners.iter_mut().enumerate() {
-        let dur = block_duration(l, t, step_s, cfg);
-        queue.push(
-            VirtualTime(dur),
-            Block {
-                learner: id,
-                start: 0.0,
-            },
-        );
-    }
-
-    let mut history = History::new(format!("EAMSGD(p={p},T={t})"), p, t);
-    let mut samples = 0u64;
-    let mut recorded_passes = 0u64;
-    let mut center_version = 0u64;
-    let mut pulled_version = vec![0u64; p];
-    let mut staleness_obs: Vec<u64> = Vec::new();
-
-    while let Some((tv, block)) = queue.pop() {
-        let id = block.learner;
-        // τ momentum-SGD steps on the local replica.
-        let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
-        for _ in 0..t {
-            let idx = {
-                let l = &mut learners[id];
-                streams[id].next(&mut l.rng)
-            };
-            samples += idx.len() as u64;
-            let (g, _) = learners[id].compute_gradient(train_set, &idx);
-            let mut params = learners[id].model.param_vector();
-            let v = &mut velocities[id];
-            for ((vi, pi), &gi) in v.iter_mut().zip(params.iter_mut()).zip(&g) {
-                *vi = momentum * *vi - gamma_now * gi;
-                *pi += *vi;
-            }
-            learners[id].model.write_params(&params);
-        }
-        {
-            let l = &mut learners[id];
-            l.compute_s += tv.seconds() - block.start;
-            l.clock = tv.seconds();
-            // Elastic exchange with the center.
-            staleness_obs.push(center_version - pulled_version[id]);
-            center_version += 1;
-            pulled_version[id] = center_version;
-            let mut params = l.model.param_vector();
-            for (pi, ci) in params.iter_mut().zip(center.iter_mut()) {
-                let diff = alpha * (*pi - *ci);
-                *pi -= diff;
-                *ci += diff;
-            }
-            l.model.write_params(&params);
-            l.charge_comm(comm_round);
-        }
-        if id == 0 && streams[0].completed_passes() > recorded_passes {
-            recorded_passes = streams[0].completed_passes();
-            let epoch = samples as f64 / n as f64;
-            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-            let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
-            history.records.push(rec);
-        }
-        if samples < target_samples {
-            let start = learners[id].clock;
-            let dur = block_duration(&mut learners[id], t, step_s, cfg);
-            queue.push(VirtualTime(start + dur), Block { learner: id, start });
-        }
-    }
-    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
-        let epoch = samples as f64 / n as f64;
-        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-        let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
-        history.records.push(rec);
-    }
-    history.staleness = StalenessStats::from_observations(&staleness_obs);
-    history.final_params = Some(learners[0].model.param_vector());
-    history
+    let mut s = EamsgdStrategy::new(p, t, moving_rate, momentum);
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

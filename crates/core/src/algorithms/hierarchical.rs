@@ -21,115 +21,110 @@
 //! drops by `t_global×` while staleness across groups stays explicitly
 //! bounded by `t_local · t_global`.
 
-use sasgd_data::{make_shards, Dataset};
+use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
 use crate::algorithms::GammaP;
+use crate::engine::{simulated, AggregationStrategy};
 use crate::history::{History, StalenessStats};
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::trainer::{Learner, TrainConfig};
 
 /// Speed advantage of the intra-group fabric over the global GPU fabric
 /// (learners in a group share a device or PCIe switch).
-const LOCAL_FABRIC_SPEEDUP: f64 = 8.0;
+pub(crate) const LOCAL_FABRIC_SPEEDUP: f64 = 8.0;
 
-/// Run hierarchical SASGD with `groups × per_group` learners.
-#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
-pub(crate) fn run(
-    factory: &mut dyn FnMut() -> Model,
-    train_set: &Dataset,
-    test_set: &Dataset,
-    cfg: &TrainConfig,
+/// Two-level SASGD over `groups × per_group` learners.
+pub(crate) struct HierarchicalStrategy {
     groups: usize,
     per_group: usize,
     t_local: usize,
     t_global: usize,
     gamma_p: GammaP,
-) -> History {
-    assert!(groups >= 1 && per_group >= 1, "need at least one learner");
-    assert!(t_local >= 1 && t_global >= 1, "intervals must be positive");
-    let p = groups * per_group;
+    /// One parameter copy per group (level-1 state).
+    group_x: Vec<Vec<f32>>,
+    /// Level-1 rounds since the last level-2 averaging.
+    local_rounds: usize,
+    local_ar: f64,
+    global_ar: f64,
+}
 
-    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
-    let m = learners[0].model.param_len();
-    let macs = learners[0].model.macs_per_sample();
-    let x0 = learners[0].model.param_vector();
-    let bcast = cfg.cost.broadcast(m, p);
-    for l in &mut learners {
-        l.model.write_params(&x0);
-        l.charge_comm(bcast);
-    }
-    // One parameter copy per group (level-1 state).
-    let mut group_x: Vec<Vec<f32>> = (0..groups).map(|_| x0.clone()).collect();
-
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shards = make_shards(train_set, p, cfg.shard_strategy);
-    let steps_per_epoch = shards
-        .iter()
-        .map(|s| s.len() / cfg.batch_size)
-        .min()
-        .expect("at least one shard");
-    assert!(steps_per_epoch > 0, "shards too small for batch size");
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let local_ar = cfg.cost.allreduce_tree(m, per_group).seconds / LOCAL_FABRIC_SPEEDUP;
-    let global_ar = cfg.cost.allreduce_tree(m, groups).seconds;
-
-    let mut history = History::new(
-        format!("H-SASGD(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
-        p,
-        t_local * t_global,
-    );
-    let mut samples = 0u64;
-    let mut since_local = 0usize;
-    let mut local_rounds = 0usize;
-    let mut aggregations = 0u64;
-
-    for epoch in 1..=cfg.epochs {
-        let mut iters: Vec<Vec<Vec<usize>>> = learners
-            .iter_mut()
-            .zip(&shards)
-            .map(|(l, s)| {
-                s.epoch_iter(cfg.batch_size, &mut l.rng)
-                    .take(steps_per_epoch)
-                    .collect()
-            })
-            .collect();
-        for step in 0..steps_per_epoch {
-            let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-            let gamma_now = cfg.gamma_at(epoch_f);
-            for (l, batches) in learners.iter_mut().zip(&mut iters) {
-                let idx = &batches[step];
-                samples += idx.len() as u64;
-                let j = l.draw_jitter(&cfg.jitter);
-                l.local_step(train_set, idx, gamma_now, step_s, j);
-            }
-            since_local += 1;
-            if since_local == t_local {
-                let gp = gamma_p.resolve(gamma_now, per_group);
-                level1(&mut learners, &mut group_x, groups, per_group, gp, local_ar);
-                since_local = 0;
-                local_rounds += 1;
-                aggregations += 1;
-                if local_rounds == t_global {
-                    level2(&mut learners, &mut group_x, per_group, global_ar);
-                    local_rounds = 0;
-                }
-            }
+impl HierarchicalStrategy {
+    pub(crate) fn new(
+        groups: usize,
+        per_group: usize,
+        t_local: usize,
+        t_global: usize,
+        gamma_p: GammaP,
+    ) -> Self {
+        assert!(groups >= 1 && per_group >= 1, "need at least one learner");
+        assert!(t_local >= 1 && t_global >= 1, "intervals must be positive");
+        HierarchicalStrategy {
+            groups,
+            per_group,
+            t_local,
+            t_global,
+            gamma_p,
+            group_x: Vec::new(),
+            local_rounds: 0,
+            local_ar: 0.0,
+            global_ar: 0.0,
         }
-        for l in &mut learners {
-            l.clock += cfg.cost.epoch_overhead;
-        }
-        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-        let rec = evals.record(&mut learners[0].model, epoch as f64, comp, comm, samples);
-        history.records.push(rec);
     }
-    let bound = (t_local * t_global) as f64;
-    history.staleness = Some(StalenessStats {
-        mean: bound,
-        max: bound as u64,
-        pushes: aggregations,
-    });
-    history.final_params = Some(learners[0].model.param_vector());
-    history
+}
+
+impl AggregationStrategy for HierarchicalStrategy {
+    fn label(&self) -> String {
+        format!(
+            "H-SASGD(g={}x{},Tl={},Tg={})",
+            self.groups, self.per_group, self.t_local, self.t_global
+        )
+    }
+
+    fn p(&self) -> usize {
+        self.groups * self.per_group
+    }
+
+    fn sync_interval(&self) -> usize {
+        self.t_local
+    }
+
+    fn history_interval(&self) -> usize {
+        self.t_local * self.t_global
+    }
+
+    fn setup(&mut self, _factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
+        let m = x0.len();
+        self.group_x = (0..self.groups).map(|_| x0.to_vec()).collect();
+        self.local_ar = cfg.cost.allreduce_tree(m, self.per_group).seconds / LOCAL_FABRIC_SPEEDUP;
+        self.global_ar = cfg.cost.allreduce_tree(m, self.groups).seconds;
+        cfg.cost.broadcast(m, self.p())
+    }
+
+    fn sync(&mut self, learners: &mut [Learner], gamma_now: f32) {
+        let gp = self.gamma_p.resolve(gamma_now, self.per_group);
+        level1(
+            learners,
+            &mut self.group_x,
+            self.groups,
+            self.per_group,
+            gp,
+            self.local_ar,
+        );
+        self.local_rounds += 1;
+        if self.local_rounds == self.t_global {
+            level2(learners, &mut self.group_x, self.per_group, self.global_ar);
+            self.local_rounds = 0;
+        }
+    }
+
+    fn staleness(&self, syncs: u64) -> Option<StalenessStats> {
+        let bound = (self.t_local * self.t_global) as f64;
+        Some(StalenessStats {
+            mean: bound,
+            max: bound as u64,
+            pushes: syncs,
+        })
+    }
 }
 
 /// Level-1: per-group barrier + allreduce of `gs`, group step, resync.
@@ -196,6 +191,23 @@ fn level2(
         l.charge_comm(wait + global_ar_seconds);
         l.model.write_params(&group_x[id / per_group]);
     }
+}
+
+/// Run hierarchical SASGD with `groups × per_group` learners.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    groups: usize,
+    per_group: usize,
+    t_local: usize,
+    t_global: usize,
+    gamma_p: GammaP,
+) -> History {
+    let mut s = HierarchicalStrategy::new(groups, per_group, t_local, t_global, gamma_p);
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

@@ -42,7 +42,9 @@ pub enum Algorithm {
     /// rows of every figure).
     Sequential,
     /// Sparse-aggregation SGD (Algorithm 1): `p` learners over data
-    /// shards, `T` local steps between allreduce aggregations.
+    /// shards, `T` local steps between allreduce aggregations, optionally
+    /// compressing each learner's accumulated gradient (with error
+    /// feedback) before aggregation.
     Sasgd {
         /// Learners.
         p: usize,
@@ -50,19 +52,8 @@ pub enum Algorithm {
         t: usize,
         /// Global learning-rate policy.
         gamma_p: GammaP,
-    },
-    /// SASGD with gradient compression (error feedback) applied to each
-    /// learner's accumulated gradient before aggregation — the natural
-    /// extension of the paper's sparse-aggregation direction.
-    SasgdCompressed {
-        /// Learners.
-        p: usize,
-        /// Aggregation interval.
-        t: usize,
-        /// Global learning-rate policy.
-        gamma_p: GammaP,
-        /// Compression scheme.
-        compression: Compression,
+        /// Optional gradient compression applied before aggregation.
+        compression: Option<Compression>,
     },
     /// Two-level SASGD: groups of learners aggregate over a fast local
     /// fabric every `t_local` steps and average across groups every
@@ -112,12 +103,32 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Uncompressed SASGD (Algorithm 1).
+    pub fn sasgd(p: usize, t: usize, gamma_p: GammaP) -> Self {
+        Algorithm::Sasgd {
+            p,
+            t,
+            gamma_p,
+            compression: None,
+        }
+    }
+
+    /// SASGD with gradient compression (error feedback) applied to each
+    /// learner's accumulated gradient before aggregation.
+    pub fn sasgd_compressed(p: usize, t: usize, gamma_p: GammaP, compression: Compression) -> Self {
+        Algorithm::Sasgd {
+            p,
+            t,
+            gamma_p,
+            compression: Some(compression),
+        }
+    }
+
     /// Number of learners.
     pub fn learners(&self) -> usize {
         match *self {
             Algorithm::Sequential => 1,
             Algorithm::Sasgd { p, .. }
-            | Algorithm::SasgdCompressed { p, .. }
             | Algorithm::Downpour { p, .. }
             | Algorithm::Eamsgd { p, .. }
             | Algorithm::ModelAverageOnce { p } => p,
@@ -131,7 +142,6 @@ impl Algorithm {
     pub fn interval(&self) -> usize {
         match *self {
             Algorithm::Sasgd { t, .. }
-            | Algorithm::SasgdCompressed { t, .. }
             | Algorithm::Downpour { t, .. }
             | Algorithm::Eamsgd { t, .. } => t,
             Algorithm::HierarchicalSasgd {
@@ -145,14 +155,14 @@ impl Algorithm {
     pub fn label(&self) -> String {
         match *self {
             Algorithm::Sequential => "SGD".into(),
-            Algorithm::Sasgd { p, t, .. } => format!("SASGD(p={p},T={t})"),
-            Algorithm::SasgdCompressed {
+            Algorithm::Sasgd {
                 p, t, compression, ..
             } => match compression {
-                Compression::TopK { ratio } => {
+                None => format!("SASGD(p={p},T={t})"),
+                Some(Compression::TopK { ratio }) => {
                     format!("SASGD-top{:.0}%(p={p},T={t})", ratio * 100.0)
                 }
-                Compression::Uniform8Bit => format!("SASGD-8bit(p={p},T={t})"),
+                Some(Compression::Uniform8Bit) => format!("SASGD-8bit(p={p},T={t})"),
             },
             Algorithm::HierarchicalSasgd {
                 groups,
@@ -183,11 +193,7 @@ mod tests {
 
     #[test]
     fn labels_and_accessors() {
-        let a = Algorithm::Sasgd {
-            p: 8,
-            t: 50,
-            gamma_p: GammaP::OverP,
-        };
+        let a = Algorithm::sasgd(8, 50, GammaP::OverP);
         assert_eq!(a.label(), "SASGD(p=8,T=50)");
         assert_eq!(a.learners(), 8);
         assert_eq!(a.interval(), 50);
@@ -196,12 +202,8 @@ mod tests {
         assert!(Algorithm::Downpour { p: 2, t: 1 }
             .label()
             .contains("Downpour"));
-        let comp = Algorithm::SasgdCompressed {
-            p: 4,
-            t: 8,
-            gamma_p: GammaP::OverP,
-            compression: Compression::TopK { ratio: 0.1 },
-        };
+        let comp =
+            Algorithm::sasgd_compressed(4, 8, GammaP::OverP, Compression::TopK { ratio: 0.1 });
         assert_eq!(comp.label(), "SASGD-top10%(p=4,T=8)");
         assert_eq!(comp.learners(), 4);
         assert_eq!(comp.interval(), 8);

@@ -1,4 +1,4 @@
-//! SASGD — Algorithm 1 of the paper.
+//! SASGD — Algorithm 1 of the paper, as an engine strategy.
 //!
 //! `p` learners over disjoint data shards. Each learner runs `T` local
 //! minibatch steps at rate `γ`, accumulating raw gradients into `gs`; a
@@ -11,140 +11,136 @@
 //! the straggler penalty is charged to every learner's virtual clock as
 //! communication (wait) time, matching how the paper measures "time spent
 //! in communication" from a learner's perspective.
+//!
+//! With `compression`, each learner's accumulated gradient is compressed
+//! (with error feedback) before the allreduce; the aggregation cost is
+//! priced by the compressor's wire size, and on the threaded backend TopK
+//! payloads actually travel sparse.
 
-use sasgd_data::{make_shards, Dataset};
+use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
 use crate::algorithms::GammaP;
 use crate::compress::Compression;
-use crate::history::{History, StalenessStats};
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::engine::{simulated, AggregationStrategy};
+use crate::history::{History, StalenessStats, WireStats};
+use crate::trainer::{Learner, TrainConfig};
 
-/// Run SASGD. `T = 1` is classic bulk-synchronous SGD; `p = 1` degrades to
-/// sequential SGD (with the global step folded in). With `compression`,
-/// each learner's accumulated gradient is compressed (with error feedback)
-/// before the allreduce — the `SasgdCompressed` extension.
-#[allow(clippy::too_many_arguments)] // mirrors the Algorithm variants' fields
-pub(crate) fn run(
-    factory: &mut dyn FnMut() -> Model,
-    train_set: &Dataset,
-    test_set: &Dataset,
-    cfg: &TrainConfig,
+/// Algorithm 1 with optional compressed aggregation.
+pub(crate) struct SasgdStrategy {
     p: usize,
     t: usize,
     gamma_p: GammaP,
     compression: Option<Compression>,
-) -> History {
-    assert!(p >= 1, "need at least one learner");
-    assert!(t >= 1, "aggregation interval must be positive");
+    /// The shared (pre-interval) parameter vector `x`.
+    x: Vec<f32>,
+    /// Error-feedback residuals, one per learner, carried across intervals.
+    residuals: Vec<Vec<f32>>,
+    /// Cost of one (possibly compressed) allreduce.
+    ar_seconds: f64,
+    /// Parameter count (for wire accounting).
+    m: usize,
+}
 
-    // Build p identically initialized replicas; broadcast learner 0's
-    // parameters to the rest (Algorithm 1's broadcast step).
-    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
-    let m = learners[0].model.param_len();
-    let macs = learners[0].model.macs_per_sample();
-    let mut x: Vec<f32> = learners[0].model.param_vector();
-    let bcast = cfg.cost.broadcast(m, p);
-    for l in &mut learners {
-        l.model.write_params(&x);
-        l.charge_comm(bcast);
+impl SasgdStrategy {
+    pub(crate) fn new(
+        p: usize,
+        t: usize,
+        gamma_p: GammaP,
+        compression: Option<Compression>,
+    ) -> Self {
+        assert!(p >= 1, "need at least one learner");
+        assert!(t >= 1, "aggregation interval must be positive");
+        SasgdStrategy {
+            p,
+            t,
+            gamma_p,
+            compression,
+            x: Vec::new(),
+            residuals: Vec::new(),
+            ar_seconds: 0.0,
+            m: 0,
+        }
+    }
+}
+
+impl AggregationStrategy for SasgdStrategy {
+    fn label(&self) -> String {
+        let (p, t) = (self.p, self.t);
+        match self.compression {
+            Some(_) => format!("SASGD-compressed(p={p},T={t})"),
+            None => format!("SASGD(p={p},T={t})"),
+        }
     }
 
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shards = make_shards(train_set, p, cfg.shard_strategy);
-    // Bulk-synchrony needs aligned step counts: truncate every learner's
-    // epoch to the smallest shard's whole-minibatch count.
-    let steps_per_epoch = shards
-        .iter()
-        .map(|s| s.len() / cfg.batch_size)
-        .min()
-        .expect("at least one shard");
-    assert!(
-        steps_per_epoch > 0,
-        "shards too small: {} samples over {p} learners at batch {}",
-        train_set.len(),
-        cfg.batch_size
-    );
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let ar_seconds = match compression {
-        Some(c) => {
-            cfg.cost
-                .allreduce_tree_elements(c.wire_elements(m), p)
-                .seconds
-        }
-        None => cfg.cost.allreduce_tree(m, p).seconds,
-    };
-    // Error-feedback residuals, one per learner, carried across intervals.
-    let mut residuals: Vec<Vec<f32>> = match compression {
-        Some(_) => (0..p).map(|_| vec![0.0f32; m]).collect(),
-        None => Vec::new(),
-    };
-
-    let label = match compression {
-        Some(_) => format!("SASGD-compressed(p={p},T={t})"),
-        None => format!("SASGD(p={p},T={t})"),
-    };
-    let mut history = History::new(label, p, t);
-    let mut samples = 0u64;
-    let mut since_agg = 0usize;
-    let mut aggregations = 0u64;
-
-    for epoch in 1..=cfg.epochs {
-        let mut iters: Vec<Vec<Vec<usize>>> = learners
-            .iter_mut()
-            .zip(&shards)
-            .map(|(l, s)| {
-                s.epoch_iter(cfg.batch_size, &mut l.rng)
-                    .take(steps_per_epoch)
-                    .collect()
-            })
-            .collect();
-        for step in 0..steps_per_epoch {
-            let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-            let gamma_now = cfg.gamma_at(epoch_f);
-            for (l, batches) in learners.iter_mut().zip(&mut iters) {
-                let idx = &batches[step];
-                samples += idx.len() as u64;
-                let j = l.draw_jitter(&cfg.jitter);
-                l.local_step(train_set, idx, gamma_now, step_s, j);
-            }
-            since_agg += 1;
-            if since_agg == t {
-                let gp = gamma_p.resolve(gamma_now, p);
-                aggregate(
-                    &mut learners,
-                    &mut x,
-                    gp,
-                    ar_seconds,
-                    compression,
-                    &mut residuals,
-                );
-                aggregations += 1;
-                since_agg = 0;
-            }
-        }
-        for l in &mut learners {
-            l.clock += cfg.cost.epoch_overhead;
-        }
-        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
-        let rec = evals.record(&mut learners[0].model, epoch as f64, comp, comm, samples);
-        history.records.push(rec);
+    fn p(&self) -> usize {
+        self.p
     }
-    // SASGD's staleness is T by construction — record it so staleness
-    // reports can compare against the measured async distributions.
-    history.staleness = Some(StalenessStats {
-        mean: t as f64,
-        max: t as u64,
-        pushes: aggregations,
-    });
-    history.final_params = Some(learners[0].model.param_vector());
-    history
+
+    fn sync_interval(&self) -> usize {
+        self.t
+    }
+
+    fn setup(&mut self, _factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
+        self.m = x0.len();
+        self.x = x0.to_vec();
+        self.ar_seconds = match self.compression {
+            Some(c) => {
+                cfg.cost
+                    .allreduce_tree_elements(c.wire_elements(self.m), self.p)
+                    .seconds
+            }
+            None => cfg.cost.allreduce_tree(self.m, self.p).seconds,
+        };
+        if self.compression.is_some() {
+            self.residuals = (0..self.p).map(|_| vec![0.0f32; self.m]).collect();
+        }
+        cfg.cost.broadcast(self.m, self.p)
+    }
+
+    fn sync(&mut self, learners: &mut [Learner], gamma_now: f32) {
+        let gp = self.gamma_p.resolve(gamma_now, self.p);
+        aggregate(
+            learners,
+            &mut self.x,
+            gp,
+            self.ar_seconds,
+            self.compression,
+            &mut self.residuals,
+        );
+    }
+
+    fn staleness(&self, syncs: u64) -> Option<StalenessStats> {
+        // SASGD's staleness is T by construction — record it so staleness
+        // reports can compare against the measured async distributions.
+        Some(StalenessStats {
+            mean: self.t as f64,
+            max: self.t as u64,
+            pushes: syncs,
+        })
+    }
+
+    fn wire(&self, syncs: u64) -> Option<WireStats> {
+        // The analytic counterpart of the threaded backend's counters:
+        // one broadcast of x0 ((p−1)·m elements over p−1 messages) plus,
+        // per aggregation, a tree allreduce moving 2(p−1) messages of the
+        // compressor's wire size (m when dense).
+        let per_ar = match self.compression {
+            Some(c) => c.wire_elements(self.m),
+            None => self.m as f64,
+        };
+        let p1 = (self.p - 1) as u64;
+        Some(WireStats {
+            elements: p1 * self.m as u64 + 2 * p1 * (per_ar * syncs as f64) as u64,
+            messages: p1 + 2 * p1 * syncs,
+        })
+    }
 }
 
 /// One global aggregation: barrier (wait for the slowest learner),
 /// allreduce of the (optionally compressed) accumulated gradients, global
 /// step, redistribution.
-fn aggregate(
+pub(crate) fn aggregate(
     learners: &mut [Learner],
     x: &mut [f32],
     gamma_p: f32,
@@ -192,6 +188,24 @@ fn aggregate(
         l.model.write_params(x);
         l.gs.iter_mut().for_each(|g| *g = 0.0);
     }
+}
+
+/// Run SASGD on the simulated backend. `T = 1` is classic bulk-synchronous
+/// SGD; `p = 1` degrades to sequential SGD (with the global step folded
+/// in).
+#[allow(clippy::too_many_arguments)] // mirrors the Algorithm variant's fields
+pub(crate) fn run(
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    compression: Option<Compression>,
+) -> History {
+    let mut s = SasgdStrategy::new(p, t, gamma_p, compression);
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]
@@ -298,6 +312,32 @@ mod tests {
             "T=5 comm {} should be below T=1 comm {}",
             comm[1],
             comm[0]
+        );
+    }
+
+    #[test]
+    fn simulated_wire_accounting_shrinks_under_topk() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(64, 16, 2));
+        let cfg = quiet_cfg(1, 0.02);
+        let mut f1 = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let dense = run(&mut f1, &train, &test, &cfg, 2, 2, GammaP::OverP, None);
+        let mut f2 = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let sparse = run(
+            &mut f2,
+            &train,
+            &test,
+            &cfg,
+            2,
+            2,
+            GammaP::OverP,
+            Some(Compression::TopK { ratio: 0.1 }),
+        );
+        let (d, s) = (dense.wire.expect("wire"), sparse.wire.expect("wire"));
+        assert!(
+            s.elements < d.elements / 2,
+            "TopK-10% wire {} vs dense {}",
+            s.elements,
+            d.elements
         );
     }
 

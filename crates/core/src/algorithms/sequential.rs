@@ -1,50 +1,67 @@
 //! Sequential SGD — the single-learner baseline every figure compares to.
 
-use sasgd_data::Dataset;
+use sasgd_data::{Dataset, Shard};
 use sasgd_nn::Model;
 
+use crate::engine::{simulated, AggregationStrategy};
 use crate::history::History;
-use crate::trainer::{EvalSets, Learner, TrainConfig};
+use crate::trainer::{Learner, TrainConfig};
 
-/// Plain minibatch SGD on one learner.
+/// Plain minibatch SGD on one learner: never syncs, walks the full
+/// dataset each epoch (ragged tail included), keeps no gradient
+/// accumulator.
+pub(crate) struct SequentialStrategy;
+
+impl SequentialStrategy {
+    pub(crate) fn new() -> Self {
+        SequentialStrategy
+    }
+}
+
+impl AggregationStrategy for SequentialStrategy {
+    fn label(&self) -> String {
+        "SGD".into()
+    }
+
+    fn p(&self) -> usize {
+        1
+    }
+
+    fn shards(&self, train: &Dataset, _cfg: &TrainConfig) -> Vec<Shard> {
+        // One learner sees the data in its stored order regardless of the
+        // configured multi-learner shard strategy.
+        train.shards(1)
+    }
+
+    fn lockstep_truncates(&self) -> bool {
+        false
+    }
+
+    fn local_step(
+        &mut self,
+        l: &mut Learner,
+        _id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+        step_s: f64,
+        jitter: f64,
+    ) {
+        l.local_step(data, idx, gamma, step_s, jitter);
+        // Sequential SGD keeps no separate accumulator.
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Run plain minibatch SGD on one learner.
 pub(crate) fn run(
     factory: &mut dyn FnMut() -> Model,
     train_set: &Dataset,
     test_set: &Dataset,
     cfg: &TrainConfig,
 ) -> History {
-    let model = factory();
-    let macs = model.macs_per_sample();
-    let mut learner = Learner::new(0, model, cfg);
-    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
-    let shard = &train_set.shards(1)[0];
-    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, 1);
-    let mut history = History::new("SGD", 1, 1);
-    let mut samples = 0u64;
-    for epoch in 1..=cfg.epochs {
-        let batches: Vec<Vec<usize>> = shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
-        let steps = batches.len().max(1);
-        for (step, idx) in batches.iter().enumerate() {
-            let epoch_f = (epoch - 1) as f64 + step as f64 / steps as f64;
-            let gamma_now = cfg.gamma_at(epoch_f);
-            samples += idx.len() as u64;
-            let j = learner.draw_jitter(&cfg.jitter);
-            learner.local_step(train_set, idx, gamma_now, step_s, j);
-            // Sequential SGD keeps no separate accumulator.
-            learner.gs.iter_mut().for_each(|g| *g = 0.0);
-        }
-        learner.clock += cfg.cost.epoch_overhead;
-        let rec = evals.record(
-            &mut learner.model,
-            epoch as f64,
-            learner.compute_s,
-            learner.comm_s,
-            samples,
-        );
-        history.records.push(rec);
-    }
-    history.final_params = Some(learner.model.param_vector());
-    history
+    let mut s = SequentialStrategy::new();
+    simulated::run(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

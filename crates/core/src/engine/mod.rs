@@ -1,0 +1,333 @@
+//! The unified execution engine.
+//!
+//! Every distributed algorithm in this crate is the composition of the
+//! *same* learner loop with a different aggregation rule. This module
+//! factors that observation into code:
+//!
+//! * `AggregationStrategy` — the pluggable aggregation rule. A strategy
+//!   declares its cadence (lockstep or event-driven), its sync interval,
+//!   and implements the handful of hooks where algorithms actually differ:
+//!   what a local step does, what happens at a sync point, what model is
+//!   evaluated, and what the final parameters are.
+//! * [`simulated`] — the virtual-time backend. Runs any strategy over the
+//!   `sasgd-simnet` cost model with deterministic virtual clocks,
+//!   reproducing the pre-engine per-algorithm implementations
+//!   element-for-element (pinned by `tests/engine_golden.rs`).
+//! * [`threaded`] — the real-parallelism backend. Runs strategies over OS
+//!   threads with the `sasgd-comm` collectives and parameter server,
+//!   measuring wall-clock time and actual wire traffic.
+//! * [`Executor`] — the public entry point selecting a [`Backend`].
+//!
+//! The simulated aggregation arithmetic deliberately mirrors the wire
+//! collectives' reduction order (binomial tree, rank-ordered averaging),
+//! so synchronous strategies produce bitwise-identical parameters on both
+//! backends.
+
+use std::collections::VecDeque;
+
+use sasgd_data::{make_shards, Dataset, Shard};
+use sasgd_nn::Model;
+
+use crate::history::{History, StalenessStats, WireStats};
+use crate::trainer::{Learner, TrainConfig};
+
+pub mod simulated;
+pub mod threaded;
+
+pub use threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
+
+/// How a strategy's learners advance relative to each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cadence {
+    /// All learners take a step, then the engine checks the sync interval —
+    /// bulk-synchronous algorithms (SGD, SASGD, hierarchical SASGD,
+    /// one-shot averaging).
+    Lockstep,
+    /// Learners run free and sync one at a time in virtual-completion
+    /// order — asynchronous algorithms (Downpour, EAMSGD).
+    EventDriven,
+}
+
+/// The pluggable aggregation rule the engine composes with its learner
+/// loop. Default implementations encode the most common behaviour
+/// (sequential-SGD-like); each algorithm overrides only where it differs.
+///
+/// Lockstep strategies implement [`sync`](AggregationStrategy::sync) and
+/// friends; event-driven ones implement
+/// [`event_step`](AggregationStrategy::event_step) /
+/// [`event_sync`](AggregationStrategy::event_sync). Strategy state that is
+/// global in the simulated world (the shared parameter vector, a parameter
+/// server, a center variable, error-feedback residuals) lives inside the
+/// strategy.
+#[allow(unused_variables)] // default hook bodies ignore their arguments
+#[allow(clippy::too_many_arguments)] // hooks carry the full step context
+pub(crate) trait AggregationStrategy {
+    /// Display label matching the paper's plot legends.
+    fn label(&self) -> String;
+
+    /// Number of learners.
+    fn p(&self) -> usize;
+
+    /// Execution cadence.
+    fn cadence(&self) -> Cadence {
+        Cadence::Lockstep
+    }
+
+    /// Local steps between sync points (`0` = never sync).
+    fn sync_interval(&self) -> usize {
+        0
+    }
+
+    /// Aggregation interval reported in [`History`].
+    fn history_interval(&self) -> usize {
+        self.sync_interval().max(1)
+    }
+
+    /// Partition the training data across learners.
+    fn shards(&self, train: &Dataset, cfg: &TrainConfig) -> Vec<Shard> {
+        make_shards(train, self.p(), cfg.shard_strategy)
+    }
+
+    /// Whether lockstep epochs truncate to the smallest shard's
+    /// whole-minibatch count (bulk-synchrony needs aligned step counts);
+    /// `false` lets every learner walk its full shard, ragged tails
+    /// included.
+    fn lockstep_truncates(&self) -> bool {
+        true
+    }
+
+    /// One-time initialization once all replicas share `x0`. `factory`
+    /// builds extra replicas if the strategy needs them. Returns the
+    /// per-learner initial communication charge (e.g. the `x0` broadcast).
+    fn setup(&mut self, factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
+        0.0
+    }
+
+    /// Fractional epoch fed to the γ schedule at a lockstep step.
+    fn gamma_epoch(&self, epoch: usize, step: usize, steps: usize) -> f64 {
+        (epoch - 1) as f64 + step as f64 / steps as f64
+    }
+
+    /// One local minibatch (lockstep cadence).
+    fn local_step(
+        &mut self,
+        l: &mut Learner,
+        id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+        step_s: f64,
+        jitter: f64,
+    ) {
+        l.local_step(data, idx, gamma, step_s, jitter);
+    }
+
+    /// Global sync across all learners (lockstep cadence).
+    fn sync(&mut self, learners: &mut [Learner], gamma_now: f32) {}
+
+    /// End-of-epoch bookkeeping, before the epoch record is taken (e.g.
+    /// refresh an averaged evaluation replica, charge a one-shot
+    /// reduction).
+    fn epoch_end(&mut self, learners: &mut [Learner], epoch: usize, cfg: &TrainConfig) {}
+
+    /// The model evaluated for epoch records.
+    fn eval_model<'a>(&'a mut self, learners: &'a mut [Learner]) -> &'a mut Model {
+        &mut learners[0].model
+    }
+
+    /// Staleness summary given the number of sync points executed
+    /// (lockstep; the event engine measures staleness directly).
+    fn staleness(&self, syncs: u64) -> Option<StalenessStats> {
+        None
+    }
+
+    /// Analytic wire-traffic accounting for the simulated backend, given
+    /// the number of sync points executed.
+    fn wire(&self, syncs: u64) -> Option<WireStats> {
+        None
+    }
+
+    /// Final parameters reported in [`History`].
+    fn final_params(&mut self, learners: &[Learner]) -> Vec<f32> {
+        learners[0].model.param_vector()
+    }
+
+    /// One local minibatch (event-driven cadence; virtual time is the
+    /// engine's job, so no step cost or jitter is passed).
+    fn event_step(
+        &mut self,
+        l: &mut Learner,
+        id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+    ) {
+        unimplemented!("strategy has no event-driven local step")
+    }
+
+    /// Sync learner `id` against the shared state (event-driven cadence).
+    fn event_sync(&mut self, l: &mut Learner, id: usize, gamma: f32) {
+        unimplemented!("strategy has no event-driven sync")
+    }
+}
+
+/// Build the strategy implementing `algo`.
+pub(crate) fn strategy_for(algo: &crate::algorithms::Algorithm) -> Box<dyn AggregationStrategy> {
+    use crate::algorithms::*;
+    match *algo {
+        Algorithm::Sequential => Box::new(sequential::SequentialStrategy::new()),
+        Algorithm::Sasgd {
+            p,
+            t,
+            gamma_p,
+            compression,
+        } => Box::new(sasgd::SasgdStrategy::new(p, t, gamma_p, compression)),
+        Algorithm::HierarchicalSasgd {
+            groups,
+            per_group,
+            t_local,
+            t_global,
+            gamma_p,
+        } => Box::new(hierarchical::HierarchicalStrategy::new(
+            groups, per_group, t_local, t_global, gamma_p,
+        )),
+        Algorithm::Downpour { p, t } => Box::new(downpour::DownpourStrategy::new(p, t)),
+        Algorithm::Eamsgd {
+            p,
+            t,
+            moving_rate,
+            momentum,
+        } => Box::new(eamsgd::EamsgdStrategy::new(p, t, moving_rate, momentum)),
+        Algorithm::ModelAverageOnce { p } => Box::new(averaging::AveragingStrategy::new(p)),
+    }
+}
+
+/// Which substrate executes the learner loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Virtual clocks over the `sasgd-simnet` cost model; deterministic
+    /// and bit-reproducible under a seed.
+    Simulated,
+    /// One OS thread per learner over `sasgd-comm` collectives / parameter
+    /// server; wall-clock timing and measured wire traffic.
+    Threaded,
+}
+
+/// Runs any [`Algorithm`](crate::Algorithm) on a chosen [`Backend`]
+/// through the unified engine.
+///
+/// ```
+/// use sasgd_core::{Algorithm, Backend, Executor, TrainConfig};
+/// use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+/// use sasgd_nn::models;
+/// use sasgd_tensor::SeedRng;
+///
+/// let (train, test) = generate(&CifarLikeConfig::tiny(48, 16, 2));
+/// let cfg = TrainConfig::new(1, 8, 0.05, 42);
+/// let factory = || models::tiny_cnn(2, &mut SeedRng::new(5));
+/// let algo = Algorithm::sasgd(2, 1, sasgd_core::GammaP::OverP);
+/// let sim = Executor::new(Backend::Simulated).run(&factory, &train, &test, &algo, &cfg);
+/// let thr = Executor::new(Backend::Threaded).run(&factory, &train, &test, &algo, &cfg);
+/// assert_eq!(sim.final_params, thr.final_params);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    backend: Backend,
+}
+
+impl Executor {
+    /// An executor for `backend`.
+    pub fn new(backend: Backend) -> Self {
+        Executor { backend }
+    }
+
+    /// The backend this executor drives.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Run `algo` on the executor's backend. The factory must produce
+    /// identically initialized models on every call (close over a fixed
+    /// seed); on the threaded backend it is called from learner threads.
+    pub fn run(
+        &self,
+        factory: &(dyn Fn() -> Model + Sync),
+        train_set: &Dataset,
+        test_set: &Dataset,
+        algo: &crate::algorithms::Algorithm,
+        cfg: &TrainConfig,
+    ) -> History {
+        match self.backend {
+            Backend::Simulated => {
+                let mut f = || factory();
+                simulated::run(&mut *strategy_for(algo), &mut f, train_set, test_set, cfg)
+            }
+            Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg),
+        }
+    }
+}
+
+/// A per-learner infinite minibatch stream over that learner's data shard
+/// (reshuffled every pass). Shared by the event-driven engine and the
+/// threaded asynchronous backend.
+pub(crate) struct BatchStream {
+    pending: VecDeque<Vec<usize>>,
+    indices: Vec<usize>,
+    batch: usize,
+    /// Completed shard passes.
+    pub(crate) passes: u64,
+}
+
+impl BatchStream {
+    pub(crate) fn new(indices: Vec<usize>, batch: usize) -> Self {
+        assert!(!indices.is_empty(), "learner shard is empty (p > n?)");
+        BatchStream {
+            pending: VecDeque::new(),
+            indices,
+            batch,
+            passes: 0,
+        }
+    }
+
+    /// Next minibatch of indices, reshuffling when a pass completes.
+    pub(crate) fn next(&mut self, rng: &mut sasgd_tensor::SeedRng) -> Vec<usize> {
+        if self.pending.is_empty() {
+            let mut order = self.indices.clone();
+            rng.shuffle(&mut order);
+            self.pending = order.chunks(self.batch).map(<[usize]>::to_vec).collect();
+            self.passes += 1;
+        }
+        self.pending.pop_front().expect("refilled stream")
+    }
+
+    /// Passes completed (a pass counts once its last batch is consumed).
+    pub(crate) fn completed_passes(&self) -> u64 {
+        if self.pending.is_empty() {
+            self.passes
+        } else {
+            self.passes.saturating_sub(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn batch_stream_passes_count_on_consumption() {
+        let mut rng = SeedRng::new(1);
+        let mut s = BatchStream::new((0..10).collect(), 4);
+        assert_eq!(s.completed_passes(), 0);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.extend(s.next(&mut rng)); // 4 + 4 + 2 consumes one pass
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.completed_passes(), 1);
+        let _ = s.next(&mut rng);
+        assert_eq!(s.completed_passes(), 1, "mid-pass");
+    }
+}

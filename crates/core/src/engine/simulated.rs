@@ -1,0 +1,259 @@
+//! The simulated backend: one learner loop over virtual time.
+//!
+//! Two loop shapes cover every strategy:
+//!
+//! * **lockstep** — epochs of aligned steps; after each collective step
+//!   the engine counts toward the strategy's sync interval and hands the
+//!   whole learner cohort to `AggregationStrategy::sync`. Barrier waits
+//!   and aggregation costs are charged by the strategy through the
+//!   learners' virtual clocks.
+//! * **event-driven** — each learner's next `T`-minibatch block is an
+//!   event ordered by virtual completion time; at each completion the
+//!   engine applies the strategy's local math and single-learner sync, so
+//!   gradient staleness emerges from the same speed variation a real
+//!   cluster has while staying bit-reproducible under a seed.
+//!
+//! Per-learner RNG streams make the two interleavings composable: a
+//! learner's batch order and dropout draws depend only on its own stream,
+//! never on how learners interleave.
+
+use sasgd_data::Dataset;
+use sasgd_nn::Model;
+use sasgd_simnet::{EventQueue, VirtualTime};
+
+use super::{AggregationStrategy, BatchStream, Cadence};
+use crate::history::{History, StalenessStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Run `strategy` on the simulated backend.
+pub(crate) fn run(
+    strategy: &mut dyn AggregationStrategy,
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    match strategy.cadence() {
+        Cadence::Lockstep => run_lockstep(strategy, factory, train_set, test_set, cfg),
+        Cadence::EventDriven => run_event_driven(strategy, factory, train_set, test_set, cfg),
+    }
+}
+
+fn run_lockstep(
+    s: &mut dyn AggregationStrategy,
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    let p = s.p();
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let macs = learners[0].model.macs_per_sample();
+    let x0 = learners[0].model.param_vector();
+    let init_comm = s.setup(factory, &x0, cfg);
+    for l in &mut learners {
+        l.model.write_params(&x0);
+        l.charge_comm(init_comm);
+    }
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let shards = s.shards(train_set, cfg);
+    let steps_cap = if s.lockstep_truncates() {
+        // Bulk-synchrony needs aligned step counts: truncate every
+        // learner's epoch to the smallest shard's whole-minibatch count.
+        let cap = shards
+            .iter()
+            .map(|sh| sh.len() / cfg.batch_size)
+            .min()
+            .expect("at least one shard");
+        assert!(
+            cap > 0,
+            "shards too small: {} samples over {p} learners at batch {}",
+            train_set.len(),
+            cfg.batch_size
+        );
+        Some(cap)
+    } else {
+        None
+    };
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let sync_every = s.sync_interval();
+
+    let mut history = History::new(s.label(), p, s.history_interval());
+    let mut samples = 0u64;
+    let mut since_sync = 0usize;
+    let mut syncs = 0u64;
+
+    for epoch in 1..=cfg.epochs {
+        let iters: Vec<Vec<Vec<usize>>> = learners
+            .iter_mut()
+            .zip(&shards)
+            .map(|(l, sh)| {
+                let it = sh.epoch_iter(cfg.batch_size, &mut l.rng);
+                match steps_cap {
+                    Some(cap) => it.take(cap).collect(),
+                    None => it.collect(),
+                }
+            })
+            .collect();
+        let steps = iters.iter().map(Vec::len).max().unwrap_or(0);
+        let gamma_steps = iters[0].len().max(1);
+        for step in 0..steps {
+            let epoch_f = s.gamma_epoch(epoch, step, gamma_steps);
+            let gamma_now = cfg.gamma_at(epoch_f);
+            for (id, (l, batches)) in learners.iter_mut().zip(&iters).enumerate() {
+                // Ragged tails only exist for non-truncating strategies,
+                // whose learners are independent between sync points.
+                let Some(idx) = batches.get(step) else {
+                    continue;
+                };
+                samples += idx.len() as u64;
+                let j = l.draw_jitter(&cfg.jitter);
+                s.local_step(l, id, train_set, idx, gamma_now, step_s, j);
+            }
+            if sync_every > 0 {
+                since_sync += 1;
+                if since_sync == sync_every {
+                    s.sync(&mut learners, gamma_now);
+                    syncs += 1;
+                    since_sync = 0;
+                }
+            }
+        }
+        for l in &mut learners {
+            l.clock += cfg.cost.epoch_overhead;
+        }
+        s.epoch_end(&mut learners, epoch, cfg);
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(
+            s.eval_model(&mut learners),
+            epoch as f64,
+            comp,
+            comm,
+            samples,
+        );
+        history.records.push(rec);
+    }
+    history.staleness = s.staleness(syncs);
+    history.wire = s.wire(syncs);
+    history.final_params = Some(s.final_params(&learners));
+    history
+}
+
+/// One learner's pending compute block.
+struct Block {
+    learner: usize,
+    start: f64,
+}
+
+fn run_event_driven(
+    s: &mut dyn AggregationStrategy,
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    let p = s.p();
+    let t = s.sync_interval();
+    assert!(t >= 1, "event-driven strategies must sync");
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let m = learners[0].model.param_len();
+    let macs = learners[0].model.macs_per_sample();
+    let x0 = learners[0].model.param_vector();
+    let init_comm = s.setup(factory, &x0, cfg);
+    for l in &mut learners {
+        l.model.write_params(&x0);
+        l.charge_comm(init_comm);
+    }
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let n = train_set.len();
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let comm_round = cfg.cost.ps_roundtrip(m, p).seconds;
+    let target_samples = (cfg.epochs as u64) * (n as u64);
+
+    let mut streams: Vec<BatchStream> = s
+        .shards(train_set, cfg)
+        .into_iter()
+        .map(|sh| BatchStream::new(sh.indices().to_vec(), cfg.batch_size))
+        .collect();
+    let mut queue: EventQueue<Block> = EventQueue::new();
+    for (id, l) in learners.iter_mut().enumerate() {
+        let dur = block_duration(l, t, step_s, cfg);
+        queue.push(
+            VirtualTime(dur),
+            Block {
+                learner: id,
+                start: 0.0,
+            },
+        );
+    }
+
+    let mut history = History::new(s.label(), p, s.history_interval());
+    let mut samples = 0u64;
+    let mut recorded_passes = 0u64;
+    // Staleness bookkeeping: how many shared-state updates landed between
+    // a learner's pull and its next push.
+    let mut shared_version = 0u64;
+    let mut pulled_version = vec![0u64; p];
+    let mut staleness_obs: Vec<u64> = Vec::new();
+
+    while let Some((tv, block)) = queue.pop() {
+        let id = block.learner;
+        // The block's math: T local minibatches against the state pulled
+        // at the previous sync.
+        let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
+        for _ in 0..t {
+            let idx = {
+                let l = &mut learners[id];
+                streams[id].next(&mut l.rng)
+            };
+            samples += idx.len() as u64;
+            s.event_step(&mut learners[id], id, train_set, &idx, gamma_now);
+        }
+        {
+            let l = &mut learners[id];
+            l.compute_s += tv.seconds() - block.start;
+            l.clock = tv.seconds();
+            staleness_obs.push(shared_version - pulled_version[id]);
+            shared_version += 1;
+            s.event_sync(l, id, gamma_now);
+            pulled_version[id] = shared_version;
+            l.charge_comm(comm_round);
+        }
+        // Record accuracy when learner 0 finishes a pass over its shard.
+        if id == 0 && streams[0].completed_passes() > recorded_passes {
+            recorded_passes = streams[0].completed_passes();
+            let epoch = samples as f64 / n as f64;
+            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+            let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+            history.records.push(rec);
+        }
+        if samples < target_samples {
+            let start = learners[id].clock;
+            let dur = block_duration(&mut learners[id], t, step_s, cfg);
+            queue.push(VirtualTime(start + dur), Block { learner: id, start });
+        }
+    }
+    // Guarantee a final record even if learner 0 did not end on a pass
+    // boundary.
+    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
+        let epoch = samples as f64 / n as f64;
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(&mut learners[0].model, epoch, comp, comm, samples);
+        history.records.push(rec);
+    }
+    history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history.final_params = Some(s.final_params(&learners));
+    history
+}
+
+/// Duration of the next `t`-minibatch compute block (jitter drawn now so
+/// completion order is known to the event queue up front).
+pub(crate) fn block_duration(l: &mut Learner, t: usize, step_s: f64, cfg: &TrainConfig) -> f64 {
+    let mut dur = 0.0;
+    for _ in 0..t {
+        dur += step_s * l.speed * l.draw_jitter(&cfg.jitter);
+    }
+    dur
+}

@@ -1,0 +1,612 @@
+//! The threaded backend: every algorithm on real OS threads.
+//!
+//! One thread per learner over the `sasgd-comm` substrate — collectives
+//! for the synchronous strategies, a real [`PsServer`] for the
+//! asynchronous ones. Batch orders, dropout streams and aggregation
+//! arithmetic mirror the simulated backend (the simulated aggregation sums
+//! in the same binomial-tree order the collective uses), so the
+//! synchronous strategies produce *identical parameters* at any `p`; the
+//! asynchronous strategies match at `p = 1` and are intentionally
+//! schedule-dependent beyond that (that is the point of running them on a
+//! real substrate).
+//!
+//! Unlike the simulated backend's analytic wire accounting, [`History::wire`]
+//! here is filled from the substrate's traffic counters — with
+//! [`Compression::TopK`] the gradients travel in the sparse wire format
+//! ([`sasgd_comm::sparse`]), so the counters record genuinely fewer
+//! elements, not a model of fewer elements.
+
+use std::time::Instant;
+
+use sasgd_comm::collectives::{allreduce_tree, broadcast};
+use sasgd_comm::ps::{PsConfig, PsServer};
+use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
+use sasgd_comm::world::CommWorld;
+use sasgd_data::{make_shards, Dataset};
+use sasgd_nn::Model;
+
+use super::BatchStream;
+use crate::algorithms::{Algorithm, GammaP};
+use crate::compress::Compression;
+use crate::history::{History, WireStats};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Run `algo` on the threaded backend.
+pub(crate) fn run(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &Algorithm,
+    cfg: &TrainConfig,
+) -> History {
+    match *algo {
+        Algorithm::Sequential => run_threaded_sequential(factory, train_set, test_set, cfg),
+        Algorithm::Sasgd {
+            p,
+            t,
+            gamma_p,
+            compression,
+        } => run_sasgd(
+            factory,
+            train_set,
+            test_set,
+            cfg,
+            p,
+            t,
+            gamma_p,
+            compression,
+        ),
+        Algorithm::HierarchicalSasgd {
+            groups,
+            per_group,
+            t_local,
+            t_global,
+            gamma_p,
+        } => crate::threaded::run_threaded_hierarchical_sasgd(
+            factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
+        ),
+        Algorithm::Downpour { p, t } => {
+            crate::threaded::run_threaded_downpour(factory, train_set, test_set, cfg, p, t, p)
+        }
+        Algorithm::Eamsgd {
+            p,
+            t,
+            moving_rate,
+            momentum,
+        } => run_threaded_eamsgd(
+            factory,
+            train_set,
+            test_set,
+            cfg,
+            p,
+            t,
+            moving_rate,
+            momentum,
+        ),
+        Algorithm::ModelAverageOnce { p } => {
+            run_threaded_averaging(factory, train_set, test_set, cfg, p)
+        }
+    }
+}
+
+/// SASGD (optionally compressed) with one OS thread per learner.
+/// `TopK` payloads travel in the sparse wire format; `Uniform8Bit`
+/// reconstructions travel dense (quantized transport would need an integer
+/// message type, which the cost model prices but the substrate does not
+/// carry).
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub(crate) fn run_sasgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    compression: Option<Compression>,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    // Split intra-op workers across the p learner threads (no-op unless
+    // the `parallel` feature is on and nothing was configured explicitly).
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(steps_per_epoch > 0, "shards too small for batch size");
+    let label = match compression {
+        Some(_) => format!("SASGD-compressed-threaded(p={p},T={t})"),
+        None => format!("SASGD-threaded(p={p},T={t})"),
+    };
+
+    let mut world = CommWorld::new(p);
+    let traffic = world.traffic();
+    let comms = world.communicators();
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
+            let label = label.clone();
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                let mut learner = Learner::new(rank, factory(), cfg);
+                let mut x = learner.model.param_vector();
+                let m = x.len();
+                // Broadcast learner 0's parameters (Algorithm 1).
+                broadcast(&mut comm, 0, &mut x);
+                learner.model.write_params(&x);
+                let mut residual = vec![0.0f32; if compression.is_some() { m } else { 0 }];
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(label, p, t);
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut samples = 0u64;
+                let mut since_agg = 0usize;
+                for epoch in 1..=cfg.epochs {
+                    let batches: Vec<Vec<usize>> = shard
+                        .epoch_iter(cfg.batch_size, &mut learner.rng)
+                        .take(steps_per_epoch)
+                        .collect();
+                    for (step, idx) in batches.iter().enumerate() {
+                        // Same per-step schedule formula as the simulated
+                        // backend, so trajectories stay bitwise equal.
+                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+                        let gamma_now = cfg.gamma_at(epoch_f);
+                        samples += idx.len() as u64;
+                        let t0 = Instant::now();
+                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                        compute_s += t0.elapsed().as_secs_f64();
+                        since_agg += 1;
+                        if since_agg == t {
+                            let gp = gamma_p.resolve(gamma_now, p);
+                            let t1 = Instant::now();
+                            let total: Vec<f32> = match compression {
+                                None => {
+                                    allreduce_tree(&mut comm, &mut learner.gs);
+                                    learner.gs.clone()
+                                }
+                                Some(comp) => {
+                                    // Error feedback: compress gs + carried
+                                    // residual, keep what was dropped.
+                                    let input: Vec<f32> = learner
+                                        .gs
+                                        .iter()
+                                        .zip(&residual)
+                                        .map(|(a, b)| a + b)
+                                        .collect();
+                                    let c = comp.compress(&input);
+                                    residual = c.residual;
+                                    match comp {
+                                        Compression::TopK { .. } => {
+                                            let mut sv = SparseVec::from_dense(&c.dense);
+                                            sparse_allreduce_tree(&mut comm, &mut sv);
+                                            sv.to_dense()
+                                        }
+                                        Compression::Uniform8Bit => {
+                                            let mut buf = c.dense;
+                                            allreduce_tree(&mut comm, &mut buf);
+                                            buf
+                                        }
+                                    }
+                                }
+                            };
+                            for (xi, &g) in x.iter_mut().zip(&total) {
+                                *xi -= gp * g;
+                            }
+                            learner.model.write_params(&x);
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                            comm_s += t1.elapsed().as_secs_f64();
+                            since_agg = 0;
+                        }
+                    }
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            epoch as f64,
+                            compute_s,
+                            comm_s,
+                            samples * p as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                history.final_params = Some(learner.model.param_vector());
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    let mut history = rank0_history.expect("rank 0 history");
+    history.wire = Some(WireStats {
+        elements: traffic.elements_sent(),
+        messages: traffic.messages_sent(),
+    });
+    history
+}
+
+/// Sequential SGD "on the threaded backend": one learner, no communication
+/// — the degenerate corner that anchors both backends to the same
+/// single-learner trajectory.
+pub fn run_threaded_sequential(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    let mut learner = Learner::new(0, factory(), cfg);
+    let shard = train_set.shards(1).pop().expect("one shard");
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let mut history = History::new("SGD-threaded", 1, 1);
+    let mut compute_s = 0.0f64;
+    let mut samples = 0u64;
+    for epoch in 1..=cfg.epochs {
+        let batches: Vec<Vec<usize>> = shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
+        let steps = batches.len().max(1);
+        for (step, idx) in batches.iter().enumerate() {
+            let epoch_f = (epoch - 1) as f64 + step as f64 / steps as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            samples += idx.len() as u64;
+            let t0 = Instant::now();
+            learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+            compute_s += t0.elapsed().as_secs_f64();
+            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+        }
+        let rec = evals.record(&mut learner.model, epoch as f64, compute_s, 0.0, samples);
+        history.records.push(rec);
+    }
+    history.wire = Some(WireStats::default());
+    history.final_params = Some(learner.model.param_vector());
+    history
+}
+
+/// EAMSGD with one OS thread per learner against a real parameter server
+/// holding the center variable. As with threaded Downpour, the
+/// interleaving beyond `p = 1` is decided by the OS scheduler — genuinely
+/// asynchronous, not reproducible across executions.
+#[allow(clippy::too_many_arguments)] // mirrors the Eamsgd variant's fields
+pub fn run_threaded_eamsgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    moving_rate: Option<f32>,
+    momentum: f32,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+    let alpha = moving_rate.unwrap_or(0.9 / p as f32);
+    assert!(alpha > 0.0 && alpha <= 1.0, "moving rate out of range");
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let probe = factory();
+    let m = probe.param_len();
+    let ps = PsServer::spawn(probe.param_vector(), PsConfig { shards: 1 });
+    let n = train_set.len();
+    let target_per_learner = (cfg.epochs * n).div_ceil(p);
+    let data_shards = make_shards(train_set, p, cfg.shard_strategy);
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, data_shard) in data_shards.iter().enumerate() {
+            let client = ps.client();
+            let handle = scope.spawn(move || {
+                let mut learner = Learner::new(rank, factory(), cfg);
+                learner.model.write_params(&client.pull());
+                let mut velocity = vec![0.0f32; m];
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(format!("EAMSGD-threaded(p={p},T={t})"), p, t);
+                let mut stream = BatchStream::new(data_shard.indices().to_vec(), cfg.batch_size);
+                let mut samples = 0usize;
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut recorded = 0u64;
+                while samples < target_per_learner {
+                    let gamma_now = cfg.gamma_at(samples as f64 * p as f64 / n as f64);
+                    let t0 = Instant::now();
+                    for _ in 0..t {
+                        let idx = stream.next(&mut learner.rng);
+                        samples += idx.len();
+                        // One momentum-SGD step on the local replica — same
+                        // arithmetic as the simulated strategy.
+                        let (g, _) = learner.compute_gradient(train_set, &idx);
+                        let mut params = learner.model.param_vector();
+                        for ((vi, pi), &gi) in velocity.iter_mut().zip(params.iter_mut()).zip(&g) {
+                            *vi = momentum * *vi - gamma_now * gi;
+                            *pi += *vi;
+                        }
+                        learner.model.write_params(&params);
+                    }
+                    compute_s += t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    // Elastic exchange: pull x̃, retreat toward it, push the
+                    // elastic difference (the server adds it to x̃).
+                    let center = client.pull();
+                    let mut params = learner.model.param_vector();
+                    let mut diff = vec![0.0f32; m];
+                    for ((pi, &ci), di) in params.iter_mut().zip(&center).zip(diff.iter_mut()) {
+                        *di = alpha * (*pi - ci);
+                        *pi -= *di;
+                    }
+                    learner.model.write_params(&params);
+                    client.add(&diff);
+                    comm_s += t1.elapsed().as_secs_f64();
+                    if rank == 0 && stream.completed_passes() > recorded {
+                        recorded = stream.completed_passes();
+                        if let Some(ev) = &evals {
+                            let rec = ev.record(
+                                &mut learner.model,
+                                recorded as f64,
+                                compute_s,
+                                comm_s,
+                                (samples * p) as u64,
+                            );
+                            history.records.push(rec);
+                        }
+                    }
+                }
+                if rank == 0 && history.records.is_empty() {
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            samples as f64 * p as f64 / n as f64,
+                            compute_s,
+                            comm_s,
+                            (samples * p) as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                history.final_params = Some(learner.model.param_vector());
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    let mut history = rank0_history.expect("rank 0 history");
+    let t = ps.traffic();
+    let elements = t.pushed.load(std::sync::atomic::Ordering::Relaxed)
+        + t.pulled.load(std::sync::atomic::Ordering::Relaxed);
+    history.wire = Some(WireStats {
+        elements,
+        messages: elements / m as u64,
+    });
+    ps.shutdown();
+    history
+}
+
+/// One-shot model averaging with one OS thread per learner: independent
+/// training, parameters gathered to rank 0 (in rank order, matching the
+/// simulated strategy's accumulation order) after each epoch to evaluate
+/// the running average.
+pub fn run_threaded_averaging(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+) -> History {
+    assert!(p >= 1);
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
+    let mut world = CommWorld::new(p);
+    let traffic = world.traffic();
+    let comms = world.communicators();
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                let mut learner = Learner::new(rank, factory(), cfg);
+                // Evaluation replica for the running average (rank 0 only;
+                // factory() replicas start identical, so no broadcast —
+                // mirroring the simulated strategy's zero init charge).
+                let mut avg_model = if rank == 0 { Some(factory()) } else { None };
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(format!("ModelAvg-threaded(p={p})"), p, 1);
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut samples = 0u64;
+                for epoch in 1..=cfg.epochs {
+                    // Independent learners use the epoch-start rate for the
+                    // whole epoch, like the simulated strategy.
+                    let gamma_now = cfg.gamma_at((epoch - 1) as f64);
+                    let batches: Vec<Vec<usize>> =
+                        shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
+                    let t0 = Instant::now();
+                    for idx in &batches {
+                        samples += idx.len() as u64;
+                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                        learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                    }
+                    compute_s += t0.elapsed().as_secs_f64();
+                    // Gather parameters to rank 0 in rank order.
+                    let op = comm.next_op();
+                    let gather_tag = (op << 4) | 2;
+                    let t1 = Instant::now();
+                    if rank == 0 {
+                        let mut avg = vec![0.0f32; learner.model.param_len()];
+                        let own = learner.model.param_vector();
+                        for (a, &b) in avg.iter_mut().zip(&own) {
+                            *a += b / p as f32;
+                        }
+                        for r in 1..p {
+                            let v = comm.recv(r, gather_tag);
+                            for (a, &b) in avg.iter_mut().zip(&v) {
+                                *a += b / p as f32;
+                            }
+                        }
+                        let am = avg_model.as_mut().expect("rank 0 replica");
+                        am.write_params(&avg);
+                        comm_s += t1.elapsed().as_secs_f64();
+                        if let Some(ev) = &evals {
+                            let rec =
+                                ev.record(am, epoch as f64, compute_s, comm_s, samples * p as u64);
+                            history.records.push(rec);
+                        }
+                    } else {
+                        comm.send(0, gather_tag, learner.model.param_vector());
+                        comm_s += t1.elapsed().as_secs_f64();
+                    }
+                }
+                if rank == 0 {
+                    history.final_params =
+                        Some(avg_model.as_ref().expect("rank 0 replica").param_vector());
+                }
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (rank, history) = h.join().expect("learner thread");
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    let mut history = rank0_history.expect("rank 0 history");
+    history.wire = Some(WireStats {
+        elements: traffic.elements_sent(),
+        messages: traffic.messages_sent(),
+    });
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sasgd_data::cifar_like::{generate, CifarLikeConfig};
+    use sasgd_nn::models;
+    use sasgd_simnet::JitterModel;
+    use sasgd_tensor::SeedRng;
+
+    #[test]
+    fn threaded_sequential_matches_simulated_bitwise() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(52, 16, 2));
+        let mut cfg = TrainConfig::new(3, 8, 0.05, 11);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(2, &mut SeedRng::new(5));
+        let th = run_threaded_sequential(&factory, &train, &test, &cfg);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(5));
+        let sim = crate::algorithms::sequential::run(&mut f, &train, &test, &cfg);
+        assert_eq!(th.final_params, sim.final_params);
+    }
+
+    #[test]
+    fn threaded_averaging_matches_simulated_bitwise() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(64, 16, 2));
+        let mut cfg = TrainConfig::new(2, 8, 0.03, 7);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let th = run_threaded_averaging(&factory, &train, &test, &cfg, 3);
+        let mut f = || models::tiny_cnn(2, &mut SeedRng::new(3));
+        let sim = crate::algorithms::averaging::run(&mut f, &train, &test, &cfg, 3);
+        assert_eq!(th.final_params, sim.final_params);
+        assert!(
+            th.wire.expect("wire").elements > 0,
+            "gather traffic counted"
+        );
+    }
+
+    #[test]
+    fn threaded_eamsgd_learns() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(100, 40, 3));
+        let mut cfg = TrainConfig::new(6, 8, 0.02, 42);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = run_threaded_eamsgd(&factory, &train, &test, &cfg, 2, 2, None, 0.9);
+        assert!(
+            h.final_test_acc() > 0.45,
+            "async threads + real center should learn: {:.2}",
+            h.final_test_acc()
+        );
+        assert!(h.wire.expect("wire").elements > 0);
+    }
+
+    #[test]
+    fn compressed_sasgd_matches_simulated_bitwise() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+        let mut cfg = TrainConfig::new(2, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let comp = Compression::TopK { ratio: 0.25 };
+        let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let th = run_sasgd(
+            &factory,
+            &train,
+            &test,
+            &cfg,
+            4,
+            2,
+            GammaP::OverP,
+            Some(comp),
+        );
+        let mut f = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let sim = crate::algorithms::sasgd::run(
+            &mut f,
+            &train,
+            &test,
+            &cfg,
+            4,
+            2,
+            GammaP::OverP,
+            Some(comp),
+        );
+        assert_eq!(th.final_params, sim.final_params);
+    }
+
+    #[test]
+    fn topk_moves_fewer_wire_elements_than_dense() {
+        let (train, test) = generate(&CifarLikeConfig::tiny(96, 24, 2));
+        let mut cfg = TrainConfig::new(1, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let factory = || models::tiny_cnn(2, &mut SeedRng::new(7));
+        let dense = run_sasgd(&factory, &train, &test, &cfg, 2, 2, GammaP::OverP, None);
+        let sparse = run_sasgd(
+            &factory,
+            &train,
+            &test,
+            &cfg,
+            2,
+            2,
+            GammaP::OverP,
+            Some(Compression::TopK { ratio: 0.1 }),
+        );
+        let (d, s) = (dense.wire.expect("wire"), sparse.wire.expect("wire"));
+        assert!(
+            s.elements < d.elements / 2,
+            "TopK-10% wire {} vs dense {}",
+            s.elements,
+            d.elements
+        );
+    }
+}

@@ -47,6 +47,22 @@ pub struct History {
     /// tests compare backends parameter-for-parameter, not just by
     /// accuracy trajectories.
     pub final_params: Option<Vec<f32>>,
+    /// Wire traffic of the run, where the backend can account for it: the
+    /// threaded backend reports the comm-world's measured counters, the
+    /// simulated backend the analytic element counts its cost model
+    /// charges. `None` when the algorithm has no accounted channel.
+    pub wire: Option<WireStats>,
+}
+
+/// Elements and messages moved over the wire during a run, summed over all
+/// ranks. The unit is `f32` elements (the wire format of every payload,
+/// sparse ones included), so compressed and dense runs compare directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireStats {
+    /// Total `f32` elements sent.
+    pub elements: u64,
+    /// Total point-to-point messages sent.
+    pub messages: u64,
 }
 
 /// Summary of observed gradient staleness: how many global updates landed
@@ -89,6 +105,7 @@ impl History {
             t_interval,
             staleness: None,
             final_params: None,
+            wire: None,
         }
     }
 

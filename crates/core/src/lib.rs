@@ -25,6 +25,7 @@
 
 pub mod algorithms;
 pub mod compress;
+pub mod engine;
 pub mod epoch_time;
 pub mod history;
 pub mod report;
@@ -36,7 +37,9 @@ pub mod trainer;
 
 pub use algorithms::{Algorithm, GammaP};
 pub use compress::Compression;
-pub use history::{EpochRecord, History, StalenessStats};
+pub use engine::threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
+pub use engine::{Backend, Executor};
+pub use history::{EpochRecord, History, StalenessStats, WireStats};
 pub use sasgd_data::ShardStrategy;
 /// Intra-op thread-pool control for the compute kernels (re-exported from
 /// `sasgd-tensor` so embedders size the pool without a direct tensor dep).

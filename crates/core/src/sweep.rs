@@ -135,6 +135,7 @@ mod tests {
                 p,
                 t: 2,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             cfg.clone(),
         );
@@ -170,6 +171,7 @@ mod tests {
                 p: 2,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             cfg,
         );
@@ -191,6 +193,7 @@ mod tests {
                 p,
                 t: 1,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             cfg,
         );

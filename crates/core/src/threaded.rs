@@ -12,17 +12,18 @@ use std::time::Instant;
 
 use sasgd_comm::collectives::{allreduce_tree, broadcast};
 use sasgd_comm::ps::{PsConfig, PsServer};
-use sasgd_comm::world::CommWorld;
 use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
-use crate::algorithms::downpour::BatchStream;
 use crate::algorithms::GammaP;
+use crate::engine::BatchStream;
 use crate::history::History;
 use crate::trainer::{EvalSets, Learner, TrainConfig};
 
 /// Run SASGD with one OS thread per learner. `factory` is called once per
-/// thread and must produce identically initialized models.
+/// thread and must produce identically initialized models. Delegates to
+/// the unified engine's threaded backend (kept as a stable entry point for
+/// the benches and equivalence tests).
 pub fn run_threaded_sasgd(
     factory: &(dyn Fn() -> Model + Sync),
     train_set: &Dataset,
@@ -32,94 +33,7 @@ pub fn run_threaded_sasgd(
     t: usize,
     gamma_p: GammaP,
 ) -> History {
-    assert!(p >= 1 && t >= 1);
-    // Split intra-op workers across the p learner threads (no-op unless
-    // the `parallel` feature is on and nothing was configured explicitly).
-    sasgd_tensor::parallel::auto_configure_for_learners(p);
-    let shards = make_shards(train_set, p, cfg.shard_strategy);
-    let steps_per_epoch = shards
-        .iter()
-        .map(|s| s.len() / cfg.batch_size)
-        .min()
-        .expect("at least one shard");
-    assert!(steps_per_epoch > 0, "shards too small for batch size");
-
-    let mut world = CommWorld::new(p);
-    let comms = world.communicators();
-    let mut rank0_history: Option<History> = None;
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
-            let handle = scope.spawn(move || {
-                let rank = comm.rank();
-                let mut learner = Learner::new(rank, factory(), cfg);
-                let mut x = learner.model.param_vector();
-                // Broadcast learner 0's parameters (Algorithm 1).
-                broadcast(&mut comm, 0, &mut x);
-                learner.model.write_params(&x);
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
-                };
-                let mut history = History::new(format!("SASGD-threaded(p={p},T={t})"), p, t);
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                let mut samples = 0u64;
-                let mut since_agg = 0usize;
-                for epoch in 1..=cfg.epochs {
-                    let batches: Vec<Vec<usize>> = shard
-                        .epoch_iter(cfg.batch_size, &mut learner.rng)
-                        .take(steps_per_epoch)
-                        .collect();
-                    for (step, idx) in batches.iter().enumerate() {
-                        // Same per-step schedule formula as the simulated
-                        // backend, so trajectories stay bitwise equal.
-                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-                        let gamma_now = cfg.gamma_at(epoch_f);
-                        samples += idx.len() as u64;
-                        let t0 = Instant::now();
-                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
-                        compute_s += t0.elapsed().as_secs_f64();
-                        since_agg += 1;
-                        if since_agg == t {
-                            let gp = gamma_p.resolve(gamma_now, p);
-                            let t1 = Instant::now();
-                            allreduce_tree(&mut comm, &mut learner.gs);
-                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
-                                *xi -= gp * g;
-                            }
-                            learner.model.write_params(&x);
-                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                            comm_s += t1.elapsed().as_secs_f64();
-                            since_agg = 0;
-                        }
-                    }
-                    if let Some(ev) = &evals {
-                        let rec = ev.record(
-                            &mut learner.model,
-                            epoch as f64,
-                            compute_s,
-                            comm_s,
-                            samples * p as u64,
-                        );
-                        history.records.push(rec);
-                    }
-                }
-                history.final_params = Some(learner.model.param_vector());
-                (rank, history)
-            });
-            handles.push(handle);
-        }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
-            if rank == 0 {
-                rank0_history = Some(history);
-            }
-        }
-    });
-    rank0_history.expect("rank 0 history")
+    crate::engine::threaded::run_sasgd(factory, train_set, test_set, cfg, p, t, gamma_p, None)
 }
 
 /// Run Downpour with one OS thread per learner against a real sharded
@@ -209,6 +123,7 @@ pub fn run_threaded_downpour(
                         history.records.push(rec);
                     }
                 }
+                history.final_params = Some(learner.model.param_vector());
                 (rank, history)
             });
             handles.push(handle);
@@ -220,13 +135,23 @@ pub fn run_threaded_downpour(
             }
         }
     });
+    let mut history = rank0_history.expect("rank 0 history");
+    let m = probe.param_len();
+    let traffic = ps.traffic();
+    let elements = traffic.pushed.load(std::sync::atomic::Ordering::Relaxed)
+        + traffic.pulled.load(std::sync::atomic::Ordering::Relaxed);
+    history.wire = Some(crate::history::WireStats {
+        elements,
+        messages: elements / m as u64,
+    });
     ps.shutdown();
-    rank0_history.expect("rank 0 history")
+    history
 }
 
 /// Run hierarchical SASGD over real OS threads using the grouped
 /// communicators of `sasgd-comm`: every `t_local` minibatches each group
-/// aggregates through [`hierarchical_allreduce`]-style local collectives
+/// aggregates through [`sasgd_comm::hierarchy::hierarchical_allreduce`]-style
+/// local collectives
 /// and applies the group step; every `t_global` local rounds the group
 /// parameter copies are averaged through the leader communicator. The
 /// real-substrate counterpart of `Algorithm::HierarchicalSasgd`.
@@ -330,6 +255,7 @@ pub fn run_threaded_hierarchical_sasgd(
                         history.records.push(rec);
                     }
                 }
+                history.final_params = Some(learner.model.param_vector());
                 (rank, history)
             });
             handles.push(handle);

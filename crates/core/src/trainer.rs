@@ -86,10 +86,7 @@ pub fn train(
     assert!(!train_set.is_empty(), "empty training set");
     match *algo {
         Algorithm::Sequential => algorithms::sequential::run(factory, train_set, test_set, cfg),
-        Algorithm::Sasgd { p, t, gamma_p } => {
-            algorithms::sasgd::run(factory, train_set, test_set, cfg, p, t, gamma_p, None)
-        }
-        Algorithm::SasgdCompressed {
+        Algorithm::Sasgd {
             p,
             t,
             gamma_p,
@@ -102,7 +99,7 @@ pub fn train(
             p,
             t,
             gamma_p,
-            Some(compression),
+            compression,
         ),
         Algorithm::HierarchicalSasgd {
             groups,

@@ -34,6 +34,7 @@ fn main() {
                 p,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
         ),
         ("Downpour", Algorithm::Downpour { p, t }),

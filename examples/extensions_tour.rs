@@ -35,18 +35,19 @@ fn main() {
                 p: 8,
                 t: 5,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
-            Algorithm::SasgdCompressed {
+            Algorithm::Sasgd {
                 p: 8,
                 t: 5,
                 gamma_p: GammaP::OverP,
-                compression: Compression::TopK { ratio: 0.1 },
+                compression: Some(Compression::TopK { ratio: 0.1 }),
             },
-            Algorithm::SasgdCompressed {
+            Algorithm::Sasgd {
                 p: 8,
                 t: 5,
                 gamma_p: GammaP::OverP,
-                compression: Compression::Uniform8Bit,
+                compression: Some(Compression::Uniform8Bit),
             },
             Algorithm::HierarchicalSasgd {
                 groups: 4,
@@ -76,6 +77,7 @@ fn main() {
             p: 8,
             t: 5,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         Algorithm::Downpour { p: 8, t: 5 },
     ] {

@@ -45,6 +45,7 @@ fn main() {
             p,
             t,
             gamma_p: GammaP::OverP,
+            compression: None,
         };
         let h = train(&mut factory, &train_set, &test_set, &algo, &cfg);
         // Simulated seconds until the target accuracy is first reached.

@@ -44,6 +44,7 @@ fn main() {
                     p,
                     t,
                     gamma_p: GammaP::OverP,
+                    compression: None,
                 },
             ),
             ("Downpour", Algorithm::Downpour { p, t }),

@@ -28,11 +28,7 @@ fn main() {
 
     // 3. SASGD (Algorithm 1 of the paper): 4 learners, allreduce every
     //    T = 8 minibatches, global rate γp = γ/4.
-    let algo = Algorithm::Sasgd {
-        p: 4,
-        t: 8,
-        gamma_p: GammaP::OverP,
-    };
+    let algo = Algorithm::sasgd(4, 8, GammaP::OverP);
     let cfg = TrainConfig::new(15, 8, 0.05, 42);
     let history = train(&mut factory, &train_set, &test_set, &algo, &cfg);
 

@@ -28,6 +28,7 @@ fn every_algorithm_learns_at_small_p() {
             p: 2,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         Algorithm::Downpour { p: 2, t: 1 },
         Algorithm::Eamsgd {
@@ -75,6 +76,7 @@ fn sasgd_tolerates_more_learners_than_downpour() {
             p,
             t,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );
@@ -111,6 +113,7 @@ fn interval_increases_sample_complexity() {
                 p: 4,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             &c,
         );
@@ -140,6 +143,7 @@ fn sasgd_comm_time_amortizes_with_t() {
                 p: 4,
                 t,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             &c,
         );
@@ -167,6 +171,7 @@ fn nlc_workload_trains_with_sasgd() {
             p: 4,
             t: 5,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );
@@ -207,6 +212,7 @@ fn one_shot_averaging_underperforms_sasgd() {
             p,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );

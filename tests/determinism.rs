@@ -20,6 +20,7 @@ fn algos() -> Vec<Algorithm> {
             p: 4,
             t: 3,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         Algorithm::Downpour { p: 4, t: 2 },
         Algorithm::Eamsgd {

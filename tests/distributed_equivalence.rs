@@ -3,7 +3,7 @@
 //! coincide mathematically.
 
 use sasgd::core::algorithms::GammaP;
-use sasgd::core::{run_threaded_sasgd, train, Algorithm, TrainConfig};
+use sasgd::core::{run_threaded_sasgd, train, Algorithm, Backend, Executor, TrainConfig};
 use sasgd::data::cifar_like::{generate, CifarLikeConfig};
 use sasgd::nn::models;
 use sasgd::simnet::JitterModel;
@@ -30,6 +30,7 @@ fn threaded_equals_simulated_sasgd_bitwise() {
             p,
             t,
             gamma_p: GammaP::OverP,
+            compression: None,
         };
         let h_sim = train(&mut f, &train_set, &test_set, &algo, &cfg);
         assert_eq!(h_thread.records.len(), h_sim.records.len());
@@ -64,6 +65,62 @@ fn threaded_equals_simulated_sasgd_bitwise() {
     }
 }
 
+/// Run `algo` on both engine backends and assert bitwise-equal final
+/// parameters.
+fn assert_backends_agree(algo: &Algorithm, cfg: &TrainConfig, model_seed: u64) {
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+    let factory = move || models::tiny_cnn(3, &mut SeedRng::new(model_seed));
+    let sim = Executor::new(Backend::Simulated).run(&factory, &train_set, &test_set, algo, cfg);
+    let thr = Executor::new(Backend::Threaded).run(&factory, &train_set, &test_set, algo, cfg);
+    let ps = sim.final_params.expect("simulated final params");
+    let pt = thr.final_params.expect("threaded final params");
+    assert_eq!(ps.len(), pt.len());
+    let diverged = ps
+        .iter()
+        .zip(&pt)
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    assert_eq!(
+        diverged,
+        0,
+        "{}: {diverged}/{} final parameters diverged between backends",
+        sim.label,
+        ps.len()
+    );
+}
+
+#[test]
+fn threaded_equals_simulated_downpour_p1_bitwise() {
+    // With a single learner the asynchronous schedule collapses: pushes and
+    // pulls alternate deterministically, the γ schedule sees the same
+    // sample counts, and the batch stream reshuffles from the same RNG —
+    // so the real parameter server must reproduce the simulated one bit
+    // for bit. (Beyond p = 1 the OS scheduler decides the interleaving;
+    // that divergence is the phenomenon the backend exists to exhibit.)
+    assert_backends_agree(
+        &Algorithm::Downpour { p: 1, t: 2 },
+        &quiet_cfg(3, 0.04, 17),
+        5,
+    );
+}
+
+#[test]
+fn threaded_equals_simulated_eamsgd_p1_bitwise() {
+    // Same collapse for elastic averaging: one learner's momentum block
+    // and elastic exchange against a real center server must match the
+    // simulated strategy exactly.
+    assert_backends_agree(
+        &Algorithm::Eamsgd {
+            p: 1,
+            t: 2,
+            moving_rate: Some(0.5),
+            momentum: 0.9,
+        },
+        &quiet_cfg(3, 0.04, 19),
+        5,
+    );
+}
+
 #[test]
 fn sync_sgd_is_sasgd_with_t1() {
     // T=1 SASGD is classic synchronous SGD; doubling T=1's γp via the
@@ -81,6 +138,7 @@ fn sync_sgd_is_sasgd_with_t1() {
             p,
             t: 1,
             gamma_p: GammaP::Fixed(0.05 / p as f32),
+            compression: None,
         },
         &cfg,
     );
@@ -93,6 +151,7 @@ fn sync_sgd_is_sasgd_with_t1() {
             p,
             t: 1,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &cfg,
     );
@@ -143,6 +202,7 @@ fn gamma_p_policies_change_trajectories() {
             p: 4,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &cfg,
     );
@@ -155,6 +215,7 @@ fn gamma_p_policies_change_trajectories() {
             p: 4,
             t: 2,
             gamma_p: GammaP::SameAsGamma,
+            compression: None,
         },
         &cfg,
     );

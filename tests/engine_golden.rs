@@ -62,28 +62,29 @@ fn goldens() -> Vec<Golden> {
                 p: 4,
                 t: 2,
                 gamma_p: GammaP::OverP,
+                compression: None,
             },
             hash: 0xae37_8f2c_1b9a_b357,
             head: [0xbd89768f, 0xbd090af7, 0x3d45c332, 0x3ddd0f3a],
         },
         Golden {
             name: "sasgd_p2_t2_topk25",
-            algo: Algorithm::SasgdCompressed {
+            algo: Algorithm::Sasgd {
                 p: 2,
                 t: 2,
                 gamma_p: GammaP::OverP,
-                compression: Compression::TopK { ratio: 0.25 },
+                compression: Some(Compression::TopK { ratio: 0.25 }),
             },
             hash: 0x7b15_802e_c791_7c13,
             head: [0xbd80551d, 0xbcea33ec, 0x3d54e1f0, 0x3de00d6f],
         },
         Golden {
             name: "sasgd_p2_t2_8bit",
-            algo: Algorithm::SasgdCompressed {
+            algo: Algorithm::Sasgd {
                 p: 2,
                 t: 2,
                 gamma_p: GammaP::OverP,
-                compression: Compression::Uniform8Bit,
+                compression: Some(Compression::Uniform8Bit),
             },
             hash: 0x2488_0a77_8fed_7fd9,
             head: [0xbd801e8a, 0xbce70075, 0x3d5aae27, 0x3de30b8a],

@@ -32,6 +32,7 @@ fn compressed_sasgd_learns_and_saves_traffic_time() {
             p: 4,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );
@@ -40,11 +41,11 @@ fn compressed_sasgd_learns_and_saves_traffic_time() {
         &mut f2,
         &train_set,
         &test_set,
-        &Algorithm::SasgdCompressed {
+        &Algorithm::Sasgd {
             p: 4,
             t: 2,
             gamma_p: GammaP::OverP,
-            compression: Compression::TopK { ratio: 0.1 },
+            compression: Some(Compression::TopK { ratio: 0.1 }),
         },
         &c,
     );
@@ -85,6 +86,7 @@ fn quantized_sasgd_tracks_plain_closely() {
             p: 2,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );
@@ -93,11 +95,11 @@ fn quantized_sasgd_tracks_plain_closely() {
         &mut f2,
         &train_set,
         &test_set,
-        &Algorithm::SasgdCompressed {
+        &Algorithm::Sasgd {
             p: 2,
             t: 2,
             gamma_p: GammaP::OverP,
-            compression: Compression::Uniform8Bit,
+            compression: Some(Compression::Uniform8Bit),
         },
         &c,
     );
@@ -123,6 +125,7 @@ fn step_decay_schedule_changes_late_trajectory_only() {
         p: 2,
         t: 1,
         gamma_p: GammaP::OverP,
+        compression: None,
     };
     let mut f1 = || models::tiny_cnn(3, &mut SeedRng::new(9));
     let a = train(&mut f1, &train_set, &test_set, &algo, &constant);
@@ -158,6 +161,7 @@ fn warmup_schedule_trains_successfully() {
             p: 4,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );
@@ -187,6 +191,7 @@ fn staleness_is_t_for_sasgd_and_spreads_for_downpour() {
             p: 4,
             t,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &c,
     );

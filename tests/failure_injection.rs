@@ -21,6 +21,7 @@ fn extreme_jitter_changes_time_not_math() {
         p: 4,
         t: 2,
         gamma_p: GammaP::OverP,
+        compression: None,
     };
     let mut histories = Vec::new();
     for cv in [0.0f64, 1.5] {
@@ -86,6 +87,7 @@ fn single_class_dataset_trains_to_perfection() {
             p: 2,
             t: 1,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &cfg,
     );
@@ -129,6 +131,7 @@ fn minibatch_larger_than_shard_still_runs() {
             p: 2,
             t: 1,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         &cfg,
     );
@@ -148,6 +151,7 @@ fn zero_learning_rate_is_a_fixed_point() {
             p: 2,
             t: 1,
             gamma_p: GammaP::Fixed(0.0),
+            compression: None,
         },
         &cfg,
     );

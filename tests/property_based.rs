@@ -1,13 +1,16 @@
 //! Property-based tests (proptest) on the core invariants: collectives
 //! compute exact sums, shards partition, flat parameter views round-trip,
-//! the theory module's solutions satisfy their defining equations, and the
-//! cost model is monotone.
+//! compression is lossless under error feedback, the sparse wire format
+//! reproduces the dense collectives, the theory module's solutions satisfy
+//! their defining equations, and the cost model is monotone.
 
 use proptest::prelude::*;
 use sasgd::comm::collectives::{allreduce_ring, allreduce_tree, broadcast};
+use sasgd::comm::sparse::{sparse_allreduce_tree, SparseVec};
 use sasgd::comm::world::CommWorld;
 use sasgd::core::epoch_time::{epoch_time, Aggregation, Workload};
 use sasgd::core::theory;
+use sasgd::core::Compression;
 use sasgd::data::Dataset;
 use sasgd::nn::models;
 use sasgd::simnet::{CostModel, EventQueue, JitterModel, VirtualTime};
@@ -159,6 +162,81 @@ proptest! {
         while let Some((t, _)) = q.pop() {
             prop_assert!(t.seconds() >= prev);
             prev = t.seconds();
+        }
+    }
+
+    #[test]
+    fn topk_error_feedback_is_lossless_bitwise(
+        raw in proptest::collection::vec(-1e6f32..1e6, 1..60),
+        ratio in 0.05f64..1.0,
+    ) {
+        // Whatever top-k drops lands in the residual, so the decomposition
+        // loses nothing: dense[i] + residual[i] must reproduce the input
+        // bit for bit (exactly one of the two is the original value, the
+        // other is +0.0; -0.0 inputs are normalized away since x + -0.0
+        // only differs from x at that one bit pattern).
+        let g: Vec<f32> = raw.iter().map(|&x| if x == 0.0 { 0.0 } else { x }).collect();
+        let c = Compression::TopK { ratio }.compress(&g);
+        for ((d, r), orig) in c.dense.iter().zip(&c.residual).zip(&g) {
+            prop_assert_eq!((d + r).to_bits(), orig.to_bits());
+            prop_assert!(*d == 0.0 || *r == 0.0, "coordinate split between dense and residual");
+        }
+    }
+
+    #[test]
+    fn uniform8bit_error_is_bounded_by_half_a_step(
+        raw in proptest::collection::vec(-1e6f32..1e6, 1..60),
+    ) {
+        let g: Vec<f32> = raw.iter().map(|&x| if x == 0.0 { 0.0 } else { x }).collect();
+        let c = Compression::Uniform8Bit.compress(&g);
+        let maxabs = g.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let step = maxabs / 127.0;
+        // Quantization rounds to the nearest of 255 levels: the residual
+        // can never exceed half a step (plus float rounding slack).
+        let bound = 0.5 * step * (1.0 + 1e-3) + f32::MIN_POSITIVE;
+        for (&r, (&d, &orig)) in c.residual.iter().zip(c.dense.iter().zip(&g)) {
+            prop_assert!(r.abs() <= bound, "residual {r} exceeds half-step {bound}");
+            // The residual is the exact rounding error.
+            prop_assert_eq!((orig - d).to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_allreduce_matches_dense_allreduce_bitwise(
+        p in 1usize..8,
+        m in 1usize..40,
+        density in 1u64..100,
+        seed in 0u64..1000,
+    ) {
+        // Arbitrary sparsity patterns and dyadic values: the sparse tree
+        // allreduce must equal the dense tree allreduce on the densified
+        // vectors, element for element, bit for bit.
+        let make = move |rank: usize| -> Vec<f32> {
+            let mut rng = SeedRng::new(seed.wrapping_mul(31).wrapping_add(rank as u64));
+            (0..m)
+                .map(|_| {
+                    if (rng.below(100) as u64) < density {
+                        (rng.below(2001) as f32 - 1000.0) / 8.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+        let dense = run_ranks(p, move |c| {
+            let mut v = make(c.rank());
+            allreduce_tree(c, &mut v);
+            v
+        });
+        let sparse = run_ranks(p, move |c| {
+            let mut sv = SparseVec::from_dense(&make(c.rank()));
+            sparse_allreduce_tree(c, &mut sv);
+            sv.to_dense()
+        });
+        for (dv, sv) in dense.iter().zip(&sparse) {
+            for (a, b) in dv.iter().zip(sv) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -26,6 +26,7 @@ fn checkpoint_resume_reaches_same_quality_as_uninterrupted() {
         p: 2,
         t: 2,
         gamma_p: GammaP::OverP,
+        compression: None,
     };
 
     let mut f = || models::tiny_cnn(3, &mut SeedRng::new(7));
@@ -154,6 +155,7 @@ fn alexnet_style_network_trains_with_sasgd() {
         p: 2,
         t: 2,
         gamma_p: GammaP::OverP,
+        compression: None,
     };
     let h = train(&mut f, &train_set, &test_set, &algo, &cfg);
     let first = h.records.first().expect("r").train_loss;
@@ -175,6 +177,7 @@ fn sweep_reproduces_figure_style_grid() {
             p,
             t: 2,
             gamma_p: GammaP::OverP,
+            compression: None,
         },
         cfg,
     );
