@@ -14,9 +14,14 @@ use std::process::ExitCode;
 use sasgd_bench::engine;
 use sasgd_bench::extensions;
 use sasgd_bench::figures::{self, Artifact};
-use sasgd_bench::kernels;
 use sasgd_bench::Scale;
+use sasgd_bench::{hotpath, kernels};
 use sasgd_core::report::write_file;
+
+/// Count heap traffic so the `hotpath` target can report per-step
+/// steady-state allocation numbers.
+#[global_allocator]
+static GLOBAL: sasgd_bench::alloc::CountingAllocator = sasgd_bench::alloc::CountingAllocator;
 
 struct Options {
     targets: Vec<String>,
@@ -33,6 +38,7 @@ const ALL: &[&str] = &[
 /// Extension artifacts beyond the paper (run via `ext` or by name).
 const EXTENSIONS: &[&str] = &[
     "kernels",
+    "hotpath",
     "engine",
     "staleness",
     "compression",
@@ -108,6 +114,7 @@ fn build(target: &str, o: &Options) -> Artifact {
         "fig9" => figures::fig9(o.scale, o.epochs),
         "fig10" => figures::fig10(o.scale, o.epochs),
         "kernels" => kernels::kernels(),
+        "hotpath" => hotpath::hotpath(),
         "engine" => engine::engine(o.scale, o.epochs),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),

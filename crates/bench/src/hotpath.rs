@@ -1,0 +1,437 @@
+//! Full forward+backward hot-path harness: the PR-sized view that
+//! `kernels.rs` is too narrow for. Times one training step (fwd + bwd, no
+//! optimizer) of the Table I CNN and the Table II NLC network at batch 32
+//! and 128, comparing
+//!
+//! * **before** — the pre-optimization path: per-image `*_ref` convolution
+//!   kernels and a fresh workspace every step (every scratch buffer heap-
+//!   allocated), and
+//! * **after** — the batched im2col/GEMM path with one workspace arena
+//!   persisted across steps.
+//!
+//! Both variants start from bit-identical parameters and consume identical
+//! per-step RNG streams, so the first-step loss must agree bit for bit —
+//! the harness records that check next to every timing. Steady-state heap
+//! allocation counts come from the counting global allocator in
+//! [`crate::alloc`] (installed by the `repro` binary). Results land in
+//! `BENCH_hotpath.json`.
+
+use std::time::Instant;
+
+use sasgd_nn::layers::{
+    Dropout, Flatten, GlobalMaxOverTime, Linear, MaxPool2d, Relu, Tanh, TemporalConv1d,
+    TemporalMaxPool,
+};
+use sasgd_nn::{init, layers::Conv2d, parallel, Ctx, Layer, Model};
+use sasgd_tensor::conv::{conv2d_backward_ref, conv2d_forward_ref, Conv2dSpec};
+use sasgd_tensor::{linalg, SeedRng, Tensor, Workspace};
+
+use crate::alloc;
+use crate::figures::Artifact;
+
+/// Timing reps per variant (plus one warm-up step that also primes the
+/// arena for the "after" path).
+const REPS: usize = 3;
+/// Steps averaged for the steady-state allocation count.
+const ALLOC_STEPS: u64 = 2;
+
+/// One benchmarked configuration: model × batch size, before/after times
+/// and per-step steady-state allocation counts.
+pub struct HotpathTiming {
+    /// Configuration identifier (e.g. `table1_cnn_b32`).
+    pub name: String,
+    /// Best-of-`REPS` fwd+bwd step time on the pre-optimization path, ms.
+    pub before_ms: f64,
+    /// Best-of-`REPS` fwd+bwd step time on the batched/arena path, ms.
+    pub after_ms: f64,
+    /// Steady-state heap allocations per step, pre-optimization path.
+    pub before_allocs: u64,
+    /// Steady-state heap allocations per step, batched/arena path.
+    pub after_allocs: u64,
+    /// First-step losses of the two paths agreed bit for bit.
+    pub loss_bitwise_equal: bool,
+}
+
+/// Pre-PR convolution layer: per-image `*_ref` kernels, every intermediate
+/// freshly heap-allocated. Draws its parameters from the RNG in exactly
+/// the order [`Conv2d::new`] does, so a model built from `Conv2dRef`
+/// layers is bit-identical to its `Conv2d` twin.
+struct Conv2dRef {
+    spec: Conv2dSpec,
+    weight: Tensor,
+    bias: Vec<f32>,
+    dweight: Tensor,
+    dbias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2dRef {
+    fn new(
+        ci: usize,
+        co: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let spec = Conv2dSpec {
+            ci,
+            co,
+            kh,
+            kw,
+            stride,
+            pad,
+        };
+        let fan_in = ci * kh * kw;
+        Conv2dRef {
+            spec,
+            weight: init::torch_uniform(rng, &[co, fan_in], fan_in),
+            bias: init::torch_uniform_bias(rng, co, fan_in),
+            dweight: Tensor::zeros(&[co, fan_in]),
+            dbias: vec![0.0; co],
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Conv2dRef {
+    fn name(&self) -> &'static str {
+        "Conv2dRef"
+    }
+
+    fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
+        let out = conv2d_forward_ref(&input, &self.weight, &self.bias, &self.spec);
+        if ctx.training {
+            self.cached_input = Some(input);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor, _ctx: &mut Ctx) -> Tensor {
+        let input = self.cached_input.take().expect("backward without forward");
+        let grads = conv2d_backward_ref(&input, &self.weight, &grad_out, &self.spec);
+        self.dweight.add_assign(&grads.dweight);
+        for (a, b) in self.dbias.iter_mut().zip(&grads.dbias) {
+            *a += b;
+        }
+        grads.dinput
+    }
+
+    fn param_len(&self) -> usize {
+        self.weight.numel() + self.bias.len()
+    }
+
+    fn read_params(&self, out: &mut [f32]) {
+        let w = self.weight.numel();
+        out[..w].copy_from_slice(self.weight.as_slice());
+        out[w..].copy_from_slice(&self.bias);
+    }
+
+    fn write_params(&mut self, src: &[f32]) {
+        let w = self.weight.numel();
+        self.weight.as_mut_slice().copy_from_slice(&src[..w]);
+        self.bias.copy_from_slice(&src[w..]);
+    }
+
+    fn read_grads(&self, out: &mut [f32]) {
+        let w = self.dweight.numel();
+        out[..w].copy_from_slice(self.dweight.as_slice());
+        out[w..].copy_from_slice(&self.dbias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dweight.zero_();
+        self.dbias.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.spec.out_hw(in_dims[1], in_dims[2]);
+        vec![self.spec.co, oh, ow]
+    }
+
+    fn macs(&self, in_dims: &[usize]) -> u64 {
+        self.spec.forward_macs(in_dims[1], in_dims[2])
+    }
+}
+
+/// Table I CNN (width divided by `divisor`), with either the current
+/// [`Conv2d`] layers or the pre-PR [`Conv2dRef`] ones. RNG draw order is
+/// identical in both variants.
+fn cnn_model(divisor: usize, reference: bool, rng: &mut SeedRng) -> Model {
+    let c1 = 64 / divisor;
+    let c2 = 128 / divisor;
+    let c3 = 256 / divisor;
+    let c4 = 128 / divisor;
+    let conv = |ci, co, k, s, p, rng: &mut SeedRng| -> Box<dyn Layer> {
+        if reference {
+            Box::new(Conv2dRef::new(ci, co, k, k, s, p, rng))
+        } else {
+            Box::new(Conv2d::new(ci, co, k, k, s, p, rng))
+        }
+    };
+    Model::new(
+        vec![
+            conv(3, c1, 5, 1, 2, rng),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Dropout::new(0.5)),
+            conv(c1, c2, 3, 1, 1, rng),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Dropout::new(0.5)),
+            conv(c2, c3, 3, 1, 1, rng),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Dropout::new(0.5)),
+            conv(c3, c4, 2, 1, 0, rng),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Dropout::new(0.5)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(c4, 10, rng)),
+        ],
+        &[3, 32, 32],
+    )
+}
+
+/// Table II NLC network (its layers have no `*_ref` twin: before/after
+/// differ only in arena reuse).
+fn nlc_model(seq_len: usize, rng: &mut SeedRng) -> Model {
+    Model::new(
+        vec![
+            Box::new(Linear::new(100, 200, rng)),
+            Box::new(Tanh::new()),
+            Box::new(TemporalConv1d::new(200, 1000, 2, rng)),
+            Box::new(TemporalMaxPool::new(2)),
+            Box::new(Tanh::new()),
+            Box::new(GlobalMaxOverTime::new()),
+            Box::new(Linear::new(1000, 1000, rng)),
+            Box::new(Tanh::new()),
+            Box::new(Linear::new(1000, 311, rng)),
+        ],
+        &[seq_len, 100],
+    )
+}
+
+/// One training step (zero grads, forward+loss, backward). `ws` carries a
+/// persistent arena across steps; `None` means a fresh workspace (and so
+/// fresh heap allocations) every step — the pre-PR behaviour.
+fn step(model: &mut Model, x: &Tensor, y: &[usize], seed: u64, ws: Option<&mut Workspace>) -> f32 {
+    let mut ctx = Ctx::train(SeedRng::new(seed));
+    if let Some(arena) = ws {
+        ctx.ws = std::mem::take(arena);
+        model.zero_grads();
+        let out = model.forward_loss(x, y, &mut ctx);
+        model.backward(&mut ctx);
+        *arena = std::mem::take(&mut ctx.ws);
+        out.loss
+    } else {
+        model.zero_grads();
+        let out = model.forward_loss(x, y, &mut ctx);
+        model.backward(&mut ctx);
+        out.loss
+    }
+}
+
+/// Benchmark one model/batch configuration: warm up, best-of-[`REPS`]
+/// step times, then steady-state allocation counts over [`ALLOC_STEPS`].
+fn run_case(
+    name: &str,
+    mut before: Model,
+    mut after: Model,
+    x: &Tensor,
+    y: &[usize],
+) -> HotpathTiming {
+    // Identical per-step seeds on both paths: dropout masks match, so the
+    // batched/arena path must reproduce the reference loss bit for bit.
+    let before_loss = step(&mut before, x, y, 0, None);
+    let mut ws = Workspace::new();
+    let after_loss = step(&mut after, x, y, 0, Some(&mut ws));
+    let loss_bitwise_equal = before_loss.to_bits() == after_loss.to_bits();
+
+    let mut before_ms = f64::INFINITY;
+    let mut after_ms = f64::INFINITY;
+    for rep in 0..REPS {
+        let seed = 1 + rep as u64;
+        let t0 = Instant::now();
+        step(&mut before, x, y, seed, None);
+        before_ms = before_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        step(&mut after, x, y, seed, Some(&mut ws));
+        after_ms = after_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    alloc::reset();
+    for s in 0..ALLOC_STEPS {
+        step(&mut before, x, y, 100 + s, None);
+    }
+    let before_allocs = alloc::allocs() / ALLOC_STEPS;
+    alloc::reset();
+    for s in 0..ALLOC_STEPS {
+        step(&mut after, x, y, 100 + s, Some(&mut ws));
+    }
+    let after_allocs = alloc::allocs() / ALLOC_STEPS;
+
+    HotpathTiming {
+        name: name.to_string(),
+        before_ms,
+        after_ms,
+        before_allocs,
+        after_allocs,
+        loss_bitwise_equal,
+    }
+}
+
+/// Run the suite: Table I CNN and the NLC network at batch 32 and 128.
+pub fn run_suite() -> Vec<HotpathTiming> {
+    let mut rng = SeedRng::new(0xB0);
+    let mut out = Vec::new();
+    for &batch in &[32usize, 128] {
+        let x = rng.normal_tensor(&[batch, 3, 32, 32], 1.0);
+        let y: Vec<usize> = (0..batch).map(|i| i % 10).collect();
+        out.push(run_case(
+            &format!("table1_cnn_b{batch}"),
+            cnn_model(1, true, &mut SeedRng::new(7)),
+            cnn_model(1, false, &mut SeedRng::new(7)),
+            &x,
+            &y,
+        ));
+    }
+    let seq = 20;
+    for &batch in &[32usize, 128] {
+        let x = rng.normal_tensor(&[batch, seq, 100], 1.0);
+        let y: Vec<usize> = (0..batch).map(|i| i % 311).collect();
+        out.push(run_case(
+            &format!("nlc_b{batch}"),
+            nlc_model(seq, &mut SeedRng::new(9)),
+            nlc_model(seq, &mut SeedRng::new(9)),
+            &x,
+            &y,
+        ));
+    }
+    out
+}
+
+/// Hand-rolled JSON (the workspace builds offline, with no serde).
+pub fn to_json(timings: &[HotpathTiming]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"parallel_feature\": {},\n  \"pool_threads\": {},\n  \
+         \"par_threshold\": {},\n  \"alloc_counting\": {},\n  \"cases\": [\n",
+        parallel::parallel_enabled(),
+        parallel::threads(),
+        linalg::par_threshold(),
+        alloc::counting(),
+    ));
+    for (i, t) in timings.iter().enumerate() {
+        let alloc_drop = if t.after_allocs > 0 {
+            t.before_allocs as f64 / t.after_allocs as f64
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_ms\": {:.3}, \"after_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"before_allocs\": {}, \"after_allocs\": {}, \
+             \"alloc_drop\": {:.1}, \"loss_bitwise_equal\": {}}}{}\n",
+            t.name,
+            t.before_ms,
+            t.after_ms,
+            t.before_ms / t.after_ms,
+            t.before_allocs,
+            t.after_allocs,
+            alloc_drop,
+            t.loss_bitwise_equal,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The `hotpath` repro target: run the suite, emit a report plus
+/// `BENCH_hotpath.json`.
+pub fn hotpath() -> Artifact {
+    let timings = run_suite();
+    let mut report = String::from(
+        "Hot-path fwd+bwd step timings: per-image ref kernels + fresh buffers \
+         (before) vs batched im2col/GEMM + workspace arena (after)\n\n",
+    );
+    report.push_str(&format!(
+        "{:<16} {:>10} {:>10} {:>8} {:>14} {:>13}  bitwise\n",
+        "case", "before ms", "after ms", "speedup", "allocs before", "allocs after"
+    ));
+    for t in &timings {
+        report.push_str(&format!(
+            "{:<16} {:>10.3} {:>10.3} {:>7.2}x {:>14} {:>13}  {}\n",
+            t.name,
+            t.before_ms,
+            t.after_ms,
+            t.before_ms / t.after_ms,
+            t.before_allocs,
+            t.after_allocs,
+            if t.loss_bitwise_equal {
+                "ok"
+            } else {
+                "DIVERGED"
+            }
+        ));
+    }
+    if !alloc::counting() {
+        report.push_str("\n(counting allocator not installed: alloc columns are zero)\n");
+    }
+    report.push_str(&format!(
+        "\npar_threshold = {} rows ({} pool thread(s))\n",
+        linalg::par_threshold(),
+        parallel::threads()
+    ));
+    Artifact {
+        name: "hotpath".to_string(),
+        report,
+        csvs: vec![("BENCH_hotpath.json".to_string(), to_json(&timings))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_and_batched_cnn_agree_bitwise_on_small_model() {
+        let mut before = cnn_model(8, true, &mut SeedRng::new(3));
+        let mut after = cnn_model(8, false, &mut SeedRng::new(3));
+        assert_eq!(before.param_vector(), after.param_vector());
+        let mut rng = SeedRng::new(4);
+        let x = rng.normal_tensor(&[2, 3, 32, 32], 1.0);
+        let y = [0usize, 1];
+        let mut ws = Workspace::new();
+        for s in 0..2u64 {
+            let lb = step(&mut before, &x, &y, s, None);
+            let la = step(&mut after, &x, &y, s, Some(&mut ws));
+            assert_eq!(lb.to_bits(), la.to_bits(), "step {s} loss diverged");
+        }
+        // Gradients too, not just the loss.
+        let gb = before.grad_vector();
+        let ga = after.grad_vector();
+        for (i, (a, b)) in gb.iter().zip(&ga).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{i}] diverged");
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let t = vec![HotpathTiming {
+            name: "t".into(),
+            before_ms: 3.0,
+            after_ms: 1.5,
+            before_allocs: 500,
+            after_allocs: 25,
+            loss_bitwise_equal: true,
+        }];
+        let j = to_json(&t);
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.contains("\"alloc_drop\": 20.0"));
+        assert!(j.contains("\"par_threshold\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -10,9 +10,11 @@
 //! are GPU-months on CPU. EXPERIMENTS.md records paper-vs-measured for
 //! every artifact.
 
+pub mod alloc;
 pub mod engine;
 pub mod extensions;
 pub mod figures;
+pub mod hotpath;
 pub mod kernels;
 pub mod scale;
 

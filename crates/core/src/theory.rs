@@ -227,7 +227,7 @@ pub fn estimate_constants(
         let (x, y) = data.batch(idx);
         let mut ctx = Ctx::train(rng.split(0xD0));
         let out = model.forward_loss(&x, &y, &mut ctx);
-        model.backward();
+        model.backward(&mut ctx);
         (model.grad_vector(), out.loss)
     };
 

@@ -12,7 +12,7 @@
 use sasgd_data::{Dataset, ShardStrategy};
 use sasgd_nn::{Ctx, Model};
 use sasgd_simnet::{CostModel, JitterModel};
-use sasgd_tensor::{SeedRng, Tensor};
+use sasgd_tensor::{SeedRng, Tensor, Workspace};
 
 use crate::algorithms::{self, Algorithm};
 use crate::history::{EpochRecord, History};
@@ -212,7 +212,7 @@ impl EvalSets {
             // repeated calls on the same parameters agree exactly.
             let mut ctx = Ctx::measure();
             model.forward_loss(x, y, &mut ctx);
-            model.backward();
+            model.backward(&mut ctx);
             let g = model.grad_vector();
             for (a, &b) in grad.iter_mut().zip(&g) {
                 *a += b;
@@ -248,6 +248,9 @@ pub(crate) struct Learner {
     pub(crate) comm_s: f64,
     /// Gradient accumulator `gs` of Algorithm 1.
     pub(crate) gs: Vec<f32>,
+    /// Scratch-buffer arena reused across this learner's steps, so the
+    /// steady-state hot path stays off the allocator.
+    pub(crate) ws: Workspace,
 }
 
 impl Learner {
@@ -263,6 +266,7 @@ impl Learner {
             compute_s: 0.0,
             comm_s: 0.0,
             gs: vec![0.0; m],
+            ws: Workspace::new(),
         }
     }
 
@@ -278,9 +282,13 @@ impl Learner {
         let mut ctx = Ctx::train(self.rng.split(0xD5)); // fresh dropout stream per call
                                                         // Advance the dropout base stream so successive batches differ.
         let _ = self.rng.uniform();
+        // Thread the learner's persistent arena through this step's context
+        // so per-batch scratch buffers are reused instead of reallocated.
+        ctx.ws = std::mem::take(&mut self.ws);
         self.model.zero_grads();
         let out = self.model.forward_loss(&x, &y, &mut ctx);
-        self.model.backward();
+        self.model.backward(&mut ctx);
+        self.ws = std::mem::take(&mut ctx.ws);
         (self.model.grad_vector(), out.loss)
     }
 

@@ -1,13 +1,18 @@
 //! The [`Layer`] trait: forward/backward, flat parameter access, FLOP model.
 
-use sasgd_tensor::{SeedRng, Tensor};
+use sasgd_tensor::{SeedRng, Tensor, Workspace};
 
-/// Per-pass context threaded through the forward pass.
+/// Per-pass context threaded through the forward and backward passes.
 ///
 /// Carries two orthogonal flags — whether layers should cache activations
 /// for a following `backward` (`training`) and whether stochastic
 /// regularizers like dropout are active (`stochastic`) — plus the RNG
-/// stream that makes dropout masks reproducible per learner.
+/// stream that makes dropout masks reproducible per learner, plus the
+/// [`Workspace`] scratch-buffer pool layers draw their per-step tensors
+/// from. A hot loop keeps one workspace alive across steps (see
+/// `Learner::compute_gradient` in `sasgd-core`) so steady-state training
+/// stops allocating; a fresh default workspace merely degrades to
+/// per-call allocation with identical numbers.
 pub struct Ctx {
     /// `true` when layers must cache activations for `backward`.
     pub training: bool,
@@ -16,6 +21,9 @@ pub struct Ctx {
     pub stochastic: bool,
     /// Deterministic RNG for stochastic layers.
     pub rng: SeedRng,
+    /// Scratch-buffer pool for activations, gradients and conv patch
+    /// matrices. Reuse is bitwise-invisible (see `sasgd_tensor::workspace`).
+    pub ws: Workspace,
 }
 
 impl Ctx {
@@ -25,6 +33,7 @@ impl Ctx {
             training: true,
             stochastic: true,
             rng,
+            ws: Workspace::new(),
         }
     }
 
@@ -34,6 +43,7 @@ impl Ctx {
             training: false,
             stochastic: false,
             rng: SeedRng::new(0),
+            ws: Workspace::new(),
         }
     }
 
@@ -46,6 +56,7 @@ impl Ctx {
             training: true,
             stochastic: false,
             rng: SeedRng::new(0),
+            ws: Workspace::new(),
         }
     }
 }
@@ -68,8 +79,9 @@ pub trait Layer: Send {
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor;
 
     /// Backward pass: receives `dL/d(output)`, returns `dL/d(input)`, and
-    /// *accumulates* parameter gradients internally.
-    fn backward(&mut self, grad_out: Tensor) -> Tensor;
+    /// *accumulates* parameter gradients internally. Consumed tensors are
+    /// recycled into `ctx.ws` so the next step reuses their storage.
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor;
 
     /// Number of learnable scalars.
     fn param_len(&self) -> usize {

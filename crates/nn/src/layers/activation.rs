@@ -1,4 +1,8 @@
 //! Element-wise non-linearities: ReLU (CIFAR net) and Tanh (NLC net).
+//!
+//! Both layers keep their backward caches in persistent per-layer buffers
+//! (`clear` + refill each step) rather than fresh allocations, so the
+//! steady-state hot path does not touch the allocator.
 
 use sasgd_tensor::Tensor;
 
@@ -7,7 +11,8 @@ use crate::layer::{Ctx, Layer};
 /// Rectified linear unit.
 #[derive(Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    mask: Vec<bool>,
+    mask_valid: bool,
 }
 
 impl Relu {
@@ -24,8 +29,9 @@ impl Layer for Relu {
 
     fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
         if ctx.training {
-            let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
-            self.mask = Some(mask);
+            self.mask.clear();
+            self.mask.extend(input.as_slice().iter().map(|&x| x > 0.0));
+            self.mask_valid = true;
         }
         input.as_mut_slice().iter_mut().for_each(|x| {
             if *x < 0.0 {
@@ -35,9 +41,10 @@ impl Layer for Relu {
         input
     }
 
-    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let mask = self.mask.take().expect("backward without forward");
-        for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&mask) {
+    fn backward(&mut self, mut grad_out: Tensor, _ctx: &mut Ctx) -> Tensor {
+        assert!(self.mask_valid, "backward without forward");
+        self.mask_valid = false;
+        for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&self.mask) {
             if !m {
                 *g = 0.0;
             }
@@ -57,7 +64,8 @@ impl Layer for Relu {
 /// Hyperbolic tangent.
 #[derive(Default)]
 pub struct Tanh {
-    cached_out: Option<Tensor>,
+    cached_out: Vec<f32>,
+    cache_valid: bool,
 }
 
 impl Tanh {
@@ -75,14 +83,17 @@ impl Layer for Tanh {
     fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
         input.as_mut_slice().iter_mut().for_each(|x| *x = x.tanh());
         if ctx.training {
-            self.cached_out = Some(input.clone());
+            self.cached_out.clear();
+            self.cached_out.extend_from_slice(input.as_slice());
+            self.cache_valid = true;
         }
         input
     }
 
-    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let y = self.cached_out.take().expect("backward without forward");
-        for (g, &yv) in grad_out.as_mut_slice().iter_mut().zip(y.as_slice()) {
+    fn backward(&mut self, mut grad_out: Tensor, _ctx: &mut Ctx) -> Tensor {
+        assert!(self.cache_valid, "backward without forward");
+        self.cache_valid = false;
+        for (g, &yv) in grad_out.as_mut_slice().iter_mut().zip(&self.cached_out) {
             *g *= 1.0 - yv * yv;
         }
         grad_out
@@ -109,7 +120,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = r.forward(x, &mut ctx);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
-        let dx = r.backward(Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]));
+        let dx = r.backward(Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]), &mut ctx);
         assert_eq!(dx.as_slice(), &[0.0, 0.0, 5.0]);
     }
 
@@ -120,7 +131,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = t.forward(x.clone(), &mut ctx);
         assert!((y.as_slice()[0] - 0.3f32.tanh()).abs() < 1e-6);
-        let dx = t.backward(Tensor::full(&[2], 1.0));
+        let dx = t.backward(Tensor::full(&[2], 1.0), &mut ctx);
         for (i, &xv) in x.as_slice().iter().enumerate() {
             let expect = 1.0 - xv.tanh().powi(2);
             assert!((dx.as_slice()[i] - expect).abs() < 1e-5);

@@ -1,6 +1,6 @@
 //! 2-D convolution layer (NCHW) wrapping the im2col kernels.
 
-use sasgd_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use sasgd_tensor::conv::{conv2d_backward_ws, conv2d_forward_ws, Conv2dSpec};
 use sasgd_tensor::{SeedRng, Tensor};
 
 use crate::init;
@@ -59,23 +59,29 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
-        let out = conv2d_forward(&input, &self.weight, &self.bias, &self.spec);
+        let out = conv2d_forward_ws(&input, &self.weight, &self.bias, &self.spec, &mut ctx.ws);
         if ctx.training {
             self.cached_input = Some(input);
+        } else {
+            ctx.ws.recycle(input);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let input = self
             .cached_input
             .take()
             .expect("backward without forward (or eval-mode forward)");
-        let grads = conv2d_backward(&input, &self.weight, &grad_out, &self.spec);
+        let grads = conv2d_backward_ws(&input, &self.weight, &grad_out, &self.spec, &mut ctx.ws);
+        ctx.ws.recycle(input);
+        ctx.ws.recycle(grad_out);
         self.dweight.add_assign(&grads.dweight);
         for (a, b) in self.dbias.iter_mut().zip(&grads.dbias) {
             *a += b;
         }
+        ctx.ws.recycle(grads.dweight);
+        ctx.ws.give_f32(grads.dbias);
         grads.dinput
     }
 
@@ -142,7 +148,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let out = c.forward(x.clone(), &mut ctx);
         assert_eq!(out.dims(), &[2, 3, 5, 5]);
-        let dx = c.backward(Tensor::full(out.dims(), 1.0));
+        let dx = c.backward(Tensor::full(out.dims(), 1.0), &mut ctx);
         assert_eq!(dx.dims(), x.dims());
 
         let mut grads = vec![0.0; c.param_len()];

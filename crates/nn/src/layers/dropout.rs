@@ -8,7 +8,9 @@ use crate::layer::{Ctx, Layer};
 /// survivors by `1/(1-p)` so evaluation needs no correction.
 pub struct Dropout {
     p: f32,
-    mask: Option<Vec<f32>>,
+    /// Persistent mask buffer, refilled each stochastic forward.
+    mask: Vec<f32>,
+    mask_valid: bool,
 }
 
 impl Dropout {
@@ -21,7 +23,11 @@ impl Dropout {
             (0.0..1.0).contains(&p),
             "drop probability must be in [0, 1)"
         );
-        Dropout { p, mask: None }
+        Dropout {
+            p,
+            mask: Vec::new(),
+            mask_valid: false,
+        }
     }
 
     /// The drop probability.
@@ -37,28 +43,31 @@ impl Layer for Dropout {
 
     fn forward(&mut self, mut input: Tensor, ctx: &mut Ctx) -> Tensor {
         if !ctx.stochastic || self.p == 0.0 {
-            self.mask = None; // identity pass: backward must not reuse a stale mask
+            self.mask_valid = false; // identity pass: backward must not reuse a stale mask
             return input;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = input
-            .as_slice()
-            .iter()
-            .map(|_| if ctx.rng.bernoulli(keep) { scale } else { 0.0 })
-            .collect();
-        for (x, &m) in input.as_mut_slice().iter_mut().zip(&mask) {
+        self.mask.clear();
+        // One Bernoulli draw per element, in element order — the exact RNG
+        // consumption the reproduction's seeds depend on.
+        for _ in 0..input.numel() {
+            self.mask
+                .push(if ctx.rng.bernoulli(keep) { scale } else { 0.0 });
+        }
+        for (x, &m) in input.as_mut_slice().iter_mut().zip(&self.mask) {
             *x *= m;
         }
-        self.mask = Some(mask);
+        self.mask_valid = true;
         input
     }
 
-    fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        // No mask means the forward pass was an identity (deterministic
-        // mode or p = 0): gradients pass through unchanged.
-        if let Some(mask) = self.mask.take() {
-            for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&mask) {
+    fn backward(&mut self, mut grad_out: Tensor, _ctx: &mut Ctx) -> Tensor {
+        // An invalid mask means the forward pass was an identity
+        // (deterministic mode or p = 0): gradients pass through unchanged.
+        if self.mask_valid {
+            self.mask_valid = false;
+            for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(&self.mask) {
                 *g *= m;
             }
         }
@@ -112,7 +121,7 @@ mod tests {
         let x = Tensor::full(&[100], 1.0);
         let mut ctx = Ctx::train(SeedRng::new(7));
         let y = d.forward(x, &mut ctx);
-        let dx = d.backward(Tensor::full(&[100], 1.0));
+        let dx = d.backward(Tensor::full(&[100], 1.0), &mut ctx);
         for (yv, dv) in y.as_slice().iter().zip(dx.as_slice()) {
             assert_eq!(yv, dv, "gradient gate must equal the forward mask");
         }
@@ -139,9 +148,10 @@ mod tests {
         // A training forward first, so a stale mask exists to be cleared.
         let _ = d.forward(Tensor::full(&[2], 1.0), &mut Ctx::train(SeedRng::new(1)));
         let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
-        let y = d.forward(x.clone(), &mut Ctx::measure());
+        let mut mctx = Ctx::measure();
+        let y = d.forward(x.clone(), &mut mctx);
         assert_eq!(y.as_slice(), x.as_slice(), "measure forward is identity");
-        let dx = d.backward(Tensor::full(&[2], 3.0));
+        let dx = d.backward(Tensor::full(&[2], 3.0), &mut mctx);
         assert_eq!(dx.as_slice(), &[3.0, 3.0], "gradients pass through");
     }
 }

@@ -62,18 +62,28 @@ impl Layer for Linear {
         );
         let rows: usize = dims[..dims.len() - 1].iter().product();
         let flat = input.reshape(&[rows, self.in_dim]);
-        let mut out = linalg::matmul_auto(&flat, &self.weight);
+        let mut out = Tensor::zeros_in(&[rows, self.out_dim], &mut ctx.ws);
+        linalg::matmul_into_auto(
+            out.as_mut_slice(),
+            flat.as_slice(),
+            self.weight.as_slice(),
+            rows,
+            self.in_dim,
+            self.out_dim,
+        );
         linalg::add_bias_rows(&mut out, &self.bias);
         if ctx.training {
             self.cached_input = Some(flat);
             self.cached_lead = dims[..dims.len() - 1].to_vec();
+        } else {
+            ctx.ws.recycle(flat);
         }
         let mut out_dims = dims[..dims.len() - 1].to_vec();
         out_dims.push(self.out_dim);
         out.reshape(&out_dims)
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let x = self
             .cached_input
             .take()
@@ -81,9 +91,29 @@ impl Layer for Linear {
         let rows = x.dims()[0];
         let g = grad_out.reshape(&[rows, self.out_dim]);
         // dW += X^T G ; db += colsum(G) ; dX = G W^T
-        self.dweight.add_assign(&linalg::matmul_tn(&x, &g));
+        let mut dw = Tensor::zeros_in(&[self.in_dim, self.out_dim], &mut ctx.ws);
+        linalg::matmul_tn_into_auto(
+            dw.as_mut_slice(),
+            x.as_slice(),
+            g.as_slice(),
+            rows,
+            self.in_dim,
+            self.out_dim,
+        );
+        self.dweight.add_assign(&dw);
+        ctx.ws.recycle(dw);
         linalg::col_sums_into(&g, &mut self.dbias);
-        let dx = linalg::matmul_nt(&g, &self.weight);
+        let mut dx = Tensor::zeros_in(&[rows, self.in_dim], &mut ctx.ws);
+        linalg::matmul_nt_into_auto(
+            dx.as_mut_slice(),
+            g.as_slice(),
+            self.weight.as_slice(),
+            rows,
+            self.out_dim,
+            self.in_dim,
+        );
+        ctx.ws.recycle(x);
+        ctx.ws.recycle(g);
         let mut in_dims = self.cached_lead.clone();
         in_dims.push(self.in_dim);
         dx.reshape(&in_dims)
@@ -139,7 +169,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let out = layer.forward(x.clone(), &mut ctx);
         let gones = Tensor::full(out.dims(), 1.0);
-        layer.backward(gones);
+        layer.backward(gones, &mut ctx);
         let mut grads = vec![0.0; layer.param_len()];
         layer.read_grads(&mut grads);
 
@@ -202,7 +232,7 @@ mod tests {
         let x = rng.normal_tensor(&[2, 3], 1.0);
         let mut ctx = Ctx::train(SeedRng::new(0));
         let out = l.forward(x.clone(), &mut ctx);
-        let dx = l.backward(Tensor::full(out.dims(), 1.0));
+        let dx = l.backward(Tensor::full(out.dims(), 1.0), &mut ctx);
         let eps = 1e-2f32;
         let base = l.forward(x.clone(), &mut Ctx::eval()).sum();
         for k in 0..x.numel() {
@@ -222,7 +252,7 @@ mod tests {
         let run = |l: &mut Linear, x: &Tensor| {
             let mut ctx = Ctx::train(SeedRng::new(0));
             let out = l.forward(x.clone(), &mut ctx);
-            l.backward(Tensor::full(out.dims(), 1.0));
+            l.backward(Tensor::full(out.dims(), 1.0), &mut ctx);
         };
         run(&mut l, &x);
         let mut g1 = vec![0.0; l.param_len()];

@@ -1,6 +1,6 @@
 //! Max-pooling layer (NCHW).
 
-use sasgd_tensor::pool::{maxpool2d_backward, maxpool2d_forward, Pool2dSpec};
+use sasgd_tensor::pool::{maxpool2d_backward_into, maxpool2d_forward_into, Pool2dSpec};
 use sasgd_tensor::Tensor;
 
 use crate::layer::{Ctx, Layer};
@@ -8,7 +8,9 @@ use crate::layer::{Ctx, Layer};
 /// Spatial max-pool; the paper uses 2×2 windows with stride 2 throughout.
 pub struct MaxPool2d {
     spec: Pool2dSpec,
-    cached_argmax: Option<Vec<u32>>,
+    /// Persistent argmax buffer, refilled each training forward.
+    cached_argmax: Vec<u32>,
+    argmax_valid: bool,
     cached_in_dims: Vec<usize>,
 }
 
@@ -17,7 +19,8 @@ impl MaxPool2d {
     pub fn new(window: usize) -> Self {
         MaxPool2d {
             spec: Pool2dSpec::square(window),
-            cached_argmax: None,
+            cached_argmax: Vec::new(),
+            argmax_valid: false,
             cached_in_dims: Vec::new(),
         }
     }
@@ -29,18 +32,31 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
-        let f = maxpool2d_forward(&input, &self.spec);
+        let [n, c] = [input.dims()[0], input.dims()[1]];
+        let (oh, ow) = self.spec.out_hw(input.dims()[2], input.dims()[3]);
+        let mut output = Tensor::zeros_in(&[n, c, oh, ow], &mut ctx.ws);
+        self.cached_argmax.resize(n * c * oh * ow, 0);
+        maxpool2d_forward_into(
+            &input,
+            &self.spec,
+            output.as_mut_slice(),
+            &mut self.cached_argmax,
+        );
         if ctx.training {
-            self.cached_argmax = Some(f.argmax);
+            self.argmax_valid = true;
             self.cached_in_dims = input.dims().to_vec();
         }
-        f.output
+        ctx.ws.recycle(input);
+        output
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let argmax = self.cached_argmax.take().expect("backward without forward");
-        let numel: usize = self.cached_in_dims.iter().product();
-        maxpool2d_backward(&grad_out, &argmax, numel).reshape(&self.cached_in_dims)
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
+        assert!(self.argmax_valid, "backward without forward");
+        self.argmax_valid = false;
+        let mut din = Tensor::zeros_in(&self.cached_in_dims, &mut ctx.ws);
+        maxpool2d_backward_into(&grad_out, &self.cached_argmax, din.as_mut_slice());
+        ctx.ws.recycle(grad_out);
+        din
     }
 
     fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
@@ -76,7 +92,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = p.forward(x.clone(), &mut ctx);
         assert_eq!(y.dims(), &[2, 3, 2, 2]);
-        let dx = p.backward(Tensor::full(y.dims(), 1.0));
+        let dx = p.backward(Tensor::full(y.dims(), 1.0), &mut ctx);
         assert_eq!(dx.dims(), x.dims());
         // Each 2x2 window contributed exactly one gradient unit.
         assert_eq!(dx.sum(), y.numel() as f32);

@@ -39,7 +39,7 @@ impl Layer for AvgPool2d {
         let k = self.window;
         let (oh, ow) = (h / k, w / k);
         assert!(oh >= 1 && ow >= 1, "input smaller than pool window");
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut out = Tensor::zeros_in(&[n, c, oh, ow], &mut ctx.ws);
         let id = input.as_slice();
         let od = out.as_mut_slice();
         let inv = 1.0 / (k * k) as f32;
@@ -64,10 +64,11 @@ impl Layer for AvgPool2d {
         if ctx.training {
             self.cached_in_dims = input.dims().to_vec();
         }
+        ctx.ws.recycle(input);
         out
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let [n, c, h, w] = [
             self.cached_in_dims[0],
             self.cached_in_dims[1],
@@ -77,7 +78,7 @@ impl Layer for AvgPool2d {
         let k = self.window;
         let (oh, ow) = (h / k, w / k);
         let inv = 1.0 / (k * k) as f32;
-        let mut din = Tensor::zeros(&[n, c, h, w]);
+        let mut din = Tensor::zeros_in(&[n, c, h, w], &mut ctx.ws);
         let gd = grad_out.as_slice();
         let dd = din.as_mut_slice();
         let mut o = 0usize;
@@ -97,6 +98,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
+        ctx.ws.recycle(grad_out);
         din
     }
 
@@ -173,7 +175,7 @@ impl Layer for LocalResponseNorm {
             input.dims()[2],
             input.dims()[3],
         ];
-        let mut out = Tensor::zeros(&[n, c, h, w]);
+        let mut out = Tensor::zeros_in(&[n, c, h, w], &mut ctx.ws);
         for img in 0..n {
             for ch in 0..c {
                 for y in 0..h {
@@ -187,11 +189,13 @@ impl Layer for LocalResponseNorm {
         }
         if ctx.training {
             self.cached_input = Some(input);
+        } else {
+            ctx.ws.recycle(input);
         }
         out
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         // Exact LRN backward couples nearby channels; we use the dominant
         // diagonal term d(y_i)/d(x_i) ≈ denom^{-β} − 2αβ/n · x_i² ·
         // denom^{-β-1}, the standard fast approximation (cross terms are
@@ -203,7 +207,7 @@ impl Layer for LocalResponseNorm {
             input.dims()[2],
             input.dims()[3],
         ];
-        let mut din = Tensor::zeros(&[n, c, h, w]);
+        let mut din = Tensor::zeros_in(&[n, c, h, w], &mut ctx.ws);
         for img in 0..n {
             for ch in 0..c {
                 for y in 0..h {
@@ -221,6 +225,8 @@ impl Layer for LocalResponseNorm {
                 }
             }
         }
+        ctx.ws.recycle(input);
+        ctx.ws.recycle(grad_out);
         din
     }
 
@@ -252,7 +258,7 @@ mod tests {
         let mut p = AvgPool2d::new(2);
         let mut ctx = Ctx::train(SeedRng::new(0));
         let _ = p.forward(x, &mut ctx);
-        let din = p.backward(Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]));
+        let din = p.backward(Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]), &mut ctx);
         assert_eq!(din.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
     }
 
@@ -263,7 +269,7 @@ mod tests {
         let mut p = AvgPool2d::new(2);
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = p.forward(x.clone(), &mut ctx);
-        let din = p.backward(Tensor::full(y.dims(), 1.0));
+        let din = p.backward(Tensor::full(y.dims(), 1.0), &mut ctx);
         let eps = 1e-2f32;
         let base = p.forward(x.clone(), &mut Ctx::eval()).sum();
         for &k in &[0usize, 7, 20, 31] {
@@ -320,7 +326,7 @@ mod tests {
         let mut lrn = LocalResponseNorm::alexnet();
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = lrn.forward(x.clone(), &mut ctx);
-        let din = lrn.backward(Tensor::full(y.dims(), 1.0));
+        let din = lrn.backward(Tensor::full(y.dims(), 1.0), &mut ctx);
         let eps = 1e-2f32;
         let base = lrn.forward(x.clone(), &mut Ctx::eval()).sum();
         for &k in &[0usize, 5, 10, 15] {

@@ -33,7 +33,7 @@ impl Layer for Flatten {
         input.reshape(&[n, rest])
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, _ctx: &mut Ctx) -> Tensor {
         grad_out.reshape(&self.cached_in_dims.clone())
     }
 
@@ -58,7 +58,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = f.forward(x, &mut ctx);
         assert_eq!(y.dims(), &[2, 60]);
-        let dx = f.backward(Tensor::zeros(&[2, 60]));
+        let dx = f.backward(Tensor::zeros(&[2, 60]), &mut ctx);
         assert_eq!(dx.dims(), &[2, 3, 4, 5]);
     }
 

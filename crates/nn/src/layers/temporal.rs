@@ -5,7 +5,7 @@
 //! applies a linear map — the Torch `nn.TemporalConvolution` the paper's
 //! NLC-F model uses.
 
-use sasgd_tensor::{linalg, SeedRng, Tensor};
+use sasgd_tensor::{linalg, SeedRng, Tensor, Workspace};
 
 use crate::init;
 use crate::layer::{Ctx, Layer};
@@ -44,13 +44,13 @@ impl TemporalConv1d {
         }
     }
 
-    fn unfold(&self, input: &Tensor) -> Tensor {
+    fn unfold(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         let [n, len, din] = [input.dims()[0], input.dims()[1], input.dims()[2]];
         let olen = len + 1 - self.window;
         let fan_in = self.window * din;
-        let mut out = Tensor::zeros(&[n * olen, fan_in]);
+        // Every row is overwritten below, so a stale workspace buffer is fine.
+        let mut od = ws.take_f32_uninit(n * olen * fan_in);
         let id = input.as_slice();
-        let od = out.as_mut_slice();
         for s in 0..n {
             for t in 0..olen {
                 let src = (s * len + t) * din;
@@ -58,7 +58,7 @@ impl TemporalConv1d {
                 od[dst..dst + fan_in].copy_from_slice(&id[src..src + fan_in]);
             }
         }
-        out
+        Tensor::from_vec(od, &[n * olen, fan_in])
     }
 }
 
@@ -72,17 +72,29 @@ impl Layer for TemporalConv1d {
         assert_eq!(din, self.din, "timestep width mismatch");
         assert!(len >= self.window, "sequence shorter than window");
         let olen = len + 1 - self.window;
-        let unfolded = self.unfold(&input);
-        let mut out = linalg::matmul_auto(&unfolded, &self.weight);
+        let rows = n * olen;
+        let unfolded = self.unfold(&input, &mut ctx.ws);
+        let mut out = Tensor::zeros_in(&[rows, self.nkern], &mut ctx.ws);
+        linalg::matmul_into_auto(
+            out.as_mut_slice(),
+            unfolded.as_slice(),
+            self.weight.as_slice(),
+            rows,
+            self.window * din,
+            self.nkern,
+        );
         linalg::add_bias_rows(&mut out, &self.bias);
         if ctx.training {
             self.cached_unfold = Some(unfolded);
             self.cached_in_dims = input.dims().to_vec();
+        } else {
+            ctx.ws.recycle(unfolded);
         }
+        ctx.ws.recycle(input);
         out.reshape(&[n, olen, self.nkern])
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let unfolded = self.cached_unfold.take().expect("backward without forward");
         let [n, len, din] = [
             self.cached_in_dims[0],
@@ -91,15 +103,33 @@ impl Layer for TemporalConv1d {
         ];
         let olen = len + 1 - self.window;
         let rows = n * olen;
+        let fan_in = self.window * din;
         let g = grad_out.reshape(&[rows, self.nkern]);
-        self.dweight.add_assign(&linalg::matmul_tn(&unfolded, &g));
+        let mut dw = Tensor::zeros_in(&[fan_in, self.nkern], &mut ctx.ws);
+        linalg::matmul_tn_into_auto(
+            dw.as_mut_slice(),
+            unfolded.as_slice(),
+            g.as_slice(),
+            rows,
+            fan_in,
+            self.nkern,
+        );
+        self.dweight.add_assign(&dw);
+        ctx.ws.recycle(dw);
         linalg::col_sums_into(&g, &mut self.dbias);
         // d(unfolded) = G W^T, then fold overlapping windows back.
-        let dunf = linalg::matmul_nt(&g, &self.weight);
-        let mut din_t = Tensor::zeros(&[n, len, din]);
+        let mut dunf = Tensor::zeros_in(&[rows, fan_in], &mut ctx.ws);
+        linalg::matmul_nt_into_auto(
+            dunf.as_mut_slice(),
+            g.as_slice(),
+            self.weight.as_slice(),
+            rows,
+            self.nkern,
+            fan_in,
+        );
+        let mut din_t = Tensor::zeros_in(&[n, len, din], &mut ctx.ws);
         let dd = din_t.as_mut_slice();
         let ud = dunf.as_slice();
-        let fan_in = self.window * din;
         for s in 0..n {
             for t in 0..olen {
                 let src = (s * olen + t) * fan_in;
@@ -109,6 +139,9 @@ impl Layer for TemporalConv1d {
                 }
             }
         }
+        ctx.ws.recycle(dunf);
+        ctx.ws.recycle(unfolded);
+        ctx.ws.recycle(g);
         din_t
     }
 
@@ -155,7 +188,9 @@ impl Layer for TemporalConv1d {
 /// (window `w`, stride `w`; the paper's `(2, 1)` pooling).
 pub struct TemporalMaxPool {
     window: usize,
-    cached_argmax: Option<Vec<u32>>,
+    /// Persistent argmax buffer, refilled each forward.
+    cached_argmax: Vec<u32>,
+    argmax_valid: bool,
     cached_in_dims: Vec<usize>,
 }
 
@@ -165,7 +200,8 @@ impl TemporalMaxPool {
         assert!(window >= 1);
         TemporalMaxPool {
             window,
-            cached_argmax: None,
+            cached_argmax: Vec::new(),
+            argmax_valid: false,
             cached_in_dims: Vec::new(),
         }
     }
@@ -180,8 +216,9 @@ impl Layer for TemporalMaxPool {
         let [n, len, dim] = [input.dims()[0], input.dims()[1], input.dims()[2]];
         let olen = len / self.window;
         assert!(olen >= 1, "sequence shorter than pool window");
-        let mut out = Tensor::zeros(&[n, olen, dim]);
-        let mut argmax = vec![0u32; n * olen * dim];
+        let mut out = Tensor::zeros_in(&[n, olen, dim], &mut ctx.ws);
+        self.cached_argmax.resize(n * olen * dim, 0);
+        let argmax = &mut self.cached_argmax;
         let id = input.as_slice();
         let od = out.as_mut_slice();
         for s in 0..n {
@@ -203,20 +240,23 @@ impl Layer for TemporalMaxPool {
             }
         }
         if ctx.training {
-            self.cached_argmax = Some(argmax);
+            self.argmax_valid = true;
             self.cached_in_dims = input.dims().to_vec();
         }
+        ctx.ws.recycle(input);
         out
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let argmax = self.cached_argmax.take().expect("backward without forward");
-        let numel: usize = self.cached_in_dims.iter().product();
-        let mut din = vec![0.0f32; numel];
-        for (g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
-            din[idx as usize] += g;
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
+        assert!(self.argmax_valid, "backward without forward");
+        self.argmax_valid = false;
+        let mut din = Tensor::zeros_in(&self.cached_in_dims, &mut ctx.ws);
+        let dd = din.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(&self.cached_argmax) {
+            dd[idx as usize] += g;
         }
-        Tensor::from_vec(din, &self.cached_in_dims)
+        ctx.ws.recycle(grad_out);
+        din
     }
 
     fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
@@ -233,7 +273,9 @@ impl Layer for TemporalMaxPool {
 /// fully connected stack of Table II (max-over-time, Collobert-style).
 #[derive(Default)]
 pub struct GlobalMaxOverTime {
-    cached_argmax: Option<Vec<u32>>,
+    /// Persistent argmax buffer, refilled each forward.
+    cached_argmax: Vec<u32>,
+    argmax_valid: bool,
     cached_in_dims: Vec<usize>,
 }
 
@@ -251,8 +293,9 @@ impl Layer for GlobalMaxOverTime {
 
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
         let [n, len, dim] = [input.dims()[0], input.dims()[1], input.dims()[2]];
-        let mut out = Tensor::zeros(&[n, dim]);
-        let mut argmax = vec![0u32; n * dim];
+        let mut out = Tensor::zeros_in(&[n, dim], &mut ctx.ws);
+        self.cached_argmax.resize(n * dim, 0);
+        let argmax = &mut self.cached_argmax;
         let id = input.as_slice();
         let od = out.as_mut_slice();
         for s in 0..n {
@@ -271,20 +314,23 @@ impl Layer for GlobalMaxOverTime {
             }
         }
         if ctx.training {
-            self.cached_argmax = Some(argmax);
+            self.argmax_valid = true;
             self.cached_in_dims = input.dims().to_vec();
         }
+        ctx.ws.recycle(input);
         out
     }
 
-    fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let argmax = self.cached_argmax.take().expect("backward without forward");
-        let numel: usize = self.cached_in_dims.iter().product();
-        let mut din = vec![0.0f32; numel];
-        for (g, &idx) in grad_out.as_slice().iter().zip(&argmax) {
-            din[idx as usize] += g;
+    fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
+        assert!(self.argmax_valid, "backward without forward");
+        self.argmax_valid = false;
+        let mut din = Tensor::zeros_in(&self.cached_in_dims, &mut ctx.ws);
+        let dd = din.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(&self.cached_argmax) {
+            dd[idx as usize] += g;
         }
-        Tensor::from_vec(din, &self.cached_in_dims)
+        ctx.ws.recycle(grad_out);
+        din
     }
 
     fn out_shape(&self, in_dims: &[usize]) -> Vec<usize> {
@@ -335,7 +381,7 @@ mod tests {
         let x = rng.normal_tensor(&[2, 5, 3], 1.0);
         let mut ctx = Ctx::train(SeedRng::new(0));
         let y = c.forward(x.clone(), &mut ctx);
-        let dx = c.backward(Tensor::full(y.dims(), 1.0));
+        let dx = c.backward(Tensor::full(y.dims(), 1.0), &mut ctx);
         let mut grads = vec![0.0; c.param_len()];
         c.read_grads(&mut grads);
         let mut params = vec![0.0; c.param_len()];
@@ -381,14 +427,14 @@ mod tests {
         let y = p.forward(x.clone(), &mut ctx);
         assert_eq!(y.dims(), &[1, 2, 2]);
         assert_eq!(y.as_slice(), &[2.0, 10.0, 5.0, 8.0]);
-        let dx = p.backward(Tensor::full(&[1, 2, 2], 1.0));
+        let dx = p.backward(Tensor::full(&[1, 2, 2], 1.0), &mut ctx);
         assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
 
         let mut g = GlobalMaxOverTime::new();
         let z = g.forward(x, &mut ctx);
         assert_eq!(z.dims(), &[1, 2]);
         assert_eq!(z.as_slice(), &[5.0, 10.0]);
-        let dz = g.backward(Tensor::full(&[1, 2], 2.0));
+        let dz = g.backward(Tensor::full(&[1, 2], 2.0), &mut ctx);
         assert_eq!(dz.as_slice(), &[0.0, 2.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0]);
     }
 

@@ -1,6 +1,6 @@
 //! Softmax cross-entropy — the error measure of both paper networks.
 
-use sasgd_tensor::Tensor;
+use sasgd_tensor::{Tensor, Workspace};
 
 /// Loss value plus everything needed to continue backprop.
 pub struct LossOutput {
@@ -19,9 +19,19 @@ pub struct LossOutput {
 /// # Panics
 /// Panics if shapes disagree or any label is out of range.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    softmax_cross_entropy_ws(logits, labels, &mut Workspace::new())
+}
+
+/// [`softmax_cross_entropy`] with `dlogits` drawn from a workspace arena
+/// instead of a fresh allocation.
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> LossOutput {
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(n, labels.len(), "batch size mismatch");
-    let mut dlogits = Tensor::zeros(&[n, c]);
+    let mut dlogits = Tensor::zeros_in(&[n, c], ws);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
     let ld = logits.as_slice();

@@ -4,7 +4,7 @@
 use sasgd_tensor::Tensor;
 
 use crate::layer::{Ctx, Layer};
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_ws;
 
 /// Result of one forward (+loss) pass.
 pub struct ForwardOutput {
@@ -85,10 +85,14 @@ impl Model {
         ctx: &mut Ctx,
     ) -> ForwardOutput {
         let n = labels.len();
-        let logits = self.forward(input.clone(), ctx);
-        let out = softmax_cross_entropy(&logits, labels);
+        let batch = Tensor::clone_in(input, &mut ctx.ws);
+        let logits = self.forward(batch, ctx);
+        let out = softmax_cross_entropy_ws(&logits, labels, &mut ctx.ws);
+        ctx.ws.recycle(logits);
         if ctx.training {
             self.pending_dlogits = Some(out.dlogits);
+        } else {
+            ctx.ws.recycle(out.dlogits);
         }
         ForwardOutput {
             loss: out.loss,
@@ -102,14 +106,15 @@ impl Model {
     ///
     /// # Panics
     /// Panics if called without a preceding training-mode `forward_loss`.
-    pub fn backward(&mut self) {
+    pub fn backward(&mut self, ctx: &mut Ctx) {
         let mut g = self
             .pending_dlogits
             .take()
             .expect("backward() requires a training-mode forward_loss first");
         for l in self.layers.iter_mut().rev() {
-            g = l.backward(g);
+            g = l.backward(g, ctx);
         }
+        ctx.ws.recycle(g);
     }
 
     /// Copy all parameters into a fresh flat vector.
@@ -267,13 +272,13 @@ mod tests {
         let (x, labels) = separable(16, &mut rng);
         let mut ctx = Ctx::train(SeedRng::new(4));
         let first = m.forward_loss(&x, &labels, &mut ctx);
-        m.backward();
+        m.backward(&mut ctx);
         let mut last = first.loss;
         for _ in 0..100 {
             m.sgd_step(0.2);
             m.zero_grads();
             let o = m.forward_loss(&x, &labels, &mut ctx);
-            m.backward();
+            m.backward(&mut ctx);
             last = o.loss;
         }
         assert!(last < first.loss * 0.5, "loss {} -> {last}", first.loss);
@@ -286,7 +291,7 @@ mod tests {
         let x = rng.normal_tensor(&[4, 4], 1.0);
         let mut ctx = Ctx::train(SeedRng::new(7));
         m.forward_loss(&x, &[0, 1, 2, 0], &mut ctx);
-        m.backward();
+        m.backward(&mut ctx);
         assert!(m.grad_vector().iter().any(|&g| g != 0.0));
         m.zero_grads();
         assert!(m.grad_vector().iter().all(|&g| g == 0.0));
@@ -307,7 +312,7 @@ mod tests {
         let mut ctx = Ctx::train(SeedRng::new(11));
         for _ in 0..300 {
             m.forward_loss(&x, &labels, &mut ctx);
-            m.backward();
+            m.backward(&mut ctx);
             m.sgd_step(0.2);
             m.zero_grads();
         }
@@ -319,7 +324,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a training-mode forward_loss")]
     fn backward_without_forward_panics() {
-        mlp(12).backward();
+        mlp(12).backward(&mut Ctx::train(SeedRng::new(0)));
     }
 
     #[test]

@@ -21,7 +21,7 @@ proptest! {
         let x = rand_tensor(&[batch, din], seed + 1);
         let mut ctx = Ctx::train(SeedRng::new(0));
         let out = layer.forward(x.clone(), &mut ctx);
-        layer.backward(Tensor::full(out.dims(), 1.0));
+        layer.backward(Tensor::full(out.dims(), 1.0), &mut ctx);
         let mut grads = vec![0.0; layer.param_len()];
         layer.read_grads(&mut grads);
         let mut params = vec![0.0; layer.param_len()];
@@ -112,7 +112,7 @@ proptest! {
             for _ in 0..passes {
                 let mut ctx = Ctx::train(SeedRng::new(0));
                 m.forward_loss(&x, &labels, &mut ctx);
-                m.backward();
+                m.backward(&mut ctx);
             }
             m.grad_vector()
         };
@@ -130,7 +130,7 @@ proptest! {
         let labels = [0usize, 1, 2, 0];
         let mut ctx = Ctx::train(SeedRng::new(0));
         let before = m.forward_loss(&x, &labels, &mut ctx).loss;
-        m.backward();
+        m.backward(&mut ctx);
         m.sgd_step(0.01);
         m.zero_grads();
         let after = m.forward_loss(&x, &labels, &mut ctx).loss;

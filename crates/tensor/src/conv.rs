@@ -1,17 +1,35 @@
 //! 2-D convolution kernels (im2col formulation).
 //!
 //! A convolution with kernel `[co, ci, kh, kw]` over an NCHW input is
-//! lowered to one matrix multiply per image: the patch matrix
-//! (`im2col`, shape `[oh*ow, ci*kh*kw]`) times the transposed weight matrix.
-//! The backward pass reuses the same lowering: the weight gradient is a
-//! `patchᵀ · grad_out` product and the input gradient scatters back through
-//! `col2im`. This mirrors how the paper's Torch backend executes
-//! convolutions, so the FLOP model in `sasgd-nn` can count the same
-//! multiply–accumulate operations a GPU would perform.
+//! lowered to a patch matrix (`im2col`, one row of length `ci*kh*kw` per
+//! output pixel) times the weight matrix. The backward pass reuses the
+//! same lowering: the weight gradient is a `patchᵀ · grad_out` product and
+//! the input gradient scatters back through `col2im`. This mirrors how the
+//! paper's Torch backend executes convolutions, so the FLOP model in
+//! `sasgd-nn` can count the same multiply–accumulate operations a GPU
+//! would perform.
+//!
+//! The hot path lowers the **whole minibatch at once**: [`im2col_batch`]
+//! stacks all `n` images into one `[n*oh*ow, ci*kh*kw]` matrix (image
+//! `i`'s rows exactly where the per-image loop would put them), so forward
+//! and backward each become a single large GEMM whose row count actually
+//! saturates the thread pool. Scratch matrices come from a
+//! [`Workspace`] via the `*_ws` entry points, so a
+//! steady-state training loop stops allocating. The pre-batching
+//! per-image implementations survive as [`conv2d_forward_ref`] /
+//! [`conv2d_backward_ref`]: they are the bitwise reference the proptests
+//! compare against and the "before" baseline of the `hotpath` benchmark.
+//!
+//! Every accumulation keeps the reference order — ascending inner index,
+//! `g == 0.0` skipped where the reference skipped it, per-image weight /
+//! bias partials reduced serially in image order — so batched and
+//! reference paths are bitwise identical at any thread count.
 
+use crate::linalg;
 use crate::parallel;
 use crate::shape::conv_out;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Geometry of one convolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,9 +69,60 @@ impl Conv2dSpec {
     }
 }
 
+/// Lower one image `[ci, h, w]` into a caller-provided patch matrix slice
+/// `[oh*ow * ci*kh*kw]`. Writes **every** element (padding positions get an
+/// explicit `0.0`), so the output buffer may hold stale values on entry.
+///
+/// Rows whose `kw`-wide window is fully in-bounds are copied with
+/// `copy_from_slice`; only boundary rows take the per-element branch.
+pub fn im2col_into(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
+    debug_assert_eq!(img.len(), ci * h * w);
+    let (oh, ow) = spec.out_hw(h, w);
+    let plen = spec.patch_len();
+    debug_assert_eq!(out.len(), oh * ow * plen);
+    let (kh, kw, stride, pad) = (spec.kh, spec.kw, spec.stride, spec.pad);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut k = (oy * ow + ox) * plen;
+            let ix0 = (ox * stride) as isize - pad as isize;
+            let row_in_x = ix0 >= 0 && (ix0 as usize) + kw <= w;
+            for c in 0..ci {
+                let base = c * h * w;
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut out[k..k + kw];
+                    if row_in_x && iy >= 0 && (iy as usize) < h {
+                        let src = base + iy as usize * w + ix0 as usize;
+                        dst.copy_from_slice(&img[src..src + kw]);
+                    } else {
+                        for (kx, d) in dst.iter_mut().enumerate() {
+                            let ix = ix0 + kx as isize;
+                            *d = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                img[base + iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    k += kw;
+                }
+            }
+        }
+    }
+}
+
 /// Lower one image `[ci, h, w]` (flat slice) into a patch matrix
 /// `[oh*ow, ci*kh*kw]`.
 pub fn im2col(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[oh * ow, spec.patch_len()]);
+    im2col_into(img, ci, h, w, spec, out.as_mut_slice());
+    out
+}
+
+/// The original per-element `im2col` (no contiguous-run fast path), kept
+/// as the independent bitwise reference for the proptests.
+pub fn im2col_ref(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
     debug_assert_eq!(img.len(), ci * h * w);
     let (oh, ow) = spec.out_hw(h, w);
     let plen = spec.patch_len();
@@ -83,10 +152,53 @@ pub fn im2col(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec) -> 
     out
 }
 
-/// Scatter a patch-matrix gradient `[oh*ow, ci*kh*kw]` back onto an image
-/// gradient `[ci, h, w]` (accumulating; inverse of [`im2col`]).
-pub fn col2im(
-    cols: &Tensor,
+/// Lower a whole batch `[n, ci, h, w]` into one stacked patch matrix
+/// `[n*oh*ow, ci*kh*kw]` — image `i`'s rows land exactly where the
+/// per-image loop would put them, split across the thread pool per image.
+pub fn im2col_batch_into(
+    input: &[f32],
+    n: usize,
+    ci: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let block = oh * ow * spec.patch_len();
+    let in_stride = ci * h * w;
+    debug_assert_eq!(input.len(), n * in_stride);
+    debug_assert_eq!(out.len(), n * block);
+    parallel::for_each_chunk_mut(out, block, |img, oblk| {
+        im2col_into(
+            &input[img * in_stride..(img + 1) * in_stride],
+            ci,
+            h,
+            w,
+            spec,
+            oblk,
+        );
+    });
+}
+
+/// [`im2col_batch_into`] allocating its `[n*oh*ow, ci*kh*kw]` output.
+pub fn im2col_batch(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n * oh * ow, spec.patch_len()]);
+    im2col_batch_into(input.as_slice(), n, ci, h, w, spec, out.as_mut_slice());
+    out
+}
+
+/// Scatter a patch-matrix gradient slice `[oh*ow * ci*kh*kw]` back onto an
+/// image gradient `[ci, h, w]` (accumulating; inverse of [`im2col_into`]).
+pub fn col2im_into(
+    cols: &[f32],
     ci: usize,
     h: usize,
     w: usize,
@@ -96,7 +208,7 @@ pub fn col2im(
     debug_assert_eq!(img_grad.len(), ci * h * w);
     let (oh, ow) = spec.out_hw(h, w);
     let plen = spec.patch_len();
-    let cd = cols.as_slice();
+    debug_assert_eq!(cols.len(), oh * ow * plen);
     for oy in 0..oh {
         for ox in 0..ow {
             let row = (oy * ow + ox) * plen;
@@ -108,7 +220,7 @@ pub fn col2im(
                     for kx in 0..spec.kw {
                         let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
                         if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                            img_grad[base + iy as usize * w + ix as usize] += cd[k];
+                            img_grad[base + iy as usize * w + ix as usize] += cols[k];
                         }
                         k += 1;
                     }
@@ -118,27 +230,127 @@ pub fn col2im(
     }
 }
 
-/// Forward convolution over a batch.
-///
-/// `input`: `[n, ci, h, w]`; `weight`: `[co, ci*kh*kw]` (pre-flattened);
-/// `bias`: `[co]`. Returns `[n, co, oh, ow]`. Images are independent, so
-/// the batch is split across the thread pool; per image the output is one
-/// `weight · colsᵀ` GEMM (the same `[co, oh*ow]` layout the lowering
-/// produces), which keeps results bitwise identical to the serial path.
-pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) -> Tensor {
-    let [n, ci, h, w] = [
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    ];
-    assert_eq!(ci, spec.ci, "input channels mismatch");
+/// Scatter a patch-matrix gradient `[oh*ow, ci*kh*kw]` back onto an image
+/// gradient `[ci, h, w]` (accumulating; inverse of [`im2col`]).
+pub fn col2im(
+    cols: &Tensor,
+    ci: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    img_grad: &mut [f32],
+) {
+    col2im_into(cols.as_slice(), ci, h, w, spec, img_grad);
+}
+
+/// Scatter a stacked batch patch-matrix gradient `[n*oh*ow, ci*kh*kw]`
+/// back onto a batch image gradient `[n, ci, h, w]` (accumulating), each
+/// image in the existing per-image scatter order, images split across the
+/// thread pool (their output slices are disjoint).
+pub fn col2im_batch(
+    cols: &[f32],
+    n: usize,
+    ci: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    grad: &mut [f32],
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    let block = oh * ow * spec.patch_len();
+    let in_stride = ci * h * w;
+    debug_assert_eq!(cols.len(), n * block);
+    debug_assert_eq!(grad.len(), n * in_stride);
+    parallel::for_each_chunk_mut(grad, in_stride, |img, gimg| {
+        col2im_into(&cols[img * block..(img + 1) * block], ci, h, w, spec, gimg);
+    });
+}
+
+fn forward_asserts(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) {
+    assert_eq!(input.dims()[1], spec.ci, "input channels mismatch");
     assert_eq!(
         weight.dims(),
         &[spec.co, spec.patch_len()],
         "weight shape mismatch"
     );
     assert_eq!(bias.len(), spec.co, "bias length mismatch");
+}
+
+/// Forward convolution over a batch, scratch space from a [`Workspace`].
+///
+/// `input`: `[n, ci, h, w]`; `weight`: `[co, ci*kh*kw]` (pre-flattened);
+/// `bias`: `[co]`. Returns `[n, co, oh, ow]`. The whole minibatch is
+/// lowered into one stacked patch matrix and multiplied in a single
+/// `cols · weightᵀ` GEMM; each output element is still
+/// `dot(patch, weight[co]) + bias[co]` with the reference accumulation
+/// order, so results are bitwise identical to [`conv2d_forward_ref`].
+pub fn conv2d_forward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    ws: &mut Workspace,
+) -> Tensor {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    forward_asserts(input, weight, bias, spec);
+    let (oh, ow) = spec.out_hw(h, w);
+    let npix = oh * ow;
+    let nrows = n * npix;
+    let plen = spec.patch_len();
+    let co = spec.co;
+
+    let mut cols = ws.take_f32_uninit(nrows * plen);
+    im2col_batch_into(input.as_slice(), n, ci, h, w, spec, &mut cols);
+
+    // One GEMM for the minibatch: tmp[row, c] = dot(cols[row], weight[c]).
+    let mut tmp = ws.take_f32_uninit(nrows * co);
+    linalg::matmul_nt_into_auto(&mut tmp, &cols, weight.as_slice(), nrows, plen, co);
+
+    // Transpose each image's [npix, co] block to the NCHW [co, npix]
+    // output layout, adding the bias (pure data movement plus the same
+    // `dot + bias` the reference computes).
+    let mut od = ws.take_f32_uninit(n * co * npix);
+    parallel::for_each_chunk_mut(&mut od, co * npix, |img, oimg| {
+        let t = &tmp[img * npix * co..(img + 1) * npix * co];
+        for (c, orow) in oimg.chunks_mut(npix).enumerate() {
+            let b = bias[c];
+            for (pix, o) in orow.iter_mut().enumerate() {
+                *o = t[pix * co + c] + b;
+            }
+        }
+    });
+    ws.give_f32(cols);
+    ws.give_f32(tmp);
+    Tensor::from_vec(od, &[n, co, oh, ow])
+}
+
+/// Forward convolution over a batch (fresh scratch space per call; hot
+/// loops should pass a persistent [`Workspace`] to [`conv2d_forward_ws`]).
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dSpec) -> Tensor {
+    conv2d_forward_ws(input, weight, bias, spec, &mut Workspace::new())
+}
+
+/// The original per-image forward path (one `im2col` + one small GEMM per
+/// image, fresh allocations): the bitwise reference for the batched
+/// kernel and the "before" baseline of the `hotpath` benchmark.
+pub fn conv2d_forward_ref(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    forward_asserts(input, weight, bias, spec);
     let (oh, ow) = spec.out_hw(h, w);
     let mut out = Tensor::zeros(&[n, spec.co, oh, ow]);
     let in_stride = ci * h * w;
@@ -147,12 +359,16 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv
     let wd = weight.as_slice();
     let plen = spec.patch_len();
     parallel::for_each_chunk_mut(out.as_mut_slice(), out_stride, |img, oimg| {
-        let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
-        // oimg = weight · colsᵀ, i.e. oimg[co][pix] = dot(weight[co], cols[pix]).
-        crate::linalg::nt_rows(oimg, wd, cols.as_slice(), spec.co, plen, oh * ow);
+        let cols = im2col_ref(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+        // oimg[co][pix] = dot(weight[co], cols[pix]), one column at a time.
+        let cd = cols.as_slice();
         for (co, orow) in oimg.chunks_mut(oh * ow).enumerate() {
+            let wrow = &wd[co * plen..(co + 1) * plen];
             let b = bias[co];
-            orow.iter_mut().for_each(|o| *o += b);
+            for (pix, o) in orow.iter_mut().enumerate() {
+                *o = linalg::dot(wrow, &cd[pix * plen..(pix + 1) * plen]);
+                *o += b;
+            }
         }
     });
     out
@@ -168,11 +384,123 @@ pub struct Conv2dGrads {
     pub dbias: Vec<f32>,
 }
 
-/// Backward convolution over a batch.
+/// Backward convolution over a batch, scratch space from a [`Workspace`].
 ///
-/// `grad_out`: `[n, co, oh, ow]`. Recomputes `im2col` per image (trading
-/// FLOPs for memory, as cuDNN's low-workspace algorithms do).
+/// `grad_out`: `[n, co, oh, ow]`. Recomputes the stacked `im2col` (trading
+/// FLOPs for memory, as cuDNN's low-workspace algorithms do). The patch
+/// gradient is one minibatch-wide GEMM; the weight/bias gradients are
+/// computed as per-image partials in parallel and reduced serially in
+/// image order, with the reference's `g == 0.0` skip — bitwise identical
+/// to [`conv2d_backward_ref`] at any thread count.
+pub fn conv2d_backward_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+    ws: &mut Workspace,
+) -> Conv2dGrads {
+    let [n, ci, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(
+        grad_out.dims(),
+        &[n, spec.co, oh, ow],
+        "grad_out shape mismatch"
+    );
+    let plen = spec.patch_len();
+    let co = spec.co;
+    let npix = oh * ow;
+    let nrows = n * npix;
+    let out_stride = co * npix;
+    let gd = grad_out.as_slice();
+
+    let mut cols = ws.take_f32_uninit(nrows * plen);
+    im2col_batch_into(input.as_slice(), n, ci, h, w, spec, &mut cols);
+
+    // Transpose each image's gradient block to [npix, co] so output pixels
+    // index GEMM rows (pure data movement).
+    let mut gt = ws.take_f32_uninit(nrows * co);
+    parallel::for_each_chunk_mut(&mut gt, npix * co, |img, gblk| {
+        let src = &gd[img * out_stride..(img + 1) * out_stride];
+        for (pix, row) in gblk.chunks_mut(co).enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = src[c * npix + pix];
+            }
+        }
+    });
+
+    // Patch gradient for the whole minibatch in one GEMM. Per element the
+    // terms accumulate in ascending output-channel order with g == 0.0
+    // skipped — exactly the reference's fused loop.
+    let mut dcols = ws.take_f32_uninit(nrows * plen);
+    linalg::matmul_into_auto(&mut dcols, &gt, weight.as_slice(), nrows, co, plen);
+
+    // Per-image dweight/dbias partials in parallel (disjoint outputs),
+    // reduced serially in image order below.
+    let mut dw_all = ws.take_f32_uninit(n * co * plen);
+    let mut db_all = ws.take_f32(n * co);
+    parallel::for_each_zip_chunks_mut(&mut dw_all, co * plen, &mut db_all, co, |img, dw, db| {
+        let gblk = &gt[img * npix * co..(img + 1) * npix * co];
+        let cblk = &cols[img * npix * plen..(img + 1) * npix * plen];
+        // dw[c][k] = Σ_pix g · patch[k], ascending pix, g == 0.0 skipped.
+        linalg::matmul_tn_into(dw, gblk, cblk, npix, co, plen);
+        for grow in gblk.chunks(co) {
+            for (bj, &g) in db.iter_mut().zip(grow) {
+                if g == 0.0 {
+                    continue;
+                }
+                *bj += g;
+            }
+        }
+    });
+
+    let mut dweight = Tensor::zeros_in(&[co, plen], ws);
+    let mut dbias = ws.take_f32(co);
+    for img in 0..n {
+        let dw = &dw_all[img * co * plen..(img + 1) * co * plen];
+        for (a, &v) in dweight.as_mut_slice().iter_mut().zip(dw) {
+            *a += v;
+        }
+        let db = &db_all[img * co..(img + 1) * co];
+        for (a, &v) in dbias.iter_mut().zip(db) {
+            *a += v;
+        }
+    }
+
+    let mut dinput = Tensor::zeros_in(&[n, ci, h, w], ws);
+    col2im_batch(&dcols, n, ci, h, w, spec, dinput.as_mut_slice());
+
+    ws.give_f32(cols);
+    ws.give_f32(gt);
+    ws.give_f32(dcols);
+    ws.give_f32(dw_all);
+    ws.give_f32(db_all);
+    Conv2dGrads {
+        dinput,
+        dweight,
+        dbias,
+    }
+}
+
+/// Backward convolution over a batch (fresh scratch space per call; hot
+/// loops should pass a persistent [`Workspace`] to [`conv2d_backward_ws`]).
 pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Conv2dGrads {
+    conv2d_backward_ws(input, weight, grad_out, spec, &mut Workspace::new())
+}
+
+/// The original per-image backward path (fused dW/db/dcols loop per image,
+/// fresh allocations): the bitwise reference for the batched kernel and
+/// the "before" baseline of the `hotpath` benchmark.
+pub fn conv2d_backward_ref(
     input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
@@ -200,7 +528,7 @@ pub fn conv2d_backward(
     // Per-image partials, reduced serially in image order afterwards so
     // the dweight/dbias sums accumulate identically at any thread count.
     let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = parallel::map_collect(n, |img| {
-        let cols = im2col(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
+        let cols = im2col_ref(&id[img * in_stride..(img + 1) * in_stride], ci, h, w, spec);
         let cd = cols.as_slice();
         let gimg = &gd[img * out_stride..(img + 1) * out_stride];
         let mut dw = vec![0.0f32; spec.co * plen];
@@ -327,6 +655,127 @@ mod tests {
         let bias = vec![0.0; 3];
         assert!(conv2d_forward(&input, &weight, &bias, &spec)
             .allclose(&naive_conv(&input, &weight, &bias, &spec), 1e-4));
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_reference() {
+        let spec = Conv2dSpec {
+            ci: 3,
+            co: 5,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(12);
+        let input = r.normal_tensor(&[3, 3, 7, 7], 1.0);
+        let weight = r.normal_tensor(&[5, spec.patch_len()], 0.3);
+        let bias = vec![0.1, -0.2, 0.3, 0.0, 0.7];
+        let fast = conv2d_forward(&input, &weight, &bias, &spec);
+        let reference = conv2d_forward_ref(&input, &weight, &bias, &spec);
+        assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn batched_backward_is_bitwise_reference() {
+        let spec = Conv2dSpec {
+            ci: 2,
+            co: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(13);
+        let input = r.normal_tensor(&[3, 2, 6, 6], 1.0);
+        let weight = r.normal_tensor(&[4, spec.patch_len()], 0.3);
+        let (oh, ow) = spec.out_hw(6, 6);
+        let mut grad_out = r.normal_tensor(&[3, 4, oh, ow], 1.0);
+        // Exercise the zero-skip rule too.
+        for (i, g) in grad_out.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *g = 0.0;
+            }
+        }
+        let fast = conv2d_backward(&input, &weight, &grad_out, &spec);
+        let reference = conv2d_backward_ref(&input, &weight, &grad_out, &spec);
+        assert_eq!(fast.dinput.as_slice(), reference.dinput.as_slice());
+        assert_eq!(fast.dweight.as_slice(), reference.dweight.as_slice());
+        assert_eq!(fast.dbias, reference.dbias);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        // Same convolution twice through one workspace (dirty buffers on
+        // the second pass) must equal the fresh-allocation run.
+        let spec = Conv2dSpec {
+            ci: 2,
+            co: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut r = SeedRng::new(14);
+        let input = r.normal_tensor(&[2, 2, 5, 5], 1.0);
+        let weight = r.normal_tensor(&[3, spec.patch_len()], 0.3);
+        let bias = vec![0.1, 0.2, 0.3];
+        let fresh = conv2d_forward(&input, &weight, &bias, &spec);
+        let mut ws = Workspace::new();
+        let first = conv2d_forward_ws(&input, &weight, &bias, &spec, &mut ws);
+        let f = first.as_slice().to_vec();
+        ws.recycle(first);
+        let second = conv2d_forward_ws(&input, &weight, &bias, &spec, &mut ws);
+        assert_eq!(second.as_slice(), fresh.as_slice());
+        assert_eq!(second.as_slice(), &f[..]);
+    }
+
+    #[test]
+    fn im2col_fast_path_matches_reference() {
+        for &(h, w, spec) in &[
+            (
+                6usize,
+                6usize,
+                Conv2dSpec {
+                    ci: 2,
+                    co: 1,
+                    kh: 3,
+                    kw: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+            ),
+            (
+                5,
+                7,
+                Conv2dSpec {
+                    ci: 3,
+                    co: 1,
+                    kh: 2,
+                    kw: 4,
+                    stride: 2,
+                    pad: 0,
+                },
+            ),
+            (
+                4,
+                4,
+                Conv2dSpec {
+                    ci: 1,
+                    co: 1,
+                    kh: 5,
+                    kw: 5,
+                    stride: 1,
+                    pad: 2,
+                },
+            ),
+        ] {
+            let mut r = SeedRng::new(15);
+            let img = r.normal_tensor(&[spec.ci, h, w], 1.0);
+            let fast = im2col(img.as_slice(), spec.ci, h, w, &spec);
+            let reference = im2col_ref(img.as_slice(), spec.ci, h, w, &spec);
+            assert_eq!(fast.as_slice(), reference.as_slice());
+        }
     }
 
     #[test]

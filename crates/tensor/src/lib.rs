@@ -33,7 +33,9 @@ pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod workspace;
 
 pub use rng::SeedRng;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

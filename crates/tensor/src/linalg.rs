@@ -14,13 +14,27 @@
 //! active slice of `B` stays cache-resident. Blocking changes only the
 //! *visit* order of (row, column-panel) pairs, never the per-element
 //! accumulation order.
+//!
+//! Inner loops are panel-vectorized: the axpy kernels walk the column
+//! panel in fixed 8-wide chunks (plus a scalar tail) and the dot-product
+//! kernel computes 8 output columns with 8 independent accumulators.
+//! Vectorizing across *columns* (independent output elements) never
+//! reorders any single element's reduction, so this is bitwise-invisible;
+//! it exists purely to break the FP-add latency chain that a one-column
+//! scalar loop serializes on.
+//!
+//! Every GEMM also has a `*_into` entry point taking a caller-provided
+//! output slice, so hot-path callers can feed buffers from a
+//! [`Workspace`](crate::Workspace) instead of allocating per call.
 
 use crate::parallel;
 use crate::tensor::Tensor;
 
-/// Output rows at or above this count use the parallel path in `_auto`
-/// kernels (when a pool with more than one thread is active).
-const PAR_THRESHOLD: usize = 64;
+/// Minimum output rows **per pool thread** before the `_auto` kernels take
+/// the parallel path. The old fixed threshold (64 rows) was tuned for an
+/// 8-thread pool; expressing it per-thread keeps the cutover sensible when
+/// `intra_op_threads_for` hands each of `p` learners a smaller pool.
+const PAR_ROWS_PER_THREAD: usize = 8;
 
 /// Register-block height: rows of `A` processed together, sharing each
 /// streamed row of `B`.
@@ -29,6 +43,36 @@ const MR: usize = 4;
 /// Column-panel width: output columns per pass, sized so one panel of
 /// `C` plus a row of `B` stay in L1 (256 f32 = 1 KiB each).
 const NC: usize = 256;
+
+/// Width of the fixed vector panel in the inner kernels.
+const VW: usize = 8;
+
+/// Output rows at or above this count use the parallel path in `_auto`
+/// kernels. Pool-aware: scales with the live thread count
+/// ([`parallel::threads`]), so a 2-thread pool parallelizes mid-size GEMMs
+/// a fixed 64-row threshold would serialize. Path choice never affects
+/// results (parallel == serial bitwise).
+pub fn par_threshold() -> usize {
+    PAR_ROWS_PER_THREAD * parallel::threads().max(1)
+}
+
+/// `orow += av * brow` over an 8-wide panel walk with a scalar tail.
+/// Per element this is a single fused `+=` exactly like the scalar loop;
+/// only the column walk is chunked, so results are bitwise unchanged.
+#[inline]
+fn axpy_row(orow: &mut [f32], brow: &[f32], av: f32) {
+    debug_assert_eq!(orow.len(), brow.len());
+    let mut oc = orow.chunks_exact_mut(VW);
+    let mut bc = brow.chunks_exact(VW);
+    for (og, bg) in oc.by_ref().zip(bc.by_ref()) {
+        for t in 0..VW {
+            og[t] += av * bg[t];
+        }
+    }
+    for (o, &bv) in oc.into_remainder().iter_mut().zip(bc.remainder()) {
+        *o += av * bv;
+    }
+}
 
 /// Blocked `out = A · B` on raw row-major slices for a band of rows:
 /// `out: [rows, n]`, `a: [rows, k]`, `b: [k, n]`.
@@ -55,15 +99,38 @@ fn mm_rows_blocked(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize,
                         continue;
                     }
                     let orow = &mut out[i * n + jc..i * n + jc + nc];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
+                    axpy_row(orow, brow, av);
                 }
             }
             i0 += mr;
         }
         jc += nc;
     }
+}
+
+/// `out = A · B` on raw slices, sequential (cache-blocked).
+pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_into output size");
+    assert_eq!(a.len(), m * k, "matmul_into lhs size");
+    assert_eq!(b.len(), k * n, "matmul_into rhs size");
+    mm_rows_blocked(out, a, b, m, k, n);
+}
+
+/// `out = A · B` on raw slices, bands of output rows over the thread pool
+/// when the output is large. Bitwise identical to [`matmul_into`].
+pub fn matmul_into_auto(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_into output size");
+    assert_eq!(a.len(), m * k, "matmul_into lhs size");
+    assert_eq!(b.len(), k * n, "matmul_into rhs size");
+    if !use_par(m) {
+        return mm_rows_blocked(out, a, b, m, k, n);
+    }
+    let rows_per_band = band_rows(m);
+    parallel::for_each_chunk_mut(out, rows_per_band * n, |band, oband| {
+        let r0 = band * rows_per_band;
+        let rows = oband.len() / n;
+        mm_rows_blocked(oband, &a[r0 * k..(r0 + rows) * k], b, rows, k, n);
+    });
 }
 
 /// `C = A · B` for `A: [m,k]`, `B: [k,n]`, sequential (cache-blocked).
@@ -117,10 +184,42 @@ fn tn_row(out_row: &mut [f32], a: &[f32], b: &[f32], i: usize, m: usize, k: usiz
             continue;
         }
         let brow = &b[l * n..(l + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(brow) {
-            *o += av * bv;
+        axpy_row(out_row, brow, av);
+    }
+}
+
+/// `out = Aᵀ · B` on raw slices for `A: [k,m]`, `B: [k,n]`, sequential
+/// (`l`-outer: streams both `A` and `B` rows once).
+pub fn matmul_tn_into(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_tn_into output size");
+    assert_eq!(a.len(), k * m, "matmul_tn_into lhs size");
+    assert_eq!(b.len(), k * n, "matmul_tn_into rhs size");
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for l in 0..k {
+        let arow = &a[l * m..(l + 1) * m];
+        let brow = &b[l * n..(l + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            axpy_row(orow, brow, av);
         }
     }
+}
+
+/// `out = Aᵀ · B` on raw slices, output rows over the thread pool when
+/// large. Bitwise identical to [`matmul_tn_into`].
+pub fn matmul_tn_into_auto(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+    if !use_par(m) {
+        return matmul_tn_into(out, a, b, k, m, n);
+    }
+    assert_eq!(out.len(), m * n, "matmul_tn_into output size");
+    assert_eq!(a.len(), k * m, "matmul_tn_into lhs size");
+    assert_eq!(b.len(), k * n, "matmul_tn_into rhs size");
+    parallel::for_each_chunk_mut(out, n, |i, row| {
+        tn_row(row, a, b, i, m, k, n);
+    });
 }
 
 /// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` without materializing `Aᵀ`.
@@ -129,23 +228,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    let od = out.as_mut_slice();
-    // l-outer: stream both A and B rows once; accumulation per element is
-    // ascending l, matching tn_row.
-    for l in 0..k {
-        let arow = &ad[l * m..(l + 1) * m];
-        let brow = &bd[l * n..(l + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    matmul_tn_into(out.as_mut_slice(), a.as_slice(), b.as_slice(), k, m, n);
     out
 }
 
@@ -174,6 +257,11 @@ pub fn matmul_tn_auto(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Band of rows of `C = A · Bᵀ`: each element is a dot product in
 /// ascending `l` (no zero-skip, matching [`dot`]).
+///
+/// Columns are computed in panels of 8 with 8 *independent* accumulators —
+/// each accumulator runs the exact `dot` fold for its own column, so the
+/// panel walk is bitwise identical to calling [`dot`] per column while
+/// letting 8 FP-add chains overlap instead of serializing on one.
 pub(crate) fn nt_rows(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), rows * n);
     debug_assert_eq!(a.len(), rows * k);
@@ -181,10 +269,47 @@ pub(crate) fn nt_rows(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usi
     for i in 0..rows {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            *o = dot(arow, &b[j * k..(j + 1) * k]);
+        let mut j = 0;
+        while j + VW <= n {
+            let bs: [&[f32]; VW] = core::array::from_fn(|t| &b[(j + t) * k..(j + t + 1) * k]);
+            let mut acc = [0.0f32; VW];
+            for (l, &av) in arow.iter().enumerate() {
+                for t in 0..VW {
+                    acc[t] += av * bs[t][l];
+                }
+            }
+            orow[j..j + VW].copy_from_slice(&acc);
+            j += VW;
+        }
+        for jj in j..n {
+            orow[jj] = dot(arow, &b[jj * k..(jj + 1) * k]);
         }
     }
+}
+
+/// `out = A · Bᵀ` on raw slices for `A: [m,k]`, `B: [n,k]`, sequential.
+pub fn matmul_nt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_nt_into output size");
+    assert_eq!(a.len(), m * k, "matmul_nt_into lhs size");
+    assert_eq!(b.len(), n * k, "matmul_nt_into rhs size");
+    nt_rows(out, a, b, m, k, n);
+}
+
+/// `out = A · Bᵀ` on raw slices, row bands over the thread pool when
+/// large. Bitwise identical to [`matmul_nt_into`].
+pub fn matmul_nt_into_auto(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_nt_into output size");
+    assert_eq!(a.len(), m * k, "matmul_nt_into lhs size");
+    assert_eq!(b.len(), n * k, "matmul_nt_into rhs size");
+    if !use_par(m) {
+        return nt_rows(out, a, b, m, k, n);
+    }
+    let rows_per_band = band_rows(m);
+    parallel::for_each_chunk_mut(out, rows_per_band * n, |band, oband| {
+        let r0 = band * rows_per_band;
+        let rows = oband.len() / n;
+        nt_rows(oband, &a[r0 * k..(r0 + rows) * k], b, rows, k, n);
+    });
 }
 
 /// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` without materializing `Bᵀ`.
@@ -233,7 +358,7 @@ fn band_rows(m: usize) -> usize {
 }
 
 fn use_par(rows: usize) -> bool {
-    rows >= PAR_THRESHOLD && parallel::threads() > 1
+    parallel::threads() > 1 && rows >= par_threshold()
 }
 
 /// Dot product of two equal-length slices.
@@ -297,13 +422,16 @@ mod tests {
 
     #[test]
     fn blocked_kernel_handles_panel_boundaries() {
-        // Shapes straddling the MR and NC block edges.
+        // Shapes straddling the MR, NC and vector-panel block edges.
         let mut r = SeedRng::new(7);
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
             (5, 3, 255),
             (9, 2, 257),
             (4, 4, 512),
+            (3, 5, 7),
+            (2, 3, 8),
+            (6, 2, 9),
         ] {
             let a = r.normal_tensor(&[m, k], 1.0);
             let b = r.normal_tensor(&[k, n], 1.0);
@@ -377,6 +505,56 @@ mod tests {
             }
         }
         assert!(matmul_nt(&c, &d).allclose(&naive(&c, &dt), 1e-4));
+    }
+
+    #[test]
+    fn nt_panel_kernel_matches_per_column_dot() {
+        // The 8-accumulator panel must equal the scalar dot per column at
+        // the bit level, across panel-boundary widths.
+        let mut r = SeedRng::new(9);
+        for &(m, k, n) in &[(3usize, 5usize, 1usize), (2, 7, 8), (4, 3, 9), (1, 16, 23)] {
+            let a = r.normal_tensor(&[m, k], 1.0);
+            let b = r.normal_tensor(&[n, k], 1.0);
+            let fast = matmul_nt(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    let want = dot(
+                        &a.as_slice()[i * k..(i + 1) * k],
+                        &b.as_slice()[j * k..(j + 1) * k],
+                    );
+                    let got = fast.as_slice()[i * n + j];
+                    assert_eq!(got.to_bits(), want.to_bits(), "({m},{k},{n}) at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_tensor_variants_bitwise() {
+        let mut r = SeedRng::new(11);
+        let a = r.normal_tensor(&[70, 13], 1.0);
+        let b = r.normal_tensor(&[13, 19], 1.0);
+        let mut out = vec![1.0f32; 70 * 19]; // dirty buffer: kernels must overwrite
+        matmul_into_auto(&mut out, a.as_slice(), b.as_slice(), 70, 13, 19);
+        assert_eq!(out, matmul(&a, &b).as_slice());
+
+        let at = r.normal_tensor(&[13, 70], 1.0);
+        let mut out = vec![1.0f32; 70 * 19];
+        matmul_tn_into_auto(&mut out, at.as_slice(), b.as_slice(), 13, 70, 19);
+        assert_eq!(out, matmul_tn(&at, &b).as_slice());
+
+        let bt = r.normal_tensor(&[19, 13], 1.0);
+        let mut out = vec![1.0f32; 70 * 19];
+        matmul_nt_into_auto(&mut out, a.as_slice(), bt.as_slice(), 70, 13, 19);
+        assert_eq!(out, matmul_nt(&a, &bt).as_slice());
+    }
+
+    #[test]
+    fn par_threshold_scales_with_pool() {
+        // With a 1-thread pool (test default) the threshold is the
+        // per-thread floor; it can only grow with more threads.
+        assert_eq!(par_threshold() % 8, 0);
+        assert!(par_threshold() >= 8);
     }
 
     #[test]

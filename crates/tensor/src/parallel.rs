@@ -96,18 +96,20 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    // A 1-thread pool (or a single chunk) gains nothing from rayon but
+    // still pays its per-call job allocations; the serial loop visits the
+    // identical chunks in the identical order, so outputs are bitwise the
+    // same either way.
     #[cfg(feature = "parallel")]
-    {
+    if threads() > 1 && data.len() > chunk_size {
         use rayon::prelude::*;
         data.par_chunks_mut(chunk_size)
             .enumerate()
             .for_each(|(i, chunk)| op(i, chunk));
+        return;
     }
-    #[cfg(not(feature = "parallel"))]
-    {
-        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
-            op(i, chunk);
-        }
+    for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+        op(i, chunk);
     }
 }
 
@@ -126,18 +128,16 @@ pub fn for_each_zip_chunks_mut<T, U, F>(
     F: Fn(usize, &mut [T], &mut [U]) + Sync,
 {
     #[cfg(feature = "parallel")]
-    {
+    if threads() > 1 && a.len() > chunk_a {
         use rayon::prelude::*;
         a.par_chunks_mut(chunk_a)
             .zip(b.par_chunks_mut(chunk_b))
             .enumerate()
             .for_each(|(i, (ca, cb))| op(i, ca, cb));
+        return;
     }
-    #[cfg(not(feature = "parallel"))]
-    {
-        for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
-            op(i, ca, cb);
-        }
+    for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+        op(i, ca, cb);
     }
 }
 
@@ -148,14 +148,11 @@ where
     F: Fn(usize) -> T + Sync,
 {
     #[cfg(feature = "parallel")]
-    {
+    if threads() > 1 && n > 1 {
         use rayon::prelude::*;
-        (0..n).into_par_iter().map(f).collect()
+        return (0..n).into_par_iter().map(f).collect();
     }
-    #[cfg(not(feature = "parallel"))]
-    {
-        (0..n).map(f).collect()
-    }
+    (0..n).map(f).collect()
 }
 
 #[cfg(test)]

@@ -48,6 +48,54 @@ pub struct PoolForward {
     pub argmax: Vec<u32>,
 }
 
+/// Max-pool an NCHW batch into caller-provided output/argmax buffers
+/// (`[n*c*oh*ow]` each). Every element of both buffers is written, so
+/// they may hold stale values on entry.
+pub fn maxpool2d_forward_into(
+    input: &Tensor,
+    spec: &Pool2dSpec,
+    output: &mut [f32],
+    argmax: &mut [u32],
+) {
+    let [n, c, h, w] = [
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    ];
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(output.len(), n * c * oh * ow, "pool output size");
+    assert_eq!(argmax.len(), n * c * oh * ow, "pool argmax size");
+    let id = input.as_slice();
+    let out_plane = oh * ow;
+    let spec = *spec;
+    parallel::for_each_zip_chunks_mut(output, out_plane, argmax, out_plane, |p, oplane, aplane| {
+        // p enumerates (img, channel) planes in row-major order.
+        let plane = p * h * w;
+        let mut o = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..spec.wh {
+                    let iy = oy * spec.stride + ky;
+                    for kx in 0..spec.ww {
+                        let ix = ox * spec.stride + kx;
+                        let idx = plane + iy * w + ix;
+                        if id[idx] > best {
+                            best = id[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                oplane[o] = best;
+                aplane[o] = best_idx as u32;
+                o += 1;
+            }
+        }
+    });
+}
+
 /// Max-pool an NCHW batch.
 pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> PoolForward {
     let [n, c, h, w] = [
@@ -59,40 +107,7 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> PoolForward {
     let (oh, ow) = spec.out_hw(h, w);
     let mut output = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0u32; n * c * oh * ow];
-    let id = input.as_slice();
-    let out_plane = oh * ow;
-    let spec = *spec;
-    parallel::for_each_zip_chunks_mut(
-        output.as_mut_slice(),
-        out_plane,
-        &mut argmax,
-        out_plane,
-        |p, oplane, aplane| {
-            // p enumerates (img, channel) planes in row-major order.
-            let plane = p * h * w;
-            let mut o = 0usize;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..spec.wh {
-                        let iy = oy * spec.stride + ky;
-                        for kx in 0..spec.ww {
-                            let ix = ox * spec.stride + kx;
-                            let idx = plane + iy * w + ix;
-                            if id[idx] > best {
-                                best = id[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    oplane[o] = best;
-                    aplane[o] = best_idx as u32;
-                    o += 1;
-                }
-            }
-        },
-    );
+    maxpool2d_forward_into(input, spec, output.as_mut_slice(), &mut argmax);
     PoolForward { output, argmax }
 }
 
@@ -104,8 +119,16 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Pool2dSpec) -> PoolForward {
 /// the serial output order (overlapping windows hit the same winner in the
 /// same sequence).
 pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_numel: usize) -> Tensor {
-    assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
     let mut din = vec![0.0f32; input_numel];
+    maxpool2d_backward_into(grad_out, argmax, &mut din);
+    Tensor::from_vec(din, &[input_numel])
+}
+
+/// [`maxpool2d_backward`] scattering into a caller-provided, **pre-zeroed**
+/// input-gradient slice (only the winning positions are touched).
+pub fn maxpool2d_backward_into(grad_out: &Tensor, argmax: &[u32], din: &mut [f32]) {
+    assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
+    let input_numel = din.len();
     let dims = grad_out.dims();
     let planes = if dims.len() == 4 {
         dims[0] * dims[1]
@@ -116,7 +139,7 @@ pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_numel: usize)
     if planes > 1 && input_numel.is_multiple_of(planes) && gd.len().is_multiple_of(planes) {
         let in_plane = input_numel / planes;
         let out_plane = gd.len() / planes;
-        parallel::for_each_chunk_mut(&mut din, in_plane, |p, dplane| {
+        parallel::for_each_chunk_mut(din, in_plane, |p, dplane| {
             let base = p * in_plane;
             let lo = p * out_plane;
             for (g, &idx) in gd[lo..lo + out_plane]
@@ -131,7 +154,6 @@ pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_numel: usize)
             din[idx as usize] += g;
         }
     }
-    Tensor::from_vec(din, &[input_numel])
 }
 
 #[cfg(test)]

@@ -36,6 +36,27 @@ impl Tensor {
         }
     }
 
+    /// A tensor of zeros drawing its storage from a [`Workspace`](crate::Workspace) — bitwise
+    /// identical to [`Tensor::zeros`], but reusing pooled capacity.
+    pub fn zeros_in(dims: &[usize], ws: &mut crate::Workspace) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: ws.take_f32(n),
+        }
+    }
+
+    /// A copy of `src` whose storage comes from a [`Workspace`](crate::Workspace).
+    pub fn clone_in(src: &Tensor, ws: &mut crate::Workspace) -> Self {
+        let mut data = ws.take_f32_uninit(src.numel());
+        data.copy_from_slice(&src.data);
+        Tensor {
+            shape: src.shape.clone(),
+            data,
+        }
+    }
+
     /// Wrap an existing buffer.
     ///
     /// # Panics

@@ -2,10 +2,13 @@
 //! must hold for arbitrary shapes and data.
 
 use proptest::prelude::*;
-use sasgd_tensor::conv::{conv2d_backward, conv2d_forward, im2col, Conv2dSpec};
+use sasgd_tensor::conv::{
+    col2im, col2im_batch, conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_ws,
+    im2col, im2col_batch, im2col_ref, Conv2dSpec,
+};
 use sasgd_tensor::pool::{maxpool2d_backward, maxpool2d_forward, Pool2dSpec};
 use sasgd_tensor::shape::{conv_out, pool_out};
-use sasgd_tensor::{linalg, parallel, SeedRng, Tensor};
+use sasgd_tensor::{linalg, parallel, SeedRng, Tensor, Workspace};
 
 fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
     SeedRng::new(seed).normal_tensor(dims, 1.0)
@@ -240,6 +243,93 @@ proptest! {
         let mut rhs = a.clone();
         rhs.add_assign(&scaled);
         prop_assert!(lhs.allclose(&rhs, 1e-5));
+    }
+
+    #[test]
+    fn im2col_batch_matches_per_image_loop(
+        n in 1usize..5, ci in 1usize..4, kside in 1usize..4,
+        side in 3usize..9, pad in 0usize..3, stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let spec = Conv2dSpec { ci, co: 1, kh: kside, kw: kside, stride, pad };
+        if side + 2 * pad < kside {
+            return Ok(());
+        }
+        let input = rand_tensor(&[n, ci, side, side], seed);
+        let batched = im2col_batch(&input, &spec);
+        let (oh, ow) = spec.out_hw(side, side);
+        let plen = spec.patch_len();
+        let in_stride = ci * side * side;
+        // Rows for image i must land exactly where the per-image loop
+        // (old implementation) puts them.
+        let mut expect = Vec::with_capacity(n * oh * ow * plen);
+        for img in 0..n {
+            let cols = im2col_ref(
+                &input.as_slice()[img * in_stride..(img + 1) * in_stride],
+                ci, side, side, &spec,
+            );
+            expect.extend_from_slice(cols.as_slice());
+        }
+        prop_assert_eq!(batched.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn col2im_batch_matches_per_image_loop(
+        n in 1usize..5, ci in 1usize..4, kside in 1usize..4,
+        side in 3usize..9, pad in 0usize..3, stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let spec = Conv2dSpec { ci, co: 1, kh: kside, kw: kside, stride, pad };
+        if side + 2 * pad < kside {
+            return Ok(());
+        }
+        let (oh, ow) = spec.out_hw(side, side);
+        let plen = spec.patch_len();
+        let cols = rand_tensor(&[n * oh * ow, plen], seed);
+        let in_stride = ci * side * side;
+        let mut batched = vec![0.0f32; n * in_stride];
+        col2im_batch(cols.as_slice(), n, ci, side, side, &spec, &mut batched);
+        let mut expect = vec![0.0f32; n * in_stride];
+        for img in 0..n {
+            let block = Tensor::from_vec(
+                cols.as_slice()[img * oh * ow * plen..(img + 1) * oh * ow * plen].to_vec(),
+                &[oh * ow, plen],
+            );
+            col2im(
+                &block, ci, side, side, &spec,
+                &mut expect[img * in_stride..(img + 1) * in_stride],
+            );
+        }
+        prop_assert_eq!(&batched[..], &expect[..]);
+    }
+
+    #[test]
+    fn conv_workspace_reuse_is_bitwise_fresh(
+        n in 1usize..4, ci in 1usize..3, co in 1usize..5,
+        side in 4usize..8, seed in 0u64..1000,
+    ) {
+        // Runs through a dirty, reused arena must equal fresh allocations.
+        let spec = Conv2dSpec { ci, co, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let input = rand_tensor(&[n, ci, side, side], seed);
+        let weight = rand_tensor(&[co, spec.patch_len()], seed + 1);
+        let bias: Vec<f32> = (0..co).map(|c| 0.05 * c as f32).collect();
+        let fresh_fwd = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad = rand_tensor(fresh_fwd.dims(), seed + 2);
+        let fresh_bwd = conv2d_backward(&input, &weight, &grad, &spec);
+
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let fwd = conv2d_forward_ws(&input, &weight, &bias, &spec, &mut ws);
+            let bwd = conv2d_backward_ws(&input, &weight, &grad, &spec, &mut ws);
+            prop_assert_eq!(fwd.as_slice(), fresh_fwd.as_slice());
+            prop_assert_eq!(bwd.dinput.as_slice(), fresh_bwd.dinput.as_slice());
+            prop_assert_eq!(bwd.dweight.as_slice(), fresh_bwd.dweight.as_slice());
+            prop_assert_eq!(&bwd.dbias, &fresh_bwd.dbias);
+            ws.recycle(fwd);
+            ws.recycle(bwd.dinput);
+            ws.recycle(bwd.dweight);
+            ws.give_f32(bwd.dbias);
+        }
     }
 
     #[test]

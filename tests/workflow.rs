@@ -47,7 +47,7 @@ fn checkpoint_resume_reaches_same_quality_as_uninterrupted() {
             for idx in shard.epoch_iter(8, &mut rng) {
                 let (x, y) = train_set.batch(&idx);
                 tracked.forward_loss(&x, &y, &mut ctx);
-                tracked.backward();
+                tracked.backward(&mut ctx);
                 tracked.sgd_step(0.05);
                 tracked.zero_grads();
             }
@@ -66,7 +66,7 @@ fn checkpoint_resume_reaches_same_quality_as_uninterrupted() {
             for idx in shard.epoch_iter(8, &mut rng) {
                 let (x, y) = train_set.batch(&idx);
                 resumed.forward_loss(&x, &y, &mut ctx);
-                resumed.backward();
+                resumed.backward(&mut ctx);
                 resumed.sgd_step(0.05);
                 resumed.zero_grads();
             }

@@ -30,10 +30,23 @@ pub mod prelude {
 /// Configured global thread count; 0 = unset (use available parallelism).
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Cached `available_parallelism` (0 = not probed yet). The std call reads
+/// cgroup files on Linux — far too expensive for the per-kernel-dispatch
+/// queries the compute hot path issues.
+static AUTO_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads parallel operations will use.
 pub fn current_num_threads() -> usize {
     match GLOBAL_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        0 => {
+            let cached = AUTO_THREADS.load(Ordering::Relaxed);
+            if cached != 0 {
+                return cached;
+            }
+            let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+            AUTO_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
         n => n,
     }
 }
