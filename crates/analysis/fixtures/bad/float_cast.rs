@@ -1,0 +1,14 @@
+// virtual-path: crates/core/src/fixture_cast.rs
+// BAD: `as` casts with syntactic float evidence in gradient math.
+
+pub fn truncate(x: f32) -> usize {
+    (x * 0.5) as usize
+}
+
+pub fn ceil_count(m: usize, ratio: f64) -> usize {
+    (m as f64 * ratio).ceil() as usize
+}
+
+pub fn collapse(sum: f64, n: usize) -> f32 {
+    (sum / n as f64) as f32
+}

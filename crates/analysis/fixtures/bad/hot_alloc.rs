@@ -1,0 +1,18 @@
+// virtual-path: crates/tensor/src/fixture_hot.rs
+// BAD: heap allocation inside a `// hot-path` function — these run once
+// per minibatch and must draw from the Workspace arena.
+
+// hot-path
+pub fn conv_inner(x: &[f32], out: &mut [f32]) {
+    let scratch = vec![0.0f32; x.len()];
+    let copy = x.to_vec();
+    let again = copy.clone();
+    for ((o, s), c) in out.iter_mut().zip(&scratch).zip(&again) {
+        *o = s + c;
+    }
+}
+
+// Unannotated sibling: allocations here are fine.
+pub fn conv_setup(x: &[f32]) -> Vec<f32> {
+    x.to_vec()
+}

@@ -1,0 +1,14 @@
+// virtual-path: crates/tensor/src/fixture_map.rs
+// BAD: hash containers in a numeric crate — iteration order feeds numerics.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn accumulate(grads: &HashMap<usize, f32>) -> f32 {
+    // Summing in HashMap iteration order is run-to-run nondeterministic.
+    grads.values().sum()
+}
+
+pub fn active(ids: &HashSet<usize>) -> usize {
+    ids.len()
+}

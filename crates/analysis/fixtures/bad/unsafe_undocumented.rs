@@ -1,0 +1,13 @@
+// virtual-path: crates/comm/src/sparse.rs
+// BAD: the file is on the unsafe allow-list, but the block below has no
+// `// SAFETY:` comment within the 4 lines above it.
+
+pub fn bits(x: f32) -> u32 {
+    let out;
+    {
+        let tmp = x;
+
+        out = unsafe { std::mem::transmute::<f32, u32>(tmp) };
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// virtual-path: crates/nn/src/fixture_unsafe.rs
+// BAD: `unsafe` outside the allow-list entirely.
+
+pub fn grab(xs: &[f32], i: usize) -> f32 {
+    // SAFETY: a comment does not help here — the file itself is not allowed.
+    unsafe { *xs.get_unchecked(i) }
+}

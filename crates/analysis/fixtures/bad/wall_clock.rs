@@ -1,0 +1,11 @@
+// virtual-path: crates/core/src/engine/simulated.rs
+// BAD: wall-clock reads inside the Simulated backend, which must be
+// virtual-clock pure.
+
+use std::time::{Instant, SystemTime};
+
+pub fn step_timed() -> f64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,14 @@
+// virtual-path: crates/core/src/fixture_cast_ok.rs
+// GOOD: int→float promotions and justified conversions only.
+
+pub fn inv_area(k: usize) -> f32 {
+    1.0 / (k * k) as f32
+}
+
+pub fn elements(rows: usize, cols: usize) -> u64 {
+    (rows * cols) as u64
+}
+
+pub fn keep(m: usize, ratio: f64) -> usize {
+    (m as f64 * ratio).ceil() as usize // lint:allow(float-cast): ceil of a ratio in [0,1] times m fits usize exactly
+}

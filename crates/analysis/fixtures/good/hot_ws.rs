@@ -1,0 +1,14 @@
+// virtual-path: crates/tensor/src/fixture_hot_ok.rs
+// GOOD: a hot-path function that draws scratch from the Workspace arena,
+// with one justified O(ndims) metadata allocation.
+
+// hot-path
+pub fn conv_inner(ws: &mut Workspace, x: &[f32], dims: &[usize], out: &mut [f32]) {
+    let scratch = ws.take_f32(x.len());
+    let shape = dims.to_vec(); // lint:allow(hot-alloc): O(ndims) shape metadata, not O(m)
+    let _ = shape;
+    for (o, s) in out.iter_mut().zip(scratch.iter()) {
+        *o = *s;
+    }
+    ws.give(scratch);
+}

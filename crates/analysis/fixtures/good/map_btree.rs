@@ -1,0 +1,17 @@
+// virtual-path: crates/tensor/src/fixture_map_ok.rs
+// GOOD: ordered containers, plus one justified hash use. Note each
+// mention of the hash type needs its own allow — the lint is per-line.
+
+use std::collections::BTreeMap;
+
+// lint:allow(map-iter): build-time symbol table, never iterated into numerics
+use std::collections::HashMap;
+
+pub fn accumulate(grads: &BTreeMap<usize, f32>) -> f32 {
+    grads.values().sum()
+}
+
+pub fn names() -> HashMap<&'static str, usize> // lint:allow(map-iter): same table as above
+{
+    HashMap::new() // lint:allow(map-iter): same table as above
+}

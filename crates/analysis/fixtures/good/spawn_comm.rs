@@ -1,0 +1,7 @@
+// virtual-path: crates/comm/src/fixture_spawn_ok.rs
+// GOOD: the comm substrate may create threads (shard servers, rank hosts).
+
+pub fn shard_host() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

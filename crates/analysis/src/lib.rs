@@ -1,0 +1,75 @@
+//! # sasgd-analysis
+//!
+//! Repo-invariant static analysis and schedule-exploration race checking
+//! for the SASGD workspace. Two legs, one verdict:
+//!
+//! 1. **Lint pass** ([`lints`], [`scan`]) — a hand-rolled lexer
+//!    ([`lexer`]; the workspace vendors no `syn`) drives six repo-specific
+//!    lints that encode the invariants the paper reproduction depends on:
+//!    deterministic iteration (`map-iter`), audited unsafety (`unsafe`),
+//!    wall-clock containment (`wall-clock`), structured concurrency
+//!    (`raw-spawn`), allocation-free hot paths (`hot-alloc`), and explicit
+//!    float↔int conversions in gradient math (`float-cast`). Suppression
+//!    is per-site: `// lint:allow(<id>): <justification>`.
+//!
+//! 2. **Race checker** ([`schedule`]) — runs the `sasgd-comm` collectives
+//!    and the parameter server under exhaustively permuted (p ≤ 4) and
+//!    seeded-random (p = 8) delay-injection schedules, asserting bitwise
+//!    result invariance, deadlock freedom (watchdog + held-resource
+//!    report), and lost-update freedom on the PS path.
+//!
+//! Both legs self-check against deliberate failures (a bad-fixture lint
+//! corpus; an arrival-order reduce and a recv cycle) so a silently dead
+//! analyzer cannot go green. Entry point: [`run_all`], surfaced as
+//! `repro analyze` in `sasgd-bench` and as a CI gate.
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod schedule;
+
+use report::Analysis;
+use scan::{fixtures_dir, lint_fixture_corpus, lint_repo, repo_root};
+use schedule::{exhaustive_schedules, scenario_bad_reduce, scenario_deadlock};
+
+/// Run the lint leg only (real tree + fixture self-check).
+pub fn run_lints() -> (usize, Vec<lints::Violation>, usize, usize) {
+    let run = lint_repo(&repo_root());
+    let (fixture_files, fixture_violations) = lint_fixture_corpus(&fixtures_dir());
+    (
+        run.files_scanned,
+        run.violations,
+        fixture_files,
+        fixture_violations.len(),
+    )
+}
+
+/// Run the schedule-exploration leg only (production sweep + self-checks).
+pub fn run_schedule_checks() -> (Vec<schedule::ScenarioResult>, bool, bool) {
+    let scenarios = schedule::run_production_sweep();
+    let bad = scenario_bad_reduce(3, &exhaustive_schedules(3));
+    let bad_diverged = bad.distinct_results > 1;
+    let dead = scenario_deadlock(2);
+    let deadlock_detected = dead.deadlocks > 0
+        && dead
+            .deadlock_reports
+            .iter()
+            .any(|r| r.contains("blocked on"));
+    (scenarios, bad_diverged, deadlock_detected)
+}
+
+/// Run both legs and assemble the full [`Analysis`].
+pub fn run_all() -> Analysis {
+    let (files_scanned, violations, fixture_files, fixture_violations) = run_lints();
+    let (scenarios, bad_fixture_diverged, deadlock_detected) = run_schedule_checks();
+    Analysis {
+        files_scanned,
+        violations,
+        fixture_violations,
+        fixture_files,
+        scenarios,
+        bad_fixture_diverged,
+        deadlock_detected,
+    }
+}

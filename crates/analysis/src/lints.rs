@@ -1,0 +1,629 @@
+//! The repo-specific lint pass.
+//!
+//! Six lints encode the invariants the compiler cannot check (see
+//! DESIGN.md §4d for the full table and rationale):
+//!
+//! | id           | rule |
+//! |--------------|------|
+//! | `map-iter`   | no `HashMap`/`HashSet` in numeric crates (`tensor`, `nn`, `core`, `comm`) — nondeterministic iteration order can reach numerics |
+//! | `unsafe`     | no `unsafe` outside the allow-list; allowed blocks must carry a `// SAFETY:` comment within 4 lines above |
+//! | `wall-clock` | no `Instant::now` / `SystemTime` outside the threaded backend and `bench` — the Simulated backend is virtual-clock pure |
+//! | `raw-spawn`  | no `std::thread::spawn` outside `comm`, the threaded backend, and the race-checker host |
+//! | `hot-alloc`  | no heap-allocating calls (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`, …) inside functions annotated `// hot-path` |
+//! | `float-cast` | no `as` casts with syntactic float evidence in gradient-math crates (float→int truncation, `f64`→`f32` width collapse) |
+//!
+//! Every lint is suppressible at the offending line with
+//! `// lint:allow(<id>): <justification>` — on the same line or as a
+//! full-line comment directly above (justification required by convention,
+//! enforced by review).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Lint id (`map-iter`, `unsafe`, …).
+    pub lint: &'static str,
+    /// Repo-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// All lint ids, in table order.
+pub const LINT_IDS: &[&str] = &[
+    "map-iter",
+    "unsafe",
+    "wall-clock",
+    "raw-spawn",
+    "hot-alloc",
+    "float-cast",
+];
+
+// ---------------------------------------------------------------------------
+// Scopes and allow-lists (the repo's invariants, encoded).
+// ---------------------------------------------------------------------------
+
+/// Crates whose numerics must be bitwise reproducible (`map-iter`,
+/// `float-cast` scope).
+const NUMERIC_CRATES: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/core/src/",
+    "crates/comm/src/",
+];
+
+/// Files allowed to contain `unsafe` (each block still needs `// SAFETY:`).
+const UNSAFE_ALLOWED_FILES: &[&str] = &[
+    "crates/tensor/src/workspace.rs",
+    "crates/comm/src/sparse.rs",
+    "crates/bench/src/alloc.rs",
+];
+
+/// Wall-clock reads are the threaded backend's business (plus everything
+/// under `bench`, which measures real time by definition).
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/core/src/threaded.rs",
+    "crates/core/src/engine/threaded.rs",
+    "crates/bench/",
+    "examples/",
+];
+
+/// Raw thread creation: the comm substrate, the threaded backend, and the
+/// schedule-exploration harness itself (it hosts rank threads).
+const SPAWN_ALLOWED: &[&str] = &[
+    "crates/comm/",
+    "crates/core/src/threaded.rs",
+    "crates/core/src/engine/threaded.rs",
+    "crates/analysis/",
+];
+
+/// Gradient-math scope for `float-cast`.
+const FLOAT_CAST_SCOPE: &[&str] = &["crates/tensor/src/", "crates/nn/src/", "crates/core/src/"];
+
+fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| path.starts_with(p) || path == p.trim_end_matches('/'))
+}
+
+// ---------------------------------------------------------------------------
+// Annotation maps derived from comments.
+// ---------------------------------------------------------------------------
+
+/// Lines covered by `lint:allow(...)` comments, per lint id.
+struct AllowMap {
+    /// `(line, lint_id)` pairs.
+    allowed: BTreeSet<(u32, String)>,
+}
+
+impl AllowMap {
+    fn build(toks: &[Tok]) -> Self {
+        let mut allowed = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Comment {
+                continue;
+            }
+            let Some(pos) = t.text.find("lint:allow(") else {
+                continue;
+            };
+            let rest = &t.text[pos + "lint:allow(".len()..];
+            let Some(end) = rest.find(')') else { continue };
+            // The allow covers the comment's own line (trailing form) and
+            // the line of the next non-comment token (block-above form).
+            let mut lines = vec![t.line];
+            if let Some(next) = toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment) {
+                lines.push(next.line);
+            }
+            for id in rest[..end].split(',') {
+                for &l in &lines {
+                    allowed.insert((l, id.trim().to_string()));
+                }
+            }
+        }
+        AllowMap { allowed }
+    }
+
+    fn is_allowed(&self, line: u32, lint: &str) -> bool {
+        self.allowed.contains(&(line, lint.to_string()))
+    }
+}
+
+/// Lines of comments containing `SAFETY:`.
+fn safety_lines(toks: &[Tok]) -> Vec<u32> {
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Comment && t.text.contains("SAFETY:"))
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Is there a `SAFETY:` comment on `line` or within the 4 lines above?
+fn has_safety_comment(safety: &[u32], line: u32) -> bool {
+    safety.iter().any(|&s| s <= line && line - s <= 4)
+}
+
+// ---------------------------------------------------------------------------
+// The lint pass proper.
+// ---------------------------------------------------------------------------
+
+/// Lint one file. `path` is the repo-relative path (used for scoping);
+/// `src` is the file contents.
+pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
+    let toks = lex(src);
+    let allow = AllowMap::build(&toks);
+    let safety = safety_lines(&toks);
+    let mut out = Vec::new();
+
+    let push = |lint: &'static str, line: u32, message: String, out: &mut Vec<Violation>| {
+        if !allow.is_allowed(line, lint) {
+            out.push(Violation {
+                lint,
+                file: path.to_string(),
+                line,
+                message,
+            });
+        }
+    };
+
+    // L1 map-iter: HashMap/HashSet anywhere in numeric crates.
+    if in_scope(path, NUMERIC_CRATES) {
+        for t in &toks {
+            if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+                push(
+                    "map-iter",
+                    t.line,
+                    format!(
+                        "{} in a numeric crate: iteration order is nondeterministic and can \
+                         reach numerics; use BTreeMap/BTreeSet or an index-keyed Vec",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // L2 unsafe: outside the allow-list, or allowed but undocumented.
+    for t in &toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            if !in_scope(path, UNSAFE_ALLOWED_FILES) {
+                push(
+                    "unsafe",
+                    t.line,
+                    "unsafe outside the allow-list (workspace arena, sparse bit-cast, counting \
+                     allocator)"
+                        .to_string(),
+                    &mut out,
+                );
+            } else if !has_safety_comment(&safety, t.line) {
+                push(
+                    "unsafe",
+                    t.line,
+                    "allowed unsafe without a `// SAFETY:` comment within 4 lines above"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // L3 wall-clock: Instant::now / SystemTime outside the threaded backend.
+    if !in_scope(path, WALL_CLOCK_ALLOWED) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let hit = match t.text.as_str() {
+                "SystemTime" => true,
+                "Instant" => matches!(
+                    (toks.get(i + 1), toks.get(i + 2)),
+                    (Some(a), Some(b)) if a.is("::") && b.is("now")
+                ),
+                _ => false,
+            };
+            if hit {
+                push(
+                    "wall-clock",
+                    t.line,
+                    format!(
+                        "{} outside core::threaded/bench breaks the Simulated backend's \
+                         virtual-clock purity",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // L4 raw-spawn: thread::spawn outside comm / the threaded backend.
+    if !in_scope(path, SPAWN_ALLOWED) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && t.text == "thread"
+                && matches!(
+                    (toks.get(i + 1), toks.get(i + 2)),
+                    (Some(a), Some(b)) if a.is("::") && (b.is("spawn") || b.is("Builder"))
+                )
+            {
+                push(
+                    "raw-spawn",
+                    t.line,
+                    "std::thread::spawn outside comm/core::threaded: threads must go through \
+                     the comm substrate so the race checker can see them"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // L5 hot-alloc: allocation calls inside `// hot-path` functions.
+    for (lo, hi) in hot_path_bodies(&toks) {
+        let body = &toks[lo..hi];
+        for (j, t) in body.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev = j.checked_sub(1).map(|k| &body[k]);
+            let next = body.get(j + 1);
+            let path_head = matches!(prev, Some(p) if p.is("::"));
+            let method = matches!(prev, Some(p) if p.is("."));
+            let hit = match t.text.as_str() {
+                "new" | "with_capacity" => {
+                    path_head
+                        && matches!(
+                            lo.checked_add(j).and_then(|k| k.checked_sub(2)).and_then(|k| toks.get(k)),
+                            Some(h) if h.is("Vec") || h.is("Box") || h.is("String") || h.is("VecDeque")
+                        )
+                }
+                "vec" | "format" => matches!(next, Some(nx) if nx.is("!")),
+                "to_vec" | "clone" | "to_owned" | "collect" => method,
+                _ => false,
+            };
+            if hit {
+                push(
+                    "hot-alloc",
+                    t.line,
+                    format!(
+                        "heap allocation (`{}`) inside a `// hot-path` function: draw buffers \
+                         from the Workspace arena instead",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    // L6 float-cast: `as` casts with syntactic float evidence.
+    if in_scope(path, FLOAT_CAST_SCOPE) {
+        for v in float_cast_findings(&toks) {
+            push("float-cast", v.0, v.1, &mut out);
+        }
+    }
+
+    out
+}
+
+/// Is this comment the hot-path *annotation* (as opposed to prose that
+/// merely mentions it)? The marker must be the first word of the comment:
+/// `// hot-path` or `// hot-path: <note>`. Requiring the leading position
+/// keeps doc comments that talk *about* the marker from annotating the
+/// next function.
+fn is_hot_path_marker(comment: &str) -> bool {
+    comment
+        .trim_start_matches(['/', '*', '!', ' '])
+        .starts_with("hot-path")
+}
+
+/// Token index ranges (open brace .. close brace, exclusive) of the bodies
+/// of functions annotated with a `// hot-path` comment.
+fn hot_path_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Comment && is_hot_path_marker(&t.text) {
+            // Find the `fn` this annotation covers (skipping attributes,
+            // visibility, and further comments). Give up after a window.
+            let mut j = i + 1;
+            let mut fn_at = None;
+            let mut budget = 40usize;
+            while j < toks.len() && budget > 0 {
+                if toks[j].is("fn") {
+                    fn_at = Some(j);
+                    break;
+                }
+                if toks[j].is("{") || toks[j].is("}") {
+                    break; // wandered into other structure
+                }
+                j += 1;
+                budget -= 1;
+            }
+            if let Some(f) = fn_at {
+                // Scan to the body's opening brace (a `;` means no body).
+                let mut k = f + 1;
+                let mut angle = 0i32;
+                while k < toks.len() {
+                    let tk = &toks[k];
+                    if tk.is("<") {
+                        angle += 1;
+                    } else if tk.is(">") {
+                        angle -= 1;
+                    } else if tk.is(";") && angle <= 0 {
+                        break;
+                    } else if tk.is("{") && angle <= 0 {
+                        // Brace-match to the end of the body.
+                        let mut depth = 1i32;
+                        let open = k + 1;
+                        let mut m = open;
+                        while m < toks.len() && depth > 0 {
+                            if toks[m].is("{") {
+                                depth += 1;
+                            } else if toks[m].is("}") {
+                                depth -= 1;
+                            }
+                            m += 1;
+                        }
+                        out.push((open, m.saturating_sub(1)));
+                        i = m;
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+const FLOAT_METHODS: &[&str] = &[
+    "floor", "ceil", "round", "trunc", "sqrt", "exp", "ln", "powf", "powi", "log2", "exp2",
+    "recip", "ln_1p", "exp_m1",
+];
+
+/// Findings for the `float-cast` lint: `(line, message)` pairs.
+///
+/// Type inference is out of reach for a lexer, so the lint is evidence
+/// based: a cast is flagged only when its source expression *syntactically*
+/// shows float involvement — a float literal, a nested `as f32`/`as f64`,
+/// or a float-only method call (`floor`, `sqrt`, …). Casts whose float-ness
+/// hides behind a plain identifier are documented as out of scope
+/// (DESIGN.md §4d); int→float index promotions are deliberately not
+/// flagged.
+fn float_cast_findings(toks: &[Tok]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        let to_int = INT_TYPES.contains(&target.text.as_str());
+        let to_float = target.text == "f32" || target.text == "f64";
+        if !to_int && !to_float {
+            continue;
+        }
+        // Evidence window: the full postfix chain of the source expression
+        // (`(a as f64 * r).ceil()` walks back through `()` groups and
+        // `.method` links), or up to 3 tokens back for a bare expression.
+        let lo = if i > 0 && toks[i - 1].is(")") {
+            let mut k = i;
+            loop {
+                if k > 0 && toks[k - 1].is(")") {
+                    // Match this paren group.
+                    let mut depth = 1i32;
+                    k -= 1;
+                    while k > 0 && depth > 0 {
+                        k -= 1;
+                        if toks[k].is(")") {
+                            depth += 1;
+                        } else if toks[k].is("(") {
+                            depth -= 1;
+                        }
+                    }
+                    // A method's arg list: step through `.method` to the
+                    // receiver and keep walking the chain.
+                    if k >= 2 && toks[k - 1].kind == TokKind::Ident && toks[k - 2].is(".") {
+                        k -= 2;
+                        continue;
+                    }
+                    break;
+                }
+                break;
+            }
+            k
+        } else {
+            i.saturating_sub(3)
+        };
+        let span = &toks[lo..i];
+        let has_float_literal = span.iter().any(|s| s.is_float_literal());
+        let has_width_cast = span.windows(2).any(|w| {
+            w[0].kind == TokKind::Ident && w[0].text == "as" && (w[1].is("f32") || w[1].is("f64"))
+        });
+        let has_float_method = span.windows(2).any(|w| {
+            w[0].is(".")
+                && w[1].kind == TokKind::Ident
+                && FLOAT_METHODS.contains(&w[1].text.as_str())
+        });
+        let flagged = if to_int {
+            has_float_literal || has_width_cast || has_float_method
+        } else {
+            // int→float promotion is fine; flag only float-width collapse
+            // (`(… as f64 …) as f32`) or a float-method source recast.
+            has_width_cast || has_float_method
+        };
+        if flagged {
+            out.push((
+                t.line,
+                format!(
+                    "`as {}` cast with float evidence in gradient math: use explicit \
+                     round/clamp helpers or `to_bits`/`from_bits` for bit moves",
+                    target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<&'static str> {
+        lint_file(path, src).into_iter().map(|v| v.lint).collect()
+    }
+
+    #[test]
+    fn map_iter_fires_in_numeric_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lints_of("crates/core/src/x.rs", src), vec!["map-iter"]);
+        assert!(lints_of("crates/data/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn map_iter_respects_allow() {
+        let src = "// lint:allow(map-iter): build-time only, never iterated\n\
+                   use std::collections::HashMap;\n";
+        assert!(lints_of("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert_eq!(lints_of("crates/core/src/x.rs", src), vec!["unsafe"]);
+    }
+
+    #[test]
+    fn unsafe_allowed_file_requires_safety_comment() {
+        let bare = "unsafe fn g() {}\n";
+        assert_eq!(
+            lints_of("crates/tensor/src/workspace.rs", bare),
+            vec!["unsafe"]
+        );
+        let documented =
+            "// SAFETY: caller guarantees the buffer is fully written.\nunsafe fn g() {}\n";
+        assert!(lints_of("crates/tensor/src/workspace.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoping() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            lints_of("crates/core/src/engine/simulated.rs", src),
+            vec!["wall-clock"]
+        );
+        assert!(lints_of("crates/core/src/threaded.rs", src).is_empty());
+        assert!(lints_of("crates/bench/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_scoping() {
+        let src = "std::thread::spawn(|| {});\n";
+        assert_eq!(lints_of("crates/nn/src/model.rs", src), vec!["raw-spawn"]);
+        assert!(lints_of("crates/comm/src/ps.rs", src).is_empty());
+        assert!(lints_of("crates/analysis/src/schedule.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_fires_only_in_annotated_fns() {
+        let cold = "pub fn f() { let v = vec![0.0; 8]; }\n";
+        assert!(lints_of("crates/tensor/src/conv.rs", cold).is_empty());
+        let hot = "// hot-path\npub fn f() { let v = vec![0.0; 8]; }\n";
+        assert_eq!(
+            lints_of("crates/tensor/src/conv.rs", hot),
+            vec!["hot-alloc"]
+        );
+        let hot_clone =
+            "// hot-path\npub fn f(x: &[f32]) { let v = x.to_vec(); let w = v.clone(); }\n";
+        assert_eq!(
+            lints_of("crates/tensor/src/conv.rs", hot_clone),
+            vec!["hot-alloc", "hot-alloc"]
+        );
+    }
+
+    #[test]
+    fn hot_alloc_allows_workspace_draws() {
+        let src = "// hot-path\npub fn f(ws: &mut Workspace) { let v = ws.take_f32(8); }\n";
+        assert!(lints_of("crates/tensor/src/conv.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_trailing_allow() {
+        let src = "// hot-path\npub fn f(d: &[usize]) {\n\
+                   let dims = d.to_vec(); // lint:allow(hot-alloc): O(ndims) shape metadata\n}\n";
+        assert!(lints_of("crates/tensor/src/conv.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_cast_truncation_flagged() {
+        let src = "fn f(x: f32) -> usize { (x * 0.5) as usize }\n";
+        assert_eq!(lints_of("crates/nn/src/loss.rs", src), vec!["float-cast"]);
+        let ceil = "fn k(m: usize, r: f64) -> usize { ((m as f64 * r).ceil()) as usize }\n";
+        assert_eq!(
+            lints_of("crates/core/src/compress.rs", ceil),
+            vec!["float-cast"]
+        );
+    }
+
+    #[test]
+    fn float_cast_sees_through_postfix_chains() {
+        // No outer parens: the evidence sits behind `.ceil()` and must be
+        // reached by walking the postfix chain.
+        let src = "fn k(m: usize, r: f64) -> usize { (m as f64 * r).ceil() as usize }\n";
+        assert_eq!(
+            lints_of("crates/core/src/compress.rs", src),
+            vec!["float-cast"]
+        );
+        let sqrt = "fn f(x: f32) -> i32 { x.abs().sqrt() as i32 }\n";
+        assert_eq!(
+            lints_of("crates/core/src/compress.rs", sqrt),
+            vec!["float-cast"]
+        );
+    }
+
+    #[test]
+    fn hot_path_marker_must_lead_the_comment() {
+        // Prose that merely *mentions* the marker must not annotate the fn.
+        let src = "/// Finds functions annotated with a `// hot-path` comment.\n\
+                   fn scan() { let v = Vec::new(); }\n";
+        assert!(lints_of("crates/tensor/src/conv.rs", src).is_empty());
+        let real = "// hot-path: inner GEMM loop\nfn f() { let v = Vec::new(); }\n";
+        assert_eq!(
+            lints_of("crates/tensor/src/conv.rs", real),
+            vec!["hot-alloc"]
+        );
+    }
+
+    #[test]
+    fn float_cast_width_collapse_flagged() {
+        let src = "fn f(a: f64, n: usize) -> f32 { (a / n as f64) as f32 }\n";
+        assert_eq!(lints_of("crates/nn/src/loss.rs", src), vec!["float-cast"]);
+    }
+
+    #[test]
+    fn float_cast_ignores_int_promotions() {
+        let src = "fn f(k: usize) -> f32 { 1.0 / (k * k) as f32 }\n\
+                   fn g(rows: usize, c: usize) -> u64 { (rows * c) as u64 }\n";
+        assert!(lints_of("crates/nn/src/layers/pool_avg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn outside_scanned_scope_is_silent() {
+        let src = "use std::collections::HashMap;\nstd::thread::spawn(|| {});\n";
+        assert!(lints_of("crates/bench/src/figures.rs", src)
+            .iter()
+            .all(|l| *l != "map-iter"));
+    }
+}

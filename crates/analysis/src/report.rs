@@ -1,0 +1,190 @@
+//! Machine-readable (`ANALYSIS.json`) and human-readable report emission.
+//!
+//! JSON is hand-rolled: the workspace vendors no serde, and the schema is
+//! small and flat. Strings are escaped per RFC 8259 minimal rules.
+
+use crate::lints::Violation;
+use crate::schedule::ScenarioResult;
+
+/// Escape a string for embedding in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The complete analyzer outcome, ready for serialization.
+pub struct Analysis {
+    /// Files the lint pass scanned.
+    pub files_scanned: usize,
+    /// Lint findings on the real tree (must be empty for a green run).
+    pub violations: Vec<Violation>,
+    /// Self-check: findings on the bad-fixture corpus (must be non-empty —
+    /// proves the lints can still fire).
+    pub fixture_violations: usize,
+    /// Fixture files exercised by the self-check.
+    pub fixture_files: usize,
+    /// Race-checker scenario outcomes.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Self-check: the arrival-order bad reduce diverged as expected.
+    pub bad_fixture_diverged: bool,
+    /// Self-check: the deliberate recv cycle was caught by the watchdog.
+    pub deadlock_detected: bool,
+}
+
+impl Analysis {
+    /// Overall verdict: clean tree, invariant schedules, working self-checks.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+            && self.fixture_violations > 0
+            && self.scenarios.iter().all(ScenarioResult::ok)
+            && self.bad_fixture_diverged
+            && self.deadlock_detected
+    }
+
+    /// Serialize to the `ANALYSIS.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"lint_violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                esc(v.lint),
+                esc(&v.file),
+                v.line,
+                esc(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"fixture_selfcheck\": {{\"files\": {}, \"violations\": {}, \"fired\": {}}},\n",
+            self.fixture_files,
+            self.fixture_violations,
+            self.fixture_violations > 0
+        ));
+        s.push_str("  \"schedule_scenarios\": [\n");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"p\": {}, \"schedules\": {}, \"distinct_results\": {}, \
+                 \"deadlocks\": {}, \"lost_updates\": {}, \"fingerprint\": \"{:016x}\", \"ok\": {}}}{}\n",
+                esc(&sc.name),
+                sc.p,
+                sc.schedules,
+                sc.distinct_results,
+                sc.deadlocks,
+                sc.lost_updates,
+                sc.fingerprint,
+                sc.ok(),
+                if i + 1 < self.scenarios.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"race_selfcheck\": {{\"bad_fixture_diverged\": {}, \"deadlock_detected\": {}}}\n",
+            self.bad_fixture_diverged, self.deadlock_detected
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary for the terminal / bench report.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== sasgd-analysis ==\n\n");
+        s.push_str(&format!(
+            "lint pass: {} files scanned, {} violation(s)\n",
+            self.files_scanned,
+            self.violations.len()
+        ));
+        for v in &self.violations {
+            s.push_str(&format!(
+                "  [{}] {}:{} {}\n",
+                v.lint, v.file, v.line, v.message
+            ));
+        }
+        s.push_str(&format!(
+            "lint self-check: {} fixture file(s), {} violation(s) fired ({})\n\n",
+            self.fixture_files,
+            self.fixture_violations,
+            if self.fixture_violations > 0 {
+                "ok"
+            } else {
+                "FAIL: lints are dead"
+            }
+        ));
+        s.push_str("schedule exploration:\n");
+        for sc in &self.scenarios {
+            s.push_str(&format!(
+                "  {:<38} p={} schedules={:>3} distinct={} deadlocks={} lost={}  {}\n",
+                sc.name,
+                sc.p,
+                sc.schedules,
+                sc.distinct_results,
+                sc.deadlocks,
+                sc.lost_updates,
+                if sc.ok() { "ok" } else { "FAIL" }
+            ));
+            for r in &sc.deadlock_reports {
+                s.push_str(&format!("      {r}\n"));
+            }
+        }
+        s.push_str(&format!(
+            "race self-check: bad fixture diverged = {}, deadlock detected = {}\n",
+            self.bad_fixture_diverged, self.deadlock_detected
+        ));
+        s.push_str(&format!(
+            "\noverall: {}\n",
+            if self.ok() { "OK" } else { "FAIL" }
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_analysis_round_trips() {
+        let a = Analysis {
+            files_scanned: 3,
+            violations: vec![Violation {
+                lint: "map-iter",
+                file: "crates/x.rs".into(),
+                line: 7,
+                message: "no \"maps\"".into(),
+            }],
+            fixture_violations: 5,
+            fixture_files: 2,
+            scenarios: Vec::new(),
+            bad_fixture_diverged: true,
+            deadlock_detected: true,
+        };
+        let j = a.to_json();
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("no \\\"maps\\\""));
+        assert!(j.contains("\"ok\": false")); // violations present → not ok
+    }
+}

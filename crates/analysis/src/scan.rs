@@ -1,0 +1,104 @@
+//! Workspace file discovery for the lint pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lints::{lint_file, Violation};
+
+/// Directories scanned relative to the repo root.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Path components that end a walk: build output, vendored dependency
+/// subsets (out of lint scope by definition), and the analyzer's own
+/// fixture corpus (which *deliberately* violates every lint).
+const SKIP_COMPONENTS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// The repository root, resolved from this crate's manifest directory.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis lives two levels under the repo root")
+        .to_path_buf()
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if !SKIP_COMPONENTS.contains(&name) {
+                walk(&p, files);
+            }
+        } else if name.ends_with(".rs") {
+            files.push(p);
+        }
+    }
+}
+
+/// Result of linting the whole repository.
+pub struct LintRun {
+    /// Files scanned (repo-relative).
+    pub files_scanned: usize,
+    /// All findings, in path order.
+    pub violations: Vec<Violation>,
+}
+
+/// Lint every workspace `.rs` file under `root`.
+pub fn lint_repo(root: &Path) -> LintRun {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        walk(&root.join(scan), &mut files);
+    }
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for f in &files {
+        let Ok(src) = fs::read_to_string(f) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(lint_file(&rel, &src));
+    }
+    LintRun {
+        files_scanned: scanned,
+        violations,
+    }
+}
+
+/// Lint the bad-fixture corpus (each file declares its virtual repo path on
+/// its first line as `// virtual-path: crates/...`). Returns the number of
+/// violations found — the analyzer self-test expects this to be large.
+pub fn lint_fixture_corpus(dir: &Path) -> (usize, Vec<Violation>) {
+    let mut files = Vec::new();
+    walk(dir, &mut files);
+    let mut violations = Vec::new();
+    let mut count = 0usize;
+    for f in &files {
+        let Ok(src) = fs::read_to_string(f) else {
+            continue;
+        };
+        count += 1;
+        let virtual_path = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("// virtual-path:"))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| f.to_string_lossy().into_owned());
+        violations.extend(lint_file(&virtual_path, &src));
+    }
+    (count, violations)
+}
+
+/// The analyzer's fixture directory (`crates/analysis/fixtures`).
+pub fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}

@@ -1,0 +1,728 @@
+//! Schedule-exploration race checker for the `sasgd-comm` substrate.
+//!
+//! The threaded backend's headline claim — "SASGD over threads equals
+//! SASGD simulated, bit for bit" — rests on the collectives combining in a
+//! *fixed* order no matter how the OS schedules the rank threads. This
+//! harness attacks that claim directly: it runs each collective (and the
+//! PS server) under many distinct injected-delay schedules that perturb
+//! message arrival orders, and asserts
+//!
+//! * **(a) bitwise invariance** — every rank's result is bitwise identical
+//!   across all explored schedules;
+//! * **(b) deadlock freedom** — a watchdog bounds each schedule run and, on
+//!   timeout, reports which ranks are blocked on which `(src, tag)`
+//!   resource (held-resource reporting);
+//! * **(c) no lost updates** on the PS path — after all concurrent pushes,
+//!   the pulled parameters equal the exact expected sum, and every
+//!   mid-flight pull observes only shard states a serial application of
+//!   that shard's messages could produce.
+//!
+//! ## Exploration model and its limits
+//!
+//! Schedules are *injected delays*, not a model checker's full interleaving
+//! tree: for p ≤ 4 the harness exhaustively enumerates all `p!` start-order
+//! permutations crossed with a basis of per-operation delay patterns
+//! (pre-send, pre-recv, and none); for p = 8 it draws seeded pseudo-random
+//! delay vectors. Delays bias the OS schedule toward the targeted arrival
+//! orders rather than forcing them, so a pass is strong evidence over the
+//! explored envelope, not a proof over all interleavings — see DESIGN.md
+//! §4d. The regression tests show the harness *does* catch an
+//! arrival-order-combining reduce and a real recv cycle.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sasgd_comm::collectives::{allreduce_ring, allreduce_tree, reduce_tree};
+use sasgd_comm::hierarchy::{grouped, hierarchical_allreduce};
+use sasgd_comm::ps::{PsConfig, PsServer};
+use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
+use sasgd_comm::world::{CommWorld, Communicator, DelaySchedule};
+
+/// One delay unit. Long enough that a delayed send reliably loses the race
+/// against an undelayed one; short enough that a full exploration stays in
+/// CI budget.
+const UNIT: Duration = Duration::from_micros(300);
+
+/// Watchdog budget per schedule run. Generous: a legitimate run finishes in
+/// a few milliseconds even under maximal injected delay.
+const WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Outcome of exploring one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name (`allreduce_tree`, `ps_push_pull`, …).
+    pub name: String,
+    /// Ranks / learners involved.
+    pub p: usize,
+    /// Schedules explored.
+    pub schedules: usize,
+    /// Distinct per-rank result checksums observed (must be 1).
+    pub distinct_results: usize,
+    /// Schedules that hit the watchdog.
+    pub deadlocks: usize,
+    /// Deadlock diagnostics: per deadlocked schedule, which ranks were
+    /// blocked on which `(src, tag)`.
+    pub deadlock_reports: Vec<String>,
+    /// PS-path consistency violations (lost updates / impossible shard
+    /// states); 0 for collective scenarios.
+    pub lost_updates: usize,
+    /// FNV-1a over the per-rank result checksums of the first completed
+    /// schedule — the bitwise fingerprint every other schedule must match.
+    pub fingerprint: u64,
+}
+
+impl ScenarioResult {
+    /// Did the scenario uphold all checked properties?
+    pub fn ok(&self) -> bool {
+        self.distinct_results <= 1 && self.deadlocks == 0 && self.lost_updates == 0
+    }
+}
+
+/// FNV-1a over the bit patterns of a result vector — the same fingerprint
+/// style as `tests/engine_golden.rs`.
+pub fn fnv1a_f32(xs: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Deterministic pseudo-random stream (splitmix64) — the harness must not
+/// depend on `rand` so it stays usable from every crate's dev-deps.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % u64::from(n.max(1))) as u32
+    }
+}
+
+/// A full schedule: per-rank start delays plus the comm-level delay table.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// Delay units each rank sleeps before its first operation.
+    pub start: Vec<u32>,
+    /// Delay table handed to the communicators.
+    pub delays: DelaySchedule,
+}
+
+/// All `p!` permutations of `0..p` (Heap's algorithm).
+fn permutations(p: usize) -> Vec<Vec<u32>> {
+    let mut a: Vec<u32> = (0..p as u32).collect();
+    let mut out = vec![a.clone()];
+    let mut c = vec![0usize; p];
+    let mut i = 0usize;
+    while i < p {
+        if c[i] < i {
+            if i.is_multiple_of(2) {
+                a.swap(0, i);
+            } else {
+                a.swap(c[i], i);
+            }
+            out.push(a.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The exhaustive schedule set for small `p`: every start-order permutation
+/// crossed with three per-operation delay bases (none, alternating
+/// pre-send, reversed pre-recv).
+pub fn exhaustive_schedules(p: usize) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    for perm in permutations(p) {
+        for basis in 0..3u32 {
+            let (send, recv): (Vec<Vec<u32>>, Vec<Vec<u32>>) = match basis {
+                0 => (vec![Vec::new(); p], vec![Vec::new(); p]),
+                1 => (
+                    (0..p).map(|r| vec![perm[r] % 2, 1 - perm[r] % 2]).collect(),
+                    vec![Vec::new(); p],
+                ),
+                _ => (
+                    vec![Vec::new(); p],
+                    (0..p).map(|r| vec![perm[p - 1 - r] % 3]).collect(),
+                ),
+            };
+            out.push(Schedule {
+                start: perm.clone(),
+                delays: DelaySchedule {
+                    unit: UNIT,
+                    send,
+                    recv,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Seeded random schedules for larger `p`.
+pub fn random_schedules(p: usize, count: usize, seed: u64) -> Vec<Schedule> {
+    let mut rng = SplitMix(seed);
+    (0..count)
+        .map(|_| Schedule {
+            start: (0..p).map(|_| rng.below(4)).collect(),
+            delays: DelaySchedule {
+                unit: UNIT,
+                send: (0..p)
+                    .map(|_| (0..4).map(|_| rng.below(3)).collect())
+                    .collect(),
+                recv: (0..p)
+                    .map(|_| (0..4).map(|_| rng.below(2)).collect())
+                    .collect(),
+            },
+        })
+        .collect()
+}
+
+/// Rank inputs chosen so that any change in combine order is visible
+/// bitwise: mixed magnitudes make float addition order-sensitive.
+pub fn order_sensitive_input(rank: usize, m: usize) -> Vec<f32> {
+    (0..m)
+        .map(|j| {
+            let base = match (rank + j) % 4 {
+                0 => 1.0e8,
+                1 => 1.0,
+                2 => -1.0e8,
+                _ => 3.7e-5,
+            };
+            base + (rank as f32 + 1.0) * 0.123 + j as f32 * 0.017
+        })
+        .collect()
+}
+
+/// One rank's body in a schedule run: `(rank, communicator) -> result`.
+pub type RankFn = Arc<dyn Fn(usize, &mut Communicator) -> Vec<f32> + Send + Sync>;
+
+/// Outcome of one schedule run.
+enum RunOutcome {
+    /// Per-rank result checksums, rank order.
+    Done(Vec<u64>),
+    /// Watchdog fired; human-readable held-resource report.
+    Deadlock(String),
+}
+
+/// Run `scenario` on `p` fresh ranks under `sched`. The scenario receives
+/// `(rank, communicator)` and returns the rank's result vector.
+fn run_schedule(p: usize, sched: &Schedule, scenario: RankFn, watchdog: Duration) -> RunOutcome {
+    let mut world = CommWorld::new(p);
+    world.set_delays(Arc::new(sched.delays.clone()));
+    let comms = world.communicators();
+    let (tx, rx) = mpsc::channel::<(usize, u64)>();
+    for (rank, mut comm) in comms.into_iter().enumerate() {
+        let tx = tx.clone();
+        let scenario = Arc::clone(&scenario);
+        let start_units = sched.start.get(rank).copied().unwrap_or(0);
+        // Detached threads: on deadlock they stay blocked and are leaked —
+        // the watchdog report is the product, and the process moves on.
+        // lint:allow(raw-spawn): the race checker is the one sanctioned
+        // thread host outside comm/core::threaded (see SPAWN_ALLOWED).
+        std::thread::spawn(move || {
+            if start_units > 0 {
+                std::thread::sleep(UNIT * start_units);
+            }
+            let result = scenario(rank, &mut comm);
+            let _ = tx.send((rank, fnv1a_f32(&result)));
+        });
+    }
+    drop(tx);
+    let mut sums = vec![0u64; p];
+    for _ in 0..p {
+        match rx.recv_timeout(watchdog) {
+            Ok((rank, h)) => sums[rank] = h,
+            Err(_) => {
+                let held = world.waiting_snapshot();
+                let mut report = String::from("deadlock: ");
+                for (r, w) in held.iter().enumerate() {
+                    match w {
+                        Some((src, tag)) => report
+                            .push_str(&format!("rank {r} blocked on (src {src}, tag {tag}); ")),
+                        None => report.push_str(&format!("rank {r} not blocked in recv; ")),
+                    }
+                }
+                return RunOutcome::Deadlock(report);
+            }
+        }
+    }
+    RunOutcome::Done(sums)
+}
+
+/// Explore `schedules` for one collective scenario and fold the outcomes.
+pub fn explore(name: &str, p: usize, schedules: &[Schedule], scenario: RankFn) -> ScenarioResult {
+    explore_with(name, p, schedules, scenario, WATCHDOG)
+}
+
+/// [`explore`] with an explicit watchdog budget — the deliberate-deadlock
+/// self-check uses a short one (its hang is certain, not probabilistic).
+pub fn explore_with(
+    name: &str,
+    p: usize,
+    schedules: &[Schedule],
+    scenario: RankFn,
+    watchdog: Duration,
+) -> ScenarioResult {
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    let mut deadlocks = 0usize;
+    let mut deadlock_reports = Vec::new();
+    for sched in schedules {
+        match run_schedule(p, sched, Arc::clone(&scenario), watchdog) {
+            RunOutcome::Done(sums) => {
+                if !seen.contains(&sums) {
+                    seen.push(sums);
+                }
+            }
+            RunOutcome::Deadlock(report) => {
+                deadlocks += 1;
+                if deadlock_reports.len() < 4 {
+                    deadlock_reports.push(report);
+                }
+            }
+        }
+    }
+    ScenarioResult {
+        name: name.to_string(),
+        p,
+        schedules: schedules.len(),
+        distinct_results: seen.len(),
+        deadlocks,
+        deadlock_reports,
+        lost_updates: 0,
+        fingerprint: seen.first().map_or(0, |s| fingerprint_of(s)),
+    }
+}
+
+/// Fold per-rank checksums into one scenario fingerprint.
+fn fingerprint_of(sums: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in sums {
+        for b in s.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Scenario definitions.
+// ---------------------------------------------------------------------------
+
+/// Dense binomial-tree allreduce.
+pub fn scenario_allreduce_tree(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    explore(
+        "allreduce_tree",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let mut v = order_sensitive_input(rank, 9);
+            allreduce_tree(comm, &mut v);
+            v
+        }),
+    )
+}
+
+/// Dense binomial-tree reduce to a nonzero root (exercises the
+/// virtual-rank remapping); result includes the non-root partials, which
+/// are also schedule-invariant.
+pub fn scenario_reduce_tree(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    explore(
+        "reduce_tree_root1",
+        p,
+        schedules,
+        Arc::new(move |rank, comm| {
+            let root = 1 % p;
+            let mut v = order_sensitive_input(rank, 7);
+            reduce_tree(comm, root, &mut v);
+            v
+        }),
+    )
+}
+
+/// Sparse tree allreduce over the `[len, nnz, idx…, val…]` wire format.
+pub fn scenario_sparse_allreduce(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    explore(
+        "sparse_allreduce_tree",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let m = 23;
+            let dense: Vec<f32> = (0..m)
+                .map(|j| {
+                    if (j + rank) % 3 == 0 {
+                        1.0e7 + (rank as f32 + 1.0) * 0.31 + j as f32
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let mut sv = SparseVec::from_dense(&dense);
+            sparse_allreduce_tree(comm, &mut sv);
+            sv.to_dense()
+        }),
+    )
+}
+
+/// Ring allreduce (reduce-scatter + allgather).
+pub fn scenario_allreduce_ring(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    explore(
+        "allreduce_ring",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let mut v = order_sensitive_input(rank, 11);
+            allreduce_ring(comm, &mut v);
+            v
+        }),
+    )
+}
+
+/// Two consecutive collectives — catches tag-space collisions between
+/// overlapping operations under reordering.
+pub fn scenario_back_to_back(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    explore(
+        "back_to_back_collectives",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let mut a = order_sensitive_input(rank, 5);
+            allreduce_tree(comm, &mut a);
+            let mut b = order_sensitive_input(rank + 1, 5);
+            allreduce_tree(comm, &mut b);
+            a.extend_from_slice(&b);
+            a
+        }),
+    )
+}
+
+/// Hierarchical (grouped) allreduce: local reduce → leader allreduce →
+/// local broadcast. Delay injection is applied to all three communicator
+/// scopes of every learner.
+pub fn scenario_hierarchical(
+    groups: usize,
+    per_group: usize,
+    schedules: &[Schedule],
+) -> ScenarioResult {
+    let p = groups * per_group;
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    let mut deadlocks = 0usize;
+    let mut deadlock_reports = Vec::new();
+    for sched in schedules {
+        let delays = Arc::new(sched.delays.clone());
+        let mut bundles = grouped(groups, per_group);
+        for b in bundles.iter_mut() {
+            b.global.set_delays(Arc::clone(&delays));
+            b.local.set_delays(Arc::clone(&delays));
+            if let Some(l) = b.leaders.as_mut() {
+                l.set_delays(Arc::clone(&delays));
+            }
+        }
+        let (tx, rx) = mpsc::channel::<(usize, u64)>();
+        for (rank, mut b) in bundles.into_iter().enumerate() {
+            let tx = tx.clone();
+            let start_units = sched.start.get(rank).copied().unwrap_or(0);
+            // lint:allow(raw-spawn): race-checker thread host.
+            std::thread::spawn(move || {
+                if start_units > 0 {
+                    std::thread::sleep(UNIT * start_units);
+                }
+                let mut v = order_sensitive_input(rank, 9);
+                hierarchical_allreduce(&mut b, &mut v);
+                let _ = tx.send((rank, fnv1a_f32(&v)));
+            });
+        }
+        drop(tx);
+        let mut sums = vec![0u64; p];
+        let mut dead = false;
+        for _ in 0..p {
+            match rx.recv_timeout(WATCHDOG) {
+                Ok((rank, h)) => sums[rank] = h,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            deadlocks += 1;
+            if deadlock_reports.len() < 4 {
+                deadlock_reports
+                    .push("deadlock in hierarchical_allreduce (grouped worlds)".to_string());
+            }
+        } else if !seen.contains(&sums) {
+            seen.push(sums);
+        }
+    }
+    ScenarioResult {
+        name: format!("hierarchical_{groups}x{per_group}"),
+        p,
+        schedules: schedules.len(),
+        distinct_results: seen.len(),
+        deadlocks,
+        deadlock_reports,
+        lost_updates: 0,
+        fingerprint: seen.first().map_or(0, |s| fingerprint_of(s)),
+    }
+}
+
+/// PS push/pull under concurrent clients: lost-update and shard-state
+/// consistency detection.
+///
+/// Every client `r` pushes `pushes` deltas of the constant vector
+/// `r + 1` (exactly representable; sums stay exact in f32), with
+/// schedule-injected sleeps between pushes. A concurrent reader pulls
+/// mid-flight and checks each *shard segment* is uniform — a shard applies
+/// whole `Add` messages serially, so a torn segment means a lost or
+/// partial update. After all pushers join, the final pull must equal the
+/// exact expected sum (any miss is a lost update).
+pub fn scenario_ps(
+    p: usize,
+    shards: usize,
+    pushes: usize,
+    schedules: &[Schedule],
+) -> ScenarioResult {
+    let m = 24usize;
+    let mut lost = 0usize;
+    let mut deadlocks = 0usize;
+    let mut deadlock_reports = Vec::new();
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    let expected: f32 = (1..=p).map(|r| (r * pushes) as f32).sum();
+    for sched in schedules {
+        let ps = PsServer::spawn(vec![0.0; m], PsConfig { shards });
+        let bounds: Vec<(usize, usize)> = {
+            // Mirror PsServer's shard split (base + extras-first).
+            let base = m / shards;
+            let extra = m % shards;
+            let mut v = Vec::with_capacity(shards);
+            let mut start = 0usize;
+            for k in 0..shards {
+                let len = base + usize::from(k < extra);
+                v.push((start, start + len));
+                start += len;
+            }
+            v
+        };
+        let (tx, rx) = mpsc::channel::<Result<(), String>>();
+        for r in 0..p {
+            let c = ps.client();
+            let tx = tx.clone();
+            let start_units = sched.start.get(r).copied().unwrap_or(0);
+            let gaps: Vec<u32> = sched.delays.send.get(r).cloned().unwrap_or_default();
+            // lint:allow(raw-spawn): race-checker thread host.
+            std::thread::spawn(move || {
+                if start_units > 0 {
+                    std::thread::sleep(UNIT * start_units);
+                }
+                for k in 0..pushes {
+                    if !gaps.is_empty() {
+                        let u = gaps[k % gaps.len()];
+                        if u > 0 {
+                            std::thread::sleep(UNIT * u);
+                        }
+                    }
+                    c.add(&vec![(r + 1) as f32; m]);
+                }
+                let _ = tx.send(Ok(()));
+            });
+        }
+        // Concurrent reader: mid-flight pulls must observe uniform shards.
+        let reader = ps.client();
+        let reader_bounds = bounds.clone();
+        let rtx = tx.clone();
+        // lint:allow(raw-spawn): race-checker thread host.
+        std::thread::spawn(move || {
+            for _ in 0..6 {
+                let x = reader.pull();
+                for &(lo, hi) in &reader_bounds {
+                    if hi > lo {
+                        let v0 = x[lo];
+                        if x[lo..hi].iter().any(|&v| v.to_bits() != v0.to_bits()) {
+                            let _ = rtx.send(Err(format!(
+                                "torn shard segment [{lo}, {hi}): {:?}",
+                                &x[lo..hi]
+                            )));
+                            return;
+                        }
+                    }
+                }
+                std::thread::sleep(UNIT);
+            }
+            let _ = rtx.send(Ok(()));
+        });
+        drop(tx);
+        let mut dead = false;
+        for _ in 0..p + 1 {
+            match rx.recv_timeout(WATCHDOG) {
+                Ok(Ok(())) => {}
+                Ok(Err(report)) => {
+                    lost += 1;
+                    if deadlock_reports.len() < 4 {
+                        deadlock_reports.push(report);
+                    }
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            deadlocks += 1;
+            continue;
+        }
+        let x = ps.client().pull();
+        if x.iter().any(|&v| v != expected) {
+            lost += 1;
+            if deadlock_reports.len() < 4 {
+                deadlock_reports.push(format!(
+                    "lost update: expected uniform {expected}, got {:?}",
+                    &x[..4.min(x.len())]
+                ));
+            }
+        }
+        let final_params = ps.shutdown();
+        if !seen.contains(&vec![fnv1a_f32(&final_params)]) {
+            seen.push(vec![fnv1a_f32(&final_params)]);
+        }
+    }
+    ScenarioResult {
+        name: format!("ps_push_pull_s{shards}"),
+        p,
+        schedules: schedules.len(),
+        // Sums of identical commuting adds: final state must be invariant.
+        distinct_results: seen.len(),
+        deadlocks,
+        deadlock_reports,
+        lost_updates: lost,
+        fingerprint: seen.first().map_or(0, |s| fingerprint_of(s)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bad fixtures: what a failure looks like (used by tests and the
+// analyzer's self-check).
+// ---------------------------------------------------------------------------
+
+/// A deliberately broken tree reduce that merges children in **arrival
+/// order** (via [`Communicator::recv_any`]) instead of rank order. Float
+/// addition does not commute bitwise, so its result depends on the thread
+/// schedule — the race checker must observe divergent checksums.
+pub fn bad_reduce_arrival_order(comm: &mut Communicator, root: usize, buf: &mut [f32]) {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return;
+    }
+    let op = comm.next_op();
+    let tag = (op << 4) | 1;
+    let vrank = (comm.rank() + p - root) % p;
+    // Children/parent sets identical to the correct reduce_tree…
+    let mut children = Vec::new();
+    let mut bit = 1usize;
+    let mut parent = None;
+    while bit < p {
+        if vrank & bit != 0 {
+            parent = Some(((vrank & !bit) + root) % p);
+            break;
+        }
+        let child_v = vrank | bit;
+        if child_v < p {
+            children.push((child_v + root) % p);
+        }
+        bit <<= 1;
+    }
+    // …but the merge happens in whatever order the messages arrive.
+    let candidates: Vec<(usize, u64)> = children.iter().map(|&c| (c, tag)).collect();
+    let mut outstanding = candidates.len();
+    while outstanding > 0 {
+        let (_, part) = comm.recv_any(&candidates);
+        for (a, b) in buf.iter_mut().zip(&part) {
+            *a += b;
+        }
+        outstanding -= 1;
+    }
+    if let Some(par) = parent {
+        comm.send(par, tag, buf.to_vec());
+    }
+}
+
+/// Explore the bad reduce; a healthy checker reports `distinct_results > 1`.
+pub fn scenario_bad_reduce(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    let mut r = explore(
+        "bad_reduce_arrival_order",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let mut v = order_sensitive_input(rank, 6);
+            bad_reduce_arrival_order(comm, 0, &mut v);
+            v
+        }),
+    );
+    r.name = "bad_reduce_arrival_order (expected to diverge)".to_string();
+    r
+}
+
+/// A deliberate recv cycle: every rank waits for its right neighbour
+/// before sending. The watchdog must flag it and name the held resources.
+pub fn scenario_deadlock(p: usize) -> ScenarioResult {
+    let schedules = vec![Schedule {
+        start: vec![0; p],
+        delays: DelaySchedule::default(),
+    }];
+    // The hang is certain (a pure recv cycle), so a short watchdog suffices
+    // and keeps the self-check cheap.
+    explore_with(
+        "deliberate_recv_cycle",
+        p,
+        &schedules,
+        Arc::new(move |rank, comm| {
+            let peer = (rank + 1) % p;
+            // Everyone receives first: classic cycle, nobody ever sends.
+            let v = comm.recv(peer, 99);
+            comm.send(peer, 99, v.clone());
+            v
+        }),
+        Duration::from_millis(500),
+    )
+}
+
+/// The full production sweep: every shipped collective and the PS path,
+/// exhaustive at p ≤ 4 and seeded-random at p = 8.
+pub fn run_production_sweep() -> Vec<ScenarioResult> {
+    let mut out = Vec::new();
+    for p in [2usize, 3, 4] {
+        let scheds = exhaustive_schedules(p);
+        out.push(scenario_allreduce_tree(p, &scheds));
+    }
+    let s4 = exhaustive_schedules(4);
+    out.push(scenario_reduce_tree(4, &s4));
+    out.push(scenario_sparse_allreduce(4, &s4));
+    out.push(scenario_allreduce_ring(4, &s4));
+    out.push(scenario_back_to_back(4, &s4));
+    out.push(scenario_hierarchical(2, 2, &s4));
+    out.push(scenario_ps(4, 2, 6, &s4));
+    let s8 = random_schedules(8, 12, 0x0005_a56d);
+    out.push(scenario_allreduce_tree(8, &s8));
+    out.push(scenario_sparse_allreduce(8, &s8));
+    out.push(scenario_allreduce_ring(8, &s8));
+    out.push(scenario_hierarchical(2, 4, &s8));
+    out.push(scenario_ps(8, 3, 4, &s8));
+    out
+}

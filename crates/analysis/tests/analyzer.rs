@@ -1,0 +1,219 @@
+//! Integration tests for both analyzer legs.
+//!
+//! * The lint pass must fire on every bad fixture, stay silent on every
+//!   good fixture, and report **zero** violations on the real tree.
+//! * The race checker must certify the shipped collectives
+//!   schedule-invariant, catch the arrival-order bad reduce bitwise, and
+//!   flag the deliberate recv cycle with a held-resource report.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use sasgd_analysis::lints::lint_file;
+use sasgd_analysis::scan::{fixtures_dir, lint_fixture_corpus, lint_repo, repo_root};
+use sasgd_analysis::schedule::{
+    exhaustive_schedules, random_schedules, scenario_allreduce_tree, scenario_bad_reduce,
+    scenario_deadlock, scenario_hierarchical, scenario_ps, scenario_sparse_allreduce,
+};
+
+fn fixture_lints(name: &str) -> Vec<&'static str> {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let virtual_path = src
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// virtual-path:"))
+        .map(|s| s.trim().to_string())
+        .expect("fixture declares a virtual path");
+    lint_file(&virtual_path, &src)
+        .into_iter()
+        .map(|v| v.lint)
+        .collect()
+}
+
+#[test]
+fn every_bad_fixture_fires_its_lint() {
+    // Two `use`s plus two signature mentions: the lint is per occurrence.
+    assert_eq!(
+        fixture_lints("bad/map_iter.rs"),
+        vec!["map-iter", "map-iter", "map-iter", "map-iter"]
+    );
+    assert_eq!(fixture_lints("bad/unsafe_unlisted.rs"), vec!["unsafe"]);
+    assert_eq!(fixture_lints("bad/unsafe_undocumented.rs"), vec!["unsafe"]);
+    assert_eq!(
+        fixture_lints("bad/wall_clock.rs"),
+        vec!["wall-clock", "wall-clock", "wall-clock"]
+    );
+    assert_eq!(
+        fixture_lints("bad/raw_spawn.rs"),
+        vec!["raw-spawn", "raw-spawn"]
+    );
+    assert_eq!(
+        fixture_lints("bad/hot_alloc.rs"),
+        vec!["hot-alloc", "hot-alloc", "hot-alloc"]
+    );
+    assert_eq!(
+        fixture_lints("bad/float_cast.rs"),
+        vec!["float-cast", "float-cast", "float-cast"]
+    );
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for name in [
+        "good/map_btree.rs",
+        "good/unsafe_documented.rs",
+        "good/wall_clock_threaded.rs",
+        "good/spawn_comm.rs",
+        "good/hot_ws.rs",
+        "good/float_promote.rs",
+    ] {
+        let fired = fixture_lints(name);
+        assert!(fired.is_empty(), "{name} fired {fired:?}");
+    }
+}
+
+#[test]
+fn corpus_exercises_every_lint_id() {
+    let (files, violations) = lint_fixture_corpus(&fixtures_dir());
+    assert!(files >= 12, "expected the full corpus, saw {files} files");
+    let fired: BTreeSet<&str> = violations.iter().map(|v| v.lint).collect();
+    for id in sasgd_analysis::lints::LINT_IDS {
+        assert!(fired.contains(id), "no fixture fires `{id}` — lint is dead");
+    }
+}
+
+#[test]
+fn real_tree_is_clean() {
+    let run = lint_repo(&repo_root());
+    assert!(
+        run.files_scanned > 40,
+        "scan found only {} files",
+        run.files_scanned
+    );
+    let msgs: Vec<String> = run
+        .violations
+        .iter()
+        .map(|v| format!("[{}] {}:{} {}", v.lint, v.file, v.line, v.message))
+        .collect();
+    assert!(
+        msgs.is_empty(),
+        "lint violations on the real tree:\n{}",
+        msgs.join("\n")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Race-checker leg.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allreduce_tree_is_schedule_invariant_exhaustive() {
+    for p in [2usize, 3, 4] {
+        let r = scenario_allreduce_tree(p, &exhaustive_schedules(p));
+        assert_eq!(r.distinct_results, 1, "p={p}: {r:?}");
+        assert_eq!(r.deadlocks, 0, "p={p}: {r:?}");
+    }
+}
+
+#[test]
+fn sparse_allreduce_is_schedule_invariant() {
+    let r = scenario_sparse_allreduce(4, &exhaustive_schedules(4));
+    assert_eq!(r.distinct_results, 1, "{r:?}");
+    assert_eq!(r.deadlocks, 0);
+}
+
+#[test]
+fn hierarchical_allreduce_is_schedule_invariant() {
+    let r = scenario_hierarchical(2, 2, &exhaustive_schedules(4));
+    assert_eq!(r.distinct_results, 1, "{r:?}");
+    assert_eq!(r.deadlocks, 0);
+}
+
+#[test]
+fn random_schedules_at_p8_are_invariant() {
+    let r = scenario_allreduce_tree(8, &random_schedules(8, 6, 0xfeed));
+    assert_eq!(r.distinct_results, 1, "{r:?}");
+    assert_eq!(r.deadlocks, 0);
+}
+
+#[test]
+fn ps_path_has_no_lost_updates() {
+    let r = scenario_ps(4, 2, 5, &exhaustive_schedules(4));
+    assert_eq!(r.lost_updates, 0, "{r:?}");
+    assert_eq!(r.deadlocks, 0);
+    assert_eq!(r.distinct_results, 1, "commuting adds must converge: {r:?}");
+}
+
+/// Regression: a reduce that combines children in *arrival* order must be
+/// caught by the bitwise-invariance assertion. This is the test that proves
+/// the checker can actually see the class of bug it exists for.
+#[test]
+fn arrival_order_reduce_is_caught() {
+    let r = scenario_bad_reduce(3, &exhaustive_schedules(3));
+    assert!(
+        r.distinct_results > 1,
+        "bad reduce produced one result across {} schedules — checker is blind: {r:?}",
+        r.schedules
+    );
+}
+
+/// Regression: a recv cycle must trip the watchdog and the report must name
+/// the resource each rank is blocked on.
+#[test]
+fn recv_cycle_is_reported_with_held_resources() {
+    let r = scenario_deadlock(2);
+    assert_eq!(r.deadlocks, 1, "{r:?}");
+    let report = &r.deadlock_reports[0];
+    assert!(
+        report.contains("rank 0 blocked on (src 1, tag 99)"),
+        "{report}"
+    );
+    assert!(
+        report.contains("rank 1 blocked on (src 0, tag 99)"),
+        "{report}"
+    );
+}
+
+/// The schedule generators themselves: exhaustive really is p! × 3, and the
+/// seeded stream is reproducible.
+#[test]
+fn schedule_generators_are_deterministic() {
+    assert_eq!(exhaustive_schedules(3).len(), 18); // 3! × 3 bases
+    assert_eq!(exhaustive_schedules(4).len(), 72); // 4! × 3 bases
+    let a = random_schedules(8, 4, 42);
+    let b = random_schedules(8, 4, 42);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.start, y.start);
+        assert_eq!(x.delays.send, y.delays.send);
+        assert_eq!(x.delays.recv, y.delays.recv);
+    }
+    let c = random_schedules(8, 4, 43);
+    assert!(a
+        .iter()
+        .zip(&c)
+        .any(|(x, y)| x.delays.send != y.delays.send));
+}
+
+/// Delay injection must not alter the *values* a collective computes, only
+/// their timing — spot-check against an undelayed run.
+#[test]
+fn delays_do_not_change_results() {
+    use sasgd_analysis::schedule::{explore_with, Schedule};
+    use std::sync::Arc;
+    let none = vec![Schedule::default()];
+    let some = exhaustive_schedules(2);
+    let scenario = Arc::new(|rank: usize, comm: &mut sasgd_comm::Communicator| {
+        let mut v = vec![rank as f32 + 1.0; 4];
+        sasgd_comm::collectives::allreduce_tree(comm, &mut v);
+        v
+    });
+    let a = explore_with("plain", 2, &none, scenario.clone(), Duration::from_secs(5));
+    let b = explore_with("delayed", 2, &some, scenario, Duration::from_secs(5));
+    assert_eq!(a.distinct_results, 1);
+    assert_eq!(b.distinct_results, 1);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "delay injection changed the computed values, not just their timing"
+    );
+}

@@ -17,26 +17,40 @@ static BYTES: AtomicU64 = AtomicU64::new(0);
 /// path (alloc, zeroed, realloc) so `Vec` growth is visible.
 pub struct CountingAllocator;
 
+// SAFETY: every method forwards verbatim to the `System` allocator after
+// bumping relaxed counters; `GlobalAlloc`'s contract is upheld exactly as
+// `System` upholds it (no layout is altered, no pointer is fabricated).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (valid layout).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout the caller handed us, forwarded unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s contract.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout the caller handed us, forwarded unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (`ptr` from
+    // this allocator with `layout`, `new_size` nonzero and in range).
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: `ptr` came from `System` (all our paths forward to it),
+        // with the same `layout`; arguments pass through unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` via this wrapper with
+        // this exact `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

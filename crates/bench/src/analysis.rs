@@ -1,0 +1,21 @@
+//! `repro analyze` — the static-analysis and race-checking gate.
+//!
+//! Runs both `sasgd-analysis` legs (the repo-invariant lint pass and the
+//! schedule-exploration race checker) and packages the outcome as a bench
+//! [`Artifact`]: a human-readable report plus the machine-readable
+//! `ANALYSIS.json` CI consumes. The second tuple element is the verdict —
+//! `repro` exits nonzero when it is `false`.
+
+use crate::figures::Artifact;
+
+/// Run the full analyzer and return `(artifact, ok)`.
+pub fn analyze() -> (Artifact, bool) {
+    let analysis = sasgd_analysis::run_all();
+    let ok = analysis.ok();
+    let artifact = Artifact {
+        name: "analyze".to_string(),
+        report: analysis.to_text(),
+        csvs: vec![("ANALYSIS.json".to_string(), analysis.to_json())],
+    };
+    (artifact, ok)
+}

@@ -47,6 +47,7 @@ const EXTENSIONS: &[&str] = &[
     "gradnorm",
     "hierarchy",
     "timeline",
+    "analyze",
 ];
 
 fn usage() -> String {
@@ -97,8 +98,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn build(target: &str, o: &Options) -> Artifact {
-    match target {
+/// Build one artifact. The second element is the target's verdict: only
+/// `analyze` can fail; every other target reports unconditionally.
+fn build(target: &str, o: &Options) -> (Artifact, bool) {
+    if target == "analyze" {
+        return sasgd_bench::analysis::analyze();
+    }
+    let artifact = match target {
         "table1" => figures::table1(),
         "table2" => figures::table2(),
         "fig1" => figures::fig1(),
@@ -124,7 +130,8 @@ fn build(target: &str, o: &Options) -> Artifact {
         "hierarchy" => extensions::hierarchy(o.scale, o.epochs),
         "timeline" => extensions::timeline(),
         _ => unreachable!("validated in parse_args"),
-    }
+    };
+    (artifact, true)
 }
 
 fn main() -> ExitCode {
@@ -136,9 +143,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut failed = false;
     for target in &opts.targets {
         let t0 = std::time::Instant::now();
-        let artifact = build(target, &opts);
+        let (artifact, ok) = build(target, &opts);
+        if !ok {
+            failed = true;
+        }
         println!("{}", "=".repeat(78));
         println!("{}", artifact.report);
         let report_path = opts.out.join(format!("{}.txt", artifact.name));
@@ -154,10 +165,15 @@ fn main() -> ExitCode {
             }
         }
         eprintln!(
-            "[{target}] done in {:.1}s -> {}",
+            "[{target}] {} in {:.1}s -> {}",
+            if ok { "done" } else { "FAILED" },
             t0.elapsed().as_secs_f64(),
             opts.out.display()
         );
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -11,6 +11,7 @@
 //! every artifact.
 
 pub mod alloc;
+pub mod analysis;
 pub mod engine;
 pub mod extensions;
 pub mod figures;

@@ -46,4 +46,4 @@ pub mod world;
 pub use hierarchy::{grouped, hierarchical_allreduce, GroupedComm};
 pub use ps::{PsClient, PsConfig, PsServer};
 pub use sparse::{sparse_allreduce_tree, sparse_reduce_tree, SparseVec};
-pub use world::{CommWorld, Communicator};
+pub use world::{CommWorld, Communicator, DelaySchedule};

@@ -1,9 +1,15 @@
 //! Rank-to-rank message passing over crossbeam channels.
+//!
+//! The pending-message store is a `BTreeMap` (not `HashMap`): nothing may
+//! iterate a nondeterministically ordered container anywhere near the
+//! numeric path (lint `map-iter`), and the ordered map makes that a
+//! non-question even for future code that walks `pending`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -35,11 +41,51 @@ impl Traffic {
     }
 }
 
+/// Deterministic delay injection at communication points, for the
+/// schedule-exploration race checker in `sasgd-analysis`.
+///
+/// `send[rank]` / `recv[rank]` are cycled by each rank's operation index;
+/// every unit is one [`DelaySchedule::unit`] sleep before the operation
+/// proceeds. An empty vector means no delays for that rank. Injected
+/// delays perturb *when* messages arrive, never *what* they carry — the
+/// checker asserts results are bitwise invariant under all of them.
+#[derive(Clone, Debug, Default)]
+pub struct DelaySchedule {
+    /// Sleep quantum for one delay unit.
+    pub unit: Duration,
+    /// Per-rank delay units before each `send`, cycled by send index.
+    pub send: Vec<Vec<u32>>,
+    /// Per-rank delay units before each `recv`, cycled by recv index.
+    pub recv: Vec<Vec<u32>>,
+}
+
+impl DelaySchedule {
+    fn units(table: &[Vec<u32>], rank: usize, seq: u64) -> u32 {
+        match table.get(rank) {
+            Some(d) if !d.is_empty() => d[(seq % d.len() as u64) as usize],
+            _ => 0,
+        }
+    }
+
+    fn apply(&self, table: &[Vec<u32>], rank: usize, seq: u64) {
+        let u = Self::units(table, rank, seq);
+        if u > 0 && !self.unit.is_zero() {
+            std::thread::sleep(self.unit * u);
+        }
+    }
+}
+
+/// What each rank is currently blocked on (`(src, tag)`), if anything.
+/// Shared between the world (for watchdog snapshots) and the endpoints.
+type WaitTable = Arc<Vec<Mutex<Option<(usize, u64)>>>>;
+
 /// A communication group of `size` ranks (MPI_COMM_WORLD analogue).
 pub struct CommWorld {
     senders: Vec<Sender<Message>>,
     receivers: Vec<Option<Receiver<Message>>>,
     traffic: Arc<Traffic>,
+    delays: Option<Arc<DelaySchedule>>,
+    waiting: WaitTable,
 }
 
 impl CommWorld {
@@ -60,6 +106,8 @@ impl CommWorld {
             senders,
             receivers,
             traffic: Arc::new(Traffic::default()),
+            delays: None,
+            waiting: Arc::new((0..size).map(|_| Mutex::new(None)).collect()),
         }
     }
 
@@ -71,6 +119,23 @@ impl CommWorld {
     /// Shared traffic counters.
     pub fn traffic(&self) -> Arc<Traffic> {
         Arc::clone(&self.traffic)
+    }
+
+    /// Install a delay-injection schedule (race-checker hook). Must be
+    /// called before [`CommWorld::communicators`]; endpoints handed out
+    /// later inherit it.
+    pub fn set_delays(&mut self, delays: Arc<DelaySchedule>) {
+        self.delays = Some(delays);
+    }
+
+    /// Snapshot of what each rank is currently blocked on (`(src, tag)`),
+    /// `None` for ranks that are running. The race checker's watchdog reads
+    /// this to report held resources when a schedule deadlocks.
+    pub fn waiting_snapshot(&self) -> Vec<Option<(usize, u64)>> {
+        self.waiting
+            .iter()
+            .map(|m| *m.lock().expect("wait-table lock"))
+            .collect()
     }
 
     /// Take the per-rank endpoints (callable once; each goes to one thread).
@@ -87,9 +152,13 @@ impl CommWorld {
                 receiver: self.receivers[rank]
                     .take()
                     .expect("communicators() may only be called once"),
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 op_counter: 0,
                 traffic: Arc::clone(&self.traffic),
+                delays: self.delays.clone(),
+                send_seq: std::cell::Cell::new(0),
+                recv_seq: 0,
+                waiting: Arc::clone(&self.waiting),
             })
             .collect()
     }
@@ -101,12 +170,19 @@ pub struct Communicator {
     size: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
-    /// Out-of-order arrivals parked until a matching `recv`.
-    pending: HashMap<(usize, u64), VecDeque<Vec<f32>>>,
+    /// Out-of-order arrivals parked until a matching `recv`. Ordered map:
+    /// see the module docs (lint `map-iter`).
+    pending: BTreeMap<(usize, u64), VecDeque<Vec<f32>>>,
     /// Collective sequence number; all ranks call collectives in the same
     /// order, so equal counters identify the same operation.
     op_counter: u64,
     traffic: Arc<Traffic>,
+    /// Delay-injection schedule (race-checker hook); `None` in production.
+    delays: Option<Arc<DelaySchedule>>,
+    /// `Cell`: `send` takes `&self` (endpoints are per-thread, never shared).
+    send_seq: std::cell::Cell<u64>,
+    recv_seq: u64,
+    waiting: WaitTable,
 }
 
 impl Communicator {
@@ -120,9 +196,21 @@ impl Communicator {
         self.size
     }
 
+    /// Install a delay-injection schedule on this endpoint (race-checker
+    /// hook; see [`DelaySchedule`]). Also settable world-wide before the
+    /// endpoints are taken via [`CommWorld::set_delays`].
+    pub fn set_delays(&mut self, delays: Arc<DelaySchedule>) {
+        self.delays = Some(delays);
+    }
+
     /// Send `payload` to `dst` with a `tag` (non-blocking; channels are
     /// unbounded).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<f32>) {
+        if let Some(d) = &self.delays {
+            let seq = self.send_seq.get();
+            self.send_seq.set(seq + 1);
+            d.apply(&d.send, self.rank, seq);
+        }
         self.traffic
             .elements
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
@@ -139,15 +227,62 @@ impl Communicator {
     /// Blocking receive matched on `(src, tag)`; unrelated messages are
     /// parked for later matching (MPI-style tag matching).
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+        if let Some(d) = self.delays.clone() {
+            d.apply(&d.recv, self.rank, self.recv_seq);
+            self.recv_seq += 1;
+        }
         if let Some(q) = self.pending.get_mut(&(src, tag)) {
             if let Some(m) = q.pop_front() {
                 return m;
             }
         }
+        *self.waiting[self.rank].lock().expect("wait-table lock") = Some((src, tag));
         loop {
             let msg = self.receiver.recv().expect("world dropped while receiving");
             if msg.from == src && msg.tag == tag {
+                *self.waiting[self.rank].lock().expect("wait-table lock") = None;
                 return msg.payload;
+            }
+            self.pending
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
+    }
+
+    /// Receive the first available message matching **any** of
+    /// `candidates`, in *arrival order* (pending messages are drained in
+    /// candidate order first).
+    ///
+    /// This is deliberately **not** used by the crate's collectives: the
+    /// combine order it yields depends on the thread schedule, which is
+    /// exactly the nondeterminism the fixed-order collectives exist to
+    /// avoid. It is public for the `sasgd-analysis` race checker — whose
+    /// bad-fixture reduce uses it to demonstrate that the checker catches
+    /// arrival-order combining — and for future asynchronous variants whose
+    /// schedule-sensitivity must then be checked the same way.
+    pub fn recv_any(&mut self, candidates: &[(usize, u64)]) -> (usize, Vec<f32>) {
+        if let Some(d) = self.delays.clone() {
+            d.apply(&d.recv, self.rank, self.recv_seq);
+            self.recv_seq += 1;
+        }
+        for &(src, tag) in candidates {
+            if let Some(q) = self.pending.get_mut(&(src, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return (src, m);
+                }
+            }
+        }
+        let first = candidates
+            .first()
+            .copied()
+            .unwrap_or((usize::MAX, u64::MAX));
+        *self.waiting[self.rank].lock().expect("wait-table lock") = Some(first);
+        loop {
+            let msg = self.receiver.recv().expect("world dropped while receiving");
+            if candidates.contains(&(msg.from, msg.tag)) {
+                *self.waiting[self.rank].lock().expect("wait-table lock") = None;
+                return (msg.from, msg.payload);
             }
             self.pending
                 .entry((msg.from, msg.tag))

@@ -131,6 +131,8 @@ impl AggregationStrategy for SasgdStrategy {
         };
         let p1 = (self.p - 1) as u64;
         Some(WireStats {
+            // lint:allow(float-cast): wire accounting — element counts are
+            // integers well below 2^53, so the f64 round-trip is exact.
             elements: p1 * self.m as u64 + 2 * p1 * (per_ar * syncs as f64) as u64,
             messages: p1 + 2 * p1 * syncs,
         })

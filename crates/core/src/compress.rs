@@ -56,6 +56,8 @@ impl Compression {
             Compression::TopK { ratio } => {
                 assert!(ratio > 0.0 && ratio <= 1.0, "top-k ratio must be in (0,1]");
                 let m = g.len();
+                // lint:allow(float-cast): ceil of ratio·m with ratio ∈ (0,1]
+                // is an exact integer ≤ m; the clamp bounds any edge case.
                 let k = ((m as f64 * ratio).ceil() as usize).clamp(1.min(m), m);
                 // Threshold = k-th largest |g|; select_nth on a copy.
                 let mut mags: Vec<f32> = g.iter().map(|v| v.abs()).collect();

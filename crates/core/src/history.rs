@@ -202,6 +202,7 @@ mod tests {
             test_acc,
             compute_seconds: comp,
             comm_seconds: comm,
+            // lint:allow(float-cast): test fixture — small exact integers.
             samples: (epoch * 100.0) as u64,
             grad_norm: 0.0,
         }

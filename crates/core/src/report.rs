@@ -75,7 +75,10 @@ pub fn ascii_plot(
     for (si, (_, s)) in series.iter().enumerate() {
         let g = GLYPHS[si % GLYPHS.len()];
         for &(x, y) in s {
+            // lint:allow(float-cast): plot rasterization — normalized
+            // coordinates in [0, w-1], rounded and clamped to the grid.
             let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            // lint:allow(float-cast): same rasterization as `cx`.
             let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
             grid[height - 1 - cy][cx.min(width - 1)] = g;
         }

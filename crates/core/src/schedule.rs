@@ -49,6 +49,8 @@ impl LrSchedule {
             LrSchedule::Constant => base,
             LrSchedule::StepDecay { every, factor } => {
                 assert!(every > 0, "decay interval must be positive");
+                // lint:allow(float-cast): floor of a small nonnegative
+                // epoch count — exact for any realistic training length.
                 let steps = (epoch / every as f64).floor() as i32;
                 base * factor.powi(steps)
             }

@@ -273,7 +273,7 @@ pub fn estimate_constants(
             .iter()
             .map(|v| f64::from(*v) * f64::from(*v))
             .sum::<f64>()
-            .sqrt() as f32;
+            .sqrt() as f32; // lint:allow(float-cast): norm computed in f64 for stability, consumed in f32 math
         let x1: Vec<f32> = x0
             .iter()
             .zip(&dir)

@@ -58,6 +58,7 @@ impl Layer for Conv2d {
         "Conv2d"
     }
 
+    // hot-path: delegates to the workspace-backed conv kernel
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
         let out = conv2d_forward_ws(&input, &self.weight, &self.bias, &self.spec, &mut ctx.ws);
         if ctx.training {
@@ -68,6 +69,7 @@ impl Layer for Conv2d {
         out
     }
 
+    // hot-path: delegates to the workspace-backed conv kernel
     fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let input = self
             .cached_input

@@ -51,8 +51,9 @@ impl Layer for Linear {
         "Linear"
     }
 
+    // hot-path: per-step matmul; O(m) scratch must come from ctx.ws
     fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
-        let dims = input.dims().to_vec();
+        let dims = input.dims().to_vec(); // lint:allow(hot-alloc): O(ndims) shape metadata, not O(m)
         assert_eq!(
             *dims.last().expect("linear input needs >= 1 dim"),
             self.in_dim,
@@ -74,15 +75,17 @@ impl Layer for Linear {
         linalg::add_bias_rows(&mut out, &self.bias);
         if ctx.training {
             self.cached_input = Some(flat);
+            // lint:allow(hot-alloc): O(ndims) shape metadata, not O(m)
             self.cached_lead = dims[..dims.len() - 1].to_vec();
         } else {
             ctx.ws.recycle(flat);
         }
-        let mut out_dims = dims[..dims.len() - 1].to_vec();
+        let mut out_dims = dims[..dims.len() - 1].to_vec(); // lint:allow(hot-alloc): O(ndims) shape metadata
         out_dims.push(self.out_dim);
         out.reshape(&out_dims)
     }
 
+    // hot-path: per-step gradient GEMMs; O(m) scratch must come from ctx.ws
     fn backward(&mut self, grad_out: Tensor, ctx: &mut Ctx) -> Tensor {
         let x = self
             .cached_input
@@ -114,7 +117,7 @@ impl Layer for Linear {
         );
         ctx.ws.recycle(x);
         ctx.ws.recycle(g);
-        let mut in_dims = self.cached_lead.clone();
+        let mut in_dims = self.cached_lead.clone(); // lint:allow(hot-alloc): O(ndims) shape metadata
         in_dims.push(self.in_dim);
         dx.reshape(&in_dims)
     }

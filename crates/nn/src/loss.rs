@@ -64,6 +64,8 @@ pub fn softmax_cross_entropy_ws(
         }
     }
     LossOutput {
+        // lint:allow(float-cast): deliberate narrowing — the mean is
+        // accumulated in f64 for order-stability, reported in f32.
         loss: (loss / n as f64) as f32,
         dlogits,
         correct,

@@ -75,6 +75,7 @@ impl Conv2dSpec {
 ///
 /// Rows whose `kw`-wide window is fully in-bounds are copied with
 /// `copy_from_slice`; only boundary rows take the per-element branch.
+// hot-path: patch lowering, called per image per step — no allocation allowed
 pub fn im2col_into(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
     debug_assert_eq!(img.len(), ci * h * w);
     let (oh, ow) = spec.out_hw(h, w);
@@ -155,6 +156,7 @@ pub fn im2col_ref(img: &[f32], ci: usize, h: usize, w: usize, spec: &Conv2dSpec)
 /// Lower a whole batch `[n, ci, h, w]` into one stacked patch matrix
 /// `[n*oh*ow, ci*kh*kw]` — image `i`'s rows land exactly where the
 /// per-image loop would put them, split across the thread pool per image.
+// hot-path: minibatch patch lowering — no allocation allowed
 pub fn im2col_batch_into(
     input: &[f32],
     n: usize,
@@ -197,6 +199,7 @@ pub fn im2col_batch(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
 
 /// Scatter a patch-matrix gradient slice `[oh*ow * ci*kh*kw]` back onto an
 /// image gradient `[ci, h, w]` (accumulating; inverse of [`im2col_into`]).
+// hot-path: gradient scatter, called per image per step — no allocation allowed
 pub fn col2im_into(
     cols: &[f32],
     ci: usize,
@@ -247,6 +250,7 @@ pub fn col2im(
 /// back onto a batch image gradient `[n, ci, h, w]` (accumulating), each
 /// image in the existing per-image scatter order, images split across the
 /// thread pool (their output slices are disjoint).
+// hot-path: minibatch gradient scatter — no allocation allowed
 pub fn col2im_batch(
     cols: &[f32],
     n: usize,
@@ -284,6 +288,7 @@ fn forward_asserts(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dS
 /// `cols · weightᵀ` GEMM; each output element is still
 /// `dot(patch, weight[co]) + bias[co]` with the reference accumulation
 /// order, so results are bitwise identical to [`conv2d_forward_ref`].
+// hot-path: all scratch comes from the Workspace arena
 pub fn conv2d_forward_ws(
     input: &Tensor,
     weight: &Tensor,
@@ -392,6 +397,7 @@ pub struct Conv2dGrads {
 /// computed as per-image partials in parallel and reduced serially in
 /// image order, with the reference's `g == 0.0` skip — bitwise identical
 /// to [`conv2d_backward_ref`] at any thread count.
+// hot-path: all scratch comes from the Workspace arena
 pub fn conv2d_backward_ws(
     input: &Tensor,
     weight: &Tensor,

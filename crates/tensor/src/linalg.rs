@@ -109,6 +109,7 @@ fn mm_rows_blocked(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize,
 }
 
 /// `out = A · B` on raw slices, sequential (cache-blocked).
+// hot-path: per-minibatch GEMM — no allocation allowed
 pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(out.len(), m * n, "matmul_into output size");
     assert_eq!(a.len(), m * k, "matmul_into lhs size");
@@ -118,6 +119,7 @@ pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n:
 
 /// `out = A · B` on raw slices, bands of output rows over the thread pool
 /// when the output is large. Bitwise identical to [`matmul_into`].
+// hot-path: per-minibatch GEMM (banded) — no allocation allowed
 pub fn matmul_into_auto(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(out.len(), m * n, "matmul_into output size");
     assert_eq!(a.len(), m * k, "matmul_into lhs size");
@@ -190,6 +192,7 @@ fn tn_row(out_row: &mut [f32], a: &[f32], b: &[f32], i: usize, m: usize, k: usiz
 
 /// `out = Aᵀ · B` on raw slices for `A: [k,m]`, `B: [k,n]`, sequential
 /// (`l`-outer: streams both `A` and `B` rows once).
+// hot-path: weight-gradient GEMM — no allocation allowed
 pub fn matmul_tn_into(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
     assert_eq!(out.len(), m * n, "matmul_tn_into output size");
     assert_eq!(a.len(), k * m, "matmul_tn_into lhs size");
@@ -210,6 +213,7 @@ pub fn matmul_tn_into(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize,
 
 /// `out = Aᵀ · B` on raw slices, output rows over the thread pool when
 /// large. Bitwise identical to [`matmul_tn_into`].
+// hot-path: weight-gradient GEMM (banded) — no allocation allowed
 pub fn matmul_tn_into_auto(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
     if !use_par(m) {
         return matmul_tn_into(out, a, b, k, m, n);
@@ -288,6 +292,7 @@ pub(crate) fn nt_rows(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usi
 }
 
 /// `out = A · Bᵀ` on raw slices for `A: [m,k]`, `B: [n,k]`, sequential.
+// hot-path: conv/linear forward GEMM — no allocation allowed
 pub fn matmul_nt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(out.len(), m * n, "matmul_nt_into output size");
     assert_eq!(a.len(), m * k, "matmul_nt_into lhs size");
@@ -297,6 +302,7 @@ pub fn matmul_nt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize,
 
 /// `out = A · Bᵀ` on raw slices, row bands over the thread pool when
 /// large. Bitwise identical to [`matmul_nt_into`].
+// hot-path: conv/linear forward GEMM (banded) — no allocation allowed
 pub fn matmul_nt_into_auto(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(out.len(), m * n, "matmul_nt_into output size");
     assert_eq!(a.len(), m * k, "matmul_nt_into lhs size");
@@ -363,12 +369,14 @@ fn use_par(rows: usize) -> bool {
 
 /// Dot product of two equal-length slices.
 #[inline]
+// hot-path: innermost reduction — no allocation allowed
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 /// `y[j] += sum_i m[i][j]` — column sums accumulated into `y` (bias grads).
+// hot-path: bias gradient accumulation — no allocation allowed
 pub fn col_sums_into(m: &Tensor, y: &mut [f32]) {
     let (rows, cols) = (m.dims()[0], m.dims()[1]);
     assert_eq!(y.len(), cols, "col_sums_into width mismatch");
@@ -381,6 +389,7 @@ pub fn col_sums_into(m: &Tensor, y: &mut [f32]) {
 }
 
 /// Add a bias row vector to every row of a matrix in place.
+// hot-path: bias add — no allocation allowed
 pub fn add_bias_rows(m: &mut Tensor, bias: &[f32]) {
     let cols = m.dims()[1];
     assert_eq!(bias.len(), cols, "bias width mismatch");
