@@ -16,7 +16,10 @@
 //!    and the parameter server under exhaustively permuted (p ≤ 4) and
 //!    seeded-random (p = 8) delay-injection schedules, asserting bitwise
 //!    result invariance, deadlock freedom (watchdog + held-resource
-//!    report), and lost-update freedom on the PS path.
+//!    report), and lost-update freedom on the PS path — including the
+//!    fault-tolerant allreduce (fault-free invariance against the plain
+//!    tree, dead-rank eviction agreement) and the epoch-versioned PS
+//!    snapshot (no torn cross-shard cuts under concurrent pushes).
 //!
 //! Both legs self-check against deliberate failures (a bad-fixture lint
 //! corpus; an arrival-order reduce and a recv cycle) so a silently dead

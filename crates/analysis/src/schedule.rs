@@ -34,6 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sasgd_comm::collectives::{allreduce_ring, allreduce_tree, reduce_tree};
+use sasgd_comm::ft::{ft_allreduce, Membership};
 use sasgd_comm::hierarchy::{grouped, hierarchical_allreduce};
 use sasgd_comm::ps::{PsConfig, PsServer};
 use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
@@ -333,7 +334,7 @@ pub fn scenario_allreduce_tree(p: usize, schedules: &[Schedule]) -> ScenarioResu
         schedules,
         Arc::new(|rank, comm| {
             let mut v = order_sensitive_input(rank, 9);
-            allreduce_tree(comm, &mut v);
+            allreduce_tree(comm, &mut v).expect("allreduce");
             v
         }),
     )
@@ -350,7 +351,7 @@ pub fn scenario_reduce_tree(p: usize, schedules: &[Schedule]) -> ScenarioResult 
         Arc::new(move |rank, comm| {
             let root = 1 % p;
             let mut v = order_sensitive_input(rank, 7);
-            reduce_tree(comm, root, &mut v);
+            reduce_tree(comm, root, &mut v).expect("reduce");
             v
         }),
     )
@@ -374,7 +375,7 @@ pub fn scenario_sparse_allreduce(p: usize, schedules: &[Schedule]) -> ScenarioRe
                 })
                 .collect();
             let mut sv = SparseVec::from_dense(&dense);
-            sparse_allreduce_tree(comm, &mut sv);
+            sparse_allreduce_tree(comm, &mut sv).expect("sparse allreduce");
             sv.to_dense()
         }),
     )
@@ -388,7 +389,7 @@ pub fn scenario_allreduce_ring(p: usize, schedules: &[Schedule]) -> ScenarioResu
         schedules,
         Arc::new(|rank, comm| {
             let mut v = order_sensitive_input(rank, 11);
-            allreduce_ring(comm, &mut v);
+            allreduce_ring(comm, &mut v).expect("ring allreduce");
             v
         }),
     )
@@ -403,9 +404,9 @@ pub fn scenario_back_to_back(p: usize, schedules: &[Schedule]) -> ScenarioResult
         schedules,
         Arc::new(|rank, comm| {
             let mut a = order_sensitive_input(rank, 5);
-            allreduce_tree(comm, &mut a);
+            allreduce_tree(comm, &mut a).expect("allreduce a");
             let mut b = order_sensitive_input(rank + 1, 5);
-            allreduce_tree(comm, &mut b);
+            allreduce_tree(comm, &mut b).expect("allreduce b");
             a.extend_from_slice(&b);
             a
         }),
@@ -444,7 +445,7 @@ pub fn scenario_hierarchical(
                     std::thread::sleep(UNIT * start_units);
                 }
                 let mut v = order_sensitive_input(rank, 9);
-                hierarchical_allreduce(&mut b, &mut v);
+                hierarchical_allreduce(&mut b, &mut v).expect("hierarchical allreduce");
                 let _ = tx.send((rank, fnv1a_f32(&v)));
             });
         }
@@ -615,6 +616,213 @@ pub fn scenario_ps(
     }
 }
 
+/// Failure-detection deadline for the fault-free fault-tolerant scenario.
+/// Far above any injected delay (units are 300 µs), so a live-but-delayed
+/// rank is never spuriously evicted; a clean round never waits it out, so
+/// generosity costs nothing.
+const FT_DEADLINE: Duration = Duration::from_millis(400);
+
+/// Deadline for the dead-rank scenario. Every round with a confirmed death
+/// waits out the recovery-sweep window (a small multiple of this), so it
+/// is shorter — still three orders of magnitude above the injected delays.
+const FT_EVICT_DEADLINE: Duration = Duration::from_millis(150);
+
+/// Fault-free fault-tolerant allreduce: schedule-invariant *and* bitwise
+/// equal to the plain binomial tree (the FT path reduces in the identical
+/// combine order; the mask prefix and direct result distribution must not
+/// perturb a single bit).
+pub fn scenario_ft_allreduce(p: usize, schedules: &[Schedule]) -> ScenarioResult {
+    let mut r = explore(
+        "ft_allreduce_fault_free",
+        p,
+        schedules,
+        Arc::new(|rank, comm| {
+            let mut membership = Membership::new(comm.size());
+            let mut v = order_sensitive_input(rank, 9);
+            let out = ft_allreduce(comm, &mut membership, &mut v, FT_DEADLINE)
+                .expect("fault-free ft allreduce");
+            assert!(out.lost.is_empty(), "fault-free round must not evict");
+            v
+        }),
+    );
+    let plain = explore(
+        "plain_reference",
+        p,
+        &[Schedule::default()],
+        Arc::new(|rank, comm| {
+            let mut v = order_sensitive_input(rank, 9);
+            allreduce_tree(comm, &mut v).expect("allreduce");
+            v
+        }),
+    );
+    if r.fingerprint != plain.fingerprint && r.distinct_results == 1 {
+        r.lost_updates += 1;
+        r.deadlock_reports.push(format!(
+            "ft_allreduce fingerprint {:#x} differs from plain allreduce {:#x}",
+            r.fingerprint, plain.fingerprint
+        ));
+    }
+    r
+}
+
+/// Fault-tolerant allreduce with one rank dead from the start (its thread
+/// returns immediately, dropping its endpoints — the crash signature the
+/// threaded backend produces). Survivors must evict exactly that rank,
+/// agree bitwise under every schedule, and never deadlock.
+pub fn scenario_ft_one_dead(p: usize, dead: usize, schedules: &[Schedule]) -> ScenarioResult {
+    assert!(
+        dead > 0 && dead < p,
+        "rank 0 coordinates; kill an interior rank"
+    );
+    let mut r = explore(
+        "ft_allreduce_one_dead",
+        p,
+        schedules,
+        Arc::new(move |rank, comm| {
+            if rank == dead {
+                return Vec::new(); // crash before the collective
+            }
+            let mut membership = Membership::new(comm.size());
+            let mut v = order_sensitive_input(rank, 9);
+            let out = ft_allreduce(comm, &mut membership, &mut v, FT_EVICT_DEADLINE)
+                .expect("survivor ft allreduce");
+            assert_eq!(out.lost, vec![dead], "exactly the dead rank is evicted");
+            assert_eq!(membership.len(), comm.size() - 1);
+            v
+        }),
+    );
+    r.name = format!("ft_allreduce_dead_rank{dead}");
+    r
+}
+
+/// Epoch-versioned snapshot under concurrent cross-shard pushes: every
+/// client pushes constant full-vector deltas, so *any* transaction-
+/// consistent cut is uniform across the whole vector — not merely within
+/// each shard segment, which is all plain `pull` guarantees. A torn
+/// cross-shard snapshot (EXPERIMENTS.md's documented `pull` caveat) shows
+/// up as a non-uniform vector and is counted as a violation.
+pub fn scenario_ps_snapshot(
+    p: usize,
+    shards: usize,
+    pushes: usize,
+    schedules: &[Schedule],
+) -> ScenarioResult {
+    let m = 24usize;
+    let mut lost = 0usize;
+    let mut deadlocks = 0usize;
+    let mut deadlock_reports = Vec::new();
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    let expected: f32 = (1..=p).map(|r| (r * pushes) as f32).sum();
+    for sched in schedules {
+        let ps = PsServer::spawn(vec![0.0; m], PsConfig { shards });
+        let (tx, rx) = mpsc::channel::<Result<(), String>>();
+        for r in 0..p {
+            let c = ps.client();
+            let tx = tx.clone();
+            let start_units = sched.start.get(r).copied().unwrap_or(0);
+            let gaps: Vec<u32> = sched.delays.send.get(r).cloned().unwrap_or_default();
+            // lint:allow(raw-spawn): race-checker thread host.
+            std::thread::spawn(move || {
+                if start_units > 0 {
+                    std::thread::sleep(UNIT * start_units);
+                }
+                for k in 0..pushes {
+                    if !gaps.is_empty() {
+                        let u = gaps[k % gaps.len()];
+                        if u > 0 {
+                            std::thread::sleep(UNIT * u);
+                        }
+                    }
+                    c.add(&vec![(r + 1) as f32; m]);
+                }
+                let _ = tx.send(Ok(()));
+            });
+        }
+        // Concurrent snapshot reader: every mid-flight snapshot must be a
+        // consistent cut, i.e. uniform across shard boundaries.
+        let reader = ps.client();
+        let rtx = tx.clone();
+        // lint:allow(raw-spawn): race-checker thread host.
+        std::thread::spawn(move || {
+            for _ in 0..6 {
+                match reader.pull_snapshot(400) {
+                    Ok(x) => {
+                        let v0 = x[0];
+                        if x.iter().any(|&v| v.to_bits() != v0.to_bits()) {
+                            let _ = rtx.send(Err(format!(
+                                "torn cross-shard snapshot: {:?}",
+                                &x[..8.min(x.len())]
+                            )));
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = rtx.send(Err(format!("snapshot failed: {e}")));
+                        return;
+                    }
+                }
+                std::thread::sleep(UNIT);
+            }
+            let _ = rtx.send(Ok(()));
+        });
+        drop(tx);
+        let mut dead = false;
+        for _ in 0..p + 1 {
+            match rx.recv_timeout(WATCHDOG) {
+                Ok(Ok(())) => {}
+                Ok(Err(report)) => {
+                    lost += 1;
+                    if deadlock_reports.len() < 4 {
+                        deadlock_reports.push(report);
+                    }
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            deadlocks += 1;
+            continue;
+        }
+        // Quiescent snapshot must equal the exact commutative sum.
+        match ps.client().pull_snapshot(400) {
+            Ok(x) => {
+                if x.iter().any(|&v| v != expected) {
+                    lost += 1;
+                    if deadlock_reports.len() < 4 {
+                        deadlock_reports.push(format!(
+                            "lost update in snapshot: expected uniform {expected}, got {:?}",
+                            &x[..4.min(x.len())]
+                        ));
+                    }
+                }
+            }
+            Err(e) => {
+                lost += 1;
+                if deadlock_reports.len() < 4 {
+                    deadlock_reports.push(format!("quiescent snapshot failed: {e}"));
+                }
+            }
+        }
+        let final_params = ps.shutdown();
+        if !seen.contains(&vec![fnv1a_f32(&final_params)]) {
+            seen.push(vec![fnv1a_f32(&final_params)]);
+        }
+    }
+    ScenarioResult {
+        name: format!("ps_snapshot_s{shards}"),
+        p,
+        schedules: schedules.len(),
+        distinct_results: seen.len(),
+        deadlocks,
+        deadlock_reports,
+        lost_updates: lost,
+        fingerprint: seen.first().map_or(0, |s| fingerprint_of(s)),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bad fixtures: what a failure looks like (used by tests and the
 // analyzer's self-check).
@@ -652,14 +860,14 @@ pub fn bad_reduce_arrival_order(comm: &mut Communicator, root: usize, buf: &mut 
     let candidates: Vec<(usize, u64)> = children.iter().map(|&c| (c, tag)).collect();
     let mut outstanding = candidates.len();
     while outstanding > 0 {
-        let (_, part) = comm.recv_any(&candidates);
+        let (_, part) = comm.recv_any(&candidates).expect("arrival-order recv");
         for (a, b) in buf.iter_mut().zip(&part) {
             *a += b;
         }
         outstanding -= 1;
     }
     if let Some(par) = parent {
-        comm.send(par, tag, buf.to_vec());
+        comm.send(par, tag, buf.to_vec()).expect("bad-reduce send");
     }
 }
 
@@ -695,8 +903,8 @@ pub fn scenario_deadlock(p: usize) -> ScenarioResult {
         Arc::new(move |rank, comm| {
             let peer = (rank + 1) % p;
             // Everyone receives first: classic cycle, nobody ever sends.
-            let v = comm.recv(peer, 99);
-            comm.send(peer, 99, v.clone());
+            let v = comm.recv(peer, 99).expect("cycle recv");
+            comm.send(peer, 99, v.clone()).expect("cycle send");
             v
         }),
         Duration::from_millis(500),
@@ -718,11 +926,19 @@ pub fn run_production_sweep() -> Vec<ScenarioResult> {
     out.push(scenario_back_to_back(4, &s4));
     out.push(scenario_hierarchical(2, 2, &s4));
     out.push(scenario_ps(4, 2, 6, &s4));
+    out.push(scenario_ps_snapshot(4, 3, 6, &s4));
+    out.push(scenario_ft_allreduce(4, &s4));
+    // Dead-rank rounds wait out the recovery sweep, so a schedule subset
+    // keeps the sweep in CI budget (coverage of the fast path stays full
+    // via the fault-free scenario above).
+    out.push(scenario_ft_one_dead(4, 3, &s4[..8.min(s4.len())]));
     let s8 = random_schedules(8, 12, 0x0005_a56d);
     out.push(scenario_allreduce_tree(8, &s8));
     out.push(scenario_sparse_allreduce(8, &s8));
     out.push(scenario_allreduce_ring(8, &s8));
     out.push(scenario_hierarchical(2, 4, &s8));
     out.push(scenario_ps(8, 3, 4, &s8));
+    out.push(scenario_ft_allreduce(8, &s8));
+    out.push(scenario_ft_one_dead(8, 5, &s8[..6.min(s8.len())]));
     out
 }

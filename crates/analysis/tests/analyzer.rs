@@ -205,7 +205,7 @@ fn delays_do_not_change_results() {
     let some = exhaustive_schedules(2);
     let scenario = Arc::new(|rank: usize, comm: &mut sasgd_comm::Communicator| {
         let mut v = vec![rank as f32 + 1.0; 4];
-        sasgd_comm::collectives::allreduce_tree(comm, &mut v);
+        sasgd_comm::collectives::allreduce_tree(comm, &mut v).expect("allreduce");
         v
     });
     let a = explore_with("plain", 2, &none, scenario.clone(), Duration::from_secs(5));

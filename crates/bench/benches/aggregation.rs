@@ -16,7 +16,7 @@ fn aggregate_allreduce(p: usize, m: usize) {
         for mut c in comms {
             s.spawn(move || {
                 let mut gs = vec![1.0f32; m];
-                allreduce_tree(&mut c, &mut gs);
+                allreduce_tree(&mut c, &mut gs).expect("allreduce");
             });
         }
     });

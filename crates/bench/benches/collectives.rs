@@ -15,9 +15,9 @@ fn run_allreduce(p: usize, m: usize, ring: bool) {
             s.spawn(move || {
                 let mut v = vec![c.rank() as f32; m];
                 if ring {
-                    allreduce_ring(&mut c, &mut v);
+                    allreduce_ring(&mut c, &mut v).expect("ring allreduce");
                 } else {
-                    allreduce_tree(&mut c, &mut v);
+                    allreduce_tree(&mut c, &mut v).expect("tree allreduce");
                 }
                 assert!(v[0] >= 0.0);
             });

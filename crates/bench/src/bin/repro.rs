@@ -13,6 +13,7 @@ use std::process::ExitCode;
 
 use sasgd_bench::engine;
 use sasgd_bench::extensions;
+use sasgd_bench::faults;
 use sasgd_bench::figures::{self, Artifact};
 use sasgd_bench::Scale;
 use sasgd_bench::{hotpath, kernels};
@@ -40,6 +41,7 @@ const EXTENSIONS: &[&str] = &[
     "kernels",
     "hotpath",
     "engine",
+    "faults",
     "staleness",
     "compression",
     "noniid",
@@ -122,6 +124,7 @@ fn build(target: &str, o: &Options) -> (Artifact, bool) {
         "kernels" => kernels::kernels(),
         "hotpath" => hotpath::hotpath(),
         "engine" => engine::engine(o.scale, o.epochs),
+        "faults" => faults::faults(o.scale, o.epochs),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),
         "noniid" => extensions::noniid(o.scale, o.epochs),

@@ -14,6 +14,7 @@ pub mod alloc;
 pub mod analysis;
 pub mod engine;
 pub mod extensions;
+pub mod faults;
 pub mod figures;
 pub mod hotpath;
 pub mod kernels;

@@ -8,8 +8,14 @@
 //!
 //! Reduction order is fixed (children merge into parents in rank order), so
 //! results are bitwise deterministic across runs and thread schedules.
+//!
+//! Every collective returns `Result<_, CommError>`: a crashed peer surfaces
+//! as [`CommError::PeerGone`] at the rank adjacent to it (and, with a
+//! default deadline installed, as [`CommError::Timeout`] on waiting ranks)
+//! instead of panicking the whole group. Membership-aware, self-healing
+//! variants live in [`crate::ft`].
 
-use crate::world::Communicator;
+use crate::world::{CommError, Communicator};
 
 /// Tag space: collectives encode `(op_counter << 4) | phase` so concurrent
 /// phases of one collective never collide.
@@ -18,11 +24,15 @@ fn tag(op: u64, phase: u64) -> u64 {
 }
 
 /// Binomial-tree broadcast from `root`.
-pub fn broadcast(comm: &mut Communicator, root: usize, buf: &mut Vec<f32>) {
+pub fn broadcast(
+    comm: &mut Communicator,
+    root: usize,
+    buf: &mut Vec<f32>,
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
-        return;
+        return Ok(());
     }
     let op = comm.next_op();
     // Work in root-relative rank space so any root works.
@@ -33,7 +43,7 @@ pub fn broadcast(comm: &mut Communicator, root: usize, buf: &mut Vec<f32>) {
         let hb = usize::BITS - 1 - vrank.leading_zeros();
         let parent_v = vrank & !(1 << hb);
         let parent = (parent_v + root) % p;
-        *buf = comm.recv(parent, tag(op, 0));
+        *buf = comm.recv(parent, tag(op, 0))?;
     }
     // Children are vrank | bit for bits above vrank's highest set bit.
     let start_bit = if vrank == 0 {
@@ -46,19 +56,20 @@ pub fn broadcast(comm: &mut Communicator, root: usize, buf: &mut Vec<f32>) {
         let child_v = vrank | bit;
         if child_v < p && child_v != vrank {
             let child = (child_v + root) % p;
-            comm.send(child, tag(op, 0), buf.clone());
+            comm.send(child, tag(op, 0), buf.clone())?;
         }
         bit <<= 1;
     }
+    Ok(())
 }
 
 /// Binomial-tree sum-reduce to `root`; on non-root ranks `buf` is left as
 /// the partial sum this rank forwarded.
-pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) {
+pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
-        return;
+        return Ok(());
     }
     let op = comm.next_op();
     let vrank = (comm.rank() + p - root) % p;
@@ -68,26 +79,27 @@ pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) {
             // Send partial to parent and stop.
             let parent_v = vrank & !bit;
             let parent = (parent_v + root) % p;
-            comm.send(parent, tag(op, 1), buf.to_vec());
-            return;
+            comm.send(parent, tag(op, 1), buf.to_vec())?;
+            return Ok(());
         }
         let child_v = vrank | bit;
         if child_v < p {
             let child = (child_v + root) % p;
-            let part = comm.recv(child, tag(op, 1));
+            let part = comm.recv(child, tag(op, 1))?;
             for (a, b) in buf.iter_mut().zip(&part) {
                 *a += b;
             }
         }
         bit <<= 1;
     }
+    Ok(())
 }
 
 /// Allreduce (sum) via reduce-to-0 plus broadcast: `2·m·log₂(p)` elements
 /// through the root's subtree links — the paper's `O(m log p)` collective.
-pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) {
-    reduce_tree(comm, 0, buf);
-    broadcast(comm, 0, buf);
+pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) -> Result<(), CommError> {
+    reduce_tree(comm, 0, buf)?;
+    broadcast(comm, 0, buf)
 }
 
 /// Ring allreduce (reduce-scatter + allgather).
@@ -95,11 +107,11 @@ pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) {
 /// Each rank sends `2·m·(p−1)/p` elements regardless of `p` — the
 /// bandwidth-optimal collective modern NCCL uses; contrast with
 /// [`allreduce_tree`] in the ablation bench.
-pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) {
+pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
-        return;
+        return Ok(());
     }
     let op = comm.next_op();
     let r = comm.rank();
@@ -125,8 +137,8 @@ pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) {
         let send_chunk = (r + p - step) % p;
         let recv_chunk = (r + p - step - 1) % p;
         let (slo, shi) = bounds[send_chunk];
-        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
-        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec())?;
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64))?;
         let (rlo, rhi) = bounds[recv_chunk];
         for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
             *a += b;
@@ -141,17 +153,18 @@ pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) {
             next,
             tag(op, 2 + (p - 1 + step) as u64),
             buf[slo..shi].to_vec(),
-        );
-        let incoming = comm.recv(prev, tag(op, 2 + (p - 1 + step) as u64));
+        )?;
+        let incoming = comm.recv(prev, tag(op, 2 + (p - 1 + step) as u64))?;
         let (rlo, rhi) = bounds[recv_chunk];
         buf[rlo..rhi].copy_from_slice(&incoming);
     }
+    Ok(())
 }
 
 /// Barrier: zero-length allreduce.
-pub fn barrier(comm: &mut Communicator) {
+pub fn barrier(comm: &mut Communicator) -> Result<(), CommError> {
     let mut empty: Vec<f32> = Vec::new();
-    allreduce_tree(comm, &mut empty);
+    allreduce_tree(comm, &mut empty)
 }
 
 /// Near-equal chunk boundaries of an `m`-element buffer over `p` ranks
@@ -172,13 +185,16 @@ pub fn chunk_bounds(m: usize, p: usize) -> Vec<(usize, usize)> {
 /// Ring reduce-scatter: on return, this rank's chunk of `buf` (per
 /// [`chunk_bounds`]) holds the global sum; other chunks hold partials.
 /// Returns the `(lo, hi)` bounds of the completed chunk.
-pub fn reduce_scatter(comm: &mut Communicator, buf: &mut [f32]) -> (usize, usize) {
+pub fn reduce_scatter(
+    comm: &mut Communicator,
+    buf: &mut [f32],
+) -> Result<(usize, usize), CommError> {
     let p = comm.size();
     let r = comm.rank();
     let bounds = chunk_bounds(buf.len(), p);
     if p == 1 {
         comm.next_op();
-        return bounds[0];
+        return Ok(bounds[0]);
     }
     let op = comm.next_op();
     let next = (r + 1) % p;
@@ -187,25 +203,25 @@ pub fn reduce_scatter(comm: &mut Communicator, buf: &mut [f32]) -> (usize, usize
         let send_chunk = (r + p - step) % p;
         let recv_chunk = (r + p - step - 1) % p;
         let (slo, shi) = bounds[send_chunk];
-        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
-        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec())?;
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64))?;
         let (rlo, rhi) = bounds[recv_chunk];
         for (a, b) in buf[rlo..rhi].iter_mut().zip(&incoming) {
             *a += b;
         }
     }
-    bounds[(r + 1) % p]
+    Ok(bounds[(r + 1) % p])
 }
 
 /// Ring allgather: every rank contributes the chunk it owns (chunk index
 /// `(rank+1) % p`, matching [`reduce_scatter`]'s output) and receives all
 /// others, leaving `buf` identical on every rank.
-pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) {
+pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), CommError> {
     let p = comm.size();
     let r = comm.rank();
     if p == 1 {
         comm.next_op();
-        return;
+        return Ok(());
     }
     let op = comm.next_op();
     let bounds = chunk_bounds(buf.len(), p);
@@ -215,11 +231,12 @@ pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) {
         let send_chunk = (r + 1 + p - step) % p;
         let recv_chunk = (r + p - step) % p;
         let (slo, shi) = bounds[send_chunk];
-        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec());
-        let incoming = comm.recv(prev, tag(op, 2 + step as u64));
+        comm.send(next, tag(op, 2 + step as u64), buf[slo..shi].to_vec())?;
+        let incoming = comm.recv(prev, tag(op, 2 + step as u64))?;
         let (rlo, rhi) = bounds[recv_chunk];
         buf[rlo..rhi].copy_from_slice(&incoming);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -257,7 +274,7 @@ mod tests {
                 } else {
                     vec![0.0; 2]
                 };
-                broadcast(c, 0, &mut v);
+                broadcast(c, 0, &mut v).expect("broadcast");
                 v
             });
             for v in res {
@@ -270,7 +287,7 @@ mod tests {
     fn broadcast_nonzero_root() {
         let res = run_world(5, |c| {
             let mut v = if c.rank() == 3 { vec![7.0] } else { vec![0.0] };
-            broadcast(c, 3, &mut v);
+            broadcast(c, 3, &mut v).expect("broadcast");
             v
         });
         for v in res {
@@ -283,7 +300,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 7, 8, 16] {
             let res = run_world(p, |c| {
                 let mut v = vec![c.rank() as f32 + 1.0; 4];
-                allreduce_tree(c, &mut v);
+                allreduce_tree(c, &mut v).expect("allreduce");
                 v
             });
             let expect = (p * (p + 1) / 2) as f32;
@@ -299,7 +316,7 @@ mod tests {
             // Buffer length not divisible by p on purpose.
             let res = run_world(p, |c| {
                 let mut v: Vec<f32> = (0..11).map(|j| (c.rank() * 11 + j) as f32).collect();
-                allreduce_ring(c, &mut v);
+                allreduce_ring(c, &mut v).expect("allreduce");
                 v
             });
             let expect: Vec<f32> = (0..11)
@@ -316,12 +333,12 @@ mod tests {
         let p = 6;
         let tree = run_world(p, |c| {
             let mut v: Vec<f32> = (0..9).map(|j| ((c.rank() + 1) * (j + 1)) as f32).collect();
-            allreduce_tree(c, &mut v);
+            allreduce_tree(c, &mut v).expect("allreduce");
             v
         });
         let ring = run_world(p, |c| {
             let mut v: Vec<f32> = (0..9).map(|j| ((c.rank() + 1) * (j + 1)) as f32).collect();
-            allreduce_ring(c, &mut v);
+            allreduce_ring(c, &mut v).expect("allreduce");
             v
         });
         for (a, b) in tree.iter().zip(&ring) {
@@ -335,10 +352,10 @@ mod tests {
     fn consecutive_collectives_do_not_cross() {
         let res = run_world(4, |c| {
             let mut a = vec![1.0f32];
-            allreduce_tree(c, &mut a);
+            allreduce_tree(c, &mut a).expect("allreduce");
             let mut b = vec![10.0f32];
-            allreduce_tree(c, &mut b);
-            barrier(c);
+            allreduce_tree(c, &mut b).expect("allreduce");
+            barrier(c).expect("barrier");
             (a[0], b[0])
         });
         for (a, b) in res {
@@ -352,13 +369,13 @@ mod tests {
         for p in [1usize, 2, 3, 4, 6, 8] {
             let res = run_world(p, |c| {
                 let mut v: Vec<f32> = (0..13).map(|j| ((c.rank() + 2) * (j + 1)) as f32).collect();
-                let (lo, hi) = reduce_scatter(c, &mut v);
+                let (lo, hi) = reduce_scatter(c, &mut v).expect("reduce_scatter");
                 // The owned chunk holds the exact global sum already.
                 let expect: Vec<f32> = (0..13)
                     .map(|j| (0..c.size()).map(|r| ((r + 2) * (j + 1)) as f32).sum())
                     .collect();
                 assert_eq!(&v[lo..hi], &expect[lo..hi], "owned chunk p={}", c.size());
-                allgather(c, &mut v);
+                allgather(c, &mut v).expect("allgather");
                 v
             });
             let expect: Vec<f32> = (0..13)
@@ -397,11 +414,27 @@ mod tests {
                 for mut c in comms {
                     s.spawn(move || {
                         let mut v = vec![1.0f32; m];
-                        allreduce_tree(&mut c, &mut v);
+                        allreduce_tree(&mut c, &mut v).expect("allreduce");
                     });
                 }
             });
             assert_eq!(traffic.elements_sent(), (2 * (p - 1) * m) as u64, "p={p}");
         }
+    }
+
+    #[test]
+    fn collective_surfaces_peer_gone() {
+        // Rank 1 crashes (endpoint dropped) before the collective; rank 0's
+        // broadcast send to it must surface PeerGone, not panic.
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        drop(c1);
+        let mut v = vec![1.0f32];
+        assert_eq!(
+            broadcast(&mut c0, 0, &mut v),
+            Err(crate::world::CommError::PeerGone { peer: 1 })
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! classic local-reduce → leader-allreduce → local-broadcast pattern.
 
 use crate::collectives::{allreduce_tree, broadcast, reduce_tree};
-use crate::world::{CommWorld, Communicator};
+use crate::world::{CommError, CommWorld, Communicator};
 
 /// The communicator bundle one learner thread receives.
 pub struct GroupedComm {
@@ -60,12 +60,12 @@ pub fn grouped(groups: usize, per_group: usize) -> Vec<GroupedComm> {
 /// allreduce among leaders, broadcast back within each group. Produces the
 /// same sums as a flat allreduce while sending only `O(per_group)` local
 /// plus `O(log groups)` leader traffic per group.
-pub fn hierarchical_allreduce(comm: &mut GroupedComm, buf: &mut Vec<f32>) {
-    reduce_tree(&mut comm.local, 0, buf);
+pub fn hierarchical_allreduce(comm: &mut GroupedComm, buf: &mut Vec<f32>) -> Result<(), CommError> {
+    reduce_tree(&mut comm.local, 0, buf)?;
     if let Some(leaders) = comm.leaders.as_mut() {
-        allreduce_tree(leaders, buf);
+        allreduce_tree(leaders, buf)?;
     }
-    broadcast(&mut comm.local, 0, buf);
+    broadcast(&mut comm.local, 0, buf)
 }
 
 #[cfg(test)]
@@ -84,7 +84,7 @@ mod tests {
                 .map(|(i, mut b)| {
                     s.spawn(move || {
                         let mut v: Vec<f32> = (0..m).map(|j| (i * m + j) as f32).collect();
-                        hierarchical_allreduce(&mut b, &mut v);
+                        hierarchical_allreduce(&mut b, &mut v).expect("hierarchical allreduce");
                         v
                     })
                 })

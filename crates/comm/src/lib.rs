@@ -10,7 +10,14 @@
 //!   bandwidth-optimal ring allreduce for the ablation bench, and a
 //!   barrier;
 //! * [`ps`] — a (sharded) parameter server with asynchronous `push` and
-//!   round-trip `pull`, as used by Downpour and EAMSGD.
+//!   round-trip `pull`, as used by Downpour and EAMSGD, plus an
+//!   epoch-versioned consistent snapshot pull and deadline-bounded
+//!   fetches;
+//! * [`fault`] — deterministic crash/stall/drop fault plans for the
+//!   threaded backend;
+//! * [`ft`] — membership epochs and a self-healing allreduce that
+//!   survives learner loss by rebuilding the binomial tree over the
+//!   survivors.
 //!
 //! Everything is deterministic given a deterministic caller: collectives
 //! use fixed reduction orders, so "SASGD over threads" equals "SASGD
@@ -30,7 +37,7 @@
 //!     for (r, mut comm) in comms.drain(..).enumerate() {
 //!         s.spawn(move || {
 //!             let mut v = vec![r as f32 + 1.0; 3];
-//!             allreduce_tree(&mut comm, &mut v);
+//!             allreduce_tree(&mut comm, &mut v).expect("allreduce");
 //!             assert_eq!(v, vec![10.0; 3]); // 1+2+3+4
 //!         });
 //!     }
@@ -38,12 +45,16 @@
 //! ```
 
 pub mod collectives;
+pub mod fault;
+pub mod ft;
 pub mod hierarchy;
 pub mod ps;
 pub mod sparse;
 pub mod world;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use ft::{ft_allreduce, FtError, FtOutcome, Membership};
 pub use hierarchy::{grouped, hierarchical_allreduce, GroupedComm};
-pub use ps::{PsClient, PsConfig, PsServer};
+pub use ps::{PsClient, PsConfig, PsError, PsServer};
 pub use sparse::{sparse_allreduce_tree, sparse_reduce_tree, SparseVec};
-pub use world::{CommWorld, Communicator, DelaySchedule};
+pub use world::{CommError, CommWorld, Communicator, DelaySchedule, FaultSchedule};

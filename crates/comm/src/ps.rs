@@ -6,21 +6,63 @@
 //! each shard is a thread owning a contiguous slice of the parameter
 //! vector.
 //!
-//! The server exposes exactly two operations:
+//! The server exposes three operations:
 //!
 //! * `add(delta)` — `x ← x + delta` (fire-and-forget). Downpour pushes
 //!   `−γ·g`; EAMSGD pushes the elastic difference `α(xᵢ − x̃)`.
-//! * `pull()` — round-trip fetch of the current parameters.
+//! * `pull()` — round-trip fetch of the current parameters. Shards answer
+//!   independently, so under concurrent `add`s the assembled vector may
+//!   mix old and new shard states — the *inconsistency of sharded servers*
+//!   the paper calls out in §I/§III.
+//! * [`PsClient::pull_snapshot`] — epoch-versioned fetch that retries until
+//!   every shard reports the **same applied-update set**, yielding a
+//!   transaction-consistent cut across shards (no torn cross-shard reads).
 //!
-//! With more than one shard, a pull can observe some shards mid-update —
-//! the *inconsistency of sharded servers* the paper calls out in §I/§III;
-//! `test_sharded_pull_can_interleave` demonstrates it.
+//! For fault tolerance, [`PsClient::pull_timeout`] bounds the round-trip
+//! with a deadline and bounded retry/backoff, returning a typed
+//! [`PsError`] instead of hanging or panicking when a shard dies.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+
+/// Typed parameter-server failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PsError {
+    /// A shard thread is gone (channel disconnected).
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// A shard did not reply within the deadline.
+    Timeout {
+        /// Index of the slow shard.
+        shard: usize,
+    },
+    /// [`PsClient::pull_snapshot`] could not observe a consistent cut
+    /// within its retry budget (sustained concurrent pushes).
+    SnapshotContention {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for PsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsError::ShardDown { shard } => write!(f, "parameter-server shard {shard} hung up"),
+            PsError::Timeout { shard } => write!(f, "parameter-server shard {shard} timed out"),
+            PsError::SnapshotContention { attempts } => {
+                write!(f, "no consistent snapshot after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -35,11 +77,45 @@ impl Default for PsConfig {
     }
 }
 
+/// Order-independent digest of the set of update epochs a shard has
+/// applied. Two shards with equal stamps have applied the same adds (the
+/// epoch values are mixed through splitmix64, so distinct sets colliding in
+/// all three fields at once is vanishingly unlikely), which makes the
+/// concatenation of their segments a transaction-consistent cut.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStamp {
+    /// Updates applied.
+    pub count: u64,
+    /// XOR of mixed epoch ids.
+    pub xor: u64,
+    /// Wrapping sum of mixed epoch ids.
+    pub sum: u64,
+}
+
+impl ShardStamp {
+    fn apply(&mut self, epoch: u64) {
+        let h = mix64(epoch);
+        self.count += 1;
+        self.xor ^= h;
+        self.sum = self.sum.wrapping_add(h);
+    }
+}
+
+/// splitmix64 finalizer, used to spread epoch ids across the stamp fields.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 enum PsMsg {
-    /// `x[segment] += delta`.
-    Add(Vec<f32>),
+    /// `x[segment] += delta`, stamped with the update's global epoch id.
+    Add(u64, Vec<f32>),
     /// Reply with a copy of the segment.
     Pull(Sender<Vec<f32>>),
+    /// Reply with the shard's stamp plus a copy of the segment.
+    PullVersioned(Sender<(ShardStamp, Vec<f32>)>),
     /// Stop the shard thread.
     Shutdown,
 }
@@ -50,6 +126,7 @@ pub struct PsServer {
     bounds: Vec<(usize, usize)>,
     handles: Vec<JoinHandle<Vec<f32>>>,
     traffic: Arc<PsTraffic>,
+    epoch: Arc<AtomicU64>,
 }
 
 /// Elements moved through the server (both directions).
@@ -89,9 +166,11 @@ impl PsServer {
             let (tx, rx) = unbounded::<PsMsg>();
             shard_txs.push(tx);
             handles.push(std::thread::spawn(move || {
+                let mut stamp = ShardStamp::default();
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        PsMsg::Add(delta) => {
+                        PsMsg::Add(epoch, delta) => {
+                            stamp.apply(epoch);
                             for (x, d) in segment.iter_mut().zip(&delta) {
                                 *x += d;
                             }
@@ -99,6 +178,9 @@ impl PsServer {
                         PsMsg::Pull(reply) => {
                             // A dead client is fine; drop the reply.
                             let _ = reply.send(segment.clone());
+                        }
+                        PsMsg::PullVersioned(reply) => {
+                            let _ = reply.send((stamp, segment.clone()));
                         }
                         PsMsg::Shutdown => break,
                     }
@@ -111,6 +193,7 @@ impl PsServer {
             bounds,
             handles,
             traffic: Arc::new(PsTraffic::default()),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -120,6 +203,7 @@ impl PsServer {
             shard_txs: self.shard_txs.clone(),
             bounds: self.bounds.clone(),
             traffic: Arc::clone(&self.traffic),
+            epoch: Arc::clone(&self.epoch),
         }
     }
 
@@ -147,23 +231,39 @@ pub struct PsClient {
     shard_txs: Vec<Sender<PsMsg>>,
     bounds: Vec<(usize, usize)>,
     traffic: Arc<PsTraffic>,
+    /// Global update-epoch ticket counter, shared by every client so each
+    /// logical `add` gets a unique id across the whole server.
+    epoch: Arc<AtomicU64>,
 }
 
 impl PsClient {
     /// Asynchronous `x ← x + delta` across all shards.
     ///
     /// # Panics
-    /// Panics if `delta` length differs from the parameter count.
+    /// Panics if `delta` length differs from the parameter count, or a
+    /// shard thread is gone (use [`PsClient::try_add`] for the fallible
+    /// form).
     pub fn add(&self, delta: &[f32]) {
+        self.try_add(delta).expect("shard hung up");
+    }
+
+    /// Fallible [`PsClient::add`]: [`PsError::ShardDown`] instead of a
+    /// panic when a shard thread died.
+    ///
+    /// # Panics
+    /// Panics if `delta` length differs from the parameter count.
+    pub fn try_add(&self, delta: &[f32]) -> Result<(), PsError> {
         let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
         assert_eq!(delta.len(), m, "delta length mismatch");
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         self.traffic
             .pushed
             .fetch_add(delta.len() as u64, Ordering::Relaxed);
-        for (tx, &(lo, hi)) in self.shard_txs.iter().zip(&self.bounds) {
-            tx.send(PsMsg::Add(delta[lo..hi].to_vec()))
-                .expect("shard hung up");
+        for (shard, (tx, &(lo, hi))) in self.shard_txs.iter().zip(&self.bounds).enumerate() {
+            tx.send(PsMsg::Add(epoch, delta[lo..hi].to_vec()))
+                .map_err(|_| PsError::ShardDown { shard })?;
         }
+        Ok(())
     }
 
     /// Downpour-style gradient push: `x ← x − γ·g` applied server-side.
@@ -172,11 +272,17 @@ impl PsClient {
         self.add(&delta);
     }
 
+    /// Fallible [`PsClient::push_gradient`].
+    pub fn try_push_gradient(&self, gamma: f32, grad: &[f32]) -> Result<(), PsError> {
+        let delta: Vec<f32> = grad.iter().map(|g| -gamma * g).collect();
+        self.try_add(&delta)
+    }
+
     /// Round-trip fetch of the full parameter vector.
     ///
     /// Shards answer independently: under concurrent `add`s the assembled
     /// vector may mix old and new shard states (sharded-server
-    /// inconsistency).
+    /// inconsistency); [`PsClient::pull_snapshot`] avoids that.
     pub fn pull(&self) -> Vec<f32> {
         let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
         let mut out = vec![0.0f32; m];
@@ -192,6 +298,102 @@ impl PsClient {
         }
         self.traffic.pulled.fetch_add(m as u64, Ordering::Relaxed);
         out
+    }
+
+    /// [`PsClient::pull`] with a per-shard reply deadline and bounded
+    /// retry/backoff — the Downpour fault-tolerance path. Each attempt
+    /// round-trips every shard with `timeout`; on a timeout the whole pull
+    /// is retried after a backoff that doubles per attempt (`backoff`,
+    /// `2·backoff`, …), up to `retries` retries. A dead shard fails fast
+    /// with [`PsError::ShardDown`] (retrying cannot resurrect a thread).
+    ///
+    /// The returned values are exactly what [`PsClient::pull`] would have
+    /// returned at the same instant — the deadline changes *when* a failure
+    /// surfaces, never *what* a successful pull carries.
+    pub fn pull_timeout(
+        &self,
+        timeout: Duration,
+        retries: usize,
+        backoff: Duration,
+    ) -> Result<Vec<f32>, PsError> {
+        let mut wait = backoff;
+        let mut last = PsError::Timeout { shard: 0 };
+        for attempt in 0..=retries {
+            if attempt > 0 && !wait.is_zero() {
+                std::thread::sleep(wait);
+                wait *= 2;
+            }
+            match self.pull_once(timeout) {
+                Ok(out) => return Ok(out),
+                Err(e @ PsError::ShardDown { .. }) => return Err(e),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One deadline-bounded pull attempt.
+    fn pull_once(&self, timeout: Duration) -> Result<Vec<f32>, PsError> {
+        let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
+        let mut out = vec![0.0f32; m];
+        let mut pending = Vec::with_capacity(self.shard_txs.len());
+        for (shard, (tx, &(lo, hi))) in self.shard_txs.iter().zip(&self.bounds).enumerate() {
+            let (rtx, rrx) = bounded(1);
+            tx.send(PsMsg::Pull(rtx))
+                .map_err(|_| PsError::ShardDown { shard })?;
+            pending.push((shard, rrx, lo, hi));
+        }
+        for (shard, rrx, lo, hi) in pending {
+            let seg = rrx.recv_timeout(timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => PsError::Timeout { shard },
+                RecvTimeoutError::Disconnected => PsError::ShardDown { shard },
+            })?;
+            out[lo..hi].copy_from_slice(&seg);
+        }
+        self.traffic.pulled.fetch_add(m as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Transaction-consistent fetch across shards: every shard replies with
+    /// an order-independent [`ShardStamp`] of the updates it has applied,
+    /// and the pull retries (up to `max_retries` extra rounds) until all
+    /// stamps agree. Equal stamps mean every shard has applied exactly the
+    /// same set of logical `add`s, so the concatenated segments form one
+    /// consistent cut — the fix for the cross-shard torn snapshot that
+    /// plain [`PsClient::pull`] permits.
+    pub fn pull_snapshot(&self, max_retries: usize) -> Result<Vec<f32>, PsError> {
+        let m = self.bounds.last().map_or(0, |&(_, hi)| hi);
+        let attempts = max_retries + 1;
+        for attempt in 0..attempts {
+            // Brief, growing pause between attempts lets in-flight adds
+            // drain to every shard.
+            if attempt > 0 {
+                if attempt < 4 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50 * attempt as u64));
+                }
+            }
+            let mut out = vec![0.0f32; m];
+            let mut pending = Vec::with_capacity(self.shard_txs.len());
+            for (shard, (tx, &(lo, hi))) in self.shard_txs.iter().zip(&self.bounds).enumerate() {
+                let (rtx, rrx) = bounded(1);
+                tx.send(PsMsg::PullVersioned(rtx))
+                    .map_err(|_| PsError::ShardDown { shard })?;
+                pending.push((shard, rrx, lo, hi));
+            }
+            let mut stamps = Vec::with_capacity(pending.len());
+            for (shard, rrx, lo, hi) in pending {
+                let (stamp, seg) = rrx.recv().map_err(|_| PsError::ShardDown { shard })?;
+                stamps.push(stamp);
+                out[lo..hi].copy_from_slice(&seg);
+            }
+            if stamps.windows(2).all(|w| w[0] == w[1]) {
+                self.traffic.pulled.fetch_add(m as u64, Ordering::Relaxed);
+                return Ok(out);
+            }
+        }
+        Err(PsError::SnapshotContention { attempts })
     }
 
     /// Parameter count served.
@@ -312,5 +514,73 @@ mod tests {
         let ps = PsServer::spawn(vec![0.0; 4], PsConfig::default());
         let c = ps.client();
         c.add(&[1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_uniform_under_concurrent_pushes() {
+        // Every add is a constant full-vector increment, so any
+        // *consistent* cut is a uniform vector; a torn cut mixes shard
+        // states and is non-uniform. pull_snapshot must only return
+        // uniform vectors.
+        let m = 64usize;
+        let ps = PsServer::spawn(vec![0.0; m], PsConfig { shards: 4 });
+        let pusher = ps.client();
+        let snap = ps.client();
+        thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..200 {
+                    pusher.add(&vec![1.0; m]);
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let x = snap.pull_snapshot(10_000).expect("snapshot");
+                    let first = x[0];
+                    assert!(
+                        x.iter().all(|&v| v == first),
+                        "torn snapshot: {:?}",
+                        &x[..8.min(x.len())]
+                    );
+                    assert!((0.0..=200.0).contains(&first));
+                }
+            });
+        });
+        ps.shutdown();
+    }
+
+    #[test]
+    fn snapshot_matches_pull_when_quiescent() {
+        let ps = PsServer::spawn(vec![1.0; 9], PsConfig { shards: 3 });
+        let c = ps.client();
+        c.add(&[0.5; 9]);
+        assert_eq!(c.pull_snapshot(4).expect("snapshot"), c.pull());
+        ps.shutdown();
+    }
+
+    #[test]
+    fn pull_timeout_succeeds_on_live_server() {
+        let ps = PsServer::spawn(vec![2.0; 6], PsConfig { shards: 2 });
+        let c = ps.client();
+        let x = c
+            .pull_timeout(Duration::from_millis(500), 2, Duration::from_millis(1))
+            .expect("pull");
+        assert_eq!(x, vec![2.0; 6]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_is_typed_error() {
+        let ps = PsServer::spawn(vec![0.0; 4], PsConfig { shards: 2 });
+        let c = ps.client();
+        let _final = ps.shutdown(); // all shards exit
+        assert!(matches!(
+            c.try_add(&[1.0; 4]),
+            Err(PsError::ShardDown { .. })
+        ));
+        assert!(matches!(
+            c.pull_timeout(Duration::from_millis(50), 1, Duration::ZERO),
+            Err(PsError::ShardDown { .. })
+        ));
+        assert!(matches!(c.pull_snapshot(1), Err(PsError::ShardDown { .. })));
     }
 }

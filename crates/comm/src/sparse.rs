@@ -21,7 +21,7 @@
 //! exceed 2³¹ before its bit pattern could collide with a NaN).
 
 use crate::collectives::broadcast;
-use crate::world::Communicator;
+use crate::world::{CommError, Communicator};
 
 /// A sparse view of an `m`-element `f32` vector: sorted indices plus
 /// values. Zero values may appear (sums that cancel stay represented so
@@ -142,11 +142,15 @@ fn tag(op: u64, phase: u64) -> u64 {
 /// Binomial-tree sum-reduce of sparse vectors to `root`, in the exact
 /// combine order of [`crate::collectives::reduce_tree`]. On non-root ranks `sv`
 /// is left as the partial this rank forwarded.
-pub fn sparse_reduce_tree(comm: &mut Communicator, root: usize, sv: &mut SparseVec) {
+pub fn sparse_reduce_tree(
+    comm: &mut Communicator,
+    root: usize,
+    sv: &mut SparseVec,
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
-        return;
+        return Ok(());
     }
     let op = comm.next_op();
     let vrank = (comm.rank() + p - root) % p;
@@ -155,27 +159,29 @@ pub fn sparse_reduce_tree(comm: &mut Communicator, root: usize, sv: &mut SparseV
         if vrank & bit != 0 {
             let parent_v = vrank & !bit;
             let parent = (parent_v + root) % p;
-            comm.send(parent, tag(op, 1), sv.encode());
-            return;
+            comm.send(parent, tag(op, 1), sv.encode())?;
+            return Ok(());
         }
         let child_v = vrank | bit;
         if child_v < p {
             let child = (child_v + root) % p;
-            let part = SparseVec::decode(&comm.recv(child, tag(op, 1)));
+            let part = SparseVec::decode(&comm.recv(child, tag(op, 1))?);
             sv.add_assign(&part);
         }
         bit <<= 1;
     }
+    Ok(())
 }
 
 /// Sparse allreduce (sum): sparse reduce to rank 0 plus broadcast of the
 /// encoded result. Every rank returns with the full sparse sum; wire
 /// traffic is `O(nnz)` per hop.
-pub fn sparse_allreduce_tree(comm: &mut Communicator, sv: &mut SparseVec) {
-    sparse_reduce_tree(comm, 0, sv);
+pub fn sparse_allreduce_tree(comm: &mut Communicator, sv: &mut SparseVec) -> Result<(), CommError> {
+    sparse_reduce_tree(comm, 0, sv)?;
     let mut enc = sv.encode();
-    broadcast(comm, 0, &mut enc);
+    broadcast(comm, 0, &mut enc)?;
     *sv = SparseVec::decode(&enc);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -251,12 +257,12 @@ mod tests {
             };
             let dense = run_world(p, |c| {
                 let mut v = input(c.rank());
-                allreduce_tree(c, &mut v);
+                allreduce_tree(c, &mut v).expect("allreduce");
                 v
             });
             let sparse = run_world(p, |c| {
                 let mut sv = SparseVec::from_dense(&input(c.rank()));
-                sparse_allreduce_tree(c, &mut sv);
+                sparse_allreduce_tree(c, &mut sv).expect("sparse allreduce");
                 sv.to_dense()
             });
             for (d, s) in dense.iter().zip(&sparse) {
@@ -283,7 +289,7 @@ mod tests {
                         for j in 0..10 {
                             v[j * 97 % m] = c.rank() as f32 + 1.0;
                         }
-                        allreduce_tree(&mut c, &mut v);
+                        allreduce_tree(&mut c, &mut v).expect("allreduce");
                     });
                 }
             });
@@ -301,7 +307,7 @@ mod tests {
                             v[j * 97 % m] = c.rank() as f32 + 1.0;
                         }
                         let mut sv = SparseVec::from_dense(&v);
-                        sparse_allreduce_tree(&mut c, &mut sv);
+                        sparse_allreduce_tree(&mut c, &mut sv).expect("sparse allreduce");
                     });
                 }
             });

@@ -4,14 +4,77 @@
 //! iterate a nondeterministically ordered container anywhere near the
 //! numeric path (lint `map-iter`), and the ordered map makes that a
 //! non-question even for future code that walks `pending`.
+//!
+//! ## Failure semantics
+//!
+//! Every primitive returns a typed [`CommError`] instead of panicking:
+//! a send to a rank whose endpoint was dropped is [`CommError::PeerGone`]
+//! (the immediate, reliable signal of a crashed learner — its channel
+//! receiver died with it), and receives can carry a deadline, surfacing
+//! [`CommError::Timeout`] for stalled peers. A world-wide default receive
+//! deadline ([`CommWorld::set_default_deadline`]) turns every blocking
+//! `recv` into a bounded wait, so a wedged peer can never hang the group
+//! forever. Fault injection for tests lives in [`FaultSchedule`]
+//! (message drops at the wire) and `crate::fault` (crash/stall plans
+//! interpreted by the engine).
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+// lint:allow(wall-clock): deadline-based communication is wall-clock by
+// nature; the numeric path never reads these clocks.
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Typed communication failure. The fault-tolerant collectives match on
+/// these to distinguish a crashed peer from a stalled one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank's endpoint was dropped: the learner crashed or
+    /// exited. Sends fail with this immediately (no timeout needed).
+    PeerGone {
+        /// Rank whose endpoint is gone.
+        peer: usize,
+    },
+    /// No message matching `(src, tag)` arrived before the deadline.
+    Timeout {
+        /// Source rank the receive was matched on.
+        src: usize,
+        /// Tag the receive was matched on.
+        tag: u64,
+    },
+    /// Every sender endpoint feeding this rank was dropped while it was
+    /// blocked in a receive — the world itself is gone.
+    Disconnected {
+        /// Source rank the receive was matched on.
+        src: usize,
+        /// Tag the receive was matched on.
+        tag: u64,
+    },
+    /// `recv_any` was called with an empty candidate list — formerly this
+    /// parked forever on a sentinel that no sender could ever match.
+    NoCandidates,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerGone { peer } => write!(f, "peer rank {peer} hung up"),
+            CommError::Timeout { src, tag } => {
+                write!(f, "timed out waiting for (src {src}, tag {tag})")
+            }
+            CommError::Disconnected { src, tag } => {
+                write!(f, "world dropped while receiving (src {src}, tag {tag})")
+            }
+            CommError::NoCandidates => f.write_str("recv_any with empty candidate list"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// A point-to-point message: payload plus matching metadata.
 struct Message {
@@ -27,6 +90,9 @@ pub struct Traffic {
     pub elements: AtomicU64,
     /// Total messages sent.
     pub messages: AtomicU64,
+    /// Messages silently dropped by an injected [`FaultSchedule`] (never
+    /// counted in `elements`/`messages` — they did not hit the wire).
+    pub dropped: AtomicU64,
 }
 
 impl Traffic {
@@ -38,6 +104,11 @@ impl Traffic {
     /// Messages sent so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by fault injection so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -75,6 +146,32 @@ impl DelaySchedule {
     }
 }
 
+/// Deterministic message-drop injection at the wire, the third leg of the
+/// fault model (crash and stall live in `crate::fault`, interpreted at the
+/// learner loop). `drop_send[rank]` lists the send-sequence indices (one
+/// counter per rank, incremented on every send) whose messages vanish
+/// silently — the send reports success, the peer never sees the message,
+/// exactly like a lossy link. Dropped messages are counted in
+/// [`Traffic::dropped`] only.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    /// Per-rank **sorted** send-sequence indices to drop.
+    pub drop_send: Vec<Vec<u64>>,
+}
+
+impl FaultSchedule {
+    fn should_drop(&self, rank: usize, seq: u64) -> bool {
+        self.drop_send
+            .get(rank)
+            .is_some_and(|v| v.binary_search(&seq).is_ok())
+    }
+
+    /// True when no rank has any drop scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.drop_send.iter().all(Vec::is_empty)
+    }
+}
+
 /// What each rank is currently blocked on (`(src, tag)`), if anything.
 /// Shared between the world (for watchdog snapshots) and the endpoints.
 type WaitTable = Arc<Vec<Mutex<Option<(usize, u64)>>>>;
@@ -85,6 +182,8 @@ pub struct CommWorld {
     receivers: Vec<Option<Receiver<Message>>>,
     traffic: Arc<Traffic>,
     delays: Option<Arc<DelaySchedule>>,
+    faults: Option<Arc<FaultSchedule>>,
+    default_deadline: Option<Duration>,
     waiting: WaitTable,
 }
 
@@ -107,6 +206,8 @@ impl CommWorld {
             receivers,
             traffic: Arc::new(Traffic::default()),
             delays: None,
+            faults: None,
+            default_deadline: None,
             waiting: Arc::new((0..size).map(|_| Mutex::new(None)).collect()),
         }
     }
@@ -126,6 +227,22 @@ impl CommWorld {
     /// later inherit it.
     pub fn set_delays(&mut self, delays: Arc<DelaySchedule>) {
         self.delays = Some(delays);
+    }
+
+    /// Install a message-drop schedule (fault-injection hook). Must be
+    /// called before [`CommWorld::communicators`]; endpoints handed out
+    /// later inherit it.
+    pub fn set_faults(&mut self, faults: Arc<FaultSchedule>) {
+        self.faults = Some(faults);
+    }
+
+    /// Give every endpoint a default receive deadline: plain `recv` calls
+    /// become `recv_deadline` with this timeout, so no rank can block
+    /// forever on a dead or wedged peer. Must be called before
+    /// [`CommWorld::communicators`]. `None` (the default) preserves the
+    /// original unbounded blocking behavior.
+    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) {
+        self.default_deadline = deadline;
     }
 
     /// Snapshot of what each rank is currently blocked on (`(src, tag)`),
@@ -156,6 +273,8 @@ impl CommWorld {
                 op_counter: 0,
                 traffic: Arc::clone(&self.traffic),
                 delays: self.delays.clone(),
+                faults: self.faults.clone(),
+                default_deadline: self.default_deadline,
                 send_seq: std::cell::Cell::new(0),
                 recv_seq: 0,
                 waiting: Arc::clone(&self.waiting),
@@ -179,6 +298,10 @@ pub struct Communicator {
     traffic: Arc<Traffic>,
     /// Delay-injection schedule (race-checker hook); `None` in production.
     delays: Option<Arc<DelaySchedule>>,
+    /// Message-drop schedule (fault-injection hook); `None` in production.
+    faults: Option<Arc<FaultSchedule>>,
+    /// Deadline applied to plain `recv` calls; `None` = block forever.
+    default_deadline: Option<Duration>,
     /// `Cell`: `send` takes `&self` (endpoints are per-thread, never shared).
     send_seq: std::cell::Cell<u64>,
     recv_seq: u64,
@@ -203,13 +326,31 @@ impl Communicator {
         self.delays = Some(delays);
     }
 
+    /// Set or clear this endpoint's default receive deadline (see
+    /// [`CommWorld::set_default_deadline`]).
+    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) {
+        self.default_deadline = deadline;
+    }
+
+    /// This endpoint's default receive deadline, if any.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline
+    }
+
     /// Send `payload` to `dst` with a `tag` (non-blocking; channels are
-    /// unbounded).
-    pub fn send(&self, dst: usize, tag: u64, payload: Vec<f32>) {
+    /// unbounded). Fails with [`CommError::PeerGone`] when `dst`'s endpoint
+    /// has been dropped — the immediate signature of a crashed learner.
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<f32>) -> Result<(), CommError> {
+        let seq = self.send_seq.get();
+        self.send_seq.set(seq + 1);
         if let Some(d) = &self.delays {
-            let seq = self.send_seq.get();
-            self.send_seq.set(seq + 1);
             d.apply(&d.send, self.rank, seq);
+        }
+        if let Some(f) = &self.faults {
+            if f.should_drop(self.rank, seq) {
+                self.traffic.dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
         }
         self.traffic
             .elements
@@ -221,47 +362,117 @@ impl Communicator {
                 tag,
                 payload,
             })
-            .expect("peer rank hung up");
+            .map_err(|_| CommError::PeerGone { peer: dst })
     }
 
     /// Blocking receive matched on `(src, tag)`; unrelated messages are
-    /// parked for later matching (MPI-style tag matching).
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f32> {
+    /// parked for later matching (MPI-style tag matching). Honors the
+    /// endpoint's default deadline when one is set.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
+        self.recv_inner(src, tag, self.default_deadline)
+    }
+
+    /// Receive matched on `(src, tag)` with an explicit deadline:
+    /// [`CommError::Timeout`] if nothing matching arrives within `timeout`.
+    pub fn recv_deadline(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f32>, CommError> {
+        self.recv_inner(src, tag, Some(timeout))
+    }
+
+    fn recv_inner(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<f32>, CommError> {
         if let Some(d) = self.delays.clone() {
             d.apply(&d.recv, self.rank, self.recv_seq);
             self.recv_seq += 1;
         }
         if let Some(q) = self.pending.get_mut(&(src, tag)) {
             if let Some(m) = q.pop_front() {
-                return m;
+                return Ok(m);
             }
         }
+        let deadline = timeout.map(|t| Instant::now() + t);
         *self.waiting[self.rank].lock().expect("wait-table lock") = Some((src, tag));
-        loop {
-            let msg = self.receiver.recv().expect("world dropped while receiving");
-            if msg.from == src && msg.tag == tag {
-                *self.waiting[self.rank].lock().expect("wait-table lock") = None;
-                return msg.payload;
+        let out = loop {
+            match self.next_message(deadline, src, tag) {
+                Ok(msg) if msg.from == src && msg.tag == tag => break Ok(msg.payload),
+                Ok(msg) => {
+                    self.pending
+                        .entry((msg.from, msg.tag))
+                        .or_default()
+                        .push_back(msg.payload);
+                }
+                Err(e) => break Err(e),
             }
-            self.pending
-                .entry((msg.from, msg.tag))
-                .or_default()
-                .push_back(msg.payload);
+        };
+        *self.waiting[self.rank].lock().expect("wait-table lock") = None;
+        out
+    }
+
+    /// One message off the channel, bounded by `deadline` when present.
+    /// `(src, tag)` only label the error.
+    fn next_message(
+        &self,
+        deadline: Option<Instant>,
+        src: usize,
+        tag: u64,
+    ) -> Result<Message, CommError> {
+        match deadline {
+            None => self
+                .receiver
+                .recv()
+                .map_err(|_| CommError::Disconnected { src, tag }),
+            Some(dl) => {
+                let remaining = dl.saturating_duration_since(Instant::now());
+                self.receiver.recv_timeout(remaining).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => CommError::Timeout { src, tag },
+                    RecvTimeoutError::Disconnected => CommError::Disconnected { src, tag },
+                })
+            }
         }
     }
 
     /// Receive the first available message matching **any** of
     /// `candidates`, in *arrival order* (pending messages are drained in
-    /// candidate order first).
+    /// candidate order first). An empty candidate list is
+    /// [`CommError::NoCandidates`] — it used to park forever on a sentinel
+    /// `(src, tag)` no sender could match, buffering every arrival.
     ///
-    /// This is deliberately **not** used by the crate's collectives: the
-    /// combine order it yields depends on the thread schedule, which is
-    /// exactly the nondeterminism the fixed-order collectives exist to
-    /// avoid. It is public for the `sasgd-analysis` race checker — whose
-    /// bad-fixture reduce uses it to demonstrate that the checker catches
-    /// arrival-order combining — and for future asynchronous variants whose
-    /// schedule-sensitivity must then be checked the same way.
-    pub fn recv_any(&mut self, candidates: &[(usize, u64)]) -> (usize, Vec<f32>) {
+    /// This is deliberately **not** used by the crate's fixed-order
+    /// collectives: the combine order it yields depends on the thread
+    /// schedule, which is exactly the nondeterminism those exist to avoid.
+    /// It is public for the `sasgd-analysis` race checker and for the
+    /// fault-tolerant collectives in [`crate::ft`], whose recovery sweep
+    /// re-sorts arrivals by source rank before combining.
+    pub fn recv_any(
+        &mut self,
+        candidates: &[(usize, u64)],
+    ) -> Result<(usize, Vec<f32>), CommError> {
+        self.recv_any_inner(candidates, self.default_deadline)
+    }
+
+    /// [`Communicator::recv_any`] with an explicit deadline.
+    pub fn recv_any_deadline(
+        &mut self,
+        candidates: &[(usize, u64)],
+        timeout: Duration,
+    ) -> Result<(usize, Vec<f32>), CommError> {
+        self.recv_any_inner(candidates, Some(timeout))
+    }
+
+    fn recv_any_inner(
+        &mut self,
+        candidates: &[(usize, u64)],
+        timeout: Option<Duration>,
+    ) -> Result<(usize, Vec<f32>), CommError> {
+        let &(first_src, first_tag) = candidates.first().ok_or(CommError::NoCandidates)?;
         if let Some(d) = self.delays.clone() {
             d.apply(&d.recv, self.rank, self.recv_seq);
             self.recv_seq += 1;
@@ -269,26 +480,28 @@ impl Communicator {
         for &(src, tag) in candidates {
             if let Some(q) = self.pending.get_mut(&(src, tag)) {
                 if let Some(m) = q.pop_front() {
-                    return (src, m);
+                    return Ok((src, m));
                 }
             }
         }
-        let first = candidates
-            .first()
-            .copied()
-            .unwrap_or((usize::MAX, u64::MAX));
-        *self.waiting[self.rank].lock().expect("wait-table lock") = Some(first);
-        loop {
-            let msg = self.receiver.recv().expect("world dropped while receiving");
-            if candidates.contains(&(msg.from, msg.tag)) {
-                *self.waiting[self.rank].lock().expect("wait-table lock") = None;
-                return (msg.from, msg.payload);
+        let deadline = timeout.map(|t| Instant::now() + t);
+        *self.waiting[self.rank].lock().expect("wait-table lock") = Some((first_src, first_tag));
+        let out = loop {
+            match self.next_message(deadline, first_src, first_tag) {
+                Ok(msg) if candidates.contains(&(msg.from, msg.tag)) => {
+                    break Ok((msg.from, msg.payload));
+                }
+                Ok(msg) => {
+                    self.pending
+                        .entry((msg.from, msg.tag))
+                        .or_default()
+                        .push_back(msg.payload);
+                }
+                Err(e) => break Err(e),
             }
-            self.pending
-                .entry((msg.from, msg.tag))
-                .or_default()
-                .push_back(msg.payload);
-        }
+        };
+        *self.waiting[self.rank].lock().expect("wait-table lock") = None;
+        out
     }
 
     /// Next collective sequence number (advances the counter).
@@ -317,11 +530,12 @@ mod tests {
         let mut c0 = comms.pop().expect("rank 0");
         let t = thread::spawn(move || {
             let mut c1 = c1;
-            let v = c1.recv(0, 7);
-            c1.send(0, 8, v.iter().map(|x| x * 2.0).collect());
+            let v = c1.recv(0, 7).expect("recv");
+            c1.send(0, 8, v.iter().map(|x| x * 2.0).collect())
+                .expect("send");
         });
-        c0.send(1, 7, vec![1.0, 2.0]);
-        let back = c0.recv(1, 8);
+        c0.send(1, 7, vec![1.0, 2.0]).expect("send");
+        let back = c0.recv(1, 8).expect("recv");
         assert_eq!(back, vec![2.0, 4.0]);
         t.join().expect("peer thread");
     }
@@ -335,13 +549,13 @@ mod tests {
         let t = thread::spawn(move || {
             let c1 = c1;
             // Send tag 2 first, then tag 1.
-            c1.send(0, 2, vec![2.0]);
-            c1.send(0, 1, vec![1.0]);
+            c1.send(0, 2, vec![2.0]).expect("send");
+            c1.send(0, 1, vec![1.0]).expect("send");
         });
         t.join().expect("peer thread");
         // Receive in the opposite order.
-        assert_eq!(c0.recv(1, 1), vec![1.0]);
-        assert_eq!(c0.recv(1, 2), vec![2.0]);
+        assert_eq!(c0.recv(1, 1).expect("recv"), vec![1.0]);
+        assert_eq!(c0.recv(1, 2).expect("recv"), vec![2.0]);
     }
 
     #[test]
@@ -350,13 +564,13 @@ mod tests {
         let mut comms = world.communicators();
         let c1 = comms.pop().expect("rank 1");
         let mut c0 = comms.pop().expect("rank 0");
-        c1.send(0, 5, vec![1.0]);
-        c1.send(0, 5, vec![2.0]);
+        c1.send(0, 5, vec![1.0]).expect("send");
+        c1.send(0, 5, vec![2.0]).expect("send");
         // Force both into the pending map by receiving another tag after.
-        c1.send(0, 9, vec![9.0]);
-        assert_eq!(c0.recv(1, 9), vec![9.0]);
-        assert_eq!(c0.recv(1, 5), vec![1.0]);
-        assert_eq!(c0.recv(1, 5), vec![2.0]);
+        c1.send(0, 9, vec![9.0]).expect("send");
+        assert_eq!(c0.recv(1, 9).expect("recv"), vec![9.0]);
+        assert_eq!(c0.recv(1, 5).expect("recv"), vec![1.0]);
+        assert_eq!(c0.recv(1, 5).expect("recv"), vec![2.0]);
     }
 
     #[test]
@@ -366,8 +580,8 @@ mod tests {
         let mut comms = world.communicators();
         let c1 = comms.pop().expect("rank 1");
         let mut c0 = comms.pop().expect("rank 0");
-        c1.send(0, 1, vec![0.0; 10]);
-        let _ = c0.recv(1, 1);
+        c1.send(0, 1, vec![0.0; 10]).expect("send");
+        let _ = c0.recv(1, 1).expect("recv");
         assert_eq!(traffic.elements_sent(), 10);
         assert_eq!(traffic.messages_sent(), 1);
     }
@@ -378,5 +592,85 @@ mod tests {
         let mut world = CommWorld::new(1);
         let _a = world.communicators();
         let _b = world.communicators();
+    }
+
+    #[test]
+    fn send_to_dropped_peer_is_peer_gone() {
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let c0 = comms.pop().expect("rank 0");
+        drop(c1); // rank 1 "crashes": its receiver is gone
+        assert_eq!(
+            c0.send(1, 3, vec![1.0]),
+            Err(CommError::PeerGone { peer: 1 })
+        );
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_clears_wait_table() {
+        let mut world = CommWorld::new(2);
+        let snapshot_world = world.waiting_snapshot();
+        assert_eq!(snapshot_world, vec![None, None]);
+        let mut comms = world.communicators();
+        let _c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        assert_eq!(
+            c0.recv_deadline(1, 4, Duration::from_millis(10)),
+            Err(CommError::Timeout { src: 1, tag: 4 })
+        );
+        // The wait-table entry must be cleared on the error path too.
+        assert_eq!(world.waiting_snapshot(), vec![None, None]);
+    }
+
+    #[test]
+    fn recv_deadline_delivers_when_message_present() {
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        c1.send(0, 4, vec![5.0]).expect("send");
+        assert_eq!(
+            c0.recv_deadline(1, 4, Duration::from_millis(50))
+                .expect("recv"),
+            vec![5.0]
+        );
+    }
+
+    #[test]
+    fn recv_any_empty_candidates_is_error() {
+        let mut world = CommWorld::new(1);
+        let mut comms = world.communicators();
+        let mut c0 = comms.pop().expect("rank 0");
+        assert_eq!(c0.recv_any(&[]), Err(CommError::NoCandidates));
+    }
+
+    #[test]
+    fn default_deadline_bounds_plain_recv() {
+        let mut world = CommWorld::new(2);
+        world.set_default_deadline(Some(Duration::from_millis(10)));
+        let mut comms = world.communicators();
+        let _c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        assert_eq!(c0.recv(1, 2), Err(CommError::Timeout { src: 1, tag: 2 }));
+    }
+
+    #[test]
+    fn fault_schedule_drops_scheduled_sends() {
+        let mut world = CommWorld::new(2);
+        world.set_faults(Arc::new(FaultSchedule {
+            drop_send: vec![vec![], vec![1]], // rank 1's 2nd send vanishes
+        }));
+        let traffic = world.traffic();
+        let mut comms = world.communicators();
+        let c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        c1.send(0, 1, vec![1.0]).expect("send");
+        c1.send(0, 1, vec![2.0]).expect("send dropped silently");
+        c1.send(0, 1, vec![3.0]).expect("send");
+        assert_eq!(c0.recv(1, 1).expect("recv"), vec![1.0]);
+        assert_eq!(c0.recv(1, 1).expect("recv"), vec![3.0]);
+        assert_eq!(traffic.messages_sent(), 2);
+        assert_eq!(traffic.messages_dropped(), 1);
     }
 }

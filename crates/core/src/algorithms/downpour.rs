@@ -52,6 +52,10 @@ impl AggregationStrategy for DownpourStrategy {
         Cadence::EventDriven
     }
 
+    fn event_capable(&self) -> bool {
+        true
+    }
+
     fn sync_interval(&self) -> usize {
         self.t
     }

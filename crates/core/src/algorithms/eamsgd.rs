@@ -67,6 +67,10 @@ impl AggregationStrategy for EamsgdStrategy {
         Cadence::EventDriven
     }
 
+    fn event_capable(&self) -> bool {
+        true
+    }
+
     fn sync_interval(&self) -> usize {
         self.t
     }

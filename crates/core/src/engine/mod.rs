@@ -73,6 +73,16 @@ pub(crate) trait AggregationStrategy {
         Cadence::Lockstep
     }
 
+    /// Whether the strategy implements the event-driven hooks
+    /// ([`event_step`](AggregationStrategy::event_step) /
+    /// [`event_sync`](AggregationStrategy::event_sync)). Checked at
+    /// configuration time by [`Executor::try_run`], so an event-cadence
+    /// strategy that forgot the hooks is a typed [`EngineError`] before any
+    /// learner state exists — not a panic mid-run.
+    fn event_capable(&self) -> bool {
+        false
+    }
+
     /// Local steps between sync points (`0` = never sync).
     fn sync_interval(&self) -> usize {
         0
@@ -162,14 +172,46 @@ pub(crate) trait AggregationStrategy {
         idx: &[usize],
         gamma: f32,
     ) {
-        unimplemented!("strategy has no event-driven local step")
+        unreachable!(
+            "event-driven hooks missing — Executor::try_run rejects event-cadence \
+             strategies whose event_capable() is false before the run starts"
+        )
     }
 
     /// Sync learner `id` against the shared state (event-driven cadence).
     fn event_sync(&mut self, l: &mut Learner, id: usize, gamma: f32) {
-        unimplemented!("strategy has no event-driven sync")
+        unreachable!(
+            "event-driven hooks missing — Executor::try_run rejects event-cadence \
+             strategies whose event_capable() is false before the run starts"
+        )
     }
 }
+
+/// Typed configuration-time error from [`Executor::try_run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The strategy declares [`Cadence::EventDriven`] but does not
+    /// implement the event hooks — running it would hit the engine's
+    /// event loop with no step/sync behaviour.
+    UnsupportedCadence {
+        /// Label of the offending strategy.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnsupportedCadence { label } => write!(
+                f,
+                "strategy `{label}` declares an event-driven cadence but implements \
+                 no event hooks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Build the strategy implementing `algo`.
 pub(crate) fn strategy_for(algo: &crate::algorithms::Algorithm) -> Box<dyn AggregationStrategy> {
@@ -249,6 +291,10 @@ impl Executor {
     /// Run `algo` on the executor's backend. The factory must produce
     /// identically initialized models on every call (close over a fixed
     /// seed); on the threaded backend it is called from learner threads.
+    ///
+    /// # Panics
+    /// Panics on a misconfigured strategy; use [`Executor::try_run`] for
+    /// the typed error.
     pub fn run(
         &self,
         factory: &(dyn Fn() -> Model + Sync),
@@ -257,13 +303,34 @@ impl Executor {
         algo: &crate::algorithms::Algorithm,
         cfg: &TrainConfig,
     ) -> History {
-        match self.backend {
+        self.try_run(factory, train_set, test_set, algo, cfg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Executor::run`] with configuration validated up front: a strategy
+    /// whose declared cadence its hooks cannot execute is a typed
+    /// [`EngineError`] before any thread or learner state exists.
+    pub fn try_run(
+        &self,
+        factory: &(dyn Fn() -> Model + Sync),
+        train_set: &Dataset,
+        test_set: &Dataset,
+        algo: &crate::algorithms::Algorithm,
+        cfg: &TrainConfig,
+    ) -> Result<History, EngineError> {
+        let mut strategy = strategy_for(algo);
+        if strategy.cadence() == Cadence::EventDriven && !strategy.event_capable() {
+            return Err(EngineError::UnsupportedCadence {
+                label: strategy.label(),
+            });
+        }
+        Ok(match self.backend {
             Backend::Simulated => {
                 let mut f = || factory();
-                simulated::run(&mut *strategy_for(algo), &mut f, train_set, test_set, cfg)
+                simulated::run(&mut *strategy, &mut f, train_set, test_set, cfg)
             }
             Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg),
-        }
+        })
     }
 }
 

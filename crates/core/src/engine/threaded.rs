@@ -16,9 +16,11 @@
 //! ([`sasgd_comm::sparse`]), so the counters record genuinely fewer
 //! elements, not a model of fewer elements.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sasgd_comm::collectives::{allreduce_tree, broadcast};
+use sasgd_comm::fault::FaultPlan;
+use sasgd_comm::ft::{ft_allreduce, FtError, Membership};
 use sasgd_comm::ps::{PsConfig, PsServer};
 use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
 use sasgd_comm::world::CommWorld;
@@ -28,8 +30,40 @@ use sasgd_nn::Model;
 use super::BatchStream;
 use crate::algorithms::{Algorithm, GammaP};
 use crate::compress::Compression;
-use crate::history::{History, WireStats};
+use crate::history::{History, MembershipEvent, WireStats};
 use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Join learner threads, reporting *which* ranks died and why instead of
+/// aborting on the first opaque `join` failure. Handles must be in rank
+/// order (every spawn loop in this crate builds them that way).
+///
+/// # Panics
+/// Panics after joining everything, naming each failed rank and its panic
+/// message — one diagnostic for the whole world instead of a bare
+/// "learner thread" unwrap on whichever handle happened to be joined first.
+pub(crate) fn join_learners<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Vec<T> {
+    let mut ok = Vec::with_capacity(handles.len());
+    let mut failed: Vec<String> = Vec::new();
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(v) => ok.push(v),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                failed.push(format!("rank {rank}: {msg}"));
+            }
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "learner thread(s) panicked — {}",
+        failed.join("; ")
+    );
+    ok
+}
 
 /// Run `algo` on the threaded backend.
 pub(crate) fn run(
@@ -136,7 +170,7 @@ pub(crate) fn run_sasgd(
                 let mut x = learner.model.param_vector();
                 let m = x.len();
                 // Broadcast learner 0's parameters (Algorithm 1).
-                broadcast(&mut comm, 0, &mut x);
+                broadcast(&mut comm, 0, &mut x).expect("x0 broadcast");
                 learner.model.write_params(&x);
                 let mut residual = vec![0.0f32; if compression.is_some() { m } else { 0 }];
                 let evals = if rank == 0 {
@@ -169,7 +203,8 @@ pub(crate) fn run_sasgd(
                             let t1 = Instant::now();
                             let total: Vec<f32> = match compression {
                                 None => {
-                                    allreduce_tree(&mut comm, &mut learner.gs);
+                                    allreduce_tree(&mut comm, &mut learner.gs)
+                                        .expect("gradient allreduce");
                                     learner.gs.clone()
                                 }
                                 Some(comp) => {
@@ -186,12 +221,14 @@ pub(crate) fn run_sasgd(
                                     match comp {
                                         Compression::TopK { .. } => {
                                             let mut sv = SparseVec::from_dense(&c.dense);
-                                            sparse_allreduce_tree(&mut comm, &mut sv);
+                                            sparse_allreduce_tree(&mut comm, &mut sv)
+                                                .expect("sparse allreduce");
                                             sv.to_dense()
                                         }
                                         Compression::Uniform8Bit => {
                                             let mut buf = c.dense;
-                                            allreduce_tree(&mut comm, &mut buf);
+                                            allreduce_tree(&mut comm, &mut buf)
+                                                .expect("gradient allreduce");
                                             buf
                                         }
                                     }
@@ -222,8 +259,178 @@ pub(crate) fn run_sasgd(
             });
             handles.push(handle);
         }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
+        for (rank, history) in join_learners(handles) {
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    let mut history = rank0_history.expect("rank 0 history");
+    history.wire = Some(WireStats {
+        elements: traffic.elements_sent(),
+        messages: traffic.messages_sent(),
+    });
+    history
+}
+
+/// SASGD with one OS thread per learner and the fault-tolerant allreduce:
+/// the run survives learner loss. Faults from `plan` fire only at step
+/// boundaries (a crash retires the thread before its next minibatch, a
+/// stall sleeps before it), so a given plan + seed is bitwise reproducible;
+/// with [`FaultPlan::none`] the trajectory is bitwise identical to
+/// [`run_sasgd`] — `ft_allreduce` reduces in the exact combine order of the
+/// plain tree.
+///
+/// On confirmed loss the survivors rebuild the binomial tree over the new
+/// membership, `γp` rescales to the survivor count via the strategy's
+/// [`GammaP`] policy, and rank 0 records a
+/// [`MembershipEvent`] (the lost learner's data shard is lost with it).
+/// Rank 0 is the recovery coordinator and must outlive the run — seeded
+/// plans never kill it.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub(crate) fn run_sasgd_ft(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    plan: &FaultPlan,
+    deadline: Duration,
+) -> History {
+    assert!(p >= 1 && t >= 1);
+    assert!(
+        !deadline.is_zero(),
+        "failure-detection deadline must be nonzero"
+    );
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
+    let steps_per_epoch = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard");
+    assert!(steps_per_epoch > 0, "shards too small for batch size");
+    let label = format!("SASGD-ft-threaded(p={p},T={t})");
+
+    let mut world = CommWorld::new(p);
+    if let Some(schedule) = plan.wire_faults(p) {
+        world.set_faults(std::sync::Arc::new(schedule));
+    }
+    let traffic = world.traffic();
+    let comms = world.communicators();
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
+            let label = label.clone();
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                let crash_at = plan.crash_step(rank);
+                let mut membership = Membership::new(p);
+                let mut learner = Learner::new(rank, factory(), cfg);
+                let mut x = learner.model.param_vector();
+                broadcast(&mut comm, 0, &mut x).expect("x0 broadcast");
+                learner.model.write_params(&x);
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(label, p, t);
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut samples = 0u64;
+                let mut since_agg = 0usize;
+                let mut gstep = 0u64;
+                let mut round = 0u64;
+                'run: for epoch in 1..=cfg.epochs {
+                    let batches: Vec<Vec<usize>> = shard
+                        .epoch_iter(cfg.batch_size, &mut learner.rng)
+                        .take(steps_per_epoch)
+                        .collect();
+                    for (step, idx) in batches.iter().enumerate() {
+                        gstep += 1;
+                        // Faults fire only at step boundaries (never inside
+                        // a collective), so degraded runs replay bitwise.
+                        if crash_at.is_some_and(|s| gstep >= s) {
+                            // Crash: stop participating. Dropping the comm
+                            // endpoint on return is what survivors detect.
+                            break 'run;
+                        }
+                        if let Some(stall) = plan.stall_at(rank, gstep) {
+                            std::thread::sleep(stall);
+                        }
+                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+                        let gamma_now = cfg.gamma_at(epoch_f);
+                        samples += idx.len() as u64;
+                        let t0 = Instant::now();
+                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                        compute_s += t0.elapsed().as_secs_f64();
+                        since_agg += 1;
+                        if since_agg == t {
+                            let t1 = Instant::now();
+                            round += 1;
+                            let outcome = match ft_allreduce(
+                                &mut comm,
+                                &mut membership,
+                                &mut learner.gs,
+                                deadline,
+                            ) {
+                                Ok(o) => o,
+                                Err(FtError::Evicted { .. }) => {
+                                    // Survivors confirmed this rank lost
+                                    // (e.g. it stalled past the deadline);
+                                    // retire quietly rather than diverge.
+                                    break 'run;
+                                }
+                                Err(e) => {
+                                    panic!("rank {rank}: fault-tolerant allreduce failed: {e}")
+                                }
+                            };
+                            // Graceful degradation: γp rescales to the
+                            // survivor count (= p on a clean round, so the
+                            // fault-free trajectory matches run_sasgd).
+                            let gp = gamma_p.resolve(gamma_now, membership.len());
+                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                                *xi -= gp * g;
+                            }
+                            learner.model.write_params(&x);
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                            let elapsed = t1.elapsed().as_secs_f64();
+                            comm_s += elapsed;
+                            if rank == 0 && !outcome.lost.is_empty() {
+                                history.membership.push(MembershipEvent {
+                                    round,
+                                    epoch: outcome.epoch,
+                                    lost: outcome.lost.clone(),
+                                    survivors: membership.len(),
+                                    gamma_p: gp,
+                                    recovery_seconds: elapsed,
+                                });
+                            }
+                            since_agg = 0;
+                        }
+                    }
+                    if let Some(ev) = &evals {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            epoch as f64,
+                            compute_s,
+                            comm_s,
+                            samples * membership.len() as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                history.final_params = Some(learner.model.param_vector());
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for (rank, history) in join_learners(handles) {
             if rank == 0 {
                 rank0_history = Some(history);
             }
@@ -380,8 +587,7 @@ pub fn run_threaded_eamsgd(
             });
             handles.push(handle);
         }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
+        for (rank, history) in join_learners(handles) {
             if rank == 0 {
                 rank0_history = Some(history);
             }
@@ -461,7 +667,7 @@ pub fn run_threaded_averaging(
                             *a += b / p as f32;
                         }
                         for r in 1..p {
-                            let v = comm.recv(r, gather_tag);
+                            let v = comm.recv(r, gather_tag).expect("parameter gather");
                             for (a, &b) in avg.iter_mut().zip(&v) {
                                 *a += b / p as f32;
                             }
@@ -475,7 +681,8 @@ pub fn run_threaded_averaging(
                             history.records.push(rec);
                         }
                     } else {
-                        comm.send(0, gather_tag, learner.model.param_vector());
+                        comm.send(0, gather_tag, learner.model.param_vector())
+                            .expect("parameter gather");
                         comm_s += t1.elapsed().as_secs_f64();
                     }
                 }
@@ -487,8 +694,7 @@ pub fn run_threaded_averaging(
             });
             handles.push(handle);
         }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
+        for (rank, history) in join_learners(handles) {
             if rank == 0 {
                 rank0_history = Some(history);
             }

@@ -52,6 +52,30 @@ pub struct History {
     /// simulated backend the analytic element counts its cost model
     /// charges. `None` when the algorithm has no accounted channel.
     pub wire: Option<WireStats>,
+    /// Membership changes observed by the fault-tolerant threaded backend
+    /// (empty for fault-free runs and for backends without failure
+    /// detection). One entry per sync round that confirmed learner loss.
+    pub membership: Vec<MembershipEvent>,
+}
+
+/// One membership change in a fault-tolerant run: which sync round detected
+/// learner loss, who was lost, how the run degraded, and what the detection
+/// plus tree rebuild cost in wall-clock time.
+#[derive(Clone, Debug)]
+pub struct MembershipEvent {
+    /// Global sync round (1-based) whose collective confirmed the loss.
+    pub round: u64,
+    /// Membership epoch after the change.
+    pub epoch: u64,
+    /// Ranks confirmed lost this round.
+    pub lost: Vec<usize>,
+    /// Learners remaining after the change.
+    pub survivors: usize,
+    /// Global rate `γp` after rescaling to the survivor count.
+    pub gamma_p: f32,
+    /// Wall-clock seconds the detecting sync round took (deadline waits,
+    /// recovery sweep and result redistribution included).
+    pub recovery_seconds: f64,
 }
 
 /// Elements and messages moved over the wire during a run, summed over all
@@ -106,6 +130,7 @@ impl History {
             staleness: None,
             final_params: None,
             wire: None,
+            membership: Vec::new(),
         }
     }
 

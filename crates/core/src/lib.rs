@@ -38,13 +38,19 @@ pub mod trainer;
 pub use algorithms::{Algorithm, GammaP};
 pub use compress::Compression;
 pub use engine::threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
-pub use engine::{Backend, Executor};
-pub use history::{EpochRecord, History, StalenessStats, WireStats};
+pub use engine::{Backend, EngineError, Executor};
+pub use history::{EpochRecord, History, MembershipEvent, StalenessStats, WireStats};
+/// Fault-injection plan types, re-exported from `sasgd-comm` so embedders
+/// configure fault-tolerant runs without a direct comm dependency.
+pub use sasgd_comm::{FaultEvent, FaultKind, FaultPlan};
 pub use sasgd_data::ShardStrategy;
 /// Intra-op thread-pool control for the compute kernels (re-exported from
 /// `sasgd-tensor` so embedders size the pool without a direct tensor dep).
 pub use sasgd_tensor::parallel;
 pub use schedule::LrSchedule;
 pub use sweep::{run_sweep, SweepGrid, SweepResult};
-pub use threaded::{run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd};
+pub use threaded::{
+    run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd,
+    run_threaded_sasgd_ft, FaultConfig,
+};
 pub use trainer::{train, TrainConfig};

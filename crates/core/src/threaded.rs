@@ -8,17 +8,51 @@
 //! in the workspace root asserts it. This is the backend the Criterion
 //! benches drive for real-parallelism measurements.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sasgd_comm::collectives::{allreduce_tree, broadcast};
+use sasgd_comm::fault::FaultPlan;
 use sasgd_comm::ps::{PsConfig, PsServer};
 use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
 use crate::algorithms::GammaP;
+use crate::engine::threaded::join_learners;
 use crate::engine::BatchStream;
 use crate::history::History;
 use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Parameter-server fetch deadline for the threaded asynchronous backends.
+/// Generous — a healthy in-process server answers in microseconds; the
+/// deadline only converts a dead or wedged shard from an eternal hang into
+/// a typed failure.
+const PS_PULL_DEADLINE: Duration = Duration::from_secs(5);
+/// Bounded retries for a timed-out pull (each attempt backs off twice as
+/// long as the previous one, starting at [`PS_PULL_BACKOFF`]).
+const PS_PULL_RETRIES: usize = 3;
+/// Initial retry backoff for a timed-out pull.
+const PS_PULL_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Fault-injection configuration for [`run_threaded_sasgd_ft`].
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// The deterministic fault plan (crashes, stalls, message drops).
+    pub plan: FaultPlan,
+    /// Failure-detection deadline: how long a learner waits on a peer
+    /// before treating it as lost. Trades detection latency against
+    /// false-positive evictions of stragglers.
+    pub deadline: Duration,
+}
+
+impl Default for FaultConfig {
+    /// No injected faults, half-second detection deadline.
+    fn default() -> Self {
+        FaultConfig {
+            plan: FaultPlan::none(),
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
 
 /// Run SASGD with one OS thread per learner. `factory` is called once per
 /// thread and must produce identically initialized models. Delegates to
@@ -34,6 +68,38 @@ pub fn run_threaded_sasgd(
     gamma_p: GammaP,
 ) -> History {
     crate::engine::threaded::run_sasgd(factory, train_set, test_set, cfg, p, t, gamma_p, None)
+}
+
+/// Run SASGD on the threaded backend under the fault-tolerance layer:
+/// deterministic crash/stall/drop injection from `faults.plan`, deadline
+/// failure detection, and graceful degradation onto the survivors (the
+/// binomial tree is rebuilt over `p' < p` ranks and `γp` rescales per
+/// `gamma_p`). With [`FaultPlan::none`] the run is bitwise identical to
+/// [`run_threaded_sasgd`]; with faults it is bitwise reproducible for the
+/// same plan. Membership changes are recorded in
+/// [`History::membership`](crate::history::History::membership).
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub fn run_threaded_sasgd_ft(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    faults: &FaultConfig,
+) -> History {
+    crate::engine::threaded::run_sasgd_ft(
+        factory,
+        train_set,
+        test_set,
+        cfg,
+        p,
+        t,
+        gamma_p,
+        &faults.plan,
+        faults.deadline,
+    )
 }
 
 /// Run Downpour with one OS thread per learner against a real sharded
@@ -66,7 +132,10 @@ pub fn run_threaded_downpour(
             let client = ps.client();
             let handle = scope.spawn(move || {
                 let mut learner = Learner::new(rank, factory(), cfg);
-                learner.model.write_params(&client.pull());
+                let x0 = client
+                    .pull_timeout(PS_PULL_DEADLINE, PS_PULL_RETRIES, PS_PULL_BACKOFF)
+                    .expect("initial parameter pull");
+                learner.model.write_params(&x0);
                 let evals = if rank == 0 {
                     Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
                 } else {
@@ -91,9 +160,16 @@ pub fn run_threaded_downpour(
                     let t1 = Instant::now();
                     // Push the accumulated gradient; the server applies it
                     // whenever it lands relative to the other learners.
-                    client.push_gradient(gamma_now, &learner.gs);
+                    client
+                        .try_push_gradient(gamma_now, &learner.gs)
+                        .expect("gradient push");
                     learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                    learner.model.write_params(&client.pull());
+                    // Deadline-bounded fetch: a dead shard surfaces as a
+                    // typed error naming the shard, not an eternal hang.
+                    let fresh = client
+                        .pull_timeout(PS_PULL_DEADLINE, PS_PULL_RETRIES, PS_PULL_BACKOFF)
+                        .expect("parameter pull");
+                    learner.model.write_params(&fresh);
                     comm_s += t1.elapsed().as_secs_f64();
                     if rank == 0 && stream.completed_passes() > recorded {
                         recorded = stream.completed_passes();
@@ -128,8 +204,7 @@ pub fn run_threaded_downpour(
             });
             handles.push(handle);
         }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
+        for (rank, history) in join_learners(handles) {
             if rank == 0 {
                 rank0_history = Some(history);
             }
@@ -188,7 +263,7 @@ pub fn run_threaded_hierarchical_sasgd(
                 let rank = bundle.global.rank();
                 let mut learner = Learner::new(rank, factory(), cfg);
                 let mut x = learner.model.param_vector();
-                broadcast(&mut bundle.global, 0, &mut x);
+                broadcast(&mut bundle.global, 0, &mut x).expect("x0 broadcast");
                 learner.model.write_params(&x);
                 let evals = if rank == 0 {
                     Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
@@ -222,7 +297,8 @@ pub fn run_threaded_hierarchical_sasgd(
                             // Level 1: group-local allreduce of gs, group step.
                             let t1 = Instant::now();
                             let gp = gamma_p.resolve(gamma_now, per_group);
-                            allreduce_tree(&mut bundle.local, &mut learner.gs);
+                            allreduce_tree(&mut bundle.local, &mut learner.gs)
+                                .expect("group allreduce");
                             for (xi, &g) in x.iter_mut().zip(&learner.gs) {
                                 *xi -= gp * g;
                             }
@@ -233,11 +309,11 @@ pub fn run_threaded_hierarchical_sasgd(
                                 // Level 2: average the group copies through
                                 // the leader communicator, broadcast down.
                                 if let Some(leaders) = bundle.leaders.as_mut() {
-                                    allreduce_tree(leaders, &mut x);
+                                    allreduce_tree(leaders, &mut x).expect("leader allreduce");
                                     let inv = 1.0 / groups as f32;
                                     x.iter_mut().for_each(|v| *v *= inv);
                                 }
-                                broadcast(&mut bundle.local, 0, &mut x);
+                                broadcast(&mut bundle.local, 0, &mut x).expect("group broadcast");
                                 local_rounds = 0;
                             }
                             learner.model.write_params(&x);
@@ -260,8 +336,7 @@ pub fn run_threaded_hierarchical_sasgd(
             });
             handles.push(handle);
         }
-        for h in handles {
-            let (rank, history) = h.join().expect("learner thread");
+        for (rank, history) in join_learners(handles) {
             if rank == 0 {
                 rank0_history = Some(history);
             }

@@ -119,6 +119,35 @@ impl CostModel {
         }
     }
 
+    /// Wall-clock model of one *degraded* fault-tolerant allreduce round
+    /// among `p` learners of which `survivors` remain: confirming a dead
+    /// rank costs one failure-detection `deadline_s` wait at its tree
+    /// level, the recovery coordinator waits out a sweep window of
+    /// `deadline_s · ⌈log₂ p⌉` for rerouted partials, and the repaired sum
+    /// is redistributed to the `survivors − 1` non-coordinator ranks by
+    /// direct sends of `m` elements. Matches the threaded backend's
+    /// `ft_allreduce` timing structure (leveled deadline windows, direct
+    /// result distribution); a fault-free round costs nothing extra over
+    /// [`CostModel::allreduce_tree`].
+    pub fn recovery(&self, m: usize, p: usize, survivors: usize, deadline_s: f64) -> CommCost {
+        assert!(survivors >= 1 && survivors <= p, "survivors out of range");
+        if survivors == p || p <= 1 {
+            return CommCost {
+                seconds: 0.0,
+                total_elements: 0.0,
+            };
+        }
+        let levels = (p as f64).log2().ceil().max(1.0);
+        let detection = deadline_s;
+        let sweep = deadline_s * levels;
+        let bytes = m as f64 * BYTES_PER_PARAM;
+        let fanout = (survivors - 1) as f64;
+        CommCost {
+            seconds: detection + sweep + fanout * self.topology.gpu_link_time(bytes),
+            total_elements: fanout * m as f64,
+        }
+    }
+
     /// Initial model broadcast to `p` learners (tree).
     pub fn broadcast(&self, m: usize, p: usize) -> f64 {
         if p <= 1 {
@@ -184,6 +213,24 @@ mod tests {
         // CIFAR-ish MACs, minibatch 64: math dominates.
         let t2 = c.minibatch_compute(44_000_000, 64, 1);
         assert!(t2 > 2.0 * c.minibatch_overhead);
+    }
+
+    #[test]
+    fn recovery_is_deadline_dominated_and_scales() {
+        let c = CostModel::paper_testbed();
+        // Fault-free rounds cost nothing extra.
+        assert_eq!(c.recovery(M_CIFAR, 8, 8, 0.5).seconds, 0.0);
+        let r8 = c.recovery(M_CIFAR, 8, 7, 0.5);
+        let r16 = c.recovery(M_CIFAR, 16, 15, 0.5);
+        assert!(r16.seconds > r8.seconds, "deeper tree, longer sweep");
+        // The detection deadline dominates the redistribution traffic.
+        assert!(r8.seconds > 0.5, "at least one deadline wait");
+        let fast = c.recovery(M_CIFAR, 8, 7, 0.05);
+        assert!(
+            fast.seconds < r8.seconds,
+            "shorter deadline, faster recovery"
+        );
+        assert_eq!(r8.total_elements, 6.0 * M_CIFAR as f64);
     }
 
     #[test]

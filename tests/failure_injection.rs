@@ -3,13 +3,17 @@
 
 use sasgd::comm::ps::{PsConfig, PsServer};
 use sasgd::core::algorithms::GammaP;
-use sasgd::core::{train, Algorithm, TrainConfig};
+use sasgd::core::{
+    run_threaded_sasgd, run_threaded_sasgd_ft, train, Algorithm, FaultConfig, FaultPlan,
+    TrainConfig,
+};
 use sasgd::data::cifar_like::{generate, CifarLikeConfig};
 use sasgd::data::Dataset;
 use sasgd::nn::models;
 use sasgd::simnet::JitterModel;
 use sasgd::tensor::SeedRng;
 use std::thread;
+use std::time::Duration;
 
 #[test]
 fn extreme_jitter_changes_time_not_math() {
@@ -136,6 +140,156 @@ fn minibatch_larger_than_shard_still_runs() {
         &cfg,
     );
     assert_eq!(h.records.len(), 2);
+}
+
+/// Failure-detection deadline for the FT tests. Short enough that the
+/// dead-rank detection rounds (which wait out leveled
+/// `deadline × (level+1)` windows) stay cheap in test time, but with
+/// enough headroom that a *healthy* learner descheduled on an
+/// oversubscribed CI box (8 learner threads on one core, plus the
+/// `parallel` feature's kernel pool) is never falsely evicted —
+/// eviction must be decided by the scripted plan, not by load.
+const FT_DEADLINE: Duration = Duration::from_millis(800);
+
+#[test]
+fn ft_runner_with_empty_plan_matches_plain_threaded_bitwise() {
+    // The fault-tolerance layer must be free when nothing fails: the FT
+    // runner under `FaultPlan::none()` is the plain threaded runner,
+    // parameter for parameter.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(128, 32, 3));
+    let cfg = TrainConfig::new(3, 8, 0.05, 11);
+    let f = || models::tiny_cnn(3, &mut SeedRng::new(5));
+    let plain = run_threaded_sasgd(&f, &train_set, &test_set, &cfg, 4, 2, GammaP::OverP);
+    let ft = run_threaded_sasgd_ft(
+        &f,
+        &train_set,
+        &test_set,
+        &cfg,
+        4,
+        2,
+        GammaP::OverP,
+        &FaultConfig::default(),
+    );
+    assert_eq!(
+        plain.final_params, ft.final_params,
+        "fault-free FT != plain"
+    );
+    assert!(ft.membership.is_empty(), "no loss, no membership events");
+    for (a, b) in plain.records.iter().zip(&ft.records) {
+        assert_eq!(a.train_loss, b.train_loss);
+        assert_eq!(a.test_acc, b.test_acc);
+    }
+}
+
+#[test]
+fn crash_one_of_eight_mid_epoch_completes_on_survivors() {
+    // A learner dies between two sync rounds of the first epoch: the
+    // remaining seven must detect it, rebuild the tree, rescale γp, and
+    // finish the run — completion of this test IS the no-deadlock check
+    // (CI additionally wraps the test job in a hard wall-clock timeout).
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(256, 64, 3));
+    let cfg = TrainConfig::new(3, 8, 0.05, 13);
+    let f = || models::tiny_cnn(3, &mut SeedRng::new(9));
+    let plan = FaultPlan::seeded(0xFA17, 8, 1, 3);
+    let crashed = plan.events[0].rank;
+    let h = run_threaded_sasgd_ft(
+        &f,
+        &train_set,
+        &test_set,
+        &cfg,
+        8,
+        2,
+        GammaP::OverP,
+        &FaultConfig {
+            plan,
+            deadline: FT_DEADLINE,
+        },
+    );
+    assert_eq!(h.records.len(), 3, "all epochs ran on the survivors");
+    assert_eq!(h.membership.len(), 1, "exactly one membership change");
+    let ev = &h.membership[0];
+    assert_eq!(ev.lost, vec![crashed]);
+    assert_eq!(ev.survivors, 7);
+    assert_eq!(ev.epoch, 1);
+    assert!(ev.recovery_seconds > 0.0, "detection took wall-clock time");
+    // γp follows the GammaP::OverP policy over the survivor count.
+    assert!((ev.gamma_p - 0.05 / 7.0).abs() < 1e-7, "γp {}", ev.gamma_p);
+}
+
+#[test]
+fn seeded_fault_plans_replay_bitwise() {
+    // The same `(seed, p, crashes, max_step)` plan twice: both degraded
+    // runs must agree on every parameter and every membership event.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(256, 64, 3));
+    let cfg = TrainConfig::new(2, 8, 0.05, 17);
+    let f = || models::tiny_cnn(3, &mut SeedRng::new(3));
+    let faults = FaultConfig {
+        plan: FaultPlan::seeded(0xD1E, 8, 2, 4),
+        deadline: FT_DEADLINE,
+    };
+    let run = || {
+        run_threaded_sasgd_ft(
+            &f,
+            &train_set,
+            &test_set,
+            &cfg,
+            8,
+            2,
+            GammaP::OverP,
+            &faults,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(a.final_params.is_some());
+    assert_eq!(a.final_params, b.final_params, "degraded run not bitwise");
+    assert_eq!(a.membership.len(), b.membership.len());
+    for (x, y) in a.membership.iter().zip(&b.membership) {
+        assert_eq!(
+            (x.round, x.epoch, &x.lost, x.survivors),
+            (y.round, y.epoch, &y.lost, y.survivors)
+        );
+    }
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.train_loss, y.train_loss);
+    }
+}
+
+#[test]
+fn degraded_sasgd_still_beats_one_shot_averaging() {
+    // Graceful degradation, quantified: SASGD that loses a learner early
+    // and finishes on seven must still beat one-shot model averaging over
+    // all eight — the paper's baseline for "no communication until the
+    // end" (cf. its Downpour/averaging comparisons).
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(256, 64, 2));
+    let cfg = TrainConfig::new(6, 8, 0.05, 19);
+    let f = || models::tiny_cnn(2, &mut SeedRng::new(7));
+    let degraded = run_threaded_sasgd_ft(
+        &f,
+        &train_set,
+        &test_set,
+        &cfg,
+        8,
+        2,
+        GammaP::OverP,
+        &FaultConfig {
+            plan: FaultPlan::seeded(0xFA17, 8, 1, 3),
+            deadline: FT_DEADLINE,
+        },
+    );
+    let mut f2 = || models::tiny_cnn(2, &mut SeedRng::new(7));
+    let averaged = train(
+        &mut f2,
+        &train_set,
+        &test_set,
+        &Algorithm::ModelAverageOnce { p: 8 },
+        &cfg,
+    );
+    assert!(
+        degraded.final_test_acc() > averaged.final_test_acc(),
+        "degraded SASGD {:.3} should beat one-shot averaging {:.3}",
+        degraded.final_test_acc(),
+        averaged.final_test_acc()
+    );
 }
 
 #[test]

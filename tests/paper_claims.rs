@@ -26,7 +26,7 @@ fn claim_communication_complexity_measured_on_real_substrate() {
             for mut c in comms {
                 s.spawn(move || {
                     let mut v = vec![1.0f32; m];
-                    allreduce_tree(&mut c, &mut v);
+                    allreduce_tree(&mut c, &mut v).expect("allreduce");
                 });
             }
         });

@@ -52,7 +52,7 @@ proptest! {
         let inputs2 = inputs.clone();
         let results = run_ranks(p, move |c| {
             let mut v = inputs2[c.rank()].clone();
-            allreduce_tree(c, &mut v);
+            allreduce_tree(c, &mut v).expect("allreduce");
             v
         });
         // Integer-valued floats sum exactly, so compare against the plain sum.
@@ -73,12 +73,12 @@ proptest! {
         let i1 = inputs.clone();
         let tree = run_ranks(p, move |c| {
             let mut v = i1[c.rank()].clone();
-            allreduce_tree(c, &mut v);
+            allreduce_tree(c, &mut v).expect("allreduce");
             v
         });
         let ring = run_ranks(p, move |c| {
             let mut v = inputs[c.rank()].clone();
-            allreduce_ring(c, &mut v);
+            allreduce_ring(c, &mut v).expect("ring allreduce");
             v
         });
         prop_assert_eq!(tree, ring);
@@ -91,7 +91,7 @@ proptest! {
         let expect = payload.clone();
         let results = run_ranks(p, move |c| {
             let mut v = if c.rank() == root { payload.clone() } else { vec![0.0; m] };
-            broadcast(c, root, &mut v);
+            broadcast(c, root, &mut v).expect("broadcast");
             v
         });
         for r in results {
@@ -225,12 +225,12 @@ proptest! {
         };
         let dense = run_ranks(p, move |c| {
             let mut v = make(c.rank());
-            allreduce_tree(c, &mut v);
+            allreduce_tree(c, &mut v).expect("allreduce");
             v
         });
         let sparse = run_ranks(p, move |c| {
             let mut sv = SparseVec::from_dense(&make(c.rank()));
-            sparse_allreduce_tree(c, &mut sv);
+            sparse_allreduce_tree(c, &mut sv).expect("sparse allreduce");
             sv.to_dense()
         });
         for (dv, sv) in dense.iter().zip(&sparse) {

@@ -2,8 +2,9 @@
 //!
 //! Only `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` is
 //! provided, implemented over `std::sync::mpsc`. Semantics relied upon by
-//! the workspace — FIFO per channel, blocking `recv`, `Sender: Clone`,
-//! disconnect surfacing as `Err` — all hold for the std implementation.
+//! the workspace — FIFO per channel, blocking `recv`, timed `recv_timeout`,
+//! `Sender: Clone`, disconnect surfacing as `Err` — all hold for the std
+//! implementation.
 //! (Crossbeam's extras — `select!`, `Receiver: Clone` — are not offered.)
 
 pub mod channel {
@@ -43,6 +44,29 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`]: either no message
+    /// arrived within the timeout, or all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// Sending half of a channel. Cloneable for both flavours.
     #[derive(Debug)]
     pub enum Sender<T> {
@@ -80,6 +104,15 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
         }
+
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Channel with unlimited capacity.
@@ -116,6 +149,22 @@ pub mod channel {
             let (tx, rx) = bounded::<u8>(1);
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).expect("send");
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
