@@ -50,6 +50,7 @@ const EXTENSIONS: &[&str] = &[
     "hierarchy",
     "timeline",
     "analyze",
+    "launch",
 ];
 
 fn usage() -> String {
@@ -106,6 +107,9 @@ fn build(target: &str, o: &Options) -> (Artifact, bool) {
     if target == "analyze" {
         return sasgd_bench::analysis::analyze();
     }
+    if target == "launch" {
+        return sasgd_bench::launch::launch();
+    }
     let artifact = match target {
         "table1" => figures::table1(),
         "table2" => figures::table2(),
@@ -139,6 +143,14 @@ fn build(target: &str, o: &Options) -> (Artifact, bool) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden subcommand: `repro _rank ...` is this binary re-invoked by the
+    // `launch` target as one rank of a multi-process SASGD world.
+    if args.first().is_some_and(|a| a == "_rank") {
+        return match sasgd_bench::launch::rank_main(&args[1..]) {
+            0 => ExitCode::SUCCESS,
+            _ => ExitCode::FAILURE,
+        };
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {

@@ -18,6 +18,7 @@ pub mod faults;
 pub mod figures;
 pub mod hotpath;
 pub mod kernels;
+pub mod launch;
 pub mod scale;
 
 pub use scale::Scale;

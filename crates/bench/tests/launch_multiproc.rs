@@ -1,0 +1,29 @@
+//! End-to-end multi-process test: four OS processes over the socket
+//! transport must reproduce the in-process threaded SASGD run bitwise.
+//!
+//! Cargo builds the `repro` binary for integration tests and exposes its
+//! path via `CARGO_BIN_EXE_repro`; `run_launch` re-invokes it with the
+//! hidden `_rank` subcommand for each rank and does the comparison itself
+//! (spawn → rendezvous → train → compare, all bounded by the launcher's
+//! hard timeout).
+
+use std::path::Path;
+
+use sasgd_bench::launch::run_launch;
+
+#[test]
+fn four_process_sasgd_matches_in_process_run_bitwise() {
+    let exe = Path::new(env!("CARGO_BIN_EXE_repro"));
+    let scratch = std::env::temp_dir().join(format!("sasgd-launch-test-{}", std::process::id()));
+    let outcome = run_launch(exe, &scratch);
+    assert!(
+        outcome.ok,
+        "multi-process run diverged or failed:\n{}",
+        outcome.report
+    );
+    assert!(
+        outcome.report.contains("IDENTICAL"),
+        "report should carry the bitwise verdict:\n{}",
+        outcome.report
+    );
+}

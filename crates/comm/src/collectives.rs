@@ -1,4 +1,4 @@
-//! Collective operations over a [`Communicator`].
+//! Collective operations over any [`Transport`].
 //!
 //! The reproduction's SASGD uses [`allreduce_tree`] — the `O(m log p)`
 //! binomial pattern the paper's communication analysis assumes. The
@@ -14,8 +14,14 @@
 //! default deadline installed, as [`CommError::Timeout`] on waiting ranks)
 //! instead of panicking the whole group. Membership-aware, self-healing
 //! variants live in [`crate::ft`].
+//!
+//! All collectives are generic over [`Transport`], so the same code runs
+//! over in-process channels, TCP sockets, or the mock — the combine order
+//! (and therefore the bitwise result) is a property of this module, not of
+//! the wire underneath.
 
-use crate::world::{CommError, Communicator};
+use crate::transport::Transport;
+use crate::world::CommError;
 
 /// Tag space: collectives encode `(op_counter << 4) | phase` so concurrent
 /// phases of one collective never collide.
@@ -24,8 +30,8 @@ fn tag(op: u64, phase: u64) -> u64 {
 }
 
 /// Binomial-tree broadcast from `root`.
-pub fn broadcast(
-    comm: &mut Communicator,
+pub fn broadcast<T: Transport>(
+    comm: &mut T,
     root: usize,
     buf: &mut Vec<f32>,
 ) -> Result<(), CommError> {
@@ -65,7 +71,11 @@ pub fn broadcast(
 
 /// Binomial-tree sum-reduce to `root`; on non-root ranks `buf` is left as
 /// the partial sum this rank forwarded.
-pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) -> Result<(), CommError> {
+pub fn reduce_tree<T: Transport>(
+    comm: &mut T,
+    root: usize,
+    buf: &mut [f32],
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
@@ -97,7 +107,7 @@ pub fn reduce_tree(comm: &mut Communicator, root: usize, buf: &mut [f32]) -> Res
 
 /// Allreduce (sum) via reduce-to-0 plus broadcast: `2·m·log₂(p)` elements
 /// through the root's subtree links — the paper's `O(m log p)` collective.
-pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) -> Result<(), CommError> {
+pub fn allreduce_tree<T: Transport>(comm: &mut T, buf: &mut Vec<f32>) -> Result<(), CommError> {
     reduce_tree(comm, 0, buf)?;
     broadcast(comm, 0, buf)
 }
@@ -107,7 +117,7 @@ pub fn allreduce_tree(comm: &mut Communicator, buf: &mut Vec<f32>) -> Result<(),
 /// Each rank sends `2·m·(p−1)/p` elements regardless of `p` — the
 /// bandwidth-optimal collective modern NCCL uses; contrast with
 /// [`allreduce_tree`] in the ablation bench.
-pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), CommError> {
+pub fn allreduce_ring<T: Transport>(comm: &mut T, buf: &mut [f32]) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
         comm.next_op();
@@ -162,7 +172,7 @@ pub fn allreduce_ring(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), Co
 }
 
 /// Barrier: zero-length allreduce.
-pub fn barrier(comm: &mut Communicator) -> Result<(), CommError> {
+pub fn barrier<T: Transport>(comm: &mut T) -> Result<(), CommError> {
     let mut empty: Vec<f32> = Vec::new();
     allreduce_tree(comm, &mut empty)
 }
@@ -185,8 +195,8 @@ pub fn chunk_bounds(m: usize, p: usize) -> Vec<(usize, usize)> {
 /// Ring reduce-scatter: on return, this rank's chunk of `buf` (per
 /// [`chunk_bounds`]) holds the global sum; other chunks hold partials.
 /// Returns the `(lo, hi)` bounds of the completed chunk.
-pub fn reduce_scatter(
-    comm: &mut Communicator,
+pub fn reduce_scatter<T: Transport>(
+    comm: &mut T,
     buf: &mut [f32],
 ) -> Result<(usize, usize), CommError> {
     let p = comm.size();
@@ -216,7 +226,7 @@ pub fn reduce_scatter(
 /// Ring allgather: every rank contributes the chunk it owns (chunk index
 /// `(rank+1) % p`, matching [`reduce_scatter`]'s output) and receives all
 /// others, leaving `buf` identical on every rank.
-pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), CommError> {
+pub fn allgather<T: Transport>(comm: &mut T, buf: &mut [f32]) -> Result<(), CommError> {
     let p = comm.size();
     let r = comm.rank();
     if p == 1 {
@@ -242,7 +252,7 @@ pub fn allgather(comm: &mut Communicator, buf: &mut [f32]) -> Result<(), CommErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::world::CommWorld;
+    use crate::world::{CommWorld, Communicator};
     use std::thread;
 
     /// Run `f` on `p` ranks and collect per-rank results in rank order.

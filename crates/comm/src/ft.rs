@@ -36,7 +36,8 @@
 
 use std::time::Duration;
 
-use crate::world::{CommError, Communicator};
+use crate::transport::Transport;
+use crate::world::CommError;
 
 /// Tag space mirroring `collectives::tag` (phases: 1 = tree partial,
 /// 2 = recovery partial, 3 = result).
@@ -115,6 +116,14 @@ pub enum FtError {
         /// This rank (reporting the loss).
         rank: usize,
     },
+    /// The caller is not in the membership it passed — it was evicted in
+    /// an earlier round (or handed a stale membership) and must not
+    /// participate. Typed so the engine can retire the rank gracefully;
+    /// this used to be a panic.
+    NotMember {
+        /// The non-member rank (self).
+        rank: usize,
+    },
     /// An unexpected wire error (world torn down mid-collective).
     Comm(CommError),
 }
@@ -131,6 +140,9 @@ impl std::fmt::Display for FtError {
             FtError::Evicted { rank } => write!(f, "rank {rank} evicted from membership"),
             FtError::CoordinatorLost { rank } => {
                 write!(f, "rank {rank} lost the recovery coordinator")
+            }
+            FtError::NotMember { rank } => {
+                write!(f, "rank {rank} called ft_allreduce while not a member")
             }
             FtError::Comm(e) => write!(f, "communication failed: {e}"),
         }
@@ -167,8 +179,8 @@ fn add_assign(a: &mut [f32], b: &[f32]) {
 /// receive of the reduce phase; the result wait scales it by the member
 /// count so a coordinator that pays several detection timeouts is not
 /// mistaken for a dead one.
-pub fn ft_allreduce(
-    comm: &mut Communicator,
+pub fn ft_allreduce<T: Transport>(
+    comm: &mut T,
     membership: &mut Membership,
     buf: &mut [f32],
     deadline: Duration,
@@ -176,9 +188,11 @@ pub fn ft_allreduce(
     let p = comm.size();
     let me = comm.rank();
     let m = membership.len();
-    let me_idx = membership
-        .index_of(me)
-        .unwrap_or_else(|| panic!("rank {me} calling ft_allreduce while not a member"));
+    let Some(me_idx) = membership.index_of(me) else {
+        // Evicted in an earlier round (or handed a stale membership):
+        // a typed error the engine turns into graceful retirement.
+        return Err(FtError::NotMember { rank: me });
+    };
     if m == 1 {
         comm.next_op();
         return Ok(FtOutcome {
@@ -539,6 +553,29 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn non_member_caller_gets_typed_error_not_panic() {
+        // A rank holding a membership it is not part of (evicted earlier,
+        // or handed a stale one) must get FtError::NotMember — this was a
+        // panic before.
+        let mut world = CommWorld::new(4);
+        let mut comms = world.communicators();
+        let mut c3 = comms.pop().expect("rank 3");
+        let mut mem = Membership {
+            members: vec![0, 1, 2],
+            epoch: 1,
+        };
+        let mut v = vec![1.0f32; 2];
+        assert_eq!(
+            ft_allreduce(&mut c3, &mut mem, &mut v, D),
+            Err(FtError::NotMember { rank: 3 })
+        );
+        // Neither the membership nor the buffer was touched.
+        assert_eq!(mem.members(), &[0, 1, 2]);
+        assert_eq!(mem.epoch(), 1);
+        assert_eq!(v, vec![1.0; 2]);
     }
 
     #[test]

@@ -8,21 +8,25 @@
 //! classic local-reduce → leader-allreduce → local-broadcast pattern.
 
 use crate::collectives::{allreduce_tree, broadcast, reduce_tree};
+use crate::transport::Transport;
 use crate::world::{CommError, CommWorld, Communicator};
 
-/// The communicator bundle one learner thread receives.
-pub struct GroupedComm {
+/// The communicator bundle one learner thread receives. Generic over the
+/// [`Transport`] carrying each scope (defaulting to the in-process
+/// [`Communicator`], which [`grouped`] builds); a multi-host deployment
+/// would plug socket endpoints into the same shape.
+pub struct GroupedComm<T: Transport = Communicator> {
     /// Endpoint in the flat world of all `groups × per_group` learners.
-    pub global: Communicator,
+    pub global: T,
     /// Endpoint among the members of this learner's group.
-    pub local: Communicator,
+    pub local: T,
     /// Endpoint among group leaders; `Some` only for local rank 0.
-    pub leaders: Option<Communicator>,
+    pub leaders: Option<T>,
     /// This learner's group index.
     pub group: usize,
 }
 
-impl GroupedComm {
+impl<T: Transport> GroupedComm<T> {
     /// Rank within the local group.
     pub fn local_rank(&self) -> usize {
         self.local.rank()
@@ -60,7 +64,10 @@ pub fn grouped(groups: usize, per_group: usize) -> Vec<GroupedComm> {
 /// allreduce among leaders, broadcast back within each group. Produces the
 /// same sums as a flat allreduce while sending only `O(per_group)` local
 /// plus `O(log groups)` leader traffic per group.
-pub fn hierarchical_allreduce(comm: &mut GroupedComm, buf: &mut Vec<f32>) -> Result<(), CommError> {
+pub fn hierarchical_allreduce<T: Transport>(
+    comm: &mut GroupedComm<T>,
+    buf: &mut Vec<f32>,
+) -> Result<(), CommError> {
     reduce_tree(&mut comm.local, 0, buf)?;
     if let Some(leaders) = comm.leaders.as_mut() {
         allreduce_tree(leaders, buf)?;

@@ -3,8 +3,18 @@
 //! Real-thread communication substrate — the stand-in for the paper's
 //! CUDA-aware OpenMPI stack (`mpiT`).
 //!
+//! * [`transport`] — the [`transport::Transport`] trait every collective
+//!   and engine backend is written against: `send`/`recv`/`recv_deadline`/
+//!   `recv_any` over opaque rank endpoints, with typed [`world::CommError`]
+//!   as the only failure channel;
 //! * [`world`] — a process-group abstraction: `p` ranks exchanging typed
-//!   messages over crossbeam channels, with global traffic accounting;
+//!   messages over crossbeam channels, with global traffic accounting —
+//!   the in-process [`Transport`] implementation;
+//! * [`socket`] — a TCP implementation of the same trait: full-mesh
+//!   rendezvous plus the [`protocol`] length-prefixed frame format, for
+//!   ranks running as separate OS processes;
+//! * [`mock`] — a minimal reference implementation for conformance
+//!   testing and failure-path injection;
 //! * [`collectives`] — broadcast, binomial-tree reduce/allreduce
 //!   (the `O(m log p)` pattern the paper's cost analysis assumes), a
 //!   bandwidth-optimal ring allreduce for the ablation bench, and a
@@ -13,6 +23,9 @@
 //!   round-trip `pull`, as used by Downpour and EAMSGD, plus an
 //!   epoch-versioned consistent snapshot pull and deadline-bounded
 //!   fetches;
+//! * [`ps_transport`] — the same sharded-PS protocol expressed purely in
+//!   [`Transport`] operations, so shards can live in
+//!   other processes;
 //! * [`fault`] — deterministic crash/stall/drop fault plans for the
 //!   threaded backend;
 //! * [`ft`] — membership epochs and a self-healing allreduce that
@@ -48,13 +61,23 @@ pub mod collectives;
 pub mod fault;
 pub mod ft;
 pub mod hierarchy;
+pub mod mock;
+pub mod protocol;
 pub mod ps;
+pub mod ps_transport;
+pub mod socket;
 pub mod sparse;
+pub mod transport;
 pub mod world;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ft::{ft_allreduce, FtError, FtOutcome, Membership};
 pub use hierarchy::{grouped, hierarchical_allreduce, GroupedComm};
+pub use mock::{mock_world, MockTransport};
+pub use protocol::Frame;
 pub use ps::{PsClient, PsConfig, PsError, PsServer};
+pub use ps_transport::{serve_shard, PsLayout, PsTransportClient, PsTransportError};
+pub use socket::{loopback_addrs, SocketTransport};
 pub use sparse::{sparse_allreduce_tree, sparse_reduce_tree, SparseVec};
+pub use transport::{InProcTransport, Transport};
 pub use world::{CommError, CommWorld, Communicator, DelaySchedule, FaultSchedule};

@@ -1,0 +1,198 @@
+//! Wire framing for the socket transport: length-prefixed binary frames.
+//!
+//! Every message crossing a socket is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic      0x53_41_47_44 ("SAGD"), big-endian
+//!      4     4  len        payload element count, u32 LE
+//!      8     4  from       sender rank, u32 LE
+//!     12     8  tag        message tag, u64 LE
+//!     20  4*len payload    f32 elements, LE bit patterns
+//! ```
+//!
+//! The magic word rejects a stranger (or a desynchronized peer) on the
+//! first frame instead of interpreting garbage as a gigantic length.
+//! `len` is bounded by [`MAX_FRAME_ELEMENTS`] for the same reason: a
+//! corrupt header must fail parsing, not attempt a multi-terabyte
+//! allocation. Floats travel as little-endian bit patterns
+//! (`f32::to_le_bytes`/`from_le_bytes`), an exact round-trip — the bitwise
+//! sim-vs-real equality tests depend on the wire never renormalizing a
+//! payload.
+//!
+//! The rendezvous handshake reuses the same frame shape: the first frame
+//! on a fresh connection carries [`HELLO_TAG`] and an empty payload, and
+//! its `from` field tells the accepting side which rank just dialed in.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic word (first four bytes of every frame, big-endian).
+pub const MAGIC: u32 = 0x5341_4744;
+
+/// Upper bound on payload element count (2^28 elements = 1 GiB of f32s).
+/// Far above any model this repo trains, far below an allocation that a
+/// corrupt length field could weaponize.
+pub const MAX_FRAME_ELEMENTS: u32 = 1 << 28;
+
+/// Tag of the rendezvous hello frame. Collective tags are
+/// `(op_counter << 4) | phase`, so `u64::MAX` can never collide with one.
+pub const HELLO_TAG: u64 = u64::MAX;
+
+/// Fixed frame header size in bytes (magic + len + from + tag).
+pub const HEADER_BYTES: usize = 20;
+
+/// One decoded frame: sender rank, tag, payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Sender rank.
+    pub from: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload elements.
+    pub payload: Vec<f32>,
+}
+
+/// Serialize one frame into `w`. The payload length must not exceed
+/// [`MAX_FRAME_ELEMENTS`] (returns `InvalidInput` otherwise — the caller
+/// is asking for a frame the reader side would reject).
+pub fn write_frame<W: Write>(w: &mut W, from: usize, tag: u64, payload: &[f32]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_ELEMENTS)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("payload of {} elements exceeds frame bound", payload.len()),
+            )
+        })?;
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len() * 4);
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&(from as u32).to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    for v in payload {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    // One write call per frame: the header and payload must land as a unit
+    // so a concurrent reader never observes a torn prefix.
+    w.write_all(&buf)
+}
+
+/// Read one frame from `r`. `Ok(None)` is a clean end-of-stream (the peer
+/// shut the connection down at a frame boundary); an EOF mid-frame, a bad
+/// magic word, or an oversized length are `Err`.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_BYTES];
+    // Distinguish clean EOF (zero bytes of a new frame) from truncation.
+    let mut filled = 0usize;
+    while filled < HEADER_BYTES {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame magic {magic:#010x}"),
+        ));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME_ELEMENTS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds bound"),
+        ));
+    }
+    let from = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice")) as usize;
+    let tag = u64::from_le_bytes(header[12..20].try_into().expect("8-byte slice"));
+    let mut bytes = vec![0u8; len as usize * 4];
+    r.read_exact(&mut bytes)?;
+    let payload = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    Ok(Some(Frame { from, tag, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let payload = vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::NAN, -1e30];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, 0x1234_5678_9abc_def0, &payload).expect("write");
+        let frame = read_frame(&mut Cursor::new(&wire))
+            .expect("read")
+            .expect("frame");
+        assert_eq!(frame.from, 3);
+        assert_eq!(frame.tag, 0x1234_5678_9abc_def0);
+        assert_eq!(frame.payload.len(), payload.len());
+        for (a, b) in frame.payload.iter().zip(&payload) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multiple_frames_stream_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0, 1, &[1.0]).expect("write");
+        write_frame(&mut wire, 1, 2, &[]).expect("write");
+        write_frame(&mut wire, 2, 3, &[3.0, 4.0]).expect("write");
+        let mut cur = Cursor::new(&wire);
+        let a = read_frame(&mut cur).expect("read").expect("frame");
+        let b = read_frame(&mut cur).expect("read").expect("frame");
+        let c = read_frame(&mut cur).expect("read").expect("frame");
+        assert_eq!((a.from, a.tag, a.payload.len()), (0, 1, 1));
+        assert_eq!((b.from, b.tag, b.payload.len()), (1, 2, 0));
+        assert_eq!((c.from, c.tag, c.payload), (2, 3, vec![3.0, 4.0]));
+        assert!(read_frame(&mut cur).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_header_is_error() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).expect("eof").is_none());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0, 1, &[1.0]).expect("write");
+        wire.truncate(HEADER_BYTES - 3);
+        assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0, 1, &[]).expect("write");
+        wire[0] ^= 0xff;
+        assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_be_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0, 1, &[1.0, 2.0]).expect("write");
+        wire.truncate(wire.len() - 4);
+        assert!(read_frame(&mut Cursor::new(&wire)).is_err());
+    }
+}

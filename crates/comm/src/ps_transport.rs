@@ -1,0 +1,309 @@
+//! A sharded parameter server over any [`Transport`].
+//!
+//! The channel-based [`crate::ps`] server owns its threads and mailboxes —
+//! the right shape for the in-process threaded backend, but tied to a
+//! shared address space. This module is the same sharded-PS protocol
+//! expressed purely in transport sends and receives, so server shards can
+//! be ranks of *any* world — in-process, socket, or mock.
+//!
+//! ## World layout and protocol
+//!
+//! A PS world of `p + s` ranks: learners are ranks `0..p`, shard servers
+//! are ranks `p..p+s`. Shard `k` owns the parameter segment given by
+//! [`crate::collectives::chunk_bounds`]`(dim, s)[k]` — the same split rule
+//! as [`crate::ps::PsConfig`], so the two servers shard identically.
+//!
+//! Message tags (disjoint from the collectives' `(op << 4) | phase`
+//! space by the high base bits):
+//!
+//! * [`TAG_ADD`] — payload is a delta for the shard's segment; the shard
+//!   adds it elementwise (asynchronously — arrival order is the learner
+//!   schedule, exactly like Downpour against the channel PS).
+//! * [`TAG_PULL`] — payload is a bit-cast request sequence number; the
+//!   shard replies with its segment under `TAG_REPLY_BASE + seq`, so a
+//!   learner's consecutive pulls can never cross-match.
+//! * [`TAG_DONE`] — the learner is finished; a shard returns its final
+//!   segment once every learner has said so.
+
+use crate::collectives::chunk_bounds;
+use crate::transport::Transport;
+use crate::world::CommError;
+
+/// Base of the PS tag space (collective tags stay far below 2³²).
+const PS_TAG_BASE: u64 = 1 << 32;
+/// Add a delta to the shard's segment.
+pub const TAG_ADD: u64 = PS_TAG_BASE | 1;
+/// Request the shard's segment (payload: bit-cast request seq).
+pub const TAG_PULL: u64 = PS_TAG_BASE | 2;
+/// Learner is done; shard exits after hearing this from every learner.
+pub const TAG_DONE: u64 = PS_TAG_BASE | 3;
+/// Replies travel at `TAG_REPLY_BASE + seq` (a second disjoint range).
+pub const TAG_REPLY_BASE: u64 = 2 << 32;
+
+/// Typed failure of a transport-PS operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PsTransportError {
+    /// The shard's endpoint is gone — its process or thread died.
+    ShardDown {
+        /// World rank of the dead shard.
+        shard: usize,
+    },
+    /// The shard did not answer a pull before the deadline.
+    Timeout {
+        /// World rank of the silent shard.
+        shard: usize,
+    },
+    /// Any other wire failure.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for PsTransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsTransportError::ShardDown { shard } => write!(f, "PS shard rank {shard} is gone"),
+            PsTransportError::Timeout { shard } => {
+                write!(f, "PS shard rank {shard} missed the pull deadline")
+            }
+            PsTransportError::Comm(e) => write!(f, "PS wire failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PsTransportError {}
+
+/// How a `p`-learner, `s`-shard PS world is laid out over `p + s` ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct PsLayout {
+    /// Learner count (learners are ranks `0..p`).
+    pub p: usize,
+    /// Shard count (shards are ranks `p..p+s`).
+    pub shards: usize,
+    /// Full parameter dimension.
+    pub dim: usize,
+}
+
+impl PsLayout {
+    /// World rank of shard `k`.
+    pub fn shard_rank(&self, k: usize) -> usize {
+        self.p + k
+    }
+
+    /// `(lo, hi)` segment bounds of shard `k` (matching
+    /// [`crate::ps::PsConfig`]'s split).
+    pub fn segment(&self, k: usize) -> (usize, usize) {
+        chunk_bounds(self.dim, self.shards)[k]
+    }
+}
+
+/// Run one PS shard to completion on this rank: serve adds and pulls
+/// until every learner has sent [`TAG_DONE`], then return the final
+/// segment. `segment` is the shard's initial parameter slice.
+pub fn serve_shard<T: Transport>(
+    comm: &mut T,
+    layout: &PsLayout,
+    mut segment: Vec<f32>,
+) -> Result<Vec<f32>, CommError> {
+    let candidates: Vec<(usize, u64)> = (0..layout.p)
+        .flat_map(|l| [(l, TAG_ADD), (l, TAG_PULL), (l, TAG_DONE)])
+        .collect();
+    let mut done = vec![false; layout.p];
+    while !done.iter().all(|&d| d) {
+        let (learner, payload) = comm.recv_any(&candidates)?;
+        // recv_any drains parked messages in candidate order, so for one
+        // learner the claim order is add, pull, done — never a done
+        // overtaking that learner's still-parked traffic.
+        if payload.len() == 1 && !done[learner] {
+            let word = payload[0].to_bits();
+            if word == u32::MAX {
+                done[learner] = true;
+                continue;
+            }
+            // A pull request: reply under the seq-specific tag. A dead
+            // learner is its own problem — it will stop pulling and its
+            // DONE (or its hangup) ends the serve loop via the others.
+            let reply = TAG_REPLY_BASE + u64::from(word);
+            let mut out = Vec::with_capacity(segment.len());
+            out.extend_from_slice(&segment);
+            if let Err(CommError::PeerGone { .. }) = comm.send(learner, reply, out) {
+                done[learner] = true;
+            }
+            continue;
+        }
+        // A delta add.
+        assert_eq!(payload.len(), segment.len(), "delta length mismatch");
+        for (a, b) in segment.iter_mut().zip(&payload) {
+            *a += b;
+        }
+    }
+    Ok(segment)
+}
+
+/// The learner-side client: splits adds across shards, assembles pulls.
+pub struct PsTransportClient<T: Transport> {
+    comm: T,
+    layout: PsLayout,
+    pull_seq: u32,
+}
+
+impl<T: Transport> PsTransportClient<T> {
+    /// Wrap a learner endpoint (`comm.rank() < layout.p`).
+    pub fn new(comm: T, layout: PsLayout) -> Self {
+        assert!(comm.rank() < layout.p, "client must be a learner rank");
+        PsTransportClient {
+            comm,
+            layout,
+            pull_seq: 0,
+        }
+    }
+
+    /// Add `delta` (full-dimension) across the shards.
+    pub fn add(&mut self, delta: &[f32]) -> Result<(), PsTransportError> {
+        assert_eq!(delta.len(), self.layout.dim, "delta dimension mismatch");
+        for k in 0..self.layout.shards {
+            let (lo, hi) = self.layout.segment(k);
+            let shard = self.layout.shard_rank(k);
+            self.comm
+                .send(shard, TAG_ADD, delta[lo..hi].to_vec())
+                .map_err(|e| match e {
+                    CommError::PeerGone { peer } => PsTransportError::ShardDown { shard: peer },
+                    other => PsTransportError::Comm(other),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Fetch the assembled full parameter vector, bounding each shard
+    /// round-trip by `timeout`.
+    pub fn pull(&mut self, timeout: std::time::Duration) -> Result<Vec<f32>, PsTransportError> {
+        let seq = self.pull_seq;
+        self.pull_seq = self.pull_seq.wrapping_add(1);
+        // The pull fans out to every shard first, then collects — one
+        // round-trip latency regardless of shard count.
+        for k in 0..self.layout.shards {
+            let shard = self.layout.shard_rank(k);
+            self.comm
+                .send(shard, TAG_PULL, vec![f32::from_bits(seq)])
+                .map_err(|e| match e {
+                    CommError::PeerGone { peer } => PsTransportError::ShardDown { shard: peer },
+                    other => PsTransportError::Comm(other),
+                })?;
+        }
+        let mut out = vec![0.0f32; self.layout.dim];
+        for k in 0..self.layout.shards {
+            let shard = self.layout.shard_rank(k);
+            let seg = self
+                .comm
+                .recv_deadline(shard, TAG_REPLY_BASE + u64::from(seq), timeout)
+                .map_err(|e| match e {
+                    CommError::Timeout { .. } => PsTransportError::Timeout { shard },
+                    other => PsTransportError::Comm(other),
+                })?;
+            let (lo, hi) = self.layout.segment(k);
+            out[lo..hi].copy_from_slice(&seg);
+        }
+        Ok(out)
+    }
+
+    /// Tell every shard this learner is finished (shards exit once all
+    /// learners have). Consumes the client; its endpoint is returned for
+    /// any remaining wind-down traffic.
+    pub fn finish(mut self) -> Result<T, PsTransportError> {
+        for k in 0..self.layout.shards {
+            let shard = self.layout.shard_rank(k);
+            self.comm
+                .send(shard, TAG_DONE, vec![f32::from_bits(u32::MAX)])
+                .map_err(|e| match e {
+                    CommError::PeerGone { peer } => PsTransportError::ShardDown { shard: peer },
+                    other => PsTransportError::Comm(other),
+                })?;
+        }
+        Ok(self.comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::mock_world;
+    use crate::world::CommWorld;
+    use std::thread;
+    use std::time::Duration;
+
+    const PULL: Duration = Duration::from_secs(5);
+
+    /// 2 learners × 2 shards over the in-process world: concurrent adds
+    /// and pulls; the final server state is the sum of every delta.
+    #[test]
+    fn adds_and_pulls_over_inproc_world() {
+        let (p, s, dim) = (2usize, 2usize, 7usize);
+        let layout = PsLayout { p, shards: s, dim };
+        let mut world = CommWorld::new(p + s);
+        let comms = world.communicators();
+        let mut finals: Vec<Option<Vec<f32>>> = (0..s).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rank, comm) in comms.into_iter().enumerate() {
+                if rank < p {
+                    scope.spawn(move || {
+                        let mut client = PsTransportClient::new(comm, layout);
+                        let x0 = client.pull(PULL).expect("initial pull");
+                        assert_eq!(x0, vec![0.0; dim]);
+                        for step in 0..3 {
+                            let delta: Vec<f32> = (0..dim)
+                                .map(|j| (rank * 100 + step * 10 + j) as f32)
+                                .collect();
+                            client.add(&delta).expect("add");
+                            let _ = client.pull(PULL).expect("pull");
+                        }
+                        client.finish().expect("finish");
+                    });
+                } else {
+                    let mut comm = comm;
+                    handles.push((
+                        rank - p,
+                        scope.spawn(move || {
+                            serve_shard(&mut comm, &layout, {
+                                let (lo, hi) = layout.segment(rank - p);
+                                vec![0.0; hi - lo]
+                            })
+                            .expect("serve")
+                        }),
+                    ));
+                }
+            }
+            for (k, h) in handles {
+                finals[k] = Some(h.join().expect("shard thread"));
+            }
+        });
+        let mut assembled = vec![0.0f32; dim];
+        for (k, seg) in finals.into_iter().enumerate() {
+            let (lo, hi) = layout.segment(k);
+            assembled[lo..hi].copy_from_slice(&seg.expect("segment"));
+        }
+        let expect: Vec<f32> = (0..dim)
+            .map(|j| {
+                (0..2usize)
+                    .flat_map(|r| (0..3usize).map(move |st| (r * 100 + st * 10 + j) as f32))
+                    .sum()
+            })
+            .collect();
+        assert_eq!(assembled, expect);
+    }
+
+    /// The same protocol runs unchanged over the mock transport, and a
+    /// dead shard surfaces as a typed ShardDown on the next add.
+    #[test]
+    fn dead_shard_is_typed_over_mock_world() {
+        let (p, s, dim) = (1usize, 1usize, 3usize);
+        let layout = PsLayout { p, shards: s, dim };
+        let mut world = mock_world(p + s);
+        let shard = world.pop().expect("shard endpoint");
+        let learner = world.pop().expect("learner endpoint");
+        drop(shard); // shard dies before serving anything
+        let mut client = PsTransportClient::new(learner, layout);
+        assert_eq!(
+            client.add(&[1.0, 2.0, 3.0]),
+            Err(PsTransportError::ShardDown { shard: 1 })
+        );
+    }
+}

@@ -21,7 +21,8 @@
 //! exceed 2³¹ before its bit pattern could collide with a NaN).
 
 use crate::collectives::broadcast;
-use crate::world::{CommError, Communicator};
+use crate::transport::Transport;
+use crate::world::CommError;
 
 /// A sparse view of an `m`-element `f32` vector: sorted indices plus
 /// values. Zero values may appear (sums that cancel stay represented so
@@ -142,8 +143,8 @@ fn tag(op: u64, phase: u64) -> u64 {
 /// Binomial-tree sum-reduce of sparse vectors to `root`, in the exact
 /// combine order of [`crate::collectives::reduce_tree`]. On non-root ranks `sv`
 /// is left as the partial this rank forwarded.
-pub fn sparse_reduce_tree(
-    comm: &mut Communicator,
+pub fn sparse_reduce_tree<T: Transport>(
+    comm: &mut T,
     root: usize,
     sv: &mut SparseVec,
 ) -> Result<(), CommError> {
@@ -176,7 +177,10 @@ pub fn sparse_reduce_tree(
 /// Sparse allreduce (sum): sparse reduce to rank 0 plus broadcast of the
 /// encoded result. Every rank returns with the full sparse sum; wire
 /// traffic is `O(nnz)` per hop.
-pub fn sparse_allreduce_tree(comm: &mut Communicator, sv: &mut SparseVec) -> Result<(), CommError> {
+pub fn sparse_allreduce_tree<T: Transport>(
+    comm: &mut T,
+    sv: &mut SparseVec,
+) -> Result<(), CommError> {
     sparse_reduce_tree(comm, 0, sv)?;
     let mut enc = sv.encode();
     broadcast(comm, 0, &mut enc)?;
@@ -188,7 +192,7 @@ pub fn sparse_allreduce_tree(comm: &mut Communicator, sv: &mut SparseVec) -> Res
 mod tests {
     use super::*;
     use crate::collectives::allreduce_tree;
-    use crate::world::CommWorld;
+    use crate::world::{CommWorld, Communicator};
     use std::thread;
 
     fn run_world<T: Send>(p: usize, f: impl Fn(&mut Communicator) -> T + Sync) -> Vec<T> {

@@ -57,6 +57,11 @@ pub enum CommError {
     /// `recv_any` was called with an empty candidate list — formerly this
     /// parked forever on a sentinel that no sender could ever match.
     NoCandidates,
+    /// A world-level configuration call arrived after
+    /// [`CommWorld::communicators`] handed the endpoints out. Endpoints
+    /// copy world settings at split time, so the call could never reach
+    /// them — formerly it was silently ignored.
+    WorldSplit,
 }
 
 impl fmt::Display for CommError {
@@ -70,6 +75,9 @@ impl fmt::Display for CommError {
                 write!(f, "world dropped while receiving (src {src}, tag {tag})")
             }
             CommError::NoCandidates => f.write_str("recv_any with empty candidate list"),
+            CommError::WorldSplit => {
+                f.write_str("world configuration changed after endpoints were handed out")
+            }
         }
     }
 }
@@ -238,11 +246,21 @@ impl CommWorld {
 
     /// Give every endpoint a default receive deadline: plain `recv` calls
     /// become `recv_deadline` with this timeout, so no rank can block
-    /// forever on a dead or wedged peer. Must be called before
-    /// [`CommWorld::communicators`]. `None` (the default) preserves the
-    /// original unbounded blocking behavior.
-    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) {
+    /// forever on a dead or wedged peer. `None` (the default) preserves
+    /// the original unbounded blocking behavior.
+    ///
+    /// Endpoints copy the deadline at [`CommWorld::communicators`] time,
+    /// so calling this afterwards is [`CommError::WorldSplit`] — it used
+    /// to be accepted and silently ignored, leaving live endpoints
+    /// unbounded while the caller believed they were deadline-protected.
+    /// (Endpoints already handed out can still be configured individually
+    /// via [`Communicator::set_default_deadline`].)
+    pub fn set_default_deadline(&mut self, deadline: Option<Duration>) -> Result<(), CommError> {
+        if self.receivers.iter().any(Option::is_none) {
+            return Err(CommError::WorldSplit);
+        }
         self.default_deadline = deadline;
+        Ok(())
     }
 
     /// Snapshot of what each rank is currently blocked on (`(src, tag)`),
@@ -647,11 +665,34 @@ mod tests {
 
     #[test]
     fn default_deadline_bounds_plain_recv() {
+        // Ordering regression (1 of 2): set-then-split propagates.
         let mut world = CommWorld::new(2);
-        world.set_default_deadline(Some(Duration::from_millis(10)));
+        world
+            .set_default_deadline(Some(Duration::from_millis(10)))
+            .expect("deadline before split");
         let mut comms = world.communicators();
         let _c1 = comms.pop().expect("rank 1");
         let mut c0 = comms.pop().expect("rank 0");
+        assert_eq!(c0.recv(1, 2), Err(CommError::Timeout { src: 1, tag: 2 }));
+    }
+
+    #[test]
+    fn default_deadline_after_split_is_rejected() {
+        // Ordering regression (2 of 2): split-then-set is a typed error —
+        // it used to be silently ignored, leaving endpoints unbounded
+        // while the caller believed they had a deadline.
+        let mut world = CommWorld::new(2);
+        let mut comms = world.communicators();
+        assert_eq!(
+            world.set_default_deadline(Some(Duration::from_millis(10))),
+            Err(CommError::WorldSplit)
+        );
+        // Endpoints really were untouched: no deadline is installed.
+        let _c1 = comms.pop().expect("rank 1");
+        let mut c0 = comms.pop().expect("rank 0");
+        assert_eq!(c0.default_deadline(), None);
+        // The per-endpoint escape hatch still works after the split.
+        c0.set_default_deadline(Some(Duration::from_millis(10)));
         assert_eq!(c0.recv(1, 2), Err(CommError::Timeout { src: 1, tag: 2 }));
     }
 

@@ -31,6 +31,7 @@ use sasgd_nn::Model;
 use crate::history::{History, StalenessStats, WireStats};
 use crate::trainer::{Learner, TrainConfig};
 
+pub mod rank;
 pub mod simulated;
 pub mod threaded;
 
@@ -187,7 +188,9 @@ pub(crate) trait AggregationStrategy {
     }
 }
 
-/// Typed configuration-time error from [`Executor::try_run`].
+/// Typed error from [`Executor::try_run`] — either a configuration
+/// problem caught before any learner state exists, or a wire failure a
+/// threaded run could not degrade around.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// The strategy declares [`Cadence::EventDriven`] but does not
@@ -196,6 +199,20 @@ pub enum EngineError {
     UnsupportedCadence {
         /// Label of the offending strategy.
         label: String,
+    },
+    /// A communication operation failed in a way the run cannot survive
+    /// (e.g. the recovery coordinator's own collective failed). Ranks that
+    /// *can* degrade — evicted or orphaned non-coordinators — retire into
+    /// [`History::retirements`](crate::history::History) instead of
+    /// raising this.
+    WireFailure {
+        /// The rank whose operation failed.
+        rank: usize,
+        /// Global sync round (1-based) of the failing collective; `0` for
+        /// failures outside the sync loop (e.g. the `x0` broadcast).
+        round: u64,
+        /// The underlying error's rendering.
+        detail: String,
     },
 }
 
@@ -206,6 +223,14 @@ impl std::fmt::Display for EngineError {
                 f,
                 "strategy `{label}` declares an event-driven cadence but implements \
                  no event hooks"
+            ),
+            EngineError::WireFailure {
+                rank,
+                round,
+                detail,
+            } => write!(
+                f,
+                "wire failure on rank {rank} at sync round {round}: {detail}"
             ),
         }
     }
@@ -293,8 +318,10 @@ impl Executor {
     /// seed); on the threaded backend it is called from learner threads.
     ///
     /// # Panics
-    /// Panics on a misconfigured strategy; use [`Executor::try_run`] for
-    /// the typed error.
+    /// Panics on a misconfigured strategy or an unsurvivable wire failure,
+    /// naming the backend, the algorithm, and — for wire failures — the
+    /// failing rank and sync round; use [`Executor::try_run`] for the
+    /// typed error.
     pub fn run(
         &self,
         factory: &(dyn Fn() -> Model + Sync),
@@ -304,7 +331,7 @@ impl Executor {
         cfg: &TrainConfig,
     ) -> History {
         self.try_run(factory, train_set, test_set, algo, cfg)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{:?} backend running {algo:?}: {e}", self.backend))
     }
 
     /// [`Executor::run`] with configuration validated up front: a strategy
@@ -329,7 +356,7 @@ impl Executor {
                 let mut f = || factory();
                 simulated::run(&mut *strategy, &mut f, train_set, test_set, cfg)
             }
-            Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg),
+            Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg)?,
         })
     }
 }

@@ -1,0 +1,321 @@
+//! The per-rank SASGD loop, generic over the comm substrate.
+//!
+//! [`run_sasgd_rank`] and [`run_sasgd_ft_rank`] are the exact learner
+//! loops the threaded backend spawns one thread per rank for — factored
+//! out over [`Transport`] so the *same code* drives a rank whether its
+//! peers are threads in this process (in-proc crossbeam endpoints) or
+//! other OS processes (socket endpoints handed out by the launcher). The
+//! operation order is frozen: local steps, tree allreduce every `T`
+//! minibatches, `x -= γp·Σg`, rank 0 evaluating at epoch ends — so a
+//! multi-process run produces bitwise the same `final_params` as an
+//! in-process one (the launcher's integration test pins this).
+//!
+//! Wire failures are typed, never panics: a plain-SASGD rank returns
+//! [`EngineError::WireFailure`]; a fault-tolerant rank that *can* degrade
+//! (evicted, or orphaned while rank 0 still coordinates) retires into
+//! [`History::retirements`] instead.
+
+use std::time::{Duration, Instant};
+
+use sasgd_comm::collectives::{allreduce_tree, broadcast};
+use sasgd_comm::fault::FaultPlan;
+use sasgd_comm::ft::{ft_allreduce, FtError, Membership};
+use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
+use sasgd_comm::transport::Transport;
+use sasgd_comm::world::CommError;
+use sasgd_data::{Dataset, Shard};
+use sasgd_nn::Model;
+
+use super::EngineError;
+use crate::algorithms::GammaP;
+use crate::compress::Compression;
+use crate::history::{History, MembershipEvent, RetirementEvent};
+use crate::trainer::{EvalSets, Learner, TrainConfig};
+
+/// Everything a single SASGD rank needs besides its endpoint, model and
+/// data shard. One spec is built per rank (it owns its label); every
+/// field must be identical across ranks for the collectives to line up.
+pub struct SasgdRankSpec<'a> {
+    /// Full training set (rank 0 evaluates against it).
+    pub train_set: &'a Dataset,
+    /// Test set (rank 0 only).
+    pub test_set: &'a Dataset,
+    /// Shared training configuration.
+    pub cfg: &'a TrainConfig,
+    /// World size.
+    pub p: usize,
+    /// Aggregation interval `T`.
+    pub t: usize,
+    /// Global-rate policy.
+    pub gamma_p: GammaP,
+    /// Optional gradient compression.
+    pub compression: Option<Compression>,
+    /// History label.
+    pub label: String,
+    /// Lockstep steps per epoch — `min` over all shards, computed once by
+    /// the caller so every rank truncates identically.
+    pub steps_per_epoch: usize,
+}
+
+fn wire_failure(rank: usize, round: u64, e: CommError) -> EngineError {
+    EngineError::WireFailure {
+        rank,
+        round,
+        detail: e.to_string(),
+    }
+}
+
+/// One rank of plain (optionally compressed) SASGD over any transport.
+/// Returns this rank's [`History`]; only rank 0's carries epoch records.
+pub fn run_sasgd_rank<T: Transport>(
+    comm: &mut T,
+    model: Model,
+    shard: &Shard,
+    spec: &SasgdRankSpec<'_>,
+) -> Result<History, EngineError> {
+    let rank = comm.rank();
+    let cfg = spec.cfg;
+    let mut learner = Learner::new(rank, model, cfg);
+    let mut x = learner.model.param_vector();
+    let m = x.len();
+    // Broadcast learner 0's parameters (Algorithm 1).
+    broadcast(comm, 0, &mut x).map_err(|e| wire_failure(rank, 0, e))?;
+    learner.model.write_params(&x);
+    let mut residual = vec![0.0f32; if spec.compression.is_some() { m } else { 0 }];
+    let evals = if rank == 0 {
+        Some(EvalSets::prepare(
+            spec.train_set,
+            spec.test_set,
+            cfg.eval_cap,
+        ))
+    } else {
+        None
+    };
+    let mut history = History::new(spec.label.clone(), spec.p, spec.t);
+    let mut compute_s = 0.0f64;
+    let mut comm_s = 0.0f64;
+    let mut samples = 0u64;
+    let mut since_agg = 0usize;
+    let mut round = 0u64;
+    for epoch in 1..=cfg.epochs {
+        let batches: Vec<Vec<usize>> = shard
+            .epoch_iter(cfg.batch_size, &mut learner.rng)
+            .take(spec.steps_per_epoch)
+            .collect();
+        for (step, idx) in batches.iter().enumerate() {
+            // Same per-step schedule formula as the simulated backend, so
+            // trajectories stay bitwise equal.
+            let epoch_f = (epoch - 1) as f64 + step as f64 / spec.steps_per_epoch as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            samples += idx.len() as u64;
+            let t0 = Instant::now();
+            learner.local_step(spec.train_set, idx, gamma_now, 0.0, 1.0);
+            compute_s += t0.elapsed().as_secs_f64();
+            since_agg += 1;
+            if since_agg == spec.t {
+                let gp = spec.gamma_p.resolve(gamma_now, spec.p);
+                let t1 = Instant::now();
+                round += 1;
+                let total: Vec<f32> = match spec.compression {
+                    None => {
+                        allreduce_tree(comm, &mut learner.gs)
+                            .map_err(|e| wire_failure(rank, round, e))?;
+                        learner.gs.clone()
+                    }
+                    Some(comp) => {
+                        // Error feedback: compress gs + carried residual,
+                        // keep what was dropped.
+                        let input: Vec<f32> = learner
+                            .gs
+                            .iter()
+                            .zip(&residual)
+                            .map(|(a, b)| a + b)
+                            .collect();
+                        let c = comp.compress(&input);
+                        residual = c.residual;
+                        match comp {
+                            Compression::TopK { .. } => {
+                                let mut sv = SparseVec::from_dense(&c.dense);
+                                sparse_allreduce_tree(comm, &mut sv)
+                                    .map_err(|e| wire_failure(rank, round, e))?;
+                                sv.to_dense()
+                            }
+                            Compression::Uniform8Bit => {
+                                let mut buf = c.dense;
+                                allreduce_tree(comm, &mut buf)
+                                    .map_err(|e| wire_failure(rank, round, e))?;
+                                buf
+                            }
+                        }
+                    }
+                };
+                for (xi, &g) in x.iter_mut().zip(&total) {
+                    *xi -= gp * g;
+                }
+                learner.model.write_params(&x);
+                learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                comm_s += t1.elapsed().as_secs_f64();
+                since_agg = 0;
+            }
+        }
+        if let Some(ev) = &evals {
+            let rec = ev.record(
+                &mut learner.model,
+                epoch as f64,
+                compute_s,
+                comm_s,
+                samples * spec.p as u64,
+            );
+            history.records.push(rec);
+        }
+    }
+    history.final_params = Some(learner.model.param_vector());
+    Ok(history)
+}
+
+/// One rank of fault-tolerant SASGD over any transport. Graceful paths:
+///
+/// * **eviction** — survivors confirmed this rank lost (e.g. it stalled
+///   past the deadline): retire quietly, recording a
+///   [`RetirementEvent`], rather than diverge;
+/// * **any other wire failure on a non-coordinator** — the rank cannot
+///   rejoin, but the run does not need it: retire the same way (this was
+///   a panic before the transport refactor);
+/// * **a wire failure on the recovery coordinator (rank 0)** — nothing
+///   can degrade around the coordinator, so this is the one path that
+///   returns [`EngineError::WireFailure`].
+pub fn run_sasgd_ft_rank<T: Transport>(
+    comm: &mut T,
+    model: Model,
+    shard: &Shard,
+    spec: &SasgdRankSpec<'_>,
+    plan: &FaultPlan,
+    deadline: Duration,
+) -> Result<History, EngineError> {
+    let rank = comm.rank();
+    let cfg = spec.cfg;
+    let crash_at = plan.crash_step(rank);
+    let mut membership = Membership::new(spec.p);
+    let mut learner = Learner::new(rank, model, cfg);
+    let mut x = learner.model.param_vector();
+    broadcast(comm, 0, &mut x).map_err(|e| wire_failure(rank, 0, e))?;
+    learner.model.write_params(&x);
+    let evals = if rank == 0 {
+        Some(EvalSets::prepare(
+            spec.train_set,
+            spec.test_set,
+            cfg.eval_cap,
+        ))
+    } else {
+        None
+    };
+    let mut history = History::new(spec.label.clone(), spec.p, spec.t);
+    let mut compute_s = 0.0f64;
+    let mut comm_s = 0.0f64;
+    let mut samples = 0u64;
+    let mut since_agg = 0usize;
+    let mut gstep = 0u64;
+    let mut round = 0u64;
+    'run: for epoch in 1..=cfg.epochs {
+        let batches: Vec<Vec<usize>> = shard
+            .epoch_iter(cfg.batch_size, &mut learner.rng)
+            .take(spec.steps_per_epoch)
+            .collect();
+        for (step, idx) in batches.iter().enumerate() {
+            gstep += 1;
+            // Faults fire only at step boundaries (never inside a
+            // collective), so degraded runs replay bitwise.
+            if crash_at.is_some_and(|s| gstep >= s) {
+                // Crash: stop participating. Dropping the comm endpoint on
+                // return is what survivors detect.
+                break 'run;
+            }
+            if let Some(stall) = plan.stall_at(rank, gstep) {
+                std::thread::sleep(stall);
+            }
+            let epoch_f = (epoch - 1) as f64 + step as f64 / spec.steps_per_epoch as f64;
+            let gamma_now = cfg.gamma_at(epoch_f);
+            samples += idx.len() as u64;
+            let t0 = Instant::now();
+            learner.local_step(spec.train_set, idx, gamma_now, 0.0, 1.0);
+            compute_s += t0.elapsed().as_secs_f64();
+            since_agg += 1;
+            if since_agg == spec.t {
+                let t1 = Instant::now();
+                round += 1;
+                let outcome = match ft_allreduce(comm, &mut membership, &mut learner.gs, deadline) {
+                    Ok(o) => o,
+                    Err(e @ FtError::Evicted { .. }) => {
+                        // Survivors confirmed this rank lost (e.g. it
+                        // stalled past the deadline); retire quietly
+                        // rather than diverge.
+                        history.retirements.push(RetirementEvent {
+                            rank,
+                            round,
+                            reason: e.to_string(),
+                        });
+                        break 'run;
+                    }
+                    Err(e) if rank != 0 => {
+                        // The wire failed under this rank but the run
+                        // does not need it: degrade exactly like an
+                        // eviction instead of panicking the world.
+                        history.retirements.push(RetirementEvent {
+                            rank,
+                            round,
+                            reason: e.to_string(),
+                        });
+                        break 'run;
+                    }
+                    Err(e) => {
+                        // Rank 0 is the recovery coordinator; nothing
+                        // can degrade around it.
+                        return Err(wire_failure_ft(rank, round, &e));
+                    }
+                };
+                // Graceful degradation: γp rescales to the survivor count
+                // (= p on a clean round, so the fault-free trajectory
+                // matches run_sasgd_rank).
+                let gp = spec.gamma_p.resolve(gamma_now, membership.len());
+                for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                    *xi -= gp * g;
+                }
+                learner.model.write_params(&x);
+                learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                let elapsed = t1.elapsed().as_secs_f64();
+                comm_s += elapsed;
+                if rank == 0 && !outcome.lost.is_empty() {
+                    history.membership.push(MembershipEvent {
+                        round,
+                        epoch: outcome.epoch,
+                        lost: outcome.lost.clone(),
+                        survivors: membership.len(),
+                        gamma_p: gp,
+                        recovery_seconds: elapsed,
+                    });
+                }
+                since_agg = 0;
+            }
+        }
+        if let Some(ev) = &evals {
+            let rec = ev.record(
+                &mut learner.model,
+                epoch as f64,
+                compute_s,
+                comm_s,
+                samples * membership.len() as u64,
+            );
+            history.records.push(rec);
+        }
+    }
+    history.final_params = Some(learner.model.param_vector());
+    Ok(history)
+}
+
+fn wire_failure_ft(rank: usize, round: u64, e: &FtError) -> EngineError {
+    EngineError::WireFailure {
+        rank,
+        round,
+        detail: e.to_string(),
+    }
+}

@@ -18,19 +18,17 @@
 
 use std::time::{Duration, Instant};
 
-use sasgd_comm::collectives::{allreduce_tree, broadcast};
 use sasgd_comm::fault::FaultPlan;
-use sasgd_comm::ft::{ft_allreduce, FtError, Membership};
 use sasgd_comm::ps::{PsConfig, PsServer};
-use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
 use sasgd_comm::world::CommWorld;
 use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
-use super::BatchStream;
+use super::rank::{run_sasgd_ft_rank, run_sasgd_rank, SasgdRankSpec};
+use super::{BatchStream, EngineError};
 use crate::algorithms::{Algorithm, GammaP};
 use crate::compress::Compression;
-use crate::history::{History, MembershipEvent, WireStats};
+use crate::history::{History, WireStats};
 use crate::trainer::{EvalSets, Learner, TrainConfig};
 
 /// Join learner threads, reporting *which* ranks died and why instead of
@@ -65,31 +63,35 @@ pub(crate) fn join_learners<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>
     ok
 }
 
-/// Run `algo` on the threaded backend.
+/// Run `algo` on the threaded backend. SASGD propagates typed wire
+/// failures; the remaining algorithms run over in-process channels whose
+/// failures are programming errors, not recoverable conditions.
 pub(crate) fn run(
     factory: &(dyn Fn() -> Model + Sync),
     train_set: &Dataset,
     test_set: &Dataset,
     algo: &Algorithm,
     cfg: &TrainConfig,
-) -> History {
-    match *algo {
+) -> Result<History, EngineError> {
+    Ok(match *algo {
         Algorithm::Sequential => run_threaded_sequential(factory, train_set, test_set, cfg),
         Algorithm::Sasgd {
             p,
             t,
             gamma_p,
             compression,
-        } => run_sasgd(
-            factory,
-            train_set,
-            test_set,
-            cfg,
-            p,
-            t,
-            gamma_p,
-            compression,
-        ),
+        } => {
+            return run_sasgd(
+                factory,
+                train_set,
+                test_set,
+                cfg,
+                p,
+                t,
+                gamma_p,
+                compression,
+            )
+        }
         Algorithm::HierarchicalSasgd {
             groups,
             per_group,
@@ -120,14 +122,16 @@ pub(crate) fn run(
         Algorithm::ModelAverageOnce { p } => {
             run_threaded_averaging(factory, train_set, test_set, cfg, p)
         }
-    }
+    })
 }
 
 /// SASGD (optionally compressed) with one OS thread per learner.
 /// `TopK` payloads travel in the sparse wire format; `Uniform8Bit`
 /// reconstructions travel dense (quantized transport would need an integer
 /// message type, which the cost model prices but the substrate does not
-/// carry).
+/// carry). The per-rank loop itself lives in [`super::rank`], generic over
+/// the transport — this function supplies the in-process world and
+/// threads; the launcher supplies socket endpoints and processes.
 #[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
 pub(crate) fn run_sasgd(
     factory: &(dyn Fn() -> Model + Sync),
@@ -138,7 +142,7 @@ pub(crate) fn run_sasgd(
     t: usize,
     gamma_p: GammaP,
     compression: Option<Compression>,
-) -> History {
+) -> Result<History, EngineError> {
     assert!(p >= 1 && t >= 1);
     // Split intra-op workers across the p learner threads (no-op unless
     // the `parallel` feature is on and nothing was configured explicitly).
@@ -159,6 +163,7 @@ pub(crate) fn run_sasgd(
     let traffic = world.traffic();
     let comms = world.communicators();
     let mut rank0_history: Option<History> = None;
+    let mut first_err: Option<EngineError> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -166,111 +171,45 @@ pub(crate) fn run_sasgd(
             let label = label.clone();
             let handle = scope.spawn(move || {
                 let rank = comm.rank();
-                let mut learner = Learner::new(rank, factory(), cfg);
-                let mut x = learner.model.param_vector();
-                let m = x.len();
-                // Broadcast learner 0's parameters (Algorithm 1).
-                broadcast(&mut comm, 0, &mut x).expect("x0 broadcast");
-                learner.model.write_params(&x);
-                let mut residual = vec![0.0f32; if compression.is_some() { m } else { 0 }];
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
+                let spec = SasgdRankSpec {
+                    train_set,
+                    test_set,
+                    cfg,
+                    p,
+                    t,
+                    gamma_p,
+                    compression,
+                    label,
+                    steps_per_epoch,
                 };
-                let mut history = History::new(label, p, t);
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                let mut samples = 0u64;
-                let mut since_agg = 0usize;
-                for epoch in 1..=cfg.epochs {
-                    let batches: Vec<Vec<usize>> = shard
-                        .epoch_iter(cfg.batch_size, &mut learner.rng)
-                        .take(steps_per_epoch)
-                        .collect();
-                    for (step, idx) in batches.iter().enumerate() {
-                        // Same per-step schedule formula as the simulated
-                        // backend, so trajectories stay bitwise equal.
-                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-                        let gamma_now = cfg.gamma_at(epoch_f);
-                        samples += idx.len() as u64;
-                        let t0 = Instant::now();
-                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
-                        compute_s += t0.elapsed().as_secs_f64();
-                        since_agg += 1;
-                        if since_agg == t {
-                            let gp = gamma_p.resolve(gamma_now, p);
-                            let t1 = Instant::now();
-                            let total: Vec<f32> = match compression {
-                                None => {
-                                    allreduce_tree(&mut comm, &mut learner.gs)
-                                        .expect("gradient allreduce");
-                                    learner.gs.clone()
-                                }
-                                Some(comp) => {
-                                    // Error feedback: compress gs + carried
-                                    // residual, keep what was dropped.
-                                    let input: Vec<f32> = learner
-                                        .gs
-                                        .iter()
-                                        .zip(&residual)
-                                        .map(|(a, b)| a + b)
-                                        .collect();
-                                    let c = comp.compress(&input);
-                                    residual = c.residual;
-                                    match comp {
-                                        Compression::TopK { .. } => {
-                                            let mut sv = SparseVec::from_dense(&c.dense);
-                                            sparse_allreduce_tree(&mut comm, &mut sv)
-                                                .expect("sparse allreduce");
-                                            sv.to_dense()
-                                        }
-                                        Compression::Uniform8Bit => {
-                                            let mut buf = c.dense;
-                                            allreduce_tree(&mut comm, &mut buf)
-                                                .expect("gradient allreduce");
-                                            buf
-                                        }
-                                    }
-                                }
-                            };
-                            for (xi, &g) in x.iter_mut().zip(&total) {
-                                *xi -= gp * g;
-                            }
-                            learner.model.write_params(&x);
-                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                            comm_s += t1.elapsed().as_secs_f64();
-                            since_agg = 0;
-                        }
-                    }
-                    if let Some(ev) = &evals {
-                        let rec = ev.record(
-                            &mut learner.model,
-                            epoch as f64,
-                            compute_s,
-                            comm_s,
-                            samples * p as u64,
-                        );
-                        history.records.push(rec);
-                    }
-                }
-                history.final_params = Some(learner.model.param_vector());
-                (rank, history)
+                (rank, run_sasgd_rank(&mut comm, factory(), &shard, &spec))
             });
             handles.push(handle);
         }
-        for (rank, history) in join_learners(handles) {
-            if rank == 0 {
-                rank0_history = Some(history);
+        for (rank, result) in join_learners(handles) {
+            match result {
+                Ok(history) if rank == 0 => rank0_history = Some(history),
+                Ok(_) => {}
+                // Lowest-rank failure wins (handles are in rank order);
+                // peer ranks typically fail secondarily when the first
+                // casualty's endpoint disappears mid-collective.
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     let mut history = rank0_history.expect("rank 0 history");
     history.wire = Some(WireStats {
         elements: traffic.elements_sent(),
         messages: traffic.messages_sent(),
     });
-    history
+    Ok(history)
 }
 
 /// SASGD with one OS thread per learner and the fault-tolerant allreduce:
@@ -284,11 +223,16 @@ pub(crate) fn run_sasgd(
 /// On confirmed loss the survivors rebuild the binomial tree over the new
 /// membership, `γp` rescales to the survivor count via the strategy's
 /// [`GammaP`] policy, and rank 0 records a
-/// [`MembershipEvent`] (the lost learner's data shard is lost with it).
-/// Rank 0 is the recovery coordinator and must outlive the run — seeded
-/// plans never kill it.
+/// [`MembershipEvent`](crate::history::MembershipEvent) (the lost
+/// learner's data shard is lost with it). Ranks that exit mid-run —
+/// evicted, or cut off by a wire failure the run can survive — retire
+/// with a [`RetirementEvent`](crate::history::RetirementEvent) instead of
+/// panicking; the merged accounts land in `History::retirements`. Rank 0
+/// is the recovery coordinator and must outlive the run (seeded plans
+/// never kill it); a wire failure under rank 0 is the one unsurvivable
+/// case and comes back as [`EngineError::WireFailure`].
 #[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
-pub(crate) fn run_sasgd_ft(
+pub(crate) fn try_run_sasgd_ft(
     factory: &(dyn Fn() -> Model + Sync),
     train_set: &Dataset,
     test_set: &Dataset,
@@ -298,7 +242,7 @@ pub(crate) fn run_sasgd_ft(
     gamma_p: GammaP,
     plan: &FaultPlan,
     deadline: Duration,
-) -> History {
+) -> Result<History, EngineError> {
     assert!(p >= 1 && t >= 1);
     assert!(
         !deadline.is_zero(),
@@ -321,6 +265,8 @@ pub(crate) fn run_sasgd_ft(
     let traffic = world.traffic();
     let comms = world.communicators();
     let mut rank0_history: Option<History> = None;
+    let mut retirements = Vec::new();
+    let mut first_err: Option<EngineError> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -328,120 +274,54 @@ pub(crate) fn run_sasgd_ft(
             let label = label.clone();
             let handle = scope.spawn(move || {
                 let rank = comm.rank();
-                let crash_at = plan.crash_step(rank);
-                let mut membership = Membership::new(p);
-                let mut learner = Learner::new(rank, factory(), cfg);
-                let mut x = learner.model.param_vector();
-                broadcast(&mut comm, 0, &mut x).expect("x0 broadcast");
-                learner.model.write_params(&x);
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
+                let spec = SasgdRankSpec {
+                    train_set,
+                    test_set,
+                    cfg,
+                    p,
+                    t,
+                    gamma_p,
+                    compression: None,
+                    label,
+                    steps_per_epoch,
                 };
-                let mut history = History::new(label, p, t);
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                let mut samples = 0u64;
-                let mut since_agg = 0usize;
-                let mut gstep = 0u64;
-                let mut round = 0u64;
-                'run: for epoch in 1..=cfg.epochs {
-                    let batches: Vec<Vec<usize>> = shard
-                        .epoch_iter(cfg.batch_size, &mut learner.rng)
-                        .take(steps_per_epoch)
-                        .collect();
-                    for (step, idx) in batches.iter().enumerate() {
-                        gstep += 1;
-                        // Faults fire only at step boundaries (never inside
-                        // a collective), so degraded runs replay bitwise.
-                        if crash_at.is_some_and(|s| gstep >= s) {
-                            // Crash: stop participating. Dropping the comm
-                            // endpoint on return is what survivors detect.
-                            break 'run;
-                        }
-                        if let Some(stall) = plan.stall_at(rank, gstep) {
-                            std::thread::sleep(stall);
-                        }
-                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-                        let gamma_now = cfg.gamma_at(epoch_f);
-                        samples += idx.len() as u64;
-                        let t0 = Instant::now();
-                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
-                        compute_s += t0.elapsed().as_secs_f64();
-                        since_agg += 1;
-                        if since_agg == t {
-                            let t1 = Instant::now();
-                            round += 1;
-                            let outcome = match ft_allreduce(
-                                &mut comm,
-                                &mut membership,
-                                &mut learner.gs,
-                                deadline,
-                            ) {
-                                Ok(o) => o,
-                                Err(FtError::Evicted { .. }) => {
-                                    // Survivors confirmed this rank lost
-                                    // (e.g. it stalled past the deadline);
-                                    // retire quietly rather than diverge.
-                                    break 'run;
-                                }
-                                Err(e) => {
-                                    panic!("rank {rank}: fault-tolerant allreduce failed: {e}")
-                                }
-                            };
-                            // Graceful degradation: γp rescales to the
-                            // survivor count (= p on a clean round, so the
-                            // fault-free trajectory matches run_sasgd).
-                            let gp = gamma_p.resolve(gamma_now, membership.len());
-                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
-                                *xi -= gp * g;
-                            }
-                            learner.model.write_params(&x);
-                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                            let elapsed = t1.elapsed().as_secs_f64();
-                            comm_s += elapsed;
-                            if rank == 0 && !outcome.lost.is_empty() {
-                                history.membership.push(MembershipEvent {
-                                    round,
-                                    epoch: outcome.epoch,
-                                    lost: outcome.lost.clone(),
-                                    survivors: membership.len(),
-                                    gamma_p: gp,
-                                    recovery_seconds: elapsed,
-                                });
-                            }
-                            since_agg = 0;
-                        }
-                    }
-                    if let Some(ev) = &evals {
-                        let rec = ev.record(
-                            &mut learner.model,
-                            epoch as f64,
-                            compute_s,
-                            comm_s,
-                            samples * membership.len() as u64,
-                        );
-                        history.records.push(rec);
-                    }
-                }
-                history.final_params = Some(learner.model.param_vector());
-                (rank, history)
+                (
+                    rank,
+                    run_sasgd_ft_rank(&mut comm, factory(), &shard, &spec, plan, deadline),
+                )
             });
             handles.push(handle);
         }
-        for (rank, history) in join_learners(handles) {
-            if rank == 0 {
-                rank0_history = Some(history);
+        for (rank, result) in join_learners(handles) {
+            match result {
+                Ok(history) => {
+                    if rank == 0 {
+                        rank0_history = Some(history);
+                    } else {
+                        // Non-coordinator histories are discarded except for
+                        // the retiree's own account of why it left.
+                        retirements.extend(history.retirements);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     let mut history = rank0_history.expect("rank 0 history");
+    retirements.sort_by_key(|r: &crate::history::RetirementEvent| (r.round, r.rank));
+    history.retirements.extend(retirements);
     history.wire = Some(WireStats {
         elements: traffic.elements_sent(),
         messages: traffic.messages_sent(),
     });
-    history
+    Ok(history)
 }
 
 /// Sequential SGD "on the threaded backend": one learner, no communication
@@ -775,7 +655,8 @@ mod tests {
             2,
             GammaP::OverP,
             Some(comp),
-        );
+        )
+        .expect("in-process run");
         let mut f = || models::tiny_cnn(3, &mut SeedRng::new(7));
         let sim = crate::algorithms::sasgd::run(
             &mut f,
@@ -796,7 +677,8 @@ mod tests {
         let mut cfg = TrainConfig::new(1, 8, 0.05, 42);
         cfg.jitter = JitterModel::none();
         let factory = || models::tiny_cnn(2, &mut SeedRng::new(7));
-        let dense = run_sasgd(&factory, &train, &test, &cfg, 2, 2, GammaP::OverP, None);
+        let dense = run_sasgd(&factory, &train, &test, &cfg, 2, 2, GammaP::OverP, None)
+            .expect("in-process run");
         let sparse = run_sasgd(
             &factory,
             &train,
@@ -806,7 +688,8 @@ mod tests {
             2,
             GammaP::OverP,
             Some(Compression::TopK { ratio: 0.1 }),
-        );
+        )
+        .expect("in-process run");
         let (d, s) = (dense.wire.expect("wire"), sparse.wire.expect("wire"));
         assert!(
             s.elements < d.elements / 2,

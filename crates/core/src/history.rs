@@ -56,6 +56,23 @@ pub struct History {
     /// (empty for fault-free runs and for backends without failure
     /// detection). One entry per sync round that confirmed learner loss.
     pub membership: Vec<MembershipEvent>,
+    /// Ranks that retired mid-run instead of panicking: a non-coordinator
+    /// learner whose fault-tolerant collective failed (eviction, a dead
+    /// coordinator, any wire failure) stops participating and records why.
+    /// The survivors' [`MembershipEvent`]s describe the same losses from
+    /// the other side; this is the retiree's own account.
+    pub retirements: Vec<RetirementEvent>,
+}
+
+/// One learner's graceful mid-run exit from a fault-tolerant run.
+#[derive(Clone, Debug)]
+pub struct RetirementEvent {
+    /// The rank that retired.
+    pub rank: usize,
+    /// Global sync round (1-based) whose collective made it retire.
+    pub round: u64,
+    /// Human-readable cause (the typed error's rendering).
+    pub reason: String,
 }
 
 /// One membership change in a fault-tolerant run: which sync round detected
@@ -131,6 +148,7 @@ impl History {
             final_params: None,
             wire: None,
             membership: Vec::new(),
+            retirements: Vec::new(),
         }
     }
 

@@ -37,9 +37,12 @@ pub mod trainer;
 
 pub use algorithms::{Algorithm, GammaP};
 pub use compress::Compression;
+pub use engine::rank::{run_sasgd_ft_rank, run_sasgd_rank, SasgdRankSpec};
 pub use engine::threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
 pub use engine::{Backend, EngineError, Executor};
-pub use history::{EpochRecord, History, MembershipEvent, StalenessStats, WireStats};
+pub use history::{
+    EpochRecord, History, MembershipEvent, RetirementEvent, StalenessStats, WireStats,
+};
 /// Fault-injection plan types, re-exported from `sasgd-comm` so embedders
 /// configure fault-tolerant runs without a direct comm dependency.
 pub use sasgd_comm::{FaultEvent, FaultKind, FaultPlan};
@@ -51,6 +54,6 @@ pub use schedule::LrSchedule;
 pub use sweep::{run_sweep, SweepGrid, SweepResult};
 pub use threaded::{
     run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd,
-    run_threaded_sasgd_ft, FaultConfig,
+    run_threaded_sasgd_ft, try_run_threaded_sasgd, try_run_threaded_sasgd_ft, FaultConfig,
 };
 pub use trainer::{train, TrainConfig};

@@ -58,6 +58,10 @@ impl Default for FaultConfig {
 /// thread and must produce identically initialized models. Delegates to
 /// the unified engine's threaded backend (kept as a stable entry point for
 /// the benches and equivalence tests).
+///
+/// # Panics
+/// Panics on a wire failure — impossible over healthy in-process channels;
+/// use [`try_run_threaded_sasgd`] for the typed error.
 pub fn run_threaded_sasgd(
     factory: &(dyn Fn() -> Model + Sync),
     train_set: &Dataset,
@@ -67,6 +71,23 @@ pub fn run_threaded_sasgd(
     t: usize,
     gamma_p: GammaP,
 ) -> History {
+    try_run_threaded_sasgd(factory, train_set, test_set, cfg, p, t, gamma_p)
+        .unwrap_or_else(|e| panic!("threaded SASGD(p={p},T={t}): {e}"))
+}
+
+/// [`run_threaded_sasgd`] with wire failures surfaced as typed
+/// [`EngineError::WireFailure`](crate::EngineError) values instead of
+/// panics — the entry point for callers whose substrate can actually fail
+/// (the multi-process launcher reports these per rank).
+pub fn try_run_threaded_sasgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+) -> Result<History, crate::EngineError> {
     crate::engine::threaded::run_sasgd(factory, train_set, test_set, cfg, p, t, gamma_p, None)
 }
 
@@ -77,7 +98,15 @@ pub fn run_threaded_sasgd(
 /// `gamma_p`). With [`FaultPlan::none`] the run is bitwise identical to
 /// [`run_threaded_sasgd`]; with faults it is bitwise reproducible for the
 /// same plan. Membership changes are recorded in
-/// [`History::membership`](crate::history::History::membership).
+/// [`History::membership`](crate::history::History::membership); learners
+/// that left mid-run (evicted *or* cut off by a survivable wire failure)
+/// appear in [`History::retirements`](crate::history::History::retirements)
+/// — neither path panics.
+///
+/// # Panics
+/// Panics only on an *unsurvivable* failure (a wire failure under the
+/// recovery coordinator, rank 0); use [`try_run_threaded_sasgd_ft`] for
+/// the typed error.
 #[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
 pub fn run_threaded_sasgd_ft(
     factory: &(dyn Fn() -> Model + Sync),
@@ -89,7 +118,24 @@ pub fn run_threaded_sasgd_ft(
     gamma_p: GammaP,
     faults: &FaultConfig,
 ) -> History {
-    crate::engine::threaded::run_sasgd_ft(
+    try_run_threaded_sasgd_ft(factory, train_set, test_set, cfg, p, t, gamma_p, faults)
+        .unwrap_or_else(|e| panic!("threaded SASGD-ft(p={p},T={t}) could not degrade: {e}"))
+}
+
+/// [`run_threaded_sasgd_ft`] with the unsurvivable-failure case surfaced
+/// as a typed [`EngineError`](crate::EngineError) instead of a panic.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub fn try_run_threaded_sasgd_ft(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+    t: usize,
+    gamma_p: GammaP,
+    faults: &FaultConfig,
+) -> Result<History, crate::EngineError> {
+    crate::engine::threaded::try_run_sasgd_ft(
         factory,
         train_set,
         test_set,

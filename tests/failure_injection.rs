@@ -217,6 +217,42 @@ fn crash_one_of_eight_mid_epoch_completes_on_survivors() {
 }
 
 #[test]
+fn evicted_straggler_retires_with_typed_event() {
+    // A rank stalled past the detection deadline is evicted by the
+    // survivors; when it wakes, its collective returns `Evicted` and it
+    // must *retire* — recording its own exit in `History::retirements` —
+    // never panic. Rank 0's membership event and the straggler's
+    // retirement are two views of the same loss.
+    let (train_set, test_set) = generate(&CifarLikeConfig::tiny(128, 32, 2));
+    let cfg = TrainConfig::new(2, 8, 0.05, 23);
+    let f = || models::tiny_cnn(2, &mut SeedRng::new(5));
+    let plan = FaultPlan::none().with_stall(3, 2, 4 * FT_DEADLINE.as_millis() as u64);
+    let h = run_threaded_sasgd_ft(
+        &f,
+        &train_set,
+        &test_set,
+        &cfg,
+        4,
+        2,
+        GammaP::OverP,
+        &FaultConfig {
+            plan,
+            deadline: FT_DEADLINE,
+        },
+    );
+    assert_eq!(h.membership.len(), 1, "one membership change");
+    assert_eq!(h.membership[0].lost, vec![3]);
+    assert_eq!(h.retirements.len(), 1, "the evicted rank records its exit");
+    assert_eq!(h.retirements[0].rank, 3);
+    assert!(h.retirements[0].round >= 1);
+    assert!(
+        h.retirements[0].reason.contains("evicted"),
+        "reason names the cause: {}",
+        h.retirements[0].reason
+    );
+}
+
+#[test]
 fn seeded_fault_plans_replay_bitwise() {
     // The same `(seed, p, crashes, max_step)` plan twice: both degraded
     // runs must agree on every parameter and every membership event.
