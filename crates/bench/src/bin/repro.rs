@@ -42,6 +42,7 @@ const EXTENSIONS: &[&str] = &[
     "hotpath",
     "engine",
     "faults",
+    "async",
     "staleness",
     "compression",
     "noniid",
@@ -129,6 +130,7 @@ fn build(target: &str, o: &Options) -> (Artifact, bool) {
         "hotpath" => hotpath::hotpath(),
         "engine" => engine::engine(o.scale, o.epochs),
         "faults" => faults::faults(o.scale, o.epochs),
+        "async" => sasgd_bench::async_bench::async_lattice(o.scale, o.epochs),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),
         "noniid" => extensions::noniid(o.scale, o.epochs),

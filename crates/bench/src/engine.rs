@@ -45,12 +45,17 @@ pub fn run_matrix(scale: Scale, epochs: Option<usize>) -> Vec<EngineRow> {
             t_global: 2,
             gamma_p: GammaP::OverP,
         },
-        Algorithm::Downpour { p, t },
+        Algorithm::Downpour {
+            p,
+            t,
+            staleness_gamma: false,
+        },
         Algorithm::Eamsgd {
             p,
             t,
             moving_rate: None,
             momentum: 0.9,
+            staleness_gamma: false,
         },
         Algorithm::ModelAverageOnce { p },
     ];

@@ -36,7 +36,14 @@ pub fn staleness(scale: Scale, epochs: Option<usize>) -> Artifact {
                         compression: None,
                     },
                 ),
-                ("Downpour", Algorithm::Downpour { p, t }),
+                (
+                    "Downpour",
+                    Algorithm::Downpour {
+                        p,
+                        t,
+                        staleness_gamma: false,
+                    },
+                ),
                 (
                     "EAMSGD",
                     Algorithm::Eamsgd {
@@ -44,6 +51,7 @@ pub fn staleness(scale: Scale, epochs: Option<usize>) -> Artifact {
                         t,
                         moving_rate: None,
                         momentum: 0.0,
+                        staleness_gamma: false,
                     },
                 ),
             ] {

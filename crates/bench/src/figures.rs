@@ -147,7 +147,11 @@ fn downpour_convergence(
     for p in [1usize, 2, 8, 16] {
         let h = run_algo(
             &w,
-            &Algorithm::Downpour { p, t: 1 },
+            &Algorithm::Downpour {
+                p,
+                t: 1,
+                staleness_gamma: false,
+            },
             gamma,
             w.epochs,
             0xF16 + p as u64,
@@ -471,7 +475,15 @@ fn algo_comparison_fig(name: &str, w: &ConvergenceWorkload, t: usize, seed: u64)
         // effective step size matches the plain-SGD competitors.
         let momentum = 0.9f32;
         let runs: Vec<(&str, Algorithm, f32)> = vec![
-            ("Downpour", Algorithm::Downpour { p, t }, w.gamma_hi),
+            (
+                "Downpour",
+                Algorithm::Downpour {
+                    p,
+                    t,
+                    staleness_gamma: false,
+                },
+                w.gamma_hi,
+            ),
             (
                 "EAMSGD",
                 Algorithm::Eamsgd {
@@ -479,6 +491,7 @@ fn algo_comparison_fig(name: &str, w: &ConvergenceWorkload, t: usize, seed: u64)
                     t,
                     moving_rate: None,
                     momentum,
+                    staleness_gamma: false,
                 },
                 w.gamma_hi * (1.0 - momentum),
             ),

@@ -12,6 +12,7 @@
 
 pub mod alloc;
 pub mod analysis;
+pub mod async_bench;
 pub mod engine;
 pub mod extensions;
 pub mod faults;

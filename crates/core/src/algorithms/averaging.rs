@@ -73,6 +73,18 @@ impl AggregationStrategy for AveragingStrategy {
         l.gs.iter_mut().for_each(|g| *g = 0.0);
     }
 
+    fn on_local_step(
+        &mut self,
+        l: &mut Learner,
+        _id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+    ) {
+        l.local_step(data, idx, gamma, 0.0, 1.0);
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+    }
+
     fn epoch_end(&mut self, learners: &mut [Learner], epoch: usize, cfg: &TrainConfig) {
         // Evaluate the average of all replicas, accumulated in rank order
         // (communication-free during training; the single final reduction
@@ -116,7 +128,7 @@ pub(crate) fn run(
     p: usize,
 ) -> History {
     let mut s = AveragingStrategy::new(p);
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

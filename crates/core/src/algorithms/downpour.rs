@@ -14,7 +14,7 @@
 use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
-use crate::engine::{simulated, AggregationStrategy, Cadence};
+use crate::engine::{simulated, AggregationStrategy, Cadence, CommScope};
 use crate::history::History;
 use crate::trainer::{Learner, TrainConfig};
 
@@ -24,24 +24,34 @@ use crate::trainer::{Learner, TrainConfig};
 pub(crate) struct DownpourStrategy {
     p: usize,
     t: usize,
+    /// Scale each push by γ/(1+τ) using the measured staleness τ.
+    staleness_gamma: bool,
     /// The parameter-server state.
     ps: Vec<f32>,
+    /// Lockstep-only: modeled PS round-trip seconds, set in `setup`.
+    round_s: f64,
 }
 
 impl DownpourStrategy {
-    pub(crate) fn new(p: usize, t: usize) -> Self {
+    pub(crate) fn new(p: usize, t: usize, staleness_gamma: bool) -> Self {
         assert!(p >= 1 && t >= 1);
         DownpourStrategy {
             p,
             t,
+            staleness_gamma,
             ps: Vec::new(),
+            round_s: 0.0,
         }
     }
 }
 
 impl AggregationStrategy for DownpourStrategy {
     fn label(&self) -> String {
-        format!("Downpour(p={},T={})", self.p, self.t)
+        if self.staleness_gamma {
+            format!("Downpour-s\u{3b3}(p={},T={})", self.p, self.t)
+        } else {
+            format!("Downpour(p={},T={})", self.p, self.t)
+        }
     }
 
     fn p(&self) -> usize {
@@ -52,25 +62,42 @@ impl AggregationStrategy for DownpourStrategy {
         Cadence::EventDriven
     }
 
-    fn event_capable(&self) -> bool {
-        true
+    fn comm_scope(&self) -> CommScope {
+        CommScope::Individual
     }
 
     fn sync_interval(&self) -> usize {
         self.t
     }
 
-    fn setup(
-        &mut self,
-        _factory: &mut dyn FnMut() -> Model,
-        x0: &[f32],
-        _cfg: &TrainConfig,
-    ) -> f64 {
+    fn setup(&mut self, _factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
         self.ps = x0.to_vec();
+        self.round_s = cfg.cost.ps_roundtrip(x0.len(), self.p).seconds;
         0.0
     }
 
-    fn event_step(
+    fn observe_staleness(&mut self, _id: usize, tau: u64, gamma: f32) -> f32 {
+        if self.staleness_gamma {
+            // lint:allow(float-cast): τ is a small update count.
+            gamma / (1.0 + tau as f32)
+        } else {
+            gamma
+        }
+    }
+
+    fn sync(&mut self, learners: &mut [Learner], gamma_now: f32) {
+        // Lockstep Downpour: the same push/pull math, executed as a
+        // bulk-synchronous round in rank order (τ = 0 by construction).
+        let t_max = learners.iter().map(|l| l.clock).fold(0.0, f64::max);
+        for (id, l) in learners.iter_mut().enumerate() {
+            let gamma_eff = self.observe_staleness(id, 0, gamma_now);
+            let wait = t_max - l.clock;
+            self.event_sync_inner(l, gamma_eff);
+            l.charge_comm(wait + self.round_s);
+        }
+    }
+
+    fn on_local_step(
         &mut self,
         l: &mut Learner,
         _id: usize,
@@ -84,6 +111,12 @@ impl AggregationStrategy for DownpourStrategy {
     }
 
     fn event_sync(&mut self, l: &mut Learner, _id: usize, gamma: f32) {
+        self.event_sync_inner(l, gamma);
+    }
+}
+
+impl DownpourStrategy {
+    fn event_sync_inner(&mut self, l: &mut Learner, gamma: f32) {
         // Push: the server applies the accumulated gradient at once.
         for (x, &g) in self.ps.iter_mut().zip(&l.gs) {
             *x -= gamma * g;
@@ -102,9 +135,10 @@ pub(crate) fn run(
     cfg: &TrainConfig,
     p: usize,
     t: usize,
+    staleness_gamma: bool,
 ) -> History {
-    let mut s = DownpourStrategy::new(p, t);
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    let mut s = DownpourStrategy::new(p, t, staleness_gamma);
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]
@@ -121,7 +155,7 @@ mod tests {
         let mut cfg = TrainConfig::new(6, 8, 0.05, 42);
         cfg.jitter = JitterModel::none();
         let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
-        let h = run(&mut factory, &train, &test, &cfg, 1, 1);
+        let h = run(&mut factory, &train, &test, &cfg, 1, 1, false);
         assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
         assert!(
             h.records.last().expect("r").comm_seconds > 0.0,
@@ -138,7 +172,7 @@ mod tests {
         let mut cfg = TrainConfig::new(8, 8, 0.02, 42);
         cfg.jitter = JitterModel::none();
         let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
-        let h = run(&mut factory, &train, &test, &cfg, 4, 2);
+        let h = run(&mut factory, &train, &test, &cfg, 4, 2, false);
         assert!(h.records.len() >= 2);
         let gap = h.records[1].epoch - h.records[0].epoch;
         assert!(
@@ -153,7 +187,7 @@ mod tests {
         let mut cfg = TrainConfig::new(3, 8, 0.02, 1);
         cfg.jitter = JitterModel::none();
         let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(3));
-        let h = run(&mut factory, &train, &test, &cfg, 2, 1);
+        let h = run(&mut factory, &train, &test, &cfg, 2, 1, false);
         let total = h.records.last().expect("r").samples;
         // Budget 3 × 40 = 120, with at most one block (8 samples × 2
         // learners) of overshoot.

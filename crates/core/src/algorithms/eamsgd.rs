@@ -20,7 +20,7 @@
 use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
-use crate::engine::{simulated, AggregationStrategy, Cadence};
+use crate::engine::{simulated, AggregationStrategy, Cadence, CommScope};
 use crate::history::History;
 use crate::trainer::{Learner, TrainConfig};
 
@@ -31,14 +31,26 @@ pub(crate) struct EamsgdStrategy {
     t: usize,
     alpha: f32,
     momentum: f32,
+    /// Scale the elastic moving rate by 1/(1+τ) using measured staleness.
+    staleness_gamma: bool,
+    /// Staleness observed for the learner about to exchange.
+    last_tau: u64,
     /// The center variable `x̃` on the parameter server.
     center: Vec<f32>,
     /// Per-learner momentum buffers.
     velocities: Vec<Vec<f32>>,
+    /// Lockstep-only: modeled PS round-trip seconds, set in `setup`.
+    round_s: f64,
 }
 
 impl EamsgdStrategy {
-    pub(crate) fn new(p: usize, t: usize, moving_rate: Option<f32>, momentum: f32) -> Self {
+    pub(crate) fn new(
+        p: usize,
+        t: usize,
+        moving_rate: Option<f32>,
+        momentum: f32,
+        staleness_gamma: bool,
+    ) -> Self {
         assert!(p >= 1 && t >= 1);
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
         let alpha = moving_rate.unwrap_or(0.9 / p as f32);
@@ -48,15 +60,33 @@ impl EamsgdStrategy {
             t,
             alpha,
             momentum,
+            staleness_gamma,
+            last_tau: 0,
             center: Vec::new(),
             velocities: Vec::new(),
+            round_s: 0.0,
+        }
+    }
+
+    /// The moving rate for the next exchange, staleness-scaled when
+    /// enabled.
+    fn alpha_eff(&self) -> f32 {
+        if self.staleness_gamma {
+            // lint:allow(float-cast): τ is a small update count.
+            self.alpha / (1.0 + self.last_tau as f32)
+        } else {
+            self.alpha
         }
     }
 }
 
 impl AggregationStrategy for EamsgdStrategy {
     fn label(&self) -> String {
-        format!("EAMSGD(p={},T={})", self.p, self.t)
+        if self.staleness_gamma {
+            format!("EAMSGD-s\u{3b3}(p={},T={})", self.p, self.t)
+        } else {
+            format!("EAMSGD(p={},T={})", self.p, self.t)
+        }
     }
 
     fn p(&self) -> usize {
@@ -67,26 +97,44 @@ impl AggregationStrategy for EamsgdStrategy {
         Cadence::EventDriven
     }
 
-    fn event_capable(&self) -> bool {
-        true
+    fn comm_scope(&self) -> CommScope {
+        CommScope::Individual
     }
 
     fn sync_interval(&self) -> usize {
         self.t
     }
 
-    fn setup(
-        &mut self,
-        _factory: &mut dyn FnMut() -> Model,
-        x0: &[f32],
-        _cfg: &TrainConfig,
-    ) -> f64 {
+    fn setup(&mut self, _factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
         self.center = x0.to_vec();
         self.velocities = vec![vec![0.0; x0.len()]; self.p];
+        self.round_s = cfg.cost.ps_roundtrip(x0.len(), self.p).seconds;
         0.0
     }
 
-    fn event_step(
+    fn observe_staleness(&mut self, _id: usize, tau: u64, gamma: f32) -> f32 {
+        self.last_tau = tau;
+        if self.staleness_gamma {
+            // lint:allow(float-cast): τ is a small update count.
+            gamma / (1.0 + tau as f32)
+        } else {
+            gamma
+        }
+    }
+
+    fn sync(&mut self, learners: &mut [Learner], _gamma_now: f32) {
+        // Lockstep EAMSGD: the same elastic exchange, executed as a
+        // bulk-synchronous round in rank order (τ = 0 by construction).
+        let t_max = learners.iter().map(|l| l.clock).fold(0.0, f64::max);
+        self.last_tau = 0;
+        for l in learners.iter_mut() {
+            let wait = t_max - l.clock;
+            self.exchange(l);
+            l.charge_comm(wait + self.round_s);
+        }
+    }
+
+    fn on_local_step(
         &mut self,
         l: &mut Learner,
         id: usize,
@@ -106,10 +154,17 @@ impl AggregationStrategy for EamsgdStrategy {
     }
 
     fn event_sync(&mut self, l: &mut Learner, _id: usize, _gamma: f32) {
-        // Elastic exchange with the center.
+        self.exchange(l);
+    }
+}
+
+impl EamsgdStrategy {
+    /// Elastic exchange with the center at the current effective rate.
+    fn exchange(&mut self, l: &mut Learner) {
+        let alpha = self.alpha_eff();
         let mut params = l.model.param_vector();
         for (pi, ci) in params.iter_mut().zip(self.center.iter_mut()) {
-            let diff = self.alpha * (*pi - *ci);
+            let diff = alpha * (*pi - *ci);
             *pi -= diff;
             *ci += diff;
         }
@@ -128,9 +183,10 @@ pub(crate) fn run(
     t: usize,
     moving_rate: Option<f32>,
     momentum: f32,
+    staleness_gamma: bool,
 ) -> History {
-    let mut s = EamsgdStrategy::new(p, t, moving_rate, momentum);
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    let mut s = EamsgdStrategy::new(p, t, moving_rate, momentum, staleness_gamma);
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]
@@ -147,7 +203,7 @@ mod tests {
         let mut cfg = TrainConfig::new(8, 8, 0.02, 42);
         cfg.jitter = JitterModel::none();
         let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
-        let h = run(&mut factory, &train, &test, &cfg, 2, 2, None, 0.9);
+        let h = run(&mut factory, &train, &test, &cfg, 2, 2, None, 0.9, false);
         assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
     }
 
@@ -160,7 +216,17 @@ mod tests {
         let mut cfg = TrainConfig::new(6, 8, 0.02, 3);
         cfg.jitter = JitterModel::none();
         let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(9));
-        let h = run(&mut factory, &train, &test, &cfg, 1, 1, Some(1.0), 0.9);
+        let h = run(
+            &mut factory,
+            &train,
+            &test,
+            &cfg,
+            1,
+            1,
+            Some(1.0),
+            0.9,
+            false,
+        );
         assert!(h.final_test_acc() > 0.5, "acc {}", h.final_test_acc());
     }
 
@@ -170,6 +236,6 @@ mod tests {
         let (train, test) = generate(&CifarLikeConfig::tiny(16, 8, 2));
         let cfg = TrainConfig::new(1, 8, 0.02, 3);
         let mut factory = || models::tiny_cnn(2, &mut SeedRng::new(9));
-        run(&mut factory, &train, &test, &cfg, 1, 1, None, 1.5);
+        run(&mut factory, &train, &test, &cfg, 1, 1, None, 1.5, false);
     }
 }

@@ -140,21 +140,8 @@ fn level1(
         let members = &mut learners[g * per_group..(g + 1) * per_group];
         let t_max = members.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
         // Binomial-tree-order sum of the members' gs.
-        let pg = members.len();
-        let mut bufs: Vec<Vec<f32>> = members.iter().map(|l| l.gs.clone()).collect();
-        let mut gap = 1usize;
-        while gap < pg {
-            let mut i = 0;
-            while i + gap < pg {
-                let (lo, hi) = bufs.split_at_mut(i + gap);
-                for (a, &b) in lo[i].iter_mut().zip(hi[0].iter()) {
-                    *a += b;
-                }
-                i += 2 * gap;
-            }
-            gap *= 2;
-        }
-        let total = bufs.swap_remove(0);
+        let bufs: Vec<Vec<f32>> = members.iter().map(|l| l.gs.clone()).collect();
+        let total = crate::engine::tree_reduce(bufs);
         for (xi, &gv) in group_x[g].iter_mut().zip(&total) {
             *xi -= gamma_p * gv;
         }
@@ -207,7 +194,7 @@ pub(crate) fn run(
     gamma_p: GammaP,
 ) -> History {
     let mut s = HierarchicalStrategy::new(groups, per_group, t_local, t_global, gamma_p);
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

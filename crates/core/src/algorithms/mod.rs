@@ -1,11 +1,14 @@
 //! The distributed SGD algorithms the paper implements and compares.
 
 use crate::compress::Compression;
+use crate::schedule::TSchedule;
 
 pub(crate) mod averaging;
+pub(crate) mod dasgd;
 pub(crate) mod downpour;
 pub(crate) mod eamsgd;
 pub(crate) mod hierarchical;
+pub(crate) mod local_sgd;
 pub(crate) mod sasgd;
 pub(crate) mod sequential;
 
@@ -79,6 +82,9 @@ pub enum Algorithm {
         p: usize,
         /// Minibatches between push/pull rounds.
         t: usize,
+        /// Scale each applied update by `γ/(1+τ)` using the measured
+        /// per-update staleness τ.
+        staleness_gamma: bool,
     },
     /// Elastic-averaging ASGD (EAMSGD): momentum learners linked to a
     /// center variable by an elastic force, synchronizing every `t` steps.
@@ -92,6 +98,29 @@ pub enum Algorithm {
         moving_rate: Option<f32>,
         /// Momentum δ for the local SGD updates.
         momentum: f32,
+        /// Scale the elastic moving rate by `1/(1+τ)` using the measured
+        /// per-exchange staleness τ.
+        staleness_gamma: bool,
+    },
+    /// Local SGD (periodic parameter averaging): independent learners
+    /// whose replicas are averaged every `T` local steps — the model-
+    /// averaging view of Algorithm 1 (§III), with `T` either fixed or
+    /// grown adaptively when the average-displacement signal plateaus.
+    LocalSgd {
+        /// Learners.
+        p: usize,
+        /// Interval schedule (fixed, or adaptive plateau doubling).
+        schedule: TSchedule,
+    },
+    /// DaSGD-style delayed averaging: the round-k parameter average is
+    /// applied at round k+1, while the learners already run `T` steps
+    /// ahead — the allreduce overlaps with compute at the price of one
+    /// round of staleness.
+    DelayedAvg {
+        /// Learners.
+        p: usize,
+        /// Local steps per averaging round.
+        t: usize,
     },
     /// One-shot model averaging (Zinkevich et al.): independent learners,
     /// parameters averaged only for evaluation/at the end — the heuristic
@@ -131,6 +160,8 @@ impl Algorithm {
             Algorithm::Sasgd { p, .. }
             | Algorithm::Downpour { p, .. }
             | Algorithm::Eamsgd { p, .. }
+            | Algorithm::LocalSgd { p, .. }
+            | Algorithm::DelayedAvg { p, .. }
             | Algorithm::ModelAverageOnce { p } => p,
             Algorithm::HierarchicalSasgd {
                 groups, per_group, ..
@@ -143,7 +174,12 @@ impl Algorithm {
         match *self {
             Algorithm::Sasgd { t, .. }
             | Algorithm::Downpour { t, .. }
-            | Algorithm::Eamsgd { t, .. } => t,
+            | Algorithm::Eamsgd { t, .. }
+            | Algorithm::DelayedAvg { t, .. } => t,
+            Algorithm::LocalSgd { schedule, .. } => match schedule {
+                TSchedule::Fixed { t } => t,
+                TSchedule::AdaptivePlateau { t0, .. } => t0,
+            },
             Algorithm::HierarchicalSasgd {
                 t_local, t_global, ..
             } => t_local * t_global,
@@ -173,8 +209,34 @@ impl Algorithm {
             } => {
                 format!("H-SASGD(g={groups}x{per_group},Tl={t_local},Tg={t_global})")
             }
-            Algorithm::Downpour { p, t } => format!("Downpour(p={p},T={t})"),
-            Algorithm::Eamsgd { p, t, .. } => format!("EAMSGD(p={p},T={t})"),
+            Algorithm::Downpour {
+                p,
+                t,
+                staleness_gamma,
+            } => {
+                if staleness_gamma {
+                    format!("Downpour-s\u{3b3}(p={p},T={t})")
+                } else {
+                    format!("Downpour(p={p},T={t})")
+                }
+            }
+            Algorithm::Eamsgd {
+                p,
+                t,
+                staleness_gamma,
+                ..
+            } => {
+                if staleness_gamma {
+                    format!("EAMSGD-s\u{3b3}(p={p},T={t})")
+                } else {
+                    format!("EAMSGD(p={p},T={t})")
+                }
+            }
+            Algorithm::LocalSgd { p, schedule } => match schedule {
+                TSchedule::Fixed { t } => format!("LocalSGD(p={p},T={t})"),
+                TSchedule::AdaptivePlateau { t0, .. } => format!("LocalSGD-adT(p={p},T0={t0})"),
+            },
+            Algorithm::DelayedAvg { p, t } => format!("DaSGD(p={p},T={t})"),
             Algorithm::ModelAverageOnce { p } => format!("ModelAvg(p={p})"),
         }
     }
@@ -199,9 +261,22 @@ mod tests {
         assert_eq!(a.interval(), 50);
         assert_eq!(Algorithm::Sequential.learners(), 1);
         assert_eq!(Algorithm::Sequential.interval(), 1);
-        assert!(Algorithm::Downpour { p: 2, t: 1 }
-            .label()
-            .contains("Downpour"));
+        assert!(Algorithm::Downpour {
+            p: 2,
+            t: 1,
+            staleness_gamma: false
+        }
+        .label()
+        .contains("Downpour"));
+        assert_eq!(
+            Algorithm::Downpour {
+                p: 2,
+                t: 1,
+                staleness_gamma: true
+            }
+            .label(),
+            "Downpour-s\u{3b3}(p=2,T=1)"
+        );
         let comp =
             Algorithm::sasgd_compressed(4, 8, GammaP::OverP, Compression::TopK { ratio: 0.1 });
         assert_eq!(comp.label(), "SASGD-top10%(p=4,T=8)");
@@ -217,5 +292,31 @@ mod tests {
         assert_eq!(h.learners(), 8);
         assert_eq!(h.interval(), 15);
         assert!(h.label().starts_with("H-SASGD"));
+    }
+
+    #[test]
+    fn lattice_labels_and_accessors() {
+        let fixed = Algorithm::LocalSgd {
+            p: 4,
+            schedule: TSchedule::Fixed { t: 5 },
+        };
+        assert_eq!(fixed.label(), "LocalSGD(p=4,T=5)");
+        assert_eq!(fixed.learners(), 4);
+        assert_eq!(fixed.interval(), 5);
+        let adaptive = Algorithm::LocalSgd {
+            p: 8,
+            schedule: TSchedule::AdaptivePlateau {
+                t0: 5,
+                t_max: 20,
+                patience: 2,
+                rel_improve: 0.05,
+            },
+        };
+        assert_eq!(adaptive.label(), "LocalSGD-adT(p=8,T0=5)");
+        assert_eq!(adaptive.interval(), 5);
+        let da = Algorithm::DelayedAvg { p: 8, t: 5 };
+        assert_eq!(da.label(), "DaSGD(p=8,T=5)");
+        assert_eq!(da.learners(), 8);
+        assert_eq!(da.interval(), 5);
     }
 }

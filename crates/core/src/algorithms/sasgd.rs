@@ -154,8 +154,7 @@ pub(crate) fn aggregate(
     // Sum gs across learners in binomial-tree order — the exact reduction
     // order of sasgd-comm's allreduce, so the threaded backend reproduces
     // these parameters bit for bit.
-    let p = learners.len();
-    let mut bufs: Vec<Vec<f32>> = match compression {
+    let bufs: Vec<Vec<f32>> = match compression {
         None => learners.iter().map(|l| l.gs.clone()).collect(),
         Some(comp) => learners
             .iter()
@@ -168,19 +167,7 @@ pub(crate) fn aggregate(
             })
             .collect(),
     };
-    let mut gap = 1usize;
-    while gap < p {
-        let mut i = 0;
-        while i + gap < p {
-            let (lo, hi) = bufs.split_at_mut(i + gap);
-            for (a, &b) in lo[i].iter_mut().zip(hi[0].iter()) {
-                *a += b;
-            }
-            i += 2 * gap;
-        }
-        gap *= 2;
-    }
-    let total = bufs.swap_remove(0);
+    let total = crate::engine::tree_reduce(bufs);
     for (xi, &g) in x.iter_mut().zip(&total) {
         *xi -= gamma_p * g;
     }
@@ -207,7 +194,7 @@ pub(crate) fn run(
     compression: Option<Compression>,
 ) -> History {
     let mut s = SasgdStrategy::new(p, t, gamma_p, compression);
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

@@ -51,6 +51,18 @@ impl AggregationStrategy for SequentialStrategy {
         // Sequential SGD keeps no separate accumulator.
         l.gs.iter_mut().for_each(|g| *g = 0.0);
     }
+
+    fn on_local_step(
+        &mut self,
+        l: &mut Learner,
+        _id: usize,
+        data: &Dataset,
+        idx: &[usize],
+        gamma: f32,
+    ) {
+        l.local_step(data, idx, gamma, 0.0, 1.0);
+        l.gs.iter_mut().for_each(|g| *g = 0.0);
+    }
 }
 
 /// Run plain minibatch SGD on one learner.
@@ -61,7 +73,7 @@ pub(crate) fn run(
     cfg: &TrainConfig,
 ) -> History {
     let mut s = SequentialStrategy::new();
-    simulated::run(&mut s, factory, train_set, test_set, cfg)
+    simulated::run_auto(&mut s, factory, train_set, test_set, cfg)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use sasgd_data::{make_shards, Dataset, Shard};
 use sasgd_nn::Model;
 
 use crate::history::{History, StalenessStats, WireStats};
+use crate::schedule::SyncPolicy;
 use crate::trainer::{Learner, TrainConfig};
 
 pub mod rank;
@@ -37,29 +38,63 @@ pub mod threaded;
 
 pub use threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
 
-/// How a strategy's learners advance relative to each other.
+/// How a strategy's learners advance relative to each other. Every
+/// strategy declares a *default* cadence; [`TrainConfig::cadence`] can
+/// override it per run, and every strategy executes under either value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Cadence {
-    /// All learners take a step, then the engine checks the sync interval —
-    /// bulk-synchronous algorithms (SGD, SASGD, hierarchical SASGD,
-    /// one-shot averaging).
+    /// All learners take a step, then the engine checks the sync policy —
+    /// the bulk-synchronous execution the paper's Algorithm 1 describes.
     Lockstep,
-    /// Learners run free and sync one at a time in virtual-completion
-    /// order — asynchronous algorithms (Downpour, EAMSGD).
+    /// Learners run free on their own virtual clocks and reach sync points
+    /// one at a time in `(completion time, rank)` order.
     EventDriven,
+}
+
+/// What a sync point touches under the event-driven cadence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommScope {
+    /// One learner exchanges with shared state (a parameter server or
+    /// center variable) without waiting for peers — Downpour, EAMSGD.
+    Individual,
+    /// All learners rendezvous for a collective (allreduce / averaging) —
+    /// SASGD, Local SGD, DaSGD, hierarchical, model averaging.
+    Collective,
+}
+
+/// Per-round context handed to
+/// `AggregationStrategy::should_communicate`.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx {
+    /// Local steps taken since the last communication.
+    pub steps_since_sync: usize,
+    /// The sync policy's interval currently in force.
+    pub current_t: usize,
+}
+
+/// A strategy's verdict on whether this round communicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommDecision {
+    /// Keep taking local steps.
+    Continue,
+    /// Run the aggregation now.
+    Communicate,
 }
 
 /// The pluggable aggregation rule the engine composes with its learner
 /// loop. Default implementations encode the most common behaviour
 /// (sequential-SGD-like); each algorithm overrides only where it differs.
 ///
-/// Lockstep strategies implement [`sync`](AggregationStrategy::sync) and
-/// friends; event-driven ones implement
-/// [`event_step`](AggregationStrategy::event_step) /
-/// [`event_sync`](AggregationStrategy::event_sync). Strategy state that is
-/// global in the simulated world (the shared parameter vector, a parameter
-/// server, a center variable, error-feedback residuals) lives inside the
-/// strategy.
+/// Every strategy executes under both cadences. Lockstep uses
+/// [`sync`](AggregationStrategy::sync) and friends; the event-driven loops
+/// use [`on_local_step`](AggregationStrategy::on_local_step),
+/// [`should_communicate`](AggregationStrategy::should_communicate) driven
+/// by the strategy's [`SyncPolicy`], and — for
+/// [`CommScope::Individual`] strategies —
+/// [`event_sync`](AggregationStrategy::event_sync) against shared state.
+/// Strategy state that is global in the simulated world (the shared
+/// parameter vector, a parameter server, a center variable, error-feedback
+/// residuals) lives inside the strategy.
 #[allow(unused_variables)] // default hook bodies ignore their arguments
 #[allow(clippy::too_many_arguments)] // hooks carry the full step context
 pub(crate) trait AggregationStrategy {
@@ -69,23 +104,59 @@ pub(crate) trait AggregationStrategy {
     /// Number of learners.
     fn p(&self) -> usize;
 
-    /// Execution cadence.
+    /// Default execution cadence ([`TrainConfig::cadence`] overrides it).
     fn cadence(&self) -> Cadence {
         Cadence::Lockstep
     }
 
-    /// Whether the strategy implements the event-driven hooks
-    /// ([`event_step`](AggregationStrategy::event_step) /
-    /// [`event_sync`](AggregationStrategy::event_sync)). Checked at
-    /// configuration time by [`Executor::try_run`], so an event-cadence
-    /// strategy that forgot the hooks is a typed [`EngineError`] before any
-    /// learner state exists — not a panic mid-run.
-    fn event_capable(&self) -> bool {
-        false
+    /// What a sync point touches under the event-driven cadence.
+    fn comm_scope(&self) -> CommScope {
+        CommScope::Collective
     }
 
     /// Local steps between sync points (`0` = never sync).
     fn sync_interval(&self) -> usize {
+        0
+    }
+
+    /// The T schedule driving this strategy's communication. The default
+    /// is the fixed interval every paper algorithm uses; adaptive
+    /// strategies return a policy built from a
+    /// [`TSchedule`](crate::schedule::TSchedule) instead.
+    fn sync_policy(&self) -> SyncPolicy {
+        SyncPolicy::fixed(self.sync_interval())
+    }
+
+    /// Decide whether this round communicates. The default mirrors the
+    /// classic counter: communicate exactly when `steps_since_sync`
+    /// reaches the policy's interval (never when the interval is 0).
+    fn should_communicate(&mut self, ctx: RoundCtx) -> CommDecision {
+        if ctx.current_t >= 1 && ctx.steps_since_sync >= ctx.current_t {
+            CommDecision::Communicate
+        } else {
+            CommDecision::Continue
+        }
+    }
+
+    /// End-of-round scalar the [`SyncPolicy`] adapts on (lower = better;
+    /// e.g. Local SGD's average-displacement norm). `None` = no signal,
+    /// the policy never adapts.
+    fn sync_signal(&mut self) -> Option<f32> {
+        None
+    }
+
+    /// Observe learner `id`'s measured staleness `tau` at a sync point and
+    /// return the learning rate to apply for the update. The default
+    /// returns `gamma` unchanged; staleness-aware strategies scale it
+    /// (γ/(1+τ)).
+    fn observe_staleness(&mut self, id: usize, tau: u64, gamma: f32) -> f32 {
+        gamma
+    }
+
+    /// Staleness a collective-scope strategy imposes by construction
+    /// (DaSGD applies the round-`k` average one round late, so 1; plain
+    /// collectives apply fresh state, so 0).
+    fn collective_tau(&self) -> u64 {
         0
     }
 
@@ -164,8 +235,9 @@ pub(crate) trait AggregationStrategy {
     }
 
     /// One local minibatch (event-driven cadence; virtual time is the
-    /// engine's job, so no step cost or jitter is passed).
-    fn event_step(
+    /// engine's job, so no step cost or jitter is passed). The default
+    /// applies the gradient locally, exactly like a lockstep local step.
+    fn on_local_step(
         &mut self,
         l: &mut Learner,
         id: usize,
@@ -173,19 +245,53 @@ pub(crate) trait AggregationStrategy {
         idx: &[usize],
         gamma: f32,
     ) {
-        unreachable!(
-            "event-driven hooks missing — Executor::try_run rejects event-cadence \
-             strategies whose event_capable() is false before the run starts"
-        )
+        l.local_step(data, idx, gamma, 0.0, 1.0);
     }
 
-    /// Sync learner `id` against the shared state (event-driven cadence).
-    fn event_sync(&mut self, l: &mut Learner, id: usize, gamma: f32) {
-        unreachable!(
-            "event-driven hooks missing — Executor::try_run rejects event-cadence \
-             strategies whose event_capable() is false before the run starts"
-        )
+    /// Sync learner `id` against the shared state
+    /// ([`CommScope::Individual`] strategies only; collective-scope
+    /// strategies aggregate through
+    /// [`sync`](AggregationStrategy::sync) instead).
+    fn event_sync(&mut self, l: &mut Learner, id: usize, gamma: f32) {}
+}
+
+/// Binomial-tree reduction of per-rank buffers in the exact gap-doubling
+/// order of the wire collective (`sasgd-comm`'s `allreduce_tree`), so the
+/// simulated sum is bitwise the threaded sum. Consumes the buffers and
+/// returns the total.
+pub(crate) fn tree_reduce(mut bufs: Vec<Vec<f32>>) -> Vec<f32> {
+    let p = bufs.len();
+    let mut gap = 1;
+    while gap < p {
+        let mut i = 0;
+        while i + gap < p {
+            let (lo, hi) = bufs.split_at_mut(i + gap);
+            for (a, b) in lo[i].iter_mut().zip(&hi[0]) {
+                *a += b;
+            }
+            i += 2 * gap;
+        }
+        gap *= 2;
     }
+    bufs.swap_remove(0)
+}
+
+/// Squared L2 distance between two parameter vectors, folded sequentially
+/// in f32 — the Local-SGD plateau signal, computed identically on both
+/// backends so adaptive-T decisions replay exactly.
+pub(crate) fn delta_sq_norm(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |acc, (x, y)| acc + (x - y) * (x - y))
+}
+
+/// Fractional collective epoch fed to the γ schedule by the event-driven
+/// *collective* loops: nominal system-wide progress after `steps_done`
+/// per-rank steps of `batch` samples across `p` ranks over an `n`-sample
+/// dataset. Rank-independent by construction, so every rank resolves the
+/// same γ for a given round on either backend.
+pub(crate) fn event_gamma_epoch(steps_done: u64, batch: usize, p: usize, n: usize) -> f64 {
+    (steps_done * batch as u64 * p as u64) as f64 / n as f64
 }
 
 /// Typed error from [`Executor::try_run`] — either a configuration
@@ -193,9 +299,12 @@ pub(crate) trait AggregationStrategy {
 /// threaded run could not degrade around.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
-    /// The strategy declares [`Cadence::EventDriven`] but does not
-    /// implement the event hooks — running it would hit the engine's
-    /// event loop with no step/sync behaviour.
+    /// The requested cadence/backend combination has no execution path —
+    /// e.g. forcing a parameter-server strategy to lockstep on the
+    /// threaded backend, where no bulk-synchronous PS runner exists. The
+    /// simulated backend executes every strategy under either cadence, so
+    /// only explicit [`TrainConfig::cadence`] overrides on the threaded
+    /// backend can produce this.
     UnsupportedCadence {
         /// Label of the offending strategy.
         label: String,
@@ -221,8 +330,8 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnsupportedCadence { label } => write!(
                 f,
-                "strategy `{label}` declares an event-driven cadence but implements \
-                 no event hooks"
+                "no execution path for strategy `{label}` at the requested cadence \
+                 on the selected backend"
             ),
             EngineError::WireFailure {
                 rank,
@@ -258,13 +367,28 @@ pub(crate) fn strategy_for(algo: &crate::algorithms::Algorithm) -> Box<dyn Aggre
         } => Box::new(hierarchical::HierarchicalStrategy::new(
             groups, per_group, t_local, t_global, gamma_p,
         )),
-        Algorithm::Downpour { p, t } => Box::new(downpour::DownpourStrategy::new(p, t)),
+        Algorithm::Downpour {
+            p,
+            t,
+            staleness_gamma,
+        } => Box::new(downpour::DownpourStrategy::new(p, t, staleness_gamma)),
         Algorithm::Eamsgd {
             p,
             t,
             moving_rate,
             momentum,
-        } => Box::new(eamsgd::EamsgdStrategy::new(p, t, moving_rate, momentum)),
+            staleness_gamma,
+        } => Box::new(eamsgd::EamsgdStrategy::new(
+            p,
+            t,
+            moving_rate,
+            momentum,
+            staleness_gamma,
+        )),
+        Algorithm::LocalSgd { p, schedule } => {
+            Box::new(local_sgd::LocalSgdStrategy::new(p, schedule))
+        }
+        Algorithm::DelayedAvg { p, t } => Box::new(dasgd::DaSgdStrategy::new(p, t)),
         Algorithm::ModelAverageOnce { p } => Box::new(averaging::AveragingStrategy::new(p)),
     }
 }
@@ -334,9 +458,10 @@ impl Executor {
             .unwrap_or_else(|e| panic!("{:?} backend running {algo:?}: {e}", self.backend))
     }
 
-    /// [`Executor::run`] with configuration validated up front: a strategy
-    /// whose declared cadence its hooks cannot execute is a typed
-    /// [`EngineError`] before any thread or learner state exists.
+    /// [`Executor::run`] with the error typed: a cadence/backend
+    /// combination with no execution path is a typed [`EngineError`]
+    /// before any thread or learner state exists, and threaded wire
+    /// failures surface instead of panicking.
     pub fn try_run(
         &self,
         factory: &(dyn Fn() -> Model + Sync),
@@ -346,17 +471,13 @@ impl Executor {
         cfg: &TrainConfig,
     ) -> Result<History, EngineError> {
         let mut strategy = strategy_for(algo);
-        if strategy.cadence() == Cadence::EventDriven && !strategy.event_capable() {
-            return Err(EngineError::UnsupportedCadence {
-                label: strategy.label(),
-            });
-        }
+        let cadence = cfg.cadence.unwrap_or_else(|| strategy.cadence());
         Ok(match self.backend {
             Backend::Simulated => {
                 let mut f = || factory();
-                simulated::run(&mut *strategy, &mut f, train_set, test_set, cfg)
+                simulated::run(&mut *strategy, &mut f, train_set, test_set, cfg, cadence)
             }
-            Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg)?,
+            Backend::Threaded => threaded::run(factory, train_set, test_set, algo, cfg, cadence)?,
         })
     }
 }

@@ -26,10 +26,11 @@ use sasgd_comm::world::CommError;
 use sasgd_data::{Dataset, Shard};
 use sasgd_nn::Model;
 
-use super::EngineError;
+use super::{delta_sq_norm, event_gamma_epoch, BatchStream, EngineError};
 use crate::algorithms::GammaP;
 use crate::compress::Compression;
-use crate::history::{History, MembershipEvent, RetirementEvent};
+use crate::history::{History, MembershipEvent, RetirementEvent, StalenessStats};
+use crate::schedule::SyncPolicy;
 use crate::trainer::{EvalSets, Learner, TrainConfig};
 
 /// Everything a single SASGD rank needs besides its endpoint, model and
@@ -318,4 +319,330 @@ fn wire_failure_ft(rank: usize, round: u64, e: &FtError) -> EngineError {
         round,
         detail: e.to_string(),
     }
+}
+
+/// The wire counterpart of a collective strategy's sync — what one round's
+/// rendezvous does in the event-driven threaded loop ([`run_event_rank`]).
+#[derive(Clone, Copy)]
+pub(crate) enum EventOp {
+    /// No communication at all (sequential SGD).
+    LocalOnly,
+    /// Rank-order gather-average to rank 0 at epoch ends (one-shot model
+    /// averaging).
+    EpochAverage,
+    /// Tree allreduce of the accumulated gradients plus the global step
+    /// `x ← x − γp·Σg` (SASGD, optionally compressed with error feedback).
+    Gradient {
+        /// Global-rate policy.
+        gamma_p: GammaP,
+        /// Optional gradient compression.
+        compression: Option<Compression>,
+    },
+    /// Tree allreduce of the parameters scaled by `1/p` (Local SGD).
+    ParamAverage,
+    /// Parameter average applied one round late, so the allreduce of round
+    /// `k` overlaps the compute of round `k+1` (DaSGD).
+    DelayedAverage,
+}
+
+/// Everything one event-driven collective rank needs besides its endpoint,
+/// model and data shard. Every field except `label` must be identical
+/// across ranks: the round structure (`policy`, `epoch_block`) and the
+/// round γ are resolved independently per rank and must agree for the
+/// collectives to line up.
+pub(crate) struct EventRankSpec<'a> {
+    /// Full training set (rank 0 evaluates against it).
+    pub train_set: &'a Dataset,
+    /// Test set (rank 0 only).
+    pub test_set: &'a Dataset,
+    /// Shared training configuration.
+    pub cfg: &'a TrainConfig,
+    /// World size.
+    pub p: usize,
+    /// History label.
+    pub label: String,
+    /// The rendezvous operation.
+    pub op: EventOp,
+    /// This strategy's T schedule; each rank advances its own copy on
+    /// identical signals, so the copies never diverge.
+    pub policy: SyncPolicy,
+    /// Round size for never-syncing strategies (`T = 0`): the smallest
+    /// shard's whole-minibatch count, computed once by the caller.
+    pub epoch_block: usize,
+    /// Staleness the strategy imposes by construction (1 for DaSGD).
+    pub collective_tau: u64,
+    /// Aggregation interval reported in [`History`].
+    pub history_interval: usize,
+}
+
+/// One rank of the event-driven collective loop over any transport — the
+/// threaded mirror of the simulated backend's collective event engine.
+/// Each round: a `T`-minibatch block at a round γ resolved from *nominal*
+/// system progress (identical on every rank and backend), then the
+/// [`EventOp`] rendezvous. Because the block math touches only rank-local
+/// state and γ never depends on completion interleaving, `final_params`
+/// here are bitwise the simulated backend's for the allreduce-shaped ops
+/// at any `p` (and for every op at `p = 1`).
+pub(crate) fn run_event_rank<T: Transport>(
+    comm: &mut T,
+    model: Model,
+    eval_replica: Option<Model>,
+    shard: &Shard,
+    spec: &EventRankSpec<'_>,
+) -> Result<History, EngineError> {
+    let rank = comm.rank();
+    let cfg = spec.cfg;
+    let p = spec.p;
+    let n = spec.train_set.len();
+    let mut learner = Learner::new(rank, model, cfg);
+    let mut policy = spec.policy.clone();
+    let mut x = learner.model.param_vector();
+    if matches!(spec.op, EventOp::Gradient { .. }) {
+        // Broadcast learner 0's parameters (Algorithm 1). The other ops
+        // start from the factory's identical replicas, like their
+        // simulated strategies.
+        broadcast(comm, 0, &mut x).map_err(|e| wire_failure(rank, 0, e))?;
+        learner.model.write_params(&x);
+    }
+    let keeps_gs = matches!(spec.op, EventOp::Gradient { .. });
+    let mut residual = vec![
+        0.0f32;
+        match spec.op {
+            EventOp::Gradient {
+                compression: Some(_),
+                ..
+            } => x.len(),
+            _ => 0,
+        }
+    ];
+    // Local SGD's plateau-signal state and DaSGD's delayed-application
+    // state (unused by the other ops).
+    let mut prev_avg = x.clone();
+    let mut snap = x.clone();
+    let mut pending: Option<Vec<f32>> = None;
+    let mut avg_model = eval_replica;
+
+    let evals = if rank == 0 {
+        Some(EvalSets::prepare(
+            spec.train_set,
+            spec.test_set,
+            cfg.eval_cap,
+        ))
+    } else {
+        None
+    };
+    let mut history = History::new(spec.label.clone(), p, spec.history_interval);
+    let mut stream = BatchStream::new(shard.indices().to_vec(), cfg.batch_size);
+    let mut samples = 0u64; // own-shard samples
+    let mut steps_done = 0u64; // nominal per-rank steps, same on every rank
+    let mut syncs = 0u64;
+    let mut epochs_done = 0usize;
+    let mut recorded_passes = 0u64;
+    let mut compute_s = 0.0f64;
+    let mut comm_s = 0.0f64;
+    let mut staleness_obs: Vec<u64> = Vec::new();
+    let target_steps = (cfg.epochs as u64) * (n as u64); // in batch·p units
+
+    loop {
+        let t_now = policy.current_t();
+        let block = if t_now >= 1 { t_now } else { spec.epoch_block };
+        // Same round γ formula as the simulated collective event loop, so
+        // trajectories stay bitwise equal.
+        let gamma_now = cfg.gamma_at(event_gamma_epoch(steps_done, cfg.batch_size, p, n));
+        let t0 = Instant::now();
+        for _ in 0..block {
+            let idx = stream.next(&mut learner.rng);
+            samples += idx.len() as u64;
+            learner.local_step(spec.train_set, &idx, gamma_now, 0.0, 1.0);
+            if !keeps_gs {
+                learner.gs.iter_mut().for_each(|g| *g = 0.0);
+            }
+        }
+        compute_s += t0.elapsed().as_secs_f64();
+        steps_done += block as u64;
+        if t_now >= 1 {
+            syncs += 1;
+            let t1 = Instant::now();
+            let signal = match spec.op {
+                EventOp::LocalOnly | EventOp::EpochAverage => None,
+                EventOp::Gradient {
+                    gamma_p,
+                    compression,
+                } => {
+                    let gp = gamma_p.resolve(gamma_now, p);
+                    let total =
+                        allreduce_grads(comm, &mut learner, compression, &mut residual, syncs)?;
+                    for (xi, &g) in x.iter_mut().zip(&total) {
+                        *xi -= gp * g;
+                    }
+                    learner.model.write_params(&x);
+                    learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                    None
+                }
+                EventOp::ParamAverage => {
+                    let mut buf = learner.model.param_vector();
+                    allreduce_tree(comm, &mut buf).map_err(|e| wire_failure(rank, syncs, e))?;
+                    let inv = 1.0 / p as f32;
+                    buf.iter_mut().for_each(|v| *v *= inv);
+                    learner.model.write_params(&buf);
+                    let sig = delta_sq_norm(&buf, &prev_avg);
+                    prev_avg = buf;
+                    Some(sig)
+                }
+                EventOp::DelayedAverage => {
+                    // Average of the *pre-application* parameters; the
+                    // round-(k−1) average lands now, re-based onto the
+                    // local progress made since its snapshot.
+                    let cur = learner.model.param_vector();
+                    let mut buf = cur.clone();
+                    allreduce_tree(comm, &mut buf).map_err(|e| wire_failure(rank, syncs, e))?;
+                    let inv = 1.0 / p as f32;
+                    buf.iter_mut().for_each(|v| *v *= inv);
+                    if let Some(prev) = pending.take() {
+                        let applied: Vec<f32> = prev
+                            .iter()
+                            .zip(&cur)
+                            .zip(&snap)
+                            .map(|((&pv, &c), &s0)| pv + (c - s0))
+                            .collect();
+                        learner.model.write_params(&applied);
+                        snap = applied;
+                    } else {
+                        snap = cur;
+                    }
+                    pending = Some(buf);
+                    None
+                }
+            };
+            comm_s += t1.elapsed().as_secs_f64();
+            policy.observe_round(signal);
+            if rank == 0 {
+                for id in 0..p {
+                    history.push_staleness(syncs - 1, id, spec.collective_tau, gamma_now);
+                    staleness_obs.push(spec.collective_tau);
+                }
+            }
+        } else {
+            // T = 0: the round is an epoch.
+            epochs_done += 1;
+            if matches!(spec.op, EventOp::EpochAverage) {
+                // Rank-order gather-average to rank 0, mirroring the
+                // simulated strategy's accumulation order.
+                let t1 = Instant::now();
+                let gather_tag = (comm.next_op() << 4) | 2;
+                if rank == 0 {
+                    let own = learner.model.param_vector();
+                    let mut avg: Vec<f32> = own.iter().map(|&v| v / p as f32).collect();
+                    for r in 1..p {
+                        let v = comm
+                            .recv(r, gather_tag)
+                            .map_err(|e| wire_failure(rank, epochs_done as u64, e))?;
+                        for (a, &b) in avg.iter_mut().zip(&v) {
+                            *a += b / p as f32;
+                        }
+                    }
+                    avg_model
+                        .as_mut()
+                        .expect("rank 0 holds the averaging replica")
+                        .write_params(&avg);
+                } else {
+                    comm.send(0, gather_tag, learner.model.param_vector())
+                        .map_err(|e| wire_failure(rank, epochs_done as u64, e))?;
+                }
+                comm_s += t1.elapsed().as_secs_f64();
+            }
+        }
+        if let Some(ev) = &evals {
+            if stream.completed_passes() > recorded_passes {
+                recorded_passes = stream.completed_passes();
+                let epoch = samples as f64 * p as f64 / n as f64;
+                let eval_model = avg_model.as_mut().unwrap_or(&mut learner.model);
+                let rec = ev.record(eval_model, epoch, compute_s, comm_s, samples * p as u64);
+                history.records.push(rec);
+            }
+        }
+        let done = if t_now >= 1 {
+            steps_done * (cfg.batch_size as u64) * (p as u64) >= target_steps
+        } else {
+            epochs_done >= cfg.epochs
+        };
+        if done {
+            break;
+        }
+    }
+    if let Some(ev) = &evals {
+        if history.records.is_empty()
+            || history.records.last().expect("nonempty").samples < samples * p as u64
+        {
+            let epoch = samples as f64 * p as f64 / n as f64;
+            let eval_model = avg_model.as_mut().unwrap_or(&mut learner.model);
+            let rec = ev.record(eval_model, epoch, compute_s, comm_s, samples * p as u64);
+            history.records.push(rec);
+        }
+    }
+    history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history.sync_rounds = syncs;
+    history.final_params = Some(match spec.op {
+        EventOp::EpochAverage => match &avg_model {
+            Some(am) => am.param_vector(),
+            None => learner.model.param_vector(),
+        },
+        // A pending average that never landed is flushed into the final
+        // parameters, exactly like the simulated strategy.
+        EventOp::DelayedAverage => match pending.take() {
+            Some(prev) => {
+                let cur = learner.model.param_vector();
+                prev.iter()
+                    .zip(&cur)
+                    .zip(&snap)
+                    .map(|((&pv, &c), &s0)| pv + (c - s0))
+                    .collect()
+            }
+            None => learner.model.param_vector(),
+        },
+        _ => learner.model.param_vector(),
+    });
+    Ok(history)
+}
+
+/// Tree allreduce of the learner's accumulated gradient, with the same
+/// compression/error-feedback handling as [`run_sasgd_rank`]'s inline
+/// path. Returns the (reconstructed) dense total.
+fn allreduce_grads<T: Transport>(
+    comm: &mut T,
+    learner: &mut Learner,
+    compression: Option<Compression>,
+    residual: &mut Vec<f32>,
+    round: u64,
+) -> Result<Vec<f32>, EngineError> {
+    let rank = comm.rank();
+    Ok(match compression {
+        None => {
+            allreduce_tree(comm, &mut learner.gs).map_err(|e| wire_failure(rank, round, e))?;
+            learner.gs.clone()
+        }
+        Some(comp) => {
+            let input: Vec<f32> = learner
+                .gs
+                .iter()
+                .zip(residual.iter())
+                .map(|(a, b)| a + b)
+                .collect();
+            let c = comp.compress(&input);
+            *residual = c.residual;
+            match comp {
+                Compression::TopK { .. } => {
+                    let mut sv = SparseVec::from_dense(&c.dense);
+                    sparse_allreduce_tree(comm, &mut sv)
+                        .map_err(|e| wire_failure(rank, round, e))?;
+                    sv.to_dense()
+                }
+                Compression::Uniform8Bit => {
+                    let mut buf = c.dense;
+                    allreduce_tree(comm, &mut buf).map_err(|e| wire_failure(rank, round, e))?;
+                    buf
+                }
+            }
+        }
+    })
 }

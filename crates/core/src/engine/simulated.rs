@@ -1,41 +1,71 @@
 //! The simulated backend: one learner loop over virtual time.
 //!
-//! Two loop shapes cover every strategy:
+//! Three loop shapes cover every strategy × cadence combination:
 //!
 //! * **lockstep** — epochs of aligned steps; after each collective step
-//!   the engine counts toward the strategy's sync interval and hands the
-//!   whole learner cohort to `AggregationStrategy::sync`. Barrier waits
-//!   and aggregation costs are charged by the strategy through the
-//!   learners' virtual clocks.
-//! * **event-driven** — each learner's next `T`-minibatch block is an
-//!   event ordered by virtual completion time; at each completion the
-//!   engine applies the strategy's local math and single-learner sync, so
-//!   gradient staleness emerges from the same speed variation a real
-//!   cluster has while staying bit-reproducible under a seed.
+//!   the engine asks the strategy's [`SyncPolicy`](crate::schedule::SyncPolicy)-driven
+//!   `should_communicate` and hands the whole learner cohort to
+//!   `AggregationStrategy::sync`. Barrier waits and aggregation costs are
+//!   charged by the strategy through the learners' virtual clocks.
+//! * **event-driven, individual scope** — each learner's next `T`-minibatch
+//!   block is an event ordered by `(completion time, rank)`; at each
+//!   completion the engine applies the strategy's local math and
+//!   single-learner sync against shared state, so gradient staleness
+//!   emerges from the same speed variation a real cluster has while
+//!   staying bit-reproducible under a seed.
+//! * **event-driven, collective scope** — learners run their blocks on
+//!   free virtual clocks, the engine pops completions in `(time, rank)`
+//!   order, and each round ends in a collective rendezvous (allreduce /
+//!   averaging). γ for a round is resolved from *nominal* system progress
+//!   (`event_gamma_epoch`), identically on every rank and backend, so the
+//!   trajectory is independent of completion interleaving and the
+//!   threaded backend reproduces it bitwise.
 //!
-//! Per-learner RNG streams make the two interleavings composable: a
-//! learner's batch order and dropout draws depend only on its own stream,
-//! never on how learners interleave.
+//! Per-learner RNG streams make the interleavings composable: a learner's
+//! batch order and dropout draws depend only on its own stream, never on
+//! how learners interleave.
 
 use sasgd_data::Dataset;
 use sasgd_nn::Model;
-use sasgd_simnet::{EventQueue, VirtualTime};
+use sasgd_simnet::{RankQueue, VirtualTime};
 
-use super::{AggregationStrategy, BatchStream, Cadence};
+use super::{
+    event_gamma_epoch, AggregationStrategy, BatchStream, Cadence, CommDecision, CommScope, RoundCtx,
+};
 use crate::history::{History, StalenessStats};
 use crate::trainer::{EvalSets, Learner, TrainConfig};
 
-/// Run `strategy` on the simulated backend.
-pub(crate) fn run(
+/// Run `strategy` at its natural cadence unless `cfg.cadence` overrides it.
+pub(crate) fn run_auto(
     strategy: &mut dyn AggregationStrategy,
     factory: &mut dyn FnMut() -> Model,
     train_set: &Dataset,
     test_set: &Dataset,
     cfg: &TrainConfig,
 ) -> History {
-    match strategy.cadence() {
+    let cadence = cfg.cadence.unwrap_or_else(|| strategy.cadence());
+    run(strategy, factory, train_set, test_set, cfg, cadence)
+}
+
+/// Run `strategy` on the simulated backend at the given cadence.
+pub(crate) fn run(
+    strategy: &mut dyn AggregationStrategy,
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    cadence: Cadence,
+) -> History {
+    match cadence {
         Cadence::Lockstep => run_lockstep(strategy, factory, train_set, test_set, cfg),
-        Cadence::EventDriven => run_event_driven(strategy, factory, train_set, test_set, cfg),
+        Cadence::EventDriven => match strategy.comm_scope() {
+            CommScope::Individual => {
+                run_event_individual(strategy, factory, train_set, test_set, cfg)
+            }
+            CommScope::Collective => {
+                run_event_collective(strategy, factory, train_set, test_set, cfg)
+            }
+        },
     }
 }
 
@@ -77,7 +107,7 @@ fn run_lockstep(
         None
     };
     let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
-    let sync_every = s.sync_interval();
+    let mut policy = s.sync_policy();
 
     let mut history = History::new(s.label(), p, s.history_interval());
     let mut samples = 0u64;
@@ -111,13 +141,22 @@ fn run_lockstep(
                 let j = l.draw_jitter(&cfg.jitter);
                 s.local_step(l, id, train_set, idx, gamma_now, step_s, j);
             }
-            if sync_every > 0 {
-                since_sync += 1;
-                if since_sync == sync_every {
-                    s.sync(&mut learners, gamma_now);
-                    syncs += 1;
-                    since_sync = 0;
+            since_sync += 1;
+            let ctx = RoundCtx {
+                steps_since_sync: since_sync,
+                current_t: policy.current_t(),
+            };
+            if s.should_communicate(ctx) == CommDecision::Communicate {
+                s.sync(&mut learners, gamma_now);
+                // Lockstep aggregations apply fresh state: τ = 0 for every
+                // rank, by construction.
+                for id in 0..p {
+                    let gamma_eff = s.observe_staleness(id, 0, gamma_now);
+                    history.push_staleness(syncs, id, 0, gamma_eff);
                 }
+                policy.observe_round(s.sync_signal());
+                syncs += 1;
+                since_sync = 0;
             }
         }
         for l in &mut learners {
@@ -136,17 +175,12 @@ fn run_lockstep(
     }
     history.staleness = s.staleness(syncs);
     history.wire = s.wire(syncs);
+    history.sync_rounds = syncs;
     history.final_params = Some(s.final_params(&learners));
     history
 }
 
-/// One learner's pending compute block.
-struct Block {
-    learner: usize,
-    start: f64,
-}
-
-fn run_event_driven(
+fn run_event_individual(
     s: &mut dyn AggregationStrategy,
     factory: &mut dyn FnMut() -> Model,
     train_set: &Dataset,
@@ -154,8 +188,8 @@ fn run_event_driven(
     cfg: &TrainConfig,
 ) -> History {
     let p = s.p();
-    let t = s.sync_interval();
-    assert!(t >= 1, "event-driven strategies must sync");
+    let mut policy = s.sync_policy();
+    assert!(policy.current_t() >= 1, "event-driven strategies must sync");
     let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
     let m = learners[0].model.param_len();
     let macs = learners[0].model.macs_per_sample();
@@ -177,31 +211,28 @@ fn run_event_driven(
         .into_iter()
         .map(|sh| BatchStream::new(sh.indices().to_vec(), cfg.batch_size))
         .collect();
-    let mut queue: EventQueue<Block> = EventQueue::new();
+    // Events ordered by (completion time, rank): the pop sequence is a
+    // pure function of the virtual clocks, never of scheduling history.
+    let mut queue: RankQueue<f64> = RankQueue::new();
     for (id, l) in learners.iter_mut().enumerate() {
-        let dur = block_duration(l, t, step_s, cfg);
-        queue.push(
-            VirtualTime(dur),
-            Block {
-                learner: id,
-                start: 0.0,
-            },
-        );
+        let dur = block_duration(l, policy.current_t(), step_s, cfg);
+        queue.push(VirtualTime(dur), id, 0.0);
     }
 
     let mut history = History::new(s.label(), p, s.history_interval());
     let mut samples = 0u64;
     let mut recorded_passes = 0u64;
+    let mut rounds = 0u64;
     // Staleness bookkeeping: how many shared-state updates landed between
     // a learner's pull and its next push.
     let mut shared_version = 0u64;
     let mut pulled_version = vec![0u64; p];
     let mut staleness_obs: Vec<u64> = Vec::new();
 
-    while let Some((tv, block)) = queue.pop() {
-        let id = block.learner;
+    while let Some((tv, id, start)) = queue.pop() {
         // The block's math: T local minibatches against the state pulled
         // at the previous sync.
+        let t = policy.current_t();
         let gamma_now = cfg.gamma_at(samples as f64 / n as f64);
         for _ in 0..t {
             let idx = {
@@ -209,18 +240,23 @@ fn run_event_driven(
                 streams[id].next(&mut l.rng)
             };
             samples += idx.len() as u64;
-            s.event_step(&mut learners[id], id, train_set, &idx, gamma_now);
+            s.on_local_step(&mut learners[id], id, train_set, &idx, gamma_now);
         }
         {
             let l = &mut learners[id];
-            l.compute_s += tv.seconds() - block.start;
+            l.compute_s += tv.seconds() - start;
             l.clock = tv.seconds();
-            staleness_obs.push(shared_version - pulled_version[id]);
+            let tau = shared_version - pulled_version[id];
+            staleness_obs.push(tau);
             shared_version += 1;
-            s.event_sync(l, id, gamma_now);
+            let gamma_eff = s.observe_staleness(id, tau, gamma_now);
+            s.event_sync(l, id, gamma_eff);
             pulled_version[id] = shared_version;
             l.charge_comm(comm_round);
+            history.push_staleness(rounds, id, tau, gamma_eff);
         }
+        policy.observe_round(s.sync_signal());
+        rounds += 1;
         // Record accuracy when learner 0 finishes a pass over its shard.
         if id == 0 && streams[0].completed_passes() > recorded_passes {
             recorded_passes = streams[0].completed_passes();
@@ -231,8 +267,8 @@ fn run_event_driven(
         }
         if samples < target_samples {
             let start = learners[id].clock;
-            let dur = block_duration(&mut learners[id], t, step_s, cfg);
-            queue.push(VirtualTime(start + dur), Block { learner: id, start });
+            let dur = block_duration(&mut learners[id], policy.current_t(), step_s, cfg);
+            queue.push(VirtualTime(start + dur), id, start);
         }
     }
     // Guarantee a final record even if learner 0 did not end on a pass
@@ -244,6 +280,127 @@ fn run_event_driven(
         history.records.push(rec);
     }
     history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history.sync_rounds = rounds;
+    history.final_params = Some(s.final_params(&learners));
+    history
+}
+
+fn run_event_collective(
+    s: &mut dyn AggregationStrategy,
+    factory: &mut dyn FnMut() -> Model,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+) -> History {
+    let p = s.p();
+    let mut policy = s.sync_policy();
+    let mut learners: Vec<Learner> = (0..p).map(|id| Learner::new(id, factory(), cfg)).collect();
+    let macs = learners[0].model.macs_per_sample();
+    let x0 = learners[0].model.param_vector();
+    let init_comm = s.setup(factory, &x0, cfg);
+    for l in &mut learners {
+        l.model.write_params(&x0);
+        l.charge_comm(init_comm);
+    }
+
+    let evals = EvalSets::prepare(train_set, test_set, cfg.eval_cap);
+    let n = train_set.len();
+    let step_s = cfg.cost.minibatch_compute(macs, cfg.batch_size, p);
+    let shards = s.shards(train_set, cfg);
+    // Never-syncing strategies (sequential SGD, one-shot averaging) run
+    // epoch-sized rounds: the smallest shard's whole-minibatch count.
+    let epoch_block = shards
+        .iter()
+        .map(|sh| sh.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard")
+        .max(1);
+    let mut streams: Vec<BatchStream> = shards
+        .into_iter()
+        .map(|sh| BatchStream::new(sh.indices().to_vec(), cfg.batch_size))
+        .collect();
+
+    let mut history = History::new(s.label(), p, s.history_interval());
+    let mut samples = 0u64;
+    let mut steps_done = 0u64; // nominal per-rank steps, same on every rank
+    let mut syncs = 0u64;
+    let mut epochs_done = 0usize;
+    let mut recorded_passes = 0u64;
+    let mut staleness_obs: Vec<u64> = Vec::new();
+    let target_steps = (cfg.epochs as u64) * (n as u64); // in batch·p units
+
+    loop {
+        let t_now = policy.current_t();
+        let block = if t_now >= 1 { t_now } else { epoch_block };
+        // γ for the whole round, resolved from nominal progress *before*
+        // the round: rank-independent, so every rank (and the threaded
+        // backend) computes the identical rate.
+        let gamma_now = cfg.gamma_at(event_gamma_epoch(steps_done, cfg.batch_size, p, n));
+        // Schedule every learner's block (jitter drawn in rank order),
+        // then pop completions in (time, rank) order.
+        let mut queue: RankQueue<f64> = RankQueue::new();
+        for (id, l) in learners.iter_mut().enumerate() {
+            let start = l.clock;
+            let dur = block_duration(l, block, step_s, cfg);
+            queue.push(VirtualTime(start + dur), id, start);
+        }
+        while let Some((tv, id, start)) = queue.pop() {
+            for _ in 0..block {
+                let idx = {
+                    let l = &mut learners[id];
+                    streams[id].next(&mut l.rng)
+                };
+                samples += idx.len() as u64;
+                s.on_local_step(&mut learners[id], id, train_set, &idx, gamma_now);
+            }
+            let l = &mut learners[id];
+            l.compute_s += tv.seconds() - start;
+            l.clock = tv.seconds();
+        }
+        steps_done += block as u64;
+        if t_now >= 1 {
+            // Collective rendezvous: the strategy aggregates all learners
+            // (charging waits and wire time to their clocks itself).
+            s.sync(&mut learners, gamma_now);
+            let tau = s.collective_tau();
+            for id in 0..p {
+                let gamma_eff = s.observe_staleness(id, tau, gamma_now);
+                history.push_staleness(syncs, id, tau, gamma_eff);
+                staleness_obs.push(tau);
+            }
+            policy.observe_round(s.sync_signal());
+            syncs += 1;
+        } else {
+            // T = 0: the round is an epoch; run the strategy's epoch hook
+            // (one-shot averaging charges its final reduction here).
+            epochs_done += 1;
+            s.epoch_end(&mut learners, epochs_done, cfg);
+        }
+        if streams[0].completed_passes() > recorded_passes {
+            recorded_passes = streams[0].completed_passes();
+            let epoch = samples as f64 / n as f64;
+            let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+            let rec = evals.record(s.eval_model(&mut learners), epoch, comp, comm, samples);
+            history.records.push(rec);
+        }
+        let done = if t_now >= 1 {
+            steps_done * (cfg.batch_size as u64) * (p as u64) >= target_steps
+        } else {
+            epochs_done >= cfg.epochs
+        };
+        if done {
+            break;
+        }
+    }
+    if history.records.is_empty() || history.records.last().expect("nonempty").samples < samples {
+        let epoch = samples as f64 / n as f64;
+        let (comp, comm) = (learners[0].compute_s, learners[0].comm_s);
+        let rec = evals.record(s.eval_model(&mut learners), epoch, comp, comm, samples);
+        history.records.push(rec);
+    }
+    history.staleness = StalenessStats::from_observations(&staleness_obs);
+    history.wire = s.wire(syncs);
+    history.sync_rounds = syncs;
     history.final_params = Some(s.final_params(&learners));
     history
 }

@@ -24,8 +24,10 @@ use sasgd_comm::world::CommWorld;
 use sasgd_data::{make_shards, Dataset};
 use sasgd_nn::Model;
 
-use super::rank::{run_sasgd_ft_rank, run_sasgd_rank, SasgdRankSpec};
-use super::{BatchStream, EngineError};
+use super::rank::{
+    run_event_rank, run_sasgd_ft_rank, run_sasgd_rank, EventOp, EventRankSpec, SasgdRankSpec,
+};
+use super::{event_gamma_epoch, strategy_for, BatchStream, Cadence, EngineError};
 use crate::algorithms::{Algorithm, GammaP};
 use crate::compress::Compression;
 use crate::history::{History, WireStats};
@@ -63,16 +65,29 @@ pub(crate) fn join_learners<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>
     ok
 }
 
-/// Run `algo` on the threaded backend. SASGD propagates typed wire
-/// failures; the remaining algorithms run over in-process channels whose
-/// failures are programming errors, not recoverable conditions.
+/// Run `algo` on the threaded backend under the resolved `cadence`. SASGD
+/// propagates typed wire failures; the remaining algorithms run over
+/// in-process channels whose failures are programming errors, not
+/// recoverable conditions.
+///
+/// Lockstep routes to the bulk-synchronous runners; the parameter-server
+/// strategies have no bulk-synchronous runner on real threads, so forcing
+/// them to lockstep here is a typed [`EngineError::UnsupportedCadence`]
+/// (the simulated backend executes every strategy under either cadence).
+/// Event-driven routes the collective strategies through the generic
+/// event-rank loop and the parameter-server strategies through their
+/// native asynchronous runners.
 pub(crate) fn run(
     factory: &(dyn Fn() -> Model + Sync),
     train_set: &Dataset,
     test_set: &Dataset,
     algo: &Algorithm,
     cfg: &TrainConfig,
+    cadence: Cadence,
 ) -> Result<History, EngineError> {
+    if cadence == Cadence::EventDriven {
+        return run_event(factory, train_set, test_set, algo, cfg);
+    }
     Ok(match *algo {
         Algorithm::Sequential => run_threaded_sequential(factory, train_set, test_set, cfg),
         Algorithm::Sasgd {
@@ -101,14 +116,55 @@ pub(crate) fn run(
         } => crate::threaded::run_threaded_hierarchical_sasgd(
             factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
         ),
-        Algorithm::Downpour { p, t } => {
-            crate::threaded::run_threaded_downpour(factory, train_set, test_set, cfg, p, t, p)
+        Algorithm::ModelAverageOnce { p } => {
+            run_threaded_averaging(factory, train_set, test_set, cfg, p)
         }
+        // No bulk-synchronous runner exists for these on real threads —
+        // the parameter-server algorithms are asynchronous by definition
+        // and the averaging lattice points default to the event-driven
+        // cadence; only an explicit lockstep override can reach this.
+        Algorithm::Downpour { .. }
+        | Algorithm::Eamsgd { .. }
+        | Algorithm::LocalSgd { .. }
+        | Algorithm::DelayedAvg { .. } => {
+            return Err(EngineError::UnsupportedCadence {
+                label: strategy_for(algo).label(),
+            })
+        }
+    })
+}
+
+/// Event-driven dispatch: the asynchronous strategies run their native
+/// threaded runners; the collective strategies run the generic event-rank
+/// loop over real threads.
+fn run_event(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &Algorithm,
+    cfg: &TrainConfig,
+) -> Result<History, EngineError> {
+    Ok(match *algo {
+        Algorithm::Downpour {
+            p,
+            t,
+            staleness_gamma,
+        } => crate::threaded::run_threaded_downpour(
+            factory,
+            train_set,
+            test_set,
+            cfg,
+            p,
+            t,
+            p,
+            staleness_gamma,
+        ),
         Algorithm::Eamsgd {
             p,
             t,
             moving_rate,
             momentum,
+            staleness_gamma,
         } => run_threaded_eamsgd(
             factory,
             train_set,
@@ -118,11 +174,286 @@ pub(crate) fn run(
             t,
             moving_rate,
             momentum,
+            staleness_gamma,
         ),
-        Algorithm::ModelAverageOnce { p } => {
-            run_threaded_averaging(factory, train_set, test_set, cfg, p)
-        }
+        _ => return run_event_collective(factory, train_set, test_set, algo, cfg),
     })
+}
+
+/// `"SASGD(p=4,T=2)"` → `"SASGD-threaded(p=4,T=2)"` — the backend suffix
+/// in the position the dedicated runners put it.
+fn threaded_label(label: &str) -> String {
+    match label.find('(') {
+        Some(i) => format!("{}-threaded{}", &label[..i], &label[i..]),
+        None => format!("{label}-threaded"),
+    }
+}
+
+/// The collective strategies under event-driven cadence: one OS thread per
+/// rank running [`run_event_rank`] over the in-process world. The round
+/// structure (policy, block size, round γ) is resolved independently per
+/// rank from rank-invariant state, so the collectives line up without a
+/// coordinator. Hierarchical SASGD needs grouped communicators and routes
+/// to its own loop.
+fn run_event_collective(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &Algorithm,
+    cfg: &TrainConfig,
+) -> Result<History, EngineError> {
+    if let Algorithm::HierarchicalSasgd {
+        groups,
+        per_group,
+        t_local,
+        t_global,
+        gamma_p,
+    } = *algo
+    {
+        return Ok(run_event_hierarchical(
+            factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
+        ));
+    }
+    let s = strategy_for(algo);
+    let p = s.p();
+    let policy = s.sync_policy();
+    let collective_tau = s.collective_tau();
+    let history_interval = s.history_interval();
+    let label = threaded_label(&s.label());
+    let op = match *algo {
+        Algorithm::Sequential => EventOp::LocalOnly,
+        Algorithm::ModelAverageOnce { .. } => EventOp::EpochAverage,
+        Algorithm::Sasgd {
+            gamma_p,
+            compression,
+            ..
+        } => EventOp::Gradient {
+            gamma_p,
+            compression,
+        },
+        Algorithm::LocalSgd { .. } => EventOp::ParamAverage,
+        Algorithm::DelayedAvg { .. } => EventOp::DelayedAverage,
+        Algorithm::HierarchicalSasgd { .. }
+        | Algorithm::Downpour { .. }
+        | Algorithm::Eamsgd { .. } => {
+            unreachable!("routed to a dedicated event runner above")
+        }
+    };
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
+    let epoch_block = shards
+        .iter()
+        .map(|s| s.len() / cfg.batch_size)
+        .min()
+        .expect("at least one shard")
+        .max(1);
+
+    let mut world = CommWorld::new(p);
+    let traffic = world.traffic();
+    let comms = world.communicators();
+    let mut rank0_history: Option<History> = None;
+    let mut first_err: Option<EngineError> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
+            let label = label.clone();
+            let policy = policy.clone();
+            let handle = scope.spawn(move || {
+                let rank = comm.rank();
+                // Rank 0 holds the spare replica that evaluates the running
+                // average (one-shot averaging only).
+                let eval_replica = if rank == 0 && matches!(op, EventOp::EpochAverage) {
+                    Some(factory())
+                } else {
+                    None
+                };
+                let spec = EventRankSpec {
+                    train_set,
+                    test_set,
+                    cfg,
+                    p,
+                    label,
+                    op,
+                    policy,
+                    epoch_block,
+                    collective_tau,
+                    history_interval,
+                };
+                (
+                    rank,
+                    run_event_rank(&mut comm, factory(), eval_replica, &shard, &spec),
+                )
+            });
+            handles.push(handle);
+        }
+        for (rank, result) in join_learners(handles) {
+            match result {
+                Ok(history) if rank == 0 => rank0_history = Some(history),
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let mut history = rank0_history.expect("rank 0 history");
+    history.wire = Some(WireStats {
+        elements: traffic.elements_sent(),
+        messages: traffic.messages_sent(),
+    });
+    Ok(history)
+}
+
+/// Hierarchical SASGD under event-driven cadence: the grouped-communicator
+/// mirror of the simulated collective event loop. Each round is a
+/// `t_local`-minibatch block at a round γ resolved from nominal progress,
+/// then a group allreduce + group step; every `t_global` rounds the group
+/// parameter copies are averaged through the leader communicator. Level 2
+/// averages via tree-reduce + scale while the simulated strategy
+/// accumulates in rank order, so cross-backend equality is bitwise only at
+/// `groups = 1` (where level 2 is the identity in both backends).
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+fn run_event_hierarchical(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    groups: usize,
+    per_group: usize,
+    t_local: usize,
+    t_global: usize,
+    gamma_p: GammaP,
+) -> History {
+    use sasgd_comm::collectives::{allreduce_tree, broadcast};
+    assert!(groups >= 1 && per_group >= 1 && t_local >= 1 && t_global >= 1);
+    let p = groups * per_group;
+    sasgd_tensor::parallel::auto_configure_for_learners(p);
+    let shards = make_shards(train_set, p, cfg.shard_strategy);
+    let n = train_set.len();
+    let target_steps = (cfg.epochs as u64) * (n as u64); // in batch·p units
+    let bundles = sasgd_comm::hierarchy::grouped(groups, per_group);
+    let mut rank0_history: Option<History> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (mut bundle, shard) in bundles.into_iter().zip(shards.iter().cloned()) {
+            let handle = scope.spawn(move || {
+                let rank = bundle.global.rank();
+                let mut learner = Learner::new(rank, factory(), cfg);
+                let mut x = learner.model.param_vector();
+                broadcast(&mut bundle.global, 0, &mut x).expect("x0 broadcast");
+                learner.model.write_params(&x);
+                let evals = if rank == 0 {
+                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                } else {
+                    None
+                };
+                let mut history = History::new(
+                    format!("H-SASGD-threaded(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
+                    p,
+                    t_local * t_global,
+                );
+                let mut stream = BatchStream::new(shard.indices().to_vec(), cfg.batch_size);
+                let mut samples = 0u64;
+                let mut steps_done = 0u64;
+                let mut syncs = 0u64;
+                let mut local_rounds = 0usize;
+                let mut recorded_passes = 0u64;
+                let mut compute_s = 0.0f64;
+                let mut comm_s = 0.0f64;
+                let mut staleness_obs: Vec<u64> = Vec::new();
+                loop {
+                    let gamma_now =
+                        cfg.gamma_at(event_gamma_epoch(steps_done, cfg.batch_size, p, n));
+                    let t0 = Instant::now();
+                    for _ in 0..t_local {
+                        let idx = stream.next(&mut learner.rng);
+                        samples += idx.len() as u64;
+                        learner.local_step(train_set, &idx, gamma_now, 0.0, 1.0);
+                    }
+                    compute_s += t0.elapsed().as_secs_f64();
+                    steps_done += t_local as u64;
+                    let t1 = Instant::now();
+                    // Level 1: group-local allreduce of gs, group step.
+                    let gp = gamma_p.resolve(gamma_now, per_group);
+                    allreduce_tree(&mut bundle.local, &mut learner.gs).expect("group allreduce");
+                    for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                        *xi -= gp * g;
+                    }
+                    learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                    local_rounds += 1;
+                    if local_rounds == t_global {
+                        // Level 2: average the group copies through the
+                        // leader communicator, broadcast down.
+                        if let Some(leaders) = bundle.leaders.as_mut() {
+                            allreduce_tree(leaders, &mut x).expect("leader allreduce");
+                            let inv = 1.0 / groups as f32;
+                            x.iter_mut().for_each(|v| *v *= inv);
+                        }
+                        broadcast(&mut bundle.local, 0, &mut x).expect("group broadcast");
+                        local_rounds = 0;
+                    }
+                    learner.model.write_params(&x);
+                    comm_s += t1.elapsed().as_secs_f64();
+                    syncs += 1;
+                    if rank == 0 {
+                        for id in 0..p {
+                            history.push_staleness(syncs - 1, id, 0, gamma_now);
+                            staleness_obs.push(0);
+                        }
+                        if stream.completed_passes() > recorded_passes {
+                            recorded_passes = stream.completed_passes();
+                            if let Some(ev) = &evals {
+                                let rec = ev.record(
+                                    &mut learner.model,
+                                    (samples * p as u64) as f64 / n as f64, // lint:allow(float-cast)
+                                    compute_s,
+                                    comm_s,
+                                    samples * p as u64,
+                                );
+                                history.records.push(rec);
+                            }
+                        }
+                    }
+                    if steps_done * (cfg.batch_size as u64) * (p as u64) >= target_steps {
+                        break;
+                    }
+                }
+                if let Some(ev) = &evals {
+                    if history.records.is_empty()
+                        || history.records.last().expect("nonempty").samples < samples * p as u64
+                    {
+                        let rec = ev.record(
+                            &mut learner.model,
+                            (samples * p as u64) as f64 / n as f64, // lint:allow(float-cast)
+                            compute_s,
+                            comm_s,
+                            samples * p as u64,
+                        );
+                        history.records.push(rec);
+                    }
+                }
+                history.staleness =
+                    crate::history::StalenessStats::from_observations(&staleness_obs);
+                history.sync_rounds = syncs;
+                history.final_params = Some(learner.model.param_vector());
+                (rank, history)
+            });
+            handles.push(handle);
+        }
+        for (rank, history) in join_learners(handles) {
+            if rank == 0 {
+                rank0_history = Some(history);
+            }
+        }
+    });
+    rank0_history.expect("rank 0 history")
 }
 
 /// SASGD (optionally compressed) with one OS thread per learner.
@@ -363,6 +694,12 @@ pub fn run_threaded_sequential(
 /// holding the center variable. As with threaded Downpour, the
 /// interleaving beyond `p = 1` is decided by the OS scheduler — genuinely
 /// asynchronous, not reproducible across executions.
+///
+/// With `staleness_gamma` each elastic exchange scales its moving rate by
+/// `1/(1+τ)` where τ is the *measured* number of foreign exchanges the
+/// center absorbed between this learner's pull and its own previous
+/// exchange — counted by a shared atomic. Rank 0's observations land in
+/// [`History::staleness_series`](crate::history::History::staleness_series).
 #[allow(clippy::too_many_arguments)] // mirrors the Eamsgd variant's fields
 pub fn run_threaded_eamsgd(
     factory: &(dyn Fn() -> Model + Sync),
@@ -373,7 +710,9 @@ pub fn run_threaded_eamsgd(
     t: usize,
     moving_rate: Option<f32>,
     momentum: f32,
+    staleness_gamma: bool,
 ) -> History {
+    use std::sync::atomic::{AtomicU64, Ordering};
     assert!(p >= 1 && t >= 1);
     assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
     let alpha = moving_rate.unwrap_or(0.9 / p as f32);
@@ -385,27 +724,40 @@ pub fn run_threaded_eamsgd(
     let n = train_set.len();
     let target_per_learner = (cfg.epochs * n).div_ceil(p);
     let data_shards = make_shards(train_set, p, cfg.shard_strategy);
+    // Counts elastic exchanges against the center — the τ source when
+    // staleness-aware scaling is on.
+    let exchange_counter = AtomicU64::new(0);
+    let label = if staleness_gamma {
+        format!("EAMSGD-s\u{3b3}-threaded(p={p},T={t})")
+    } else {
+        format!("EAMSGD-threaded(p={p},T={t})")
+    };
     let mut rank0_history: Option<History> = None;
 
     std::thread::scope(|scope| {
+        let exchange_counter = &exchange_counter;
         let mut handles = Vec::new();
         for (rank, data_shard) in data_shards.iter().enumerate() {
             let client = ps.client();
+            let label = label.clone();
             let handle = scope.spawn(move || {
                 let mut learner = Learner::new(rank, factory(), cfg);
                 learner.model.write_params(&client.pull());
+                let mut seen = exchange_counter.load(Ordering::SeqCst);
                 let mut velocity = vec![0.0f32; m];
                 let evals = if rank == 0 {
                     Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
                 } else {
                     None
                 };
-                let mut history = History::new(format!("EAMSGD-threaded(p={p},T={t})"), p, t);
+                let mut history = History::new(label, p, t);
                 let mut stream = BatchStream::new(data_shard.indices().to_vec(), cfg.batch_size);
                 let mut samples = 0usize;
                 let mut compute_s = 0.0f64;
                 let mut comm_s = 0.0f64;
                 let mut recorded = 0u64;
+                let mut exchanges = 0u64;
+                let mut staleness_obs: Vec<u64> = Vec::new();
                 while samples < target_per_learner {
                     let gamma_now = cfg.gamma_at(samples as f64 * p as f64 / n as f64);
                     let t0 = Instant::now();
@@ -426,16 +778,28 @@ pub fn run_threaded_eamsgd(
                     let t1 = Instant::now();
                     // Elastic exchange: pull x̃, retreat toward it, push the
                     // elastic difference (the server adds it to x̃).
+                    let tau = exchange_counter.fetch_add(1, Ordering::SeqCst) - seen;
+                    let alpha_eff = if staleness_gamma {
+                        alpha / (1.0 + tau as f32) // lint:allow(float-cast)
+                    } else {
+                        alpha
+                    };
                     let center = client.pull();
+                    seen = exchange_counter.load(Ordering::SeqCst);
                     let mut params = learner.model.param_vector();
                     let mut diff = vec![0.0f32; m];
                     for ((pi, &ci), di) in params.iter_mut().zip(&center).zip(diff.iter_mut()) {
-                        *di = alpha * (*pi - ci);
+                        *di = alpha_eff * (*pi - ci);
                         *pi -= *di;
                     }
                     learner.model.write_params(&params);
                     client.add(&diff);
                     comm_s += t1.elapsed().as_secs_f64();
+                    if rank == 0 {
+                        history.push_staleness(exchanges, 0, tau, alpha_eff);
+                        staleness_obs.push(tau);
+                    }
+                    exchanges += 1;
                     if rank == 0 && stream.completed_passes() > recorded {
                         recorded = stream.completed_passes();
                         if let Some(ev) = &evals {
@@ -462,6 +826,8 @@ pub fn run_threaded_eamsgd(
                         history.records.push(rec);
                     }
                 }
+                history.staleness =
+                    crate::history::StalenessStats::from_observations(&staleness_obs);
                 history.final_params = Some(learner.model.param_vector());
                 (rank, history)
             });
@@ -474,6 +840,7 @@ pub fn run_threaded_eamsgd(
         }
     });
     let mut history = rank0_history.expect("rank 0 history");
+    history.sync_rounds = exchange_counter.load(std::sync::atomic::Ordering::SeqCst);
     let t = ps.traffic();
     let elements = t.pushed.load(std::sync::atomic::Ordering::Relaxed)
         + t.pulled.load(std::sync::atomic::Ordering::Relaxed);
@@ -630,7 +997,7 @@ mod tests {
         let mut cfg = TrainConfig::new(6, 8, 0.02, 42);
         cfg.jitter = JitterModel::none();
         let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
-        let h = run_threaded_eamsgd(&factory, &train, &test, &cfg, 2, 2, None, 0.9);
+        let h = run_threaded_eamsgd(&factory, &train, &test, &cfg, 2, 2, None, 0.9, false);
         assert!(
             h.final_test_acc() > 0.45,
             "async threads + real center should learn: {:.2}",

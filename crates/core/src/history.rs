@@ -62,7 +62,35 @@ pub struct History {
     /// The survivors' [`MembershipEvent`]s describe the same losses from
     /// the other side; this is the retiree's own account.
     pub retirements: Vec<RetirementEvent>,
+    /// Per-update staleness series: one sample per (sync round, rank),
+    /// capped at [`MAX_STALENESS_SAMPLES`] entries. Lockstep runs record
+    /// all-zero `tau` by construction; event-driven runs record the
+    /// measured lag and the effective rate after any staleness-aware γ
+    /// scaling.
+    pub staleness_series: Vec<StalenessSample>,
+    /// Total aggregation (communication) rounds the run executed.
+    pub sync_rounds: u64,
 }
+
+/// One (round, rank) staleness observation: how many global updates landed
+/// between this rank's pull and its push (`tau`), and the learning rate
+/// actually applied after any staleness-aware scaling (`gamma_eff` equals
+/// the scheduled γ when scaling is off).
+#[derive(Clone, Copy, Debug)]
+pub struct StalenessSample {
+    /// Sync round (0-based) the sample was taken in.
+    pub round: u64,
+    /// The observing rank.
+    pub rank: usize,
+    /// Measured staleness in global updates.
+    pub tau: u64,
+    /// Effective learning rate applied for this update.
+    pub gamma_eff: f32,
+}
+
+/// Cap on [`History::staleness_series`] length, so long runs at large `p`
+/// keep histories small; [`StalenessStats`] still summarizes every push.
+pub const MAX_STALENESS_SAMPLES: usize = 4096;
 
 /// One learner's graceful mid-run exit from a fault-tolerant run.
 #[derive(Clone, Debug)]
@@ -149,6 +177,21 @@ impl History {
             wire: None,
             membership: Vec::new(),
             retirements: Vec::new(),
+            staleness_series: Vec::new(),
+            sync_rounds: 0,
+        }
+    }
+
+    /// Append a staleness sample unless the series is already at
+    /// [`MAX_STALENESS_SAMPLES`].
+    pub fn push_staleness(&mut self, round: u64, rank: usize, tau: u64, gamma_eff: f32) {
+        if self.staleness_series.len() < MAX_STALENESS_SAMPLES {
+            self.staleness_series.push(StalenessSample {
+                round,
+                rank,
+                tau,
+                gamma_eff,
+            });
         }
     }
 
@@ -287,5 +330,16 @@ mod tests {
         let mut h = History::new("x", 1, 1);
         h.records.push(rec(1.0, 0.5, 0.0, 0.0));
         assert_eq!(h.test_acc_series(), vec![(1.0, 50.0)]);
+    }
+
+    #[test]
+    fn staleness_series_is_capped() {
+        let mut h = History::new("x", 1, 1);
+        for round in 0..(MAX_STALENESS_SAMPLES as u64 + 100) {
+            h.push_staleness(round, 0, 1, 0.05);
+        }
+        assert_eq!(h.staleness_series.len(), MAX_STALENESS_SAMPLES);
+        assert_eq!(h.staleness_series[0].round, 0);
+        assert_eq!(h.staleness_series[0].tau, 1);
     }
 }

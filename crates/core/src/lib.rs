@@ -39,9 +39,10 @@ pub use algorithms::{Algorithm, GammaP};
 pub use compress::Compression;
 pub use engine::rank::{run_sasgd_ft_rank, run_sasgd_rank, SasgdRankSpec};
 pub use engine::threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
-pub use engine::{Backend, EngineError, Executor};
+pub use engine::{Backend, Cadence, EngineError, Executor};
 pub use history::{
-    EpochRecord, History, MembershipEvent, RetirementEvent, StalenessStats, WireStats,
+    EpochRecord, History, MembershipEvent, RetirementEvent, StalenessSample, StalenessStats,
+    WireStats,
 };
 /// Fault-injection plan types, re-exported from `sasgd-comm` so embedders
 /// configure fault-tolerant runs without a direct comm dependency.
@@ -50,7 +51,7 @@ pub use sasgd_data::ShardStrategy;
 /// Intra-op thread-pool control for the compute kernels (re-exported from
 /// `sasgd-tensor` so embedders size the pool without a direct tensor dep).
 pub use sasgd_tensor::parallel;
-pub use schedule::LrSchedule;
+pub use schedule::{LrSchedule, SyncPolicy, TSchedule};
 pub use sweep::{run_sweep, SweepGrid, SweepResult};
 pub use threaded::{
     run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd,

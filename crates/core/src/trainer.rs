@@ -42,6 +42,11 @@ pub struct TrainConfig {
     /// datasets; [`ShardStrategy::ByClass`] builds the pathological
     /// non-IID partition where one-shot averaging collapses.
     pub shard_strategy: ShardStrategy,
+    /// Execution-cadence override: `None` runs each strategy at its
+    /// natural cadence (lockstep for the bulk-synchronous algorithms,
+    /// event-driven for the asynchronous ones); `Some` forces one. The
+    /// simulated backend executes every strategy under either value.
+    pub cadence: Option<crate::engine::Cadence>,
 }
 
 impl TrainConfig {
@@ -63,6 +68,7 @@ impl TrainConfig {
             jitter: JitterModel::default(),
             eval_cap: 2_000,
             shard_strategy: ShardStrategy::Contiguous,
+            cadence: None,
         }
     }
 }
@@ -110,14 +116,17 @@ pub fn train(
         } => algorithms::hierarchical::run(
             factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
         ),
-        Algorithm::Downpour { p, t } => {
-            algorithms::downpour::run(factory, train_set, test_set, cfg, p, t)
-        }
+        Algorithm::Downpour {
+            p,
+            t,
+            staleness_gamma,
+        } => algorithms::downpour::run(factory, train_set, test_set, cfg, p, t, staleness_gamma),
         Algorithm::Eamsgd {
             p,
             t,
             moving_rate,
             momentum,
+            staleness_gamma,
         } => algorithms::eamsgd::run(
             factory,
             train_set,
@@ -127,7 +136,14 @@ pub fn train(
             t,
             moving_rate,
             momentum,
+            staleness_gamma,
         ),
+        Algorithm::LocalSgd { p, schedule } => {
+            algorithms::local_sgd::run(factory, train_set, test_set, cfg, p, schedule)
+        }
+        Algorithm::DelayedAvg { p, t } => {
+            algorithms::dasgd::run(factory, train_set, test_set, cfg, p, t)
+        }
         Algorithm::ModelAverageOnce { p } => {
             algorithms::averaging::run(factory, train_set, test_set, cfg, p)
         }

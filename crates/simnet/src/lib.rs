@@ -26,7 +26,7 @@ pub mod timeline;
 pub mod topology;
 
 pub use cost::{CommCost, CostModel};
-pub use event::{EventQueue, VirtualTime};
+pub use event::{EventQueue, RankQueue, VirtualTime};
 pub use jitter::JitterModel;
 pub use timeline::{render_gantt, trace_downpour, trace_sasgd, LearnerTrace, Phase, TimelineSpec};
 pub use topology::Topology;

@@ -37,7 +37,14 @@ fn main() {
                 compression: None,
             },
         ),
-        ("Downpour", Algorithm::Downpour { p, t }),
+        (
+            "Downpour",
+            Algorithm::Downpour {
+                p,
+                t,
+                staleness_gamma: false,
+            },
+        ),
         (
             "EAMSGD",
             Algorithm::Eamsgd {
@@ -45,6 +52,7 @@ fn main() {
                 t,
                 moving_rate: None,
                 momentum: 0.0,
+                staleness_gamma: false,
             },
         ),
     ];

@@ -79,7 +79,11 @@ fn main() {
             gamma_p: GammaP::OverP,
             compression: None,
         },
-        Algorithm::Downpour { p: 8, t: 5 },
+        Algorithm::Downpour {
+            p: 8,
+            t: 5,
+            staleness_gamma: false,
+        },
     ] {
         let cfg = TrainConfig::new(4, 8, 0.02, 1);
         let mut f = || models::tiny_cnn(10, &mut SeedRng::new(7));

@@ -47,7 +47,14 @@ fn main() {
                     compression: None,
                 },
             ),
-            ("Downpour", Algorithm::Downpour { p, t }),
+            (
+                "Downpour",
+                Algorithm::Downpour {
+                    p,
+                    t,
+                    staleness_gamma: false,
+                },
+            ),
         ] {
             if p == 1 && name == "Downpour" {
                 continue;

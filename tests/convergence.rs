@@ -30,12 +30,17 @@ fn every_algorithm_learns_at_small_p() {
             gamma_p: GammaP::OverP,
             compression: None,
         },
-        Algorithm::Downpour { p: 2, t: 1 },
+        Algorithm::Downpour {
+            p: 2,
+            t: 1,
+            staleness_gamma: false,
+        },
         Algorithm::Eamsgd {
             p: 2,
             t: 2,
             moving_rate: None,
             momentum: 0.5,
+            staleness_gamma: false,
         },
         Algorithm::ModelAverageOnce { p: 2 },
     ];
@@ -85,7 +90,11 @@ fn sasgd_tolerates_more_learners_than_downpour() {
         &mut f2,
         &train_set,
         &test_set,
-        &Algorithm::Downpour { p, t },
+        &Algorithm::Downpour {
+            p,
+            t,
+            staleness_gamma: false,
+        },
         &c,
     );
     assert!(

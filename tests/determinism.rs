@@ -1,7 +1,7 @@
 //! Reproducibility: every algorithm is a pure function of its seed.
 
 use sasgd::core::algorithms::GammaP;
-use sasgd::core::{train, Algorithm, History, TrainConfig};
+use sasgd::core::{train, Algorithm, History, TSchedule, TrainConfig};
 use sasgd::data::cifar_like::{generate, CifarLikeConfig};
 use sasgd::nn::models;
 use sasgd::tensor::SeedRng;
@@ -22,13 +22,28 @@ fn algos() -> Vec<Algorithm> {
             gamma_p: GammaP::OverP,
             compression: None,
         },
-        Algorithm::Downpour { p: 4, t: 2 },
+        Algorithm::Downpour {
+            p: 4,
+            t: 2,
+            staleness_gamma: false,
+        },
         Algorithm::Eamsgd {
             p: 4,
             t: 2,
             moving_rate: None,
             momentum: 0.5,
+            staleness_gamma: false,
         },
+        Algorithm::LocalSgd {
+            p: 4,
+            schedule: TSchedule::AdaptivePlateau {
+                t0: 2,
+                t_max: 8,
+                patience: 1,
+                rel_improve: 0.2,
+            },
+        },
+        Algorithm::DelayedAvg { p: 4, t: 2 },
         Algorithm::ModelAverageOnce { p: 4 },
     ]
 }

@@ -3,7 +3,9 @@
 //! coincide mathematically.
 
 use sasgd::core::algorithms::GammaP;
-use sasgd::core::{run_threaded_sasgd, train, Algorithm, Backend, Executor, TrainConfig};
+use sasgd::core::{
+    run_threaded_sasgd, train, Algorithm, Backend, Cadence, Executor, TSchedule, TrainConfig,
+};
 use sasgd::data::cifar_like::{generate, CifarLikeConfig};
 use sasgd::nn::models;
 use sasgd::simnet::JitterModel;
@@ -98,7 +100,11 @@ fn threaded_equals_simulated_downpour_p1_bitwise() {
     // for bit. (Beyond p = 1 the OS scheduler decides the interleaving;
     // that divergence is the phenomenon the backend exists to exhibit.)
     assert_backends_agree(
-        &Algorithm::Downpour { p: 1, t: 2 },
+        &Algorithm::Downpour {
+            p: 1,
+            t: 2,
+            staleness_gamma: false,
+        },
         &quiet_cfg(3, 0.04, 17),
         5,
     );
@@ -115,10 +121,98 @@ fn threaded_equals_simulated_eamsgd_p1_bitwise() {
             t: 2,
             moving_rate: Some(0.5),
             momentum: 0.9,
+            staleness_gamma: false,
         },
         &quiet_cfg(3, 0.04, 19),
         5,
     );
+}
+
+#[test]
+fn threaded_equals_simulated_local_sgd_bitwise() {
+    // Parameter averaging is allreduce-shaped: one rank-independent γ per
+    // round and a binomial-tree reduction, so real threads must reproduce
+    // the simulated event engine bit for bit at ANY p, not just p=1.
+    for p in [1usize, 4] {
+        assert_backends_agree(
+            &Algorithm::LocalSgd {
+                p,
+                schedule: TSchedule::Fixed { t: 2 },
+            },
+            &quiet_cfg(3, 0.05, 23),
+            5,
+        );
+    }
+}
+
+#[test]
+fn threaded_equals_simulated_adaptive_local_sgd_bitwise() {
+    // The adaptive policy is driven by the average-displacement signal,
+    // which both backends compute from identical floats — so the interval
+    // doublings land on the same rounds and the trajectories stay bitwise
+    // equal.
+    assert_backends_agree(
+        &Algorithm::LocalSgd {
+            p: 4,
+            schedule: TSchedule::AdaptivePlateau {
+                t0: 1,
+                t_max: 8,
+                patience: 1,
+                rel_improve: 0.2,
+            },
+        },
+        &quiet_cfg(3, 0.05, 29),
+        5,
+    );
+}
+
+#[test]
+fn threaded_equals_simulated_delayed_avg_bitwise() {
+    // Delayed averaging is also allreduce-shaped (the delay changes when
+    // the average lands, not the float sequence), so the cross-backend
+    // contract again holds at any p.
+    for p in [1usize, 4] {
+        assert_backends_agree(
+            &Algorithm::DelayedAvg { p, t: 2 },
+            &quiet_cfg(3, 0.05, 31),
+            5,
+        );
+    }
+}
+
+#[test]
+fn event_driven_p1_collapses_to_simulated_bitwise() {
+    // At p=1 the event-driven engine has no scheduling freedom left: every
+    // strategy's threaded run must reproduce the simulated one bit for
+    // bit. (Downpour and EAMSGD p=1 are pinned by the dedicated tests
+    // above; these are the collective strategies under an explicit
+    // event-driven cadence.)
+    let mut cfg = quiet_cfg(2, 0.05, 37);
+    cfg.cadence = Some(Cadence::EventDriven);
+    for algo in [
+        Algorithm::Sequential,
+        Algorithm::Sasgd {
+            p: 1,
+            t: 2,
+            gamma_p: GammaP::OverP,
+            compression: None,
+        },
+        Algorithm::HierarchicalSasgd {
+            groups: 1,
+            per_group: 1,
+            t_local: 2,
+            t_global: 2,
+            gamma_p: GammaP::OverP,
+        },
+        Algorithm::ModelAverageOnce { p: 1 },
+        Algorithm::LocalSgd {
+            p: 1,
+            schedule: TSchedule::Fixed { t: 2 },
+        },
+        Algorithm::DelayedAvg { p: 1, t: 2 },
+    ] {
+        assert_backends_agree(&algo, &cfg, 5);
+    }
 }
 
 #[test]
@@ -176,7 +270,11 @@ fn downpour_p1_t1_tracks_sequential_closely() {
         &mut f1,
         &train_set,
         &test_set,
-        &Algorithm::Downpour { p: 1, t: 1 },
+        &Algorithm::Downpour {
+            p: 1,
+            t: 1,
+            staleness_gamma: false,
+        },
         &cfg,
     );
     let mut f2 = || models::tiny_cnn(3, &mut SeedRng::new(3));

@@ -13,7 +13,7 @@
 //! GOLDEN_PRINT=1 cargo test -q --test engine_golden -- --nocapture
 //! ```
 
-use sasgd::core::{train, Algorithm, Compression, GammaP, TrainConfig};
+use sasgd::core::{train, Algorithm, Cadence, Compression, GammaP, TSchedule, TrainConfig};
 use sasgd::data::cifar_like::{generate, CifarLikeConfig};
 use sasgd::nn::models;
 use sasgd::tensor::SeedRng;
@@ -103,7 +103,11 @@ fn goldens() -> Vec<Golden> {
         },
         Golden {
             name: "downpour_p3_t2",
-            algo: Algorithm::Downpour { p: 3, t: 2 },
+            algo: Algorithm::Downpour {
+                p: 3,
+                t: 2,
+                staleness_gamma: false,
+            },
             hash: 0x03ee_1a78_95a1_be2d,
             head: [0xbd510305, 0xbc3b6204, 0x3d890491, 0x3dee1c64],
         },
@@ -114,6 +118,7 @@ fn goldens() -> Vec<Golden> {
                 t: 2,
                 moving_rate: None,
                 momentum: 0.9,
+                staleness_gamma: false,
             },
             hash: 0x3020_912e_d9ce_57a5,
             head: [0xbd29a092, 0x3c21a180, 0x3da3bc90, 0x3df81ef9],
@@ -127,11 +132,10 @@ fn goldens() -> Vec<Golden> {
     ]
 }
 
-#[test]
-fn final_params_match_pre_engine_goldens() {
+fn check(cases: Vec<Golden>, run: impl Fn(&Algorithm) -> Vec<f32>) {
     let print = std::env::var("GOLDEN_PRINT").is_ok();
-    for g in goldens() {
-        let params = run_case(&g.algo);
+    for g in cases {
+        let params = run(&g.algo);
         let hash = checksum(&params);
         let head: Vec<u32> = params.iter().take(4).map(|v| v.to_bits()).collect();
         if print {
@@ -151,4 +155,78 @@ fn final_params_match_pre_engine_goldens() {
             assert_eq!(got, want, "{}: param[{i}] bits drifted", g.name);
         }
     }
+}
+
+#[test]
+fn final_params_match_pre_engine_goldens() {
+    check(goldens(), run_case);
+}
+
+/// The same workload under `Cadence::EventDriven` — pinning the
+/// event-driven simulated engine's numerics, including the new lattice
+/// strategies. Generated fresh for the event engine (the collective event
+/// loop resolves one γ per round from nominal steps, so it is NOT expected
+/// to match the lockstep hashes above).
+fn event_goldens() -> Vec<Golden> {
+    vec![
+        Golden {
+            name: "event_sasgd_p4_t2",
+            algo: Algorithm::Sasgd {
+                p: 4,
+                t: 2,
+                gamma_p: GammaP::OverP,
+                compression: None,
+            },
+            hash: 0xae37_8f2c_1b9a_b357,
+            head: [0xbd89768f, 0xbd090af7, 0x3d45c332, 0x3ddd0f3a],
+        },
+        Golden {
+            name: "event_localsgd_p4_t2",
+            algo: Algorithm::LocalSgd {
+                p: 4,
+                schedule: TSchedule::Fixed { t: 2 },
+            },
+            hash: 0xd0b2_a679_9476_b628,
+            head: [0xbd897690, 0xbd090af8, 0x3d45c332, 0x3ddd0f3c],
+        },
+        Golden {
+            name: "event_localsgd_p4_adaptive",
+            algo: Algorithm::LocalSgd {
+                p: 4,
+                schedule: TSchedule::AdaptivePlateau {
+                    t0: 1,
+                    t_max: 4,
+                    patience: 1,
+                    rel_improve: 0.2,
+                },
+            },
+            hash: 0x8f97_0a1e_8807_0f72,
+            head: [0xbd847bac, 0xbcfe8cc5, 0x3d4c984e, 0x3de11ffa],
+        },
+        Golden {
+            name: "event_dasgd_p4_t2",
+            algo: Algorithm::DelayedAvg { p: 4, t: 2 },
+            hash: 0x0f4e_6dce_a86e_4211,
+            head: [0xbd8930d2, 0xbd07f678, 0x3d446b36, 0x3ddd33df],
+        },
+        Golden {
+            name: "event_modelavg_p3",
+            algo: Algorithm::ModelAverageOnce { p: 3 },
+            hash: 0x0429_6e54_b807_3187,
+            head: [0xbd863c75, 0xbd01cb0d, 0x3d4ae1d3, 0x3de05948],
+        },
+    ]
+}
+
+#[test]
+fn event_driven_final_params_are_pinned() {
+    check(event_goldens(), |algo| {
+        let (train_set, test_set) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+        let mut cfg = TrainConfig::new(2, 8, 0.05, 42);
+        cfg.cadence = Some(Cadence::EventDriven);
+        let mut factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+        let h = train(&mut factory, &train_set, &test_set, algo, &cfg);
+        h.final_params
+            .unwrap_or_else(|| panic!("{} must report final_params", algo.label()))
+    });
 }

@@ -204,7 +204,11 @@ fn staleness_is_t_for_sasgd_and_spreads_for_downpour() {
         &mut f2,
         &train_set,
         &test_set,
-        &Algorithm::Downpour { p: 4, t },
+        &Algorithm::Downpour {
+            p: 4,
+            t,
+            staleness_gamma: false,
+        },
         &c,
     );
     let sd = downpour.staleness.expect("Downpour records staleness");
@@ -219,6 +223,83 @@ fn staleness_is_t_for_sasgd_and_spreads_for_downpour() {
         sd.max,
         sd.mean
     );
+}
+
+#[test]
+fn lockstep_staleness_series_records_all_zero_tau() {
+    // Under the lockstep cadence every observation is taken at the
+    // barrier, so the measured τ is zero for every (round, rank) sample —
+    // the series distinguishes "synchronous by construction" from the
+    // async runs whose τ spreads.
+    let (train_set, test_set) = cifar();
+    let c = cfg(4, 0.05);
+    let p = 4;
+    let mut f = || models::tiny_cnn(3, &mut SeedRng::new(5));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Sasgd {
+            p,
+            t: 2,
+            gamma_p: GammaP::OverP,
+            compression: None,
+        },
+        &c,
+    );
+    assert!(!h.staleness_series.is_empty(), "lockstep records samples");
+    assert!(
+        h.staleness_series.iter().all(|s| s.tau == 0),
+        "lockstep τ must be identically zero"
+    );
+    for rank in 0..p {
+        assert!(
+            h.staleness_series.iter().any(|s| s.rank == rank),
+            "rank {rank} missing from the series"
+        );
+    }
+    // No staleness scaling in force: the effective rate is the scheduled γ.
+    assert!(h.staleness_series.iter().all(|s| s.gamma_eff == 0.05));
+}
+
+#[test]
+fn staleness_gamma_scales_effective_rate_by_measured_tau() {
+    // Downpour with staleness-aware γ: the event engine measures τ per
+    // push and the recorded effective rate must equal γ/(1+τ) exactly.
+    let (train_set, test_set) = cifar();
+    let mut c = cfg(4, 0.02);
+    c.jitter = JitterModel {
+        cv: 0.3,
+        learner_spread: 0.3,
+    };
+    let mut f = || models::tiny_cnn(3, &mut SeedRng::new(5));
+    let h = train(
+        &mut f,
+        &train_set,
+        &test_set,
+        &Algorithm::Downpour {
+            p: 4,
+            t: 2,
+            staleness_gamma: true,
+        },
+        &c,
+    );
+    assert!(!h.staleness_series.is_empty());
+    assert!(
+        h.staleness_series.iter().any(|s| s.tau > 0),
+        "4 async learners must observe staleness"
+    );
+    for s in &h.staleness_series {
+        let expect = 0.02 / (1.0 + s.tau as f32);
+        assert!(
+            (s.gamma_eff - expect).abs() < 1e-7,
+            "round {} rank {}: γ_eff {} vs γ/(1+{}) = {expect}",
+            s.round,
+            s.rank,
+            s.gamma_eff,
+            s.tau
+        );
+    }
 }
 
 #[test]

@@ -68,7 +68,11 @@ fn slow_straggler_learner_still_converges_async() {
         &mut f,
         &train_set,
         &test_set,
-        &Algorithm::Downpour { p: 2, t: 1 },
+        &Algorithm::Downpour {
+            p: 2,
+            t: 1,
+            staleness_gamma: false,
+        },
         &cfg,
     );
     assert!(h.final_test_acc() > 0.45, "acc {:.2}", h.final_test_acc());
