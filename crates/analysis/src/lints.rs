@@ -60,6 +60,9 @@ const NUMERIC_CRATES: &[&str] = &[
 /// Files allowed to contain `unsafe` (each block still needs `// SAFETY:`).
 const UNSAFE_ALLOWED_FILES: &[&str] = &[
     "crates/tensor/src/workspace.rs",
+    // The packed-GEMM microkernels: unchecked panel indexing inside the
+    // 8-lane FMA chains, length-asserted at kernel entry.
+    "crates/tensor/src/microkernel.rs",
     "crates/comm/src/sparse.rs",
     "crates/bench/src/alloc.rs",
 ];
@@ -531,6 +534,24 @@ mod tests {
         let documented =
             "// SAFETY: caller guarantees the buffer is fully written.\nunsafe fn g() {}\n";
         assert!(lints_of("crates/tensor/src/workspace.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn unsafe_allowlist_scopes_to_microkernel_not_siblings() {
+        // The packed-GEMM microkernel file is sanctioned (with a SAFETY
+        // comment), but its siblings in the packed path are not: pack.rs
+        // and tune.rs must stay fully safe.
+        let bare = "unsafe fn g() {}\n";
+        assert_eq!(
+            lints_of("crates/tensor/src/microkernel.rs", bare),
+            vec!["unsafe"]
+        );
+        let documented =
+            "// SAFETY: panel indices are bounded by the kernel-entry asserts.\nunsafe fn g() {}\n";
+        assert!(lints_of("crates/tensor/src/microkernel.rs", documented).is_empty());
+        let block = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert_eq!(lints_of("crates/tensor/src/pack.rs", block), vec!["unsafe"]);
+        assert_eq!(lints_of("crates/tensor/src/tune.rs", block), vec!["unsafe"]);
     }
 
     #[test]

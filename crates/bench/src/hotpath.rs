@@ -15,6 +15,22 @@
 //! allocation counts come from the counting global allocator in
 //! [`crate::alloc`] (installed by the `repro` binary). Results land in
 //! `BENCH_hotpath.json`.
+//!
+//! ## Roofline sweep
+//!
+//! Alongside the model-level suite the harness sweeps the raw GEMM
+//! kernels — NN / NT / TN at model-representative shapes — across every
+//! feature leg this build can run: `serial` (the PR 3 scalar path, the
+//! baseline every speedup is quoted against), `parallel` (same kernels,
+//! banded over a pool of `max(2, cores)` threads), `simd` (the packed
+//! register-blocked tolerance-mode kernels, 1 thread) and
+//! `simd_parallel` (packed + row-band parallelism). Each cell reports
+//! GFLOP/s; the pool is *explicitly* sized to at least 2 threads for the
+//! parallel legs and the [`parallel::par_regions_taken`] counter is
+//! recorded, so the artifact proves intra-op threads actually engaged
+//! instead of silently serializing on 1-core CI. Tile plans chosen by the
+//! deterministic autotuner during the packed legs are serialized into the
+//! artifact ([`sasgd_tensor::tune::observed`]).
 
 use std::time::Instant;
 
@@ -34,6 +50,136 @@ use crate::figures::Artifact;
 const REPS: usize = 3;
 /// Steps averaged for the steady-state allocation count.
 const ALLOC_STEPS: u64 = 2;
+
+/// Model-representative GEMM shapes for the roofline sweep:
+/// `(name, m, k, n)` as logical `A: [m,k] · B: [k,n]`.
+const ROOFLINE_SHAPES: &[(&str, usize, usize, usize)] = &[
+    // Tall-skinny im2col product (CNN conv2 at batch 32, width/2).
+    ("conv_im2col", 2048, 288, 64),
+    // NLC fully connected block at batch 128.
+    ("nlc_linear", 128, 512, 512),
+    // Balanced reference point.
+    ("square256", 256, 256, 256),
+];
+
+/// One roofline row: a kernel at a shape, with one `(leg, ms, GFLOP/s)`
+/// cell per feature leg this build could run.
+pub struct RooflineRow {
+    /// GEMM kernel: `nn`, `nt`, or `tn`.
+    pub kernel: &'static str,
+    /// Shape label from the fixed `ROOFLINE_SHAPES` sweep.
+    pub shape: &'static str,
+    /// Logical GEMM extents.
+    pub m: usize,
+    /// Reduction extent.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// `(leg name, best-of-REPS ms, GFLOP/s)` per leg, in sweep order.
+    pub legs: Vec<(&'static str, f64, f64)>,
+}
+
+/// Results of the roofline sweep plus the evidence that parallel and
+/// packed paths genuinely ran.
+pub struct Roofline {
+    /// One row per kernel × shape.
+    pub rows: Vec<RooflineRow>,
+    /// [`parallel::par_regions_taken`] during the sweep — `> 0` proves
+    /// the pool engaged (the parallel legs force ≥ 2 threads even on a
+    /// 1-core machine).
+    pub parallel_path_taken: u64,
+    /// Tile plans the deterministic autotuner chose during the packed
+    /// legs (empty without the `simd` feature).
+    pub tiles: Vec<sasgd_tensor::tune::ObservedPlan>,
+}
+
+/// Transpose a row-major `rows`×`cols` matrix (operand prep, unmeasured).
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = x[r * cols + c];
+        }
+    }
+    t
+}
+
+/// Sweep the GEMM kernels across shapes and feature legs. Restores the
+/// requested thread count before returning.
+pub fn run_roofline() -> Roofline {
+    let initial_threads = parallel::requested_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    // At least 2 pool threads for the parallel legs: oversubscription is
+    // deterministic-safe, and it keeps the "did threads engage" check
+    // meaningful on 1-core CI runners.
+    let par_threads = cores.max(2);
+    let mut legs: Vec<(&'static str, bool, usize)> = vec![("serial", false, 1)];
+    if parallel::parallel_enabled() {
+        legs.push(("parallel", false, par_threads));
+    }
+    if cfg!(feature = "simd") {
+        legs.push(("simd", true, 1));
+        if parallel::parallel_enabled() {
+            legs.push(("simd_parallel", true, par_threads));
+        }
+    }
+
+    sasgd_tensor::tune::reset_observed();
+    parallel::reset_par_regions();
+    let mut rng = SeedRng::new(0xF00F);
+    let mut ws = Workspace::new();
+    let mut rows = Vec::new();
+    for &(shape, m, k, n) in ROOFLINE_SHAPES {
+        let a = rng.normal_tensor(&[m, k], 1.0).into_vec();
+        let b = rng.normal_tensor(&[k, n], 1.0).into_vec();
+        let bt = transpose(&b, k, n); // physical [n, k] for the NT kernel
+        let at = transpose(&a, m, k); // physical [k, m] for the TN kernel
+        let mut out = vec![0.0f32; m * n];
+        for kernel in ["nn", "nt", "tn"] {
+            let mut cells = Vec::new();
+            for &(leg, packed, threads) in &legs {
+                parallel::configure_threads(threads);
+                let mut best = f64::INFINITY;
+                for _ in 0..REPS {
+                    let t0 = Instant::now();
+                    match (kernel, packed) {
+                        ("nn", false) => linalg::matmul_into_auto(&mut out, &a, &b, m, k, n),
+                        ("nn", true) => {
+                            linalg::matmul_packed_into_ws(&mut out, &a, &b, m, k, n, &mut ws)
+                        }
+                        ("nt", false) => linalg::matmul_nt_into_auto(&mut out, &a, &bt, m, k, n),
+                        ("nt", true) => {
+                            linalg::matmul_nt_packed_into_ws(&mut out, &a, &bt, m, k, n, &mut ws)
+                        }
+                        ("tn", false) => linalg::matmul_tn_into_auto(&mut out, &at, &b, k, m, n),
+                        ("tn", true) => {
+                            linalg::matmul_tn_packed_into_ws(&mut out, &at, &b, k, m, n, &mut ws)
+                        }
+                        _ => unreachable!("kernel/leg grid is fixed"),
+                    }
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                let gflops = 2.0 * (m * k * n) as f64 / best / 1e9;
+                cells.push((leg, best * 1e3, gflops));
+            }
+            rows.push(RooflineRow {
+                kernel,
+                shape,
+                m,
+                k,
+                n,
+                legs: cells,
+            });
+        }
+    }
+    let parallel_path_taken = parallel::par_regions_taken();
+    parallel::configure_threads(initial_threads);
+    Roofline {
+        rows,
+        parallel_path_taken,
+        tiles: sasgd_tensor::tune::observed(),
+    }
+}
 
 /// One benchmarked configuration: model × batch size, before/after times
 /// and per-step steady-state allocation counts.
@@ -314,15 +460,19 @@ pub fn run_suite() -> Vec<HotpathTiming> {
 }
 
 /// Hand-rolled JSON (the workspace builds offline, with no serde).
-pub fn to_json(timings: &[HotpathTiming]) -> String {
+pub fn to_json(timings: &[HotpathTiming], roof: &Roofline) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
-        "  \"parallel_feature\": {},\n  \"pool_threads\": {},\n  \
-         \"par_threshold\": {},\n  \"alloc_counting\": {},\n  \"cases\": [\n",
+        "  \"parallel_feature\": {},\n  \"simd_feature\": {},\n  \
+         \"pool_threads\": {},\n  \
+         \"par_threshold\": {},\n  \"alloc_counting\": {},\n  \
+         \"parallel_path_taken\": {},\n  \"cases\": [\n",
         parallel::parallel_enabled(),
+        cfg!(feature = "simd"),
         parallel::threads(),
         linalg::par_threshold(),
         alloc::counting(),
+        roof.parallel_path_taken,
     ));
     for (i, t) in timings.iter().enumerate() {
         let alloc_drop = if t.after_allocs > 0 {
@@ -345,14 +495,65 @@ pub fn to_json(timings: &[HotpathTiming]) -> String {
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n  \"roofline\": [\n");
+    for (i, r) in roof.rows.iter().enumerate() {
+        let serial_ms = r
+            .legs
+            .iter()
+            .find(|(l, _, _)| *l == "serial")
+            .map_or(f64::NAN, |&(_, ms, _)| ms);
+        let best_ms = r
+            .legs
+            .iter()
+            .map(|&(_, ms, _)| ms)
+            .fold(f64::INFINITY, f64::min);
+        let mut legjson = String::new();
+        for (j, (leg, ms, gflops)) in r.legs.iter().enumerate() {
+            legjson.push_str(&format!(
+                "\"{leg}\": {{\"ms\": {ms:.4}, \"gflops\": {gflops:.3}}}{}",
+                if j + 1 < r.legs.len() { ", " } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"best_over_serial\": {:.3}, \"legs\": {{{legjson}}}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.m,
+            r.k,
+            r.n,
+            serial_ms / best_ms,
+            if i + 1 < roof.rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"tiles\": [\n");
+    for (i, t) in roof.tiles.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"class\": [{}, {}, {}], \"mr\": {}, \"nr\": {}, \"kc\": {}, \"nc\": {}, \
+             \"example\": [{}, {}, {}], \"hits\": {}}}{}\n",
+            t.class.0,
+            t.class.1,
+            t.class.2,
+            t.plan.mr,
+            t.plan.nr,
+            t.plan.kc,
+            t.plan.nc,
+            t.example.0,
+            t.example.1,
+            t.example.2,
+            t.hits,
+            if i + 1 < roof.tiles.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
 
-/// The `hotpath` repro target: run the suite, emit a report plus
-/// `BENCH_hotpath.json`.
+/// The `hotpath` repro target: run the suite and the roofline sweep, emit
+/// a report plus `BENCH_hotpath.json`.
 pub fn hotpath() -> Artifact {
     let timings = run_suite();
+    let roof = run_roofline();
     let mut report = String::from(
         "Hot-path fwd+bwd step timings: per-image ref kernels + fresh buffers \
          (before) vs batched im2col/GEMM + workspace arena (after)\n\n",
@@ -385,10 +586,68 @@ pub fn hotpath() -> Artifact {
         linalg::par_threshold(),
         parallel::threads()
     ));
+
+    report.push_str("\nRoofline: GFLOP/s per kernel x shape x feature leg\n");
+    report.push_str("(serial = PR 3 scalar baseline; parallel legs force >= 2 pool threads)\n\n");
+    let leg_names: Vec<&str> = roof
+        .rows
+        .first()
+        .map(|r| r.legs.iter().map(|&(l, _, _)| l).collect())
+        .unwrap_or_default();
+    report.push_str(&format!("{:<8} {:<12} {:<16}", "kernel", "shape", "m*k*n"));
+    for l in &leg_names {
+        report.push_str(&format!(" {l:>14}"));
+    }
+    report.push_str(&format!(" {:>12}\n", "best/serial"));
+    for r in &roof.rows {
+        report.push_str(&format!(
+            "{:<8} {:<12} {:<16}",
+            r.kernel,
+            r.shape,
+            format!("{}x{}x{}", r.m, r.k, r.n)
+        ));
+        let serial_ms = r
+            .legs
+            .iter()
+            .find(|(l, _, _)| *l == "serial")
+            .map_or(f64::NAN, |&(_, ms, _)| ms);
+        let mut best_ms = f64::INFINITY;
+        for &(_, ms, gflops) in &r.legs {
+            report.push_str(&format!(" {gflops:>14.3}"));
+            best_ms = best_ms.min(ms);
+        }
+        report.push_str(&format!(" {:>11.2}x\n", serial_ms / best_ms));
+    }
+    report.push_str(&format!(
+        "\nparallel_path_taken = {} region(s) fanned out over the pool\n",
+        roof.parallel_path_taken
+    ));
+    if roof.tiles.is_empty() {
+        report.push_str("autotuned tiles: none (simd legs not built in)\n");
+    } else {
+        report.push_str("autotuned tiles (deterministic, per log2 shape class):\n");
+        for t in &roof.tiles {
+            report.push_str(&format!(
+                "  class ({}, {}, {}): MRxNR = {}x{}, KC = {}, NC = {} \
+                 (first {}x{}x{}, {} dispatches)\n",
+                t.class.0,
+                t.class.1,
+                t.class.2,
+                t.plan.mr,
+                t.plan.nr,
+                t.plan.kc,
+                t.plan.nc,
+                t.example.0,
+                t.example.1,
+                t.example.2,
+                t.hits
+            ));
+        }
+    }
     Artifact {
         name: "hotpath".to_string(),
         report,
-        csvs: vec![("BENCH_hotpath.json".to_string(), to_json(&timings))],
+        csvs: vec![("BENCH_hotpath.json".to_string(), to_json(&timings, &roof))],
     }
 }
 
@@ -428,10 +687,59 @@ mod tests {
             after_allocs: 25,
             loss_bitwise_equal: true,
         }];
-        let j = to_json(&t);
+        let roof = Roofline {
+            rows: vec![RooflineRow {
+                kernel: "nn",
+                shape: "square256",
+                m: 256,
+                k: 256,
+                n: 256,
+                legs: vec![("serial", 4.0, 8.4), ("parallel", 2.0, 16.8)],
+            }],
+            parallel_path_taken: 3,
+            tiles: vec![sasgd_tensor::tune::ObservedPlan {
+                class: (8, 8, 8),
+                plan: sasgd_tensor::tune::plan_for(256, 256, 256),
+                example: (256, 256, 256),
+                hits: 6,
+            }],
+        };
+        let j = to_json(&t, &roof);
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"alloc_drop\": 20.0"));
         assert!(j.contains("\"par_threshold\""));
+        assert!(j.contains("\"parallel_path_taken\": 3"));
+        assert!(j.contains("\"roofline\""));
+        assert!(j.contains("\"best_over_serial\": 2.000"));
+        assert!(j.contains("\"tiles\""));
+        assert!(j.contains("\"mr\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn roofline_sweeps_every_leg_this_build_carries() {
+        let roof = run_roofline();
+        // 3 kernels x 3 shapes, identical leg lists.
+        assert_eq!(roof.rows.len(), ROOFLINE_SHAPES.len() * 3);
+        let want_legs = 1
+            + usize::from(parallel::parallel_enabled())
+            + usize::from(cfg!(feature = "simd"))
+            + usize::from(cfg!(feature = "simd") && parallel::parallel_enabled());
+        for r in &roof.rows {
+            assert_eq!(r.legs.len(), want_legs, "{}/{}", r.kernel, r.shape);
+            assert_eq!(r.legs[0].0, "serial");
+            for &(leg, ms, gflops) in &r.legs {
+                assert!(ms > 0.0 && gflops > 0.0, "{leg} cell not measured");
+            }
+        }
+        // Any parallel-capable build must prove its pool engaged.
+        if parallel::parallel_enabled() {
+            assert!(roof.parallel_path_taken > 0, "pool never engaged");
+        }
+        // Packed legs must have recorded deterministic tile plans.
+        if cfg!(feature = "simd") {
+            assert!(!roof.tiles.is_empty(), "packed legs recorded no tiles");
+        }
     }
 }

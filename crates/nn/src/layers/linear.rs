@@ -64,13 +64,14 @@ impl Layer for Linear {
         let rows: usize = dims[..dims.len() - 1].iter().product();
         let flat = input.reshape(&[rows, self.in_dim]);
         let mut out = Tensor::zeros_in(&[rows, self.out_dim], &mut ctx.ws);
-        linalg::matmul_into_auto(
+        linalg::gemm_nn_ws(
             out.as_mut_slice(),
             flat.as_slice(),
             self.weight.as_slice(),
             rows,
             self.in_dim,
             self.out_dim,
+            &mut ctx.ws,
         );
         linalg::add_bias_rows(&mut out, &self.bias);
         if ctx.training {
@@ -95,25 +96,27 @@ impl Layer for Linear {
         let g = grad_out.reshape(&[rows, self.out_dim]);
         // dW += X^T G ; db += colsum(G) ; dX = G W^T
         let mut dw = Tensor::zeros_in(&[self.in_dim, self.out_dim], &mut ctx.ws);
-        linalg::matmul_tn_into_auto(
+        linalg::gemm_tn_ws(
             dw.as_mut_slice(),
             x.as_slice(),
             g.as_slice(),
             rows,
             self.in_dim,
             self.out_dim,
+            &mut ctx.ws,
         );
         self.dweight.add_assign(&dw);
         ctx.ws.recycle(dw);
         linalg::col_sums_into(&g, &mut self.dbias);
         let mut dx = Tensor::zeros_in(&[rows, self.in_dim], &mut ctx.ws);
-        linalg::matmul_nt_into_auto(
+        linalg::gemm_nt_ws(
             dx.as_mut_slice(),
             g.as_slice(),
             self.weight.as_slice(),
             rows,
             self.out_dim,
             self.in_dim,
+            &mut ctx.ws,
         );
         ctx.ws.recycle(x);
         ctx.ws.recycle(g);

@@ -75,13 +75,14 @@ impl Layer for TemporalConv1d {
         let rows = n * olen;
         let unfolded = self.unfold(&input, &mut ctx.ws);
         let mut out = Tensor::zeros_in(&[rows, self.nkern], &mut ctx.ws);
-        linalg::matmul_into_auto(
+        linalg::gemm_nn_ws(
             out.as_mut_slice(),
             unfolded.as_slice(),
             self.weight.as_slice(),
             rows,
             self.window * din,
             self.nkern,
+            &mut ctx.ws,
         );
         linalg::add_bias_rows(&mut out, &self.bias);
         if ctx.training {
@@ -106,26 +107,28 @@ impl Layer for TemporalConv1d {
         let fan_in = self.window * din;
         let g = grad_out.reshape(&[rows, self.nkern]);
         let mut dw = Tensor::zeros_in(&[fan_in, self.nkern], &mut ctx.ws);
-        linalg::matmul_tn_into_auto(
+        linalg::gemm_tn_ws(
             dw.as_mut_slice(),
             unfolded.as_slice(),
             g.as_slice(),
             rows,
             fan_in,
             self.nkern,
+            &mut ctx.ws,
         );
         self.dweight.add_assign(&dw);
         ctx.ws.recycle(dw);
         linalg::col_sums_into(&g, &mut self.dbias);
         // d(unfolded) = G W^T, then fold overlapping windows back.
         let mut dunf = Tensor::zeros_in(&[rows, fan_in], &mut ctx.ws);
-        linalg::matmul_nt_into_auto(
+        linalg::gemm_nt_ws(
             dunf.as_mut_slice(),
             g.as_slice(),
             self.weight.as_slice(),
             rows,
             self.nkern,
             fan_in,
+            &mut ctx.ws,
         );
         let mut din_t = Tensor::zeros_in(&[n, len, din], &mut ctx.ws);
         let dd = din_t.as_mut_slice();

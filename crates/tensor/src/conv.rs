@@ -287,7 +287,10 @@ fn forward_asserts(input: &Tensor, weight: &Tensor, bias: &[f32], spec: &Conv2dS
 /// lowered into one stacked patch matrix and multiplied in a single
 /// `cols · weightᵀ` GEMM; each output element is still
 /// `dot(patch, weight[co]) + bias[co]` with the reference accumulation
-/// order, so results are bitwise identical to [`conv2d_forward_ref`].
+/// order, so results are bitwise identical to [`conv2d_forward_ref`] —
+/// in default mode. Under the opt-in packed tolerance mode
+/// (`linalg::set_packed_gemm`) the big GEMM may diverge within the
+/// documented relative-error bound.
 // hot-path: all scratch comes from the Workspace arena
 pub fn conv2d_forward_ws(
     input: &Tensor,
@@ -313,8 +316,10 @@ pub fn conv2d_forward_ws(
     im2col_batch_into(input.as_slice(), n, ci, h, w, spec, &mut cols);
 
     // One GEMM for the minibatch: tmp[row, c] = dot(cols[row], weight[c]).
+    // Dispatched: reference kernel by default, packed tolerance-mode
+    // kernel when `linalg::set_packed_gemm` opted in.
     let mut tmp = ws.take_f32_uninit(nrows * co);
-    linalg::matmul_nt_into_auto(&mut tmp, &cols, weight.as_slice(), nrows, plen, co);
+    linalg::gemm_nt_ws(&mut tmp, &cols, weight.as_slice(), nrows, plen, co, ws);
 
     // Transpose each image's [npix, co] block to the NCHW [co, npix]
     // output layout, adding the bias (pure data movement plus the same
@@ -396,7 +401,9 @@ pub struct Conv2dGrads {
 /// gradient is one minibatch-wide GEMM; the weight/bias gradients are
 /// computed as per-image partials in parallel and reduced serially in
 /// image order, with the reference's `g == 0.0` skip — bitwise identical
-/// to [`conv2d_backward_ref`] at any thread count.
+/// to [`conv2d_backward_ref`] at any thread count in default mode (the
+/// opt-in packed tolerance mode may bend the patch-gradient GEMM within
+/// its documented bound).
 // hot-path: all scratch comes from the Workspace arena
 pub fn conv2d_backward_ws(
     input: &Tensor,
@@ -443,7 +450,7 @@ pub fn conv2d_backward_ws(
     // terms accumulate in ascending output-channel order with g == 0.0
     // skipped — exactly the reference's fused loop.
     let mut dcols = ws.take_f32_uninit(nrows * plen);
-    linalg::matmul_into_auto(&mut dcols, &gt, weight.as_slice(), nrows, co, plen);
+    linalg::gemm_nn_ws(&mut dcols, &gt, weight.as_slice(), nrows, co, plen, ws);
 
     // Per-image dweight/dbias partials in parallel (disjoint outputs),
     // reduced serially in image order below.

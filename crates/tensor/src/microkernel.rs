@@ -1,0 +1,187 @@
+//! Register-blocked MR×NR GEMM microkernels (the `simd` feature's core).
+//!
+//! Each kernel computes `C[0..mr_eff, 0..nr_eff] += Ap · Bp` for one
+//! packed `A` micropanel (`kc`×`MR`, row-groups interleaved by `l`) and one
+//! packed `B` micropanel (`kc`×`NR`), holding the full `MR`×`NR` tile in
+//! accumulator arrays for the whole `kc` extent. The inner statement is
+//! `acc[i][j] += a[i] * b[j]` over fixed-width arrays — `MR·NR/8`
+//! independent 8-lane FMA chains that the backend vectorizes without any
+//! reassociation freedom, so one binary always produces one answer.
+//!
+//! **Fold-order contract:** within a tile element the reduction runs in
+//! ascending packed `l`, accumulating from `0.0` and adding the block sum
+//! into `C` afterwards, and there is **no zero-skip** — see the
+//! `linalg` module docs for why this path is tolerance-mode only.
+//!
+//! With the nightly-only `simd-nightly` feature the same kernels are
+//! expressed through `std::simd` (`f32x8`) instead of unrolled arrays;
+//! identical arithmetic per lane, so the two spellings agree bitwise.
+
+/// One microkernel shape. `ap`: `kc*MR` packed floats (`MR` row values per
+/// `l`, edge rows zero-padded); `bp`: `kc*NR` packed floats; `c`: output
+/// slab with row stride `ldc`, updated in its top-left `mr_eff`×`nr_eff`
+/// corner (padded lanes are computed and discarded).
+macro_rules! def_ukr {
+    ($name:ident, $mr:expr, $nr:expr) => {
+        // hot-path: innermost packed GEMM tile — no allocation allowed
+        pub(crate) fn $name(
+            ap: &[f32],
+            bp: &[f32],
+            kc: usize,
+            c: &mut [f32],
+            ldc: usize,
+            mr_eff: usize,
+            nr_eff: usize,
+        ) {
+            assert!(ap.len() >= kc * $mr, "A micropanel short");
+            assert!(bp.len() >= kc * $nr, "B micropanel short");
+            assert!(mr_eff <= $mr && nr_eff <= $nr);
+            assert!(
+                (mr_eff.saturating_sub(1)) * ldc + nr_eff <= c.len(),
+                "C slab short"
+            );
+            let mut acc = [[0.0f32; $nr]; $mr];
+            for l in 0..kc {
+                // Unchecked indexing keeps the 8-lane FMA chains free of
+                // per-iteration bound tests the optimizer cannot always
+                // hoist past the macro expansion.
+                // SAFETY: l < kc and the entry asserts guarantee
+                // `l*$mr + $mr <= ap.len()` and `l*$nr + $nr <= bp.len()`.
+                let (a, b) = unsafe {
+                    (
+                        ap.get_unchecked(l * $mr..l * $mr + $mr),
+                        bp.get_unchecked(l * $nr..l * $nr + $nr),
+                    )
+                };
+                #[cfg(feature = "simd-nightly")]
+                {
+                    use std::simd::f32x8;
+                    for i in 0..$mr {
+                        let av = f32x8::splat(a[i]);
+                        for j8 in 0..$nr / 8 {
+                            let bv = f32x8::from_slice(&b[j8 * 8..j8 * 8 + 8]);
+                            let cv = f32x8::from_slice(&acc[i][j8 * 8..j8 * 8 + 8]);
+                            (cv + av * bv).copy_to_slice(&mut acc[i][j8 * 8..j8 * 8 + 8]);
+                        }
+                    }
+                }
+                #[cfg(not(feature = "simd-nightly"))]
+                for i in 0..$mr {
+                    let av = a[i];
+                    for j in 0..$nr {
+                        acc[i][j] += av * b[j];
+                    }
+                }
+            }
+            for (i, arow) in acc.iter().enumerate().take(mr_eff) {
+                let crow = &mut c[i * ldc..i * ldc + nr_eff];
+                for (cv, &av) in crow.iter_mut().zip(arow) {
+                    *cv += av;
+                }
+            }
+        }
+    };
+}
+
+def_ukr!(ukr_4x8, 4, 8);
+def_ukr!(ukr_8x8, 8, 8);
+def_ukr!(ukr_4x16, 4, 16);
+def_ukr!(ukr_8x16, 8, 16);
+
+/// Microkernel entry for a `(mr, nr)` pair from the tune grid.
+pub(crate) type Ukr = fn(&[f32], &[f32], usize, &mut [f32], usize, usize, usize);
+
+/// Resolve the microkernel for a tile plan's `(mr, nr)`.
+///
+/// # Panics
+/// Panics on a pair outside the fixed grid — `tune::plan_for` can only
+/// return grid entries, so hitting this means a caller bypassed tuning.
+pub(crate) fn ukr_for(mr: usize, nr: usize) -> Ukr {
+    match (mr, nr) {
+        (4, 8) => ukr_4x8,
+        (8, 8) => ukr_8x8,
+        (4, 16) => ukr_4x16,
+        (8, 16) => ukr_8x16,
+        other => panic!("no microkernel for tile {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: same block fold order, naive indexing.
+    #[allow(clippy::too_many_arguments)] // mirrors the `Ukr` signature plus (mr, nr)
+    fn ukr_ref(
+        ap: &[f32],
+        bp: &[f32],
+        kc: usize,
+        mr: usize,
+        nr: usize,
+        c: &mut [f32],
+        ldc: usize,
+        mr_eff: usize,
+        nr_eff: usize,
+    ) {
+        for i in 0..mr_eff {
+            for j in 0..nr_eff {
+                let mut s = 0.0f32;
+                for l in 0..kc {
+                    s += ap[l * mr + i] * bp[l * nr + j];
+                }
+                c[i * ldc + j] += s;
+            }
+        }
+        let _ = (mr, nr);
+    }
+
+    #[test]
+    fn all_grid_kernels_match_reference_bitwise() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 40) as f32 / 1024.0 - 8.0
+        };
+        for &(mr, nr) in &[(4usize, 8usize), (8, 8), (4, 16), (8, 16)] {
+            for kc in [1usize, 3, 17, 64] {
+                let ap: Vec<f32> = (0..kc * mr).map(|_| next()).collect();
+                let bp: Vec<f32> = (0..kc * nr).map(|_| next()).collect();
+                let ldc = nr + 3;
+                for (mr_eff, nr_eff) in [(mr, nr), (mr - 1, nr - 3), (1, 1)] {
+                    let mut c = vec![0.5f32; mr * ldc];
+                    let mut want = c.clone();
+                    ukr_for(mr, nr)(&ap, &bp, kc, &mut c, ldc, mr_eff, nr_eff);
+                    ukr_ref(&ap, &bp, kc, mr, nr, &mut want, ldc, mr_eff, nr_eff);
+                    assert_eq!(
+                        c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "tile {mr}x{nr} kc={kc} eff=({mr_eff},{nr_eff})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_lanes_never_reach_c() {
+        // Poison the padded region of the panels with NaN: results for the
+        // effective corner must stay finite because padded lanes are
+        // discarded, not stored.
+        let (mr, nr, kc) = (4usize, 8usize, 5usize);
+        let mut ap = vec![1.0f32; kc * mr];
+        let mut bp = vec![2.0f32; kc * nr];
+        for l in 0..kc {
+            ap[l * mr + 3] = f32::NAN; // row 3 is padding when mr_eff = 3
+            bp[l * nr + 7] = f32::NAN; // col 7 is padding when nr_eff = 7
+        }
+        let mut c = vec![0.0f32; mr * nr];
+        ukr_4x8(&ap, &bp, kc, &mut c, nr, 3, 7);
+        for i in 0..3 {
+            for j in 0..7 {
+                assert!(c[i * nr + j].is_finite(), "({i},{j}) poisoned");
+            }
+        }
+    }
+}

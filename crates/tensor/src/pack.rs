@@ -1,0 +1,332 @@
+//! Panel packing and the blocked driver for the packed GEMM path
+//! (`simd` feature).
+//!
+//! A GEMM `C = A·B` (any of the NN/NT/TN physical layouts, abstracted by
+//! the crate-internal `MatRef`) runs as: for each `KC`-deep reduction
+//! block, pack the
+//! active slices of `A` and `B` into micropanel buffers — `MR`-row groups
+//! of `A` and `NR`-column groups of `B`, interleaved by the reduction
+//! index so the microkernel streams both with unit stride — then sweep the
+//! `MR`×`NR` microkernel over the output. Pack buffers come from the
+//! caller's [`Workspace`] via the 32-byte-aligned take, so a steady-state
+//! training loop allocates nothing here.
+//!
+//! **Parallelism & determinism.** Packing parallelizes over micropanels
+//! and the macrokernel over row *bands* (whole `MR` panels), both through
+//! [`parallel::for_each_chunk_mut`] — work item `i` is always item `i`,
+//! and `C` element `(i, j)` accumulates its `KC` blocks in ascending order
+//! regardless of band boundaries or thread count, so the packed kernel is
+//! bitwise identical to itself at any pool size. It is *not* bitwise
+//! identical to the `*_ref` scalar kernels (block-sum association, no
+//! zero-skip) — that divergence is the documented tolerance mode; see the
+//! `linalg` module docs.
+//!
+//! Ragged edges (`m % MR`, `n % NR`, `k % KC` nonzero) are packed with
+//! explicit zero padding; padded lanes are computed and discarded by the
+//! microkernel, never stored.
+
+use crate::microkernel;
+use crate::parallel;
+use crate::tune;
+use crate::workspace::Workspace;
+
+/// A logical row-major matrix view over one of the two physical layouts
+/// the GEMM entry points take.
+#[derive(Clone, Copy)]
+pub(crate) enum MatRef<'a> {
+    /// Element `(r, c)` is `d[r * ld + c]` (physically row-major).
+    Rm { d: &'a [f32], ld: usize },
+    /// Element `(r, c)` is `d[c * ld + r]` (physically the transpose).
+    Cm { d: &'a [f32], ld: usize },
+}
+
+impl MatRef<'_> {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        match *self {
+            MatRef::Rm { d, ld } => d[r * ld + c],
+            MatRef::Cm { d, ld } => d[c * ld + r],
+        }
+    }
+}
+
+/// Pack `A`'s micropanel `ip` for the reduction block `[pc, pc+kc)`:
+/// `dst[l*mr + i] = A[ip*mr + i, pc + l]`, rows past `m` zero-padded.
+// hot-path: per-block panel packing — no allocation allowed
+fn pack_a_panel(
+    a: &MatRef<'_>,
+    m: usize,
+    pc: usize,
+    kc: usize,
+    ip: usize,
+    mr: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), kc * mr);
+    for l in 0..kc {
+        let drow = &mut dst[l * mr..(l + 1) * mr];
+        for (i, dv) in drow.iter_mut().enumerate() {
+            let row = ip * mr + i;
+            *dv = if row < m { a.at(row, pc + l) } else { 0.0 };
+        }
+    }
+}
+
+/// Pack `B`'s micropanel `jp` for the reduction block `[pc, pc+kc)`:
+/// `dst[l*nr + j] = B[pc + l, jp*nr + j]`, columns past `n` zero-padded.
+/// Fully in-bounds rows of a physically row-major `B` copy contiguously.
+// hot-path: per-block panel packing — no allocation allowed
+fn pack_b_panel(
+    b: &MatRef<'_>,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jp: usize,
+    nr: usize,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), kc * nr);
+    let col0 = jp * nr;
+    if let MatRef::Rm { d, ld } = *b {
+        if col0 + nr <= n {
+            for l in 0..kc {
+                let src = (pc + l) * ld + col0;
+                dst[l * nr..(l + 1) * nr].copy_from_slice(&d[src..src + nr]);
+            }
+            return;
+        }
+    }
+    for l in 0..kc {
+        let drow = &mut dst[l * nr..(l + 1) * nr];
+        for (j, dv) in drow.iter_mut().enumerate() {
+            let col = col0 + j;
+            *dv = if col < n { b.at(pc + l, col) } else { 0.0 };
+        }
+    }
+}
+
+/// Rows per macrokernel band: enough bands to feed the pool (~4 per
+/// thread), whole `MR` panels, never fewer than one panel.
+fn band_rows(m: usize, mr: usize) -> usize {
+    let target_bands = parallel::threads() * 4;
+    m.div_ceil(target_bands.max(1)).div_ceil(mr).max(1) * mr
+}
+
+/// Packed, register-blocked `out = A · B` for logical `A: [m,k]`,
+/// `B: [k,n]` (physical layouts per [`MatRef`]). Overwrites `out`.
+/// Tiles come from [`tune::plan_recorded`]; pack scratch from `ws`.
+// hot-path: packed GEMM driver — all scratch from the Workspace arena
+pub(crate) fn gemm_packed(
+    out: &mut [f32],
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    let plan = tune::plan_recorded(m, k, n);
+    let (mr, nr) = (plan.mr, plan.nr);
+    let mpan = m.div_ceil(mr);
+    let npan = n.div_ceil(nr);
+    let nc_pan = (plan.nc / nr).max(1);
+    let mut ap = ws.take_f32_aligned(mpan * mr * plan.kc);
+    let mut bp = ws.take_f32_aligned(npan * nr * plan.kc);
+    let ukr = microkernel::ukr_for(mr, nr);
+    let bands = band_rows(m, mr);
+    out.iter_mut().for_each(|x| *x = 0.0);
+    let mut pc = 0;
+    while pc < k {
+        let kc = plan.kc.min(k - pc);
+        parallel::for_each_chunk_mut(
+            &mut bp.as_mut_slice()[..npan * nr * kc],
+            nr * kc,
+            |jp, dst| {
+                pack_b_panel(&b, n, pc, kc, jp, nr, dst);
+            },
+        );
+        parallel::for_each_chunk_mut(
+            &mut ap.as_mut_slice()[..mpan * mr * kc],
+            mr * kc,
+            |ip, dst| {
+                pack_a_panel(&a, m, pc, kc, ip, mr, dst);
+            },
+        );
+        let (ap_ro, bp_ro) = (
+            &ap.as_slice()[..mpan * mr * kc],
+            &bp.as_slice()[..npan * nr * kc],
+        );
+        parallel::for_each_chunk_mut(out, bands * n, |bandi, cband| {
+            let ip0 = bandi * bands / mr;
+            let band_pan = (cband.len() / n).div_ceil(mr);
+            let mut jc0 = 0;
+            while jc0 < npan {
+                let jc1 = (jc0 + nc_pan).min(npan);
+                for ipl in 0..band_pan {
+                    let ip = ip0 + ipl;
+                    let mr_eff = mr.min(m - ip * mr);
+                    for jp in jc0..jc1 {
+                        let nr_eff = nr.min(n - jp * nr);
+                        ukr(
+                            &ap_ro[ip * mr * kc..(ip + 1) * mr * kc],
+                            &bp_ro[jp * nr * kc..(jp + 1) * nr * kc],
+                            kc,
+                            &mut cband[ipl * mr * n + jp * nr..],
+                            n,
+                            mr_eff,
+                            nr_eff,
+                        );
+                    }
+                }
+                jc0 = jc1;
+            }
+        });
+        pc += kc;
+    }
+    ws.give_f32_aligned(ap);
+    ws.give_f32_aligned(bp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for l in 0..k {
+                    s += a[i * k + l] as f64 * b[l * n + j] as f64;
+                }
+                c[i * n + j] = s as f32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn packed_nn_close_to_f64_naive_across_ragged_shapes() {
+        let mut r = SeedRng::new(21);
+        let mut ws = Workspace::new();
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 8, 16),
+            (37, 131, 93),
+            (130, 75, 64),
+            (65, 300, 17),
+        ] {
+            let a = r.normal_tensor(&[m, k], 1.0);
+            let b = r.normal_tensor(&[k, n], 1.0);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_packed(
+                &mut c,
+                MatRef::Rm {
+                    d: a.as_slice(),
+                    ld: k,
+                },
+                MatRef::Rm {
+                    d: b.as_slice(),
+                    ld: n,
+                },
+                m,
+                k,
+                n,
+                &mut ws,
+            );
+            let want = naive(a.as_slice(), b.as_slice(), m, k, n);
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                let tol = 1e-4f32.max(w.abs() * 1e-4);
+                assert!((got - w).abs() <= tol, "({m},{k},{n})[{i}]: {got} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_views_agree_with_row_major() {
+        // NT and TN physical layouts must produce bitwise the same packed
+        // result as the equivalent explicit row-major operands (packing
+        // normalizes layout before any arithmetic).
+        let (m, k, n) = (21usize, 13usize, 19usize);
+        let mut r = SeedRng::new(22);
+        let a = r.normal_tensor(&[m, k], 1.0);
+        let b = r.normal_tensor(&[k, n], 1.0);
+        let mut bt = vec![0.0f32; n * k]; // physical [n, k]
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b.as_slice()[l * n + j];
+            }
+        }
+        let mut at = vec![0.0f32; k * m]; // physical [k, m]
+        for i in 0..m {
+            for l in 0..k {
+                at[l * m + i] = a.as_slice()[i * k + l];
+            }
+        }
+        let mut ws = Workspace::new();
+        let mut c_rm = vec![0.0f32; m * n];
+        let mut c_nt = vec![0.0f32; m * n];
+        let mut c_tn = vec![0.0f32; m * n];
+        let arm = MatRef::Rm {
+            d: a.as_slice(),
+            ld: k,
+        };
+        let brm = MatRef::Rm {
+            d: b.as_slice(),
+            ld: n,
+        };
+        gemm_packed(&mut c_rm, arm, brm, m, k, n, &mut ws);
+        gemm_packed(
+            &mut c_nt,
+            arm,
+            MatRef::Cm { d: &bt, ld: k },
+            m,
+            k,
+            n,
+            &mut ws,
+        );
+        gemm_packed(
+            &mut c_tn,
+            MatRef::Cm { d: &at, ld: m },
+            brm,
+            m,
+            k,
+            n,
+            &mut ws,
+        );
+        assert_eq!(c_rm, c_nt);
+        assert_eq!(c_rm, c_tn);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn packed_parallel_equals_packed_serial_bitwise() {
+        let (m, k, n) = (131usize, 77usize, 45usize);
+        let mut r = SeedRng::new(23);
+        let a = r.normal_tensor(&[m, k], 1.0);
+        let b = r.normal_tensor(&[k, n], 1.0);
+        let arm = MatRef::Rm {
+            d: a.as_slice(),
+            ld: k,
+        };
+        let brm = MatRef::Rm {
+            d: b.as_slice(),
+            ld: n,
+        };
+        let mut ws = Workspace::new();
+        parallel::configure_threads(1);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_packed(&mut serial, arm, brm, m, k, n, &mut ws);
+        parallel::configure_threads(4);
+        let mut par = vec![0.0f32; m * n];
+        gemm_packed(&mut par, arm, brm, m, k, n, &mut ws);
+        parallel::configure_threads(0);
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "packed path must not depend on thread count"
+        );
+    }
+}

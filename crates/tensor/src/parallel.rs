@@ -21,10 +21,26 @@
 //! is safe (determinism never depends on the thread count); for throughput
 //! pick `k ≈ cores / p` — `intra_op_threads_for(p)` computes exactly that.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Last value passed to [`configure_threads`] (0 = never configured).
 static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+/// Regions that genuinely fanned out over the rayon pool (as opposed to
+/// falling through to the serial loop). The bench harness reads this to
+/// *prove* intra-op threads engaged instead of silently serializing on a
+/// small pool or a small input.
+static PAR_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Parallel regions actually executed on the pool since the last reset.
+pub fn par_regions_taken() -> u64 {
+    PAR_REGIONS.load(Ordering::Relaxed)
+}
+
+/// Zero the [`par_regions_taken`] counter (bench-leg isolation).
+pub fn reset_par_regions() {
+    PAR_REGIONS.store(0, Ordering::Relaxed);
+}
 
 /// Whether this build carries the multi-threaded kernels.
 pub const fn parallel_enabled() -> bool {
@@ -103,6 +119,7 @@ where
     #[cfg(feature = "parallel")]
     if threads() > 1 && data.len() > chunk_size {
         use rayon::prelude::*;
+        PAR_REGIONS.fetch_add(1, Ordering::Relaxed);
         data.par_chunks_mut(chunk_size)
             .enumerate()
             .for_each(|(i, chunk)| op(i, chunk));
@@ -130,6 +147,7 @@ pub fn for_each_zip_chunks_mut<T, U, F>(
     #[cfg(feature = "parallel")]
     if threads() > 1 && a.len() > chunk_a {
         use rayon::prelude::*;
+        PAR_REGIONS.fetch_add(1, Ordering::Relaxed);
         a.par_chunks_mut(chunk_a)
             .zip(b.par_chunks_mut(chunk_b))
             .enumerate()
@@ -150,6 +168,7 @@ where
     #[cfg(feature = "parallel")]
     if threads() > 1 && n > 1 {
         use rayon::prelude::*;
+        PAR_REGIONS.fetch_add(1, Ordering::Relaxed);
         return (0..n).into_par_iter().map(f).collect();
     }
     (0..n).map(f).collect()

@@ -1,0 +1,240 @@
+//! Deterministic tile autotuning for the packed GEMM path.
+//!
+//! Chooses the register tile (`MR`×`NR`), the reduction block depth `KC`,
+//! and the column window `NC` for a `(m, k, n)` GEMM. The choice is a
+//! **pure function of the shape class** — a fixed candidate grid scored by
+//! a static cost model (register pressure, operand reuse, ragged-edge
+//! waste) — never a wall-clock search. Two runs of the same binary on any
+//! machine therefore pick the same tiles, which keeps the packed kernels'
+//! (already tolerance-mode) fold order reproducible and keeps this crate
+//! clean under the analyzer's wall-clock lint. A *measured* sweep over the
+//! same candidate grid lives in `sasgd-bench` (`repro hotpath`), where
+//! wall-clock reads are sanctioned; its job is to report how far the model
+//! pick sits from the empirical best, not to feed choices back in.
+//!
+//! Every plan actually used by the packed path is recorded in a process
+//! registry ([`observed`]) keyed by shape class, so the bench artifact can
+//! serialize exactly the tiles a run trained with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use std::collections::BTreeMap;
+
+/// Register-tile and cache-block sizes for one GEMM shape class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Micro-tile rows (rows of `A` held in registers).
+    pub mr: usize,
+    /// Micro-tile columns (one packed `B` panel width).
+    pub nr: usize,
+    /// Reduction block depth: packed panels cover `kc` of the `k` extent.
+    pub kc: usize,
+    /// Column window: `nc` output columns are swept per row panel before
+    /// moving down, keeping that window of packed `B` cache-resident.
+    pub nc: usize,
+}
+
+/// The fixed `(MR, NR)` candidate grid. `NR` is a multiple of 8 so the
+/// microkernel's inner loop is whole vector lanes.
+const TILE_GRID: &[(usize, usize)] = &[(4, 8), (8, 8), (4, 16), (8, 16)];
+
+/// `KC` candidates (largest not exceeding `k` wins the footprint score).
+const KC_GRID: &[usize] = &[64, 128, 256];
+
+/// Widest column window considered, in columns.
+const NC_MAX: usize = 256;
+
+/// Vector registers the microkernel needs for an `(mr, nr)` tile,
+/// counting 8-lane registers: `mr·nr/8` accumulators, `nr/8` loads of the
+/// `B` panel row, one broadcast of `A`.
+fn vector_regs(mr: usize, nr: usize) -> usize {
+    mr * (nr / 8) + nr / 8 + 1
+}
+
+/// Shape class of a GEMM: each extent bucketed by its floor-log2, so e.g.
+/// every `m` in `[2048, 4095]` shares a class. Tile choice and the
+/// [`observed`] registry are keyed by this.
+pub fn shape_class(m: usize, k: usize, n: usize) -> (u8, u8, u8) {
+    let b = |x: usize| (usize::BITS - 1 - x.max(1).leading_zeros()) as u8;
+    (b(m), b(k), b(n))
+}
+
+/// Representative extent of a log2 bucket (its lower edge) — what the
+/// scoring model sees, so every shape in a class scores identically.
+fn bucket_floor(b: u8) -> usize {
+    1usize << b
+}
+
+/// Deterministically choose tiles for a `(m, k, n)` GEMM.
+///
+/// Scoring, in order of precedence:
+/// 1. register feasibility — candidates needing more than 16 8-lane
+///    registers (e.g. 8×16) are dropped;
+/// 2. operand reuse — flops per packed element touched,
+///    `mr·nr / (mr + nr)`, scaled by
+/// 3. ragged-edge utilization — the fraction of the padded
+///    `⌈m/mr⌉·mr × ⌈n/nr⌉·nr` footprint holding real outputs.
+///
+/// Ties break toward the earlier grid entry, so the choice is total.
+pub fn plan_for(m: usize, k: usize, n: usize) -> TilePlan {
+    let (mb, kb, nb) = shape_class(m, k, n);
+    let (mc, kc_rep, nc_rep) = (bucket_floor(mb), bucket_floor(kb), bucket_floor(nb));
+    let mut best: Option<(f64, usize, usize)> = None;
+    for &(mr, nr) in TILE_GRID {
+        if vector_regs(mr, nr) > 16 {
+            continue;
+        }
+        let reuse = (mr * nr) as f64 / (mr + nr) as f64;
+        let padded = mc.div_ceil(mr) * mr * nc_rep.div_ceil(nr) * nr;
+        let util = (mc * nc_rep) as f64 / padded as f64;
+        let score = reuse * util;
+        if best.is_none_or(|(s, _, _)| score > s) {
+            best = Some((score, mr, nr));
+        }
+    }
+    let (_, mr, nr) = best.expect("tile grid has feasible entries");
+    // Deepest KC candidate not exceeding the class floor of k; classes
+    // below the smallest candidate use the floor itself. The driver clamps
+    // each block to the remaining k, so the reduction is never padded.
+    let kc = KC_GRID
+        .iter()
+        .rev()
+        .find(|&&c| c <= kc_rep)
+        .copied()
+        .unwrap_or(kc_rep);
+    // Column window: whole NR panels covering the class floor of n,
+    // capped at NC_MAX.
+    let nc = nc_rep.div_ceil(nr).min(NC_MAX / nr).max(1) * nr;
+    TilePlan { mr, nr, kc, nc }
+}
+
+/// One registry entry: a shape class, the plan chosen for it, an example
+/// shape that hit it first, and how many packed GEMM calls used it.
+#[derive(Clone, Copy, Debug)]
+pub struct ObservedPlan {
+    /// log2 buckets of (m, k, n).
+    pub class: (u8, u8, u8),
+    /// The tiles chosen for the class.
+    pub plan: TilePlan,
+    /// First concrete `(m, k, n)` that instantiated the class.
+    pub example: (usize, usize, usize),
+    /// Packed GEMM calls dispatched with this plan.
+    pub hits: u64,
+}
+
+/// Registry payload: the plan, the first concrete shape, and a hit count.
+type Observation = (TilePlan, (usize, usize, usize), u64);
+
+/// `class -> (plan, example, hits)`, appended on first use by the packed
+/// driver. BTreeMap so iteration (and the bench artifact built from it)
+/// is deterministically ordered.
+static OBSERVED: Mutex<BTreeMap<(u8, u8, u8), Observation>> = Mutex::new(BTreeMap::new());
+
+/// Total packed GEMM dispatches recorded (cheap probe for tests).
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Look up (computing and recording on first use) the plan for a shape.
+/// This is what the packed GEMM driver calls per dispatch.
+pub fn plan_recorded(m: usize, k: usize, n: usize) -> TilePlan {
+    let plan = plan_for(m, k, n);
+    let class = shape_class(m, k, n);
+    let mut map = OBSERVED.lock().expect("tile registry poisoned");
+    let entry = map.entry(class).or_insert((plan, (m, k, n), 0));
+    entry.2 += 1;
+    RECORDED.fetch_add(1, Ordering::Relaxed);
+    plan
+}
+
+/// Snapshot of every plan used so far, in class order.
+pub fn observed() -> Vec<ObservedPlan> {
+    OBSERVED
+        .lock()
+        .expect("tile registry poisoned")
+        .iter()
+        .map(|(&class, &(plan, example, hits))| ObservedPlan {
+            class,
+            plan,
+            example,
+            hits,
+        })
+        .collect()
+}
+
+/// Clear the registry (bench harness isolation between sweep legs).
+pub fn reset_observed() {
+    OBSERVED.lock().expect("tile registry poisoned").clear();
+}
+
+/// Packed GEMM dispatches recorded since process start (monotonic).
+pub fn recorded_count() -> u64 {
+    RECORDED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_class_stable() {
+        let a = plan_for(2048, 576, 128);
+        let b = plan_for(2048, 576, 128);
+        assert_eq!(a, b);
+        // Same log2 class, same plan.
+        assert_eq!(plan_for(2048, 576, 128), plan_for(3000, 700, 200));
+        assert_eq!(shape_class(2048, 576, 128), shape_class(3000, 700, 200));
+    }
+
+    #[test]
+    fn register_pressure_excludes_8x16() {
+        for m in [64usize, 512, 4096] {
+            for n in [64usize, 512, 4096] {
+                let p = plan_for(m, 256, n);
+                assert!(
+                    vector_regs(p.mr, p.nr) <= 16,
+                    "infeasible tile {}x{} chosen for {m}x{n}",
+                    p.mr,
+                    p.nr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kc_is_class_pure_and_grid_bounded() {
+        // Below the smallest grid entry: the class floor (power of two).
+        assert_eq!(plan_for(1024, 7, 64).kc, 4);
+        // At or above: the deepest grid candidate within the class floor.
+        assert_eq!(plan_for(1024, 75, 64).kc, 64);
+        assert_eq!(plan_for(1024, 300, 64).kc, 256);
+        assert_eq!(plan_for(1024, 100, 64).kc, 64);
+        // Class purity: any k sharing a log2 bucket shares the plan.
+        assert_eq!(plan_for(1024, 65, 64), plan_for(1024, 127, 64));
+    }
+
+    #[test]
+    fn nc_is_whole_panels_and_capped() {
+        let p = plan_for(1024, 256, 1000);
+        assert_eq!(p.nc % p.nr, 0);
+        assert!(p.nc <= NC_MAX);
+        let small = plan_for(1024, 256, 5);
+        assert_eq!(small.nc, small.nr, "tiny n rounds up to one panel");
+    }
+
+    #[test]
+    fn registry_records_first_use_and_hits() {
+        reset_observed();
+        let before = recorded_count();
+        let p1 = plan_recorded(333, 77, 55);
+        let p2 = plan_recorded(340, 80, 60); // same class
+        assert_eq!(p1, p2);
+        assert_eq!(recorded_count() - before, 2);
+        let obs = observed();
+        let entry = obs
+            .iter()
+            .find(|o| o.class == shape_class(333, 77, 55))
+            .expect("class recorded");
+        assert_eq!(entry.example, (333, 77, 55), "first shape wins");
+        assert!(entry.hits >= 2);
+    }
+}

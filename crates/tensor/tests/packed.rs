@@ -1,0 +1,196 @@
+//! Contract tests for the packed tolerance-mode GEMM family and its
+//! dispatchers (`gemm_*_ws`).
+//!
+//! Three properties, matching the `linalg` module-doc contract:
+//!
+//! 1. **Default is bitwise.** Without the `simd` feature — or with it but
+//!    without the [`linalg::set_packed_gemm`] opt-in — every `gemm_*_ws`
+//!    dispatch is bitwise identical to the reference `*_into_auto` kernel,
+//!    including when someone flips the (then inert) switch.
+//! 2. **Tolerance mode is bounded.** The packed kernels may diverge from
+//!    the reference, but per element by no more than
+//!    `4·k·ε · Σ_l |a_il|·|b_lj|` with `ε = 2⁻²⁴` (a slackened `γ_k`
+//!    rounding bound covering both folds), across random ragged shapes.
+//! 3. **Dispatch is shape- and mode-aware.** With the mode on, outputs at
+//!    or above `par_threshold()` rows take the packed path and smaller
+//!    ones the reference path — and both produce correct numbers.
+
+use proptest::prelude::*;
+use sasgd_tensor::{linalg, SeedRng, Workspace};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global packed-GEMM switch (or
+/// read the global path counters) so they can't observe each other.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+const EPS_F32: f64 = 1.0 / (1u64 << 24) as f64;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    SeedRng::new(seed)
+        .normal_tensor(&[rows, cols], 1.0)
+        .into_vec()
+}
+
+/// Per-element tolerance-mode bound: `4·k·ε · Σ_l |a_il|·|b_lj|` for the
+/// logical row-major `A: [m,k]`, `B: [k,n]`.
+fn assert_within_bound(
+    got: &[f32],
+    want: &[f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut mag = 0.0f64;
+            for l in 0..k {
+                mag += (a[i * k + l] as f64 * b[l * n + j] as f64).abs();
+            }
+            let bound = 4.0 * k as f64 * EPS_F32 * mag;
+            let diff = (got[i * n + j] as f64 - want[i * n + j] as f64).abs();
+            assert!(
+                diff <= bound,
+                "({m},{k},{n}) at ({i},{j}): |{} - {}| = {diff:e} > bound {bound:e}",
+                got[i * n + j],
+                want[i * n + j]
+            );
+        }
+    }
+}
+
+/// Transpose a row-major `rows`×`cols` matrix.
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = x[r * cols + c];
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 1: the dispatched path is bitwise-reference whenever the
+    /// packed mode is not *effectively* on. Without the `simd` feature
+    /// this also proves the opt-in switch is inert.
+    #[test]
+    fn dispatchers_are_bitwise_reference_in_default_mode(
+        m in 1usize..200, k in 1usize..40, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed + 1);
+        let mut ws = Workspace::new();
+        let _guard = MODE_LOCK.lock().unwrap();
+
+        // Without the feature, flipping the switch must change nothing;
+        // with the feature, this block simply runs before the opt-in.
+        if cfg!(not(feature = "simd")) {
+            linalg::set_packed_gemm(true);
+            prop_assert!(!linalg::packed_gemm_enabled());
+        }
+        linalg::set_packed_gemm(cfg!(not(feature = "simd")));
+
+        let mut want = vec![0.0f32; m * n];
+        linalg::matmul_into_auto(&mut want, &a, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        linalg::gemm_nn_ws(&mut got, &a, &b, m, k, n, &mut ws);
+        prop_assert_eq!(&got, &want);
+
+        let bt = transpose(&b, k, n); // physical [n, k]
+        linalg::matmul_nt_into_auto(&mut want, &a, &bt, m, k, n);
+        linalg::gemm_nt_ws(&mut got, &a, &bt, m, k, n, &mut ws);
+        prop_assert_eq!(&got, &want);
+
+        let at = transpose(&a, m, k); // physical [k, m]
+        linalg::matmul_tn_into_auto(&mut want, &at, &b, k, m, n);
+        linalg::gemm_tn_ws(&mut got, &at, &b, k, m, n, &mut ws);
+        prop_assert_eq!(&got, &want);
+
+        linalg::set_packed_gemm(false);
+    }
+
+    /// Property 2: the packed kernels stay within the documented
+    /// relative-error bound of the reference, ragged tails included.
+    #[test]
+    fn packed_error_vs_reference_is_bounded(
+        m in 1usize..80, k in 1usize..150, n in 1usize..80, seed in 0u64..1000
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed + 1);
+        let mut ws = Workspace::new();
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![f32::NAN; m * n];
+
+        linalg::matmul_into_auto(&mut want, &a, &b, m, k, n);
+        linalg::matmul_packed_into_ws(&mut got, &a, &b, m, k, n, &mut ws);
+        assert_within_bound(&got, &want, &a, &b, m, k, n);
+
+        let bt = transpose(&b, k, n);
+        linalg::matmul_nt_into_auto(&mut want, &a, &bt, m, k, n);
+        linalg::matmul_nt_packed_into_ws(&mut got, &a, &bt, m, k, n, &mut ws);
+        assert_within_bound(&got, &want, &a, &b, m, k, n);
+
+        let at = transpose(&a, m, k);
+        linalg::matmul_tn_into_auto(&mut want, &at, &b, k, m, n);
+        linalg::matmul_tn_packed_into_ws(&mut got, &at, &b, k, m, n, &mut ws);
+        assert_within_bound(&got, &want, &a, &b, m, k, n);
+    }
+}
+
+/// Property 3: with the mode on (and the `simd` feature present), shape
+/// decides the path — packed at or above `par_threshold()` output rows,
+/// reference below — and the path counters prove which one ran.
+#[cfg(feature = "simd")]
+#[test]
+fn dispatch_picks_packed_above_threshold_and_reference_below() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let mut ws = Workspace::new();
+    let threshold = linalg::par_threshold();
+    let (k, n) = (33usize, 29usize);
+
+    linalg::set_packed_gemm(true);
+    assert!(linalg::packed_gemm_enabled());
+    linalg::reset_gemm_path_counts();
+
+    // Below the cutover: reference path.
+    let small_m = threshold - 1;
+    let a = rand_mat(small_m, k, 7);
+    let b = rand_mat(k, n, 8);
+    let mut want = vec![0.0f32; small_m * n];
+    linalg::matmul_into_auto(&mut want, &a, &b, small_m, k, n);
+    let mut got = vec![f32::NAN; small_m * n];
+    linalg::gemm_nn_ws(&mut got, &a, &b, small_m, k, n, &mut ws);
+    assert_eq!(
+        got, want,
+        "below-threshold dispatch must be bitwise-reference"
+    );
+    assert_eq!(linalg::gemm_path_counts(), (0, 1));
+
+    // At/above the cutover: packed path, correct within the bound.
+    let big_m = threshold.max(64);
+    let a = rand_mat(big_m, k, 9);
+    let b = rand_mat(k, n, 10);
+    let mut want = vec![0.0f32; big_m * n];
+    linalg::matmul_into_auto(&mut want, &a, &b, big_m, k, n);
+    let mut got = vec![f32::NAN; big_m * n];
+    linalg::gemm_nn_ws(&mut got, &a, &b, big_m, k, n, &mut ws);
+    assert_eq!(
+        linalg::gemm_path_counts(),
+        (1, 1),
+        "big GEMM must take the packed path"
+    );
+    assert_within_bound(&got, &want, &a, &b, big_m, k, n);
+
+    // The packed dispatch must have recorded its tile plan.
+    assert!(
+        sasgd_tensor::tune::recorded_count() > 0,
+        "packed dispatch must record its tile plan"
+    );
+
+    linalg::set_packed_gemm(false);
+    linalg::reset_gemm_path_counts();
+}
