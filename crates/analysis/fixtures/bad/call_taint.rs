@@ -1,0 +1,20 @@
+// virtual-path: crates/core/src/jitter.rs
+//! Bad fixture: nondeterminism reaching gradient math *through helpers* —
+//! no single line reads a clock next to a float, but the call graph
+//! carries thread identity into the update scale.
+
+fn thread_salt() -> u64 {
+    let id = std::thread::current().id();
+    format!("{id:?}").len() as u64
+}
+
+fn decay_seed() -> u64 {
+    thread_salt().rotate_left(7)
+}
+
+pub fn scale_gradients(g: &mut [f32]) {
+    let s = decay_seed();
+    for x in g.iter_mut() {
+        *x *= 1.0 + (s % 3) as f32 * 1e-6;
+    }
+}

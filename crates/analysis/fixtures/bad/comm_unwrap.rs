@@ -1,0 +1,9 @@
+// virtual-path: crates/comm/src/relay.rs
+//! Bad fixture: swallowing comm failures in library code. `recv` can
+//! return `Timeout`/`PeerGone` at runtime — unwrapping turns an expected
+//! fault into a panic that takes the whole rank down.
+
+pub fn relay(t: &MockTransport, from: usize, to: usize, tag: u64) {
+    let msg = t.recv(from, tag).unwrap();
+    t.send(to, tag, msg).expect("send failed");
+}

@@ -1,0 +1,14 @@
+// virtual-path: crates/core/src/jitter.rs
+//! Good fixture: the same helper chain seeded from the *step counter* —
+//! deterministic input, so the call graph carries no taint.
+
+fn decay_seed(step: u64) -> u64 {
+    step.rotate_left(7)
+}
+
+pub fn scale_gradients(g: &mut [f32], step: u64) {
+    let s = decay_seed(step);
+    for x in g.iter_mut() {
+        *x *= 1.0 + (s % 3) as f32 * 1e-6;
+    }
+}

@@ -1,0 +1,20 @@
+// virtual-path: crates/comm/src/relay.rs
+//! Good fixture: comm failures propagate with `?` so the caller's
+//! fault-tolerance policy decides; tests may still assert with `unwrap`.
+
+pub fn relay(t: &MockTransport, from: usize, to: usize, tag: u64) -> Result<(), CommError> {
+    let msg = t.recv(from, tag)?;
+    t.send(to, tag, msg)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let t = MockTransport::default();
+        let _ = t.recv(0, 1).unwrap();
+    }
+}

@@ -21,18 +21,32 @@
 //!    tree, dead-rank eviction agreement) and the epoch-versioned PS
 //!    snapshot (no torn cross-shard cuts under concurrent pushes).
 //!
-//! Both legs self-check against deliberate failures (a bad-fixture lint
-//! corpus; an arrival-order reduce and a recv cycle) so a silently dead
-//! analyzer cannot go green. Entry point: [`run_all`], surfaced as
-//! `repro analyze` in `sasgd-bench` and as a CI gate.
+//! 3. **Model checker** ([`model`], [`vclock`], [`dpor`]) — a fourth
+//!    `Transport` impl routes every operation through a cooperative
+//!    scheduler that owns all nondeterminism, and a sleep-set DPOR
+//!    explorer enumerates **every inequivalent interleaving** of the
+//!    scenario corpus at p ≤ 4 (seeded bounded search at p = 8). Races
+//!    and lost updates are happens-before violations on vector clocks;
+//!    deadlocks are wait-for-graph cycles with the exact blocked-op cycle
+//!    in the report; every finding carries a replayable decision-sequence
+//!    witness. Opt-in via [`run_all_with_model`] (`repro analyze
+//!    --model`).
+//!
+//! All legs self-check against deliberate failures (a bad-fixture lint
+//! corpus; an arrival-order reduce, a PS lost update, and a recv cycle)
+//! so a silently dead analyzer cannot go green. Entry point: [`run_all`],
+//! surfaced as `repro analyze` in `sasgd-bench` and as a CI gate.
 
+pub mod dpor;
 pub mod lexer;
 pub mod lints;
+pub mod model;
 pub mod report;
 pub mod scan;
 pub mod schedule;
+pub mod vclock;
 
-use report::Analysis;
+use report::{Analysis, ModelReport};
 use scan::{fixtures_dir, lint_fixture_corpus, lint_repo, repo_root};
 use schedule::{exhaustive_schedules, scenario_bad_reduce, scenario_deadlock};
 
@@ -74,5 +88,22 @@ pub fn run_all() -> Analysis {
         scenarios,
         bad_fixture_diverged,
         deadlock_detected,
+        model: None,
     }
+}
+
+/// Run the model-checker leg only: the DPOR sweep over the scenario
+/// corpus plus the implanted-bug self-check.
+pub fn run_model_checks() -> ModelReport {
+    ModelReport {
+        scenarios: dpor::run_model_sweep(),
+        self_check: dpor::model_self_checks(),
+    }
+}
+
+/// Run all three legs (`repro analyze --model`).
+pub fn run_all_with_model() -> Analysis {
+    let mut a = run_all();
+    a.model = Some(run_model_checks());
+    a
 }

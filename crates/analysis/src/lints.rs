@@ -1,23 +1,27 @@
 //! The repo-specific lint pass.
 //!
-//! Six lints encode the invariants the compiler cannot check (see
+//! Eight lints encode the invariants the compiler cannot check (see
 //! DESIGN.md §4d for the full table and rationale):
 //!
-//! | id           | rule |
-//! |--------------|------|
-//! | `map-iter`   | no `HashMap`/`HashSet` in numeric crates (`tensor`, `nn`, `core`, `comm`) — nondeterministic iteration order can reach numerics |
-//! | `unsafe`     | no `unsafe` outside the allow-list; allowed blocks must carry a `// SAFETY:` comment within 4 lines above |
-//! | `wall-clock` | no `Instant::now` / `SystemTime` outside the threaded backend and `bench` — the Simulated backend is virtual-clock pure |
-//! | `raw-spawn`  | no `std::thread::spawn` outside `comm`, the threaded backend, and the race-checker host |
-//! | `hot-alloc`  | no heap-allocating calls (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`, …) inside functions annotated `// hot-path` |
-//! | `float-cast` | no `as` casts with syntactic float evidence in gradient-math crates (float→int truncation, `f64`→`f32` width collapse) |
+//! | id            | rule |
+//! |---------------|------|
+//! | `map-iter`    | no `HashMap`/`HashSet` in numeric crates (`tensor`, `nn`, `core`, `comm`) — nondeterministic iteration order can reach numerics |
+//! | `unsafe`      | no `unsafe` outside the allow-list; allowed blocks must carry a `// SAFETY:` comment within 4 lines above |
+//! | `wall-clock`  | no `Instant::now` / `SystemTime` outside the threaded backend and `bench` — the Simulated backend is virtual-clock pure |
+//! | `raw-spawn`   | no `std::thread::spawn` outside `comm`, the threaded backend, and the race-checker host |
+//! | `hot-alloc`   | no heap-allocating calls (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`, …) inside functions annotated `// hot-path` |
+//! | `float-cast`  | no `as` casts with syntactic float evidence in gradient-math crates (float→int truncation, `f64`→`f32` width collapse) |
+//! | `comm-unwrap` | no `.unwrap()`/`.expect()` on `CommError`-carrying Results in `comm`/`core` library code — peer loss and timeouts are runtime conditions, not bugs |
+//! | `call-taint`  | no *indirect* nondeterminism in numeric crates: a cheap intra-crate call graph flags calls to helpers whose bodies (transitively) read wall clocks, thread identity, or hash-map iteration order |
 //!
-//! Every lint is suppressible at the offending line with
-//! `// lint:allow(<id>): <justification>` — on the same line or as a
-//! full-line comment directly above (justification required by convention,
-//! enforced by review).
+//! The first seven are per-file ([`lint_file`]); `call-taint` needs the
+//! whole crate ([`scan_functions`] + [`call_taint`], driven by
+//! [`crate::scan::lint_repo`]). Every lint is suppressible at the
+//! offending line with `// lint:allow(<id>): <justification>` — on the
+//! same line or as a full-line comment directly above (justification
+//! required by convention, enforced by review).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Tok, TokKind};
 
@@ -42,6 +46,8 @@ pub const LINT_IDS: &[&str] = &[
     "raw-spawn",
     "hot-alloc",
     "float-cast",
+    "comm-unwrap",
+    "call-taint",
 ];
 
 // ---------------------------------------------------------------------------
@@ -85,6 +91,10 @@ const WALL_CLOCK_ALLOWED: &[&str] = &[
     // world.rs: real elapsed time on the wire path, never numerics.
     "crates/comm/src/socket.rs",
     "crates/comm/src/mock.rs",
+    // The model transport's *live* mode implements the same real recv
+    // deadlines as the mock for the conformance suite; controlled mode
+    // owns all nondeterminism and never reads a clock.
+    "crates/analysis/src/model.rs",
     // The transport-conformance suite measures those deadlines (bounded
     // Timeout, PeerGone retry windows) — wall-clock is the subject.
     "crates/comm/tests/",
@@ -103,6 +113,30 @@ const SPAWN_ALLOWED: &[&str] = &[
 
 /// Gradient-math scope for `float-cast`.
 const FLOAT_CAST_SCOPE: &[&str] = &["crates/tensor/src/", "crates/nn/src/", "crates/core/src/"];
+
+/// Library scope of `comm-unwrap`: the crates whose Results carry
+/// `CommError`. Tests and `bench` assert at will (`#[cfg(test)]` modules
+/// inside these files are excluded too).
+const COMM_UNWRAP_SCOPE: &[&str] = &["crates/comm/src/", "crates/core/src/"];
+
+/// Method / function names whose `Result` carries a `CommError` (directly
+/// or via the transport trait): the receiver-chain evidence `comm-unwrap`
+/// looks for.
+const COMM_RESULT_FNS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_deadline",
+    "recv_any",
+    "recv_any_deadline",
+    "broadcast",
+    "reduce_tree",
+    "allreduce_tree",
+    "allreduce_ring",
+    "sparse_allreduce_tree",
+    "ft_allreduce",
+    "serve_shard",
+    "pull_snapshot",
+];
 
 fn in_scope(path: &str, prefixes: &[&str]) -> bool {
     prefixes
@@ -326,7 +360,160 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    // L7 comm-unwrap: `.unwrap()`/`.expect()` on comm-layer Results in
+    // library code. Evidence based, like float-cast: flagged only when the
+    // receiver's postfix chain syntactically contains a comm call.
+    if in_scope(path, COMM_UNWRAP_SCOPE) {
+        let test_ranges = cfg_test_line_ranges(&toks);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+                continue;
+            }
+            if !matches!(i.checked_sub(1).map(|k| &toks[k]), Some(p) if p.is(".")) {
+                continue;
+            }
+            if !matches!(toks.get(i + 1), Some(n) if n.is("(")) {
+                continue;
+            }
+            if test_ranges
+                .iter()
+                .any(|&(lo, hi)| t.line >= lo && t.line <= hi)
+            {
+                continue;
+            }
+            let chain = receiver_chain_names(&toks, i - 1);
+            let comm_hit = chain.iter().find(|(n, argc)| {
+                COMM_RESULT_FNS.contains(&n.as_str())
+                    && match n.as_str() {
+                        // `send`/`recv` collide with std channel names;
+                        // require the Transport arity — send(dst, tag,
+                        // payload), recv(src, tag) — so in-process mpsc
+                        // endpoints (1 and 0 args) stay out of scope.
+                        "send" => *argc >= 3,
+                        "recv" => *argc >= 2,
+                        _ => true,
+                    }
+            });
+            if let Some((hit, _)) = comm_hit {
+                push(
+                    "comm-unwrap",
+                    t.line,
+                    format!(
+                        "`.{}()` on the `CommError`-carrying result of `{hit}`: peer loss and \
+                         timeouts are runtime conditions — propagate with `?` or match on them",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
     out
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]`-gated blocks — test
+/// modules may unwrap comm Results at will.
+fn cfg_test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cfg_test = toks[i].is("#")
+            && matches!(toks.get(i + 1), Some(a) if a.is("["))
+            && matches!(toks.get(i + 2), Some(a) if a.is("cfg"))
+            && matches!(toks.get(i + 3), Some(a) if a.is("("))
+            && matches!(toks.get(i + 4), Some(a) if a.is("test"));
+        if is_cfg_test {
+            // Scan to the block the attribute covers (a `;` means an
+            // out-of-line `mod tests;` — no range in this file).
+            let mut j = i + 5;
+            while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is("{") {
+                let lo = toks[i].line;
+                let mut depth = 1i32;
+                let mut m = j + 1;
+                while m < toks.len() && depth > 0 {
+                    if toks[m].is("{") {
+                        depth += 1;
+                    } else if toks[m].is("}") {
+                        depth -= 1;
+                    }
+                    m += 1;
+                }
+                let hi = toks.get(m.saturating_sub(1)).map_or(lo, |t| t.line);
+                out.push((lo, hi));
+                i = m;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Calls in the postfix receiver chain left of the `.` at `dot`, as
+/// `(name, top-level arg count)` pairs: `t.recv(src, tag).unwrap()` yields
+/// `[("recv", 2)]`, `client.pull_snapshot()?.expect(..)` yields
+/// `[("pull_snapshot", 0)]`. Field accesses and the receiver variable
+/// contribute no names (they are not calls). The arg count is syntactic —
+/// top-level commas plus one — which is exactly enough to tell a Transport
+/// `send(dst, tag, data)` from an mpsc `send(value)`.
+fn receiver_chain_names(toks: &[Tok], dot: usize) -> Vec<(String, usize)> {
+    let mut names = Vec::new();
+    let mut k = dot;
+    loop {
+        if k == 0 {
+            break;
+        }
+        let t = &toks[k - 1];
+        if t.is("?") {
+            k -= 1;
+        } else if t.is(")") {
+            // Match the arg-list group back to its `(`, counting the
+            // group's top-level commas on the way.
+            let mut depth = 1i32;
+            let mut commas = 0usize;
+            let mut inner = 0usize;
+            k -= 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if toks[k].is(")") {
+                    depth += 1;
+                } else if toks[k].is("(") {
+                    depth -= 1;
+                } else {
+                    if depth == 1 && toks[k].is(",") {
+                        commas += 1;
+                    }
+                    inner += 1;
+                }
+            }
+            let argc = if inner == 0 { 0 } else { commas + 1 };
+            // The call's name sits before the arg list.
+            if k > 0 && toks[k - 1].kind == TokKind::Ident {
+                names.push((toks[k - 1].text.clone(), argc));
+                k -= 1;
+                if k > 0 && (toks[k - 1].is(".") || toks[k - 1].is("::")) {
+                    k -= 1;
+                    continue;
+                }
+            }
+            break;
+        } else if t.kind == TokKind::Ident {
+            // Field or variable link: keep walking through `.`/`::`.
+            k -= 1;
+            if k > 0 && (toks[k - 1].is(".") || toks[k - 1].is("::")) {
+                k -= 1;
+                continue;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    names
 }
 
 /// Is this comment the hot-path *annotation* (as opposed to prose that
@@ -496,6 +683,261 @@ fn float_cast_findings(toks: &[Tok]) -> Vec<(u32, String)> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// L8 call-taint: intra-crate call-graph nondeterminism propagation.
+// ---------------------------------------------------------------------------
+
+/// One function as seen by the `call-taint` scanner.
+struct FnInfo {
+    /// Bare function name (`fn name(...)`).
+    name: String,
+    /// Direct nondeterminism source in the body, if any: `(line, kind)`.
+    source: Option<(u32, String)>,
+    /// Call sites in the body: `(line, bare callee name)`. Method calls
+    /// (`x.f()`) are excluded — receivers are unresolvable for a lexer.
+    calls: Vec<(u32, String)>,
+}
+
+/// Per-file input to [`call_taint`]: the functions of one source file,
+/// plus the lines where the lint is suppressed.
+pub struct FileFns {
+    path: String,
+    fns: Vec<FnInfo>,
+    /// Lines carrying `lint:allow(call-taint)`.
+    allowed: BTreeSet<u32>,
+}
+
+/// Names never resolved as intra-crate calls: ubiquitous constructor /
+/// std-path tails whose bare name would mis-resolve (`Vec::new` vs. a
+/// crate's own unique `fn new`).
+const TAINT_RESOLVE_DENY: &[&str] = &[
+    "new", "default", "from", "into", "clone", "now", "current", "len", "min", "max",
+];
+
+/// Keyword-shaped `ident (` sequences that are not calls.
+const TAINT_CALL_KEYWORDS: &[&str] = &["match", "return", "if", "while", "for", "in", "move"];
+
+/// Extract the function list of one file for the `call-taint` pass.
+///
+/// The scanner is deliberately shallow: `fn name … { body }` with
+/// angle-bracket-aware scanning to the body brace (trait signatures with
+/// `;` bodies contribute nothing). Closures and nested items are
+/// attributed to the enclosing function — good enough for propagation.
+pub fn scan_functions(path: &str, src: &str) -> FileFns {
+    let toks = lex(src);
+    let allow = AllowMap::build(&toks);
+    let allowed: BTreeSet<u32> = toks
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| allow.is_allowed(l, "call-taint"))
+        .collect();
+    let wall_clock_sanctioned = in_scope(path, WALL_CLOCK_ALLOWED);
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is("fn") && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Ident)) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Scan to the body's opening brace; `;` before it means no body.
+        let mut k = i + 2;
+        let mut angle = 0i32;
+        let mut body: Option<(usize, usize)> = None;
+        while k < toks.len() {
+            let tk = &toks[k];
+            if tk.is("<") {
+                angle += 1;
+            } else if tk.is(">") {
+                angle -= 1;
+            } else if tk.is(";") && angle <= 0 {
+                break;
+            } else if tk.is("{") && angle <= 0 {
+                let open = k + 1;
+                let mut depth = 1i32;
+                let mut m = open;
+                while m < toks.len() && depth > 0 {
+                    if toks[m].is("{") {
+                        depth += 1;
+                    } else if toks[m].is("}") {
+                        depth -= 1;
+                    }
+                    m += 1;
+                }
+                body = Some((open, m.saturating_sub(1)));
+                break;
+            }
+            k += 1;
+        }
+        let Some((lo, hi)) = body else {
+            i += 2;
+            continue;
+        };
+        let mut info = FnInfo {
+            name,
+            source: None,
+            calls: Vec::new(),
+        };
+        for j in lo..hi {
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let sanctioned =
+                |id: &str| allow.is_allowed(t.line, id) || allow.is_allowed(t.line, "call-taint");
+            // Direct sources, honoring the same sanctions as the direct lints.
+            let src_kind = match t.text.as_str() {
+                "SystemTime" if !wall_clock_sanctioned && !sanctioned("wall-clock") => {
+                    Some("wall-clock read (`SystemTime`)")
+                }
+                "Instant"
+                    if matches!(
+                        (toks.get(j + 1), toks.get(j + 2)),
+                        (Some(a), Some(b)) if a.is("::") && b.is("now")
+                    ) && !wall_clock_sanctioned
+                        && !sanctioned("wall-clock") =>
+                {
+                    Some("wall-clock read (`Instant::now`)")
+                }
+                "thread"
+                    if matches!(
+                        (toks.get(j + 1), toks.get(j + 2)),
+                        (Some(a), Some(b)) if a.is("::") && b.is("current")
+                    ) && !sanctioned("call-taint") =>
+                {
+                    Some("thread identity (`thread::current`)")
+                }
+                "HashMap" | "HashSet" if !sanctioned("map-iter") => {
+                    Some("hash iteration order (`HashMap`/`HashSet`)")
+                }
+                _ => None,
+            };
+            if let Some(kind) = src_kind {
+                if info.source.is_none() {
+                    info.source = Some((t.line, kind.to_string()));
+                }
+                continue;
+            }
+            // Call sites: `ident (` not preceded by `.` (method) or `fn`.
+            if !matches!(toks.get(j + 1), Some(n) if n.is("(")) {
+                continue;
+            }
+            if TAINT_CALL_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if matches!(j.checked_sub(1).map(|k| &toks[k]), Some(p) if p.is(".") || p.is("fn")) {
+                continue;
+            }
+            info.calls.push((t.line, t.text.clone()));
+        }
+        fns.push(info);
+        i = hi + 1;
+    }
+    FileFns {
+        path: path.to_string(),
+        fns,
+        allowed,
+    }
+}
+
+/// The crate-level `call-taint` pass: propagate nondeterminism along the
+/// intra-crate call graph and flag call sites in numeric-crate files whose
+/// callee (transitively) reaches a source.
+///
+/// Resolution is by unique bare name: a callee name defined more than once
+/// in the crate is ambiguous and conservatively skipped (transport trait
+/// impls all define `send`/`recv` — tainting through those would be
+/// guesswork). Sources sanctioned by the direct lints' allow-lists
+/// (`WALL_CLOCK_ALLOWED`, `lint:allow(map-iter)`, …) do not taint.
+pub fn call_taint(files: &[FileFns]) -> Vec<Violation> {
+    // Unique-name resolution table: name -> (file idx, fn idx).
+    let mut defs: BTreeMap<&str, Option<(usize, usize)>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            if TAINT_RESOLVE_DENY.contains(&g.name.as_str()) {
+                continue;
+            }
+            defs.entry(&g.name)
+                .and_modify(|e| *e = None) // duplicate: ambiguous
+                .or_insert(Some((fi, gi)));
+        }
+    }
+    let resolve = |name: &str| defs.get(name).copied().flatten();
+
+    // Per-fn taint: the human-readable root-source description.
+    let mut taint: Vec<Vec<Option<String>>> = files
+        .iter()
+        .map(|f| {
+            f.fns
+                .iter()
+                .map(|g| {
+                    g.source
+                        .as_ref()
+                        .map(|(line, kind)| format!("{kind} in `{}` at {}:{line}", g.name, f.path))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Fixpoint propagation (bounded by the call-graph depth).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                if taint[fi][gi].is_some() {
+                    continue;
+                }
+                for (_, callee) in &g.calls {
+                    if let Some((tf, tg)) = resolve(callee) {
+                        if let Some(root) = taint[tf][tg].clone() {
+                            taint[fi][gi] = Some(root);
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Findings: tainted call sites in numeric-crate files.
+    let mut out = Vec::new();
+    for f in files {
+        if !in_scope(&f.path, NUMERIC_CRATES) {
+            continue;
+        }
+        for g in &f.fns {
+            for (line, callee) in &g.calls {
+                if f.allowed.contains(line) {
+                    continue;
+                }
+                let Some((tf, tg)) = resolve(callee) else {
+                    continue;
+                };
+                if let Some(root) = &taint[tf][tg] {
+                    out.push(Violation {
+                        lint: "call-taint",
+                        file: f.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "call to `{callee}` reaches a nondeterminism source — {root}; \
+                             numerics must not depend on clocks, thread identity, or hash order"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run `call-taint` on a single file as a degenerate one-file crate —
+/// what the fixture corpus and unit tests use.
+pub fn call_taint_single(path: &str, src: &str) -> Vec<Violation> {
+    call_taint(&[scan_functions(path, src)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +1010,9 @@ mod tests {
         assert!(lints_of("crates/core/src/engine/rank.rs", src).is_empty());
         assert!(lints_of("crates/comm/src/socket.rs", src).is_empty());
         assert!(lints_of("crates/comm/src/mock.rs", src).is_empty());
+        // The model transport's live mode mirrors the mock's real recv
+        // deadlines — sanctioned; its controlled mode never reads a clock.
+        assert!(lints_of("crates/analysis/src/model.rs", src).is_empty());
         assert!(lints_of("crates/comm/tests/transport_conformance.rs", src).is_empty());
     }
 
@@ -668,5 +1113,98 @@ mod tests {
         assert!(lints_of("crates/bench/src/figures.rs", src)
             .iter()
             .all(|l| *l != "map-iter"));
+    }
+
+    #[test]
+    fn comm_unwrap_flags_unwrap_and_expect_on_comm_results() {
+        let src = "fn f(t: &MockTransport) { let v = t.recv(1, 7).unwrap(); }\n";
+        assert_eq!(
+            lints_of("crates/comm/src/tree.rs", src),
+            vec!["comm-unwrap"]
+        );
+        let expect = "fn f(w: &World) { w.send(0, TAG, buf).expect(\"send\"); }\n";
+        assert_eq!(
+            lints_of("crates/core/src/engine/rank.rs", expect),
+            vec!["comm-unwrap"]
+        );
+    }
+
+    #[test]
+    fn comm_unwrap_walks_the_postfix_chain() {
+        // The comm call sits behind a `?`-link and a field access.
+        let src = "fn f(s: &S) { let v = s.world.recv_any(&c).unwrap(); }\n";
+        assert_eq!(lints_of("crates/comm/src/ps.rs", src), vec!["comm-unwrap"]);
+    }
+
+    #[test]
+    fn comm_unwrap_ignores_non_comm_receivers_tests_and_other_crates() {
+        // Non-comm receiver chains are fine.
+        let lock = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }\n";
+        assert!(lints_of("crates/comm/src/world.rs", lock).is_empty());
+        // `#[cfg(test)]` modules assert at will.
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn f(t: &T) { t.recv(0, 1).unwrap(); }\n}\n";
+        assert!(lints_of("crates/comm/src/tree.rs", test_mod).is_empty());
+        // Out of scope entirely.
+        let src = "fn f(t: &T) { t.recv(0, 1).unwrap(); }\n";
+        assert!(lints_of("crates/bench/src/engine.rs", src).is_empty());
+        // Allowed with justification.
+        let allowed = "fn f(t: &T) {\n    t.recv(0, 1).unwrap(); \
+                       // lint:allow(comm-unwrap): self-message, cannot fail\n}\n";
+        assert!(lints_of("crates/comm/src/tree.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn call_taint_flags_indirect_sources_through_helpers() {
+        let src = "use std::time::Instant;\n\
+                   fn seed() -> u64 { Instant::now().elapsed().subsec_nanos() as u64 }\n\
+                   fn jitter() -> u64 { seed() / 2 }\n\
+                   pub fn scale(g: &mut [f32]) { let s = jitter(); g[0] += s as f32; }\n";
+        let v = call_taint_single("crates/nn/src/opt.rs", src);
+        // Both hops are flagged: jitter->seed and scale->jitter.
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.lint == "call-taint"));
+        assert!(v.iter().all(|x| x.message.contains("Instant::now")));
+        assert!(v.iter().all(|x| x.message.contains("`seed`")));
+    }
+
+    #[test]
+    fn call_taint_covers_thread_identity() {
+        let src =
+            "fn salt() -> u64 { format!(\"{:?}\", std::thread::current().id()).len() as u64 }\n\
+                   pub fn mix(x: &mut [f32]) { x[0] += salt() as f32; }\n";
+        let v = call_taint_single("crates/core/src/sgd.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("thread::current"));
+    }
+
+    #[test]
+    fn call_taint_respects_sanctions_and_allows() {
+        // Wall-clock in a sanctioned file does not taint.
+        let src = "use std::time::Instant;\n\
+                   fn stopwatch() -> f64 { Instant::now().elapsed().as_secs_f64() }\n\
+                   pub fn step() { let _ = stopwatch(); }\n";
+        assert!(call_taint_single("crates/core/src/threaded.rs", src).is_empty());
+        // An allowed call site is suppressed.
+        let allowed = "use std::time::Instant;\n\
+                       fn seed() -> u64 { Instant::now().elapsed().subsec_nanos() as u64 }\n\
+                       pub fn log_step() {\n\
+                       let s = seed(); // lint:allow(call-taint): diagnostics only\n\
+                       let _ = s;\n}\n";
+        assert!(call_taint_single("crates/core/src/log.rs", allowed).is_empty());
+        // Ambiguous names (defined twice) are conservatively skipped.
+        let dup = "use std::time::Instant;\n\
+                   mod a { pub fn tick() -> u64 { 0 } }\n\
+                   mod b { pub fn tick() -> u64 { Instant::now().subsec_nanos() as u64 } }\n\
+                   pub fn run() { let _ = a::tick(); }\n";
+        let v = call_taint_single("crates/core/src/dup.rs", dup);
+        assert!(v.is_empty(), "ambiguous `tick` must not resolve: {v:?}");
+    }
+
+    #[test]
+    fn call_taint_outside_numeric_crates_is_silent() {
+        let src = "use std::time::Instant;\n\
+                   fn seed() -> u64 { Instant::now().elapsed().subsec_nanos() as u64 }\n\
+                   pub fn run() { let _ = seed(); }\n";
+        assert!(call_taint_single("crates/bench/src/figures.rs", src).is_empty());
     }
 }

@@ -3,6 +3,7 @@
 //! JSON is hand-rolled: the workspace vendors no serde, and the schema is
 //! small and flat. Strings are escaped per RFC 8259 minimal rules.
 
+use crate::dpor::{ModelScenarioResult, ModelSelfCheck};
 use crate::lints::Violation;
 use crate::schedule::ScenarioResult;
 
@@ -38,8 +39,62 @@ pub struct Analysis {
     pub scenarios: Vec<ScenarioResult>,
     /// Self-check: the arrival-order bad reduce diverged as expected.
     pub bad_fixture_diverged: bool,
-    /// Self-check: the deliberate recv cycle was caught by the watchdog.
+    /// Self-check: the deliberate recv cycle was caught with a wait-for
+    /// cycle report.
     pub deadlock_detected: bool,
+    /// Model-checker leg (`repro analyze --model`): DPOR exploration
+    /// results plus the implanted-bug self-check. `None` when the leg was
+    /// not requested.
+    pub model: Option<ModelReport>,
+}
+
+/// The model-checker leg's outcome.
+pub struct ModelReport {
+    /// Per-scenario DPOR exploration results.
+    pub scenarios: Vec<ModelScenarioResult>,
+    /// Implanted-bug self-check verdict.
+    pub self_check: ModelSelfCheck,
+}
+
+impl ModelReport {
+    /// Total interleavings explored across scenarios.
+    pub fn explored_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.explored).sum()
+    }
+
+    /// Total branches DPOR pruned across scenarios.
+    pub fn pruned_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.pruned).sum()
+    }
+
+    /// Happens-before races found on real code (must be 0).
+    pub fn races_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.races).sum()
+    }
+
+    /// Wait-for cycles found on real code (must be 0).
+    pub fn cycles_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Lost updates found on real code (must be 0).
+    pub fn lost_updates_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.lost_updates).sum()
+    }
+
+    /// The sleep-set reduction actually pruned something — a dead DPOR
+    /// layer would silently degrade to naive enumeration.
+    pub fn reduction_nonzero(&self) -> bool {
+        self.pruned_total() > 0
+    }
+
+    /// Every scenario clean and exhaustive (or declared bounded), the
+    /// reduction alive, and every implanted bug caught.
+    pub fn ok(&self) -> bool {
+        self.scenarios.iter().all(ModelScenarioResult::ok)
+            && self.reduction_nonzero()
+            && self.self_check.ok()
+    }
 }
 
 impl Analysis {
@@ -50,6 +105,7 @@ impl Analysis {
             && self.scenarios.iter().all(ScenarioResult::ok)
             && self.bad_fixture_diverged
             && self.deadlock_detected
+            && self.model.as_ref().is_none_or(ModelReport::ok)
     }
 
     /// Serialize to the `ANALYSIS.json` document.
@@ -97,9 +153,52 @@ impl Analysis {
         }
         s.push_str("  ],\n");
         s.push_str(&format!(
-            "  \"race_selfcheck\": {{\"bad_fixture_diverged\": {}, \"deadlock_detected\": {}}}\n",
+            "  \"race_selfcheck\": {{\"bad_fixture_diverged\": {}, \"deadlock_detected\": {}}},\n",
             self.bad_fixture_diverged, self.deadlock_detected
         ));
+        match &self.model {
+            None => s.push_str("  \"model\": {\"enabled\": false}\n"),
+            Some(m) => {
+                s.push_str("  \"model_scenarios\": [\n");
+                for (i, sc) in m.scenarios.iter().enumerate() {
+                    s.push_str(&format!(
+                        "    {{\"name\": \"{}\", \"p\": {}, \"explored\": {}, \"pruned\": {}, \
+                         \"distinct_results\": {}, \"races\": {}, \"lost_updates\": {}, \
+                         \"cycles\": {}, \"exhausted\": {}, \"bounded\": {}, \"ok\": {}}}{}\n",
+                        esc(&sc.name),
+                        sc.p,
+                        sc.explored,
+                        sc.pruned,
+                        sc.distinct_results,
+                        sc.races,
+                        sc.lost_updates,
+                        sc.cycles,
+                        sc.exhausted,
+                        sc.bounded,
+                        sc.ok(),
+                        if i + 1 < m.scenarios.len() { "," } else { "" }
+                    ));
+                }
+                s.push_str("  ],\n");
+                s.push_str(&format!(
+                    "  \"model\": {{\"enabled\": true, \"explored_total\": {}, \
+                     \"pruned_total\": {}, \"races_total\": {}, \"cycles_total\": {}, \
+                     \"lost_updates_total\": {}, \"reduction_nonzero\": {}, \
+                     \"selfcheck_ok\": {}, \"bad_reduce_witness\": \"{}\", \
+                     \"cycle_report\": \"{}\", \"ok\": {}}}\n",
+                    m.explored_total(),
+                    m.pruned_total(),
+                    m.races_total(),
+                    m.cycles_total(),
+                    m.lost_updates_total(),
+                    m.reduction_nonzero(),
+                    m.self_check.ok(),
+                    esc(&m.self_check.bad_reduce_witness),
+                    esc(&m.self_check.cycle_report),
+                    m.ok()
+                ));
+            }
+        }
         s.push_str("}\n");
         s
     }
@@ -149,6 +248,66 @@ impl Analysis {
             "race self-check: bad fixture diverged = {}, deadlock detected = {}\n",
             self.bad_fixture_diverged, self.deadlock_detected
         ));
+        if let Some(m) = &self.model {
+            s.push_str("\nmodel checker (DPOR over ModelTransport):\n");
+            for sc in &m.scenarios {
+                s.push_str(&format!(
+                    "  {:<34} p={} explored={:>5} pruned={:>5} distinct={} races={} lost={} \
+                     cycles={} {}  {}\n",
+                    sc.name,
+                    sc.p,
+                    sc.explored,
+                    sc.pruned,
+                    sc.distinct_results,
+                    sc.races,
+                    sc.lost_updates,
+                    sc.cycles,
+                    if sc.bounded {
+                        "bounded"
+                    } else if sc.exhausted {
+                        "exhaustive"
+                    } else {
+                        "TRUNCATED"
+                    },
+                    if sc.ok() { "ok" } else { "FAIL" }
+                ));
+                for r in &sc.reports {
+                    s.push_str(&format!("      {r}\n"));
+                }
+                if let Some(w) = &sc.witness {
+                    s.push_str(&format!("      witness: {w}\n"));
+                }
+                for e in &sc.errors {
+                    s.push_str(&format!("      error: {e}\n"));
+                }
+            }
+            let c = &m.self_check;
+            s.push_str(&format!(
+                "  model self-check: races={} (witness {}, replay {}), lost={}, rmw clean={}, \
+                 cycle caught={} ({})\n",
+                c.bad_reduce_races,
+                if c.bad_reduce_witness.is_empty() {
+                    "MISSING"
+                } else {
+                    &c.bad_reduce_witness
+                },
+                if c.bad_reduce_replay_confirms {
+                    "confirms"
+                } else {
+                    "FAILS"
+                },
+                c.lost_updates_caught,
+                c.rmw_clean,
+                c.cycle_caught,
+                if c.ok() { "ok" } else { "FAIL" }
+            ));
+            s.push_str(&format!(
+                "  model totals: explored={} pruned={} reduction_nonzero={}\n",
+                m.explored_total(),
+                m.pruned_total(),
+                m.reduction_nonzero()
+            ));
+        }
         s.push_str(&format!(
             "\noverall: {}\n",
             if self.ok() { "OK" } else { "FAIL" }
@@ -181,10 +340,12 @@ mod tests {
             scenarios: Vec::new(),
             bad_fixture_diverged: true,
             deadlock_detected: true,
+            model: None,
         };
         let j = a.to_json();
         assert!(j.contains("\"files_scanned\": 3"));
         assert!(j.contains("no \\\"maps\\\""));
+        assert!(j.contains("\"model\": {\"enabled\": false}"));
         assert!(j.contains("\"ok\": false")); // violations present → not ok
     }
 }

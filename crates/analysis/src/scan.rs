@@ -1,9 +1,10 @@
 //! Workspace file discovery for the lint pass.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::lints::{lint_file, Violation};
+use crate::lints::{call_taint, call_taint_single, lint_file, scan_functions, Violation};
 
 /// Directories scanned relative to the repo root.
 const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
@@ -48,7 +49,23 @@ pub struct LintRun {
     pub violations: Vec<Violation>,
 }
 
-/// Lint every workspace `.rs` file under `root`.
+/// The `call-taint` crate key for a repo-relative path: library files
+/// grouped per crate (`crates/<name>/src/`), plus the top-level `src/`
+/// tree. Tests, examples, and bench binaries are outside the pass — their
+/// nondeterminism cannot reach library numerics at link time.
+fn taint_crate_key(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        if rest.strip_prefix(name)?.starts_with("/src/") {
+            return Some(format!("crates/{name}"));
+        }
+        return None;
+    }
+    rel.starts_with("src/").then(|| "src".to_string())
+}
+
+/// Lint every workspace `.rs` file under `root`: the per-file lints, then
+/// the crate-grouped `call-taint` pass over each crate's `src/` tree.
 pub fn lint_repo(root: &Path) -> LintRun {
     let mut files = Vec::new();
     for scan in SCAN_ROOTS {
@@ -56,6 +73,7 @@ pub fn lint_repo(root: &Path) -> LintRun {
     }
     let mut violations = Vec::new();
     let mut scanned = 0usize;
+    let mut crates: BTreeMap<String, Vec<crate::lints::FileFns>> = BTreeMap::new();
     for f in &files {
         let Ok(src) = fs::read_to_string(f) else {
             continue;
@@ -67,7 +85,17 @@ pub fn lint_repo(root: &Path) -> LintRun {
             .to_string_lossy()
             .replace('\\', "/");
         violations.extend(lint_file(&rel, &src));
+        if let Some(key) = taint_crate_key(&rel) {
+            crates
+                .entry(key)
+                .or_default()
+                .push(scan_functions(&rel, &src));
+        }
     }
+    for group in crates.values() {
+        violations.extend(call_taint(group));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     LintRun {
         files_scanned: scanned,
         violations,
@@ -94,6 +122,8 @@ pub fn lint_fixture_corpus(dir: &Path) -> (usize, Vec<Violation>) {
             .map(|s| s.trim().to_string())
             .unwrap_or_else(|| f.to_string_lossy().into_owned());
         violations.extend(lint_file(&virtual_path, &src));
+        // Fixtures are degenerate one-file crates for `call-taint`.
+        violations.extend(call_taint_single(&virtual_path, &src));
     }
     (count, violations)
 }

@@ -9,9 +9,13 @@
 //!
 //! * **(a) bitwise invariance** — every rank's result is bitwise identical
 //!   across all explored schedules;
-//! * **(b) deadlock freedom** — a watchdog bounds each schedule run and, on
-//!   timeout, reports which ranks are blocked on which `(src, tag)`
-//!   resource (held-resource reporting);
+//! * **(b) deadlock freedom** — a polled **wait-for-graph cycle detector**
+//!   samples the world's wait table and declares deadlock only when the
+//!   same cycle of blocked ranks persists across consecutive polls,
+//!   reporting the exact cycle and which ranks are blocked on which
+//!   `(src, tag)` resource. Slow schedulers (1-core CI) cannot produce
+//!   false positives: without a cycle, a run is only abandoned after the
+//!   generous fallback budget;
 //! * **(c) no lost updates** on the PS path — after all concurrent pushes,
 //!   the pulled parameters equal the exact expected sum, and every
 //!   mid-flight pull observes only shard states a serial application of
@@ -38,6 +42,7 @@ use sasgd_comm::ft::{ft_allreduce, Membership};
 use sasgd_comm::hierarchy::{grouped, hierarchical_allreduce};
 use sasgd_comm::ps::{PsConfig, PsServer};
 use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
+use sasgd_comm::transport::Transport;
 use sasgd_comm::world::{CommWorld, Communicator, DelaySchedule};
 
 /// One delay unit. Long enough that a delayed send reliably loses the race
@@ -45,9 +50,21 @@ use sasgd_comm::world::{CommWorld, Communicator, DelaySchedule};
 /// CI budget.
 const UNIT: Duration = Duration::from_micros(300);
 
-/// Watchdog budget per schedule run. Generous: a legitimate run finishes in
-/// a few milliseconds even under maximal injected delay.
+/// Fallback budget per schedule run. Generous: a legitimate run finishes in
+/// a few milliseconds even under maximal injected delay. Only reached when
+/// ranks are stuck *without* a wait-for cycle (e.g. a thread wedged outside
+/// the comm layer) — cyclic deadlocks are detected structurally long before.
 const WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Poll cadence of the structural deadlock detector: each expiry samples
+/// the world's wait table and looks for a wait-for cycle among the blocked
+/// ranks.
+const CYCLE_POLL: Duration = Duration::from_millis(25);
+
+/// Consecutive polls one cycle must persist before it is declared real — a
+/// rank can transiently appear blocked while its partner is mid-send, but
+/// a true cycle can never dissolve on its own.
+const CYCLE_CONFIRM: usize = 3;
 
 /// Outcome of exploring one scenario.
 #[derive(Debug, Clone)]
@@ -60,7 +77,8 @@ pub struct ScenarioResult {
     pub schedules: usize,
     /// Distinct per-rank result checksums observed (must be 1).
     pub distinct_results: usize,
-    /// Schedules that hit the watchdog.
+    /// Schedules on which a deadlock was detected (wait-for cycle, or the
+    /// fallback budget with ranks still missing).
     pub deadlocks: usize,
     /// Deadlock diagnostics: per deadlocked schedule, which ranks were
     /// blocked on which `(src, tag)`.
@@ -217,12 +235,80 @@ pub type RankFn = Arc<dyn Fn(usize, &mut Communicator) -> Vec<f32> + Send + Sync
 enum RunOutcome {
     /// Per-rank result checksums, rank order.
     Done(Vec<u64>),
-    /// Watchdog fired; human-readable held-resource report.
+    /// Deadlock detected; human-readable cycle + held-resource report.
     Deadlock(String),
+}
+
+/// Find a wait-for cycle among blocked, unfinished ranks: `r` waits on
+/// `src` iff the wait table holds `Some((src, _))` for `r`. Every blocked
+/// rank has exactly one outgoing edge, so following edges either leaves the
+/// blocked set or closes a cycle. The cycle is rotated to start at its
+/// smallest rank so consecutive polls of the same stuck state compare equal.
+fn wait_cycle(held: &[Option<(usize, u64)>], done: &[bool]) -> Option<Vec<usize>> {
+    let blocked = |r: usize| !done[r] && held[r].is_some();
+    for start in 0..held.len() {
+        if !blocked(start) {
+            continue;
+        }
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some((src, _)) = held[cur] {
+            if !blocked(src) {
+                break;
+            }
+            if let Some(pos) = path.iter().position(|&x| x == src) {
+                let mut cycle = path[pos..].to_vec();
+                let min_idx = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &r)| r)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_idx);
+                return Some(cycle);
+            }
+            path.push(src);
+            cur = src;
+        }
+    }
+    None
+}
+
+/// Build the deadlock report: the cycle (when one exists) followed by the
+/// held resource of every rank.
+fn deadlock_report(held: &[Option<(usize, u64)>], cycle: Option<&[usize]>) -> String {
+    let mut report = match cycle {
+        Some(c) => {
+            let hops: Vec<String> = c.iter().map(|r| format!("rank {r}")).collect();
+            format!(
+                "deadlock: wait-for cycle {} -> rank {}; ",
+                hops.join(" -> "),
+                c[0]
+            )
+        }
+        None => String::from("deadlock: "),
+    };
+    for (r, w) in held.iter().enumerate() {
+        match w {
+            Some((src, tag)) => {
+                report.push_str(&format!("rank {r} blocked on (src {src}, tag {tag}); "))
+            }
+            None => report.push_str(&format!("rank {r} not blocked in recv; ")),
+        }
+    }
+    report
 }
 
 /// Run `scenario` on `p` fresh ranks under `sched`. The scenario receives
 /// `(rank, communicator)` and returns the rank's result vector.
+///
+/// Deadlock detection is structural: the result channel is polled on a
+/// short cadence, and each expiry samples the world's wait table looking
+/// for a wait-for cycle among blocked ranks. A cycle that persists
+/// [`CYCLE_CONFIRM`] consecutive polls is a deadlock — no matter how slow
+/// the machine. `watchdog` is only the fallback for cycle-free wedges, so
+/// a loaded 1-core runner cannot turn a slow-but-live schedule into a
+/// false positive.
 fn run_schedule(p: usize, sched: &Schedule, scenario: RankFn, watchdog: Duration) -> RunOutcome {
     let mut world = CommWorld::new(p);
     world.set_delays(Arc::new(sched.delays.clone()));
@@ -233,7 +319,7 @@ fn run_schedule(p: usize, sched: &Schedule, scenario: RankFn, watchdog: Duration
         let scenario = Arc::clone(&scenario);
         let start_units = sched.start.get(rank).copied().unwrap_or(0);
         // Detached threads: on deadlock they stay blocked and are leaked —
-        // the watchdog report is the product, and the process moves on.
+        // the cycle report is the product, and the process moves on.
         // lint:allow(raw-spawn): the race checker is the one sanctioned
         // thread host outside comm/core::threaded (see SPAWN_ALLOWED).
         std::thread::spawn(move || {
@@ -245,25 +331,48 @@ fn run_schedule(p: usize, sched: &Schedule, scenario: RankFn, watchdog: Duration
         });
     }
     drop(tx);
+    let max_polls = (watchdog.as_micros() / CYCLE_POLL.as_micros()).max(1) as usize;
     let mut sums = vec![0u64; p];
-    for _ in 0..p {
-        match rx.recv_timeout(watchdog) {
-            Ok((rank, h)) => sums[rank] = h,
-            Err(_) => {
-                let held = world.waiting_snapshot();
-                let mut report = String::from("deadlock: ");
-                for (r, w) in held.iter().enumerate() {
-                    match w {
-                        Some((src, tag)) => report
-                            .push_str(&format!("rank {r} blocked on (src {src}, tag {tag}); ")),
-                        None => report.push_str(&format!("rank {r} not blocked in recv; ")),
-                    }
+    let mut done = vec![false; p];
+    let mut remaining = p;
+    let mut last_cycle: Option<Vec<usize>> = None;
+    let mut persist = 0usize;
+    let mut polls_left = max_polls;
+    loop {
+        match rx.recv_timeout(CYCLE_POLL) {
+            Ok((rank, h)) => {
+                sums[rank] = h;
+                if !done[rank] {
+                    done[rank] = true;
+                    remaining -= 1;
                 }
-                return RunOutcome::Deadlock(report);
+                if remaining == 0 {
+                    return RunOutcome::Done(sums);
+                }
+                // Progress: reset the cycle confirmation and the fallback.
+                last_cycle = None;
+                persist = 0;
+                polls_left = max_polls;
+            }
+            Err(e) => {
+                let held = world.waiting_snapshot();
+                let cycle = wait_cycle(&held, &done);
+                match &cycle {
+                    Some(c) if last_cycle.as_ref() == Some(c) => persist += 1,
+                    Some(_) => persist = 1,
+                    None => persist = 0,
+                }
+                last_cycle = cycle;
+                polls_left = polls_left.saturating_sub(1);
+                // Disconnected with results missing: a rank exited without
+                // reporting (panic) — no amount of waiting will finish.
+                let wedged = matches!(e, mpsc::RecvTimeoutError::Disconnected);
+                if persist >= CYCLE_CONFIRM || polls_left == 0 || wedged {
+                    return RunOutcome::Deadlock(deadlock_report(&held, last_cycle.as_deref()));
+                }
             }
         }
     }
-    RunOutcome::Done(sums)
 }
 
 /// Explore `schedules` for one collective scenario and fold the outcomes.
@@ -832,7 +941,7 @@ pub fn scenario_ps_snapshot(
 /// order** (via [`Communicator::recv_any`]) instead of rank order. Float
 /// addition does not commute bitwise, so its result depends on the thread
 /// schedule — the race checker must observe divergent checksums.
-pub fn bad_reduce_arrival_order(comm: &mut Communicator, root: usize, buf: &mut [f32]) {
+pub fn bad_reduce_arrival_order<T: Transport>(comm: &mut T, root: usize, buf: &mut [f32]) {
     let p = comm.size();
     if p == 1 {
         comm.next_op();

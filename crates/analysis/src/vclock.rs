@@ -1,0 +1,100 @@
+//! Vector clocks for the model checker's happens-before analysis.
+//!
+//! Every rank in a [`crate::model`] world carries one clock; every message
+//! and every shared-cell write is stamped with the clock of the rank that
+//! produced it. The partial order the clocks encode is exactly
+//! happens-before: `a ≤ b` iff event `a` is in event `b`'s causal past.
+//! Two stamps that are ordered by neither `≤` are *concurrent* — the
+//! raw material for the wildcard-receive race check and the lost-update
+//! check in [`crate::dpor`].
+
+/// A vector clock over a fixed-size world: one logical-time component per
+/// rank. Comparison is componentwise; see [`VClock::dominates`] and
+/// [`VClock::concurrent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock of a `p`-rank world (causal past of everything).
+    pub fn new(p: usize) -> Self {
+        VClock(vec![0; p])
+    }
+
+    /// Advance `rank`'s own component by one — called once per event the
+    /// rank performs.
+    pub fn tick(&mut self, rank: usize) {
+        self.0[rank] += 1;
+    }
+
+    /// Merge another clock into this one (componentwise max) — called when
+    /// a rank observes an event stamped `other` (message receipt, shared
+    /// read).
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≥ other` componentwise: everything `other` has seen, `self`
+    /// has seen too (the event stamped `other` happens-before the state
+    /// stamped `self`).
+    pub fn dominates(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Neither clock dominates: the two stamped events are causally
+    /// unordered, i.e. a genuine race window exists between them.
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_dominate_each_other() {
+        let a = VClock::new(3);
+        let b = VClock::new(3);
+        assert!(a.dominates(&b) && b.dominates(&a));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VClock::new(2);
+        let mut b = VClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+    }
+
+    #[test]
+    fn join_restores_order() {
+        let mut a = VClock::new(2);
+        a.tick(0); // a = [1, 0]
+        let mut b = VClock::new(2);
+        b.join(&a); // b observed a's event
+        b.tick(1); // b = [1, 1]
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn message_chain_is_transitive() {
+        // r0 ticks, sends to r1; r1 joins+ticks, sends to r2; r2 joins.
+        let mut c0 = VClock::new(3);
+        c0.tick(0);
+        let stamp0 = c0.clone();
+        let mut c1 = VClock::new(3);
+        c1.join(&stamp0);
+        c1.tick(1);
+        let stamp1 = c1.clone();
+        let mut c2 = VClock::new(3);
+        c2.join(&stamp1);
+        c2.tick(2);
+        assert!(c2.dominates(&stamp0), "transitively ordered");
+    }
+}

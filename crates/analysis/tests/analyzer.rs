@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-use sasgd_analysis::lints::lint_file;
+use sasgd_analysis::lints::{call_taint_single, lint_file};
 use sasgd_analysis::scan::{fixtures_dir, lint_fixture_corpus, lint_repo, repo_root};
 use sasgd_analysis::schedule::{
     exhaustive_schedules, random_schedules, scenario_allreduce_tree, scenario_bad_reduce,
@@ -25,10 +25,11 @@ fn fixture_lints(name: &str) -> Vec<&'static str> {
         .and_then(|l| l.strip_prefix("// virtual-path:"))
         .map(|s| s.trim().to_string())
         .expect("fixture declares a virtual path");
-    lint_file(&virtual_path, &src)
-        .into_iter()
-        .map(|v| v.lint)
-        .collect()
+    // Per-file lints plus the degenerate one-file-crate `call-taint` pass —
+    // the same combination `lint_fixture_corpus` runs.
+    let mut v = lint_file(&virtual_path, &src);
+    v.extend(call_taint_single(&virtual_path, &src));
+    v.into_iter().map(|v| v.lint).collect()
 }
 
 #[test]
@@ -56,6 +57,17 @@ fn every_bad_fixture_fires_its_lint() {
         fixture_lints("bad/float_cast.rs"),
         vec!["float-cast", "float-cast", "float-cast"]
     );
+    // `.unwrap()` and `.expect()` each fire once.
+    assert_eq!(
+        fixture_lints("bad/comm_unwrap.rs"),
+        vec!["comm-unwrap", "comm-unwrap"]
+    );
+    // Both tainted call edges fire: decay_seed -> thread_salt and
+    // scale_gradients -> decay_seed.
+    assert_eq!(
+        fixture_lints("bad/call_taint.rs"),
+        vec!["call-taint", "call-taint"]
+    );
 }
 
 #[test]
@@ -67,6 +79,8 @@ fn every_good_fixture_is_clean() {
         "good/spawn_comm.rs",
         "good/hot_ws.rs",
         "good/float_promote.rs",
+        "good/comm_propagate.rs",
+        "good/call_taint_local.rs",
     ] {
         let fired = fixture_lints(name);
         assert!(fired.is_empty(), "{name} fired {fired:?}");
@@ -76,7 +90,7 @@ fn every_good_fixture_is_clean() {
 #[test]
 fn corpus_exercises_every_lint_id() {
     let (files, violations) = lint_fixture_corpus(&fixtures_dir());
-    assert!(files >= 12, "expected the full corpus, saw {files} files");
+    assert!(files >= 16, "expected the full corpus, saw {files} files");
     let fired: BTreeSet<&str> = violations.iter().map(|v| v.lint).collect();
     for id in sasgd_analysis::lints::LINT_IDS {
         assert!(fired.contains(id), "no fixture fires `{id}` — lint is dead");

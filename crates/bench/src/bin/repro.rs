@@ -29,6 +29,8 @@ struct Options {
     scale: Scale,
     epochs: Option<usize>,
     out: PathBuf,
+    /// `analyze` also runs the DPOR model-checker leg.
+    model: bool,
 }
 
 const ALL: &[&str] = &[
@@ -56,7 +58,7 @@ const EXTENSIONS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: repro <target>... [--scale 0|1|2] [--epochs N] [--out DIR]\n\
+        "usage: repro <target>... [--scale 0|1|2] [--epochs N] [--out DIR] [--model]\n\
          targets: all {} | ext {}\n",
         ALL.join(" "),
         EXTENSIONS.join(" ")
@@ -69,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scale: Scale::Tiny,
         epochs: None,
         out: PathBuf::from("target/repro"),
+        model: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.out = PathBuf::from(args.get(i).ok_or("--out needs a value")?);
             }
+            "--model" => opts.model = true,
             "all" => opts.targets.extend(ALL.iter().map(|s| s.to_string())),
             "ext" => opts
                 .targets
@@ -106,7 +110,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 /// `analyze` can fail; every other target reports unconditionally.
 fn build(target: &str, o: &Options) -> (Artifact, bool) {
     if target == "analyze" {
-        return sasgd_bench::analysis::analyze();
+        return sasgd_bench::analysis::analyze(o.model);
     }
     if target == "launch" {
         return sasgd_bench::launch::launch();

@@ -1,7 +1,9 @@
 //! Transport conformance suite: one generic body of tests run against
 //! every [`Transport`] implementation — the in-process crossbeam world,
-//! the TCP socket mesh, and the mock — so the trait's failure-semantics
-//! contract is checked by construction, not by convention.
+//! the TCP socket mesh, the mock, and the model checker's live-mode
+//! [`ModelTransport`](sasgd_analysis::model) — so the trait's
+//! failure-semantics contract is checked by construction, not by
+//! convention.
 //!
 //! Each scenario is a generic function over a *world factory* (`p` →
 //! endpoints); the per-implementation `#[test]` wrappers at the bottom are
@@ -258,3 +260,8 @@ macro_rules! conformance {
 conformance!(inproc, inproc_world);
 conformance!(socket, socket_world);
 conformance!(mock, mock_world);
+// The model checker's transport in *live* mode: same failure-semantics
+// contract as the real substrates, so `repro analyze --model` results
+// transfer to the transports the engine actually runs on.
+use sasgd_analysis::model::model_world;
+conformance!(model, model_world);

@@ -36,7 +36,10 @@ pub mod rank;
 pub mod simulated;
 pub mod threaded;
 
-pub use threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
+pub use threaded::{
+    run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential,
+    try_run_threaded_averaging,
+};
 
 /// How a strategy's learners advance relative to each other. Every
 /// strategy declares a *default* cadence; [`TrainConfig::cadence`] can

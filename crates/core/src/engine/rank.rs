@@ -324,7 +324,7 @@ fn wire_failure_ft(rank: usize, round: u64, e: &FtError) -> EngineError {
 /// The wire counterpart of a collective strategy's sync — what one round's
 /// rendezvous does in the event-driven threaded loop ([`run_event_rank`]).
 #[derive(Clone, Copy)]
-pub(crate) enum EventOp {
+pub enum EventOp {
     /// No communication at all (sequential SGD).
     LocalOnly,
     /// Rank-order gather-average to rank 0 at epoch ends (one-shot model
@@ -350,7 +350,7 @@ pub(crate) enum EventOp {
 /// across ranks: the round structure (`policy`, `epoch_block`) and the
 /// round γ are resolved independently per rank and must agree for the
 /// collectives to line up.
-pub(crate) struct EventRankSpec<'a> {
+pub struct EventRankSpec<'a> {
     /// Full training set (rank 0 evaluates against it).
     pub train_set: &'a Dataset,
     /// Test set (rank 0 only).
@@ -383,7 +383,7 @@ pub(crate) struct EventRankSpec<'a> {
 /// state and γ never depends on completion interleaving, `final_params`
 /// here are bitwise the simulated backend's for the allreduce-shaped ops
 /// at any `p` (and for every op at `p = 1`).
-pub(crate) fn run_event_rank<T: Transport>(
+pub fn run_event_rank<T: Transport>(
     comm: &mut T,
     model: Model,
     eval_replica: Option<Model>,

@@ -65,8 +65,9 @@ pub(crate) fn join_learners<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>
     ok
 }
 
-/// Run `algo` on the threaded backend under the resolved `cadence`. SASGD
-/// propagates typed wire failures; the remaining algorithms run over
+/// Run `algo` on the threaded backend under the resolved `cadence`. The
+/// collective runners propagate typed wire failures
+/// ([`EngineError::WireFailure`]); the parameter-server runners go through
 /// in-process channels whose failures are programming errors, not
 /// recoverable conditions.
 ///
@@ -113,11 +114,13 @@ pub(crate) fn run(
             t_local,
             t_global,
             gamma_p,
-        } => crate::threaded::run_threaded_hierarchical_sasgd(
-            factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
-        ),
+        } => {
+            return crate::threaded::try_run_threaded_hierarchical_sasgd(
+                factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
+            )
+        }
         Algorithm::ModelAverageOnce { p } => {
-            run_threaded_averaging(factory, train_set, test_set, cfg, p)
+            return try_run_threaded_averaging(factory, train_set, test_set, cfg, p)
         }
         // No bulk-synchronous runner exists for these on real threads —
         // the parameter-server algorithms are asynchronous by definition
@@ -210,9 +213,9 @@ fn run_event_collective(
         gamma_p,
     } = *algo
     {
-        return Ok(run_event_hierarchical(
+        return run_event_hierarchical(
             factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
-        ));
+        );
     }
     let s = strategy_for(algo);
     let p = s.p();
@@ -329,7 +332,7 @@ fn run_event_hierarchical(
     t_local: usize,
     t_global: usize,
     gamma_p: GammaP,
-) -> History {
+) -> Result<History, EngineError> {
     use sasgd_comm::collectives::{allreduce_tree, broadcast};
     assert!(groups >= 1 && per_group >= 1 && t_local >= 1 && t_global >= 1);
     let p = groups * per_group;
@@ -340,76 +343,103 @@ fn run_event_hierarchical(
     let bundles = sasgd_comm::hierarchy::grouped(groups, per_group);
     let mut rank0_history: Option<History> = None;
 
+    let mut first_err: Option<EngineError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (mut bundle, shard) in bundles.into_iter().zip(shards.iter().cloned()) {
             let handle = scope.spawn(move || {
                 let rank = bundle.global.rank();
-                let mut learner = Learner::new(rank, factory(), cfg);
-                let mut x = learner.model.param_vector();
-                broadcast(&mut bundle.global, 0, &mut x).expect("x0 broadcast");
-                learner.model.write_params(&x);
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
-                };
-                let mut history = History::new(
+                // Global sync round (1-based) for wire-failure context; 0
+                // covers the x0 broadcast before the loop.
+                let mut round = 0u64;
+                let result =
+                    (|| -> Result<History, sasgd_comm::CommError> {
+                        let mut learner = Learner::new(rank, factory(), cfg);
+                        let mut x = learner.model.param_vector();
+                        broadcast(&mut bundle.global, 0, &mut x)?;
+                        learner.model.write_params(&x);
+                        let evals = if rank == 0 {
+                            Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                        } else {
+                            None
+                        };
+                        let mut history = History::new(
                     format!("H-SASGD-threaded(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
                     p,
                     t_local * t_global,
                 );
-                let mut stream = BatchStream::new(shard.indices().to_vec(), cfg.batch_size);
-                let mut samples = 0u64;
-                let mut steps_done = 0u64;
-                let mut syncs = 0u64;
-                let mut local_rounds = 0usize;
-                let mut recorded_passes = 0u64;
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                let mut staleness_obs: Vec<u64> = Vec::new();
-                loop {
-                    let gamma_now =
-                        cfg.gamma_at(event_gamma_epoch(steps_done, cfg.batch_size, p, n));
-                    let t0 = Instant::now();
-                    for _ in 0..t_local {
-                        let idx = stream.next(&mut learner.rng);
-                        samples += idx.len() as u64;
-                        learner.local_step(train_set, &idx, gamma_now, 0.0, 1.0);
-                    }
-                    compute_s += t0.elapsed().as_secs_f64();
-                    steps_done += t_local as u64;
-                    let t1 = Instant::now();
-                    // Level 1: group-local allreduce of gs, group step.
-                    let gp = gamma_p.resolve(gamma_now, per_group);
-                    allreduce_tree(&mut bundle.local, &mut learner.gs).expect("group allreduce");
-                    for (xi, &g) in x.iter_mut().zip(&learner.gs) {
-                        *xi -= gp * g;
-                    }
-                    learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                    local_rounds += 1;
-                    if local_rounds == t_global {
-                        // Level 2: average the group copies through the
-                        // leader communicator, broadcast down.
-                        if let Some(leaders) = bundle.leaders.as_mut() {
-                            allreduce_tree(leaders, &mut x).expect("leader allreduce");
-                            let inv = 1.0 / groups as f32;
-                            x.iter_mut().for_each(|v| *v *= inv);
+                        let mut stream = BatchStream::new(shard.indices().to_vec(), cfg.batch_size);
+                        let mut samples = 0u64;
+                        let mut steps_done = 0u64;
+                        let mut syncs = 0u64;
+                        let mut local_rounds = 0usize;
+                        let mut recorded_passes = 0u64;
+                        let mut compute_s = 0.0f64;
+                        let mut comm_s = 0.0f64;
+                        let mut staleness_obs: Vec<u64> = Vec::new();
+                        loop {
+                            let gamma_now =
+                                cfg.gamma_at(event_gamma_epoch(steps_done, cfg.batch_size, p, n));
+                            let t0 = Instant::now();
+                            for _ in 0..t_local {
+                                let idx = stream.next(&mut learner.rng);
+                                samples += idx.len() as u64;
+                                learner.local_step(train_set, &idx, gamma_now, 0.0, 1.0);
+                            }
+                            compute_s += t0.elapsed().as_secs_f64();
+                            steps_done += t_local as u64;
+                            let t1 = Instant::now();
+                            // Level 1: group-local allreduce of gs, group step.
+                            round += 1;
+                            let gp = gamma_p.resolve(gamma_now, per_group);
+                            allreduce_tree(&mut bundle.local, &mut learner.gs)?;
+                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                                *xi -= gp * g;
+                            }
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                            local_rounds += 1;
+                            if local_rounds == t_global {
+                                // Level 2: average the group copies through the
+                                // leader communicator, broadcast down.
+                                if let Some(leaders) = bundle.leaders.as_mut() {
+                                    allreduce_tree(leaders, &mut x)?;
+                                    let inv = 1.0 / groups as f32;
+                                    x.iter_mut().for_each(|v| *v *= inv);
+                                }
+                                broadcast(&mut bundle.local, 0, &mut x)?;
+                                local_rounds = 0;
+                            }
+                            learner.model.write_params(&x);
+                            comm_s += t1.elapsed().as_secs_f64();
+                            syncs += 1;
+                            if rank == 0 {
+                                for id in 0..p {
+                                    history.push_staleness(syncs - 1, id, 0, gamma_now);
+                                    staleness_obs.push(0);
+                                }
+                                if stream.completed_passes() > recorded_passes {
+                                    recorded_passes = stream.completed_passes();
+                                    if let Some(ev) = &evals {
+                                        let rec = ev.record(
+                                            &mut learner.model,
+                                            (samples * p as u64) as f64 / n as f64, // lint:allow(float-cast)
+                                            compute_s,
+                                            comm_s,
+                                            samples * p as u64,
+                                        );
+                                        history.records.push(rec);
+                                    }
+                                }
+                            }
+                            if steps_done * (cfg.batch_size as u64) * (p as u64) >= target_steps {
+                                break;
+                            }
                         }
-                        broadcast(&mut bundle.local, 0, &mut x).expect("group broadcast");
-                        local_rounds = 0;
-                    }
-                    learner.model.write_params(&x);
-                    comm_s += t1.elapsed().as_secs_f64();
-                    syncs += 1;
-                    if rank == 0 {
-                        for id in 0..p {
-                            history.push_staleness(syncs - 1, id, 0, gamma_now);
-                            staleness_obs.push(0);
-                        }
-                        if stream.completed_passes() > recorded_passes {
-                            recorded_passes = stream.completed_passes();
-                            if let Some(ev) = &evals {
+                        if let Some(ev) = &evals {
+                            if history.records.is_empty()
+                                || history.records.last().expect("nonempty").samples
+                                    < samples * p as u64
+                            {
                                 let rec = ev.record(
                                     &mut learner.model,
                                     (samples * p as u64) as f64 / n as f64, // lint:allow(float-cast)
@@ -420,40 +450,36 @@ fn run_event_hierarchical(
                                 history.records.push(rec);
                             }
                         }
-                    }
-                    if steps_done * (cfg.batch_size as u64) * (p as u64) >= target_steps {
-                        break;
-                    }
-                }
-                if let Some(ev) = &evals {
-                    if history.records.is_empty()
-                        || history.records.last().expect("nonempty").samples < samples * p as u64
-                    {
-                        let rec = ev.record(
-                            &mut learner.model,
-                            (samples * p as u64) as f64 / n as f64, // lint:allow(float-cast)
-                            compute_s,
-                            comm_s,
-                            samples * p as u64,
-                        );
-                        history.records.push(rec);
-                    }
-                }
-                history.staleness =
-                    crate::history::StalenessStats::from_observations(&staleness_obs);
-                history.sync_rounds = syncs;
-                history.final_params = Some(learner.model.param_vector());
-                (rank, history)
+                        history.staleness =
+                            crate::history::StalenessStats::from_observations(&staleness_obs);
+                        history.sync_rounds = syncs;
+                        history.final_params = Some(learner.model.param_vector());
+                        Ok(history)
+                    })();
+                (rank, round, result)
             });
             handles.push(handle);
         }
-        for (rank, history) in join_learners(handles) {
-            if rank == 0 {
-                rank0_history = Some(history);
+        for (rank, round, result) in join_learners(handles) {
+            match result {
+                Ok(history) if rank == 0 => rank0_history = Some(history),
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(EngineError::WireFailure {
+                            rank,
+                            round,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
             }
         }
     });
-    rank0_history.expect("rank 0 history")
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(rank0_history.expect("rank 0 history"))
 }
 
 /// SASGD (optionally compressed) with one OS thread per learner.
@@ -863,6 +889,19 @@ pub fn run_threaded_averaging(
     cfg: &TrainConfig,
     p: usize,
 ) -> History {
+    try_run_threaded_averaging(factory, train_set, test_set, cfg, p)
+        .unwrap_or_else(|e| panic!("threaded model averaging(p={p}): {e}"))
+}
+
+/// [`run_threaded_averaging`] with wire failures surfaced as typed
+/// [`EngineError::WireFailure`] values instead of panics.
+pub fn try_run_threaded_averaging(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    p: usize,
+) -> Result<History, EngineError> {
     assert!(p >= 1);
     sasgd_tensor::parallel::auto_configure_for_learners(p);
     let shards = make_shards(train_set, p, cfg.shard_strategy);
@@ -870,89 +909,113 @@ pub fn run_threaded_averaging(
     let traffic = world.traffic();
     let comms = world.communicators();
     let mut rank0_history: Option<History> = None;
+    let mut first_err: Option<EngineError> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (mut comm, shard) in comms.into_iter().zip(shards.iter().cloned()) {
             let handle = scope.spawn(move || {
                 let rank = comm.rank();
-                let mut learner = Learner::new(rank, factory(), cfg);
-                // Evaluation replica for the running average (rank 0 only;
-                // factory() replicas start identical, so no broadcast —
-                // mirroring the simulated strategy's zero init charge).
-                let mut avg_model = if rank == 0 { Some(factory()) } else { None };
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
-                };
-                let mut history = History::new(format!("ModelAvg-threaded(p={p})"), p, 1);
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                let mut samples = 0u64;
-                for epoch in 1..=cfg.epochs {
-                    // Independent learners use the epoch-start rate for the
-                    // whole epoch, like the simulated strategy.
-                    let gamma_now = cfg.gamma_at((epoch - 1) as f64);
-                    let batches: Vec<Vec<usize>> =
-                        shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
-                    let t0 = Instant::now();
-                    for idx in &batches {
-                        samples += idx.len() as u64;
-                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
-                        learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                    }
-                    compute_s += t0.elapsed().as_secs_f64();
-                    // Gather parameters to rank 0 in rank order.
-                    let op = comm.next_op();
-                    let gather_tag = (op << 4) | 2;
-                    let t1 = Instant::now();
-                    if rank == 0 {
-                        let mut avg = vec![0.0f32; learner.model.param_len()];
-                        let own = learner.model.param_vector();
-                        for (a, &b) in avg.iter_mut().zip(&own) {
-                            *a += b / p as f32;
+                // Gather round (1-based) for wire-failure context.
+                let mut round = 0u64;
+                let result = (|| -> Result<History, sasgd_comm::CommError> {
+                    let mut learner = Learner::new(rank, factory(), cfg);
+                    // Evaluation replica for the running average (rank 0 only;
+                    // factory() replicas start identical, so no broadcast —
+                    // mirroring the simulated strategy's zero init charge).
+                    let mut avg_model = if rank == 0 { Some(factory()) } else { None };
+                    let evals = if rank == 0 {
+                        Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                    } else {
+                        None
+                    };
+                    let mut history = History::new(format!("ModelAvg-threaded(p={p})"), p, 1);
+                    let mut compute_s = 0.0f64;
+                    let mut comm_s = 0.0f64;
+                    let mut samples = 0u64;
+                    for epoch in 1..=cfg.epochs {
+                        // Independent learners use the epoch-start rate for the
+                        // whole epoch, like the simulated strategy.
+                        let gamma_now = cfg.gamma_at((epoch - 1) as f64);
+                        let batches: Vec<Vec<usize>> =
+                            shard.epoch_iter(cfg.batch_size, &mut learner.rng).collect();
+                        let t0 = Instant::now();
+                        for idx in &batches {
+                            samples += idx.len() as u64;
+                            learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
                         }
-                        for r in 1..p {
-                            let v = comm.recv(r, gather_tag).expect("parameter gather");
-                            for (a, &b) in avg.iter_mut().zip(&v) {
+                        compute_s += t0.elapsed().as_secs_f64();
+                        // Gather parameters to rank 0 in rank order.
+                        round += 1;
+                        let op = comm.next_op();
+                        let gather_tag = (op << 4) | 2;
+                        let t1 = Instant::now();
+                        if rank == 0 {
+                            let mut avg = vec![0.0f32; learner.model.param_len()];
+                            let own = learner.model.param_vector();
+                            for (a, &b) in avg.iter_mut().zip(&own) {
                                 *a += b / p as f32;
                             }
+                            for r in 1..p {
+                                let v = comm.recv(r, gather_tag)?;
+                                for (a, &b) in avg.iter_mut().zip(&v) {
+                                    *a += b / p as f32;
+                                }
+                            }
+                            let am = avg_model.as_mut().expect("rank 0 replica");
+                            am.write_params(&avg);
+                            comm_s += t1.elapsed().as_secs_f64();
+                            if let Some(ev) = &evals {
+                                let rec = ev.record(
+                                    am,
+                                    epoch as f64,
+                                    compute_s,
+                                    comm_s,
+                                    samples * p as u64,
+                                );
+                                history.records.push(rec);
+                            }
+                        } else {
+                            comm.send(0, gather_tag, learner.model.param_vector())?;
+                            comm_s += t1.elapsed().as_secs_f64();
                         }
-                        let am = avg_model.as_mut().expect("rank 0 replica");
-                        am.write_params(&avg);
-                        comm_s += t1.elapsed().as_secs_f64();
-                        if let Some(ev) = &evals {
-                            let rec =
-                                ev.record(am, epoch as f64, compute_s, comm_s, samples * p as u64);
-                            history.records.push(rec);
-                        }
-                    } else {
-                        comm.send(0, gather_tag, learner.model.param_vector())
-                            .expect("parameter gather");
-                        comm_s += t1.elapsed().as_secs_f64();
                     }
-                }
-                if rank == 0 {
-                    history.final_params =
-                        Some(avg_model.as_ref().expect("rank 0 replica").param_vector());
-                }
-                (rank, history)
+                    if rank == 0 {
+                        history.final_params =
+                            Some(avg_model.as_ref().expect("rank 0 replica").param_vector());
+                    }
+                    Ok(history)
+                })();
+                (rank, round, result)
             });
             handles.push(handle);
         }
-        for (rank, history) in join_learners(handles) {
-            if rank == 0 {
-                rank0_history = Some(history);
+        for (rank, round, result) in join_learners(handles) {
+            match result {
+                Ok(history) if rank == 0 => rank0_history = Some(history),
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(EngineError::WireFailure {
+                            rank,
+                            round,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
             }
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     let mut history = rank0_history.expect("rank 0 history");
     history.wire = Some(WireStats {
         elements: traffic.elements_sent(),
         messages: traffic.messages_sent(),
     });
-    history
+    Ok(history)
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub use schedule::{LrSchedule, SyncPolicy, TSchedule};
 pub use sweep::{run_sweep, SweepGrid, SweepResult};
 pub use threaded::{
     run_threaded_downpour, run_threaded_hierarchical_sasgd, run_threaded_sasgd,
-    run_threaded_sasgd_ft, try_run_threaded_sasgd, try_run_threaded_sasgd_ft, FaultConfig,
+    run_threaded_sasgd_ft, try_run_threaded_hierarchical_sasgd, try_run_threaded_sasgd,
+    try_run_threaded_sasgd_ft, FaultConfig,
 };
 pub use trainer::{train, TrainConfig};

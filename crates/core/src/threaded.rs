@@ -327,6 +327,27 @@ pub fn run_threaded_hierarchical_sasgd(
     t_global: usize,
     gamma_p: GammaP,
 ) -> History {
+    try_run_threaded_hierarchical_sasgd(
+        factory, train_set, test_set, cfg, groups, per_group, t_local, t_global, gamma_p,
+    )
+    .unwrap_or_else(|e| panic!("threaded H-SASGD(g={groups}x{per_group}): {e}"))
+}
+
+/// [`run_threaded_hierarchical_sasgd`] with wire failures surfaced as
+/// typed [`EngineError::WireFailure`](crate::EngineError) values instead
+/// of panics.
+#[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
+pub fn try_run_threaded_hierarchical_sasgd(
+    factory: &(dyn Fn() -> Model + Sync),
+    train_set: &Dataset,
+    test_set: &Dataset,
+    cfg: &TrainConfig,
+    groups: usize,
+    per_group: usize,
+    t_local: usize,
+    t_global: usize,
+    gamma_p: GammaP,
+) -> Result<History, crate::EngineError> {
     assert!(groups >= 1 && per_group >= 1 && t_local >= 1 && t_global >= 1);
     let p = groups * per_group;
     sasgd_tensor::parallel::auto_configure_for_learners(p);
@@ -341,93 +362,115 @@ pub fn run_threaded_hierarchical_sasgd(
     let bundles = sasgd_comm::hierarchy::grouped(groups, per_group);
     let mut rank0_history: Option<History> = None;
 
+    let mut first_err: Option<crate::EngineError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (mut bundle, shard) in bundles.into_iter().zip(shards.iter().cloned()) {
             let handle = scope.spawn(move || {
                 let rank = bundle.global.rank();
-                let mut learner = Learner::new(rank, factory(), cfg);
-                let mut x = learner.model.param_vector();
-                broadcast(&mut bundle.global, 0, &mut x).expect("x0 broadcast");
-                learner.model.write_params(&x);
-                let evals = if rank == 0 {
-                    Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
-                } else {
-                    None
-                };
-                let mut history = History::new(
-                    format!("H-SASGD-threaded(g={groups}x{per_group},Tl={t_local},Tg={t_global})"),
-                    p,
-                    t_local * t_global,
-                );
-                let mut samples = 0u64;
-                let mut since_local = 0usize;
-                let mut local_rounds = 0usize;
-                let mut compute_s = 0.0f64;
-                let mut comm_s = 0.0f64;
-                for epoch in 1..=cfg.epochs {
-                    let batches: Vec<Vec<usize>> = shard
-                        .epoch_iter(cfg.batch_size, &mut learner.rng)
-                        .take(steps_per_epoch)
-                        .collect();
-                    for (step, idx) in batches.iter().enumerate() {
-                        let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
-                        let gamma_now = cfg.gamma_at(epoch_f);
-                        samples += idx.len() as u64;
-                        let t0 = Instant::now();
-                        learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
-                        compute_s += t0.elapsed().as_secs_f64();
-                        since_local += 1;
-                        if since_local == t_local {
-                            // Level 1: group-local allreduce of gs, group step.
-                            let t1 = Instant::now();
-                            let gp = gamma_p.resolve(gamma_now, per_group);
-                            allreduce_tree(&mut bundle.local, &mut learner.gs)
-                                .expect("group allreduce");
-                            for (xi, &g) in x.iter_mut().zip(&learner.gs) {
-                                *xi -= gp * g;
-                            }
-                            learner.gs.iter_mut().for_each(|g| *g = 0.0);
-                            since_local = 0;
-                            local_rounds += 1;
-                            if local_rounds == t_global {
-                                // Level 2: average the group copies through
-                                // the leader communicator, broadcast down.
-                                if let Some(leaders) = bundle.leaders.as_mut() {
-                                    allreduce_tree(leaders, &mut x).expect("leader allreduce");
-                                    let inv = 1.0 / groups as f32;
-                                    x.iter_mut().for_each(|v| *v *= inv);
+                // Global sync round (1-based) for wire-failure context; 0
+                // covers the x0 broadcast before the loop.
+                let mut round = 0u64;
+                let result = (|| -> Result<History, sasgd_comm::CommError> {
+                    let mut learner = Learner::new(rank, factory(), cfg);
+                    let mut x = learner.model.param_vector();
+                    broadcast(&mut bundle.global, 0, &mut x)?;
+                    learner.model.write_params(&x);
+                    let evals = if rank == 0 {
+                        Some(EvalSets::prepare(train_set, test_set, cfg.eval_cap))
+                    } else {
+                        None
+                    };
+                    let mut history = History::new(
+                        format!(
+                            "H-SASGD-threaded(g={groups}x{per_group},Tl={t_local},Tg={t_global})"
+                        ),
+                        p,
+                        t_local * t_global,
+                    );
+                    let mut samples = 0u64;
+                    let mut since_local = 0usize;
+                    let mut local_rounds = 0usize;
+                    let mut compute_s = 0.0f64;
+                    let mut comm_s = 0.0f64;
+                    for epoch in 1..=cfg.epochs {
+                        let batches: Vec<Vec<usize>> = shard
+                            .epoch_iter(cfg.batch_size, &mut learner.rng)
+                            .take(steps_per_epoch)
+                            .collect();
+                        for (step, idx) in batches.iter().enumerate() {
+                            let epoch_f = (epoch - 1) as f64 + step as f64 / steps_per_epoch as f64;
+                            let gamma_now = cfg.gamma_at(epoch_f);
+                            samples += idx.len() as u64;
+                            let t0 = Instant::now();
+                            learner.local_step(train_set, idx, gamma_now, 0.0, 1.0);
+                            compute_s += t0.elapsed().as_secs_f64();
+                            since_local += 1;
+                            if since_local == t_local {
+                                // Level 1: group-local allreduce of gs, group step.
+                                round += 1;
+                                let t1 = Instant::now();
+                                let gp = gamma_p.resolve(gamma_now, per_group);
+                                allreduce_tree(&mut bundle.local, &mut learner.gs)?;
+                                for (xi, &g) in x.iter_mut().zip(&learner.gs) {
+                                    *xi -= gp * g;
                                 }
-                                broadcast(&mut bundle.local, 0, &mut x).expect("group broadcast");
-                                local_rounds = 0;
+                                learner.gs.iter_mut().for_each(|g| *g = 0.0);
+                                since_local = 0;
+                                local_rounds += 1;
+                                if local_rounds == t_global {
+                                    // Level 2: average the group copies through
+                                    // the leader communicator, broadcast down.
+                                    if let Some(leaders) = bundle.leaders.as_mut() {
+                                        allreduce_tree(leaders, &mut x)?;
+                                        let inv = 1.0 / groups as f32;
+                                        x.iter_mut().for_each(|v| *v *= inv);
+                                    }
+                                    broadcast(&mut bundle.local, 0, &mut x)?;
+                                    local_rounds = 0;
+                                }
+                                learner.model.write_params(&x);
+                                comm_s += t1.elapsed().as_secs_f64();
                             }
-                            learner.model.write_params(&x);
-                            comm_s += t1.elapsed().as_secs_f64();
+                        }
+                        if let Some(ev) = &evals {
+                            let rec = ev.record(
+                                &mut learner.model,
+                                epoch as f64,
+                                compute_s,
+                                comm_s,
+                                samples * p as u64,
+                            );
+                            history.records.push(rec);
                         }
                     }
-                    if let Some(ev) = &evals {
-                        let rec = ev.record(
-                            &mut learner.model,
-                            epoch as f64,
-                            compute_s,
-                            comm_s,
-                            samples * p as u64,
-                        );
-                        history.records.push(rec);
-                    }
-                }
-                history.final_params = Some(learner.model.param_vector());
-                (rank, history)
+                    history.final_params = Some(learner.model.param_vector());
+                    Ok(history)
+                })();
+                (rank, round, result)
             });
             handles.push(handle);
         }
-        for (rank, history) in join_learners(handles) {
-            if rank == 0 {
-                rank0_history = Some(history);
+        for (rank, round, result) in join_learners(handles) {
+            match result {
+                Ok(history) if rank == 0 => rank0_history = Some(history),
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(crate::EngineError::WireFailure {
+                            rank,
+                            round,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
             }
         }
     });
-    rank0_history.expect("rank 0 history")
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(rank0_history.expect("rank 0 history"))
 }
 
 #[cfg(test)]
