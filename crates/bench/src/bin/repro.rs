@@ -45,6 +45,7 @@ const EXTENSIONS: &[&str] = &[
     "engine",
     "faults",
     "async",
+    "sparsity",
     "staleness",
     "compression",
     "noniid",
@@ -135,6 +136,7 @@ fn build(target: &str, o: &Options) -> (Artifact, bool) {
         "engine" => engine::engine(o.scale, o.epochs),
         "faults" => faults::faults(o.scale, o.epochs),
         "async" => sasgd_bench::async_bench::async_lattice(o.scale, o.epochs),
+        "sparsity" => sasgd_bench::sparsity::sparsity(o.scale, o.epochs),
         "staleness" => extensions::staleness(o.scale, o.epochs),
         "compression" => extensions::compression(o.scale, o.epochs),
         "noniid" => extensions::noniid(o.scale, o.epochs),

@@ -21,5 +21,6 @@ pub mod hotpath;
 pub mod kernels;
 pub mod launch;
 pub mod scale;
+pub mod sparsity;
 
 pub use scale::Scale;

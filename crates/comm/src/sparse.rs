@@ -19,10 +19,58 @@
 //! `[len, nnz, idx..., val...]` with `len`/`nnz`/indices bit-cast from
 //! `u32` via [`f32::from_bits`] (exact round-trip; an index would need to
 //! exceed 2³¹ before its bit pattern could collide with a NaN).
+//!
+//! The composed codec [`SparseVec8`] additionally quantizes the value
+//! lane to 8 bits (`[len, nnz, scale, idx..., q-packed...]`, four `i8`
+//! per `f32` slot, ~`k + k/4` elements instead of `2k`). It only ships
+//! values that already sit exactly on the `q·scale` grid — compression
+//! quantizes, the wire just transports — so the receiver's `q·scale`
+//! reconstruction is bitwise identical to the sender's dense form and
+//! the tree reduce stays a plain f32 sum.
+//!
+//! [`sparse_allreduce_tree_v2`] layers two things on the v1 collective:
+//! a per-level wire profile ([`SparseLevelProfile`], measuring how the
+//! index union grows with tree depth) and an optional union bound that
+//! re-TopKs each merged partial, folding the trimmed mass back to the
+//! caller as a sparse *spill* for its error-feedback residual — nothing
+//! is silently lost. [`tree_combine_bounded`] is the in-memory mirror of
+//! the same combine-and-trim order for the simulated backend.
+//!
+//! [`q8_allreduce_tree`] gives dense 8-bit quantization a real wire form:
+//! leaf sends travel as packed `[len, scale, q-packed]` frames
+//! (`2 + ⌈m/4⌉` elements), merged partials and the result broadcast stay
+//! dense f32 — bitwise identical to the dense tree over the same
+//! quantized inputs.
 
 use crate::collectives::broadcast;
 use crate::transport::Transport;
 use crate::world::CommError;
+
+/// Elements of a [`SparseVec`] wire frame carrying `nnz` entries.
+pub fn sparse_frame_elements(nnz: usize) -> usize {
+    2 + 2 * nnz
+}
+
+/// Elements of a [`SparseVec8`] wire frame carrying `nnz` entries.
+pub fn sparse8_frame_elements(nnz: usize) -> usize {
+    3 + nnz + nnz.div_ceil(4)
+}
+
+/// Elements of a packed dense 8-bit frame (`[len, scale, q-packed...]`)
+/// for an `m`-element vector.
+pub fn dense8_frame_elements(m: usize) -> usize {
+    2 + m.div_ceil(4)
+}
+
+/// Ranking magnitude for union-bound trimming: NaN maps to +∞ so a
+/// poisoned coordinate is never silently trimmed away.
+fn trim_mag(v: f32) -> f32 {
+    if v.is_nan() {
+        f32::INFINITY
+    } else {
+        v.abs()
+    }
+}
 
 /// A sparse view of an `m`-element `f32` vector: sorted indices plus
 /// values. Zero values may appear (sums that cancel stay represented so
@@ -188,6 +236,527 @@ pub fn sparse_allreduce_tree<T: Transport>(
     Ok(())
 }
 
+/// A sparse vector with 8-bit quantized values: the composed
+/// sparsify+quantize wire codec. Values are `q·scale` for integer
+/// `q ∈ [-127, 127]`; the scale travels in the frame (it is *not*
+/// recoverable from the quantized values, so it must be explicit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec8 {
+    /// Dense length.
+    pub len: u32,
+    /// Quantization step.
+    pub scale: f32,
+    /// Strictly increasing coordinate indices.
+    pub idx: Vec<u32>,
+    /// Quantized values, parallel to `idx`.
+    pub q: Vec<i8>,
+}
+
+impl SparseVec8 {
+    /// Wrap a sparse vector whose values already sit exactly on the
+    /// `q·scale` grid (the compressor quantized them). Debug builds
+    /// assert the grid property: `round(v/scale)·scale` must reproduce
+    /// `v` bit-for-bit, which is what makes the codec lossless on the
+    /// wire.
+    pub fn from_scaled(sv: &SparseVec, scale: f32) -> Self {
+        let q = sv
+            .val
+            .iter()
+            .map(|&v| {
+                let q = (v / scale).round();
+                debug_assert!(q.abs() <= 127.0, "value {v} off the 8-bit grid");
+                debug_assert_eq!(
+                    (q * scale).to_bits(),
+                    v.to_bits(),
+                    "value {v} not exactly q·scale"
+                );
+                // lint:allow(float-cast): |q| ≤ 127 by the grid property.
+                q as i8
+            })
+            .collect();
+        SparseVec8 {
+            len: sv.len,
+            scale,
+            idx: sv.idx.clone(),
+            q,
+        }
+    }
+
+    /// Quantize an arbitrary sparse vector onto a fresh 8-bit grid
+    /// (scale = maxabs/127, clamped away from zero). Lossy: round-trip
+    /// error per entry is at most `scale/2`. NaN values map to `q = 0`.
+    pub fn quantize(sv: &SparseVec) -> Self {
+        let maxabs = sv.val.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let scale = (maxabs / 127.0).max(f32::MIN_POSITIVE);
+        let q = sv
+            .val
+            .iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    0i8
+                } else {
+                    // lint:allow(float-cast): clamped to [-127, 127].
+                    (v / scale).round().clamp(-127.0, 127.0) as i8
+                }
+            })
+            .collect();
+        SparseVec8 {
+            len: sv.len,
+            scale,
+            idx: sv.idx.clone(),
+            q,
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Dequantize to the f32 sparse form: `q·scale` per entry, with
+    /// `q = 0` reconstructing canonical `+0.0`.
+    pub fn to_sparse(&self) -> SparseVec {
+        let val = self
+            .q
+            .iter()
+            .map(|&q| {
+                if q == 0 {
+                    0.0
+                } else {
+                    f32::from(q) * self.scale
+                }
+            })
+            .collect();
+        SparseVec {
+            len: self.len,
+            idx: self.idx.clone(),
+            val,
+        }
+    }
+
+    /// Encode as a `Vec<f32>` message: `[len, nnz, scale, idx...,
+    /// q-packed...]` with four `i8` per `f32` slot (bit-cast via `u32`
+    /// little-endian packing).
+    pub fn encode(&self) -> Vec<f32> {
+        let nnz = self.idx.len();
+        let mut out = Vec::with_capacity(sparse8_frame_elements(nnz));
+        out.push(f32::from_bits(self.len));
+        out.push(f32::from_bits(nnz as u32));
+        out.push(self.scale);
+        out.extend(self.idx.iter().map(|&i| f32::from_bits(i)));
+        for chunk in self.q.chunks(4) {
+            let mut bytes = [0u8; 4];
+            for (b, &qv) in bytes.iter_mut().zip(chunk) {
+                *b = qv as u8;
+            }
+            out.push(f32::from_bits(u32::from_le_bytes(bytes)));
+        }
+        out
+    }
+
+    /// Decode an [`encode`](SparseVec8::encode)d message.
+    ///
+    /// # Panics
+    /// Panics if the buffer is malformed.
+    pub fn decode(buf: &[f32]) -> Self {
+        assert!(buf.len() >= 3, "sparse8 message too short");
+        let len = buf[0].to_bits();
+        let nnz = buf[1].to_bits() as usize;
+        let scale = buf[2];
+        assert_eq!(
+            buf.len(),
+            sparse8_frame_elements(nnz),
+            "sparse8 message length mismatch"
+        );
+        let idx: Vec<u32> = buf[3..3 + nnz].iter().map(|v| v.to_bits()).collect();
+        let mut q = Vec::with_capacity(nnz);
+        for packed in &buf[3 + nnz..] {
+            for b in packed.to_bits().to_le_bytes() {
+                if q.len() < nnz {
+                    q.push(b as i8);
+                }
+            }
+        }
+        SparseVec8 { len, scale, idx, q }
+    }
+}
+
+/// One tree level's wire traffic, summed over messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Messages sent at this level.
+    pub messages: u64,
+    /// Sparse entries carried, summed over the level's messages.
+    pub nnz: u64,
+    /// `f32` elements on the wire, summed over the level's messages.
+    pub elements: u64,
+}
+
+/// Per-level wire profile of a sparse tree allreduce: levels `0..d-1`
+/// are the reduce sends at bits `1, 2, 4, …` (so level = depth of the
+/// sender's subtree), and level `d = ⌈log₂ p⌉` is the result broadcast.
+/// Index-union growth with depth shows up directly as rising
+/// `nnz/messages` across levels; a union-bounded tree stays flat.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SparseLevelProfile {
+    /// Per-level stats, indexed by tree level.
+    pub levels: Vec<LevelStats>,
+}
+
+impl SparseLevelProfile {
+    /// Accumulate `messages` messages carrying `nnz` total entries in
+    /// `elements` total wire elements at `level`.
+    pub fn record(&mut self, level: usize, messages: u64, nnz: u64, elements: u64) {
+        if self.levels.len() <= level {
+            self.levels.resize(level + 1, LevelStats::default());
+        }
+        let s = &mut self.levels[level];
+        s.messages += messages;
+        s.nnz += nnz;
+        s.elements += elements;
+    }
+
+    /// Fold another profile (e.g. another rank's or another round's)
+    /// into this one.
+    pub fn merge(&mut self, other: &SparseLevelProfile) {
+        for (level, s) in other.levels.iter().enumerate() {
+            self.record(level, s.messages, s.nnz, s.elements);
+        }
+    }
+
+    /// Total wire elements across all levels.
+    pub fn total_elements(&self) -> u64 {
+        self.levels.iter().map(|s| s.elements).sum()
+    }
+
+    /// Total messages across all levels.
+    pub fn total_messages(&self) -> u64 {
+        self.levels.iter().map(|s| s.messages).sum()
+    }
+}
+
+/// Options for [`sparse_allreduce_tree_v2`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SparseTreeOpts {
+    /// Re-TopK every merged partial down to this many entries, folding
+    /// the trimmed mass into the spill. `None` = unbounded (v1
+    /// behavior).
+    pub union_bound: Option<usize>,
+    /// When set, leaf-level sends (a rank's own un-merged contribution,
+    /// which the compressor placed exactly on this `q·scale` grid) ship
+    /// as [`SparseVec8`] frames. Merged partials are arbitrary f32 sums
+    /// and always ship as plain [`SparseVec`] frames. All ranks must
+    /// agree on `Some`/`None` (the scale itself is per-rank and travels
+    /// in the frame).
+    pub q8_scale: Option<f32>,
+}
+
+/// Reduce-level index of a send at tree bit `bit`.
+fn level_of(bit: usize) -> usize {
+    bit.trailing_zeros() as usize
+}
+
+/// The broadcast's level index: one past the last reduce level,
+/// `⌈log₂ p⌉`.
+fn broadcast_level(p: usize) -> usize {
+    (usize::BITS - (p - 1).leading_zeros()) as usize
+}
+
+/// Trim `sv` in place to its `bound` largest-magnitude entries (NaN
+/// ranks as +∞; ties break toward the lower index), returning the
+/// trimmed-off entries as a sparse remainder for the caller's residual.
+fn trim_to_bound(sv: &mut SparseVec, bound: usize) -> SparseVec {
+    let nnz = sv.idx.len();
+    if nnz <= bound {
+        return SparseVec {
+            len: sv.len,
+            idx: Vec::new(),
+            val: Vec::new(),
+        };
+    }
+    let mut order: Vec<usize> = (0..nnz).collect();
+    order.sort_by(|&a, &b| {
+        trim_mag(sv.val[b])
+            .total_cmp(&trim_mag(sv.val[a]))
+            .then(sv.idx[a].cmp(&sv.idx[b]))
+    });
+    let mut keep = vec![false; nnz];
+    for &e in &order[..bound] {
+        keep[e] = true;
+    }
+    let mut kept_idx = Vec::with_capacity(bound);
+    let mut kept_val = Vec::with_capacity(bound);
+    let mut rest_idx = Vec::with_capacity(nnz - bound);
+    let mut rest_val = Vec::with_capacity(nnz - bound);
+    for (e, &kept) in keep.iter().enumerate() {
+        if kept {
+            kept_idx.push(sv.idx[e]);
+            kept_val.push(sv.val[e]);
+        } else {
+            rest_idx.push(sv.idx[e]);
+            rest_val.push(sv.val[e]);
+        }
+    }
+    let rest = SparseVec {
+        len: sv.len,
+        idx: rest_idx,
+        val: rest_val,
+    };
+    sv.idx = kept_idx;
+    sv.val = kept_val;
+    rest
+}
+
+/// Reduce phase of [`sparse_allreduce_tree_v2`] (root 0): v1's combine
+/// order plus per-level profiling, optional q8 leaf frames, and optional
+/// union-bound trimming after every merge (trimmed mass accumulates in
+/// `spill`).
+fn sparse_reduce_tree_v2<T: Transport>(
+    comm: &mut T,
+    sv: &mut SparseVec,
+    opts: SparseTreeOpts,
+    profile: &mut SparseLevelProfile,
+    spill: &mut SparseVec,
+) -> Result<(), CommError> {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return Ok(());
+    }
+    let op = comm.next_op();
+    let rank = comm.rank();
+    let mut bit = 1usize;
+    while bit < p {
+        if rank & bit != 0 {
+            let parent = rank & !bit;
+            let enc = match (bit, opts.q8_scale) {
+                (1, Some(scale)) => SparseVec8::from_scaled(sv, scale).encode(),
+                _ => sv.encode(),
+            };
+            profile.record(level_of(bit), 1, sv.nnz() as u64, enc.len() as u64);
+            comm.send(parent, tag(op, 1), enc)?;
+            return Ok(());
+        }
+        let child = rank | bit;
+        if child < p {
+            let buf = comm.recv(child, tag(op, 1))?;
+            let part = match (bit, opts.q8_scale) {
+                (1, Some(_)) => SparseVec8::decode(&buf).to_sparse(),
+                _ => SparseVec::decode(&buf),
+            };
+            sv.add_assign(&part);
+            if let Some(bound) = opts.union_bound {
+                let trimmed = trim_to_bound(sv, bound);
+                spill.add_assign(&trimmed);
+            }
+        }
+        bit <<= 1;
+    }
+    Ok(())
+}
+
+/// Sparse allreduce v2: v1's reduce-to-0-plus-broadcast with per-level
+/// wire profiling, optional [`SparseVec8`] leaf frames, and an optional
+/// union bound. Returns this rank's *spill* — the mass its trims removed
+/// from partial sums — which the caller must fold into its
+/// error-feedback residual so nothing is lost. With default
+/// [`SparseTreeOpts`] the result is bitwise identical to
+/// [`sparse_allreduce_tree`] and the spill is empty.
+///
+/// Reduce sends are profiled at the sender; the result broadcast
+/// (`p − 1` messages of the root frame) is profiled analytically on
+/// rank 0, so merging all ranks' profiles counts every message exactly
+/// once.
+pub fn sparse_allreduce_tree_v2<T: Transport>(
+    comm: &mut T,
+    sv: &mut SparseVec,
+    opts: SparseTreeOpts,
+    profile: &mut SparseLevelProfile,
+) -> Result<SparseVec, CommError> {
+    let p = comm.size();
+    let mut spill = SparseVec {
+        len: sv.len,
+        idx: Vec::new(),
+        val: Vec::new(),
+    };
+    sparse_reduce_tree_v2(comm, sv, opts, profile, &mut spill)?;
+    let mut enc = sv.encode();
+    if comm.rank() == 0 && p > 1 {
+        let msgs = (p - 1) as u64;
+        profile.record(
+            broadcast_level(p),
+            msgs,
+            msgs * sv.nnz() as u64,
+            msgs * enc.len() as u64,
+        );
+    }
+    broadcast(comm, 0, &mut enc)?;
+    *sv = SparseVec::decode(&enc);
+    Ok(spill)
+}
+
+/// In-memory mirror of [`sparse_allreduce_tree_v2`] over all `p`
+/// contributions at once: identical combine order (ascending bit levels,
+/// receiver `r` absorbs `r | bit`), identical per-receiver trimming
+/// (`bounds[r]` is rank r's union bound), and the exact
+/// [`SparseLevelProfile`] the wire run's merged per-rank profiles would
+/// record. Returns `(total, per-rank spills, profile)`.
+///
+/// The simulated backend aggregates through this so compressed runs stay
+/// bitwise identical to the threaded backend and its modeled wire
+/// accounting matches the measured traffic counters element-for-element.
+pub fn tree_combine_bounded(
+    mut svs: Vec<SparseVec>,
+    q8_leaves: bool,
+    bounds: &[Option<usize>],
+) -> (SparseVec, Vec<SparseVec>, SparseLevelProfile) {
+    let p = svs.len();
+    assert!(p > 0, "no contributions");
+    assert_eq!(bounds.len(), p, "one bound per rank");
+    let mut profile = SparseLevelProfile::default();
+    let mut spills: Vec<SparseVec> = svs
+        .iter()
+        .map(|s| SparseVec {
+            len: s.len,
+            idx: Vec::new(),
+            val: Vec::new(),
+        })
+        .collect();
+    let mut bit = 1usize;
+    while bit < p {
+        let mut r = 0usize;
+        while r + bit < p {
+            let s = r + bit;
+            let frame = if bit == 1 && q8_leaves {
+                sparse8_frame_elements(svs[s].nnz())
+            } else {
+                sparse_frame_elements(svs[s].nnz())
+            };
+            profile.record(level_of(bit), 1, svs[s].nnz() as u64, frame as u64);
+            let empty = SparseVec {
+                len: svs[s].len,
+                idx: Vec::new(),
+                val: Vec::new(),
+            };
+            let part = std::mem::replace(&mut svs[s], empty);
+            svs[r].add_assign(&part);
+            if let Some(bound) = bounds[r] {
+                let trimmed = trim_to_bound(&mut svs[r], bound);
+                spills[r].add_assign(&trimmed);
+            }
+            r += 2 * bit;
+        }
+        bit <<= 1;
+    }
+    let total = svs.swap_remove(0);
+    if p > 1 {
+        let msgs = (p - 1) as u64;
+        profile.record(
+            broadcast_level(p),
+            msgs,
+            msgs * total.nnz() as u64,
+            msgs * sparse_frame_elements(total.nnz()) as u64,
+        );
+    }
+    (total, spills, profile)
+}
+
+/// Encode an `m`-element dense vector whose entries sit exactly on the
+/// `q·scale` grid as a packed dense frame `[len, scale, q-packed...]`
+/// (four `i8` per `f32` slot). Debug builds assert the grid property.
+fn dense8_encode(v: &[f32], scale: f32) -> Vec<f32> {
+    assert!(v.len() <= u32::MAX as usize, "vector too long for wire");
+    let mut out = Vec::with_capacity(dense8_frame_elements(v.len()));
+    out.push(f32::from_bits(v.len() as u32));
+    out.push(scale);
+    for chunk in v.chunks(4) {
+        let mut bytes = [0u8; 4];
+        for (b, &x) in bytes.iter_mut().zip(chunk) {
+            let q = (x / scale).round();
+            debug_assert!(q.abs() <= 127.0, "value {x} off the 8-bit grid");
+            let rec = if q == 0.0 { 0.0f32 } else { q * scale };
+            debug_assert_eq!(rec.to_bits(), x.to_bits(), "value {x} not exactly q·scale");
+            // lint:allow(float-cast): |q| ≤ 127 by the grid property.
+            *b = (q as i8) as u8;
+        }
+        out.push(f32::from_bits(u32::from_le_bytes(bytes)));
+    }
+    out
+}
+
+/// Decode a [`dense8_encode`]d frame back to the dense `q·scale` vector
+/// (`q = 0` reconstructing canonical `+0.0`).
+///
+/// # Panics
+/// Panics if the buffer is malformed.
+fn dense8_decode(buf: &[f32]) -> Vec<f32> {
+    assert!(buf.len() >= 2, "dense8 message too short");
+    let m = buf[0].to_bits() as usize;
+    let scale = buf[1];
+    assert_eq!(
+        buf.len(),
+        dense8_frame_elements(m),
+        "dense8 message length mismatch"
+    );
+    let mut out = Vec::with_capacity(m);
+    for packed in &buf[2..] {
+        for b in packed.to_bits().to_le_bytes() {
+            if out.len() < m {
+                let q = b as i8;
+                out.push(if q == 0 { 0.0 } else { f32::from(q) * scale });
+            }
+        }
+    }
+    out
+}
+
+/// Dense allreduce for 8-bit-quantized vectors: leaf-level sends (a
+/// rank's own contribution, which the compressor placed exactly on its
+/// `q·scale` grid) travel as packed dense-8-bit frames
+/// (`2 + ⌈m/4⌉` elements); merged partials are arbitrary f32 sums and
+/// travel dense, as does the result broadcast. The scale is per-sender
+/// and rides in the frame. Because the wire only transports values the
+/// sender already holds, the result is bitwise identical to
+/// [`crate::collectives::allreduce_tree`] over the same (quantized)
+/// inputs — the 8-bit frame is a transport optimization, not an extra
+/// lossy step.
+pub fn q8_allreduce_tree<T: Transport>(
+    comm: &mut T,
+    v: &mut Vec<f32>,
+    scale: f32,
+) -> Result<(), CommError> {
+    let p = comm.size();
+    if p == 1 {
+        comm.next_op();
+        return Ok(());
+    }
+    let op = comm.next_op();
+    let rank = comm.rank();
+    let mut bit = 1usize;
+    while bit < p {
+        if rank & bit != 0 {
+            let parent = rank & !bit;
+            let enc = if bit == 1 {
+                dense8_encode(v, scale)
+            } else {
+                v.clone()
+            };
+            comm.send(parent, tag(op, 1), enc)?;
+            break;
+        }
+        let child = rank | bit;
+        if child < p {
+            let buf = comm.recv(child, tag(op, 1))?;
+            let part = if bit == 1 { dense8_decode(&buf) } else { buf };
+            for (a, b) in v.iter_mut().zip(&part) {
+                *a += b;
+            }
+        }
+        bit <<= 1;
+    }
+    broadcast(comm, 0, v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +897,282 @@ mod tests {
     fn mismatched_lengths_rejected() {
         let mut a = SparseVec::from_dense(&[1.0f32]);
         a.add_assign(&SparseVec::from_dense(&[1.0f32, 2.0]));
+    }
+
+    /// A sparse vector whose values sit exactly on the `q·scale` grid.
+    fn grid_vector(m: usize, scale: f32, seed: usize) -> SparseVec {
+        let mut v = vec![0.0f32; m];
+        for j in 0..(m / 3) {
+            let q = ((seed + 3 * j) % 255) as i32 - 127;
+            if q != 0 {
+                v[(seed + 7 * j) % m] = q as f32 * scale;
+            }
+        }
+        SparseVec::from_dense(&v)
+    }
+
+    #[test]
+    fn sparse8_round_trip_is_bitwise_for_grid_values() {
+        let sv = grid_vector(97, 0.03125, 5);
+        let q8 = SparseVec8::from_scaled(&sv, 0.03125);
+        let enc = q8.encode();
+        assert_eq!(enc.len(), sparse8_frame_elements(sv.nnz()));
+        let back = SparseVec8::decode(&enc);
+        assert_eq!(back, q8);
+        let rec = back.to_sparse();
+        assert_eq!(rec.idx, sv.idx);
+        for (a, b) in rec.val.iter().zip(&sv.val) {
+            assert_eq!(a.to_bits(), b.to_bits(), "grid values survive the wire");
+        }
+    }
+
+    #[test]
+    fn sparse8_quantize_obeys_half_step_bound() {
+        // Off-grid values: a fresh quantization grid loses at most half a
+        // step per kept coordinate.
+        let mut v = vec![0.0f32; 64];
+        for (j, slot) in v.iter_mut().enumerate().skip(1) {
+            *slot = (j as f32 * 0.377).sin() * 2.5;
+        }
+        let sv = SparseVec::from_dense(&v);
+        let q8 = SparseVec8::quantize(&sv);
+        let rec = q8.to_sparse();
+        for ((&orig, &r), &i) in sv.val.iter().zip(&rec.val).zip(&sv.idx) {
+            assert!(
+                (orig - r).abs() <= q8.scale / 2.0 + 1e-6,
+                "coord {i}: {orig} -> {r}, step {}",
+                q8.scale
+            );
+        }
+    }
+
+    #[test]
+    fn trim_keeps_largest_and_returns_the_rest() {
+        let mut sv = SparseVec::from_dense(&[1.0f32, -4.0, 0.5, 3.0, -2.0]);
+        let rest = trim_to_bound(&mut sv, 2);
+        assert_eq!(sv.idx, vec![1, 3], "largest magnitudes survive");
+        assert_eq!(rest.idx, vec![0, 2, 4], "trimmed mass is handed back");
+        assert_eq!(rest.val, vec![1.0, 0.5, -2.0]);
+        // Under the bound: no-op, empty remainder.
+        let rest = trim_to_bound(&mut sv, 5);
+        assert_eq!(rest.nnz(), 0);
+        assert_eq!(sv.idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn v2_with_default_opts_matches_v1_bitwise_with_empty_spill() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let m = 17;
+            let input = |r: usize| -> Vec<f32> {
+                (0..m)
+                    .map(|j| {
+                        if (j + r).is_multiple_of(3) {
+                            (r as f32 + 1.0) * 0.1 + j as f32
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            };
+            let v1 = run_world(p, |c| {
+                let mut sv = SparseVec::from_dense(&input(c.rank()));
+                sparse_allreduce_tree(c, &mut sv).expect("v1");
+                sv.to_dense()
+            });
+            let v2 = run_world(p, |c| {
+                let mut sv = SparseVec::from_dense(&input(c.rank()));
+                let mut profile = SparseLevelProfile::default();
+                let spill =
+                    sparse_allreduce_tree_v2(c, &mut sv, SparseTreeOpts::default(), &mut profile)
+                        .expect("v2");
+                assert_eq!(spill.nnz(), 0, "unbounded tree spills nothing");
+                sv.to_dense()
+            });
+            for (a, b) in v1.iter().zip(&v2) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_wire_matches_in_memory_mirror_bitwise() {
+        // q8 leaf frames + union bound, p across tree shapes: the wire
+        // run and tree_combine_bounded must agree on the total, every
+        // rank's spill, and the merged per-level profile.
+        for p in [2usize, 3, 4, 7, 8] {
+            let m = 64;
+            let scale = 0.03125f32;
+            let bound = 6usize;
+            let inputs: Vec<SparseVec> = (0..p).map(|r| grid_vector(m, scale, r + 1)).collect();
+            let wire: Vec<(Vec<f32>, Vec<f32>, SparseLevelProfile)> = {
+                let inputs = &inputs;
+                run_world(p, move |c| {
+                    let mut sv = inputs[c.rank()].clone();
+                    let mut profile = SparseLevelProfile::default();
+                    let opts = SparseTreeOpts {
+                        union_bound: Some(bound),
+                        q8_scale: Some(scale),
+                    };
+                    let spill = sparse_allreduce_tree_v2(c, &mut sv, opts, &mut profile)
+                        .expect("v2 bounded");
+                    (sv.to_dense(), spill.to_dense(), profile)
+                })
+            };
+            let bounds = vec![Some(bound); p];
+            let (total, spills, mirror_profile) =
+                tree_combine_bounded(inputs.clone(), true, &bounds);
+            let total_dense = total.to_dense();
+            let mut merged = SparseLevelProfile::default();
+            for (r, (wire_total, wire_spill, profile)) in wire.iter().enumerate() {
+                merged.merge(profile);
+                for (a, b) in wire_total.iter().zip(&total_dense) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "total p={p} rank={r}");
+                }
+                let mirror_spill = spills[r].to_dense();
+                for (a, b) in wire_spill.iter().zip(&mirror_spill) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "spill p={p} rank={r}");
+                }
+            }
+            assert_eq!(merged, mirror_profile, "p={p}");
+        }
+    }
+
+    #[test]
+    fn bounded_tree_conserves_mass_exactly() {
+        // Integer-valued contributions: every sum is exact in f32, so
+        // delivered + spilled must equal the input mass to the bit.
+        let p = 4;
+        let m = 32;
+        let inputs: Vec<SparseVec> = (0..p)
+            .map(|r| {
+                let mut v = vec![0.0f32; m];
+                for j in 0..12 {
+                    v[(r * 5 + j * 3) % m] = (r + 1) as f32 * (j + 1) as f32;
+                }
+                SparseVec::from_dense(&v)
+            })
+            .collect();
+        let input_mass: f64 = inputs
+            .iter()
+            .flat_map(|sv| sv.val.iter())
+            .map(|&v| f64::from(v))
+            .sum();
+        let bounds = vec![Some(5usize); p];
+        let (total, spills, _) = tree_combine_bounded(inputs, false, &bounds);
+        assert!(total.nnz() <= 5, "delivered vector respects the bound");
+        let delivered: f64 = total.val.iter().map(|&v| f64::from(v)).sum();
+        let spilled: f64 = spills
+            .iter()
+            .flat_map(|sv| sv.val.iter())
+            .map(|&v| f64::from(v))
+            .sum();
+        assert_eq!(
+            delivered + spilled,
+            input_mass,
+            "no mass is silently lost by union-bound trimming"
+        );
+    }
+
+    #[test]
+    fn union_bound_keeps_per_message_nnz_flat_across_levels() {
+        // Disjoint index sets per rank: the worst case for union growth.
+        let p = 8;
+        let m = 4096;
+        let per_rank = 16usize;
+        let inputs = |r: usize| {
+            let mut v = vec![0.0f32; m];
+            for j in 0..per_rank {
+                v[r * 512 + j * 7] = (r + 1) as f32;
+            }
+            SparseVec::from_dense(&v)
+        };
+        let svs: Vec<SparseVec> = (0..p).map(inputs).collect();
+        let (_, _, unbounded) = tree_combine_bounded(svs.clone(), false, &vec![None; p]);
+        let leaf = &unbounded.levels[0];
+        let deepest = &unbounded.levels[2];
+        assert!(
+            deepest.nnz * leaf.messages > 2 * leaf.nnz * deepest.messages,
+            "unbounded per-message nnz must grow with depth: {unbounded:?}"
+        );
+        let (total, spills, bounded) = tree_combine_bounded(svs, false, &vec![Some(per_rank); p]);
+        for (level, s) in bounded.levels.iter().enumerate() {
+            assert!(
+                s.nnz <= s.messages * per_rank as u64,
+                "level {level} exceeds the union bound: {s:?}"
+            );
+        }
+        assert_eq!(total.nnz(), per_rank, "delivered vector is at the bound");
+        assert!(
+            spills.iter().map(SparseVec::nnz).sum::<usize>() > 0,
+            "trimmed mass lands in the spills"
+        );
+    }
+
+    /// A dense vector on rank `r`'s own `q·scale` grid.
+    fn grid_dense(m: usize, scale: f32, seed: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; m];
+        for (j, slot) in v.iter_mut().enumerate() {
+            let q = ((seed + 5 * j) % 255) as i32 - 127;
+            if q != 0 {
+                *slot = q as f32 * scale;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn dense8_frame_round_trip_is_bitwise() {
+        for m in [0usize, 1, 3, 4, 17] {
+            let v = grid_dense(m, 0.0625, 2);
+            let enc = dense8_encode(&v, 0.0625);
+            assert_eq!(enc.len(), dense8_frame_elements(m));
+            assert_eq!(dense8_decode(&enc), v, "m={m}");
+        }
+    }
+
+    #[test]
+    fn q8_allreduce_matches_dense_allreduce_bitwise() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            let m = 23;
+            let dense = run_world(p, |c| {
+                let mut v = grid_dense(m, 0.0625, c.rank() + 1);
+                allreduce_tree(c, &mut v).expect("allreduce");
+                v
+            });
+            let q8 = run_world(p, |c| {
+                let mut v = grid_dense(m, 0.0625, c.rank() + 1);
+                q8_allreduce_tree(c, &mut v, 0.0625).expect("q8 allreduce");
+                v
+            });
+            for (d, s) in dense.iter().zip(&q8) {
+                for (a, b) in d.iter().zip(s) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q8_allreduce_wire_traffic_is_exactly_modeled() {
+        // p=4 tree: two leaf senders (ranks 1, 3) ship packed frames, one
+        // internal sender (rank 2) ships dense, broadcast ships 3 dense.
+        let p = 4;
+        let m = 1000usize;
+        let mut world = CommWorld::new(p);
+        let traffic = world.traffic();
+        let comms = world.communicators();
+        thread::scope(|s| {
+            for mut c in comms {
+                s.spawn(move || {
+                    let mut v = grid_dense(m, 0.125, c.rank() + 1);
+                    q8_allreduce_tree(&mut c, &mut v, 0.125).expect("q8 allreduce");
+                });
+            }
+        });
+        let want = (2 * dense8_frame_elements(m) + m + 3 * m) as u64;
+        assert_eq!(traffic.elements_sent(), want);
+        assert!(want < (2 * (p - 1) * m) as u64, "beats the dense tree");
     }
 }

@@ -199,6 +199,16 @@ impl Algorithm {
                     format!("SASGD-top{:.0}%(p={p},T={t})", ratio * 100.0)
                 }
                 Some(Compression::Uniform8Bit) => format!("SASGD-8bit(p={p},T={t})"),
+                Some(Compression::Sparse { k, q8, union_bound }) => {
+                    let mut tag = k.tag();
+                    if q8 {
+                        tag.push_str("+q8");
+                    }
+                    if union_bound {
+                        tag.push_str("+ub");
+                    }
+                    format!("SASGD-{tag}(p={p},T={t})")
+                }
             },
             Algorithm::HierarchicalSasgd {
                 groups,

@@ -17,13 +17,14 @@
 //! priced by the compressor's wire size, and on the threaded backend TopK
 //! payloads actually travel sparse.
 
+use sasgd_comm::sparse::{tree_combine_bounded, SparseLevelProfile, SparseVec};
 use sasgd_data::Dataset;
 use sasgd_nn::Model;
 
 use crate::algorithms::GammaP;
-use crate::compress::Compression;
+use crate::compress::{Compression, KState};
 use crate::engine::{simulated, AggregationStrategy};
-use crate::history::{History, StalenessStats, WireStats};
+use crate::history::{History, SparsitySample, StalenessStats, WireStats, MAX_SPARSITY_SAMPLES};
 use crate::trainer::{Learner, TrainConfig};
 
 /// Algorithm 1 with optional compressed aggregation.
@@ -36,6 +37,15 @@ pub(crate) struct SasgdStrategy {
     x: Vec<f32>,
     /// Error-feedback residuals, one per learner, carried across intervals.
     residuals: Vec<Vec<f32>>,
+    /// Per-learner k-schedule state (compressed runs only).
+    kstates: Vec<KState>,
+    /// Per-sync compression telemetry, drained into [`History`].
+    samples: Vec<SparsitySample>,
+    /// Accumulated per-tree-level wire profile (sparse aggregation only) —
+    /// the exact element counts the threaded backend's counters measure.
+    profile: SparseLevelProfile,
+    /// Sync rounds completed.
+    rounds: u64,
     /// Cost of one (possibly compressed) allreduce.
     ar_seconds: f64,
     /// Parameter count (for wire accounting).
@@ -58,8 +68,26 @@ impl SasgdStrategy {
             compression,
             x: Vec::new(),
             residuals: Vec::new(),
+            kstates: Vec::new(),
+            samples: Vec::new(),
+            profile: SparseLevelProfile::default(),
+            rounds: 0,
             ar_seconds: 0.0,
             m: 0,
+        }
+    }
+
+    /// Record one learner's compression outcome for the sparsity series.
+    fn push_sample(&mut self, rank: usize, k_eff: usize, residual_norm: f64) {
+        if self.samples.len() < MAX_SPARSITY_SAMPLES {
+            self.samples.push(SparsitySample {
+                round: self.rounds,
+                rank,
+                k_eff,
+                // lint:allow(float-cast): telemetry narrowing — the norm is
+                // accumulated in f64 for order-stability, reported in f32.
+                residual_norm: residual_norm as f32,
+            });
         }
     }
 }
@@ -81,7 +109,7 @@ impl AggregationStrategy for SasgdStrategy {
         self.t
     }
 
-    fn setup(&mut self, _factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
+    fn setup(&mut self, factory: &mut dyn FnMut() -> Model, x0: &[f32], cfg: &TrainConfig) -> f64 {
         self.m = x0.len();
         self.x = x0.to_vec();
         self.ar_seconds = match self.compression {
@@ -92,22 +120,90 @@ impl AggregationStrategy for SasgdStrategy {
             }
             None => cfg.cost.allreduce_tree(self.m, self.p).seconds,
         };
-        if self.compression.is_some() {
+        if let Some(c) = self.compression {
             self.residuals = (0..self.p).map(|_| vec![0.0f32; self.m]).collect();
+            // The layer-wise schedule needs the model's parameter-block
+            // map; one throwaway replica yields the layout.
+            let blocks = if matches!(c, Compression::Sparse { .. }) {
+                factory().param_blocks()
+            } else {
+                Vec::new()
+            };
+            self.kstates = (0..self.p)
+                .map(|_| KState::new(&c, blocks.clone()))
+                .collect();
         }
         cfg.cost.broadcast(self.m, self.p)
     }
 
     fn sync(&mut self, learners: &mut [Learner], gamma_now: f32) {
         let gp = self.gamma_p.resolve(gamma_now, self.p);
-        aggregate(
-            learners,
-            &mut self.x,
-            gp,
-            self.ar_seconds,
-            self.compression,
-            &mut self.residuals,
-        );
+        self.rounds += 1; // 1-based, matching the threaded backend's rounds
+        match self.compression {
+            Some(
+                comp @ Compression::Sparse {
+                    q8, union_bound, ..
+                },
+            ) => {
+                // Sparse aggregation: compress per learner, combine in the
+                // wire collective's order via the in-memory mirror, fold
+                // trim spills back into the rank-local residuals.
+                let t_max = learners.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
+                let p = learners.len();
+                let mut svs = Vec::with_capacity(p);
+                let mut bounds = Vec::with_capacity(p);
+                for (r, l) in learners.iter().enumerate() {
+                    let input: Vec<f32> =
+                        l.gs.iter()
+                            .zip(self.residuals[r].iter())
+                            .map(|(a, b)| a + b)
+                            .collect();
+                    let c = comp.compress_with(&input, &mut self.kstates[r]);
+                    self.residuals[r] = c.residual;
+                    self.push_sample(r, c.k_eff, c.residual_norm);
+                    bounds.push(if union_bound { Some(c.k_budget) } else { None });
+                    svs.push(SparseVec::from_dense(&c.dense));
+                }
+                let (total, spills, profile) = tree_combine_bounded(svs, q8, &bounds);
+                self.profile.merge(&profile);
+                for (res, spill) in self.residuals.iter_mut().zip(&spills) {
+                    for (&i, &v) in spill.idx.iter().zip(&spill.val) {
+                        res[i as usize] += v;
+                    }
+                }
+                let g = total.to_dense();
+                for (xi, &gv) in self.x.iter_mut().zip(&g) {
+                    *xi -= gp * gv;
+                }
+                for l in learners.iter_mut() {
+                    let wait = t_max - l.clock;
+                    l.charge_comm(wait + self.ar_seconds);
+                    l.model.write_params(&self.x);
+                    l.gs.iter_mut().for_each(|g| *g = 0.0);
+                }
+            }
+            _ => {
+                let outcomes = aggregate(
+                    learners,
+                    &mut self.x,
+                    gp,
+                    self.ar_seconds,
+                    self.compression,
+                    &mut self.residuals,
+                );
+                for (r, (k_eff, residual_norm)) in outcomes.into_iter().enumerate() {
+                    self.push_sample(r, k_eff, residual_norm);
+                }
+            }
+        }
+    }
+
+    fn sparsity_series(&mut self) -> Vec<SparsitySample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    fn sparse_levels(&self) -> SparseLevelProfile {
+        self.profile.clone()
     }
 
     fn staleness(&self, syncs: u64) -> Option<StalenessStats> {
@@ -123,25 +219,46 @@ impl AggregationStrategy for SasgdStrategy {
     fn wire(&self, syncs: u64) -> Option<WireStats> {
         // The analytic counterpart of the threaded backend's counters:
         // one broadcast of x0 ((p−1)·m elements over p−1 messages) plus,
-        // per aggregation, a tree allreduce moving 2(p−1) messages of the
-        // compressor's wire size (m when dense).
-        let per_ar = match self.compression {
-            Some(c) => c.wire_elements(self.m),
-            None => self.m as f64,
-        };
+        // per aggregation, a tree allreduce. Dense, Uniform8Bit, and
+        // Sparse are *exact* (dense and Uniform8Bit from the closed-form
+        // round cost, Sparse from the accumulated per-level profile);
+        // TopK keeps the documented full-k estimate.
         let p1 = (self.p - 1) as u64;
-        Some(WireStats {
-            // lint:allow(float-cast): wire accounting — element counts are
-            // integers well below 2^53, so the f64 round-trip is exact.
-            elements: p1 * self.m as u64 + 2 * p1 * (per_ar * syncs as f64) as u64,
-            messages: p1 + 2 * p1 * syncs,
-        })
+        let bcast = p1 * self.m as u64;
+        match self.compression {
+            None => Some(WireStats {
+                elements: bcast + 2 * p1 * self.m as u64 * syncs,
+                messages: p1 + 2 * p1 * syncs,
+            }),
+            Some(c @ Compression::Uniform8Bit) => {
+                let (round, _) = c.round_wire_bounds(self.m, self.p);
+                Some(WireStats {
+                    elements: bcast + round * syncs,
+                    messages: p1 + 2 * p1 * syncs,
+                })
+            }
+            Some(Compression::Sparse { .. }) => Some(WireStats {
+                elements: bcast + self.profile.total_elements(),
+                messages: p1 + self.profile.total_messages(),
+            }),
+            Some(c @ Compression::TopK { .. }) => {
+                let per_ar = c.wire_elements(self.m);
+                Some(WireStats {
+                    // lint:allow(float-cast): wire accounting — element
+                    // counts are integers well below 2^53, so the f64
+                    // round-trip is exact.
+                    elements: bcast + 2 * p1 * (per_ar * syncs as f64) as u64,
+                    messages: p1 + 2 * p1 * syncs,
+                })
+            }
+        }
     }
 }
 
 /// One global aggregation: barrier (wait for the slowest learner),
 /// allreduce of the (optionally compressed) accumulated gradients, global
-/// step, redistribution.
+/// step, redistribution. Returns each learner's `(k_eff, residual_norm)`
+/// compression outcome (empty when uncompressed).
 pub(crate) fn aggregate(
     learners: &mut [Learner],
     x: &mut [f32],
@@ -149,8 +266,9 @@ pub(crate) fn aggregate(
     allreduce_seconds: f64,
     compression: Option<Compression>,
     residuals: &mut [Vec<f32>],
-) {
+) -> Vec<(usize, f64)> {
     let t_max = learners.iter().map(|l| l.clock).fold(0.0_f64, f64::max);
+    let mut outcomes = Vec::new();
     // Sum gs across learners in binomial-tree order — the exact reduction
     // order of sasgd-comm's allreduce, so the threaded backend reproduces
     // these parameters bit for bit.
@@ -163,6 +281,7 @@ pub(crate) fn aggregate(
                 let input: Vec<f32> = l.gs.iter().zip(res.iter()).map(|(a, b)| a + b).collect();
                 let c = comp.compress(&input);
                 *res = c.residual;
+                outcomes.push((c.k_eff, c.residual_norm));
                 c.dense
             })
             .collect(),
@@ -177,6 +296,7 @@ pub(crate) fn aggregate(
         l.model.write_params(x);
         l.gs.iter_mut().for_each(|g| *g = 0.0);
     }
+    outcomes
 }
 
 /// Run SASGD on the simulated backend. `T = 1` is classic bulk-synchronous

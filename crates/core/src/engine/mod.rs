@@ -28,7 +28,9 @@ use std::collections::VecDeque;
 use sasgd_data::{make_shards, Dataset, Shard};
 use sasgd_nn::Model;
 
-use crate::history::{History, StalenessStats, WireStats};
+use sasgd_comm::sparse::SparseLevelProfile;
+
+use crate::history::{History, SparsitySample, StalenessStats, WireStats};
 use crate::schedule::SyncPolicy;
 use crate::trainer::{Learner, TrainConfig};
 
@@ -73,6 +75,9 @@ pub struct RoundCtx {
     pub steps_since_sync: usize,
     /// The sync policy's interval currently in force.
     pub current_t: usize,
+    /// Global sync rounds completed so far (0 before the first sync) —
+    /// adaptive compression schedules key their telemetry off this.
+    pub round: u64,
 }
 
 /// A strategy's verdict on whether this round communicates.
@@ -235,6 +240,19 @@ pub(crate) trait AggregationStrategy {
     /// Final parameters reported in [`History`].
     fn final_params(&mut self, learners: &[Learner]) -> Vec<f32> {
         learners[0].model.param_vector()
+    }
+
+    /// Drain the per-sync `(round, rank, k_eff, residual_norm)` telemetry
+    /// an adaptive-compression strategy recorded; strategies without
+    /// compression return nothing.
+    fn sparsity_series(&mut self) -> Vec<SparsitySample> {
+        Vec::new()
+    }
+
+    /// Per-tree-level wire profile accumulated by a sparse-aggregating
+    /// strategy (empty for dense strategies).
+    fn sparse_levels(&self) -> SparseLevelProfile {
+        SparseLevelProfile::default()
     }
 
     /// One local minibatch (event-driven cadence; virtual time is the

@@ -20,7 +20,10 @@ use std::time::{Duration, Instant};
 use sasgd_comm::collectives::{allreduce_tree, broadcast};
 use sasgd_comm::fault::FaultPlan;
 use sasgd_comm::ft::{ft_allreduce, FtError, Membership};
-use sasgd_comm::sparse::{sparse_allreduce_tree, SparseVec};
+use sasgd_comm::sparse::{
+    q8_allreduce_tree, sparse_allreduce_tree, sparse_allreduce_tree_v2, SparseLevelProfile,
+    SparseTreeOpts, SparseVec,
+};
 use sasgd_comm::transport::Transport;
 use sasgd_comm::world::CommError;
 use sasgd_data::{Dataset, Shard};
@@ -28,7 +31,7 @@ use sasgd_nn::Model;
 
 use super::{delta_sq_norm, event_gamma_epoch, BatchStream, EngineError};
 use crate::algorithms::GammaP;
-use crate::compress::Compression;
+use crate::compress::{Compression, KState};
 use crate::history::{History, MembershipEvent, RetirementEvent, StalenessStats};
 use crate::schedule::SyncPolicy;
 use crate::trainer::{EvalSets, Learner, TrainConfig};
@@ -83,6 +86,13 @@ pub fn run_sasgd_rank<T: Transport>(
     broadcast(comm, 0, &mut x).map_err(|e| wire_failure(rank, 0, e))?;
     learner.model.write_params(&x);
     let mut residual = vec![0.0f32; if spec.compression.is_some() { m } else { 0 }];
+    let mut kstate = spec.compression.map(|c| {
+        let blocks = match c {
+            Compression::Sparse { .. } => learner.model.param_blocks(),
+            _ => Vec::new(),
+        };
+        KState::new(&c, blocks)
+    });
     let evals = if rank == 0 {
         Some(EvalSets::prepare(
             spec.train_set,
@@ -117,37 +127,20 @@ pub fn run_sasgd_rank<T: Transport>(
                 let gp = spec.gamma_p.resolve(gamma_now, spec.p);
                 let t1 = Instant::now();
                 round += 1;
-                let total: Vec<f32> = match spec.compression {
-                    None => {
+                let total: Vec<f32> = match (spec.compression, kstate.as_mut()) {
+                    (Some(comp), Some(ks)) => compressed_allreduce(
+                        comm,
+                        comp,
+                        &learner.gs,
+                        &mut residual,
+                        ks,
+                        &mut history,
+                        round,
+                    )?,
+                    _ => {
                         allreduce_tree(comm, &mut learner.gs)
                             .map_err(|e| wire_failure(rank, round, e))?;
                         learner.gs.clone()
-                    }
-                    Some(comp) => {
-                        // Error feedback: compress gs + carried residual,
-                        // keep what was dropped.
-                        let input: Vec<f32> = learner
-                            .gs
-                            .iter()
-                            .zip(&residual)
-                            .map(|(a, b)| a + b)
-                            .collect();
-                        let c = comp.compress(&input);
-                        residual = c.residual;
-                        match comp {
-                            Compression::TopK { .. } => {
-                                let mut sv = SparseVec::from_dense(&c.dense);
-                                sparse_allreduce_tree(comm, &mut sv)
-                                    .map_err(|e| wire_failure(rank, round, e))?;
-                                sv.to_dense()
-                            }
-                            Compression::Uniform8Bit => {
-                                let mut buf = c.dense;
-                                allreduce_tree(comm, &mut buf)
-                                    .map_err(|e| wire_failure(rank, round, e))?;
-                                buf
-                            }
-                        }
                     }
                 };
                 for (xi, &g) in x.iter_mut().zip(&total) {
@@ -415,6 +408,19 @@ pub fn run_event_rank<T: Transport>(
             _ => 0,
         }
     ];
+    let mut kstate = match spec.op {
+        EventOp::Gradient {
+            compression: Some(c),
+            ..
+        } => {
+            let blocks = match c {
+                Compression::Sparse { .. } => learner.model.param_blocks(),
+                _ => Vec::new(),
+            };
+            Some(KState::new(&c, blocks))
+        }
+        _ => None,
+    };
     // Local SGD's plateau-signal state and DaSGD's delayed-application
     // state (unused by the other ops).
     let mut prev_avg = x.clone();
@@ -470,8 +476,15 @@ pub fn run_event_rank<T: Transport>(
                     compression,
                 } => {
                     let gp = gamma_p.resolve(gamma_now, p);
-                    let total =
-                        allreduce_grads(comm, &mut learner, compression, &mut residual, syncs)?;
+                    let total = allreduce_grads(
+                        comm,
+                        &mut learner,
+                        compression,
+                        &mut residual,
+                        &mut kstate,
+                        &mut history,
+                        syncs,
+                    )?;
                     for (xi, &g) in x.iter_mut().zip(&total) {
                         *xi -= gp * g;
                     }
@@ -613,36 +626,77 @@ fn allreduce_grads<T: Transport>(
     learner: &mut Learner,
     compression: Option<Compression>,
     residual: &mut Vec<f32>,
+    kstate: &mut Option<KState>,
+    history: &mut History,
     round: u64,
 ) -> Result<Vec<f32>, EngineError> {
     let rank = comm.rank();
-    Ok(match compression {
-        None => {
+    match (compression, kstate.as_mut()) {
+        (Some(comp), Some(ks)) => {
+            compressed_allreduce(comm, comp, &learner.gs, residual, ks, history, round)
+        }
+        _ => {
             allreduce_tree(comm, &mut learner.gs).map_err(|e| wire_failure(rank, round, e))?;
-            learner.gs.clone()
+            Ok(learner.gs.clone())
         }
-        Some(comp) => {
-            let input: Vec<f32> = learner
-                .gs
-                .iter()
-                .zip(residual.iter())
-                .map(|(a, b)| a + b)
-                .collect();
-            let c = comp.compress(&input);
-            *residual = c.residual;
-            match comp {
-                Compression::TopK { .. } => {
-                    let mut sv = SparseVec::from_dense(&c.dense);
-                    sparse_allreduce_tree(comm, &mut sv)
-                        .map_err(|e| wire_failure(rank, round, e))?;
-                    sv.to_dense()
-                }
-                Compression::Uniform8Bit => {
-                    let mut buf = c.dense;
-                    allreduce_tree(comm, &mut buf).map_err(|e| wire_failure(rank, round, e))?;
-                    buf
-                }
+    }
+}
+
+/// Compress-with-error-feedback then allreduce over the scheme's wire
+/// form: plain sparse tree for [`Compression::TopK`], exact 8-bit leaf
+/// frames for [`Compression::Uniform8Bit`] (falling back to the dense
+/// tree for the all-zero gradient, which has no q8 scale), and the
+/// instrumented v2 sparse tree for [`Compression::Sparse`] — recording
+/// `(round, rank, k_eff, residual_norm)` plus per-level wire stats into
+/// `history`, and folding any union-bound spill back into `residual`.
+fn compressed_allreduce<T: Transport>(
+    comm: &mut T,
+    comp: Compression,
+    gs: &[f32],
+    residual: &mut Vec<f32>,
+    kstate: &mut KState,
+    history: &mut History,
+    round: u64,
+) -> Result<Vec<f32>, EngineError> {
+    let rank = comm.rank();
+    // Error feedback: compress gs + carried residual, keep what was
+    // dropped.
+    let input: Vec<f32> = gs.iter().zip(residual.iter()).map(|(a, b)| a + b).collect();
+    let c = comp.compress_with(&input, kstate);
+    *residual = c.residual;
+    // lint:allow(float-cast): telemetry narrowing — the norm is a
+    // monitoring signal, not part of the update arithmetic.
+    history.push_sparsity(round, rank, c.k_eff, c.residual_norm as f32);
+    let total = match comp {
+        Compression::TopK { .. } => {
+            let mut sv = SparseVec::from_dense(&c.dense);
+            sparse_allreduce_tree(comm, &mut sv).map_err(|e| wire_failure(rank, round, e))?;
+            sv.to_dense()
+        }
+        Compression::Uniform8Bit => {
+            let mut buf = c.dense;
+            match c.q8_scale {
+                Some(scale) => q8_allreduce_tree(comm, &mut buf, scale)
+                    .map_err(|e| wire_failure(rank, round, e))?,
+                None => allreduce_tree(comm, &mut buf).map_err(|e| wire_failure(rank, round, e))?,
             }
+            buf
         }
-    })
+        Compression::Sparse { union_bound, .. } => {
+            let mut sv = SparseVec::from_dense(&c.dense);
+            let opts = SparseTreeOpts {
+                union_bound: if union_bound { Some(c.k_budget) } else { None },
+                q8_scale: c.q8_scale,
+            };
+            let mut profile = SparseLevelProfile::default();
+            let spill = sparse_allreduce_tree_v2(comm, &mut sv, opts, &mut profile)
+                .map_err(|e| wire_failure(rank, round, e))?;
+            history.sparse_levels.merge(&profile);
+            for (&i, &v) in spill.idx.iter().zip(&spill.val) {
+                residual[i as usize] += v;
+            }
+            sv.to_dense()
+        }
+    };
+    Ok(total)
 }

@@ -145,6 +145,7 @@ fn run_lockstep(
             let ctx = RoundCtx {
                 steps_since_sync: since_sync,
                 current_t: policy.current_t(),
+                round: syncs,
             };
             if s.should_communicate(ctx) == CommDecision::Communicate {
                 s.sync(&mut learners, gamma_now);
@@ -176,6 +177,8 @@ fn run_lockstep(
     history.staleness = s.staleness(syncs);
     history.wire = s.wire(syncs);
     history.sync_rounds = syncs;
+    history.sparsity_series = s.sparsity_series();
+    history.sparse_levels = s.sparse_levels();
     history.final_params = Some(s.final_params(&learners));
     history
 }
@@ -401,6 +404,8 @@ fn run_event_collective(
     history.staleness = StalenessStats::from_observations(&staleness_obs);
     history.wire = s.wire(syncs);
     history.sync_rounds = syncs;
+    history.sparsity_series = s.sparsity_series();
+    history.sparse_levels = s.sparse_levels();
     history.final_params = Some(s.final_params(&learners));
     history
 }

@@ -30,7 +30,7 @@ use super::rank::{
 use super::{event_gamma_epoch, strategy_for, BatchStream, Cadence, EngineError};
 use crate::algorithms::{Algorithm, GammaP};
 use crate::compress::Compression;
-use crate::history::{History, WireStats};
+use crate::history::{History, WireStats, MAX_SPARSITY_SAMPLES};
 use crate::trainer::{EvalSets, Learner, TrainConfig};
 
 /// Join learner threads, reporting *which* ranks died and why instead of
@@ -255,6 +255,8 @@ fn run_event_collective(
     let traffic = world.traffic();
     let comms = world.communicators();
     let mut rank0_history: Option<History> = None;
+    let mut peer_series: Vec<crate::history::SparsitySample> = Vec::new();
+    let mut peer_levels = sasgd_comm::sparse::SparseLevelProfile::default();
     let mut first_err: Option<EngineError> = None;
 
     std::thread::scope(|scope| {
@@ -293,7 +295,12 @@ fn run_event_collective(
         for (rank, result) in join_learners(handles) {
             match result {
                 Ok(history) if rank == 0 => rank0_history = Some(history),
-                Ok(_) => {}
+                // Fold non-zero ranks' sparsity telemetry into rank 0's
+                // report (only the compressed-gradient op produces any).
+                Ok(history) => {
+                    peer_series.extend(history.sparsity_series);
+                    peer_levels.merge(&history.sparse_levels);
+                }
                 Err(e) => {
                     if first_err.is_none() {
                         first_err = Some(e);
@@ -306,6 +313,10 @@ fn run_event_collective(
         return Err(e);
     }
     let mut history = rank0_history.expect("rank 0 history");
+    history.sparsity_series.extend(peer_series);
+    history.sparsity_series.sort_by_key(|s| (s.round, s.rank));
+    history.sparsity_series.truncate(MAX_SPARSITY_SAMPLES);
+    history.sparse_levels.merge(&peer_levels);
     history.wire = Some(WireStats {
         elements: traffic.elements_sent(),
         messages: traffic.messages_sent(),
@@ -483,12 +494,16 @@ fn run_event_hierarchical(
 }
 
 /// SASGD (optionally compressed) with one OS thread per learner.
-/// `TopK` payloads travel in the sparse wire format; `Uniform8Bit`
-/// reconstructions travel dense (quantized transport would need an integer
-/// message type, which the cost model prices but the substrate does not
-/// carry). The per-rank loop itself lives in [`super::rank`], generic over
-/// the transport — this function supplies the in-process world and
-/// threads; the launcher supplies socket endpoints and processes.
+/// `TopK` payloads travel in the sparse wire format; `Uniform8Bit` leaf
+/// contributions travel as packed 8-bit frames (exact, since every dense
+/// reconstruction sits on the `q·scale` grid) with f32 internal partials;
+/// [`Compression::Sparse`] rides the instrumented v2 sparse tree —
+/// optionally quantized leaves and union-bounded merges. The per-rank
+/// loop itself lives in [`super::rank`], generic over the transport —
+/// this function supplies the in-process world and threads; the launcher
+/// supplies socket endpoints and processes. Per-rank sparsity telemetry
+/// (`sparsity_series`, `sparse_levels`) is merged from every learner's
+/// history into the returned rank-0 history.
 #[allow(clippy::too_many_arguments)] // mirrors the algorithm's parameter set
 pub(crate) fn run_sasgd(
     factory: &(dyn Fn() -> Model + Sync),
@@ -520,6 +535,8 @@ pub(crate) fn run_sasgd(
     let traffic = world.traffic();
     let comms = world.communicators();
     let mut rank0_history: Option<History> = None;
+    let mut peer_series: Vec<crate::history::SparsitySample> = Vec::new();
+    let mut peer_levels = sasgd_comm::sparse::SparseLevelProfile::default();
     let mut first_err: Option<EngineError> = None;
 
     std::thread::scope(|scope| {
@@ -546,7 +563,12 @@ pub(crate) fn run_sasgd(
         for (rank, result) in join_learners(handles) {
             match result {
                 Ok(history) if rank == 0 => rank0_history = Some(history),
-                Ok(_) => {}
+                // Non-zero ranks carry only their share of the sparsity
+                // telemetry; fold it into what rank 0 will report.
+                Ok(history) => {
+                    peer_series.extend(history.sparsity_series);
+                    peer_levels.merge(&history.sparse_levels);
+                }
                 // Lowest-rank failure wins (handles are in rank order);
                 // peer ranks typically fail secondarily when the first
                 // casualty's endpoint disappears mid-collective.
@@ -562,6 +584,10 @@ pub(crate) fn run_sasgd(
         return Err(e);
     }
     let mut history = rank0_history.expect("rank 0 history");
+    history.sparsity_series.extend(peer_series);
+    history.sparsity_series.sort_by_key(|s| (s.round, s.rank));
+    history.sparsity_series.truncate(MAX_SPARSITY_SAMPLES);
+    history.sparse_levels.merge(&peer_levels);
     history.wire = Some(WireStats {
         elements: traffic.elements_sent(),
         messages: traffic.messages_sent(),
@@ -1107,25 +1133,155 @@ mod tests {
         let mut cfg = TrainConfig::new(1, 8, 0.05, 42);
         cfg.jitter = JitterModel::none();
         let factory = || models::tiny_cnn(2, &mut SeedRng::new(7));
-        let dense = run_sasgd(&factory, &train, &test, &cfg, 2, 2, GammaP::OverP, None)
+        let p = 2usize;
+        let m = factory().param_vector().len() as u64;
+        // 96 samples over 2 shards, batch 8 → 6 steps/epoch; T=2 over one
+        // epoch → 3 sync rounds.
+        let syncs = 3u64;
+        let bcast = (p as u64 - 1) * m; // initial parameter broadcast
+        let dense = run_sasgd(&factory, &train, &test, &cfg, p, 2, GammaP::OverP, None)
             .expect("in-process run");
+        let d = dense.wire.expect("wire");
+        // Dense traffic is exactly modeled: reduce + broadcast move
+        // 2(p−1)·m elements per round.
+        assert_eq!(d.elements, bcast + syncs * 2 * (p as u64 - 1) * m);
+
+        let topk = Compression::TopK { ratio: 0.1 };
         let sparse = run_sasgd(
             &factory,
             &train,
             &test,
             &cfg,
-            2,
+            p,
             2,
             GammaP::OverP,
-            Some(Compression::TopK { ratio: 0.1 }),
+            Some(topk),
         )
         .expect("in-process run");
-        let (d, s) = (dense.wire.expect("wire"), sparse.wire.expect("wire"));
+        let s = sparse.wire.expect("wire");
         assert!(
             s.elements < d.elements / 2,
             "TopK-10% wire {} vs dense {}",
             s.elements,
             d.elements
         );
+        // The analytic bracket contains the measured traffic.
+        let (lo, hi) = topk.round_wire_bounds(m as usize, p);
+        assert!(
+            (bcast + syncs * lo..=bcast + syncs * hi).contains(&s.elements),
+            "TopK wire {} outside [{}, {}]",
+            s.elements,
+            bcast + syncs * lo,
+            bcast + syncs * hi
+        );
+
+        // Uniform8Bit traffic is exactly modeled (packed leaf frames,
+        // dense f32 internal partials and broadcast).
+        let q8 = Compression::Uniform8Bit;
+        let quant = run_sasgd(&factory, &train, &test, &cfg, p, 2, GammaP::OverP, Some(q8))
+            .expect("in-process run");
+        let q = quant.wire.expect("wire");
+        let (qlo, qhi) = q8.round_wire_bounds(m as usize, p);
+        assert_eq!(qlo, qhi, "Uniform8Bit bracket is tight");
+        assert_eq!(q.elements, bcast + syncs * qlo);
+
+        // The composed sparse scheme stays inside its bracket too, and
+        // under the plain sparse wire.
+        let comp = Compression::Sparse {
+            k: crate::compress::KSchedule::fixed(0.1),
+            q8: true,
+            union_bound: true,
+        };
+        let cm = run_sasgd(
+            &factory,
+            &train,
+            &test,
+            &cfg,
+            p,
+            2,
+            GammaP::OverP,
+            Some(comp),
+        )
+        .expect("in-process run");
+        let c = cm.wire.expect("wire");
+        let (clo, chi) = comp.round_wire_bounds(m as usize, p);
+        assert!(
+            (bcast + syncs * clo..=bcast + syncs * chi).contains(&c.elements),
+            "Sparse wire {} outside [{}, {}]",
+            c.elements,
+            bcast + syncs * clo,
+            bcast + syncs * chi
+        );
+        assert!(c.elements < s.elements, "q8 leaves beat f32 sparse frames");
+    }
+
+    #[test]
+    fn sparse_sasgd_matches_simulated_bitwise() {
+        // Every k schedule and wire option must be bitwise identical
+        // across the threaded tree and the simulated in-memory mirror —
+        // the same invariant the TopK/dense goldens pin.
+        let (train, test) = generate(&CifarLikeConfig::tiny(96, 24, 3));
+        let mut cfg = TrainConfig::new(2, 8, 0.05, 42);
+        cfg.jitter = JitterModel::none();
+        let schedules = [
+            Compression::Sparse {
+                k: crate::compress::KSchedule::norm_adaptive(0.1),
+                q8: false,
+                union_bound: false,
+            },
+            Compression::Sparse {
+                k: crate::compress::KSchedule::layer_wise(0.1),
+                q8: false,
+                union_bound: false,
+            },
+            Compression::Sparse {
+                k: crate::compress::KSchedule::fixed(0.1),
+                q8: true,
+                union_bound: true,
+            },
+        ];
+        for comp in schedules {
+            let factory = || models::tiny_cnn(3, &mut SeedRng::new(7));
+            let th = run_sasgd(
+                &factory,
+                &train,
+                &test,
+                &cfg,
+                4,
+                2,
+                GammaP::OverP,
+                Some(comp),
+            )
+            .expect("in-process run");
+            let mut f = || models::tiny_cnn(3, &mut SeedRng::new(7));
+            let sim = crate::algorithms::sasgd::run(
+                &mut f,
+                &train,
+                &test,
+                &cfg,
+                4,
+                2,
+                GammaP::OverP,
+                Some(comp),
+            );
+            assert_eq!(
+                th.final_params, sim.final_params,
+                "divergence under {comp:?}"
+            );
+            // Both backends log the same per-round sparsity telemetry.
+            assert_eq!(
+                th.sparsity_series.len(),
+                sim.sparsity_series.len(),
+                "series length under {comp:?}"
+            );
+            for (a, b) in th.sparsity_series.iter().zip(&sim.sparsity_series) {
+                assert_eq!((a.round, a.rank, a.k_eff), (b.round, b.rank, b.k_eff));
+                assert_eq!(a.residual_norm, b.residual_norm, "norms under {comp:?}");
+            }
+            assert!(
+                th.sparse_levels.levels.iter().any(|l| l.messages > 0),
+                "threaded run recorded per-level wire stats"
+            );
+        }
     }
 }

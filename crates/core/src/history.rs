@@ -1,5 +1,7 @@
 //! Experiment records: what every figure in the paper plots.
 
+use sasgd_comm::sparse::SparseLevelProfile;
+
 /// One accuracy/timing sample, taken when a learner completes a pass.
 ///
 /// For synchronous algorithms records land on every collective epoch; for
@@ -70,6 +72,14 @@ pub struct History {
     pub staleness_series: Vec<StalenessSample>,
     /// Total aggregation (communication) rounds the run executed.
     pub sync_rounds: u64,
+    /// Per-sync sparsification series: one sample per (sync round, rank)
+    /// for compressed runs, capped at [`MAX_SPARSITY_SAMPLES`]. Empty for
+    /// uncompressed runs.
+    pub sparsity_series: Vec<SparsitySample>,
+    /// Per-tree-level sparse wire profile summed over the run's sparse
+    /// collectives (all ranks merged): how the index union grows with
+    /// tree depth. Empty levels for dense runs.
+    pub sparse_levels: SparseLevelProfile,
 }
 
 /// One (round, rank) staleness observation: how many global updates landed
@@ -91,6 +101,24 @@ pub struct StalenessSample {
 /// Cap on [`History::staleness_series`] length, so long runs at large `p`
 /// keep histories small; [`StalenessStats`] still summarizes every push.
 pub const MAX_STALENESS_SAMPLES: usize = 4096;
+
+/// One (round, rank) sparsification observation from a compressed sync:
+/// what the k schedule actually kept and how much mass stayed behind.
+#[derive(Clone, Copy, Debug)]
+pub struct SparsitySample {
+    /// Sync round (0-based) the sample was taken in.
+    pub round: u64,
+    /// The compressing rank.
+    pub rank: usize,
+    /// Nonzero coordinates actually transmitted this round.
+    pub k_eff: usize,
+    /// `‖residual‖₂` after this round's compression (error feedback).
+    pub residual_norm: f32,
+}
+
+/// Cap on [`History::sparsity_series`] length, mirroring
+/// [`MAX_STALENESS_SAMPLES`].
+pub const MAX_SPARSITY_SAMPLES: usize = 4096;
 
 /// One learner's graceful mid-run exit from a fault-tolerant run.
 #[derive(Clone, Debug)]
@@ -179,6 +207,8 @@ impl History {
             retirements: Vec::new(),
             staleness_series: Vec::new(),
             sync_rounds: 0,
+            sparsity_series: Vec::new(),
+            sparse_levels: SparseLevelProfile::default(),
         }
     }
 
@@ -191,6 +221,19 @@ impl History {
                 rank,
                 tau,
                 gamma_eff,
+            });
+        }
+    }
+
+    /// Append a sparsity sample unless the series is already at
+    /// [`MAX_SPARSITY_SAMPLES`].
+    pub fn push_sparsity(&mut self, round: u64, rank: usize, k_eff: usize, residual_norm: f32) {
+        if self.sparsity_series.len() < MAX_SPARSITY_SAMPLES {
+            self.sparsity_series.push(SparsitySample {
+                round,
+                rank,
+                k_eff,
+                residual_norm,
             });
         }
     }

@@ -36,14 +36,18 @@ pub mod threaded;
 pub mod trainer;
 
 pub use algorithms::{Algorithm, GammaP};
-pub use compress::Compression;
+pub use compress::{Compression, KSchedule, KState};
 pub use engine::rank::{run_sasgd_ft_rank, run_sasgd_rank, SasgdRankSpec};
 pub use engine::threaded::{run_threaded_averaging, run_threaded_eamsgd, run_threaded_sequential};
 pub use engine::{Backend, Cadence, EngineError, Executor};
 pub use history::{
-    EpochRecord, History, MembershipEvent, RetirementEvent, StalenessSample, StalenessStats,
-    WireStats,
+    EpochRecord, History, MembershipEvent, RetirementEvent, SparsitySample, StalenessSample,
+    StalenessStats, WireStats, MAX_SPARSITY_SAMPLES,
 };
+/// Per-tree-level wire profile types, re-exported from `sasgd-comm` so
+/// embedders read [`History`] sparsity telemetry without a direct comm
+/// dependency.
+pub use sasgd_comm::sparse::{LevelStats, SparseLevelProfile};
 /// Fault-injection plan types, re-exported from `sasgd-comm` so embedders
 /// configure fault-tolerant runs without a direct comm dependency.
 pub use sasgd_comm::{FaultEvent, FaultKind, FaultPlan};

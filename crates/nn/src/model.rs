@@ -68,6 +68,17 @@ impl Model {
         self.layers.len()
     }
 
+    /// Per-layer parameter blocks as `(start, end)` offsets into the flat
+    /// parameter vector, parameterless layers (activations, pooling)
+    /// skipped. Layer-wise gradient compression allocates its k budget
+    /// over these blocks.
+    pub fn param_blocks(&self) -> Vec<(usize, usize)> {
+        (0..self.layers.len())
+            .map(|i| (self.offsets[i], self.offsets[i + 1]))
+            .filter(|(s, e)| e > s)
+            .collect()
+    }
+
     /// Forward through all layers (no loss); returns logits.
     pub fn forward(&mut self, input: Tensor, ctx: &mut Ctx) -> Tensor {
         let mut x = input;
